@@ -1,0 +1,144 @@
+//! Criterion microbenchmarks for FireGuard's building blocks.
+//!
+//! These complement the figure binaries (`src/bin/fig*.rs`): where the
+//! binaries reproduce the paper's *results*, these measure the simulator's
+//! own component throughputs, so regressions in the models are caught.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fireguard_boom::{BoomConfig, Core, NullSink};
+use fireguard_core::{groups, DpSel, EventFilter, FilterConfig};
+use fireguard_isa::InstClass;
+use fireguard_kernels::{KernelKind, ProgrammingModel};
+use fireguard_noc::Mesh;
+use fireguard_soc::{run_fireguard, ExperimentConfig};
+use fireguard_trace::{TraceGenerator, WorkloadProfile};
+use fireguard_ucore::{NullBackend, QueueEntry, Ucore, UcoreConfig};
+use std::hint::black_box;
+
+fn bench_event_filter(c: &mut Criterion) {
+    let trace: Vec<_> = TraceGenerator::new(WorkloadProfile::parsec("x264").unwrap(), 1)
+        .take(4096)
+        .collect();
+    c.bench_function("filter_offer_and_arbiter_4wide", |b| {
+        b.iter(|| {
+            let mut f = EventFilter::new(FilterConfig::default());
+            f.subscribe(InstClass::Load, groups::MEM, DpSel::LSQ);
+            f.subscribe(InstClass::Store, groups::MEM, DpSel::LSQ);
+            let mut out = 0u64;
+            for (i, t) in trace.iter().enumerate() {
+                let now = (i / 4 + 1) as u64;
+                let _ = f.offer(now, i % 4, t);
+                if let Some(p) = f.arbiter_pop() {
+                    out ^= p.meta.seq;
+                }
+            }
+            black_box(out)
+        })
+    });
+}
+
+fn bench_tage(c: &mut Criterion) {
+    c.bench_function("tage_predict_update_1k", |b| {
+        let mut t = fireguard_boom::Tage::new();
+        b.iter(|| {
+            for i in 0..1000u64 {
+                let pc = 0x1000 + (i % 64) * 4;
+                t.update(pc, i % 7 != 0);
+            }
+            black_box(t.mispredict_rate())
+        })
+    });
+}
+
+fn bench_boom_ipc(c: &mut Criterion) {
+    c.bench_function("boom_10k_insts_x264", |b| {
+        b.iter(|| {
+            let trace = TraceGenerator::new(WorkloadProfile::parsec("x264").unwrap(), 3);
+            let mut core = Core::new(BoomConfig::default(), trace);
+            black_box(core.run_insts(10_000, &mut NullSink).cycles)
+        })
+    });
+}
+
+fn bench_ucore_kernel(c: &mut Criterion) {
+    c.bench_function("ucore_asan_1k_packets", |b| {
+        b.iter(|| {
+            let k = fireguard_kernels::GuardianKernel::new(
+                KernelKind::Asan,
+                0,
+                ProgrammingModel::Hybrid,
+            );
+            let mut u = Ucore::new(UcoreConfig::default(), k.program());
+            let mut be = k.engine_backend();
+            let mut done = 0u64;
+            let mut t = 0;
+            while done < 1000 {
+                for _ in 0..8 {
+                    let _ = u
+                        .input_mut()
+                        .push(QueueEntry::from_bits((done as u128) << 6));
+                }
+                t += 64;
+                u.advance(t, &mut be);
+                done = u.stats().packets;
+            }
+            black_box(u.now())
+        })
+    });
+}
+
+fn bench_noc(c: &mut Criterion) {
+    c.bench_function("mesh_4x4_1k_sends", |b| {
+        b.iter(|| {
+            let mut m = Mesh::new(4, 4);
+            let mut acc = 0u64;
+            for i in 0..1000u64 {
+                let a = m.node_for_engine((i % 16) as usize);
+                let z = m.node_for_engine(((i * 7) % 16) as usize);
+                acc ^= m.send(a, z, i);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_ucore_microbench(c: &mut Criterion) {
+    c.bench_function("ucore_alu_loop_10k", |b| {
+        b.iter(|| {
+            let mut asm = fireguard_ucore::Asm::new();
+            for _ in 0..100 {
+                asm.addi(1, 1, 1);
+            }
+            asm.halt();
+            let mut u = Ucore::new(UcoreConfig::default(), asm.assemble());
+            u.advance(10_000, &mut NullBackend);
+            black_box(u.now())
+        })
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    g.bench_function("fireguard_asan_4u_10k_insts", |b| {
+        b.iter(|| {
+            let cfg = ExperimentConfig::new("swaptions")
+                .kernel(KernelKind::Asan, 4)
+                .insts(10_000);
+            black_box(run_fireguard(&cfg).cycles)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_filter,
+    bench_tage,
+    bench_boom_ipc,
+    bench_ucore_kernel,
+    bench_noc,
+    bench_ucore_microbench,
+    bench_end_to_end
+);
+criterion_main!(benches);

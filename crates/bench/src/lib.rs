@@ -1,0 +1,90 @@
+//! Shared harness utilities for the figure/table regeneration binaries.
+//!
+//! Every binary honours two environment variables:
+//!
+//! * `FG_INSTS` — instructions per run (default 120 000);
+//! * `FG_QUICK` — when set, drops to 30 000 instructions for smoke runs.
+
+use fireguard_soc::report::geomean;
+use fireguard_soc::RunResult;
+
+/// Instructions per simulation run (see crate docs for the env overrides).
+pub fn insts() -> u64 {
+    if std::env::var_os("FG_QUICK").is_some() {
+        return 30_000;
+    }
+    std::env::var("FG_INSTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(120_000)
+}
+
+/// The standard seed used across figures (deterministic reproduction).
+pub const SEED: u64 = 42;
+
+/// Prints a header row followed by a separator.
+pub fn print_header(cols: &[&str], widths: &[usize]) {
+    let mut line = String::new();
+    for (c, w) in cols.iter().zip(widths) {
+        line.push_str(&format!("{c:>w$} ", w = w));
+    }
+    println!("{line}");
+    println!("{}", "-".repeat(line.len()));
+}
+
+/// Formats a slowdown for a table cell.
+pub fn fmt_slowdown(s: f64) -> String {
+    format!("{s:.3}")
+}
+
+/// Runs the same experiment over every workload in parallel threads,
+/// returning `(workload, T)` pairs in PARSEC order.
+pub fn per_workload<T, F>(f: F) -> Vec<(&'static str, T)>
+where
+    T: Send + 'static,
+    F: Fn(&'static str) -> T + Send + Sync + 'static,
+{
+    let f = std::sync::Arc::new(f);
+    let handles: Vec<_> = fireguard_soc::experiments::workloads()
+        .into_iter()
+        .map(|w| {
+            let f = std::sync::Arc::clone(&f);
+            std::thread::spawn(move || (w, f(w)))
+        })
+        .collect();
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("worker thread panicked"))
+        .collect()
+}
+
+/// Geomean of the slowdowns in a per-workload result set.
+pub fn geomean_slowdown(rows: &[(&str, RunResult)]) -> f64 {
+    geomean(&rows.iter().map(|(_, r)| r.slowdown).collect::<Vec<_>>())
+}
+
+/// Geomean over plain numbers.
+pub fn geomean_of(xs: &[f64]) -> f64 {
+    geomean(xs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insts_respects_quick_env() {
+        // Only checks the default path deterministically.
+        if std::env::var_os("FG_QUICK").is_none() && std::env::var("FG_INSTS").is_err() {
+            assert_eq!(insts(), 120_000);
+        }
+    }
+
+    #[test]
+    fn per_workload_covers_all_nine() {
+        let rows = per_workload(|w| w.len());
+        assert_eq!(rows.len(), 9);
+        assert_eq!(rows[0].0, "blackscholes");
+        assert_eq!(rows[8].0, "x264");
+    }
+}

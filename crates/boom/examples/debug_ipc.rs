@@ -1,0 +1,25 @@
+//! Calibration tool: prints per-workload IPC, packet rate, misprediction
+//! rate and stall breakdown on the bare core. Used to keep the synthetic
+//! PARSEC profiles at the paper's design points.
+use fireguard_boom::{BoomConfig, Core, NullSink, StallKind};
+use fireguard_trace::{TraceGenerator, PARSEC_WORKLOADS};
+
+fn main() {
+    println!("{:14} {:>5} {:>6} {:>6} {:>6}  stalls", "workload", "ipc", "pkt/c", "mispr", "cyc");
+    for w in PARSEC_WORKLOADS {
+        let t = TraceGenerator::new(w.clone(), 5);
+        let mut c = Core::new(BoomConfig::default(), t);
+        let s = c.run_insts(60_000, &mut NullSink);
+        let pkt = s.ipc() * w.mem_fraction();
+        print!(
+            "{:14} {:5.2} {:6.3} {:6.3} {:6}  ",
+            w.name, s.ipc(), pkt, s.mispredict_rate(), s.cycles
+        );
+        for k in StallKind::ALL {
+            if s.stalls(k) > 1000 {
+                print!("{}={} ", k.name(), s.stalls(k));
+            }
+        }
+        println!();
+    }
+}

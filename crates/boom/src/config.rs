@@ -1,0 +1,148 @@
+//! Main-core configuration (paper Table II).
+
+use fireguard_mem::{HierarchyConfig, TlbConfig};
+
+/// Configuration of the modelled SonicBOOM core.
+///
+/// Defaults reproduce Table II of the paper: a 4-wide out-of-order core at
+/// 3.2 GHz with a 128-entry ROB, 96-entry issue queue, 32-entry LDQ/STQ and
+/// 128 integer + 128 FP physical registers.
+#[derive(Debug, Clone)]
+pub struct BoomConfig {
+    /// Instructions fetched per cycle.
+    pub fetch_width: usize,
+    /// Instructions renamed/dispatched per cycle.
+    pub decode_width: usize,
+    /// Instructions issued to functional units per cycle.
+    pub issue_width: usize,
+    /// Instructions committed per cycle (FireGuard's filter matches this).
+    pub commit_width: usize,
+    /// Reorder-buffer capacity.
+    pub rob_entries: usize,
+    /// Unified issue-queue capacity.
+    pub iq_entries: usize,
+    /// Load-queue capacity.
+    pub ldq_entries: usize,
+    /// Store-queue capacity.
+    pub stq_entries: usize,
+    /// Integer physical registers.
+    pub int_prf: usize,
+    /// Floating-point physical registers.
+    pub fp_prf: usize,
+    /// Integer PRF read ports (shared with FireGuard's forwarding channel).
+    pub prf_read_ports: usize,
+    /// Integer ALUs.
+    pub int_alus: usize,
+    /// FP/multiply/divide units (Table II: one shared).
+    pub fp_units: usize,
+    /// Memory (load/store) units.
+    pub mem_units: usize,
+    /// Jump units.
+    pub jump_units: usize,
+    /// CSR units.
+    pub csr_units: usize,
+    /// Fetch-buffer depth.
+    pub fetch_buffer: usize,
+    /// Cycles to refill the front-end after a resolved misprediction.
+    pub redirect_penalty: u64,
+    /// Data-side cache hierarchy.
+    pub dmem: HierarchyConfig,
+    /// Data TLB configuration.
+    pub dtlb: TlbConfig,
+    /// L1I miss penalty (code fits in L2; see crate docs).
+    pub icache_miss_penalty: u64,
+    /// Core clock in Hz (3.2 GHz), used to convert cycles to wall time.
+    pub clock_hz: f64,
+}
+
+impl Default for BoomConfig {
+    fn default() -> Self {
+        BoomConfig {
+            fetch_width: 4,
+            decode_width: 4,
+            issue_width: 4,
+            commit_width: 4,
+            rob_entries: 128,
+            iq_entries: 96,
+            ldq_entries: 32,
+            stq_entries: 32,
+            int_prf: 128,
+            fp_prf: 128,
+            prf_read_ports: 8,
+            int_alus: 2,
+            fp_units: 1,
+            mem_units: 2,
+            jump_units: 1,
+            csr_units: 1,
+            fetch_buffer: 16,
+            redirect_penalty: 3,
+            dmem: HierarchyConfig::main_core(),
+            dtlb: TlbConfig::main_core(),
+            icache_miss_penalty: 14,
+            clock_hz: 3.2e9,
+        }
+    }
+}
+
+impl BoomConfig {
+    /// Nanoseconds per core cycle.
+    pub fn ns_per_cycle(&self) -> f64 {
+        1e9 / self.clock_hz
+    }
+
+    /// Validates structural parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any width or capacity is zero, or widths exceed capacities.
+    pub fn validate(&self) {
+        assert!(self.fetch_width > 0 && self.commit_width > 0);
+        assert!(self.decode_width > 0 && self.issue_width > 0);
+        assert!(self.rob_entries >= self.commit_width);
+        assert!(self.iq_entries > 0);
+        assert!(self.ldq_entries > 0 && self.stq_entries > 0);
+        assert!(self.int_prf > 32, "need free regs beyond architectural state");
+        assert!(self.prf_read_ports >= 2);
+        assert!(self.int_alus + self.fp_units + self.mem_units > 0);
+        assert!(self.fetch_buffer >= self.fetch_width);
+        assert!(self.clock_hz > 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_ii() {
+        let c = BoomConfig::default();
+        assert_eq!(c.commit_width, 4);
+        assert_eq!(c.rob_entries, 128);
+        assert_eq!(c.iq_entries, 96);
+        assert_eq!(c.ldq_entries, 32);
+        assert_eq!(c.stq_entries, 32);
+        assert_eq!(c.int_prf, 128);
+        assert_eq!(c.int_alus, 2);
+        assert_eq!(c.mem_units, 2);
+        assert_eq!(c.fp_units, 1);
+        assert_eq!(c.jump_units, 1);
+        assert_eq!(c.csr_units, 1);
+        c.validate();
+    }
+
+    #[test]
+    fn ns_per_cycle_at_3_2ghz() {
+        let c = BoomConfig::default();
+        assert!((c.ns_per_cycle() - 0.3125).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "free regs")]
+    fn too_few_phys_regs_rejected() {
+        let c = BoomConfig {
+            int_prf: 32,
+            ..BoomConfig::default()
+        };
+        c.validate();
+    }
+}

@@ -1,0 +1,513 @@
+//! Front-end branch prediction: TAGE direction predictor, BTB, and RAS.
+//!
+//! Table II specifies the TAGE algorithm with a 256-entry BTB, a 32-entry
+//! return-address stack, and 6 tagged tables with history lengths from 2 to
+//! 64 bits. This module implements a standard TAGE (base bimodal table plus
+//! N tagged components with geometrically increasing history, provider/
+//! alternate selection, usefulness counters and allocation on mispredict).
+
+use fireguard_isa::InstClass;
+
+/// History lengths of the six tagged tables (geometric 2…64, per Table II).
+pub const TAGE_HISTORIES: [usize; 6] = [2, 4, 8, 16, 32, 64];
+
+const TAGE_TABLE_BITS: usize = 10; // 1024 entries per tagged table
+const TAGE_TAG_BITS: usize = 9;
+const BIMODAL_BITS: usize = 12; // 4096-entry base predictor
+
+#[derive(Debug, Clone, Copy, Default)]
+struct TageEntry {
+    tag: u16,
+    ctr: i8,     // 3-bit signed counter, taken if >= 0
+    useful: u8,  // 2-bit usefulness
+}
+
+/// The TAGE direction predictor.
+#[derive(Debug, Clone)]
+pub struct Tage {
+    bimodal: Vec<i8>,
+    tables: Vec<Vec<TageEntry>>,
+    /// Global direction history, most recent outcome in bit 0.
+    ghist: u128,
+    predictions: u64,
+    mispredictions: u64,
+    alloc_tick: u64,
+}
+
+impl Default for Tage {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tage {
+    /// Builds an empty predictor (weakly not-taken everywhere).
+    pub fn new() -> Self {
+        Tage {
+            bimodal: vec![0; 1 << BIMODAL_BITS],
+            tables: TAGE_HISTORIES
+                .iter()
+                .map(|_| vec![TageEntry::default(); 1 << TAGE_TABLE_BITS])
+                .collect(),
+            ghist: 0,
+            predictions: 0,
+            mispredictions: 0,
+            alloc_tick: 0,
+        }
+    }
+
+    fn fold_history(&self, bits: usize, out_bits: usize) -> u64 {
+        // XOR-fold `bits` of global history down to `out_bits`.
+        let mut h = self.ghist & ((1u128 << bits) - 1);
+        let mut folded: u64 = 0;
+        while h != 0 {
+            folded ^= (h as u64) & ((1 << out_bits) - 1);
+            h >>= out_bits;
+        }
+        folded
+    }
+
+    fn index(&self, pc: u64, table: usize) -> usize {
+        let hist = self.fold_history(TAGE_HISTORIES[table], TAGE_TABLE_BITS);
+        let mixed = (pc >> 2)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left(17 + table as u32);
+        ((mixed ^ hist) as usize) & ((1 << TAGE_TABLE_BITS) - 1)
+    }
+
+    fn tag(&self, pc: u64, table: usize) -> u16 {
+        let hist = self.fold_history(TAGE_HISTORIES[table], TAGE_TAG_BITS);
+        let mixed = (pc >> 2)
+            .wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+            .rotate_left(29 + 2 * table as u32);
+        ((mixed >> 7) ^ hist) as u16 & ((1 << TAGE_TAG_BITS) - 1)
+    }
+
+    fn bimodal_index(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & ((1 << BIMODAL_BITS) - 1)
+    }
+
+    /// Predicts the direction of the branch at `pc`.
+    pub fn predict(&self, pc: u64) -> bool {
+        self.provider(pc)
+            .map(|(t, i)| self.tables[t][i].ctr >= 0)
+            .unwrap_or_else(|| self.bimodal[self.bimodal_index(pc)] >= 0)
+    }
+
+    /// Finds the longest-history matching component, if any.
+    fn provider(&self, pc: u64) -> Option<(usize, usize)> {
+        (0..self.tables.len()).rev().find_map(|t| {
+            let i = self.index(pc, t);
+            (self.tables[t][i].tag == self.tag(pc, t)).then_some((t, i))
+        })
+    }
+
+    /// Updates the predictor with the resolved outcome and advances history.
+    pub fn update(&mut self, pc: u64, taken: bool) {
+        self.predictions += 1;
+        let predicted = self.predict(pc);
+        let correct = predicted == taken;
+        if !correct {
+            self.mispredictions += 1;
+        }
+
+        match self.provider(pc) {
+            Some((t, i)) => {
+                let e = &mut self.tables[t][i];
+                e.ctr = (e.ctr + if taken { 1 } else { -1 }).clamp(-4, 3);
+                if correct {
+                    e.useful = (e.useful + 1).min(3);
+                } else if e.useful > 0 {
+                    e.useful -= 1;
+                }
+                // Allocate in a longer table on a mispredict.
+                if !correct && t + 1 < self.tables.len() {
+                    self.allocate(pc, taken, t + 1);
+                }
+            }
+            None => {
+                let bi = self.bimodal_index(pc);
+                let c = &mut self.bimodal[bi];
+                *c = (*c + if taken { 1 } else { -1 }).clamp(-2, 1);
+                if !correct {
+                    self.allocate(pc, taken, 0);
+                }
+            }
+        }
+
+        self.ghist = (self.ghist << 1) | u128::from(taken);
+    }
+
+    fn allocate(&mut self, pc: u64, taken: bool, from: usize) {
+        self.alloc_tick = self.alloc_tick.wrapping_add(1);
+        // Try tables from `from` upward; take the first non-useful slot.
+        for t in from..self.tables.len() {
+            let i = self.index(pc, t);
+            let tag = self.tag(pc, t);
+            let e = &mut self.tables[t][i];
+            if e.useful == 0 {
+                *e = TageEntry {
+                    tag,
+                    ctr: if taken { 0 } else { -1 },
+                    useful: 0,
+                };
+                return;
+            }
+        }
+        // All candidates useful: age one pseudo-randomly (deterministic).
+        let t = from + (self.alloc_tick as usize % (self.tables.len() - from));
+        let i = self.index(pc, t);
+        let e = &mut self.tables[t][i];
+        e.useful = e.useful.saturating_sub(1);
+    }
+
+    /// Records a non-conditional control transfer in the history (taken).
+    pub fn note_unconditional(&mut self) {
+        self.ghist = (self.ghist << 1) | 1;
+    }
+
+    /// Fraction of mispredicted conditional branches.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.predictions == 0 {
+            0.0
+        } else {
+            self.mispredictions as f64 / self.predictions as f64
+        }
+    }
+
+    /// Conditional branches predicted so far.
+    pub fn predictions(&self) -> u64 {
+        self.predictions
+    }
+}
+
+/// A direct-mapped branch-target buffer (256 entries, Table II).
+#[derive(Debug, Clone)]
+pub struct Btb {
+    entries: Vec<Option<(u64, u64)>>, // (pc, target)
+}
+
+impl Default for Btb {
+    fn default() -> Self {
+        Self::new(256)
+    }
+}
+
+impl Btb {
+    /// Builds a BTB with `entries` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `entries` is a power of two.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries.is_power_of_two());
+        Btb {
+            entries: vec![None; entries],
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & (self.entries.len() - 1)
+    }
+
+    /// Looks up the predicted target for `pc`.
+    pub fn lookup(&self, pc: u64) -> Option<u64> {
+        match self.entries[self.index(pc)] {
+            Some((tag, target)) if tag == pc => Some(target),
+            _ => None,
+        }
+    }
+
+    /// Installs or updates the target for `pc`.
+    pub fn update(&mut self, pc: u64, target: u64) {
+        let i = self.index(pc);
+        self.entries[i] = Some((pc, target));
+    }
+}
+
+/// A return-address stack (32 entries, Table II), overwriting on overflow.
+#[derive(Debug, Clone)]
+pub struct Ras {
+    stack: Vec<u64>,
+    capacity: usize,
+}
+
+impl Default for Ras {
+    fn default() -> Self {
+        Self::new(32)
+    }
+}
+
+impl Ras {
+    /// Builds a RAS holding up to `capacity` return addresses.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        Ras {
+            stack: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Pushes a return address (a call was fetched).
+    pub fn push(&mut self, ret_addr: u64) {
+        if self.stack.len() == self.capacity {
+            self.stack.remove(0); // overflow drops the oldest
+        }
+        self.stack.push(ret_addr);
+    }
+
+    /// Pops the predicted return target (a return was fetched).
+    pub fn pop(&mut self) -> Option<u64> {
+        self.stack.pop()
+    }
+
+    /// Current depth.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+}
+
+/// Outcome of comparing a front-end prediction with the resolved transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MispredictKind {
+    /// Prediction was correct; fetch continues unhindered.
+    None,
+    /// A direct jump/call missed the BTB (or a taken branch's target was
+    /// unknown): the decoder extracts the target from the instruction bits
+    /// and redirects with a small fixed bubble.
+    DecodeBubble,
+    /// The transfer can only be resolved at execute (wrong direction on a
+    /// conditional branch, wrong RAS/indirect target): fetch stalls until
+    /// resolution plus the redirect penalty.
+    ExecuteRedirect,
+}
+
+/// The combined front end: TAGE + BTB + RAS.
+#[derive(Debug, Clone, Default)]
+pub struct FrontendPredictor {
+    /// Direction predictor.
+    pub tage: Tage,
+    /// Target buffer.
+    pub btb: Btb,
+    /// Return-address stack.
+    pub ras: Ras,
+}
+
+impl FrontendPredictor {
+    /// Creates the Table II front end.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Predicts and *speculatively updates* stack state for the control
+    /// instruction at `pc`, then classifies the actual outcome
+    /// `(taken, target)` against the prediction, updating all structures.
+    ///
+    /// The model folds predict and train into one call because the
+    /// trace-driven core resolves outcomes from the trace; the returned
+    /// classification drives the fetch-redirect behaviour.
+    pub fn observe(&mut self, pc: u64, class: InstClass, taken: bool, target: u64) -> MispredictKind {
+        let next_seq = pc + 4;
+        match class {
+            InstClass::Branch => {
+                let dir_pred = self.tage.predict(pc);
+                let target_known = self.btb.lookup(pc) == Some(target);
+                self.tage.update(pc, taken);
+                if taken {
+                    self.btb.update(pc, target);
+                }
+                if dir_pred != taken {
+                    MispredictKind::ExecuteRedirect
+                } else if taken && !target_known {
+                    // Direction right but target unknown: the decoder
+                    // computes the PC-relative target (B-format immediate).
+                    MispredictKind::DecodeBubble
+                } else {
+                    MispredictKind::None
+                }
+            }
+            InstClass::Jump => {
+                let known = self.btb.lookup(pc) == Some(target);
+                self.btb.update(pc, target);
+                self.tage.note_unconditional();
+                if known {
+                    MispredictKind::None
+                } else {
+                    MispredictKind::DecodeBubble
+                }
+            }
+            InstClass::Call => {
+                let known = self.btb.lookup(pc) == Some(target);
+                self.btb.update(pc, target);
+                self.ras.push(next_seq);
+                self.tage.note_unconditional();
+                if known {
+                    MispredictKind::None
+                } else {
+                    MispredictKind::DecodeBubble
+                }
+            }
+            InstClass::Ret => {
+                let predicted = self.ras.pop();
+                self.tage.note_unconditional();
+                if predicted == Some(target) {
+                    MispredictKind::None
+                } else {
+                    MispredictKind::ExecuteRedirect
+                }
+            }
+            InstClass::IndirectJump => {
+                let known = self.btb.lookup(pc) == Some(target);
+                self.btb.update(pc, target);
+                self.tage.note_unconditional();
+                if known {
+                    MispredictKind::None
+                } else {
+                    MispredictKind::ExecuteRedirect
+                }
+            }
+            _ => MispredictKind::None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tage_learns_a_strong_bias() {
+        let mut t = Tage::new();
+        for _ in 0..200 {
+            t.update(0x1000, true);
+        }
+        assert!(t.predict(0x1000));
+        // The last updates should be overwhelmingly correct.
+        assert!(t.mispredict_rate() < 0.1, "rate {}", t.mispredict_rate());
+    }
+
+    #[test]
+    fn tage_learns_a_loop_pattern() {
+        // Taken 7 times, not-taken once, repeatedly: TAGE should beat a
+        // bimodal-only predictor (which would mispredict every exit).
+        let mut t = Tage::new();
+        let mut wrong = 0;
+        let mut total = 0;
+        for iter in 0..4000 {
+            let taken = iter % 8 != 7;
+            if iter >= 2000 {
+                total += 1;
+                if t.predict(0x2000) != taken {
+                    wrong += 1;
+                }
+            }
+            t.update(0x2000, taken);
+        }
+        let rate = wrong as f64 / total as f64;
+        assert!(rate < 0.10, "loop exits should be learned: {rate}");
+    }
+
+    #[test]
+    fn tage_separates_aliased_pcs_by_history() {
+        // Two branches with opposite behaviour that share the bimodal slot
+        // (0x4000>>2 and 0x8000>>2 both fold to bimodal index 0). The tagged
+        // components must still tell them apart. Accuracy is measured at the
+        // same history alignment the predictor trains at.
+        let mut t = Tage::new();
+        let mut correct = 0;
+        let mut total = 0;
+        for iter in 0..600 {
+            if iter >= 300 {
+                total += 2;
+                correct += usize::from(t.predict(0x4000));
+                // peek after the 0x4000 update would shift history; emulate
+                // the in-order use: predict, then update, for each branch.
+            }
+            t.update(0x4000, true);
+            if iter >= 300 {
+                correct += usize::from(!t.predict(0x8000));
+            }
+            t.update(0x8000, false);
+        }
+        let acc = correct as f64 / total as f64;
+        assert!(acc > 0.9, "opposite-bias branches must separate: {acc}");
+    }
+
+    #[test]
+    fn btb_round_trip_and_conflict() {
+        let mut b = Btb::new(256);
+        assert_eq!(b.lookup(0x1000), None);
+        b.update(0x1000, 0x2000);
+        assert_eq!(b.lookup(0x1000), Some(0x2000));
+        // A conflicting pc (same index, different tag) evicts.
+        let conflicting = 0x1000 + 256 * 4;
+        b.update(conflicting, 0x3000);
+        assert_eq!(b.lookup(0x1000), None);
+        assert_eq!(b.lookup(conflicting), Some(0x3000));
+    }
+
+    #[test]
+    fn ras_predicts_nested_returns() {
+        let mut r = Ras::new(32);
+        r.push(0x100);
+        r.push(0x200);
+        assert_eq!(r.pop(), Some(0x200));
+        assert_eq!(r.pop(), Some(0x100));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn ras_overflow_drops_oldest() {
+        let mut r = Ras::new(2);
+        r.push(1);
+        r.push(2);
+        r.push(3);
+        assert_eq!(r.depth(), 2);
+        assert_eq!(r.pop(), Some(3));
+        assert_eq!(r.pop(), Some(2));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn frontend_calls_and_returns_pair_up() {
+        let mut f = FrontendPredictor::new();
+        // call at 0x1000 -> 0x5000; BTB cold, so decode must redirect.
+        assert_eq!(
+            f.observe(0x1000, InstClass::Call, true, 0x5000),
+            MispredictKind::DecodeBubble
+        );
+        // matching return predicts correctly via RAS.
+        assert_eq!(
+            f.observe(0x5000, InstClass::Ret, true, 0x1004),
+            MispredictKind::None
+        );
+        // second call now hits BTB.
+        assert_eq!(
+            f.observe(0x1000, InstClass::Call, true, 0x5000),
+            MispredictKind::None
+        );
+        // hijacked return target costs a full execute redirect.
+        f.observe(0x1000, InstClass::Call, true, 0x5000);
+        assert_eq!(
+            f.observe(0x5000, InstClass::Ret, true, 0xDEAD),
+            MispredictKind::ExecuteRedirect
+        );
+    }
+
+    #[test]
+    fn frontend_branch_learns() {
+        let mut f = FrontendPredictor::new();
+        let mut last = MispredictKind::ExecuteRedirect;
+        for _ in 0..300 {
+            last = f.observe(0x9000, InstClass::Branch, true, 0x9100);
+        }
+        assert_eq!(last, MispredictKind::None);
+    }
+
+    #[test]
+    fn non_control_classes_never_mispredict() {
+        let mut f = FrontendPredictor::new();
+        assert_eq!(f.observe(0x1, InstClass::Load, false, 0), MispredictKind::None);
+        assert_eq!(f.observe(0x1, InstClass::IntAlu, false, 0), MispredictKind::None);
+    }
+}

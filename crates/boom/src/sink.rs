@@ -1,0 +1,127 @@
+//! The commit-stage attachment point for FireGuard.
+//!
+//! The paper's data-forwarding channel hooks the ROB's commit paths
+//! (Fig. 2 a), observing every retired instruction. The channel can
+//! back-pressure commit when a mini-filter FIFO is full, and it preempts PRF
+//! read controllers in the cycle after a commit whose operand data was
+//! selected (Fig. 2 b–d), delaying issuing instructions that wanted the same
+//! port.
+//!
+//! [`CommitSink`] abstracts that interface so the core model can run bare
+//! (a [`NullSink`]) or with any FireGuard frontend attached.
+
+use fireguard_trace::TraceInst;
+
+/// Observer of the main core's commit stage.
+pub trait CommitSink {
+    /// Offers the instruction retiring on commit path `slot` at fast-clock
+    /// cycle `now`. Returning `false` refuses it: the core stalls commit
+    /// this cycle and will re-offer the same instruction later.
+    fn offer(&mut self, now: u64, slot: usize, inst: &TraceInst) -> bool;
+
+    /// Number of integer-PRF read ports the forwarding channel preempts at
+    /// cycle `now` (Fig. 2's "added contention"). Called once per cycle
+    /// before issue.
+    fn prf_ports_stolen(&mut self, now: u64) -> usize {
+        let _ = now;
+        0
+    }
+}
+
+/// A sink that accepts everything and steals nothing — the baseline core.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl CommitSink for NullSink {
+    fn offer(&mut self, _now: u64, _slot: usize, _inst: &TraceInst) -> bool {
+        true
+    }
+}
+
+/// A sink that refuses every `period`-th offer — used in tests and failure
+/// injection to exercise commit back-pressure deterministically.
+#[derive(Debug, Clone, Default)]
+pub struct ThrottleSink {
+    /// Refuse one offer out of every `period` (0 disables refusal).
+    pub period: u64,
+    offers: u64,
+    refusals: u64,
+}
+
+impl ThrottleSink {
+    /// Creates a sink refusing every `period`-th offer.
+    pub fn new(period: u64) -> Self {
+        ThrottleSink {
+            period,
+            offers: 0,
+            refusals: 0,
+        }
+    }
+
+    /// Offers seen.
+    pub fn offers(&self) -> u64 {
+        self.offers
+    }
+
+    /// Offers refused.
+    pub fn refusals(&self) -> u64 {
+        self.refusals
+    }
+}
+
+impl CommitSink for ThrottleSink {
+    fn offer(&mut self, _now: u64, _slot: usize, _inst: &TraceInst) -> bool {
+        self.offers += 1;
+        if self.period != 0 && self.offers % self.period == 0 {
+            self.refusals += 1;
+            false
+        } else {
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fireguard_isa::Instruction;
+
+    fn inst() -> TraceInst {
+        TraceInst {
+            seq: 0,
+            pc: 0x1000,
+            inst: Instruction::nop(),
+            class: Instruction::nop().class(),
+            mem_addr: None,
+            control: None,
+            heap: None,
+            attack: None,
+        }
+    }
+
+    #[test]
+    fn null_sink_accepts_everything() {
+        let mut s = NullSink;
+        for i in 0..100 {
+            assert!(s.offer(i, (i % 4) as usize, &inst()));
+        }
+        assert_eq!(s.prf_ports_stolen(0), 0);
+    }
+
+    #[test]
+    fn throttle_sink_refuses_periodically() {
+        let mut s = ThrottleSink::new(3);
+        let results: Vec<bool> = (0..9).map(|i| s.offer(i, 0, &inst())).collect();
+        assert_eq!(
+            results,
+            [true, true, false, true, true, false, true, true, false]
+        );
+        assert_eq!(s.refusals(), 3);
+    }
+
+    #[test]
+    fn throttle_period_zero_never_refuses() {
+        let mut s = ThrottleSink::new(0);
+        assert!((0..50).all(|i| s.offer(i, 0, &inst())));
+    }
+}

@@ -1,0 +1,74 @@
+//! Property-based tests for the OoO core model: structural conservation
+//! laws that must hold for any workload, seed or sink behaviour.
+
+use fireguard_boom::{BoomConfig, Core, CommitSink, NullSink, ThrottleSink};
+use fireguard_trace::{TraceGenerator, TraceInst, WorkloadProfile, PARSEC_WORKLOADS};
+use proptest::prelude::*;
+
+fn workload() -> impl Strategy<Value = WorkloadProfile> {
+    (0..PARSEC_WORKLOADS.len()).prop_map(|i| PARSEC_WORKLOADS[i].clone())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Commit is exactly program order for any workload/seed/throttle: the
+    /// paper's whole frontend depends on it (commit order = packet order).
+    #[test]
+    fn commit_order_is_program_order(w in workload(), seed in 0u64..100_000, period in prop_oneof![Just(0u64), 2u64..7]) {
+        struct Check {
+            inner: ThrottleSink,
+            last: Option<u64>,
+        }
+        impl CommitSink for Check {
+            fn offer(&mut self, now: u64, slot: usize, inst: &TraceInst) -> bool {
+                let ok = self.inner.offer(now, slot, inst);
+                if ok {
+                    if let Some(l) = self.last {
+                        assert_eq!(inst.seq, l + 1, "commit skipped or reordered");
+                    }
+                    self.last = Some(inst.seq);
+                }
+                ok
+            }
+        }
+        let mut sink = Check { inner: ThrottleSink::new(period), last: None };
+        let trace = TraceGenerator::new(w, seed);
+        let mut core = Core::new(BoomConfig::default(), trace);
+        let stats = core.run_insts(8_000, &mut sink);
+        prop_assert_eq!(stats.committed, sink.last.unwrap() + 1);
+    }
+
+    /// IPC is bounded by every relevant structural width.
+    #[test]
+    fn ipc_respects_structural_bounds(w in workload(), seed in 0u64..100_000) {
+        let trace = TraceGenerator::new(w, seed);
+        let mut core = Core::new(BoomConfig::default(), trace);
+        let stats = core.run_insts(8_000, &mut NullSink);
+        prop_assert!(stats.ipc() <= 4.0 + 1e-9, "commit width is 4");
+        prop_assert!(stats.ipc() > 0.05, "forward progress");
+    }
+
+    /// Cycle counts are a pure function of (config, workload, seed, sink).
+    #[test]
+    fn timing_determinism(w in workload(), seed in 0u64..100_000) {
+        let run = |w: WorkloadProfile| {
+            let mut core = Core::new(BoomConfig::default(), TraceGenerator::new(w, seed));
+            core.run_insts(5_000, &mut NullSink).cycles
+        };
+        prop_assert_eq!(run(w.clone()), run(w));
+    }
+
+    /// Back-pressure only ever adds cycles, never removes them.
+    #[test]
+    fn throttling_is_monotone(w in workload(), seed in 0u64..100_000) {
+        let run = |period| {
+            let mut sink = ThrottleSink::new(period);
+            let mut core = Core::new(BoomConfig::default(), TraceGenerator::new(w.clone(), seed));
+            core.run_insts(5_000, &mut sink).cycles
+        };
+        let free = run(0);
+        let throttled = run(2);
+        prop_assert!(throttled >= free, "refusals cannot make the core faster");
+    }
+}

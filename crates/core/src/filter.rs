@@ -1,0 +1,388 @@
+//! The superscalar event filter (paper §III-B, Fig. 1 b and Fig. 4).
+//!
+//! A mini-filter sits on each superscalar commit path; filtered contents
+//! are buffered into paired FIFO queues, and a shared arbiter re-serialises
+//! them into commit order, consuming one clock cycle per valid packet and
+//! skipping invalid placeholders for free.
+
+use crate::minifilter::{DpSel, MiniFilter};
+use crate::packet::{Gid, Packet};
+use fireguard_isa::InstClass;
+use fireguard_trace::TraceInst;
+use std::collections::VecDeque;
+
+/// Event-filter geometry (Table II: 4-wide, 16-entry FIFOs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FilterConfig {
+    /// Number of mini-filters (commit paths handled per cycle). Fig. 9
+    /// sweeps this over {1, 2, 4}.
+    pub width: usize,
+    /// Per-FIFO capacity.
+    pub fifo_depth: usize,
+}
+
+impl Default for FilterConfig {
+    fn default() -> Self {
+        FilterConfig {
+            width: 4,
+            fifo_depth: 16,
+        }
+    }
+}
+
+/// Counters for the filter stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FilterStats {
+    /// Commit-path offers observed.
+    pub offers: u64,
+    /// Offers refused (width exceeded or FIFO full) — commit stalled.
+    pub refusals: u64,
+    /// Refusals caused by the filter being narrower than the commit burst.
+    pub refusals_width: u64,
+    /// Refusals caused by a full FIFO (downstream back-pressure).
+    pub refusals_fifo: u64,
+    /// Valid packets produced.
+    pub packets: u64,
+    /// Invalid placeholders produced.
+    pub placeholders: u64,
+    /// Cycles in which at least one FIFO was full.
+    pub fifo_full_cycles: u64,
+}
+
+/// The superscalar event filter with reordering arbiter.
+#[derive(Debug, Clone)]
+pub struct EventFilter {
+    cfg: FilterConfig,
+    /// The SRAM tables are programmed identically across mini-filters; the
+    /// paper replicates one table per commit path so lookups are parallel.
+    minifilter: MiniFilter,
+    fifos: Vec<VecDeque<Packet>>,
+    /// Offers accepted in the current cycle (reset by [`EventFilter::step`]).
+    offers_this_cycle: usize,
+    /// PRF-selected commits in the previous cycle → ports preempted now.
+    prf_selected_last_cycle: usize,
+    prf_selected_this_cycle: usize,
+    stats: FilterStats,
+    last_seen_cycle: u64,
+}
+
+impl EventFilter {
+    /// Builds an unprogrammed filter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width or depth is zero.
+    pub fn new(cfg: FilterConfig) -> Self {
+        assert!(cfg.width > 0 && cfg.fifo_depth > 0);
+        EventFilter {
+            minifilter: MiniFilter::new(),
+            fifos: (0..cfg.width).map(|_| VecDeque::new()).collect(),
+            cfg,
+            offers_this_cycle: 0,
+            prf_selected_last_cycle: 0,
+            prf_selected_this_cycle: 0,
+            stats: FilterStats::default(),
+            last_seen_cycle: 0,
+        }
+    }
+
+    /// Programs all encodings of `class` into group `gid` with `dp` paths.
+    pub fn subscribe(&mut self, class: InstClass, gid: Gid, dp: DpSel) {
+        self.minifilter.subscribe_class(class, gid, dp);
+    }
+
+    /// True if some encoding of `class` is monitored.
+    pub fn is_monitored(&self, class: InstClass) -> bool {
+        crate::minifilter::indices_for_class(class)
+            .iter()
+            .any(|ix| {
+                // Probe through a representative lookup on the raw table.
+                self.minifilter_entry(*ix).gid.is_some()
+            })
+    }
+
+    fn minifilter_entry(&self, ix: fireguard_isa::FilterIndex) -> crate::minifilter::FilterEntry {
+        // MiniFilter only exposes lookup-by-instruction; table access for
+        // monitoring checks goes through a synthesised encoding.
+        let raw = ((ix.funct3() as u32) << 12) | ix.opcode() as u32;
+        self.minifilter
+            .lookup(&fireguard_isa::Instruction::from_raw(raw))
+    }
+
+    /// Offers the instruction retiring on commit path `slot` at fast cycle
+    /// `now`. Returns `false` (stall commit) when the filter is narrower
+    /// than the commit burst or the slot's FIFO is full.
+    pub fn offer(&mut self, now: u64, slot: usize, inst: &TraceInst) -> bool {
+        self.offer_judged(now, slot, inst, 0)
+    }
+
+    /// Like [`EventFilter::offer`], with the commit-time verdict nibble to
+    /// embed in the packet (see the packet layout docs).
+    pub fn offer_judged(&mut self, now: u64, slot: usize, inst: &TraceInst, verdicts: u8) -> bool {
+        self.roll_cycle(now);
+        self.stats.offers += 1;
+        // A w-wide filter accepts at most w commits per cycle (Fig. 9).
+        if self.offers_this_cycle == self.cfg.width {
+            self.stats.refusals += 1;
+            self.stats.refusals_width += 1;
+            return false;
+        }
+        let fifo_idx = slot % self.cfg.width;
+        let entry = self.minifilter.lookup(&inst.inst);
+        let packet = match entry.gid {
+            Some(gid) => {
+                let mut p = Packet::encapsulate(gid, inst, now, slot as u8);
+                for k in 0..4 {
+                    if verdicts & (1 << k) != 0 {
+                        p.set_verdict(k);
+                    }
+                }
+                p
+            }
+            None => Packet::placeholder(now, slot as u8),
+        };
+        if self.fifos[fifo_idx].len() >= self.cfg.fifo_depth {
+            self.stats.refusals += 1;
+            self.stats.refusals_fifo += 1;
+            return false;
+        }
+        self.fifos[fifo_idx].push_back(packet);
+        self.offers_this_cycle += 1;
+        if packet.valid {
+            self.stats.packets += 1;
+            if entry.dp.contains(DpSel::PRF) {
+                self.prf_selected_this_cycle += 1;
+            }
+        } else {
+            self.stats.placeholders += 1;
+        }
+        true
+    }
+
+    fn roll_cycle(&mut self, now: u64) {
+        if now != self.last_seen_cycle {
+            self.last_seen_cycle = now;
+            self.offers_this_cycle = 0;
+            self.prf_selected_last_cycle = self.prf_selected_this_cycle;
+            self.prf_selected_this_cycle = 0;
+            if self.fifos.iter().any(|f| f.len() >= self.cfg.fifo_depth) {
+                self.stats.fifo_full_cycles += 1;
+            }
+        }
+    }
+
+    /// PRF read ports the forwarding channel preempts at cycle `now` —
+    /// one per PRF-selected commit in the previous cycle (Fig. 2 b–d).
+    pub fn prf_ports_stolen(&mut self, now: u64) -> usize {
+        self.roll_cycle(now);
+        self.prf_selected_last_cycle
+    }
+
+    /// The arbiter: pops the next packet in commit order. Invalid
+    /// placeholders are skipped without consuming output cycles; at most
+    /// one *valid* packet is returned per call (one per fast cycle).
+    pub fn arbiter_pop(&mut self) -> Option<Packet> {
+        loop {
+            // The next packet in global order is the FIFO head with the
+            // smallest (commit cycle, slot) key.
+            let (idx, _) = self
+                .fifos
+                .iter()
+                .enumerate()
+                .filter_map(|(i, f)| f.front().map(|p| (i, p.order)))
+                .min_by_key(|&(_, order)| order)?;
+            let p = self.fifos[idx].pop_front().expect("head exists");
+            if p.valid {
+                return Some(p);
+            }
+            // Placeholders are squashed for free; keep scanning.
+        }
+    }
+
+    /// Peeks the next in-order valid packet without consuming it (leading
+    /// placeholders are squashed). Pair with [`EventFilter::arbiter_pop`]
+    /// once downstream space is confirmed.
+    pub fn arbiter_peek(&mut self) -> Option<Packet> {
+        loop {
+            let (idx, _) = self
+                .fifos
+                .iter()
+                .enumerate()
+                .filter_map(|(i, f)| f.front().map(|p| (i, p.order)))
+                .min_by_key(|&(_, order)| order)?;
+            if self.fifos[idx].front().expect("head exists").valid {
+                return self.fifos[idx].front().copied();
+            }
+            self.fifos[idx].pop_front();
+        }
+    }
+
+    /// Peeks whether a valid packet is available to the arbiter.
+    pub fn arbiter_has_packet(&self) -> bool {
+        self.fifos.iter().any(|f| f.iter().any(|p| p.valid))
+    }
+
+    /// True if any FIFO is at capacity (the Fig. 9 filter-bottleneck signal).
+    pub fn any_fifo_full(&self) -> bool {
+        self.fifos.iter().any(|f| f.len() >= self.cfg.fifo_depth)
+    }
+
+    /// Total buffered packets (valid + placeholders).
+    pub fn buffered(&self) -> usize {
+        self.fifos.iter().map(|f| f.len()).sum()
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> FilterStats {
+        self.stats
+    }
+
+    /// The configured geometry.
+    pub fn config(&self) -> FilterConfig {
+        self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::groups;
+    use fireguard_isa::{Instruction, MemWidth};
+
+    fn mem_inst(seq: u64, addr: u64) -> TraceInst {
+        let inst = Instruction::load(MemWidth::D, 5.into(), 6.into(), 0);
+        TraceInst {
+            seq,
+            pc: 0x10000 + seq * 4,
+            class: inst.class(),
+            inst,
+            mem_addr: Some(addr),
+            control: None,
+            heap: None,
+            attack: None,
+        }
+    }
+
+    fn alu_inst(seq: u64) -> TraceInst {
+        let inst = Instruction::nop();
+        TraceInst {
+            seq,
+            pc: 0x10000 + seq * 4,
+            class: inst.class(),
+            inst,
+            mem_addr: None,
+            control: None,
+            heap: None,
+            attack: None,
+        }
+    }
+
+    fn mem_filter(width: usize) -> EventFilter {
+        let mut f = EventFilter::new(FilterConfig {
+            width,
+            fifo_depth: 16,
+        });
+        f.subscribe(InstClass::Load, groups::MEM, DpSel::LSQ | DpSel::PRF);
+        f.subscribe(InstClass::Store, groups::MEM, DpSel::LSQ);
+        f
+    }
+
+    #[test]
+    fn unmonitored_instructions_become_placeholders() {
+        let mut f = mem_filter(4);
+        assert!(f.offer(1, 0, &alu_inst(0)));
+        assert!(f.offer(1, 1, &mem_inst(1, 0x100)));
+        assert_eq!(f.stats().placeholders, 1);
+        assert_eq!(f.stats().packets, 1);
+        // The arbiter skips the placeholder and returns the load.
+        let p = f.arbiter_pop().unwrap();
+        assert_eq!(p.meta.seq, 1);
+        assert!(f.arbiter_pop().is_none());
+    }
+
+    #[test]
+    fn arbiter_restores_commit_order_across_fifos() {
+        let mut f = mem_filter(4);
+        // Cycle 1: commits on slots 0..3; cycle 2: two more.
+        for slot in 0..4 {
+            assert!(f.offer(1, slot, &mem_inst(slot as u64, 0x100)));
+        }
+        for slot in 0..2 {
+            assert!(f.offer(2, slot, &mem_inst(4 + slot as u64, 0x200)));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| f.arbiter_pop())
+            .map(|p| p.meta.seq)
+            .collect();
+        assert_eq!(order, [0, 1, 2, 3, 4, 5], "program order preserved");
+    }
+
+    #[test]
+    fn narrow_filter_refuses_wide_commit_bursts() {
+        let mut f = mem_filter(2);
+        assert!(f.offer(1, 0, &mem_inst(0, 0x0)));
+        assert!(f.offer(1, 1, &mem_inst(1, 0x8)));
+        assert!(!f.offer(1, 2, &mem_inst(2, 0x10)), "third offer exceeds width");
+        assert_eq!(f.stats().refusals, 1);
+        // Next cycle the refused instruction can retry.
+        assert!(f.offer(2, 0, &mem_inst(2, 0x10)));
+    }
+
+    #[test]
+    fn full_fifo_backpressures() {
+        let mut f = EventFilter::new(FilterConfig {
+            width: 1,
+            fifo_depth: 2,
+        });
+        f.subscribe(InstClass::Load, groups::MEM, DpSel::LSQ);
+        assert!(f.offer(1, 0, &mem_inst(0, 0)));
+        assert!(f.offer(2, 0, &mem_inst(1, 8)));
+        assert!(!f.offer(3, 0, &mem_inst(2, 16)), "FIFO full");
+        assert!(f.any_fifo_full());
+        let _ = f.arbiter_pop();
+        assert!(f.offer(4, 0, &mem_inst(2, 16)));
+    }
+
+    #[test]
+    fn prf_port_stealing_follows_selected_commits() {
+        let mut f = mem_filter(4);
+        // Two PRF-selected loads and one LSQ-only store commit at cycle 5.
+        assert!(f.offer(5, 0, &mem_inst(0, 0)));
+        assert!(f.offer(5, 1, &mem_inst(1, 8)));
+        let store = Instruction::store(MemWidth::D, 1.into(), 2.into(), 0);
+        let st = TraceInst {
+            seq: 2,
+            pc: 0x2000,
+            class: store.class(),
+            inst: store,
+            mem_addr: Some(0x10),
+            control: None,
+            heap: None,
+            attack: None,
+        };
+        assert!(f.offer(5, 2, &st));
+        // In cycle 6, two ports are preempted (the two PRF-selected loads).
+        assert_eq!(f.prf_ports_stolen(6), 2);
+        // In cycle 7, none.
+        assert_eq!(f.prf_ports_stolen(7), 0);
+    }
+
+    #[test]
+    fn placeholders_do_not_consume_arbiter_cycles() {
+        let mut f = mem_filter(4);
+        // 3 placeholders + 1 valid in one cycle.
+        assert!(f.offer(1, 0, &alu_inst(0)));
+        assert!(f.offer(1, 1, &alu_inst(1)));
+        assert!(f.offer(1, 2, &alu_inst(2)));
+        assert!(f.offer(1, 3, &mem_inst(3, 0x42 & !7)));
+        // A single arbiter pop must reach the valid packet immediately.
+        assert_eq!(f.arbiter_pop().unwrap().meta.seq, 3);
+    }
+
+    #[test]
+    fn is_monitored_reflects_subscriptions() {
+        let f = mem_filter(4);
+        assert!(f.is_monitored(InstClass::Load));
+        assert!(f.is_monitored(InstClass::Store));
+        assert!(!f.is_monitored(InstClass::Branch));
+    }
+}

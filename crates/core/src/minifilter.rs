@@ -1,0 +1,204 @@
+//! SRAM-based mini-filters (paper Fig. 3).
+//!
+//! Each mini-filter is a 1024-entry look-up table addressed by the 10-bit
+//! `funct3 ‖ opcode` index of the committing instruction. An entry holds
+//! the group index (GID) the mapper routes by and the data-path selection
+//! (`DP_Sel`) that programs the data-forwarding channel to read the PRFs,
+//! the LSQ, and/or the FTQ for this instruction.
+
+use crate::packet::Gid;
+use fireguard_isa::{opcode, FilterIndex, InstClass, Instruction};
+
+/// Data-path selection bits: which bypass taps the forwarding channel reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DpSel(u8);
+
+impl DpSel {
+    /// No data selected (GID-only monitoring).
+    pub const NONE: DpSel = DpSel(0);
+    /// Physical register files (operand values) — preempts a PRF read port.
+    pub const PRF: DpSel = DpSel(1);
+    /// Load/store queues (memory addresses) — contention-free (queue tops).
+    pub const LSQ: DpSel = DpSel(2);
+    /// Fetch target queue (jump targets) — contention-free (queue top).
+    pub const FTQ: DpSel = DpSel(4);
+
+    /// True if `other`'s paths are all selected.
+    pub fn contains(self, other: DpSel) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// True if no path is selected.
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl std::ops::BitOr for DpSel {
+    type Output = DpSel;
+    fn bitor(self, rhs: DpSel) -> DpSel {
+        DpSel(self.0 | rhs.0)
+    }
+}
+
+/// One SRAM entry: group index and data-path selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FilterEntry {
+    /// The group this encoding belongs to, if monitored.
+    pub gid: Option<Gid>,
+    /// Which data paths to forward.
+    pub dp: DpSel,
+}
+
+/// A single mini-filter: the 1024-entry SRAM table.
+#[derive(Debug, Clone)]
+pub struct MiniFilter {
+    table: Vec<FilterEntry>,
+}
+
+impl Default for MiniFilter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MiniFilter {
+    /// An empty (nothing monitored) table.
+    pub fn new() -> Self {
+        MiniFilter {
+            table: vec![FilterEntry::default(); opcode::FILTER_TABLE_ENTRIES],
+        }
+    }
+
+    /// Programs one table entry through the configuration path.
+    pub fn program(&mut self, index: FilterIndex, gid: Gid, dp: DpSel) {
+        self.table[index.as_usize()] = FilterEntry { gid: Some(gid), dp };
+    }
+
+    /// Clears one entry.
+    pub fn clear(&mut self, index: FilterIndex) {
+        self.table[index.as_usize()] = FilterEntry::default();
+    }
+
+    /// The combinational SRAM read: index by the instruction's fields.
+    pub fn lookup(&self, inst: &Instruction) -> FilterEntry {
+        self.table[FilterIndex::of(inst).as_usize()]
+    }
+
+    /// Programs every encoding belonging to a semantic class.
+    ///
+    /// Classes that share major opcodes necessarily share table entries —
+    /// e.g. calls and returns are both `jalr`, so subscribing either
+    /// subscribes the `JALR` encodings; the guardian kernel disambiguates
+    /// from the packet's class field, exactly as real kernels must.
+    pub fn subscribe_class(&mut self, class: InstClass, gid: Gid, dp: DpSel) {
+        for index in indices_for_class(class) {
+            self.program(index, gid, dp);
+        }
+    }
+}
+
+/// All `funct3 ‖ opcode` table indices a semantic class can produce.
+pub fn indices_for_class(class: InstClass) -> Vec<FilterIndex> {
+    let all_f3 = |op: u8| (0..8).map(move |f| FilterIndex::new(op, f));
+    match class {
+        InstClass::Load => all_f3(opcode::LOAD).chain(all_f3(opcode::LOAD_FP)).collect(),
+        InstClass::Store => all_f3(opcode::STORE)
+            .chain(all_f3(opcode::STORE_FP))
+            .collect(),
+        InstClass::Amo => all_f3(opcode::AMO).collect(),
+        InstClass::Branch => all_f3(opcode::BRANCH).collect(),
+        // JAL has no funct3 (those bits belong to the immediate), so all 8
+        // values must be programmed; calls/returns/jumps share JAL/JALR.
+        InstClass::Jump | InstClass::Call => {
+            all_f3(opcode::JAL).chain(all_f3(opcode::JALR)).collect()
+        }
+        InstClass::Ret | InstClass::IndirectJump => all_f3(opcode::JALR).collect(),
+        InstClass::Csr | InstClass::System => all_f3(opcode::SYSTEM).collect(),
+        InstClass::Fence => all_f3(opcode::MISC_MEM).collect(),
+        InstClass::IntAlu => all_f3(opcode::OP)
+            .chain(all_f3(opcode::OP_IMM))
+            .chain(all_f3(opcode::OP_32))
+            .chain(all_f3(opcode::OP_IMM_32))
+            .chain(all_f3(opcode::LUI))
+            .chain(all_f3(opcode::AUIPC))
+            .collect(),
+        InstClass::IntMul | InstClass::IntDiv => all_f3(opcode::OP).collect(),
+        InstClass::FpAlu => all_f3(opcode::OP_FP).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::groups;
+    use fireguard_isa::MemWidth;
+
+    #[test]
+    fn programmed_entry_hits_on_lookup() {
+        let mut f = MiniFilter::new();
+        f.program(FilterIndex::new(opcode::LOAD, 0), groups::MEM, DpSel::LSQ);
+        let lb = Instruction::load(MemWidth::B, 1.into(), 2.into(), 0);
+        let e = f.lookup(&lb);
+        assert_eq!(e.gid, Some(groups::MEM));
+        assert!(e.dp.contains(DpSel::LSQ));
+        // A different width (funct3) is a different entry.
+        let ld = Instruction::load(MemWidth::D, 1.into(), 2.into(), 0);
+        assert_eq!(f.lookup(&ld).gid, None);
+    }
+
+    #[test]
+    fn subscribe_class_covers_all_widths() {
+        let mut f = MiniFilter::new();
+        f.subscribe_class(InstClass::Load, groups::MEM, DpSel::LSQ | DpSel::PRF);
+        for w in [MemWidth::B, MemWidth::H, MemWidth::W, MemWidth::D] {
+            let l = Instruction::load(w, 1.into(), 2.into(), 0);
+            assert_eq!(f.lookup(&l).gid, Some(groups::MEM), "{w:?}");
+        }
+        let s = Instruction::store(MemWidth::D, 1.into(), 2.into(), 0);
+        assert_eq!(f.lookup(&s).gid, None, "stores not subscribed");
+    }
+
+    #[test]
+    fn calls_and_returns_share_jalr_entries() {
+        let mut f = MiniFilter::new();
+        f.subscribe_class(InstClass::Ret, groups::CTRL, DpSel::FTQ);
+        // A call through jalr hits the same entry (kernel disambiguates).
+        let call = Instruction::call_indirect(5.into());
+        assert_eq!(f.lookup(&call).gid, Some(groups::CTRL));
+        // But a jal call does not: only JALR was subscribed.
+        let jal_call = Instruction::call(64);
+        assert_eq!(f.lookup(&jal_call).gid, None);
+    }
+
+    #[test]
+    fn jal_subscription_covers_all_imm_bit_patterns() {
+        let mut f = MiniFilter::new();
+        f.subscribe_class(InstClass::Call, groups::CTRL, DpSel::FTQ);
+        // JAL's funct3 bits are immediate bits: any offset must still hit.
+        for off in [0, 0x1000, -4096, 0x3FC, 0x7F000] {
+            let c = Instruction::call(off);
+            assert_eq!(f.lookup(&c).gid, Some(groups::CTRL), "offset {off}");
+        }
+    }
+
+    #[test]
+    fn clear_removes_monitoring() {
+        let mut f = MiniFilter::new();
+        let ix = FilterIndex::new(opcode::BRANCH, 1);
+        f.program(ix, groups::BRANCH, DpSel::NONE);
+        f.clear(ix);
+        let b = Instruction::branch(fireguard_isa::BranchCond::Ne, 1.into(), 2.into(), 8);
+        assert_eq!(f.lookup(&b).gid, None);
+    }
+
+    #[test]
+    fn dpsel_bit_algebra() {
+        let combo = DpSel::PRF | DpSel::FTQ;
+        assert!(combo.contains(DpSel::PRF));
+        assert!(combo.contains(DpSel::FTQ));
+        assert!(!combo.contains(DpSel::LSQ));
+        assert!(DpSel::NONE.is_none());
+        assert!(!combo.is_none());
+    }
+}

@@ -1,0 +1,294 @@
+//! Packet encapsulation (paper Fig. 4(b)).
+//!
+//! Filtered contents are encapsulated as `{G_ID, Inst, PC, Addr,
+//! Debug_Data}` so the arbiter can transmit them sequentially in commit
+//! order. This module defines the concrete 128-bit layout the µcores'
+//! Table I bitfield instructions extract from, plus the simulator-side
+//! metadata that rides along for measurement only.
+
+use fireguard_isa::InstClass;
+use fireguard_trace::{HeapEvent, TraceInst};
+
+/// A Group Index: the mini-filters classify instructions into groups, and
+/// the mapper's distributor fans each group out to the interested
+/// Scheduling Engines (paper Fig. 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Gid(u8);
+
+impl Gid {
+    /// Creates a group index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not below [`crate::allocator::MAX_GIDS`].
+    pub fn new(v: u8) -> Self {
+        assert!((v as usize) < crate::allocator::MAX_GIDS, "GID out of range");
+        Gid(v)
+    }
+
+    /// The raw index.
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+
+    /// Raw value.
+    pub fn value(self) -> u8 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for Gid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "G{}", self.0)
+    }
+}
+
+/// The canonical instruction groups used by the guardian kernels.
+pub mod groups {
+    use super::Gid;
+
+    /// Memory accesses: loads, stores, atomics.
+    pub const MEM: Gid = Gid(1);
+    /// Control transfers through `jal`/`jalr`: calls, returns, jumps.
+    pub const CTRL: Gid = Gid(2);
+    /// Conditional branches.
+    pub const BRANCH: Gid = Gid(3);
+    /// System instructions.
+    pub const SYSTEM: Gid = Gid(4);
+}
+
+/// Bit offsets of the 128-bit packet payload.
+pub mod layout {
+    /// `[63:0]` — primary operand: effective address for memory packets,
+    /// transfer target for control packets, allocation base for heap events.
+    pub const ADDR: u8 = 0;
+    /// `[95:64]` — the committing PC, right-shifted by 2.
+    pub const PC: u8 = 64;
+    /// `[115:96]` — auxiliary data: allocation size for heap events
+    /// (saturating 20-bit).
+    pub const AUX: u8 = 96;
+    /// `[119:116]` — per-kernel verdict nibble: bit *k* is kernel *k*'s
+    /// commit-time semantic verdict for this packet (see crate docs on the
+    /// semantic-at-commit / timing-at-µcore split).
+    pub const VERDICT: u8 = 116;
+    /// `[123:120]` — the dense [`InstClass`](fireguard_isa::InstClass)
+    /// index (4 bits).
+    pub const CLASS: u8 = 120;
+    /// `[127:124]` — flags nibble; see the `FLAG_*` constants.
+    pub const FLAGS: u8 = 124;
+    /// Flag bit 0 (bit 124): the packet carries a malloc event.
+    pub const FLAG_MALLOC: u128 = 1 << 124;
+    /// Flag bit 1 (bit 125): the packet carries a free event.
+    pub const FLAG_FREE: u128 = 1 << 125;
+    /// Flag bit 3 (bit 127): the packet is valid.
+    pub const FLAG_VALID: u128 = 1 << 127;
+}
+
+/// Measurement-only metadata accompanying a packet through the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PacketMeta {
+    /// Dynamic sequence number of the committing instruction.
+    pub seq: u64,
+    /// Fast-clock cycle at which it committed.
+    pub commit_cycle: u64,
+    /// Ground-truth attack marker.
+    pub attack: bool,
+}
+
+/// An encapsulated analysis packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Packet {
+    /// The instruction group this packet belongs to.
+    pub gid: Gid,
+    bits: u128,
+    /// Simulator-side metadata.
+    pub meta: PacketMeta,
+    /// Commit slot ordering key: `(commit_cycle, slot)`.
+    pub order: (u64, u8),
+    /// False for the placeholder packets that preserve FIFO ordering.
+    pub valid: bool,
+}
+
+impl Packet {
+    /// Encapsulates a committing instruction into a packet of group `gid`.
+    pub fn encapsulate(gid: Gid, t: &TraceInst, commit_cycle: u64, slot: u8) -> Self {
+        let addr = t
+            .mem_addr
+            .or_else(|| match t.heap {
+                Some(HeapEvent::Malloc { base, .. }) | Some(HeapEvent::Free { base, .. }) => {
+                    Some(base)
+                }
+                None => None,
+            })
+            .or_else(|| t.control.map(|c| c.target))
+            .unwrap_or(0);
+        let aux: u64 = match t.heap {
+            Some(HeapEvent::Malloc { size, .. }) | Some(HeapEvent::Free { size, .. }) => {
+                size.min((1 << 20) - 1)
+            }
+            None => 0,
+        };
+        let mut bits = u128::from(addr)
+            | (u128::from((t.pc >> 2) as u32) << layout::PC)
+            | (u128::from(aux & 0xF_FFFF) << layout::AUX)
+            | ((t.class.index() as u128 & 0xF) << layout::CLASS)
+            | layout::FLAG_VALID;
+        match t.heap {
+            Some(HeapEvent::Malloc { .. }) => bits |= layout::FLAG_MALLOC,
+            Some(HeapEvent::Free { .. }) => bits |= layout::FLAG_FREE,
+            None => {}
+        }
+        Packet {
+            gid,
+            bits,
+            meta: PacketMeta {
+                seq: t.seq,
+                commit_cycle,
+                attack: t.attack.is_some(),
+            },
+            order: (commit_cycle, slot),
+            valid: true,
+        }
+    }
+
+    /// Builds the invalid placeholder that keeps FIFO ordering when a
+    /// commit-slot instruction is discarded by the filter (Fig. 4).
+    pub fn placeholder(commit_cycle: u64, slot: u8) -> Self {
+        Packet {
+            gid: Gid(0),
+            bits: 0,
+            meta: PacketMeta::default(),
+            order: (commit_cycle, slot),
+            valid: false,
+        }
+    }
+
+    /// The 128-bit payload.
+    pub fn bits(&self) -> u128 {
+        self.bits
+    }
+
+    /// Sets kernel `k`'s verdict bit (commit-time semantic judgement).
+    pub fn set_verdict(&mut self, k: usize) {
+        assert!(k < 4, "verdict nibble holds four kernels");
+        self.bits |= 1u128 << (layout::VERDICT + k as u8);
+    }
+
+    /// Reads kernel `k`'s verdict bit.
+    pub fn verdict(&self, k: usize) -> bool {
+        self.bits & (1u128 << (layout::VERDICT + k as u8)) != 0
+    }
+
+    /// Extracts bits `[off+63 : off]`.
+    pub fn field(&self, off: u8) -> u64 {
+        (self.bits >> off) as u64
+    }
+
+    /// The instruction class carried in the payload.
+    pub fn class(&self) -> InstClass {
+        let idx = (self.field(layout::CLASS) & 0xF) as usize;
+        InstClass::ALL[idx.min(InstClass::COUNT - 1)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fireguard_isa::{Instruction, MemWidth};
+    use fireguard_trace::ControlFlow;
+
+    fn load_inst(addr: u64) -> TraceInst {
+        let inst = Instruction::load(MemWidth::D, 5.into(), 6.into(), 0);
+        TraceInst {
+            seq: 42,
+            pc: 0x1_0040,
+            class: inst.class(),
+            inst,
+            mem_addr: Some(addr),
+            control: None,
+            heap: None,
+            attack: None,
+        }
+    }
+
+    #[test]
+    fn memory_packet_round_trips_fields() {
+        let p = Packet::encapsulate(groups::MEM, &load_inst(0xDEAD_BEE8), 777, 2);
+        assert!(p.valid);
+        assert_eq!(p.field(layout::ADDR), 0xDEAD_BEE8);
+        assert_eq!(p.field(layout::PC) as u32, (0x1_0040u64 >> 2) as u32);
+        assert_eq!(p.class(), InstClass::Load);
+        assert_eq!(p.order, (777, 2));
+        assert_eq!(p.meta.seq, 42);
+    }
+
+    #[test]
+    fn heap_packet_carries_base_and_size() {
+        let inst = Instruction::call(64);
+        let t = TraceInst {
+            seq: 7,
+            pc: 0x2000,
+            class: inst.class(),
+            inst,
+            mem_addr: None,
+            control: Some(ControlFlow {
+                taken: true,
+                target: 0x3000,
+                static_id: 1,
+            }),
+            heap: Some(HeapEvent::Malloc {
+                base: 0x1000_0020,
+                size: 256,
+            }),
+            attack: None,
+        };
+        let p = Packet::encapsulate(groups::CTRL, &t, 1, 0);
+        assert_eq!(p.field(layout::ADDR), 0x1000_0020, "heap base wins over target");
+        assert_eq!(p.field(layout::AUX) & 0xF_FFFF, 256);
+        assert!(p.bits() & layout::FLAG_MALLOC != 0);
+        assert!(p.bits() & layout::FLAG_FREE == 0);
+    }
+
+    #[test]
+    fn control_packet_carries_target() {
+        let inst = Instruction::ret();
+        let t = TraceInst {
+            seq: 9,
+            pc: 0x4000,
+            class: inst.class(),
+            inst,
+            mem_addr: None,
+            control: Some(ControlFlow {
+                taken: true,
+                target: 0xBEEF_0000,
+                static_id: 3,
+            }),
+            heap: None,
+            attack: None,
+        };
+        let p = Packet::encapsulate(groups::CTRL, &t, 5, 1);
+        assert_eq!(p.field(layout::ADDR), 0xBEEF_0000);
+        assert_eq!(p.class(), InstClass::Ret);
+    }
+
+    #[test]
+    fn placeholder_is_invalid_but_ordered() {
+        let p = Packet::placeholder(10, 3);
+        assert!(!p.valid);
+        assert_eq!(p.order, (10, 3));
+    }
+
+    #[test]
+    fn attack_marker_propagates_to_meta() {
+        let mut t = load_inst(0x100);
+        t.attack = Some(fireguard_trace::AttackKind::OutOfBounds);
+        let p = Packet::encapsulate(groups::MEM, &t, 3, 0);
+        assert!(p.meta.attack);
+    }
+
+    #[test]
+    #[should_panic(expected = "GID out of range")]
+    fn oversized_gid_rejected() {
+        let _ = Gid::new(16);
+    }
+}

@@ -1,0 +1,591 @@
+//! 32-bit RISC-V instruction encodings.
+//!
+//! [`Instruction`] wraps a real 32-bit RV64 encoding. Constructors encode the
+//! standard R/I/S/B/U/J formats; accessors decode the fields the FireGuard
+//! frontend observes (opcode, funct3, registers, immediates). The
+//! data-forwarding channel transports these raw encodings to the mini-filters
+//! (paper Fig. 2), which index their SRAM tables with `funct3 ‖ opcode`.
+
+use crate::kind::InstClass;
+use crate::reg::ArchReg;
+
+/// Memory access width for loads and stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MemWidth {
+    /// Byte (`lb`/`sb`).
+    B,
+    /// Half-word (`lh`/`sh`).
+    H,
+    /// Word (`lw`/`sw`).
+    W,
+    /// Double-word (`ld`/`sd`).
+    D,
+}
+
+impl MemWidth {
+    /// The funct3 encoding of this width for loads/stores.
+    pub fn funct3(self) -> u8 {
+        match self {
+            MemWidth::B => 0,
+            MemWidth::H => 1,
+            MemWidth::W => 2,
+            MemWidth::D => 3,
+        }
+    }
+
+    /// Access size in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            MemWidth::B => 1,
+            MemWidth::H => 2,
+            MemWidth::W => 4,
+            MemWidth::D => 8,
+        }
+    }
+}
+
+/// Integer ALU operation selector for R- and I-format constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Addition (`add`/`addi`).
+    Add,
+    /// Subtraction (`sub`; immediate form encodes as `addi` of negation).
+    Sub,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Shift left logical.
+    Sll,
+    /// Shift right logical.
+    Srl,
+    /// Set less-than.
+    Slt,
+}
+
+impl AluOp {
+    fn funct3(self) -> u8 {
+        match self {
+            AluOp::Add | AluOp::Sub => 0,
+            AluOp::Sll => 1,
+            AluOp::Slt => 2,
+            AluOp::Xor => 4,
+            AluOp::Srl => 5,
+            AluOp::Or => 6,
+            AluOp::And => 7,
+        }
+    }
+
+    fn funct7(self) -> u8 {
+        match self {
+            AluOp::Sub => 0x20,
+            _ => 0x00,
+        }
+    }
+}
+
+/// Branch condition selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchCond {
+    /// `beq`
+    Eq,
+    /// `bne`
+    Ne,
+    /// `blt`
+    Lt,
+    /// `bge`
+    Ge,
+    /// `bltu`
+    Ltu,
+    /// `bgeu`
+    Geu,
+}
+
+impl BranchCond {
+    fn funct3(self) -> u8 {
+        match self {
+            BranchCond::Eq => 0,
+            BranchCond::Ne => 1,
+            BranchCond::Lt => 4,
+            BranchCond::Ge => 5,
+            BranchCond::Ltu => 6,
+            BranchCond::Geu => 7,
+        }
+    }
+}
+
+/// A 32-bit RISC-V instruction.
+///
+/// # Examples
+///
+/// ```
+/// use fireguard_isa::{Instruction, InstClass};
+/// let call = Instruction::call(0x100);
+/// assert_eq!(call.class(), InstClass::Call);
+/// let decoded = Instruction::from_raw(call.raw());
+/// assert_eq!(decoded, call);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Instruction(u32);
+
+impl Instruction {
+    // ---- format encoders -------------------------------------------------
+
+    fn r_type(opcode: u8, rd: ArchReg, funct3: u8, rs1: ArchReg, rs2: ArchReg, funct7: u8) -> Self {
+        Instruction(
+            u32::from(opcode & 0x7F)
+                | u32::from(rd.index()) << 7
+                | u32::from(funct3 & 0x7) << 12
+                | u32::from(rs1.index()) << 15
+                | u32::from(rs2.index()) << 20
+                | u32::from(funct7 & 0x7F) << 25,
+        )
+    }
+
+    fn i_type(opcode: u8, rd: ArchReg, funct3: u8, rs1: ArchReg, imm: i32) -> Self {
+        let imm12 = (imm as u32) & 0xFFF;
+        Instruction(
+            u32::from(opcode & 0x7F)
+                | u32::from(rd.index()) << 7
+                | u32::from(funct3 & 0x7) << 12
+                | u32::from(rs1.index()) << 15
+                | imm12 << 20,
+        )
+    }
+
+    fn s_type(opcode: u8, funct3: u8, rs1: ArchReg, rs2: ArchReg, imm: i32) -> Self {
+        let imm = imm as u32;
+        Instruction(
+            u32::from(opcode & 0x7F)
+                | (imm & 0x1F) << 7
+                | u32::from(funct3 & 0x7) << 12
+                | u32::from(rs1.index()) << 15
+                | u32::from(rs2.index()) << 20
+                | ((imm >> 5) & 0x7F) << 25,
+        )
+    }
+
+    fn b_type(opcode: u8, funct3: u8, rs1: ArchReg, rs2: ArchReg, imm: i32) -> Self {
+        let imm = imm as u32;
+        Instruction(
+            u32::from(opcode & 0x7F)
+                | ((imm >> 11) & 0x1) << 7
+                | ((imm >> 1) & 0xF) << 8
+                | u32::from(funct3 & 0x7) << 12
+                | u32::from(rs1.index()) << 15
+                | u32::from(rs2.index()) << 20
+                | ((imm >> 5) & 0x3F) << 25
+                | ((imm >> 12) & 0x1) << 31,
+        )
+    }
+
+    fn j_type(opcode: u8, rd: ArchReg, imm: i32) -> Self {
+        let imm = imm as u32;
+        Instruction(
+            u32::from(opcode & 0x7F)
+                | u32::from(rd.index()) << 7
+                | ((imm >> 12) & 0xFF) << 12
+                | ((imm >> 11) & 0x1) << 20
+                | ((imm >> 1) & 0x3FF) << 21
+                | ((imm >> 20) & 0x1) << 31,
+        )
+    }
+
+    // ---- public constructors ---------------------------------------------
+
+    /// Wraps a raw 32-bit encoding without validation.
+    pub fn from_raw(raw: u32) -> Self {
+        Instruction(raw)
+    }
+
+    /// Register–register integer ALU op (R-format, opcode `OP`).
+    pub fn alu(op: AluOp, rd: ArchReg, rs1: ArchReg, rs2: ArchReg) -> Self {
+        Self::r_type(crate::opcode::OP, rd, op.funct3(), rs1, rs2, op.funct7())
+    }
+
+    /// Register–immediate integer ALU op (I-format, opcode `OP_IMM`).
+    ///
+    /// `Sub` is encoded as `addi` with a negated immediate, mirroring how
+    /// compilers lower it.
+    pub fn alu_imm(op: AluOp, rd: ArchReg, rs1: ArchReg, imm: i32) -> Self {
+        let (op, imm) = match op {
+            AluOp::Sub => (AluOp::Add, -imm),
+            other => (other, imm),
+        };
+        Self::i_type(crate::opcode::OP_IMM, rd, op.funct3(), rs1, imm)
+    }
+
+    /// Integer multiply (`mul`, M-extension).
+    pub fn mul(rd: ArchReg, rs1: ArchReg, rs2: ArchReg) -> Self {
+        Self::r_type(crate::opcode::OP, rd, 0, rs1, rs2, 0x01)
+    }
+
+    /// Integer divide (`div`, M-extension).
+    pub fn div(rd: ArchReg, rs1: ArchReg, rs2: ArchReg) -> Self {
+        Self::r_type(crate::opcode::OP, rd, 4, rs1, rs2, 0x01)
+    }
+
+    /// Double-precision FP add (`fadd.d`), standing in for FP computation.
+    pub fn fadd(rd: ArchReg, rs1: ArchReg, rs2: ArchReg) -> Self {
+        Self::r_type(crate::opcode::OP_FP, rd, 0, rs1, rs2, 0x01 | 0x02 << 5)
+    }
+
+    /// Integer load of the given width.
+    pub fn load(width: MemWidth, rd: ArchReg, base: ArchReg, offset: i32) -> Self {
+        Self::i_type(crate::opcode::LOAD, rd, width.funct3(), base, offset)
+    }
+
+    /// Integer store of the given width (`src` is the data register).
+    pub fn store(width: MemWidth, src: ArchReg, base: ArchReg, offset: i32) -> Self {
+        Self::s_type(crate::opcode::STORE, width.funct3(), base, src, offset)
+    }
+
+    /// Atomic `amoadd.d`.
+    pub fn amo_add(rd: ArchReg, addr: ArchReg, src: ArchReg) -> Self {
+        Self::r_type(crate::opcode::AMO, rd, 3, addr, src, 0x00)
+    }
+
+    /// Conditional branch with PC-relative offset.
+    pub fn branch(cond: BranchCond, rs1: ArchReg, rs2: ArchReg, offset: i32) -> Self {
+        Self::b_type(crate::opcode::BRANCH, cond.funct3(), rs1, rs2, offset)
+    }
+
+    /// Direct jump (`jal`) writing `rd`.
+    pub fn jal(rd: ArchReg, offset: i32) -> Self {
+        Self::j_type(crate::opcode::JAL, rd, offset)
+    }
+
+    /// Indirect jump (`jalr`).
+    pub fn jalr(rd: ArchReg, rs1: ArchReg, offset: i32) -> Self {
+        Self::i_type(crate::opcode::JALR, rd, 0, rs1, offset)
+    }
+
+    /// Direct function call: `jal ra, offset`.
+    pub fn call(offset: i32) -> Self {
+        Self::jal(ArchReg::RA, offset)
+    }
+
+    /// Indirect function call: `jalr ra, rs1, 0`.
+    pub fn call_indirect(target: ArchReg) -> Self {
+        Self::jalr(ArchReg::RA, target, 0)
+    }
+
+    /// Function return: `jalr x0, ra, 0`.
+    pub fn ret() -> Self {
+        Self::jalr(ArchReg::ZERO, ArchReg::RA, 0)
+    }
+
+    /// CSR read (`csrrs rd, csr, x0`).
+    pub fn csr_read(rd: ArchReg, csr: u16) -> Self {
+        Self::i_type(crate::opcode::SYSTEM, rd, 2, ArchReg::ZERO, i32::from(csr))
+    }
+
+    /// Memory fence.
+    pub fn fence() -> Self {
+        Self::i_type(crate::opcode::MISC_MEM, ArchReg::ZERO, 0, ArchReg::ZERO, 0)
+    }
+
+    /// Environment call (`ecall`).
+    pub fn ecall() -> Self {
+        Self::i_type(crate::opcode::SYSTEM, ArchReg::ZERO, 0, ArchReg::ZERO, 0)
+    }
+
+    /// Canonical no-op: `addi x0, x0, 0`.
+    pub fn nop() -> Self {
+        Self::alu_imm(AluOp::Add, ArchReg::ZERO, ArchReg::ZERO, 0)
+    }
+
+    // ---- field accessors ---------------------------------------------------
+
+    /// The raw 32-bit encoding.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The 7-bit major opcode.
+    pub fn opcode(self) -> u8 {
+        (self.0 & 0x7F) as u8
+    }
+
+    /// The 3-bit funct3 field.
+    pub fn funct3(self) -> u8 {
+        ((self.0 >> 12) & 0x7) as u8
+    }
+
+    /// The 7-bit funct7 field.
+    pub fn funct7(self) -> u8 {
+        ((self.0 >> 25) & 0x7F) as u8
+    }
+
+    /// The destination register field.
+    pub fn rd(self) -> ArchReg {
+        ArchReg::new(((self.0 >> 7) & 0x1F) as u8)
+    }
+
+    /// The first source register field.
+    pub fn rs1(self) -> ArchReg {
+        ArchReg::new(((self.0 >> 15) & 0x1F) as u8)
+    }
+
+    /// The second source register field.
+    pub fn rs2(self) -> ArchReg {
+        ArchReg::new(((self.0 >> 20) & 0x1F) as u8)
+    }
+
+    /// Sign-extended I-format immediate.
+    pub fn imm_i(self) -> i32 {
+        (self.0 as i32) >> 20
+    }
+
+    /// Sign-extended S-format immediate.
+    pub fn imm_s(self) -> i32 {
+        let hi = (self.0 as i32) >> 25; // sign-extends
+        let lo = ((self.0 >> 7) & 0x1F) as i32;
+        (hi << 5) | lo
+    }
+
+    /// Sign-extended B-format immediate (branch offset).
+    pub fn imm_b(self) -> i32 {
+        let sign = (self.0 as i32) >> 31; // bit 12, sign-extended
+        let b11 = ((self.0 >> 7) & 0x1) as i32;
+        let b4_1 = ((self.0 >> 8) & 0xF) as i32;
+        let b10_5 = ((self.0 >> 25) & 0x3F) as i32;
+        (sign << 12) | (b11 << 11) | (b10_5 << 5) | (b4_1 << 1)
+    }
+
+    /// Sign-extended J-format immediate (jump offset).
+    pub fn imm_j(self) -> i32 {
+        let sign = (self.0 as i32) >> 31; // bit 20, sign-extended
+        let b19_12 = ((self.0 >> 12) & 0xFF) as i32;
+        let b11 = ((self.0 >> 20) & 0x1) as i32;
+        let b10_1 = ((self.0 >> 21) & 0x3FF) as i32;
+        (sign << 20) | (b19_12 << 12) | (b11 << 11) | (b10_1 << 1)
+    }
+
+    // ---- classification ----------------------------------------------------
+
+    /// Classifies the instruction semantically (see [`InstClass`]).
+    pub fn class(self) -> InstClass {
+        use crate::opcode as op;
+        match self.opcode() {
+            op::LOAD | op::LOAD_FP => InstClass::Load,
+            op::STORE | op::STORE_FP => InstClass::Store,
+            op::AMO => InstClass::Amo,
+            op::BRANCH => InstClass::Branch,
+            op::JAL => {
+                if self.rd() == ArchReg::RA {
+                    InstClass::Call
+                } else {
+                    InstClass::Jump
+                }
+            }
+            op::JALR => {
+                if self.rd() == ArchReg::RA {
+                    InstClass::Call
+                } else if self.rd().is_zero() && self.rs1() == ArchReg::RA {
+                    InstClass::Ret
+                } else {
+                    InstClass::IndirectJump
+                }
+            }
+            op::OP | op::OP_32 => {
+                if self.funct7() == 0x01 {
+                    if self.funct3() < 4 {
+                        InstClass::IntMul
+                    } else {
+                        InstClass::IntDiv
+                    }
+                } else {
+                    InstClass::IntAlu
+                }
+            }
+            op::OP_IMM | op::OP_IMM_32 | op::LUI | op::AUIPC => InstClass::IntAlu,
+            op::OP_FP => InstClass::FpAlu,
+            op::MISC_MEM => InstClass::Fence,
+            op::SYSTEM => {
+                if self.funct3() == 0 {
+                    InstClass::System
+                } else {
+                    InstClass::Csr
+                }
+            }
+            _ => InstClass::IntAlu,
+        }
+    }
+
+    /// Source registers read by this instruction (`x0` reads excluded).
+    pub fn sources(self) -> [Option<ArchReg>; 2] {
+        use crate::opcode as op;
+        let some = |r: ArchReg| if r.is_zero() { None } else { Some(r) };
+        match self.opcode() {
+            op::OP | op::OP_32 | op::BRANCH | op::AMO | op::OP_FP => {
+                [some(self.rs1()), some(self.rs2())]
+            }
+            op::STORE | op::STORE_FP => [some(self.rs1()), some(self.rs2())],
+            op::LOAD | op::LOAD_FP | op::OP_IMM | op::OP_IMM_32 | op::JALR => {
+                [some(self.rs1()), None]
+            }
+            op::LUI | op::AUIPC | op::JAL | op::MISC_MEM => [None, None],
+            op::SYSTEM => [some(self.rs1()), None],
+            _ => [None, None],
+        }
+    }
+
+    /// Destination register written by this instruction, if any (`x0` excluded).
+    pub fn dest(self) -> Option<ArchReg> {
+        use crate::opcode as op;
+        let rd = self.rd();
+        if rd.is_zero() {
+            return None;
+        }
+        match self.opcode() {
+            op::STORE | op::STORE_FP | op::BRANCH | op::MISC_MEM => None,
+            _ => Some(rd),
+        }
+    }
+}
+
+impl std::fmt::Display for Instruction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}(0x{:08x})", self.class(), self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opcode;
+
+    #[test]
+    fn alu_encoding_round_trip() {
+        let i = Instruction::alu(AluOp::Xor, 5.into(), 6.into(), 7.into());
+        assert_eq!(i.opcode(), opcode::OP);
+        assert_eq!(i.rd().index(), 5);
+        assert_eq!(i.rs1().index(), 6);
+        assert_eq!(i.rs2().index(), 7);
+        assert_eq!(i.funct3(), 4);
+        assert_eq!(i.class(), InstClass::IntAlu);
+    }
+
+    #[test]
+    fn sub_and_imm_sub_classify_as_alu() {
+        let sub = Instruction::alu(AluOp::Sub, 1.into(), 2.into(), 3.into());
+        assert_eq!(sub.funct7(), 0x20);
+        assert_eq!(sub.class(), InstClass::IntAlu);
+        let subi = Instruction::alu_imm(AluOp::Sub, 1.into(), 2.into(), 5);
+        assert_eq!(subi.imm_i(), -5);
+    }
+
+    #[test]
+    fn mul_div_classification() {
+        assert_eq!(
+            Instruction::mul(1.into(), 2.into(), 3.into()).class(),
+            InstClass::IntMul
+        );
+        assert_eq!(
+            Instruction::div(1.into(), 2.into(), 3.into()).class(),
+            InstClass::IntDiv
+        );
+    }
+
+    #[test]
+    fn load_store_widths_encode_in_funct3() {
+        for (w, f3) in [
+            (MemWidth::B, 0),
+            (MemWidth::H, 1),
+            (MemWidth::W, 2),
+            (MemWidth::D, 3),
+        ] {
+            let l = Instruction::load(w, 1.into(), 2.into(), 4);
+            assert_eq!(l.funct3(), f3);
+            assert_eq!(l.class(), InstClass::Load);
+            let s = Instruction::store(w, 1.into(), 2.into(), 4);
+            assert_eq!(s.funct3(), f3);
+            assert_eq!(s.class(), InstClass::Store);
+        }
+    }
+
+    #[test]
+    fn imm_i_sign_extension() {
+        let l = Instruction::load(MemWidth::D, 1.into(), 2.into(), -8);
+        assert_eq!(l.imm_i(), -8);
+        let l = Instruction::load(MemWidth::D, 1.into(), 2.into(), 2047);
+        assert_eq!(l.imm_i(), 2047);
+    }
+
+    #[test]
+    fn imm_s_round_trip() {
+        for off in [-2048, -1, 0, 1, 16, 2047] {
+            let s = Instruction::store(MemWidth::W, 3.into(), 4.into(), off);
+            assert_eq!(s.imm_s(), off, "store offset {off}");
+        }
+    }
+
+    #[test]
+    fn imm_b_round_trip_even_offsets() {
+        for off in [-4096, -2, 0, 2, 64, 4094] {
+            let b = Instruction::branch(BranchCond::Ne, 1.into(), 2.into(), off);
+            assert_eq!(b.imm_b(), off, "branch offset {off}");
+        }
+    }
+
+    #[test]
+    fn imm_j_round_trip_even_offsets() {
+        for off in [-1048576, -2, 0, 2, 4096, 1048574] {
+            let j = Instruction::jal(ArchReg::ZERO, off);
+            assert_eq!(j.imm_j(), off, "jump offset {off}");
+        }
+    }
+
+    #[test]
+    fn call_ret_abi_classification() {
+        assert_eq!(Instruction::call(64).class(), InstClass::Call);
+        assert_eq!(Instruction::call_indirect(5.into()).class(), InstClass::Call);
+        assert_eq!(Instruction::ret().class(), InstClass::Ret);
+        // A jalr through a scratch register is an indirect jump, not a return.
+        assert_eq!(
+            Instruction::jalr(ArchReg::ZERO, 6.into(), 0).class(),
+            InstClass::IndirectJump
+        );
+        // A jal discarding the link is a plain jump.
+        assert_eq!(Instruction::jal(ArchReg::ZERO, 8).class(), InstClass::Jump);
+    }
+
+    #[test]
+    fn csr_and_system() {
+        assert_eq!(Instruction::csr_read(1.into(), 0xC00).class(), InstClass::Csr);
+        assert_eq!(Instruction::ecall().class(), InstClass::System);
+        assert_eq!(Instruction::fence().class(), InstClass::Fence);
+    }
+
+    #[test]
+    fn nop_has_no_deps() {
+        let n = Instruction::nop();
+        assert_eq!(n.sources(), [None, None]);
+        assert_eq!(n.dest(), None);
+    }
+
+    #[test]
+    fn store_has_no_dest_and_two_sources() {
+        let s = Instruction::store(MemWidth::D, 7.into(), 8.into(), 0);
+        assert_eq!(s.dest(), None);
+        let srcs = s.sources();
+        assert!(srcs.contains(&Some(ArchReg::new(7))));
+        assert!(srcs.contains(&Some(ArchReg::new(8))));
+    }
+
+    #[test]
+    fn raw_round_trip() {
+        let insts = [
+            Instruction::call(128),
+            Instruction::ret(),
+            Instruction::load(MemWidth::W, 10.into(), 11.into(), -12),
+            Instruction::amo_add(1.into(), 2.into(), 3.into()),
+        ];
+        for i in insts {
+            assert_eq!(Instruction::from_raw(i.raw()), i);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! RISC-V base opcodes, funct3 codes, and the event-filter index.
+//!
+//! The FireGuard mini-filters (paper §III-B, Fig. 3) are SRAM look-up tables
+//! addressed by a 10-bit index formed of the concatenated RISC-V opcode
+//! (lower 7 bits) and function code (higher 3 bits). This module defines the
+//! opcode constants and the [`FilterIndex`] newtype implementing exactly that
+//! concatenation, so that e.g. `lb` indexes `0x003` and `sb` indexes `0x023`
+//! as the paper describes.
+
+use crate::inst::Instruction;
+
+/// 7-bit major opcode for integer loads (`lb`, `lh`, `lw`, `ld`, …).
+pub const LOAD: u8 = 0x03;
+/// 7-bit major opcode for floating-point loads.
+pub const LOAD_FP: u8 = 0x07;
+/// 7-bit major opcode for `fence`/`fence.i`.
+pub const MISC_MEM: u8 = 0x0F;
+/// 7-bit major opcode for register–immediate ALU ops (`addi`, `xori`, …).
+pub const OP_IMM: u8 = 0x13;
+/// 7-bit major opcode for `auipc`.
+pub const AUIPC: u8 = 0x17;
+/// 7-bit major opcode for 32-bit register–immediate ALU ops (`addiw`, …).
+pub const OP_IMM_32: u8 = 0x1B;
+/// 7-bit major opcode for integer stores (`sb`, `sh`, `sw`, `sd`).
+pub const STORE: u8 = 0x23;
+/// 7-bit major opcode for floating-point stores.
+pub const STORE_FP: u8 = 0x27;
+/// 7-bit major opcode for atomics (`lr`, `sc`, `amo*`).
+pub const AMO: u8 = 0x2F;
+/// 7-bit major opcode for register–register ALU ops (`add`, `mul`, …).
+pub const OP: u8 = 0x33;
+/// 7-bit major opcode for `lui`.
+pub const LUI: u8 = 0x37;
+/// 7-bit major opcode for 32-bit register–register ALU ops (`addw`, …).
+pub const OP_32: u8 = 0x3B;
+/// 7-bit major opcode for floating-point computation.
+pub const OP_FP: u8 = 0x53;
+/// 7-bit major opcode for conditional branches (`beq`, `bne`, …).
+pub const BRANCH: u8 = 0x63;
+/// 7-bit major opcode for `jalr` (indirect jumps, calls, returns).
+pub const JALR: u8 = 0x67;
+/// 7-bit major opcode for `jal`.
+pub const JAL: u8 = 0x6F;
+/// 7-bit major opcode for `ecall`/`ebreak`/CSR accesses.
+pub const SYSTEM: u8 = 0x73;
+
+/// Number of entries in a mini-filter SRAM table: 2¹⁰ (10-bit index).
+pub const FILTER_TABLE_ENTRIES: usize = 1 << 10;
+
+/// The 10-bit SRAM index used by a mini-filter: `funct3 ‖ opcode`.
+///
+/// The paper (Fig. 3) forms the SRAM read address from the instruction's
+/// 7-bit opcode in the low bits and its 3-bit function code in the high
+/// bits, covering all possible instructions in 1024 entries.
+///
+/// # Examples
+///
+/// ```
+/// use fireguard_isa::{FilterIndex, Instruction, MemWidth};
+///
+/// let lb = Instruction::load(MemWidth::B, 1.into(), 2.into(), 0);
+/// assert_eq!(FilterIndex::of(&lb).as_usize(), 0x003);
+/// let sb = Instruction::store(MemWidth::B, 1.into(), 2.into(), 0);
+/// assert_eq!(FilterIndex::of(&sb).as_usize(), 0x023);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FilterIndex(u16);
+
+impl FilterIndex {
+    /// Builds an index directly from an opcode and funct3 pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `opcode` does not fit in 7 bits or `funct3` in 3 bits.
+    pub fn new(opcode: u8, funct3: u8) -> Self {
+        assert!(opcode < 0x80, "opcode must fit in 7 bits");
+        assert!(funct3 < 0x8, "funct3 must fit in 3 bits");
+        FilterIndex(u16::from(funct3) << 7 | u16::from(opcode))
+    }
+
+    /// Computes the index of a decoded instruction.
+    pub fn of(inst: &Instruction) -> Self {
+        Self::new(inst.opcode(), inst.funct3())
+    }
+
+    /// Returns the raw 10-bit table address.
+    pub fn as_usize(self) -> usize {
+        usize::from(self.0)
+    }
+
+    /// Recovers the 7-bit opcode component.
+    pub fn opcode(self) -> u8 {
+        (self.0 & 0x7F) as u8
+    }
+
+    /// Recovers the 3-bit funct3 component.
+    pub fn funct3(self) -> u8 {
+        (self.0 >> 7) as u8
+    }
+}
+
+impl From<FilterIndex> for usize {
+    fn from(ix: FilterIndex) -> usize {
+        ix.as_usize()
+    }
+}
+
+impl std::fmt::Display for FilterIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "0x{:03X}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::MemWidth;
+    use crate::Instruction;
+
+    #[test]
+    fn paper_examples_lb_and_sb() {
+        // The paper: "0x03 and 0x23 index RISC-V lb and sb, respectively."
+        assert_eq!(FilterIndex::new(LOAD, 0).as_usize(), 0x003);
+        assert_eq!(FilterIndex::new(STORE, 0).as_usize(), 0x023);
+    }
+
+    #[test]
+    fn index_round_trips_components() {
+        for opcode in [LOAD, STORE, OP, BRANCH, JALR, SYSTEM] {
+            for funct3 in 0..8u8 {
+                let ix = FilterIndex::new(opcode, funct3);
+                assert_eq!(ix.opcode(), opcode);
+                assert_eq!(ix.funct3(), funct3);
+                assert!(ix.as_usize() < FILTER_TABLE_ENTRIES);
+            }
+        }
+    }
+
+    #[test]
+    fn index_of_matches_fields() {
+        let ld = Instruction::load(MemWidth::D, 3.into(), 4.into(), 16);
+        let ix = FilterIndex::of(&ld);
+        assert_eq!(ix.opcode(), LOAD);
+        assert_eq!(ix.funct3(), 3); // ld is funct3=3
+    }
+
+    #[test]
+    #[should_panic(expected = "opcode must fit in 7 bits")]
+    fn oversized_opcode_rejected() {
+        let _ = FilterIndex::new(0x80, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "funct3 must fit in 3 bits")]
+    fn oversized_funct3_rejected() {
+        let _ = FilterIndex::new(LOAD, 8);
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(FilterIndex::new(STORE, 0).to_string(), "0x023");
+    }
+}

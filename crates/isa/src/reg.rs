@@ -1,0 +1,122 @@
+//! Register newtypes: architectural and physical register identifiers.
+
+/// An architectural (logical) RV64 integer register, `x0`–`x31`.
+///
+/// `x0` is hard-wired to zero; `x1` is the standard return-address register
+/// (`ra`), which the shadow-stack kernel cares about; `x2` is the stack
+/// pointer (`sp`).
+///
+/// # Examples
+///
+/// ```
+/// use fireguard_isa::ArchReg;
+/// assert!(ArchReg::ZERO.is_zero());
+/// assert_eq!(ArchReg::RA.index(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ArchReg(u8);
+
+impl ArchReg {
+    /// The hard-wired zero register `x0`.
+    pub const ZERO: ArchReg = ArchReg(0);
+    /// The return-address register `x1` (`ra`).
+    pub const RA: ArchReg = ArchReg(1);
+    /// The stack pointer `x2` (`sp`).
+    pub const SP: ArchReg = ArchReg(2);
+
+    /// Number of architectural integer registers.
+    pub const COUNT: usize = 32;
+
+    /// Creates a register identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    pub fn new(index: u8) -> Self {
+        assert!(index < 32, "architectural register index out of range");
+        ArchReg(index)
+    }
+
+    /// The 5-bit register number.
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// True for `x0`, which always reads zero and never creates dependencies.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl From<u8> for ArchReg {
+    fn from(v: u8) -> Self {
+        ArchReg::new(v)
+    }
+}
+
+impl std::fmt::Display for ArchReg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A physical register identifier in the main core's PRFs.
+///
+/// The modelled SonicBOOM configuration (Table II) has 128 integer and 128
+/// floating-point physical registers; [`PhysReg`] indexes one of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysReg(u16);
+
+impl PhysReg {
+    /// Creates a physical register identifier.
+    pub fn new(index: u16) -> Self {
+        PhysReg(index)
+    }
+
+    /// The raw register-file index.
+    pub fn index(self) -> u16 {
+        self.0
+    }
+}
+
+impl From<u16> for PhysReg {
+    fn from(v: u16) -> Self {
+        PhysReg::new(v)
+    }
+}
+
+impl std::fmt::Display for PhysReg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_register_properties() {
+        assert!(ArchReg::ZERO.is_zero());
+        assert!(!ArchReg::RA.is_zero());
+        assert_eq!(ArchReg::SP.index(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn arch_reg_bounds_checked() {
+        let _ = ArchReg::new(32);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ArchReg::new(7).to_string(), "x7");
+        assert_eq!(PhysReg::new(101).to_string(), "p101");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(ArchReg::new(3) < ArchReg::new(4));
+        assert!(PhysReg::new(10) < PhysReg::new(20));
+    }
+}

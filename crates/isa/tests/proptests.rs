@@ -1,0 +1,93 @@
+//! Property-based tests for instruction encode/decode invariants.
+
+use fireguard_isa::{
+    AluOp, ArchReg, BranchCond, FilterIndex, InstClass, Instruction, MemWidth,
+};
+use proptest::prelude::*;
+
+fn arch_reg() -> impl Strategy<Value = ArchReg> {
+    (0u8..32).prop_map(ArchReg::new)
+}
+
+fn mem_width() -> impl Strategy<Value = MemWidth> {
+    prop_oneof![
+        Just(MemWidth::B),
+        Just(MemWidth::H),
+        Just(MemWidth::W),
+        Just(MemWidth::D),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn load_fields_round_trip(rd in arch_reg(), base in arch_reg(), off in -2048i32..2048, w in mem_width()) {
+        let i = Instruction::load(w, rd, base, off);
+        prop_assert_eq!(i.rd(), rd);
+        prop_assert_eq!(i.rs1(), base);
+        prop_assert_eq!(i.imm_i(), off);
+        prop_assert_eq!(i.funct3(), w.funct3());
+        prop_assert_eq!(i.class(), InstClass::Load);
+    }
+
+    #[test]
+    fn store_fields_round_trip(src in arch_reg(), base in arch_reg(), off in -2048i32..2048, w in mem_width()) {
+        let i = Instruction::store(w, src, base, off);
+        prop_assert_eq!(i.rs2(), src);
+        prop_assert_eq!(i.rs1(), base);
+        prop_assert_eq!(i.imm_s(), off);
+        prop_assert_eq!(i.class(), InstClass::Store);
+    }
+
+    #[test]
+    fn branch_offset_round_trips_even(rs1 in arch_reg(), rs2 in arch_reg(), off in -2048i32..2048) {
+        let off = off * 2; // B-format encodes even offsets
+        let i = Instruction::branch(BranchCond::Ne, rs1, rs2, off);
+        prop_assert_eq!(i.imm_b(), off);
+        prop_assert_eq!(i.class(), InstClass::Branch);
+    }
+
+    #[test]
+    fn jal_offset_round_trips_even(rd in arch_reg(), off in -524288i32..524287) {
+        let off = off * 2; // J-format encodes even offsets
+        let i = Instruction::jal(rd, off);
+        prop_assert_eq!(i.imm_j(), off);
+    }
+
+    #[test]
+    fn raw_round_trip_is_identity(raw in any::<u32>()) {
+        let i = Instruction::from_raw(raw);
+        prop_assert_eq!(Instruction::from_raw(i.raw()).raw(), raw);
+    }
+
+    #[test]
+    fn filter_index_components_round_trip(op in 0u8..128, f3 in 0u8..8) {
+        let ix = FilterIndex::new(op, f3);
+        prop_assert_eq!(ix.opcode(), op);
+        prop_assert_eq!(ix.funct3(), f3);
+        prop_assert!(ix.as_usize() < 1024);
+    }
+
+    #[test]
+    fn filter_index_of_instruction_matches_fields(raw in any::<u32>()) {
+        let i = Instruction::from_raw(raw);
+        let ix = FilterIndex::of(&i);
+        prop_assert_eq!(ix.opcode(), i.opcode() & 0x7F);
+        prop_assert_eq!(ix.funct3(), i.funct3());
+    }
+
+    #[test]
+    fn x0_never_appears_as_dependency(op in prop_oneof![Just(AluOp::Add), Just(AluOp::Xor)], rs in arch_reg()) {
+        let i = Instruction::alu(op, ArchReg::ZERO, rs, ArchReg::ZERO);
+        prop_assert_eq!(i.dest(), None, "x0 dest is no dest");
+        prop_assert!(!i.sources().contains(&Some(ArchReg::ZERO)), "x0 reads are free");
+    }
+
+    #[test]
+    fn class_is_total_over_random_encodings(raw in any::<u32>()) {
+        // Must classify without panicking, and memory classes must agree
+        // with the is_mem helper.
+        let i = Instruction::from_raw(raw);
+        let c = i.class();
+        prop_assert_eq!(c.is_mem(), matches!(c, InstClass::Load | InstClass::Store | InstClass::Amo));
+    }
+}

@@ -1,0 +1,33 @@
+//! Guardian kernels and baselines.
+//!
+//! The paper evaluates four guardian kernels on FireGuard's analysis
+//! engines: a Custom Performance Counter with bounds check (PMC), a shadow
+//! stack, AddressSanitizer, and a MineSweeper-style use-after-free detector
+//! — plus hardware-accelerator (HA) variants for PMC and the shadow stack,
+//! and LLVM-style software implementations as baselines.
+//!
+//! ## The semantic-at-commit / timing-at-µcore split
+//!
+//! Analysis *semantics* (shadow-memory poisoning, quarantine membership,
+//! shadow-stack contents) are evaluated in commit order by
+//! [`semantics`], where they are exact by construction; the resulting
+//! per-kernel verdict bits travel inside the packet (see
+//! `fireguard_core::packet::layout::VERDICT`). Analysis *timing* is paid on
+//! the µcores: each kernel's real µ-program pops packets with the Table I
+//! instructions, touches its data structures through the µcore's 4 KB D$
+//! and TLB (shadow bytes, quarantine buckets, shadow-stack slots), branches
+//! on the verdict, and raises alarms. This keeps detection exact under the
+//! mapper's out-of-order engine interleavings while charging cycle-accurate
+//! costs — including the shadow-memory misses behind the paper's ASan tail
+//! latencies.
+
+pub mod ha;
+pub mod kernel;
+pub mod programs;
+pub mod semantics;
+pub mod software;
+
+pub use ha::HardwareAccelerator;
+pub use kernel::{EngineBackend, GuardianKernel, KernelKind, ProgrammingModel};
+pub use semantics::KernelSemantics;
+pub use software::{InstrumentedTrace, SoftwareScheme};

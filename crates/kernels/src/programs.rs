@@ -1,0 +1,249 @@
+//! µ-programs for the guardian kernels, in all four programming models.
+//!
+//! Register conventions: `x1` packet address field, `x2` packet bits
+//! `[127:116]` (verdict ‖ class ‖ flags), `x3` check result, `x4` queue
+//! count, `x5`–`x7` scratch, `x10`–`x12` loop constants.
+//!
+//! The paper's Fig. 11 compares these models on PMC: a conventional
+//! single-iteration loop suffers data hazards on both the `count` check and
+//! the `pop`; Duff's device removes most size checks; pure unrolling
+//! removes `pop` hazards while the queue is full; the hybrid strategy is
+//! uniformly best.
+
+use crate::kernel::{KernelKind, ProgrammingModel, OP_CHECK, OP_HEAP, OP_PMC_STEP, OP_SS_STEP};
+use fireguard_core::packet::layout;
+use fireguard_ucore::{Asm, UProgram};
+
+/// Builds the µ-program for `kind` under `model`.
+///
+/// The per-packet fast path is three instructions (`pop`, fused `qcheck`,
+/// `bnez`); violation and heap handling live out of line and jump back to
+/// the loop head, so the common case never pays for them.
+pub fn build(kind: KernelKind, model: ProgrammingModel) -> UProgram {
+    let mut asm = Asm::new();
+    // Loop constants for the dispatch trees.
+    asm.addi(10, 0, 8);
+    asm.addi(11, 0, 4);
+    asm.addi(12, 0, 2);
+    let slow = asm.fwd_label();
+
+    let top = asm.here();
+    match model {
+        ProgrammingModel::Conventional => {
+            asm.qcount(4);
+            asm.beqz_back(4, top); // spin until a packet arrives
+            emit_fast_body(&mut asm, kind, slow);
+            asm.jump(top);
+        }
+        ProgrammingModel::Duffs => {
+            asm.qcount(4);
+            asm.beqz_back(4, top);
+            let l8 = asm.fwd_label();
+            let l4 = asm.fwd_label();
+            let l2 = asm.fwd_label();
+            let l1 = asm.fwd_label();
+            // Dispatch on count: >=8, >=4, >=2, else 1.
+            asm.bgeu(4, 10, l8);
+            asm.bgeu(4, 11, l4);
+            asm.bgeu(4, 12, l2);
+            asm.jump_fwd(l1);
+            asm.bind(l8);
+            for _ in 0..8 {
+                emit_fast_body(&mut asm, kind, slow);
+            }
+            asm.jump(top);
+            asm.bind(l4);
+            for _ in 0..4 {
+                emit_fast_body(&mut asm, kind, slow);
+            }
+            asm.jump(top);
+            asm.bind(l2);
+            emit_fast_body(&mut asm, kind, slow);
+            asm.bind(l1);
+            emit_fast_body(&mut asm, kind, slow);
+            asm.jump(top);
+        }
+        ProgrammingModel::Unrolled => {
+            for _ in 0..8 {
+                emit_fast_body(&mut asm, kind, slow);
+            }
+            asm.jump(top);
+        }
+        ProgrammingModel::Hybrid => {
+            // Unrolling when the queue is deep; a short unrolled block
+            // otherwise. Pops block on an empty queue (the MA-stage ISAX
+            // interlock), so no spin loop is needed.
+            let unrolled = asm.fwd_label();
+            asm.qcount(4);
+            asm.bgeu(4, 10, unrolled);
+            for _ in 0..4 {
+                emit_fast_body(&mut asm, kind, slow);
+            }
+            asm.jump(top);
+            asm.bind(unrolled);
+            for _ in 0..8 {
+                emit_fast_body(&mut asm, kind, slow);
+            }
+            asm.jump(top);
+        }
+    }
+
+    // Out-of-line slow path, shared by every body copy.
+    asm.bind(slow);
+    match kind {
+        KernelKind::Asan | KernelKind::Uaf => {
+            let heap = asm.fwd_label();
+            asm.addi(5, 3, -2);
+            asm.beqz(5, heap); // check value 2 => heap event
+            asm.alarm(1);
+            asm.jump(top);
+            asm.bind(heap);
+            asm.qrecent(1, layout::ADDR); // region base
+            asm.qrecent(6, layout::AUX); // allocation size
+            asm.andi(6, 6, 0xF_FFFF);
+            asm.custom(OP_HEAP, 7, 1, 6); // poison/quarantine microloop
+            asm.jump(top);
+        }
+        KernelKind::ShadowStack => {
+            asm.alarm(2);
+            asm.jump(top);
+        }
+        KernelKind::Pmc => {
+            asm.alarm(0);
+            asm.jump(top);
+        }
+    }
+    asm.assemble()
+}
+
+/// Emits the three-instruction per-packet fast path; anything unusual
+/// (violation verdicts, heap events) branches to the shared `slow` label.
+fn emit_fast_body(asm: &mut Asm, kind: KernelKind, slow: fireguard_ucore::Label) {
+    let op = match kind {
+        KernelKind::Asan | KernelKind::Uaf => OP_CHECK,
+        KernelKind::ShadowStack => OP_SS_STEP,
+        KernelKind::Pmc => OP_PMC_STEP,
+    };
+    asm.qpop(2, layout::VERDICT); // consume; verdict|class|flags
+    asm.qcheck(op, 3); // fused table touch + verdict
+    asm.bnez(3, slow);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::GuardianKernel;
+    use fireguard_ucore::{QueueEntry, Ucore, UcoreConfig};
+
+    fn entry(addr: u64, verdict_nibble: u8, class: u8, flags: u8, seq: u64) -> QueueEntry {
+        let bits = u128::from(addr)
+            | (u128::from(verdict_nibble & 0xF) << layout::VERDICT)
+            | (u128::from(class & 0xF) << layout::CLASS)
+            | (u128::from(flags & 0xF) << layout::FLAGS);
+        QueueEntry::with_meta(bits, seq, seq * 10, verdict_nibble != 0)
+    }
+
+    #[test]
+    fn all_programs_assemble() {
+        for kind in [
+            KernelKind::Pmc,
+            KernelKind::ShadowStack,
+            KernelKind::Asan,
+            KernelKind::Uaf,
+        ] {
+            for model in ProgrammingModel::ALL {
+                let p = build(kind, model);
+                assert!(p.len() > 4, "{kind} {model:?}");
+            }
+        }
+    }
+
+    fn run_asan(model: ProgrammingModel, entries: &[QueueEntry]) -> (u64, usize) {
+        let k = GuardianKernel::new(KernelKind::Asan, 0, model);
+        let mut u = Ucore::new(UcoreConfig::default(), build(KernelKind::Asan, model));
+        let mut be = k.engine_backend();
+        for &e in entries {
+            u.input_mut().push(e).unwrap();
+        }
+        let mut t = 0;
+        while u.stats().packets < entries.len() as u64 && t < 500_000 {
+            t += 1000;
+            u.advance(t, &mut be);
+        }
+        (u.stats().packets, u.alarms().len())
+    }
+
+    #[test]
+    fn asan_program_raises_alarm_on_verdict_bit() {
+        let entries: Vec<QueueEntry> = (0..16)
+            .map(|i| {
+                // Packet 7 is a violation for kernel vbit 0.
+                let v = if i == 7 { 0b0001 } else { 0 };
+                entry(0x4000_0000 + i * 64, v, 4, 0, i)
+            })
+            .collect();
+        for model in ProgrammingModel::ALL {
+            let (packets, alarms) = run_asan(model, &entries);
+            assert_eq!(packets, 16, "{model:?} drained the queue");
+            assert_eq!(alarms, 1, "{model:?} detected exactly the violation");
+        }
+    }
+
+    #[test]
+    fn asan_heap_packets_take_the_heap_path_without_alarm() {
+        let entries = vec![
+            entry(0x1000_0000, 0, 10, 0b01, 0), // malloc
+            entry(0x1000_0000, 0, 10, 0b10, 1), // free
+            entry(0x4000_0000, 0, 4, 0, 2),     // plain load
+        ];
+        let (packets, alarms) = run_asan(ProgrammingModel::Hybrid, &entries);
+        assert_eq!(packets, 3);
+        assert_eq!(alarms, 0);
+    }
+
+    #[test]
+    fn hybrid_is_fastest_on_a_full_queue() {
+        // Measure busy time to drain 32 packets per model.
+        let mk = |model| {
+            let k = GuardianKernel::new(KernelKind::Pmc, 0, model);
+            let mut u = Ucore::new(UcoreConfig::default(), build(KernelKind::Pmc, model));
+            let mut be = k.engine_backend();
+            for i in 0..32 {
+                u.input_mut()
+                    .push(entry(0x4000_0000 + i * 8, 0, 4, 0, i))
+                    .unwrap();
+            }
+            let mut t = 0;
+            while u.stats().packets < 32 && t < 100_000 {
+                t += 10;
+                u.advance(t, &mut be);
+            }
+            // Time to drain all 32 packets (±10 from the stepping grain).
+            u.now()
+        };
+        let conventional = mk(ProgrammingModel::Conventional);
+        let duffs = mk(ProgrammingModel::Duffs);
+        let unrolled = mk(ProgrammingModel::Unrolled);
+        let hybrid = mk(ProgrammingModel::Hybrid);
+        assert!(
+            duffs < conventional,
+            "Duff's beats conventional: {duffs} vs {conventional}"
+        );
+        // On a *full* queue pure unrolling wins outright (no count checks
+        // at all); hybrid pays one count+branch per 8 packets. The paper's
+        // "uniformly best" claim is about fluctuating system queues, where
+        // unrolling stalls on dry spells — exercised by the Fig. 11 bench.
+        assert!(
+            unrolled < conventional,
+            "unrolling beats conventional on a full queue: {unrolled} vs {conventional}"
+        );
+        assert!(
+            duffs < conventional,
+            "Duff's beats conventional: {duffs} vs {conventional}"
+        );
+        assert!(
+            hybrid < conventional && hybrid <= duffs + 8 && hybrid <= unrolled + 64,
+            "hybrid near-optimal: hy={hybrid} un={unrolled} du={duffs} co={conventional}"
+        );
+    }
+}

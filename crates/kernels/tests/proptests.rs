@@ -1,0 +1,173 @@
+//! Property-based tests for guardian-kernel semantics: soundness (never
+//! flag valid behaviour) and completeness (always flag the policy
+//! violations) over arbitrary event interleavings.
+
+use fireguard_isa::{Instruction, MemWidth};
+use fireguard_kernels::KernelSemantics;
+use fireguard_trace::{ControlFlow, HeapEvent, TraceInst};
+use proptest::prelude::*;
+
+fn mem(seq: u64, addr: u64) -> TraceInst {
+    let inst = Instruction::load(MemWidth::D, 1.into(), 2.into(), 0);
+    TraceInst {
+        seq,
+        pc: 0x1_0000,
+        class: inst.class(),
+        inst,
+        mem_addr: Some(addr),
+        control: None,
+        heap: None,
+        attack: None,
+    }
+}
+
+fn heap(seq: u64, ev: HeapEvent) -> TraceInst {
+    let inst = Instruction::call(64);
+    TraceInst {
+        seq,
+        pc: 0x1_0000,
+        class: inst.class(),
+        inst,
+        mem_addr: None,
+        control: Some(ControlFlow { taken: true, target: 0x2_0000, static_id: 0 }),
+        heap: Some(ev),
+        attack: None,
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Ev {
+    Malloc(u16, u8),   // slot, size class
+    Free(u16),
+    TouchInside(u16),  // access a live slot's interior
+    TouchFreed(u16),   // access slot if freed (expected violation)
+    TouchRedzone(u16), // access right red zone of live slot (ASan violation)
+}
+
+fn ev() -> impl Strategy<Value = Ev> {
+    prop_oneof![
+        (0u16..32, 1u8..16).prop_map(|(s, z)| Ev::Malloc(s, z)),
+        (0u16..32).prop_map(Ev::Free),
+        (0u16..32).prop_map(Ev::TouchInside),
+        (0u16..32).prop_map(Ev::TouchFreed),
+        (0u16..32).prop_map(Ev::TouchRedzone),
+    ]
+}
+
+/// Slots map to disjoint, well-separated address ranges so red zones never
+/// overlap neighbouring slots.
+fn slot_base(slot: u16) -> u64 {
+    0x1000_0000 + u64::from(slot) * 0x10000
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// ASan and UaF agree with a reference region model over arbitrary
+    /// malloc/free/access interleavings: no false positives on live
+    /// interiors, no false negatives on freed or red-zone accesses.
+    #[test]
+    fn asan_uaf_match_reference_region_model(events in proptest::collection::vec(ev(), 1..150)) {
+        let mut asan = KernelSemantics::asan();
+        let mut uaf = KernelSemantics::uaf();
+        // slot -> Some(size) while live, None when freed/never allocated.
+        let mut live: [Option<u64>; 32] = [None; 32];
+        let mut freed: [Option<u64>; 32] = [None; 32];
+        let mut seq = 0u64;
+        for e in events {
+            seq += 1;
+            match e {
+                Ev::Malloc(slot, zclass) => {
+                    let size = u64::from(zclass) * 64;
+                    let t = heap(seq, HeapEvent::Malloc { base: slot_base(slot), size });
+                    prop_assert!(!asan.judge(&t));
+                    prop_assert!(!uaf.judge(&t));
+                    live[slot as usize % 32] = Some(size);
+                    freed[slot as usize % 32] = None;
+                }
+                Ev::Free(slot) => {
+                    let s = slot as usize % 32;
+                    if let Some(size) = live[s].take() {
+                        let t = heap(seq, HeapEvent::Free { base: slot_base(slot), size });
+                        prop_assert!(!asan.judge(&t));
+                        prop_assert!(!uaf.judge(&t));
+                        freed[s] = Some(size);
+                    }
+                }
+                Ev::TouchInside(slot) => {
+                    let s = slot as usize % 32;
+                    if let Some(size) = live[s] {
+                        let t = mem(seq, slot_base(slot) + size / 2);
+                        prop_assert!(!asan.judge(&t), "live interior flagged by ASan");
+                        prop_assert!(!uaf.judge(&t), "live interior flagged by UaF");
+                    }
+                }
+                Ev::TouchFreed(slot) => {
+                    let s = slot as usize % 32;
+                    if let Some(size) = freed[s] {
+                        let t = mem(seq, slot_base(slot) + size.saturating_sub(8));
+                        prop_assert!(asan.judge(&t), "freed access missed by ASan");
+                        prop_assert!(uaf.judge(&t), "freed access missed by UaF");
+                    }
+                }
+                Ev::TouchRedzone(slot) => {
+                    let s = slot as usize % 32;
+                    if let Some(size) = live[s] {
+                        let t = mem(seq, slot_base(slot) + size + 4);
+                        prop_assert!(asan.judge(&t), "red zone missed by ASan");
+                        // Red zones are not UaF's business.
+                        prop_assert!(!uaf.judge(&t), "UaF flagged a red zone");
+                    }
+                }
+            }
+        }
+    }
+
+    /// The shadow stack never flags balanced call/return sequences and
+    /// always flags a corrupted return target, for any nesting pattern.
+    #[test]
+    fn shadow_stack_soundness(depth_script in proptest::collection::vec(any::<bool>(), 1..200), corrupt_at in 0usize..100) {
+        let mut k = KernelSemantics::shadow_stack();
+        let mut stack: Vec<u64> = Vec::new();
+        let mut seq = 0u64;
+        let mut rets_seen = 0usize;
+        for push in depth_script {
+            seq += 1;
+            if push {
+                let pc = 0x1_0000 + seq * 4;
+                let inst = Instruction::call(64);
+                let t = TraceInst {
+                    seq, pc,
+                    class: inst.class(), inst,
+                    mem_addr: None,
+                    control: Some(ControlFlow { taken: true, target: 0x9_0000, static_id: 0 }),
+                    heap: None, attack: None,
+                };
+                prop_assert!(!k.judge(&t));
+                stack.push(pc + 4);
+            } else if let Some(expect) = stack.pop() {
+                let corrupted = rets_seen == corrupt_at;
+                rets_seen += 1;
+                let inst = Instruction::ret();
+                let target = if corrupted { 0xDEAD_0000 } else { expect };
+                let t = TraceInst {
+                    seq, pc: 0x9_0000,
+                    class: inst.class(), inst,
+                    mem_addr: None,
+                    control: Some(ControlFlow { taken: true, target, static_id: 1 }),
+                    heap: None, attack: None,
+                };
+                prop_assert_eq!(k.judge(&t), corrupted, "verdict at ret #{}", rets_seen - 1);
+            }
+        }
+    }
+
+    /// PMC flags exactly the protected region, for any address.
+    #[test]
+    fn pmc_region_is_exact(addr in 0u64..(1u64 << 40)) {
+        use fireguard_trace::gen::{PMC_REGION_BASE, PMC_REGION_SIZE};
+        let mut k = KernelSemantics::pmc();
+        let inside = (PMC_REGION_BASE..PMC_REGION_BASE + PMC_REGION_SIZE).contains(&addr);
+        prop_assert_eq!(k.judge(&mem(0, addr)), inside);
+    }
+}

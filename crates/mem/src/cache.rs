@@ -1,0 +1,315 @@
+//! Set-associative cache with true-LRU replacement.
+
+/// Geometry of a cache.
+///
+/// # Examples
+///
+/// ```
+/// use fireguard_mem::CacheConfig;
+/// let l1d = CacheConfig::new(32 * 1024, 8, 64); // Table II: 32 KB, 8-way
+/// assert_eq!(l1d.sets(), 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity (lines per set).
+    pub ways: usize,
+    /// Line size in bytes (must be a power of two).
+    pub line_bytes: usize,
+}
+
+impl CacheConfig {
+    /// Creates a geometry description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero, if `line_bytes` is not a power of
+    /// two, or if the capacity is not divisible into whole sets.
+    pub fn new(size_bytes: usize, ways: usize, line_bytes: usize) -> Self {
+        assert!(size_bytes > 0 && ways > 0 && line_bytes > 0);
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        let cfg = CacheConfig {
+            size_bytes,
+            ways,
+            line_bytes,
+        };
+        assert!(
+            size_bytes % (ways * line_bytes) == 0 && cfg.sets() > 0,
+            "capacity must divide into whole sets"
+        );
+        assert!(cfg.sets().is_power_of_two(), "set count must be a power of two");
+        cfg
+    }
+
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> usize {
+        self.size_bytes / (self.ways * self.line_bytes)
+    }
+}
+
+/// Hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed (and allocated).
+    pub misses: u64,
+    /// Dirty lines evicted (write-back traffic).
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio over all accesses; 0 when no accesses were made.
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    lru_stamp: u64,
+}
+
+/// A set-associative, write-allocate, write-back cache with true LRU.
+///
+/// The cache tracks tags only (the simulator keeps data functionally
+/// elsewhere); [`Cache::access`] reports whether the access hit and updates
+/// replacement state.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    lines: Vec<Line>,
+    stamp: u64,
+    stats: CacheStats,
+    set_shift: u32,
+    set_mask: u64,
+}
+
+impl Cache {
+    /// Builds an empty (all-invalid) cache with the given geometry.
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = config.sets();
+        Cache {
+            config,
+            lines: vec![
+                Line {
+                    tag: 0,
+                    valid: false,
+                    dirty: false,
+                    lru_stamp: 0,
+                };
+                sets * config.ways
+            ],
+            stamp: 0,
+            stats: CacheStats::default(),
+            set_shift: config.line_bytes.trailing_zeros(),
+            set_mask: (sets - 1) as u64,
+        }
+    }
+
+    /// The geometry this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets statistics (e.g. after warm-up) without touching contents.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    fn set_of(&self, addr: u64) -> usize {
+        ((addr >> self.set_shift) & self.set_mask) as usize
+    }
+
+    fn tag_of(&self, addr: u64) -> u64 {
+        addr >> self.set_shift >> self.set_mask.count_ones()
+    }
+
+    /// Performs an access: returns `true` on hit. Misses allocate the line
+    /// (write-allocate policy) and may evict the LRU way.
+    pub fn access(&mut self, addr: u64, is_write: bool) -> bool {
+        self.stamp += 1;
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        let base = set * self.config.ways;
+        let ways = &mut self.lines[base..base + self.config.ways];
+
+        if let Some(line) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.lru_stamp = self.stamp;
+            line.dirty |= is_write;
+            self.stats.hits += 1;
+            return true;
+        }
+
+        self.stats.misses += 1;
+        // Victim: an invalid way if present, otherwise the least recently used.
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.lru_stamp } else { 0 })
+            .expect("cache set has at least one way");
+        if victim.valid && victim.dirty {
+            self.stats.writebacks += 1;
+        }
+        *victim = Line {
+            tag,
+            valid: true,
+            dirty: is_write,
+            lru_stamp: self.stamp,
+        };
+        false
+    }
+
+    /// Inserts a line without touching hit/miss statistics — used by the
+    /// hierarchy's prefetcher. Updates LRU state like a normal fill.
+    pub fn fill(&mut self, addr: u64) {
+        self.stamp += 1;
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        let base = set * self.config.ways;
+        let ways = &mut self.lines[base..base + self.config.ways];
+        if let Some(line) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.lru_stamp = self.stamp;
+            return;
+        }
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.lru_stamp } else { 0 })
+            .expect("cache set has at least one way");
+        if victim.valid && victim.dirty {
+            self.stats.writebacks += 1;
+        }
+        *victim = Line {
+            tag,
+            valid: true,
+            dirty: false,
+            lru_stamp: self.stamp,
+        };
+    }
+
+    /// Checks for presence without updating LRU or statistics.
+    pub fn probe(&self, addr: u64) -> bool {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        let base = set * self.config.ways;
+        self.lines[base..base + self.config.ways]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Invalidates every line (e.g. context switch in failure-injection tests).
+    pub fn flush(&mut self) {
+        for l in &mut self.lines {
+            l.valid = false;
+            l.dirty = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets, 2 ways, 64 B lines → 256 B.
+        Cache::new(CacheConfig::new(256, 2, 64))
+    }
+
+    #[test]
+    fn geometry_computes_sets() {
+        assert_eq!(CacheConfig::new(32 * 1024, 8, 64).sets(), 64);
+        assert_eq!(CacheConfig::new(4 * 1024, 2, 64).sets(), 32); // µcore L1
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_line_rejected() {
+        let _ = CacheConfig::new(256, 2, 48);
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0x1000, false));
+        assert!(c.access(0x1000, false));
+        assert!(c.access(0x1038, false), "same 64B line");
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Set 0 holds lines with addr bits [6]=0: 0x000, 0x080, 0x100 conflict.
+        assert!(!c.access(0x000, false));
+        assert!(!c.access(0x080, false));
+        assert!(c.access(0x000, false)); // touch 0x000 so 0x080 is LRU
+        assert!(!c.access(0x100, false)); // evicts 0x080
+        assert!(c.access(0x000, false), "0x000 must survive");
+        assert!(!c.access(0x080, false), "0x080 must have been evicted");
+    }
+
+    #[test]
+    fn writeback_counted_only_for_dirty_victims() {
+        let mut c = tiny();
+        c.access(0x000, true); // dirty
+        c.access(0x080, false); // clean
+        c.access(0x100, false); // evicts dirty 0x000 (LRU)
+        assert_eq!(c.stats().writebacks, 1);
+        c.access(0x180, false); // evicts clean 0x080
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn probe_does_not_disturb_state() {
+        let mut c = tiny();
+        c.access(0x000, false);
+        let stats = c.stats();
+        assert!(c.probe(0x000));
+        assert!(!c.probe(0x080));
+        assert_eq!(c.stats(), stats);
+    }
+
+    #[test]
+    fn flush_invalidates_everything() {
+        let mut c = tiny();
+        c.access(0x000, true);
+        c.flush();
+        assert!(!c.probe(0x000));
+        assert!(!c.access(0x000, false));
+    }
+
+    #[test]
+    fn distinct_sets_do_not_conflict() {
+        let mut c = tiny();
+        assert!(!c.access(0x000, false)); // set 0
+        assert!(!c.access(0x040, false)); // set 1
+        assert!(!c.access(0x080, false)); // set 0
+        assert!(!c.access(0x0C0, false)); // set 1
+        // Both sets now full but nothing evicted yet.
+        assert!(c.access(0x000, false));
+        assert!(c.access(0x040, false));
+    }
+
+    #[test]
+    fn miss_ratio_reported() {
+        let mut c = tiny();
+        c.access(0x000, false);
+        c.access(0x000, false);
+        assert!((c.stats().miss_ratio() - 0.5).abs() < 1e-12);
+        assert_eq!(CacheStats::default().miss_ratio(), 0.0);
+    }
+}

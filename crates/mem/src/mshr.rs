@@ -1,0 +1,144 @@
+//! Miss Status Holding Register (MSHR) files.
+//!
+//! Each cache level in Table II has a bounded number of MSHRs (8 for the L1s,
+//! 12 for the L2, 8 for the LLC, and the memory controller accepts at most 32
+//! outstanding requests). When all MSHRs at a level are busy, a new miss must
+//! wait for one to free — a structural stall the bottleneck analysis (Fig. 9)
+//! depends on.
+
+use crate::Cycle;
+
+/// A file of `n` MSHRs, each tracked as a busy-until cycle.
+///
+/// # Examples
+///
+/// ```
+/// use fireguard_mem::MshrFile;
+/// let mut mshrs = MshrFile::new(2);
+/// assert_eq!(mshrs.allocate(0, 10), 0);  // starts immediately
+/// assert_eq!(mshrs.allocate(0, 10), 0);  // second slot free
+/// assert_eq!(mshrs.allocate(0, 10), 10); // must wait for a slot
+/// ```
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    busy_until: Vec<Cycle>,
+    /// Number of allocations that had to wait for a free slot.
+    stalled_allocations: u64,
+    /// Total cycles spent waiting for slots.
+    stall_cycles: u64,
+}
+
+impl MshrFile {
+    /// Creates a file of `count` MSHRs, all free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn new(count: usize) -> Self {
+        assert!(count > 0, "an MSHR file needs at least one entry");
+        MshrFile {
+            busy_until: vec![0; count],
+            stalled_allocations: 0,
+            stall_cycles: 0,
+        }
+    }
+
+    /// Number of MSHR entries.
+    pub fn capacity(&self) -> usize {
+        self.busy_until.len()
+    }
+
+    /// Number of entries still busy at `now`.
+    pub fn in_flight(&self, now: Cycle) -> usize {
+        self.busy_until.iter().filter(|&&t| t > now).count()
+    }
+
+    /// Allocates an MSHR for a miss arriving at `now` that will occupy the
+    /// entry for `occupancy` cycles, returning the cycle at which the miss
+    /// can actually *start* (equal to `now` unless all entries are busy).
+    pub fn allocate(&mut self, now: Cycle, occupancy: Cycle) -> Cycle {
+        // The entry that frees the earliest is the one the miss will take.
+        let slot = self
+            .busy_until
+            .iter_mut()
+            .min()
+            .expect("MSHR file is non-empty");
+        let start = (*slot).max(now);
+        if start > now {
+            self.stalled_allocations += 1;
+            self.stall_cycles += start - now;
+        }
+        *slot = start + occupancy;
+        start
+    }
+
+    /// Allocations that had to wait for a free entry.
+    pub fn stalled_allocations(&self) -> u64 {
+        self.stalled_allocations
+    }
+
+    /// Total cycles allocations spent waiting.
+    pub fn stall_cycles(&self) -> u64 {
+        self.stall_cycles
+    }
+
+    /// Clears occupancy and statistics.
+    pub fn reset(&mut self) {
+        self.busy_until.fill(0);
+        self.stalled_allocations = 0;
+        self.stall_cycles = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_fill_slots_then_queue() {
+        let mut m = MshrFile::new(3);
+        assert_eq!(m.allocate(5, 100), 5);
+        assert_eq!(m.allocate(5, 100), 5);
+        assert_eq!(m.allocate(5, 100), 5);
+        assert_eq!(m.in_flight(5), 3);
+        // Fourth must wait until cycle 105.
+        assert_eq!(m.allocate(6, 100), 105);
+        assert_eq!(m.stalled_allocations(), 1);
+        assert_eq!(m.stall_cycles(), 99);
+    }
+
+    #[test]
+    fn slots_free_over_time() {
+        let mut m = MshrFile::new(1);
+        assert_eq!(m.allocate(0, 10), 0);
+        assert_eq!(m.in_flight(5), 1);
+        assert_eq!(m.in_flight(10), 0);
+        assert_eq!(m.allocate(10, 10), 10);
+    }
+
+    #[test]
+    fn earliest_free_slot_is_chosen() {
+        let mut m = MshrFile::new(2);
+        m.allocate(0, 100); // slot busy until 100
+        m.allocate(0, 10); // slot busy until 10
+        // New miss at t=20 should take the slot freed at 10, starting at 20.
+        assert_eq!(m.allocate(20, 5), 20);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut m = MshrFile::new(1);
+        m.allocate(0, 50);
+        m.allocate(0, 50);
+        m.reset();
+        assert_eq!(m.in_flight(0), 0);
+        assert_eq!(m.stalled_allocations(), 0);
+        assert_eq!(m.allocate(0, 1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_entries_rejected() {
+        let _ = MshrFile::new(0);
+    }
+}

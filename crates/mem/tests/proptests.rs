@@ -1,0 +1,85 @@
+//! Property-based tests on cache/TLB/hierarchy invariants.
+
+use fireguard_mem::{Cache, CacheConfig, HierarchyConfig, MemoryHierarchy, Tlb, TlbConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The most recently accessed line is always resident (LRU never
+    /// evicts the newest entry).
+    #[test]
+    fn most_recent_line_is_always_resident(addrs in proptest::collection::vec(0u64..(1 << 20), 1..500)) {
+        let mut c = Cache::new(CacheConfig::new(4 * 1024, 2, 64));
+        for a in addrs {
+            c.access(a, false);
+            prop_assert!(c.probe(a), "just-accessed line must be present");
+        }
+    }
+
+    /// Hits + misses equals accesses, and re-access directly after any
+    /// access always hits.
+    #[test]
+    fn stats_are_consistent(addrs in proptest::collection::vec(0u64..(1 << 18), 1..300)) {
+        let mut c = Cache::new(CacheConfig::new(1024, 2, 64));
+        let n = addrs.len() as u64;
+        for a in addrs {
+            c.access(a, a % 3 == 0);
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.hits + s.misses, n);
+    }
+
+    /// A working set that fits in the cache converges to all-hits.
+    #[test]
+    fn resident_working_set_hits(seed in 0u64..1000) {
+        let mut c = Cache::new(CacheConfig::new(4 * 1024, 2, 64));
+        // 32 lines in a 64-line cache.
+        let lines: Vec<u64> = (0..32).map(|i| (seed * 64 + i) * 64).collect();
+        for &l in &lines {
+            c.access(l, false);
+        }
+        c.reset_stats();
+        for _ in 0..4 {
+            for &l in &lines {
+                c.access(l, false);
+            }
+        }
+        prop_assert_eq!(c.stats().misses, 0, "resident set must not miss");
+    }
+
+    /// TLB: accesses within one page never miss twice in a row.
+    #[test]
+    fn tlb_page_locality(base in 0u64..(1 << 30), offs in proptest::collection::vec(0u64..4096, 1..50)) {
+        let mut t = Tlb::new(TlbConfig::ucore());
+        let page = base & !0xFFF;
+        t.access(page);
+        for o in offs {
+            prop_assert_eq!(t.access(page + o), 0, "same page must hit");
+        }
+    }
+
+    /// Hierarchy latency is monotone in depth: a repeat access is never
+    /// slower than the cold access that preceded it.
+    #[test]
+    fn repeat_access_never_slower(addr in 0u64..(1 << 26)) {
+        let mut m = MemoryHierarchy::new(HierarchyConfig::main_core());
+        let cold = m.access(0, addr, false);
+        let warm = m.access(cold.ready_at + 10, addr, false);
+        prop_assert!(warm.latency <= cold.latency);
+    }
+
+    /// Determinism: identical access streams produce identical latencies.
+    #[test]
+    fn hierarchy_is_deterministic(addrs in proptest::collection::vec(0u64..(1 << 22), 1..200)) {
+        let run = |addrs: &[u64]| {
+            let mut m = MemoryHierarchy::new(HierarchyConfig::ucore());
+            addrs
+                .iter()
+                .enumerate()
+                .map(|(i, &a)| m.access(i as u64 * 3, a, false).latency)
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(&addrs), run(&addrs));
+    }
+}

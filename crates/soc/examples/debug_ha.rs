@@ -1,0 +1,8 @@
+//! Calibration tool: inspects the hardware-accelerator path's residual
+//! overhead and its bottleneck attribution.
+use fireguard_kernels::KernelKind;
+use fireguard_soc::{run_fireguard, ExperimentConfig};
+fn main() {
+    let r = run_fireguard(&ExperimentConfig::new("x264").kernel_ha(KernelKind::Pmc).insts(40_000));
+    println!("slow={:.3} bn={:?} packets={}", r.slowdown, r.bottlenecks, r.packets);
+}

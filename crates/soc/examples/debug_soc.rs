@@ -1,0 +1,15 @@
+//! Calibration tool: one-line system summaries (slowdown, bottleneck
+//! attribution) for representative kernel/workload pairs.
+use fireguard_kernels::KernelKind;
+use fireguard_soc::{run_fireguard, ExperimentConfig};
+
+fn main() {
+    for (w, kind, n) in [("fluidanimate", KernelKind::Pmc, 4), ("bodytrack", KernelKind::Asan, 4)] {
+        let cfg = ExperimentConfig::new(w).kernel(kind, n).insts(60_000);
+        let r = run_fireguard(&cfg);
+        println!(
+            "{w} {kind:?} slow={:.3} packets={} cyc={} base={} bn={:?} unclaimed={}",
+            r.slowdown, r.packets, r.cycles, r.baseline_cycles, r.bottlenecks, r.unclaimed_packets
+        );
+    }
+}

@@ -1,0 +1,286 @@
+//! Experiment drivers: everything the figure/table binaries need.
+
+use crate::report::RunResult;
+use crate::system::{EngineConfig, FireGuardSystem, SocConfig};
+use fireguard_boom::{BoomConfig, Core, NullSink};
+use fireguard_kernels::{InstrumentedTrace, KernelKind, ProgrammingModel, SoftwareScheme};
+use fireguard_trace::{AttackPlan, AttackingTrace, TraceGenerator, WorkloadProfile};
+use fireguard_ucore::IsaxMode;
+
+/// Declarative description of one system run.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// PARSEC workload name.
+    pub workload: String,
+    /// Trace seed.
+    pub seed: u64,
+    /// Instructions to commit.
+    pub insts: u64,
+    /// Kernels and their engine provisioning, in verdict-bit order.
+    pub kernels: Vec<(KernelKind, EngineConfig)>,
+    /// µ-program style.
+    pub model: ProgrammingModel,
+    /// Event-filter width (Fig. 9 sweeps 1/2/4).
+    pub filter_width: usize,
+    /// ISAX placement (ablation).
+    pub isax: IsaxMode,
+    /// Optional attack campaign (Fig. 8).
+    pub attacks: Option<AttackPlan>,
+    /// Mapper width (1 = the paper's scalar mapper; >1 = footnote 5's
+    /// superscalar extension).
+    pub mapper_width: usize,
+}
+
+impl ExperimentConfig {
+    /// A default configuration for `workload`: no kernels yet, 200k
+    /// instructions, hybrid µ-programs, 4-wide filter, MA-stage ISAX.
+    pub fn new(workload: &str) -> Self {
+        ExperimentConfig {
+            workload: workload.to_owned(),
+            seed: 42,
+            insts: 200_000,
+            kernels: Vec::new(),
+            model: ProgrammingModel::Hybrid,
+            filter_width: 4,
+            isax: IsaxMode::MaStage,
+            attacks: None,
+            mapper_width: 1,
+        }
+    }
+
+    /// Adds a kernel backed by `n` µcores.
+    pub fn kernel(mut self, kind: KernelKind, n: usize) -> Self {
+        self.kernels.push((kind, EngineConfig::Ucores(n)));
+        self
+    }
+
+    /// Adds a kernel backed by a hardware accelerator.
+    pub fn kernel_ha(mut self, kind: KernelKind) -> Self {
+        self.kernels.push((kind, EngineConfig::Ha));
+        self
+    }
+
+    /// Sets the instruction budget.
+    pub fn insts(mut self, n: u64) -> Self {
+        self.insts = n;
+        self
+    }
+
+    /// Sets the trace seed.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Sets the programming model.
+    pub fn model(mut self, m: ProgrammingModel) -> Self {
+        self.model = m;
+        self
+    }
+
+    /// Sets the event-filter width.
+    pub fn filter_width(mut self, w: usize) -> Self {
+        self.filter_width = w;
+        self
+    }
+
+    /// Sets the ISAX placement.
+    pub fn isax(mut self, mode: IsaxMode) -> Self {
+        self.isax = mode;
+        self
+    }
+
+    /// Installs an attack campaign.
+    pub fn attacks(mut self, plan: AttackPlan) -> Self {
+        self.attacks = Some(plan);
+        self
+    }
+
+    /// Sets the mapper width (footnote 5's superscalar-mapper extension).
+    pub fn mapper_width(mut self, w: usize) -> Self {
+        self.mapper_width = w;
+        self
+    }
+
+    fn profile(&self) -> WorkloadProfile {
+        WorkloadProfile::parsec(&self.workload)
+            .unwrap_or_else(|| panic!("unknown workload {}", self.workload))
+    }
+
+    fn trace(&self) -> Box<dyn Iterator<Item = fireguard_trace::TraceInst>> {
+        let g = TraceGenerator::new(self.profile(), self.seed);
+        match &self.attacks {
+            Some(plan) => Box::new(AttackingTrace::new(g, plan.clone())),
+            None => Box::new(g),
+        }
+    }
+}
+
+/// Cycles the bare core (no FireGuard, no instrumentation) takes for the
+/// workload — the slowdown denominator.
+pub fn baseline_cycles(workload: &str, seed: u64, insts: u64) -> u64 {
+    let profile = WorkloadProfile::parsec(workload)
+        .unwrap_or_else(|| panic!("unknown workload {workload}"));
+    let trace = TraceGenerator::new(profile, seed);
+    let mut core = Core::new(BoomConfig::default(), trace);
+    core.run_insts(insts, &mut NullSink).cycles
+}
+
+/// Runs a full FireGuard system per `cfg` and reports against the matching
+/// bare-core baseline.
+pub fn run_fireguard(cfg: &ExperimentConfig) -> RunResult {
+    let base = baseline_cycles(&cfg.workload, cfg.seed, cfg.insts);
+    let soc = SocConfig {
+        filter: fireguard_core::FilterConfig {
+            width: cfg.filter_width,
+            ..Default::default()
+        },
+        isax: cfg.isax,
+        model: cfg.model,
+        mapper_width: cfg.mapper_width,
+        ..SocConfig::default()
+    };
+    let mut sys = FireGuardSystem::new(soc, cfg.trace(), &cfg.kernels);
+    sys.run_insts(cfg.insts, base)
+}
+
+/// Runs a software-instrumented baseline; returns its slowdown over the
+/// bare core for the same original instruction count.
+pub fn run_software(scheme: SoftwareScheme, workload: &str, seed: u64, insts: u64) -> f64 {
+    let base = baseline_cycles(workload, seed, insts);
+    let profile = WorkloadProfile::parsec(workload)
+        .unwrap_or_else(|| panic!("unknown workload {workload}"));
+    // Bound the original instruction count, then instrument.
+    let orig = TraceGenerator::new(profile, seed).take(insts as usize);
+    let instrumented = InstrumentedTrace::new(orig, scheme);
+    let mut core = Core::new(BoomConfig::default(), instrumented);
+    let stats = core.run_insts(u64::MAX / 2, &mut NullSink);
+    stats.cycles as f64 / base as f64
+}
+
+/// The nine PARSEC workload names, paper order.
+pub fn workloads() -> Vec<&'static str> {
+    fireguard_trace::PARSEC_WORKLOADS
+        .iter()
+        .map(|w| w.name)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmc_on_four_ucores_has_low_overhead() {
+        let cfg = ExperimentConfig::new("swaptions")
+            .kernel(KernelKind::Pmc, 4)
+            .insts(60_000);
+        let r = run_fireguard(&cfg);
+        assert!(r.committed >= 60_000 && r.committed < 60_004);
+        assert!(r.packets > 10_000, "PMC sees mem+ctrl+branch packets");
+        assert!(
+            r.slowdown < 1.6,
+            "PMC on 4 µcores should be cheap-ish: {:.3}",
+            r.slowdown
+        );
+        assert!(r.slowdown > 0.95, "sanity: {:.3}", r.slowdown);
+        assert_eq!(r.unclaimed_packets, 0, "every packet had a subscriber");
+    }
+
+    #[test]
+    fn asan_scales_with_ucore_count() {
+        let run = |n| {
+            run_fireguard(
+                &ExperimentConfig::new("bodytrack")
+                    .kernel(KernelKind::Asan, n)
+                    .insts(60_000),
+            )
+            .slowdown
+        };
+        let two = run(2);
+        let twelve = run(12);
+        assert!(
+            two > twelve,
+            "more µcores must reduce ASan slowdown: 2µ={two:.3} 12µ={twelve:.3}"
+        );
+        assert!(two > 1.2, "2 µcores overload on bodytrack: {two:.3}");
+    }
+
+    #[test]
+    fn ha_overhead_is_negligible() {
+        let r = run_fireguard(
+            &ExperimentConfig::new("streamcluster")
+                .kernel_ha(KernelKind::ShadowStack)
+                .insts(60_000),
+        );
+        assert!(
+            r.slowdown < 1.02,
+            "HA shadow stack ≈ zero overhead: {:.4}",
+            r.slowdown
+        );
+    }
+
+    #[test]
+    fn attacks_are_detected_with_positive_latency() {
+        let plan = AttackPlan::campaign(
+            &[fireguard_trace::AttackKind::RetHijack],
+            10,
+            5_000,
+            40_000,
+            3,
+        );
+        let r = run_fireguard(
+            &ExperimentConfig::new("ferret")
+                .kernel(KernelKind::ShadowStack, 4)
+                .insts(80_000)
+                .attacks(plan),
+        );
+        let lats = r.attack_latencies_ns();
+        assert!(!lats.is_empty(), "hijacks detected");
+        assert!(lats.iter().all(|&l| l > 0.0), "positive latencies");
+        assert!(lats[0] < 10_000.0, "latency in the ns range: {}", lats[0]);
+    }
+
+    #[test]
+    fn software_asan_is_slower_than_nothing() {
+        let s = run_software(SoftwareScheme::AsanX86, "swaptions", 42, 40_000);
+        assert!(s > 1.3, "software ASan costs real time: {s:.3}");
+        let arm = run_software(SoftwareScheme::AsanAArch64, "swaptions", 42, 40_000);
+        assert!(arm > s, "AArch64 ASan heavier than x86: {arm:.3} vs {s:.3}");
+    }
+
+    #[test]
+    fn superscalar_mapper_helps_burst_bound_workloads() {
+        // x264 + HA is mapper-bound under commit bursts; footnote 5's
+        // superscalar mapper should recover most of the residual overhead.
+        let scalar = run_fireguard(
+            &ExperimentConfig::new("x264")
+                .kernel_ha(KernelKind::Pmc)
+                .insts(40_000),
+        );
+        let wide = run_fireguard(
+            &ExperimentConfig::new("x264")
+                .kernel_ha(KernelKind::Pmc)
+                .mapper_width(2)
+                .insts(40_000),
+        );
+        assert!(
+            wide.slowdown < scalar.slowdown,
+            "2-wide mapper {:.3} must beat scalar {:.3}",
+            wide.slowdown,
+            scalar.slowdown
+        );
+        assert!(wide.slowdown < 1.03, "wide mapper ≈ no overhead: {:.3}", wide.slowdown);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let cfg = ExperimentConfig::new("freqmine")
+            .kernel(KernelKind::Asan, 4)
+            .insts(30_000);
+        let a = run_fireguard(&cfg);
+        let b = run_fireguard(&cfg);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.packets, b.packets);
+    }
+}

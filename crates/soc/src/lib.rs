@@ -1,0 +1,26 @@
+//! Full-system FireGuard integration: the BOOM main core, the commit-stage
+//! frontend (filter + allocator), the clock-domain crossing, the fabric
+//! (multicast + NoC), the analysis engines (µcores or hardware
+//! accelerators) running guardian kernels, and the experiment drivers that
+//! regenerate every figure of the paper's evaluation.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use fireguard_soc::{ExperimentConfig, run_fireguard};
+//! use fireguard_kernels::{KernelKind, ProgrammingModel};
+//!
+//! let cfg = ExperimentConfig::new("swaptions")
+//!     .kernel(KernelKind::Pmc, 4)
+//!     .insts(50_000);
+//! let result = run_fireguard(&cfg);
+//! println!("slowdown {:.3}", result.slowdown);
+//! ```
+
+pub mod experiments;
+pub mod report;
+pub mod system;
+
+pub use experiments::{baseline_cycles, run_fireguard, run_software, ExperimentConfig};
+pub use report::{BottleneckBreakdown, Detection, RunResult};
+pub use system::{EngineConfig, FireGuardSystem, SocConfig};

@@ -1,0 +1,117 @@
+//! Result records for system runs.
+
+/// Fig. 9's stacked components: where back-pressure stall cycles originate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BottleneckBreakdown {
+    /// Commit refused because the filter is narrower than the burst.
+    pub filter: u64,
+    /// FIFO full while the mapper (arbiter/allocator) is the choke point.
+    pub mapper: u64,
+    /// Clock-domain-crossing queues full.
+    pub cdc: u64,
+    /// Analysis-engine message queues full (µcores can't keep up).
+    pub ucore: u64,
+}
+
+impl BottleneckBreakdown {
+    /// Total attributed stall cycles.
+    pub fn total(&self) -> u64 {
+        self.filter + self.mapper + self.cdc + self.ucore
+    }
+}
+
+/// One detection event (a kernel alarm mapped back to wall-clock time).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Detection {
+    /// Sequence number of the flagged instruction.
+    pub seq: u64,
+    /// Detection latency from commit, in nanoseconds.
+    pub latency_ns: f64,
+    /// Ground truth: was this an injected attack?
+    pub attack: bool,
+    /// Verdict bit / kernel slot that raised it.
+    pub kernel_slot: usize,
+}
+
+/// The outcome of one system run.
+#[derive(Debug, Clone, Default)]
+pub struct RunResult {
+    /// Instructions committed.
+    pub committed: u64,
+    /// Fast-domain cycles taken.
+    pub cycles: u64,
+    /// Baseline (bare core) cycles for the same instruction count.
+    pub baseline_cycles: u64,
+    /// Main-core slowdown vs the bare baseline (≥ 1.0 up to simulator noise).
+    pub slowdown: f64,
+    /// Analysis packets produced by the event filter.
+    pub packets: u64,
+    /// Detections raised by the kernels.
+    pub detections: Vec<Detection>,
+    /// Stall attribution (Fig. 9).
+    pub bottlenecks: BottleneckBreakdown,
+    /// Packets dropped because no SE subscribed to their group.
+    pub unclaimed_packets: u64,
+}
+
+impl RunResult {
+    /// Detections whose ground truth marks them as injected attacks.
+    pub fn true_detections(&self) -> impl Iterator<Item = &Detection> {
+        self.detections.iter().filter(|d| d.attack)
+    }
+
+    /// Detection latencies (ns) of true attacks, sorted ascending.
+    pub fn attack_latencies_ns(&self) -> Vec<f64> {
+        let mut v: Vec<f64> = self.true_detections().map(|d| d.latency_ns).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        v
+    }
+}
+
+/// Percentile over a sorted slice (nearest-rank); 0 for empty input.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// Geometric mean of a slice; 0 for empty input.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 50.0), 2.0);
+        assert_eq!(percentile(&v, 100.0), 4.0);
+        assert_eq!(percentile(&v, 1.0), 1.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn geomean_basic() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn breakdown_totals() {
+        let b = BottleneckBreakdown {
+            filter: 1,
+            mapper: 2,
+            cdc: 3,
+            ucore: 4,
+        };
+        assert_eq!(b.total(), 10);
+    }
+}

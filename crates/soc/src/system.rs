@@ -1,0 +1,477 @@
+//! The assembled FireGuard SoC.
+//!
+//! Wires the paper's Fig. 1 together: the BOOM core's commit paths feed the
+//! event filter (fast domain); the arbiter/allocator move one packet per
+//! fast cycle into per-engine handshake CDC queues; on slow-domain edges
+//! the multicast channel drains CDCs into the analysis engines' message
+//! queues; µcores (or HAs) consume packets; inter-checker packets ride the
+//! Manhattan-grid NoC. Any full queue back-pressures upstream all the way
+//! to commit, which is where slowdown comes from.
+
+use crate::report::{BottleneckBreakdown, Detection, RunResult};
+use fireguard_boom::{BoomConfig, CommitSink, Core};
+use fireguard_core::{
+    Allocator, CdcQueue, ClockDivider, EventFilter, FilterConfig, Packet, SchedulingEngine,
+};
+use fireguard_kernels::{
+    kernel::SharedTiming, EngineBackend, GuardianKernel, HardwareAccelerator, KernelKind,
+    ProgrammingModel,
+};
+use fireguard_noc::Mesh;
+use fireguard_trace::TraceInst;
+use fireguard_ucore::{IsaxMode, QueueEntry, Ucore, UcoreConfig};
+use std::collections::BinaryHeap;
+use std::cmp::Reverse;
+
+/// How a kernel's analysis capacity is provisioned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineConfig {
+    /// `n` Rocket µcores.
+    Ucores(usize),
+    /// A single fixed-function hardware accelerator.
+    Ha,
+}
+
+/// System-level configuration.
+#[derive(Debug, Clone)]
+pub struct SocConfig {
+    /// Main-core configuration.
+    pub boom: BoomConfig,
+    /// Event-filter geometry (width sweeps drive Fig. 9).
+    pub filter: FilterConfig,
+    /// Fast:slow clock ratio (3.2 GHz : 1.6 GHz).
+    pub clock_ratio: u64,
+    /// Per-engine CDC queue depth (Table II: 8).
+    pub cdc_depth: usize,
+    /// Packets the multicast channel can deliver per engine per slow cycle.
+    pub multicast_rate: usize,
+    /// Packets the mapper moves per fast cycle. The paper's mapper is
+    /// scalar (1); footnote 5 sketches a superscalar mapper with duplicated
+    /// channels and SEs for more powerful cores — setting this above 1
+    /// models that extension.
+    pub mapper_width: usize,
+    /// ISAX interface placement in the µcores.
+    pub isax: IsaxMode,
+    /// Programming model for the kernel µ-programs.
+    pub model: ProgrammingModel,
+}
+
+impl Default for SocConfig {
+    fn default() -> Self {
+        SocConfig {
+            boom: BoomConfig::default(),
+            filter: FilterConfig::default(),
+            clock_ratio: 2,
+            cdc_depth: 8,
+            multicast_rate: 2,
+            mapper_width: 1,
+            isax: IsaxMode::MaStage,
+            model: ProgrammingModel::Hybrid,
+        }
+    }
+}
+
+enum Engine {
+    Ucore { u: Ucore, backend: EngineBackend },
+    Ha(HardwareAccelerator),
+}
+
+impl Engine {
+    fn queue_full(&self) -> bool {
+        match self {
+            Engine::Ucore { u, .. } => u.input().is_full(),
+            Engine::Ha(h) => h.is_full(),
+        }
+    }
+
+    fn queue_free(&self) -> bool {
+        !self.queue_full()
+    }
+}
+
+/// The commit-stage frontend: filter + mapper + CDC, judging semantics in
+/// commit order. Implements [`CommitSink`] so the core drives it directly.
+struct Frontend {
+    filter: EventFilter,
+    allocator: Allocator,
+    semantics: Vec<(usize, fireguard_kernels::KernelSemantics)>, // (vbit, state)
+    last_judged: Option<(u64, u8)>,
+    cdcs: Vec<CdcQueue<Packet>>,
+    engine_full: Vec<bool>,
+    breakdown: BottleneckBreakdown,
+}
+
+impl Frontend {
+    fn judge(&mut self, inst: &TraceInst) -> u8 {
+        if let Some((seq, v)) = self.last_judged {
+            if seq == inst.seq {
+                return v; // refused offer being retried: judge exactly once
+            }
+        }
+        let mut v = 0u8;
+        for (vbit, sem) in &mut self.semantics {
+            if sem.judge(inst) {
+                v |= 1 << *vbit;
+            }
+        }
+        self.last_judged = Some((inst.seq, v));
+        v
+    }
+
+    /// One mapper step: at most one packet from the arbiter through the
+    /// allocator into the destination CDC queues.
+    fn step_mapper(&mut self, now: u64) {
+        let Some(p) = self.filter.arbiter_peek() else { return };
+        // Conservative space check over every candidate engine.
+        let candidates = self.allocator.candidate_engines(p.gid);
+        for e in 0..self.cdcs.len() {
+            if candidates & (1 << e) != 0 && self.cdcs[e].is_full() {
+                return; // CDC back-pressure: leave the packet buffered
+            }
+        }
+        let engine_free: Vec<bool> = self.engine_full.iter().map(|f| !f).collect();
+        let dest = self.allocator.route(p.gid, &|e| engine_free[e]);
+        let p = self.filter.arbiter_pop().expect("peeked");
+        for e in 0..self.cdcs.len() {
+            if dest & (1 << e) != 0 {
+                self.cdcs[e]
+                    .push(p, now)
+                    .unwrap_or_else(|_| unreachable!("space checked above"));
+            }
+        }
+    }
+
+    /// Offers one committing instruction; on refusal the stall is
+    /// attributed to the deepest blocked stage (Fig. 9's decomposition).
+    fn offer_inner(&mut self, now: u64, slot: usize, inst: &TraceInst) -> bool {
+        let verdicts = self.judge(inst);
+        let before_width = self.filter.stats().refusals_width;
+        let ok = self.filter.offer_judged(now, slot, inst, verdicts);
+        if !ok {
+            if self.filter.stats().refusals_width > before_width {
+                self.breakdown.filter += 1;
+            } else if self.engine_full.iter().any(|&f| f) {
+                self.breakdown.ucore += 1;
+            } else if self.cdcs.iter().any(|c| c.is_full()) {
+                self.breakdown.cdc += 1;
+            } else {
+                self.breakdown.mapper += 1;
+            }
+        }
+        ok
+    }
+
+    fn new(
+        filter: EventFilter,
+        allocator: Allocator,
+        semantics: Vec<(usize, fireguard_kernels::KernelSemantics)>,
+        cdcs: Vec<CdcQueue<Packet>>,
+        n_engines: usize,
+    ) -> Self {
+        Frontend {
+            filter,
+            allocator,
+            semantics,
+            last_judged: None,
+            cdcs,
+            engine_full: vec![false; n_engines],
+            breakdown: BottleneckBreakdown::default(),
+        }
+    }
+}
+
+impl CommitSink for Frontend {
+    fn offer(&mut self, now: u64, slot: usize, inst: &TraceInst) -> bool {
+        self.offer_inner(now, slot, inst)
+    }
+
+    fn prf_ports_stolen(&mut self, now: u64) -> usize {
+        self.filter.prf_ports_stolen(now)
+    }
+}
+
+/// The full FireGuard system.
+pub struct FireGuardSystem {
+    cfg: SocConfig,
+    core: Core<Box<dyn Iterator<Item = TraceInst>>>,
+    frontend: Frontend,
+    engines: Vec<Engine>,
+    /// (kernel kind, vbit, engines) for reporting and NoC rings.
+    kernel_groups: Vec<(KernelKind, usize, Vec<usize>)>,
+    /// Per-kernel shared timing state, exposed for reports (sweep counts).
+    pub shared_timing: Vec<std::rc::Rc<std::cell::RefCell<SharedTiming>>>,
+    mesh: Mesh,
+    pending_noc: BinaryHeap<Reverse<(u64, usize, u64)>>, // (deliver_at, engine, payload-lo)
+    divider: ClockDivider,
+}
+
+impl FireGuardSystem {
+    /// Builds a system: `kernels` are provisioned in order, each getting
+    /// its engine allocation and the verdict bit equal to its position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 4 kernels are requested (verdict nibble) or the
+    /// total engine count exceeds 16 (`AE_Bitmap` width).
+    pub fn new(
+        cfg: SocConfig,
+        trace: Box<dyn Iterator<Item = TraceInst>>,
+        kernels: &[(KernelKind, EngineConfig)],
+    ) -> Self {
+        assert!(kernels.len() <= 4, "verdict nibble holds four kernels");
+        let mut filter = EventFilter::new(cfg.filter);
+        let mut allocator = Allocator::new();
+        let mut engines = Vec::new();
+        let mut semantics = Vec::new();
+        let mut kernel_groups = Vec::new();
+        let mut shared_timing = Vec::new();
+
+        for (vbit, (kind, provision)) in kernels.iter().enumerate() {
+            let g = GuardianKernel::new(*kind, vbit, cfg.model);
+            for (class, gid, dp) in kind.subscriptions() {
+                filter.subscribe(class, gid, dp);
+            }
+            let engine_ids: Vec<usize> = match provision {
+                EngineConfig::Ucores(n) => {
+                    assert!(*n > 0, "a kernel needs at least one engine");
+                    (0..*n)
+                        .map(|_| {
+                            let ucfg = UcoreConfig {
+                                isax_mode: cfg.isax,
+                                ..UcoreConfig::default()
+                            };
+                            let u = Ucore::new(ucfg, g.program());
+                            let backend = g.engine_backend();
+                            engines.push(Engine::Ucore { u, backend });
+                            engines.len() - 1
+                        })
+                        .collect()
+                }
+                EngineConfig::Ha => {
+                    engines.push(Engine::Ha(HardwareAccelerator::line_rate(vbit)));
+                    vec![engines.len() - 1]
+                }
+            };
+            let policy = match provision {
+                EngineConfig::Ha => fireguard_core::Policy::Fixed,
+                _ => kind.policy(),
+            };
+            let se = allocator.add_se(SchedulingEngine::new(engine_ids.clone(), policy));
+            for gid in kind.gids() {
+                allocator.subscribe(gid, se);
+            }
+            semantics.push((vbit, g.semantics.clone()));
+            shared_timing.push(g.shared_timing());
+            kernel_groups.push((*kind, vbit, engine_ids));
+        }
+        assert!(engines.len() <= 16, "AE_Bitmap addresses 16 engines");
+
+        let divider = ClockDivider::new(cfg.clock_ratio);
+        let cdcs = (0..engines.len())
+            .map(|_| CdcQueue::new(cfg.cdc_depth, divider))
+            .collect();
+        let mesh = Mesh::for_engines(engines.len().max(1));
+        let n_engines = engines.len();
+        let frontend = Frontend::new(filter, allocator, semantics, cdcs, n_engines);
+        FireGuardSystem {
+            core: Core::new(cfg.boom.clone(), trace),
+            cfg,
+            frontend,
+            engines,
+            kernel_groups,
+            shared_timing,
+            mesh,
+            pending_noc: BinaryHeap::new(),
+            divider,
+        }
+    }
+
+    /// One fast-domain cycle of the whole system.
+    pub fn step(&mut self) {
+        let now = self.core.now();
+        // Mapper: one packet per fast cycle (the paper's scalar mapper), or
+        // several under the footnote-5 superscalar extension.
+        for _ in 0..self.cfg.mapper_width {
+            self.frontend.step_mapper(now);
+        }
+        // Slow-domain edge: multicast delivery, engines, NoC.
+        if self.divider.is_slow_edge(now) {
+            let slow = self.divider.slow_cycle(now);
+            self.deliver(slow);
+            self.step_engines(slow);
+            self.route_noc(slow);
+        }
+        // Main core cycle (commit drives the frontend).
+        self.core.step(&mut self.frontend);
+        // Refresh the occupancy mirrors used by policies and attribution.
+        for (i, e) in self.engines.iter().enumerate() {
+            self.frontend.engine_full[i] = e.queue_full();
+        }
+    }
+
+    fn deliver(&mut self, slow: u64) {
+        for (i, engine) in self.engines.iter_mut().enumerate() {
+            // HAs are tightly coupled at line rate (a full commit burst per
+            // slow cycle); µcore message queues take the configured rate.
+            let rate = match engine {
+                Engine::Ha(_) => self.cfg.multicast_rate.max(8),
+                Engine::Ucore { .. } => self.cfg.multicast_rate,
+            };
+            for _ in 0..rate {
+                if !engine.queue_free() {
+                    break;
+                }
+                let Some(p) = self.frontend.cdcs[i].pop(slow) else { break };
+                let entry = QueueEntry::with_meta(p.bits(), p.meta.seq, p.meta.commit_cycle, p.meta.attack);
+                match engine {
+                    Engine::Ucore { u, .. } => {
+                        u.input_mut().push(entry).expect("space checked");
+                    }
+                    Engine::Ha(h) => {
+                        let _ = h.push(entry);
+                    }
+                }
+            }
+        }
+    }
+
+    fn step_engines(&mut self, slow: u64) {
+        for engine in &mut self.engines {
+            match engine {
+                Engine::Ucore { u, backend } => u.advance(slow + 1, backend),
+                Engine::Ha(h) => h.step(slow),
+            }
+        }
+    }
+
+    fn route_noc(&mut self, slow: u64) {
+        // Inter-checker traffic: each µcore's output queue is routed to the
+        // next engine of the same kernel (ring), via the mesh.
+        for (_, _, group) in &self.kernel_groups {
+            if group.len() < 2 {
+                continue;
+            }
+            for (gi, &src) in group.iter().enumerate() {
+                let dst = group[(gi + 1) % group.len()];
+                if let Engine::Ucore { u, .. } = &mut self.engines[src] {
+                    while let Some(e) = u.output_mut().pop() {
+                        let t = self.mesh.send(
+                            self.mesh.node_for_engine(src),
+                            self.mesh.node_for_engine(dst),
+                            slow,
+                        );
+                        self.pending_noc.push(Reverse((t, dst, e.bits() as u64)));
+                    }
+                }
+            }
+        }
+        // Deliver matured NoC packets.
+        while let Some(&Reverse((t, dst, payload))) = self.pending_noc.peek() {
+            if t > slow {
+                break;
+            }
+            self.pending_noc.pop();
+            if let Engine::Ucore { u, .. } = &mut self.engines[dst] {
+                if u.input_mut().push(QueueEntry::from_bits(payload.into())).is_err() {
+                    // Destination full: retry next slow cycle.
+                    self.pending_noc.push(Reverse((t + 1, dst, payload)));
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Runs until `n` instructions commit; returns the result against the
+    /// provided baseline cycle count.
+    pub fn run_insts(&mut self, n: u64, baseline_cycles: u64) -> RunResult {
+        let target = n;
+        while self.core.stats().committed < target && !self.core.is_drained() {
+            self.step();
+        }
+        // Drain the analysis backlog so late detections are observed —
+        // without advancing the main core (its cycle count is the result).
+        let mut now = self.core.now();
+        let drain_until = now + 50_000;
+        while now < drain_until {
+            for _ in 0..self.cfg.mapper_width {
+                self.frontend.step_mapper(now);
+            }
+            if self.divider.is_slow_edge(now) {
+                let slow = self.divider.slow_cycle(now);
+                self.deliver(slow);
+                self.step_engines(slow);
+                self.route_noc(slow);
+            }
+            for (i, e) in self.engines.iter().enumerate() {
+                self.frontend.engine_full[i] = e.queue_full();
+            }
+            now += 1;
+            if self.engines.iter().all(|e| match e {
+                Engine::Ucore { u, .. } => u.input().is_empty(),
+                Engine::Ha(h) => h.occupancy() == 0,
+            }) && !self.frontend.filter.arbiter_has_packet()
+            {
+                break;
+            }
+        }
+        self.collect(baseline_cycles)
+    }
+
+    fn collect(&mut self, baseline_cycles: u64) -> RunResult {
+        let stats = self.core.stats().clone();
+        let ns_per_fast = self.cfg.boom.ns_per_cycle();
+        let ratio = self.cfg.clock_ratio;
+        let mut detections = Vec::new();
+        for (kind_i, (_, vbit, group)) in self.kernel_groups.iter().enumerate() {
+            let _ = kind_i;
+            for &e in group {
+                match &mut self.engines[e] {
+                    Engine::Ucore { u, .. } => {
+                        for a in u.take_alarms() {
+                            let fast_at = a.cycle * ratio;
+                            detections.push(Detection {
+                                seq: a.seq,
+                                latency_ns: (fast_at.saturating_sub(a.commit_cycle)) as f64
+                                    * ns_per_fast,
+                                attack: a.attack,
+                                kernel_slot: *vbit,
+                            });
+                        }
+                    }
+                    Engine::Ha(h) => {
+                        for d in h.take_detections() {
+                            let fast_at = d.cycle * ratio;
+                            detections.push(Detection {
+                                seq: d.seq,
+                                latency_ns: (fast_at.saturating_sub(d.commit_cycle)) as f64
+                                    * ns_per_fast,
+                                attack: d.attack,
+                                kernel_slot: *vbit,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        let cycles = stats.cycles;
+        RunResult {
+            committed: stats.committed,
+            cycles,
+            baseline_cycles,
+            slowdown: if baseline_cycles == 0 {
+                1.0
+            } else {
+                cycles as f64 / baseline_cycles as f64
+            },
+            packets: self.frontend.filter.stats().packets,
+            detections,
+            bottlenecks: self.frontend.breakdown,
+            unclaimed_packets: self.frontend.allocator.stats().unclaimed,
+        }
+    }
+
+    /// The main core's statistics so far.
+    pub fn core_stats(&self) -> &fireguard_boom::CoreStats {
+        self.core.stats()
+    }
+}

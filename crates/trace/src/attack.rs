@@ -1,0 +1,200 @@
+//! Attack campaigns for the detection-latency experiment (paper §IV-B).
+//!
+//! The paper injects erroneous input at various locations in the core (the
+//! jump unit, the LDQ, the STQ, …), simulating e.g. a jump to a hijacked PC
+//! or an access to a freed memory address, with 50–100 attacks generated per
+//! workload. [`AttackPlan`] schedules such a campaign over a trace;
+//! [`AttackingTrace`] wraps a [`TraceGenerator`] and performs the injection
+//! at the planned points, recording ground truth.
+
+use crate::event::TraceInst;
+use crate::gen::TraceGenerator;
+use crate::rng::SimRng;
+
+pub use crate::event::AttackGroundTruth as AttackKind;
+
+/// A deterministic schedule of attack injections.
+///
+/// # Examples
+///
+/// ```
+/// use fireguard_trace::{AttackKind, AttackPlan};
+/// let plan = AttackPlan::campaign(&[AttackKind::RetHijack], 50, 10_000, 500_000, 1);
+/// assert_eq!(plan.len(), 50);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AttackPlan {
+    /// Sorted (seq, kind) injection requests.
+    schedule: Vec<(u64, AttackKind)>,
+}
+
+impl AttackPlan {
+    /// Builds a campaign of `count` attacks, kinds cycling through `kinds`,
+    /// uniformly spread over `[start, end)` dynamic instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kinds` is empty or `start >= end`.
+    pub fn campaign(kinds: &[AttackKind], count: usize, start: u64, end: u64, seed: u64) -> Self {
+        assert!(!kinds.is_empty(), "need at least one attack kind");
+        assert!(start < end, "injection window is empty");
+        let mut rng = SimRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut schedule: Vec<(u64, AttackKind)> = (0..count)
+            .map(|i| (rng.range_u64(start, end), kinds[i % kinds.len()]))
+            .collect();
+        schedule.sort_by_key(|&(s, _)| s);
+        AttackPlan { schedule }
+    }
+
+    /// Number of scheduled attacks.
+    pub fn len(&self) -> usize {
+        self.schedule.len()
+    }
+
+    /// True if the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.schedule.is_empty()
+    }
+
+    /// The scheduled injection points.
+    pub fn schedule(&self) -> &[(u64, AttackKind)] {
+        &self.schedule
+    }
+}
+
+/// A trace generator with an attack campaign applied.
+///
+/// Iterates like the underlying [`TraceGenerator`]; when the stream reaches
+/// a scheduled injection point, the corresponding attack is requested from
+/// the generator, which mutates the next *suitable* instruction (a return
+/// for hijacks, a memory access for the rest) and records ground truth.
+#[derive(Debug, Clone)]
+pub struct AttackingTrace {
+    generated: TraceGenerator,
+    plan: AttackPlan,
+    next_idx: usize,
+}
+
+impl AttackingTrace {
+    /// Wraps `generated` with `plan`.
+    pub fn new(generated: TraceGenerator, plan: AttackPlan) -> Self {
+        AttackingTrace {
+            generated,
+            plan,
+            next_idx: 0,
+        }
+    }
+
+    /// Ground truth for attacks injected so far: `(seq, kind)` pairs, in
+    /// injection order. Sequence numbers refer to the *mutated* instruction,
+    /// which trails the scheduled point by however long the generator had to
+    /// wait for a suitable instruction.
+    pub fn injected_attacks(&self) -> &[(u64, AttackKind)] {
+        self.generated.injected_attacks()
+    }
+
+    /// The wrapped generator (e.g. for profile access).
+    pub fn generator(&self) -> &TraceGenerator {
+        &self.generated
+    }
+}
+
+impl Iterator for AttackingTrace {
+    type Item = TraceInst;
+
+    fn next(&mut self) -> Option<TraceInst> {
+        let t = self.generated.next()?;
+        while self.next_idx < self.plan.schedule.len() && self.plan.schedule[self.next_idx].0 <= t.seq
+        {
+            self.generated.inject(self.plan.schedule[self.next_idx].1);
+            self.next_idx += 1;
+        }
+        Some(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::WorkloadProfile;
+
+    fn trace(name: &str, plan: AttackPlan) -> AttackingTrace {
+        let g = TraceGenerator::new(WorkloadProfile::parsec(name).unwrap(), 77);
+        AttackingTrace::new(g, plan)
+    }
+
+    #[test]
+    fn campaign_schedules_requested_count() {
+        let plan = AttackPlan::campaign(
+            &[AttackKind::RetHijack, AttackKind::OutOfBounds],
+            60,
+            1000,
+            100_000,
+            5,
+        );
+        assert_eq!(plan.len(), 60);
+        assert!(plan.schedule().windows(2).all(|w| w[0].0 <= w[1].0));
+        assert!(plan.schedule().iter().all(|&(s, _)| (1000..100_000).contains(&s)));
+    }
+
+    #[test]
+    fn all_attacks_eventually_injected() {
+        let plan = AttackPlan::campaign(
+            &[
+                AttackKind::RetHijack,
+                AttackKind::OutOfBounds,
+                AttackKind::UseAfterFree,
+                AttackKind::BoundsViolation,
+            ],
+            40,
+            20_000,
+            200_000,
+            9,
+        );
+        let mut t = trace("dedup", plan);
+        for _ in t.by_ref().take(400_000) {}
+        assert_eq!(
+            t.injected_attacks().len(),
+            40,
+            "every scheduled attack found a suitable instruction"
+        );
+    }
+
+    #[test]
+    fn injections_carry_matching_ground_truth() {
+        let plan = AttackPlan::campaign(&[AttackKind::OutOfBounds], 10, 5_000, 50_000, 13);
+        let mut t = trace("ferret", plan);
+        let mut seen = 0;
+        for inst in t.by_ref().take(200_000) {
+            if let Some(kind) = inst.attack {
+                assert_eq!(kind, AttackKind::OutOfBounds);
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, 10);
+        assert_eq!(t.injected_attacks().len(), 10);
+    }
+
+    #[test]
+    fn determinism_with_same_seeds() {
+        let mk = || {
+            let plan = AttackPlan::campaign(&[AttackKind::UseAfterFree], 8, 10_000, 90_000, 3);
+            let mut t = trace("dedup", plan);
+            for _ in t.by_ref().take(150_000) {}
+            t.injected_attacks().to_vec()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attack kind")]
+    fn empty_kinds_rejected() {
+        let _ = AttackPlan::campaign(&[], 5, 0, 10, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "window is empty")]
+    fn empty_window_rejected() {
+        let _ = AttackPlan::campaign(&[AttackKind::RetHijack], 5, 10, 10, 1);
+    }
+}

@@ -1,0 +1,142 @@
+//! Trace events: one record per dynamically executed instruction.
+
+use fireguard_isa::{InstClass, Instruction};
+
+/// Control-flow outcome of a branch/jump/call/return instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ControlFlow {
+    /// Whether the transfer was taken (always true for jumps/calls/returns).
+    pub taken: bool,
+    /// The (taken) target address.
+    pub target: u64,
+    /// Identifier of the static branch site, used by predictor history.
+    pub static_id: u32,
+}
+
+/// Heap-allocator activity attached to an allocator call.
+///
+/// AddressSanitizer and the use-after-free detector consume these: malloc
+/// establishes red zones, free quarantines the region (MineSweeper-style).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeapEvent {
+    /// A region `[base, base+size)` was allocated.
+    Malloc {
+        /// Base address of the allocation.
+        base: u64,
+        /// Size in bytes.
+        size: u64,
+    },
+    /// The region `[base, base+size)` was freed.
+    Free {
+        /// Base address of the freed region.
+        base: u64,
+        /// Size in bytes.
+        size: u64,
+    },
+}
+
+/// Ground-truth marker for an injected attack (see [`crate::attack`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AttackGroundTruth {
+    /// Return address was hijacked; the shadow stack must flag it.
+    RetHijack,
+    /// Out-of-bounds access into a red zone; AddressSanitizer must flag it.
+    OutOfBounds,
+    /// Access to quarantined (freed) memory; the UaF detector must flag it.
+    UseAfterFree,
+    /// Access inside a PMC-protected region outside the programmed bounds.
+    BoundsViolation,
+}
+
+/// One committed instruction as observed by FireGuard's commit-stage taps.
+///
+/// Carries the real 32-bit encoding (what the mini-filters index on) plus
+/// the semantic side-information the simulator needs: effective address,
+/// control-flow outcome, heap events and attack ground truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceInst {
+    /// Dynamic sequence number, starting at 0.
+    pub seq: u64,
+    /// Program counter.
+    pub pc: u64,
+    /// Real RV64 encoding.
+    pub inst: Instruction,
+    /// Cached semantic class of `inst`.
+    pub class: InstClass,
+    /// Effective address for loads/stores/AMOs.
+    pub mem_addr: Option<u64>,
+    /// Control-flow outcome for branches/jumps/calls/returns.
+    pub control: Option<ControlFlow>,
+    /// Allocator activity riding on this instruction (calls only).
+    pub heap: Option<HeapEvent>,
+    /// Ground truth if this instruction is an injected attack.
+    pub attack: Option<AttackGroundTruth>,
+}
+
+impl TraceInst {
+    /// True if this instruction produces an analysis-relevant memory access.
+    pub fn is_mem(&self) -> bool {
+        self.class.is_mem()
+    }
+
+    /// The fall-through PC (`pc + 4`; the generator uses fixed-width insts).
+    pub fn next_pc(&self) -> u64 {
+        match self.control {
+            Some(cf) if cf.taken => cf.target,
+            _ => self.pc + 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fireguard_isa::MemWidth;
+
+    fn mk(class_inst: Instruction, control: Option<ControlFlow>) -> TraceInst {
+        TraceInst {
+            seq: 0,
+            pc: 0x1000,
+            class: class_inst.class(),
+            inst: class_inst,
+            mem_addr: None,
+            control,
+            heap: None,
+            attack: None,
+        }
+    }
+
+    #[test]
+    fn next_pc_falls_through_for_untaken() {
+        let i = mk(
+            Instruction::branch(fireguard_isa::inst::BranchCond::Eq, 1.into(), 2.into(), 64),
+            Some(ControlFlow {
+                taken: false,
+                target: 0x1040,
+                static_id: 3,
+            }),
+        );
+        assert_eq!(i.next_pc(), 0x1004);
+    }
+
+    #[test]
+    fn next_pc_follows_taken_target() {
+        let i = mk(
+            Instruction::call(0x200),
+            Some(ControlFlow {
+                taken: true,
+                target: 0x1200,
+                static_id: 7,
+            }),
+        );
+        assert_eq!(i.next_pc(), 0x1200);
+    }
+
+    #[test]
+    fn mem_classification_delegates_to_class() {
+        let l = mk(Instruction::load(MemWidth::D, 1.into(), 2.into(), 0), None);
+        assert!(l.is_mem());
+        let a = mk(Instruction::nop(), None);
+        assert!(!a.is_mem());
+    }
+}

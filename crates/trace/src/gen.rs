@@ -1,0 +1,921 @@
+//! The synthetic trace generator.
+//!
+//! Generates an infinite, deterministic stream of [`TraceInst`]s whose
+//! statistics follow a [`WorkloadProfile`]. The generator maintains enough
+//! program structure for the downstream models to behave realistically:
+//!
+//! * a **static code graph** of basic blocks whose branch sites have stable
+//!   per-site behaviour (loop-like or data-dependent), so the TAGE predictor
+//!   in the main-core model has real patterns to learn;
+//! * a **register model** that draws source operands from recently written
+//!   destinations with profile-controlled tightness, so rename/issue see
+//!   real RAW dependency chains;
+//! * a **memory model** with a stack region, a global arena with hot-line
+//!   reuse, and a heap of live allocations (bump-allocated with red-zone
+//!   padding), so cache/TLB behaviour and sanitizer semantics are coherent —
+//!   natural accesses only touch valid memory, and injected attacks only
+//!   touch red zones, quarantined regions, or hijacked return targets;
+//! * a **call stack**, so returns really return (until hijacked).
+
+use crate::event::{AttackGroundTruth, ControlFlow, HeapEvent, TraceInst};
+use crate::profile::WorkloadProfile;
+use fireguard_isa::{AluOp, ArchReg, BranchCond, Instruction, MemWidth};
+use crate::rng::SimRng;
+use std::collections::VecDeque;
+
+/// Base of the code region.
+pub const CODE_BASE: u64 = 0x0001_0000;
+/// Base of the heap (bump-allocated, red-zone padded).
+pub const HEAP_BASE: u64 = 0x1000_0000;
+/// Base of the always-valid global arena.
+pub const GLOBAL_BASE: u64 = 0x4000_0000;
+/// Top of the downward-growing stack region.
+pub const STACK_TOP: u64 = 0x7FFF_F000;
+/// Base of the PMC-protected region (never touched by natural accesses).
+pub const PMC_REGION_BASE: u64 = 0x6000_0000;
+/// Size of the PMC-protected region.
+pub const PMC_REGION_SIZE: u64 = 4096;
+/// Red-zone padding placed before and after every heap allocation.
+pub const REDZONE_BYTES: u64 = 32;
+
+/// Stable per-block terminator kind (returns are structural: they fire
+/// when the enclosing function's block budget is spent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Terminator {
+    Branch,
+    Jump,
+    Call,
+}
+
+/// Per-site branch behaviour.
+#[derive(Debug, Clone, Copy)]
+enum BranchBehavior {
+    /// Taken `period − 1` consecutive times, then not taken once.
+    Loop { period: u16, counter: u16 },
+    /// Taken with a fixed probability, independently each visit.
+    Data { p_taken: f64 },
+}
+
+#[derive(Debug, Clone)]
+struct Block {
+    terminator: Terminator,
+    behavior: BranchBehavior,
+    /// Backward taken-branch target (loops).
+    branch_target: u32,
+    /// Forward jump target.
+    jump_target: u32,
+    /// Callee function entry.
+    call_target: u32,
+    static_id: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Allocation {
+    base: u64,
+    size: u64,
+    free_at: u64,
+}
+
+/// A deterministic, infinite instruction-trace generator.
+///
+/// Implements [`Iterator`] with `Item = TraceInst`; it never returns `None`.
+///
+/// # Examples
+///
+/// ```
+/// use fireguard_trace::{TraceGenerator, WorkloadProfile};
+/// let p = WorkloadProfile::parsec("dedup").unwrap();
+/// let insts: Vec<_> = TraceGenerator::new(p, 7).take(1000).collect();
+/// assert_eq!(insts.len(), 1000);
+/// // Same seed, same trace:
+/// let p2 = WorkloadProfile::parsec("dedup").unwrap();
+/// let again: Vec<_> = TraceGenerator::new(p2, 7).take(1000).collect();
+/// assert_eq!(insts[999], again[999]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    profile: WorkloadProfile,
+    rng: SimRng,
+    seq: u64,
+    pc: u64,
+    blocks: Vec<Block>,
+    body_pos: u8,
+    current_block: u32,
+    /// Call frames: (return PC, remaining block budget of the callee).
+    call_stack: Vec<(u64, u32)>,
+    func_len: Vec<u32>,
+    recent_dests: VecDeque<ArchReg>,
+    recent_fp_dests: VecDeque<ArchReg>,
+    next_dest: u8,
+    hot_lines: VecDeque<u64>,
+    stream_cursor: u64,
+    live_allocs: Vec<Allocation>,
+    recently_freed: VecDeque<(u64, u64)>,
+    heap_cursor: u64,
+    pending_attacks: VecDeque<AttackGroundTruth>,
+    /// Ground-truth log: (seq, kind) of every attack actually injected.
+    injected: Vec<(u64, AttackGroundTruth)>,
+    /// 1 / (1 − terminator fraction): body-class probabilities are scaled by
+    /// this so the *overall* stream matches the profile's mix despite
+    /// terminators occupying their own slots.
+    body_scale: f64,
+    /// Probability that the next instruction ends the current block.
+    term_frac: f64,
+}
+
+impl TraceGenerator {
+    /// Creates a generator for `profile` seeded with `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile fails [`WorkloadProfile::validate`].
+    pub fn new(profile: WorkloadProfile, seed: u64) -> Self {
+        profile.validate();
+        let mut rng = SimRng::seed_from_u64(seed ^ SEED_SALT);
+        let n_blocks = (profile.code_footprint / 64).max(8) as u32;
+        let mix = profile.mix;
+        // A small set of function entry points: real call graphs concentrate
+        // on few hot callees, which keeps the BTB/RAS working set realistic.
+        let n_funcs = (n_blocks / 64).clamp(4, 32);
+        let func_entries: Vec<u32> = (0..n_funcs)
+            .map(|_| rng.range_u32(0, n_blocks))
+            .collect();
+        // Function lengths in block visits: calls return once the callee
+        // has executed this many blocks (structural returns).
+        let func_len: Vec<u32> = (0..n_blocks).map(|_| rng.range_u32(2, 8)).collect();
+        // Terminator distribution over block-ending instructions. Which
+        // *kind* of terminator ends a given block visit is sampled per
+        // visit (exact class balance, and calls/returns can pair up), but
+        // every target is a stable per-block property so the BTB and TAGE
+        // have stable sites to learn.
+        let term_total = mix.branch + mix.jump + 2.0 * mix.call;
+        let blocks = (0..n_blocks)
+            .map(|i| {
+                // Stable per-block terminator among branch/jump/call.
+                let t3 = mix.branch + mix.jump + mix.call;
+                let r = rng.random_f64();
+                let terminator = if r < mix.branch / t3 {
+                    Terminator::Branch
+                } else if r < (mix.branch + mix.jump) / t3 {
+                    Terminator::Jump
+                } else {
+                    Terminator::Call
+                };
+                let behavior = if rng.random_bool(profile.loop_branch_frac) {
+                    BranchBehavior::Loop {
+                        period: rng.range_u32(4, 64) as u16,
+                        counter: 0,
+                    }
+                } else {
+                    // Real data-dependent branches are mostly *biased*: only
+                    // a minority are genuinely hard. Sample a per-site bias.
+                    let r = rng.random_f64();
+                    let p_taken = if r < 0.44 {
+                        0.93
+                    } else if r < 0.88 {
+                        0.07
+                    } else {
+                        // The genuinely hard sites lean not-taken so they
+                        // fall through rather than looping (if/else shape).
+                        0.7 - profile.data_branch_taken * 0.6
+                    };
+                    BranchBehavior::Data { p_taken }
+                };
+                // Control flow is *local*: branches loop backward a few
+                // blocks, jumps hop forward a few blocks, and only a small
+                // fraction of sites jump far. This mirrors real code and
+                // keeps the BTB working set finite.
+                // Loop sites branch backward (loops); data sites branch
+                // forward (if/else), so mispredict-prone sites do not
+                // amplify their own revisit rate.
+                let branch_target = if matches!(behavior, BranchBehavior::Loop { .. }) {
+                    (i + n_blocks - rng.range_u32(1, 9)) % n_blocks
+                } else {
+                    (i + rng.range_u32(2, 10)) % n_blocks
+                };
+                let jump_target = if rng.random_bool(0.1) {
+                    rng.range_u32(0, n_blocks)
+                } else {
+                    (i + rng.range_u32(1, 9)) % n_blocks
+                };
+                let call_target = func_entries[rng.range_usize(func_entries.len())];
+                Block {
+                    terminator,
+                    behavior,
+                    branch_target,
+                    jump_target,
+                    call_target,
+                    static_id: i,
+                }
+            })
+            .collect::<Vec<_>>();
+
+        let body_scale = 1.0 / (1.0 - term_total);
+        TraceGenerator {
+            profile,
+            rng,
+            seq: 0,
+            pc: CODE_BASE,
+            blocks,
+            body_pos: 0,
+            current_block: 0,
+            call_stack: Vec::new(),
+            func_len,
+            recent_dests: VecDeque::with_capacity(16),
+            recent_fp_dests: VecDeque::with_capacity(8),
+            next_dest: 0,
+            hot_lines: VecDeque::with_capacity(4096),
+            stream_cursor: 0,
+            live_allocs: Vec::new(),
+            recently_freed: VecDeque::with_capacity(32),
+            heap_cursor: HEAP_BASE,
+            pending_attacks: VecDeque::new(),
+            injected: Vec::new(),
+            body_scale,
+            term_frac: term_total,
+        }
+    }
+
+    /// The profile driving this generator.
+    pub fn profile(&self) -> &WorkloadProfile {
+        &self.profile
+    }
+
+    /// Requests that an attack of `kind` be injected at the next suitable
+    /// instruction (a return for [`AttackGroundTruth::RetHijack`], a memory
+    /// access for the others). Requests queue in FIFO order.
+    pub fn inject(&mut self, kind: AttackGroundTruth) {
+        self.pending_attacks.push_back(kind);
+    }
+
+    /// Ground truth for all attacks injected so far: `(seq, kind)` pairs.
+    pub fn injected_attacks(&self) -> &[(u64, AttackGroundTruth)] {
+        &self.injected
+    }
+
+    // ---- register model ----------------------------------------------------
+
+    fn fresh_dest(&mut self) -> ArchReg {
+        // Cycle destinations through x5..x28, leaving x0-x4 and pointer-ish
+        // conventions to their ABI roles.
+        let reg = ArchReg::new(5 + self.next_dest % 24);
+        self.next_dest = self.next_dest.wrapping_add(1);
+        if self.recent_dests.len() == 16 {
+            self.recent_dests.pop_back();
+        }
+        self.recent_dests.push_front(reg);
+        reg
+    }
+
+    fn pick_source(&mut self) -> ArchReg {
+        if !self.recent_dests.is_empty() && self.rng.random_bool(self.profile.dep_tightness) {
+            // Tight dependency: the most recent destination, forming the
+            // serial chains that bound a workload's ILP.
+            self.recent_dests[0]
+        } else {
+            // Loose: a long-lived register.
+            ArchReg::new(self.rng.range_u32(5, 29) as u8)
+        }
+    }
+
+    fn fresh_fp_dest(&mut self) -> ArchReg {
+        let reg = ArchReg::new(5 + self.next_dest % 24);
+        self.next_dest = self.next_dest.wrapping_add(7);
+        if self.recent_fp_dests.len() == 8 {
+            self.recent_fp_dests.pop_back();
+        }
+        self.recent_fp_dests.push_front(reg);
+        reg
+    }
+
+    fn pick_fp_source(&mut self) -> ArchReg {
+        if !self.recent_fp_dests.is_empty() && self.rng.random_bool(self.profile.dep_tightness) {
+            self.recent_fp_dests[0]
+        } else {
+            ArchReg::new(self.rng.range_u32(5, 29) as u8)
+        }
+    }
+
+    fn pointer_reg(&mut self) -> ArchReg {
+        if !self.recent_dests.is_empty()
+            && self.rng.random_bool(self.profile.dep_tightness * 0.5)
+        {
+            self.recent_dests[0] // pointer chase
+        } else {
+            ArchReg::new(self.rng.range_u32(8, 16) as u8)
+        }
+    }
+
+    // ---- memory model --------------------------------------------------------
+
+    fn natural_mem_addr(&mut self) -> u64 {
+        let r: f64 = self.rng.random_f64();
+        if r < self.profile.stack_frac {
+            // Stack accesses: tight 4 KiB window below the stack top.
+            return STACK_TOP - self.rng.range_u64(0, 4096) & !0x7;
+        }
+        // Some accesses go to live heap allocations (in bounds), biased to
+        // *recent* allocations (which are cache-warm, as in real programs).
+        // The offset is aligned within the allocation so natural accesses
+        // can never dip into the preceding red zone.
+        if !self.live_allocs.is_empty() && self.rng.random_bool(0.15) {
+            let n = self.live_allocs.len();
+            let r = self.rng.random_f64();
+            let a = self.live_allocs[n - 1 - (((r * r) * n as f64) as usize).min(n - 1)];
+            // Offsets cluster near the start of the object (header/first
+            // fields see most traffic), keeping hot objects cache-warm.
+            let o = self.rng.random_f64();
+            return a.base + (((o * o * o) * a.size as f64) as u64 & !0x7);
+        }
+        // Global arena: hot-line reuse most of the time, otherwise a
+        // streaming sweep through the working set (prefetch-friendly, like
+        // the array traversals that dominate PARSEC misses).
+        if !self.hot_lines.is_empty() && self.rng.random_bool(self.profile.locality) {
+            // Bias toward recently used lines (quadratic recency skew).
+            let r: f64 = self.rng.random_f64();
+            let idx = ((r * r) * self.hot_lines.len() as f64) as usize;
+            let line = self.hot_lines[idx.min(self.hot_lines.len() - 1)];
+            return line + self.rng.range_u64(0, 64) & !0x7;
+        }
+        let span = self.profile.working_set;
+        self.stream_cursor = (self.stream_cursor + 64) % span;
+        let line = GLOBAL_BASE + self.stream_cursor;
+        // A sampled fraction of streamed lines become hot (get revisited).
+        if self.rng.random_bool(0.05) {
+            if self.hot_lines.len() == 4096 {
+                self.hot_lines.pop_back();
+            }
+            self.hot_lines.push_front(line);
+        }
+        line + self.rng.range_u64(0, 64) & !0x7
+    }
+
+    fn alloc(&mut self) -> HeapEvent {
+        let (lo, hi) = self.profile.alloc_size;
+        let size = self.rng.range_inclusive_u64(lo, hi);
+        let lifetime = self
+            .rng
+            .range_u64(self.profile.alloc_lifetime / 2, self.profile.alloc_lifetime * 2);
+        self.heap_cursor += REDZONE_BYTES;
+        let base = self.heap_cursor;
+        self.heap_cursor += size + REDZONE_BYTES;
+        // Wrap the heap span to bound memory (an arena recycler).
+        if self.heap_cursor > HEAP_BASE + (512 << 20) {
+            self.heap_cursor = HEAP_BASE;
+        }
+        self.live_allocs.push(Allocation {
+            base,
+            size,
+            free_at: self.seq + lifetime,
+        });
+        HeapEvent::Malloc { base, size }
+    }
+
+    fn due_free(&mut self) -> Option<HeapEvent> {
+        let idx = self
+            .live_allocs
+            .iter()
+            .position(|a| a.free_at <= self.seq)?;
+        let a = self.live_allocs.swap_remove(idx);
+        if self.recently_freed.len() == 32 {
+            self.recently_freed.pop_back();
+        }
+        self.recently_freed.push_front((a.base, a.size));
+        Some(HeapEvent::Free {
+            base: a.base,
+            size: a.size,
+        })
+    }
+
+    // ---- attack helpers ------------------------------------------------------
+
+    fn take_pending_mem_attack(&mut self) -> Option<AttackGroundTruth> {
+        let kind = *self.pending_attacks.front()?;
+        let feasible = match kind {
+            AttackGroundTruth::OutOfBounds => !self.live_allocs.is_empty(),
+            AttackGroundTruth::UseAfterFree => !self.recently_freed.is_empty(),
+            AttackGroundTruth::BoundsViolation => true,
+            AttackGroundTruth::RetHijack => false,
+        };
+        if feasible {
+            self.pending_attacks.pop_front()
+        } else {
+            None
+        }
+    }
+
+    fn attack_mem_addr(&mut self, kind: AttackGroundTruth) -> u64 {
+        match kind {
+            AttackGroundTruth::OutOfBounds => {
+                let a = self.live_allocs[self.rng.range_usize(self.live_allocs.len())];
+                a.base + a.size + self.rng.range_u64(0, REDZONE_BYTES / 2)
+            }
+            AttackGroundTruth::UseAfterFree => {
+                let (base, size) =
+                    self.recently_freed[self.rng.range_usize(self.recently_freed.len())];
+                base + self.rng.range_u64(0, size.max(1))
+            }
+            AttackGroundTruth::BoundsViolation => {
+                PMC_REGION_BASE + self.rng.range_u64(0, PMC_REGION_SIZE)
+            }
+            AttackGroundTruth::RetHijack => unreachable!("handled on returns"),
+        }
+    }
+
+    // ---- instruction emission --------------------------------------------------
+
+    fn emit(&mut self, inst: Instruction, mem_addr: Option<u64>, control: Option<ControlFlow>, heap: Option<HeapEvent>, attack: Option<AttackGroundTruth>) -> TraceInst {
+        let t = TraceInst {
+            seq: self.seq,
+            pc: self.pc,
+            class: inst.class(),
+            inst,
+            mem_addr,
+            control,
+            heap,
+            attack,
+        };
+        if let Some(kind) = attack {
+            self.injected.push((self.seq, kind));
+        }
+        self.seq += 1;
+        t
+    }
+
+    fn block_pc(&self, block: u32) -> u64 {
+        CODE_BASE + u64::from(block) * 64
+    }
+
+    fn step_body(&mut self) -> TraceInst {
+        self.pc = self.block_pc(self.current_block) + 4 * u64::from(self.body_pos);
+        self.body_pos = (self.body_pos + 1) % 15;
+        // Allocator activity takes priority and rides on a call instruction
+        // (a call into malloc/free), which the event filter can select.
+        if let Some(free) = self.due_free() {
+            let inst = Instruction::call(64);
+            let target = self.block_pc(self.blocks[0].call_target);
+            let cf = ControlFlow {
+                taken: true,
+                target,
+                static_id: u32::MAX, // allocator call site
+            };
+            self.call_stack.push((self.pc + 4, 2));
+            let out = self.emit(inst, None, Some(cf), Some(free), None);
+            self.enter_block(self.blocks[0].call_target, true);
+            return out;
+        }
+        if self.rng.random_bool(self.profile.mallocs_per_kinst / 1000.0) {
+            let ev = self.alloc();
+            let inst = Instruction::call(64);
+            let target = self.block_pc(self.blocks[0].call_target);
+            let cf = ControlFlow {
+                taken: true,
+                target,
+                static_id: u32::MAX,
+            };
+            self.call_stack.push((self.pc + 4, 2));
+            let out = self.emit(inst, None, Some(cf), Some(ev), None);
+            self.enter_block(self.blocks[0].call_target, true);
+            return out;
+        }
+
+        let m = self.profile.mix;
+        let k = self.body_scale;
+        let r: f64 = self.rng.random_f64();
+        let mut acc = m.load * k;
+        if r < acc {
+            return self.emit_load();
+        }
+        acc += m.store * k;
+        if r < acc {
+            return self.emit_store();
+        }
+        acc += m.mul * k;
+        if r < acc {
+            let (rd, rs1, rs2) = self.three_regs();
+            return self.emit(Instruction::mul(rd, rs1, rs2), None, None, None, None);
+        }
+        acc += m.div * k;
+        if r < acc {
+            let (rd, rs1, rs2) = self.three_regs();
+            return self.emit(Instruction::div(rd, rs1, rs2), None, None, None, None);
+        }
+        acc += m.fp * k;
+        if r < acc {
+            // FP chains through the FP rename space: latency-4 serial
+            // dependences are what bound FP-heavy workloads.
+            let rs1 = self.pick_fp_source();
+            let rs2 = self.pick_fp_source();
+            let rd = self.fresh_fp_dest();
+            return self.emit(Instruction::fadd(rd, rs1, rs2), None, None, None, None);
+        }
+        // Default: integer ALU.
+        let rs1 = self.pick_source();
+        let rd = self.fresh_dest();
+        if self.rng.random_bool(0.5) {
+            let rs2 = self.pick_source();
+            let op = [AluOp::Add, AluOp::Xor, AluOp::And, AluOp::Or, AluOp::Sll][self.rng.range_usize(5)];
+            self.emit(Instruction::alu(op, rd, rs1, rs2), None, None, None, None)
+        } else {
+            let imm = self.rng.range_i32(-512, 512);
+            self.emit(Instruction::alu_imm(AluOp::Add, rd, rs1, imm), None, None, None, None)
+        }
+    }
+
+    fn three_regs(&mut self) -> (ArchReg, ArchReg, ArchReg) {
+        let rs1 = self.pick_source();
+        let rs2 = self.pick_source();
+        let rd = self.fresh_dest();
+        (rd, rs1, rs2)
+    }
+
+    fn emit_load(&mut self) -> TraceInst {
+        let attack = self.take_pending_mem_attack();
+        let addr = match attack {
+            Some(kind) => self.attack_mem_addr(kind),
+            None => self.natural_mem_addr(),
+        };
+        let base = self.pointer_reg();
+        let rd = self.fresh_dest();
+        let w = if self.rng.random_bool(0.6) {
+            MemWidth::D
+        } else {
+            MemWidth::W
+        };
+        let inst = Instruction::load(w, rd, base, self.rng.range_i32(-256, 256) & !7);
+        self.emit(inst, Some(addr), None, None, attack)
+    }
+
+    fn emit_store(&mut self) -> TraceInst {
+        let attack = self.take_pending_mem_attack();
+        let addr = match attack {
+            Some(kind) => self.attack_mem_addr(kind),
+            None => self.natural_mem_addr(),
+        };
+        let base = self.pointer_reg();
+        let src = self.pick_source();
+        let w = if self.rng.random_bool(0.6) {
+            MemWidth::D
+        } else {
+            MemWidth::W
+        };
+        let inst = Instruction::store(w, src, base, self.rng.range_i32(-256, 256) & !7);
+        self.emit(inst, Some(addr), None, None, attack)
+    }
+
+    fn step_terminator(&mut self) -> TraceInst {
+        self.pc = self.block_pc(self.current_block) + 60;
+        let block = self.current_block as usize;
+        let (terminator, static_id, branch_target, jump_target, call_target) = {
+            let b = &self.blocks[block];
+            (
+                b.terminator,
+                b.static_id,
+                b.branch_target,
+                b.jump_target,
+                b.call_target,
+            )
+        };
+        // Structural return: the enclosing function's block budget is spent.
+        if matches!(self.call_stack.last(), Some(&(_, 0))) {
+            let (true_target, _) = self.call_stack.pop().expect("just matched");
+            let attack = if matches!(
+                self.pending_attacks.front(),
+                Some(AttackGroundTruth::RetHijack)
+            ) {
+                self.pending_attacks.pop_front()
+            } else {
+                None
+            };
+            let target = if attack.is_some() {
+                self.block_pc(jump_target) + 4
+            } else {
+                true_target
+            };
+            let inst = Instruction::ret();
+            let cf = ControlFlow {
+                taken: true,
+                target,
+                static_id,
+            };
+            let out = self.emit(inst, None, Some(cf), None, attack);
+            let next_block = (((target - CODE_BASE) / 64) as u32) % self.blocks.len() as u32;
+            self.enter_block(next_block, true);
+            return out;
+        }
+        match terminator {
+            Terminator::Branch => {
+                let taken = match &mut self.blocks[block].behavior {
+                    BranchBehavior::Loop { period, counter } => {
+                        *counter += 1;
+                        if *counter >= *period {
+                            *counter = 0;
+                            false
+                        } else {
+                            true
+                        }
+                    }
+                    BranchBehavior::Data { p_taken } => {
+                        let p = *p_taken;
+                        self.rng.random_bool(p)
+                    }
+                };
+                let target = self.block_pc(branch_target);
+                let offset = (target as i64 - self.pc as i64) as i32 & !1;
+                let inst =
+                    Instruction::branch(BranchCond::Ne, self.pick_source(), ArchReg::ZERO, offset);
+                let next_block = if taken {
+                    branch_target
+                } else {
+                    (self.current_block + 1) % self.blocks.len() as u32
+                };
+                let cf = ControlFlow {
+                    taken,
+                    target,
+                    static_id,
+                };
+                let out = self.emit(inst, None, Some(cf), None, None);
+                self.enter_block(next_block, taken);
+                out
+            }
+            Terminator::Jump => {
+                let target = self.block_pc(jump_target);
+                let inst = Instruction::jal(ArchReg::ZERO, 8);
+                let cf = ControlFlow {
+                    taken: true,
+                    target,
+                    static_id,
+                };
+                let out = self.emit(inst, None, Some(cf), None, None);
+                self.enter_block(jump_target, true);
+                out
+            }
+            Terminator::Call => {
+                if self.call_stack.len() >= 48 {
+                    // Depth guard: degrade to a jump.
+                    let target = self.block_pc(jump_target);
+                    let inst = Instruction::jal(ArchReg::ZERO, 8);
+                    let cf = ControlFlow {
+                        taken: true,
+                        target,
+                        static_id,
+                    };
+                    let out = self.emit(inst, None, Some(cf), None, None);
+                    self.enter_block(jump_target, true);
+                    return out;
+                }
+                let target = self.block_pc(call_target);
+                let inst = Instruction::call(8);
+                let cf = ControlFlow {
+                    taken: true,
+                    target,
+                    static_id,
+                };
+                let budget = self.func_len[call_target as usize];
+                self.call_stack.push((self.pc + 4, budget));
+                let out = self.emit(inst, None, Some(cf), None, None);
+                self.enter_block(call_target, true);
+                out
+            }
+        }
+    }
+
+    fn enter_block(&mut self, block: u32, _jumped: bool) {
+        if let Some(frame) = self.call_stack.last_mut() {
+            frame.1 = frame.1.saturating_sub(1);
+        }
+        self.current_block = block;
+        self.body_pos = 0;
+        // Pin the PC to the block's canonical address so each static branch
+        // site keeps a stable PC across visits — the TAGE/BTB models index
+        // by PC and need recurrence to learn.
+        self.pc = self.block_pc(block);
+    }
+}
+
+/// Mixed into user seeds so that seed 0 still produces a rich stream.
+const SEED_SALT: u64 = 0xF12E_60A2_D000_0001;
+
+impl Iterator for TraceGenerator {
+    type Item = TraceInst;
+
+    fn next(&mut self) -> Option<TraceInst> {
+        // Geometric block bodies: each step ends the block with probability
+        // `term_frac`, which makes the terminator share of the stream (and
+        // therefore the renormalised body mix) exact by construction.
+        Some(if self.rng.random_bool(self.term_frac) {
+            self.step_terminator()
+        } else {
+            self.step_body()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::PARSEC_WORKLOADS;
+    use fireguard_isa::InstClass;
+    use std::collections::BTreeMap;
+
+    fn gen(name: &str, seed: u64) -> TraceGenerator {
+        TraceGenerator::new(WorkloadProfile::parsec(name).unwrap(), seed)
+    }
+
+    #[test]
+    fn determinism_same_seed() {
+        let a: Vec<_> = gen("ferret", 3).take(5000).collect();
+        let b: Vec<_> = gen("ferret", 3).take(5000).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a: Vec<_> = gen("ferret", 3).take(500).collect();
+        let b: Vec<_> = gen("ferret", 4).take(500).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn mix_fractions_approximately_respected() {
+        for w in PARSEC_WORKLOADS {
+            let n = 200_000;
+            let mut counts: BTreeMap<InstClass, u64> = BTreeMap::new();
+            for t in TraceGenerator::new(w.clone(), 11).take(n) {
+                *counts.entry(t.class).or_default() += 1;
+            }
+            let frac = |c: InstClass| {
+                *counts.get(&c).unwrap_or(&0) as f64 / n as f64
+            };
+            let lf = frac(InstClass::Load);
+            let sf = frac(InstClass::Store);
+            assert!(
+                (lf - w.mix.load).abs() < 0.03,
+                "{}: load fraction {lf:.3} vs profile {:.3}",
+                w.name,
+                w.mix.load
+            );
+            assert!(
+                (sf - w.mix.store).abs() < 0.03,
+                "{}: store fraction {sf:.3} vs profile {:.3}",
+                w.name,
+                w.mix.store
+            );
+        }
+    }
+
+    #[test]
+    fn calls_and_returns_stay_balanced() {
+        let mut depth: i64 = 0;
+        let mut max_depth: i64 = 0;
+        for t in gen("bodytrack", 9).take(100_000) {
+            match t.class {
+                InstClass::Call => depth += 1,
+                InstClass::Ret => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0, "returns never outnumber calls");
+            max_depth = max_depth.max(depth);
+        }
+        assert!(max_depth <= 64 + 2, "depth guard holds");
+        assert!(max_depth > 0, "some calls happen");
+    }
+
+    #[test]
+    fn returns_go_to_call_site_plus_4() {
+        let mut stack = Vec::new();
+        for t in gen("swaptions", 13).take(100_000) {
+            match t.class {
+                InstClass::Call => stack.push(t.pc + 4),
+                InstClass::Ret => {
+                    let expect = stack.pop().expect("balanced");
+                    let actual = t.control.unwrap().target;
+                    assert_eq!(actual, expect, "natural returns are honest");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn natural_memory_never_touches_redzones_or_pmc_region() {
+        for t in gen("dedup", 21).take(200_000) {
+            if let Some(addr) = t.mem_addr {
+                assert!(t.attack.is_some() || !(PMC_REGION_BASE..PMC_REGION_BASE + PMC_REGION_SIZE).contains(&addr),
+                    "natural access hit the PMC-protected region");
+            }
+        }
+    }
+
+    #[test]
+    fn heap_events_ride_on_calls() {
+        let mut mallocs = 0;
+        let mut frees = 0;
+        for t in gen("dedup", 5).take(300_000) {
+            if let Some(ev) = t.heap {
+                assert_eq!(t.class, InstClass::Call, "heap events ride on calls");
+                match ev {
+                    HeapEvent::Malloc { size, .. } => {
+                        assert!(size > 0);
+                        mallocs += 1;
+                    }
+                    HeapEvent::Free { .. } => frees += 1,
+                }
+            }
+        }
+        assert!(mallocs > 300, "dedup allocates heavily: {mallocs}");
+        assert!(frees > 100, "frees follow mallocs: {frees}");
+    }
+
+    #[test]
+    fn frees_match_prior_mallocs() {
+        let mut live = BTreeMap::new();
+        for t in gen("ferret", 17).take(400_000) {
+            match t.heap {
+                Some(HeapEvent::Malloc { base, size }) => {
+                    live.insert(base, size);
+                }
+                Some(HeapEvent::Free { base, size }) => {
+                    assert_eq!(live.remove(&base), Some(size), "free matches a live malloc");
+                }
+                None => {}
+            }
+        }
+    }
+
+    #[test]
+    fn injected_ret_hijack_lands_on_a_ret() {
+        let mut g = gen("blackscholes", 31);
+        g.inject(AttackGroundTruth::RetHijack);
+        let mut found = None;
+        for t in g.by_ref().take(200_000) {
+            if t.attack == Some(AttackGroundTruth::RetHijack) {
+                found = Some(t);
+                break;
+            }
+        }
+        let t = found.expect("hijack injected");
+        assert_eq!(t.class, InstClass::Ret);
+        assert_eq!(g.injected_attacks().len(), 1);
+    }
+
+    #[test]
+    fn injected_oob_hits_a_redzone() {
+        let mut g = gen("dedup", 33);
+        g.inject(AttackGroundTruth::OutOfBounds);
+        let t = g
+            .by_ref()
+            .take(500_000)
+            .find(|t| t.attack == Some(AttackGroundTruth::OutOfBounds))
+            .expect("OOB injected");
+        assert!(t.is_mem());
+        assert!(t.mem_addr.is_some());
+    }
+
+    #[test]
+    fn injected_uaf_hits_freed_memory() {
+        let mut g = gen("dedup", 35);
+        // Warm up so frees exist.
+        for _ in g.by_ref().take(100_000) {}
+        let freed: Vec<(u64, u64)> = g.recently_freed.iter().copied().collect();
+        assert!(!freed.is_empty());
+        g.inject(AttackGroundTruth::UseAfterFree);
+        let t = g
+            .by_ref()
+            .take(100_000)
+            .find(|t| t.attack == Some(AttackGroundTruth::UseAfterFree))
+            .expect("UaF injected");
+        let addr = t.mem_addr.unwrap();
+        // The address falls in some previously freed region (the exact list
+        // may have rotated, so check the generator's log instead of `freed`).
+        assert!(addr >= HEAP_BASE && addr < GLOBAL_BASE);
+    }
+
+    #[test]
+    fn pc_stays_in_code_region() {
+        for t in gen("x264", 41).take(100_000) {
+            assert!(t.pc >= CODE_BASE);
+            assert!(t.pc < CODE_BASE + (16 << 20), "pc within plausible code span");
+        }
+    }
+
+    #[test]
+    fn branch_sites_repeat_for_predictor_learning() {
+        let mut site_counts: BTreeMap<u32, u64> = BTreeMap::new();
+        for t in gen("streamcluster", 43).take(100_000) {
+            if let Some(cf) = t.control {
+                if t.class == InstClass::Branch {
+                    *site_counts.entry(cf.static_id).or_default() += 1;
+                }
+            }
+        }
+        // Structured control flow concentrates execution on the hot
+        // functions, so the *number* of distinct hot sites is modest; what
+        // matters for predictor learnability is that branch executions
+        // recur heavily at stable sites.
+        let repeated = site_counts.values().filter(|&&c| c > 10).count();
+        let hottest = site_counts.values().copied().max().unwrap_or(0);
+        assert!(repeated >= 5, "several recurring branch sites: {repeated}");
+        assert!(hottest > 200, "hot loop sites recur heavily: {hottest}");
+    }
+}

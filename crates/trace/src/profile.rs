@@ -1,0 +1,412 @@
+//! Per-workload generation profiles.
+//!
+//! Each PARSEC benchmark is described by the statistical properties that
+//! drive FireGuard's behaviour. Values are calibrated from published PARSEC
+//! characterisation studies (instruction mixes, working sets, memory
+//! intensity) so that the *relative* behaviour across benchmarks matches the
+//! paper: x264 has by far the highest load/store density and ILP (it remains
+//! bottlenecked even with 12 µcores), dedup is allocation-heavy (its UaF
+//! overhead does not parallelise away), streamcluster is load-dominated and
+//! streaming, blackscholes/swaptions are compute-bound with tame memory
+//! behaviour.
+
+/// Fractions of the dynamic instruction stream per class. The remainder
+/// (1 − sum) is simple integer ALU work.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstMix {
+    /// Loads.
+    pub load: f64,
+    /// Stores.
+    pub store: f64,
+    /// Conditional branches.
+    pub branch: f64,
+    /// Call/return *pairs*: the call fraction and the ret fraction each.
+    pub call: f64,
+    /// Unconditional direct jumps.
+    pub jump: f64,
+    /// Integer multiplies.
+    pub mul: f64,
+    /// Integer divides.
+    pub div: f64,
+    /// Floating-point computation.
+    pub fp: f64,
+}
+
+impl InstMix {
+    /// Sum of all specified fractions (call counted twice: call + ret).
+    pub fn total(&self) -> f64 {
+        self.load + self.store + self.branch + 2.0 * self.call + self.jump + self.mul + self.div + self.fp
+    }
+
+    /// Validates that fractions are sane and leave room for ALU work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any fraction is negative or the total reaches 1.0.
+    pub fn validate(&self) {
+        for (name, v) in [
+            ("load", self.load),
+            ("store", self.store),
+            ("branch", self.branch),
+            ("call", self.call),
+            ("jump", self.jump),
+            ("mul", self.mul),
+            ("div", self.div),
+            ("fp", self.fp),
+        ] {
+            assert!(v >= 0.0, "negative {name} fraction");
+        }
+        assert!(self.total() < 1.0, "instruction mix leaves no ALU slack");
+    }
+}
+
+/// Statistical description of one workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadProfile {
+    /// Benchmark name (e.g. `"x264"`).
+    pub name: &'static str,
+    /// Dynamic instruction mix.
+    pub mix: InstMix,
+    /// Geometric parameter for producer distance when picking source
+    /// registers: higher means tighter dependency chains (lower ILP).
+    pub dep_tightness: f64,
+    /// Data working-set size in bytes.
+    pub working_set: u64,
+    /// Probability a memory access reuses a recently touched hot line.
+    pub locality: f64,
+    /// Fraction of memory accesses going to the (small, hot) stack region.
+    pub stack_frac: f64,
+    /// Code footprint in bytes (drives the I-cache and BTB).
+    pub code_footprint: u64,
+    /// Fraction of branch sites behaving like predictable loop branches.
+    pub loop_branch_frac: f64,
+    /// Taken bias of non-loop (data-dependent) branches.
+    pub data_branch_taken: f64,
+    /// Allocator calls (malloc) per 1000 instructions.
+    pub mallocs_per_kinst: f64,
+    /// Allocation size range in bytes (min, max).
+    pub alloc_size: (u64, u64),
+    /// Mean allocation lifetime, in dynamic instructions.
+    pub alloc_lifetime: u64,
+}
+
+impl WorkloadProfile {
+    /// Looks up a PARSEC profile by name.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fireguard_trace::WorkloadProfile;
+    /// assert!(WorkloadProfile::parsec("dedup").is_some());
+    /// assert!(WorkloadProfile::parsec("doom").is_none());
+    /// ```
+    pub fn parsec(name: &str) -> Option<WorkloadProfile> {
+        PARSEC_WORKLOADS.iter().find(|w| w.name == name).cloned()
+    }
+
+    /// Fraction of instructions producing analysis packets for a
+    /// loads+stores subscription (the ASan/UaF packet rate).
+    pub fn mem_fraction(&self) -> f64 {
+        self.mix.load + self.mix.store
+    }
+
+    /// Validates all profile parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range parameters.
+    pub fn validate(&self) {
+        self.mix.validate();
+        assert!((0.0..=1.0).contains(&self.locality));
+        assert!((0.0..=1.0).contains(&self.stack_frac));
+        assert!((0.0..=1.0).contains(&self.loop_branch_frac));
+        assert!((0.0..=1.0).contains(&self.data_branch_taken));
+        assert!(self.dep_tightness > 0.0 && self.dep_tightness < 1.0);
+        assert!(self.working_set >= 4096);
+        assert!(self.code_footprint >= 1024);
+        assert!(self.alloc_size.0 > 0 && self.alloc_size.0 <= self.alloc_size.1);
+        assert!(self.alloc_lifetime > 0);
+    }
+}
+
+/// The nine PARSEC workloads used in the paper's evaluation (Fig. 7–11).
+pub const PARSEC_WORKLOADS: &[WorkloadProfile] = &[
+    WorkloadProfile {
+        name: "blackscholes",
+        mix: InstMix {
+            load: 0.20,
+            store: 0.05,
+            branch: 0.10,
+            call: 0.006,
+            jump: 0.01,
+            mul: 0.02,
+            div: 0.004,
+            fp: 0.28,
+        },
+        dep_tightness: 0.55,
+        working_set: 2 << 20,
+        locality: 0.993,
+        stack_frac: 0.30,
+        code_footprint: 16 << 10,
+        loop_branch_frac: 0.85,
+        data_branch_taken: 0.6,
+        mallocs_per_kinst: 0.02,
+        alloc_size: (64, 4096),
+        alloc_lifetime: 400_000,
+    },
+    WorkloadProfile {
+        name: "bodytrack",
+        mix: InstMix {
+            load: 0.28,
+            store: 0.12,
+            branch: 0.15,
+            call: 0.012,
+            jump: 0.015,
+            mul: 0.02,
+            div: 0.002,
+            fp: 0.12,
+        },
+        dep_tightness: 0.54,
+        working_set: 8 << 20,
+        locality: 0.982,
+        stack_frac: 0.22,
+        code_footprint: 128 << 10,
+        loop_branch_frac: 0.55,
+        data_branch_taken: 0.55,
+        mallocs_per_kinst: 0.25,
+        alloc_size: (32, 8192),
+        alloc_lifetime: 120_000,
+    },
+    WorkloadProfile {
+        name: "dedup",
+        mix: InstMix {
+            load: 0.27,
+            store: 0.15,
+            branch: 0.13,
+            call: 0.015,
+            jump: 0.012,
+            mul: 0.01,
+            div: 0.001,
+            fp: 0.01,
+        },
+        dep_tightness: 0.34,
+        working_set: 96 << 20,
+        locality: 0.978,
+        stack_frac: 0.15,
+        code_footprint: 96 << 10,
+        loop_branch_frac: 0.50,
+        data_branch_taken: 0.52,
+        mallocs_per_kinst: 3.0,
+        alloc_size: (256, 16 << 10),
+        alloc_lifetime: 30_000,
+    },
+    WorkloadProfile {
+        name: "ferret",
+        mix: InstMix {
+            load: 0.29,
+            store: 0.10,
+            branch: 0.14,
+            call: 0.014,
+            jump: 0.012,
+            mul: 0.02,
+            div: 0.003,
+            fp: 0.10,
+        },
+        dep_tightness: 0.36,
+        working_set: 48 << 20,
+        locality: 0.980,
+        stack_frac: 0.20,
+        code_footprint: 192 << 10,
+        loop_branch_frac: 0.55,
+        data_branch_taken: 0.55,
+        mallocs_per_kinst: 0.5,
+        alloc_size: (128, 16 << 10),
+        alloc_lifetime: 80_000,
+    },
+    WorkloadProfile {
+        name: "fluidanimate",
+        mix: InstMix {
+            load: 0.31,
+            store: 0.13,
+            branch: 0.11,
+            call: 0.008,
+            jump: 0.01,
+            mul: 0.015,
+            div: 0.004,
+            fp: 0.20,
+        },
+        dep_tightness: 0.37,
+        working_set: 64 << 20,
+        locality: 0.978,
+        stack_frac: 0.15,
+        code_footprint: 48 << 10,
+        loop_branch_frac: 0.70,
+        data_branch_taken: 0.55,
+        mallocs_per_kinst: 0.05,
+        alloc_size: (4096, 64 << 10),
+        alloc_lifetime: 500_000,
+    },
+    WorkloadProfile {
+        name: "freqmine",
+        mix: InstMix {
+            load: 0.33,
+            store: 0.09,
+            branch: 0.17,
+            call: 0.010,
+            jump: 0.012,
+            mul: 0.008,
+            div: 0.001,
+            fp: 0.01,
+        },
+        dep_tightness: 0.42,
+        working_set: 24 << 20,
+        locality: 0.980,
+        stack_frac: 0.18,
+        code_footprint: 64 << 10,
+        loop_branch_frac: 0.45,
+        data_branch_taken: 0.55,
+        mallocs_per_kinst: 0.6,
+        alloc_size: (64, 8192),
+        alloc_lifetime: 150_000,
+    },
+    WorkloadProfile {
+        name: "streamcluster",
+        mix: InstMix {
+            load: 0.30,
+            store: 0.04,
+            branch: 0.12,
+            call: 0.005,
+            jump: 0.008,
+            mul: 0.01,
+            div: 0.002,
+            fp: 0.17,
+        },
+        dep_tightness: 0.32,
+        working_set: 16 << 20,
+        locality: 0.970,
+        stack_frac: 0.10,
+        code_footprint: 24 << 10,
+        loop_branch_frac: 0.80,
+        data_branch_taken: 0.6,
+        mallocs_per_kinst: 0.03,
+        alloc_size: (4096, 32 << 10),
+        alloc_lifetime: 600_000,
+    },
+    WorkloadProfile {
+        name: "swaptions",
+        mix: InstMix {
+            load: 0.20,
+            store: 0.06,
+            branch: 0.11,
+            call: 0.010,
+            jump: 0.01,
+            mul: 0.02,
+            div: 0.005,
+            fp: 0.25,
+        },
+        dep_tightness: 0.62,
+        working_set: 1 << 20,
+        locality: 0.994,
+        stack_frac: 0.35,
+        code_footprint: 24 << 10,
+        loop_branch_frac: 0.80,
+        data_branch_taken: 0.6,
+        mallocs_per_kinst: 0.3,
+        alloc_size: (64, 2048),
+        alloc_lifetime: 60_000,
+    },
+    WorkloadProfile {
+        name: "x264",
+        mix: InstMix {
+            load: 0.38,
+            store: 0.17,
+            branch: 0.10,
+            call: 0.008,
+            jump: 0.012,
+            mul: 0.025,
+            div: 0.001,
+            fp: 0.02,
+        },
+        dep_tightness: 0.20,
+        working_set: 32 << 20,
+        locality: 0.985,
+        stack_frac: 0.10,
+        code_footprint: 256 << 10,
+        loop_branch_frac: 0.65,
+        data_branch_taken: 0.55,
+        mallocs_per_kinst: 0.15,
+        alloc_size: (512, 16 << 10),
+        alloc_lifetime: 250_000,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_nine_parsec_workloads_present() {
+        let names: Vec<_> = PARSEC_WORKLOADS.iter().map(|w| w.name).collect();
+        assert_eq!(
+            names,
+            [
+                "blackscholes",
+                "bodytrack",
+                "dedup",
+                "ferret",
+                "fluidanimate",
+                "freqmine",
+                "streamcluster",
+                "swaptions",
+                "x264"
+            ]
+        );
+    }
+
+    #[test]
+    fn all_profiles_validate() {
+        for w in PARSEC_WORKLOADS {
+            w.validate();
+        }
+    }
+
+    #[test]
+    fn x264_has_highest_memory_density() {
+        let x264 = WorkloadProfile::parsec("x264").unwrap();
+        for w in PARSEC_WORKLOADS {
+            if w.name != "x264" {
+                assert!(
+                    w.mem_fraction() < x264.mem_fraction(),
+                    "{} should have lower load+store density than x264",
+                    w.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dedup_has_highest_allocation_churn() {
+        let dedup = WorkloadProfile::parsec("dedup").unwrap();
+        for w in PARSEC_WORKLOADS {
+            if w.name != "dedup" {
+                assert!(w.mallocs_per_kinst < dedup.mallocs_per_kinst);
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_is_case_sensitive_and_total() {
+        assert!(WorkloadProfile::parsec("X264").is_none());
+        for w in PARSEC_WORKLOADS {
+            assert_eq!(WorkloadProfile::parsec(w.name).as_ref(), Some(w));
+        }
+    }
+
+    #[test]
+    fn mix_validate_rejects_oversubscription() {
+        let mut m = PARSEC_WORKLOADS[0].mix;
+        m.load = 0.9;
+        let result = std::panic::catch_unwind(|| m.validate());
+        assert!(result.is_err());
+    }
+}

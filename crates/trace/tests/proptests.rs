@@ -1,0 +1,145 @@
+//! Property-based tests over the workload generator: the structural
+//! invariants the rest of the simulator relies on must hold for *any*
+//! seed and any workload profile.
+
+use fireguard_isa::InstClass;
+use fireguard_trace::{
+    gen, AttackKind, AttackPlan, AttackingTrace, HeapEvent, TraceGenerator, WorkloadProfile,
+    PARSEC_WORKLOADS,
+};
+use proptest::prelude::*;
+
+fn workload() -> impl Strategy<Value = WorkloadProfile> {
+    (0..PARSEC_WORKLOADS.len()).prop_map(|i| PARSEC_WORKLOADS[i].clone())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Returns never outnumber calls, and every natural return target is
+    /// the matching call site + 4.
+    #[test]
+    fn call_ret_discipline(w in workload(), seed in 0u64..1_000_000) {
+        let mut stack: Vec<u64> = Vec::new();
+        for t in TraceGenerator::new(w, seed).take(30_000) {
+            match t.class {
+                InstClass::Call => stack.push(t.pc + 4),
+                InstClass::Ret => {
+                    let expect = stack.pop();
+                    prop_assert!(expect.is_some(), "ret without call at seq {}", t.seq);
+                    prop_assert_eq!(
+                        t.control.unwrap().target,
+                        expect.unwrap(),
+                        "natural returns are honest"
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Natural memory accesses never touch the PMC-protected region and
+    /// never touch red zones or freed regions (the sanitizer-soundness
+    /// contract between generator and kernels).
+    #[test]
+    fn natural_accesses_respect_poison(w in workload(), seed in 0u64..1_000_000) {
+        let mut live: Vec<(u64, u64)> = Vec::new();
+        let mut freed: Vec<(u64, u64)> = Vec::new();
+        for t in TraceGenerator::new(w, seed).take(30_000) {
+            match t.heap {
+                Some(HeapEvent::Malloc { base, size }) => {
+                    freed.retain(|&(b, _)| b != base);
+                    live.push((base, size));
+                }
+                Some(HeapEvent::Free { base, size }) => {
+                    live.retain(|&(b, _)| b != base);
+                    freed.push((base, size));
+                }
+                None => {}
+            }
+            let Some(a) = t.mem_addr else { continue };
+            prop_assert!(
+                !(gen::PMC_REGION_BASE..gen::PMC_REGION_BASE + gen::PMC_REGION_SIZE).contains(&a),
+                "PMC region touched naturally at seq {}", t.seq
+            );
+            for &(b, s) in &freed {
+                prop_assert!(!(b..b + s).contains(&a), "freed region touched at seq {}", t.seq);
+            }
+            for &(b, s) in &live {
+                prop_assert!(
+                    !(b.saturating_sub(gen::REDZONE_BYTES)..b).contains(&a)
+                        && !(b + s..b + s + gen::REDZONE_BYTES).contains(&a),
+                    "red zone touched at seq {}", t.seq
+                );
+            }
+        }
+    }
+
+    /// Sequence numbers are dense and strictly increasing from zero.
+    #[test]
+    fn sequence_numbers_are_dense(w in workload(), seed in 0u64..1_000_000) {
+        for (i, t) in TraceGenerator::new(w, seed).take(5_000).enumerate() {
+            prop_assert_eq!(t.seq, i as u64);
+        }
+    }
+
+    /// Heap events pair up: every free matches an earlier malloc of the
+    /// same base and size, and no base is freed twice without remalloc.
+    #[test]
+    fn heap_events_pair(w in workload(), seed in 0u64..1_000_000) {
+        let mut live = std::collections::BTreeMap::new();
+        for t in TraceGenerator::new(w, seed).take(60_000) {
+            match t.heap {
+                Some(HeapEvent::Malloc { base, size }) => {
+                    live.insert(base, size);
+                }
+                Some(HeapEvent::Free { base, size }) => {
+                    prop_assert_eq!(live.remove(&base), Some(size), "unmatched free");
+                }
+                None => {}
+            }
+        }
+    }
+
+    /// Attack injection marks exactly the instructions the ground-truth
+    /// log records, with matching kinds and suitable classes.
+    #[test]
+    fn injected_attacks_match_ground_truth(seed in 0u64..100_000, count in 1usize..12) {
+        let plan = AttackPlan::campaign(
+            &[AttackKind::RetHijack, AttackKind::BoundsViolation],
+            count,
+            2_000,
+            30_000,
+            seed,
+        );
+        let g = TraceGenerator::new(WorkloadProfile::parsec("dedup").unwrap(), seed ^ 0xAB);
+        let mut trace = AttackingTrace::new(g, plan);
+        let mut seen = Vec::new();
+        for t in trace.by_ref().take(80_000) {
+            if let Some(kind) = t.attack {
+                match kind {
+                    AttackKind::RetHijack => prop_assert_eq!(t.class, InstClass::Ret),
+                    AttackKind::BoundsViolation => {
+                        prop_assert!(t.is_mem());
+                        let a = t.mem_addr.unwrap();
+                        prop_assert!(
+                            (gen::PMC_REGION_BASE..gen::PMC_REGION_BASE + gen::PMC_REGION_SIZE)
+                                .contains(&a)
+                        );
+                    }
+                    _ => {}
+                }
+                seen.push((t.seq, kind));
+            }
+        }
+        prop_assert_eq!(seen.as_slice(), trace.injected_attacks());
+    }
+
+    /// The generator is a pure function of (profile, seed).
+    #[test]
+    fn generator_determinism(w in workload(), seed in 0u64..1_000_000) {
+        let a: Vec<_> = TraceGenerator::new(w.clone(), seed).take(2_000).collect();
+        let b: Vec<_> = TraceGenerator::new(w, seed).take(2_000).collect();
+        prop_assert_eq!(a, b);
+    }
+}

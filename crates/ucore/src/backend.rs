@@ -1,0 +1,112 @@
+//! Kernel backends: the semantic side of µcore execution.
+//!
+//! The µcore pipeline model is *timing*-accurate (caches, hazards, queue
+//! stalls); the *values* it computes on come from a [`KernelBackend`], which
+//! a guardian kernel implements to provide its semantic state — shadow
+//! memory contents, quarantine tables, shadow-stack storage — and its
+//! kernel-assist custom operations.
+
+/// Result of a custom kernel-assist operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CustomResult {
+    /// Value written to `rd`.
+    pub value: u64,
+    /// Extra cycles charged beyond the 1-cycle issue (e.g. a red-zone
+    /// poisoning microloop proportional to object size).
+    pub extra_cycles: u64,
+    /// Optional data-memory address the op touches (shadow byte, quarantine
+    /// entry, shadow-stack slot): the µcore performs a real D$/TLB access
+    /// and adds its latency to the op — this is where the paper's
+    /// shadow-memory miss costs come from.
+    pub mem_touch: Option<u64>,
+    /// When `false`, the touch is a blind update (e.g. a counter bump): the
+    /// access still occupies the cache but its latency does not gate the
+    /// op's result. Defaults to `true` (load-like, gating).
+    pub touch_blind: bool,
+}
+
+/// Semantic memory and custom-op provider for a µcore.
+pub trait KernelBackend {
+    /// Reads the 64-bit word at `addr` (timing handled by the caller).
+    fn mem_read(&mut self, addr: u64) -> u64;
+
+    /// Writes the 64-bit word at `addr`.
+    fn mem_write(&mut self, addr: u64, value: u64);
+
+    /// Executes custom op `op` with the two register operands.
+    fn custom(&mut self, op: u8, a: u64, b: u64) -> CustomResult {
+        let _ = (op, a, b);
+        CustomResult::default()
+    }
+}
+
+/// A backend with no state: reads return zero, writes vanish.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullBackend;
+
+impl KernelBackend for NullBackend {
+    fn mem_read(&mut self, _addr: u64) -> u64 {
+        0
+    }
+    fn mem_write(&mut self, _addr: u64, _value: u64) {}
+}
+
+/// Sparse 64-bit-word memory over a `BTreeMap`, for kernels that keep real
+/// data structures in µcore memory (shadow stacks, counter tables).
+///
+/// # Examples
+///
+/// ```
+/// use fireguard_ucore::{KernelBackend, SparseMem};
+/// let mut m = SparseMem::default();
+/// m.mem_write(0x100, 42);
+/// assert_eq!(m.mem_read(0x100), 42);
+/// assert_eq!(m.mem_read(0x108), 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SparseMem {
+    words: std::collections::BTreeMap<u64, u64>,
+}
+
+impl SparseMem {
+    /// Creates an all-zero memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of words ever written.
+    pub fn footprint_words(&self) -> usize {
+        self.words.len()
+    }
+}
+
+impl KernelBackend for SparseMem {
+    fn mem_read(&mut self, addr: u64) -> u64 {
+        *self.words.get(&(addr & !7)).unwrap_or(&0)
+    }
+
+    fn mem_write(&mut self, addr: u64, value: u64) {
+        self.words.insert(addr & !7, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_backend_is_inert() {
+        let mut b = NullBackend;
+        b.mem_write(0x10, 99);
+        assert_eq!(b.mem_read(0x10), 0);
+        assert_eq!(b.custom(3, 1, 2), CustomResult::default());
+    }
+
+    #[test]
+    fn sparse_mem_round_trips_word_aligned() {
+        let mut m = SparseMem::new();
+        m.mem_write(0x1003, 7); // unaligned writes snap to the word
+        assert_eq!(m.mem_read(0x1000), 7);
+        assert_eq!(m.footprint_words(), 1);
+    }
+}

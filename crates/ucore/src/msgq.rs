@@ -1,0 +1,206 @@
+//! Message queues connecting the fabric to a µcore (Table II: 32 entries).
+
+use std::collections::VecDeque;
+
+/// One 128-bit queue entry plus simulator-side metadata.
+///
+/// The bit layout is defined by FireGuard's packet encapsulation (the
+/// `fireguard-core` crate); the µcore treats the bits as opaque and
+/// extracts fields with the Table I bitfield instructions. The metadata
+/// travels alongside for measurement only (detection latency, ground
+/// truth) — it is *not* visible to µcore programs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueueEntry {
+    bits: u128,
+    /// Dynamic sequence number of the originating instruction.
+    pub seq: u64,
+    /// Fast-clock cycle at which the instruction committed.
+    pub commit_cycle: u64,
+    /// Ground-truth attack marker (measurement only).
+    pub attack: bool,
+}
+
+impl QueueEntry {
+    /// Builds an entry from raw bits with zeroed metadata.
+    pub fn from_bits(bits: u128) -> Self {
+        QueueEntry {
+            bits,
+            ..Default::default()
+        }
+    }
+
+    /// Builds an entry with metadata.
+    pub fn with_meta(bits: u128, seq: u64, commit_cycle: u64, attack: bool) -> Self {
+        QueueEntry {
+            bits,
+            seq,
+            commit_cycle,
+            attack,
+        }
+    }
+
+    /// The raw 128 bits.
+    pub fn bits(&self) -> u128 {
+        self.bits
+    }
+
+    /// Bits `[off+63 : off]`, as the Table I instructions expose them.
+    pub fn field(&self, off: u8) -> u64 {
+        debug_assert!(off < 128);
+        (self.bits >> off) as u64
+    }
+}
+
+/// A bounded FIFO message queue.
+///
+/// # Examples
+///
+/// ```
+/// use fireguard_ucore::{MessageQueue, QueueEntry};
+/// let mut q = MessageQueue::new(2);
+/// q.push(QueueEntry::from_bits(1)).unwrap();
+/// q.push(QueueEntry::from_bits(2)).unwrap();
+/// assert!(q.push(QueueEntry::from_bits(3)).is_err());
+/// assert_eq!(q.pop().unwrap().bits(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MessageQueue {
+    items: VecDeque<QueueEntry>,
+    capacity: usize,
+    /// Cumulative count of refused pushes (queue full) — back-pressure.
+    refused: u64,
+    /// High-water mark of occupancy.
+    peak: usize,
+}
+
+/// Error returned when pushing to a full queue; contains the entry back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull(pub QueueEntry);
+
+impl std::fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "message queue is full")
+    }
+}
+
+impl std::error::Error for QueueFull {}
+
+impl MessageQueue {
+    /// Creates a queue holding up to `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        MessageQueue {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+            refused: 0,
+            peak: 0,
+        }
+    }
+
+    /// Appends an entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueFull`] (containing the entry) when at capacity; the
+    /// caller is expected to back-pressure and retry.
+    pub fn push(&mut self, e: QueueEntry) -> Result<(), QueueFull> {
+        if self.items.len() == self.capacity {
+            self.refused += 1;
+            return Err(QueueFull(e));
+        }
+        self.items.push_back(e);
+        self.peak = self.peak.max(self.items.len());
+        Ok(())
+    }
+
+    /// Removes and returns the head entry.
+    pub fn pop(&mut self) -> Option<QueueEntry> {
+        self.items.pop_front()
+    }
+
+    /// The head entry without removal.
+    pub fn top(&self) -> Option<&QueueEntry> {
+        self.items.front()
+    }
+
+    /// Current occupancy (the Table I `count` instruction).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// True when at capacity (drives back-pressure and Fig. 9's metric).
+    pub fn is_full(&self) -> bool {
+        self.items.len() == self.capacity
+    }
+
+    /// Capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Pushes refused so far.
+    pub fn refused(&self) -> u64 {
+        self.refused
+    }
+
+    /// Occupancy high-water mark.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut q = MessageQueue::new(4);
+        for i in 0..4u128 {
+            q.push(QueueEntry::from_bits(i)).unwrap();
+        }
+        for i in 0..4u128 {
+            assert_eq!(q.pop().unwrap().bits(), i);
+        }
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn full_queue_refuses_and_counts() {
+        let mut q = MessageQueue::new(1);
+        q.push(QueueEntry::from_bits(7)).unwrap();
+        let e = q.push(QueueEntry::from_bits(8)).unwrap_err();
+        assert_eq!(e.0.bits(), 8);
+        assert_eq!(q.refused(), 1);
+        assert!(q.is_full());
+    }
+
+    #[test]
+    fn field_extraction_matches_table_i_semantics() {
+        let e = QueueEntry::from_bits(0xDEAD_BEEF_0000_0001_u128 | (0xCAFE_u128 << 64));
+        assert_eq!(e.field(0), 0xDEAD_BEEF_0000_0001);
+        assert_eq!(e.field(64), 0xCAFE);
+        assert_eq!(e.field(4), 0xEDEA_DBEE_F000_0000);
+    }
+
+    #[test]
+    fn peak_tracks_high_water() {
+        let mut q = MessageQueue::new(8);
+        for i in 0..5u128 {
+            q.push(QueueEntry::from_bits(i)).unwrap();
+        }
+        q.pop();
+        q.pop();
+        assert_eq!(q.peak(), 5);
+        assert_eq!(q.len(), 3);
+    }
+}

@@ -1,0 +1,379 @@
+//! The µcore instruction set and a tiny assembler.
+//!
+//! The µ-ISA is the RV32/64I-flavoured subset a guardian kernel's inner loop
+//! needs, plus the five queue instructions of Table I and a `Custom` escape
+//! for kernel-assist operations (the paper's "unrolling-aware custom
+//! instructions", e.g. shadow-address computation).
+
+/// One µcore instruction. Registers are 5-bit indices (`x0` reads zero).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UInst {
+    /// `rd = rs1 + imm`
+    Addi { rd: u8, rs1: u8, imm: i64 },
+    /// `rd = rs1 + rs2`
+    Add { rd: u8, rs1: u8, rs2: u8 },
+    /// `rd = rs1 - rs2`
+    Sub { rd: u8, rs1: u8, rs2: u8 },
+    /// `rd = rs1 & rs2`
+    And { rd: u8, rs1: u8, rs2: u8 },
+    /// `rd = rs1 | rs2`
+    Or { rd: u8, rs1: u8, rs2: u8 },
+    /// `rd = rs1 ^ rs2`
+    Xor { rd: u8, rs1: u8, rs2: u8 },
+    /// `rd = rs1 & imm`
+    Andi { rd: u8, rs1: u8, imm: i64 },
+    /// `rd = rs1 << sh`
+    Slli { rd: u8, rs1: u8, sh: u8 },
+    /// `rd = rs1 >> sh` (logical)
+    Srli { rd: u8, rs1: u8, sh: u8 },
+    /// `rd = (rs1 < rs2) ? 1 : 0` (unsigned)
+    Sltu { rd: u8, rs1: u8, rs2: u8 },
+    /// `rd = mem[rs1 + off]` (64-bit, through the µcore D$/TLB)
+    Load { rd: u8, rs1: u8, off: i64 },
+    /// `mem[rs1 + off] = rs2`
+    Store { rs2: u8, rs1: u8, off: i64 },
+    /// Branch to `target` if `rs1 == 0`
+    Beqz { rs1: u8, target: usize },
+    /// Branch to `target` if `rs1 != 0`
+    Bnez { rs1: u8, target: usize },
+    /// Branch to `target` if `rs1 >= rs2` (unsigned)
+    Bgeu { rs1: u8, rs2: u8, target: usize },
+    /// Unconditional jump to `target`
+    Jump { target: usize },
+    /// Table I `count rd`: packets buffered in the input queue.
+    QCount { rd: u8 },
+    /// Table I `top rd, off`: bits `[off+63:off]` of the head packet
+    /// without removing it. Stalls until a packet is available.
+    QTop { rd: u8, off: u8 },
+    /// Table I `pop rd, off`: remove the head packet, returning bits
+    /// `[off+63:off]`. Stalls until a packet is available.
+    QPop { rd: u8, off: u8 },
+    /// Table I `recent rd, off`: bits of the most recently popped packet
+    /// (e.g. the PC, fetched only on a detected error).
+    QRecent { rd: u8, off: u8 },
+    /// Table I `push rs1`: append to the output queue (stalls when full).
+    QPush { rs1: u8 },
+    /// Kernel-assist custom operation `op(rs1, rs2) -> rd`, executed by the
+    /// attached [`KernelBackend`](crate::KernelBackend); single-cycle unless
+    /// the backend charges extra.
+    Custom { op: u8, rd: u8, rs1: u8, rs2: u8 },
+    /// Fused packet-check custom operation (the paper's "unrolling-aware
+    /// custom instructions"): executes `op` over the *most recently popped*
+    /// packet's address and verdict fields without consuming registers,
+    /// eliminating the extract/mask instructions of the generic path.
+    QCheck { op: u8, rd: u8 },
+    /// Raise a detection alarm carrying `code`; execution continues.
+    Alarm { code: u8 },
+    /// Stop the µcore.
+    Halt,
+    /// No operation.
+    Nop,
+}
+
+/// An assembled µcore program: straight-line code with resolved targets.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct UProgram {
+    insts: Vec<UInst>,
+}
+
+impl UProgram {
+    /// Wraps a raw instruction vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any branch target is out of range.
+    pub fn new(insts: Vec<UInst>) -> Self {
+        for (i, inst) in insts.iter().enumerate() {
+            let target = match inst {
+                UInst::Beqz { target, .. }
+                | UInst::Bnez { target, .. }
+                | UInst::Bgeu { target, .. }
+                | UInst::Jump { target } => Some(*target),
+                _ => None,
+            };
+            if let Some(t) = target {
+                assert!(t < insts.len(), "instruction {i}: target {t} out of range");
+            }
+        }
+        UProgram { insts }
+    }
+
+    /// The instruction at `pc`, if in range.
+    pub fn get(&self, pc: usize) -> Option<&UInst> {
+        self.insts.get(pc)
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True for an empty program.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The raw instruction slice.
+    pub fn insts(&self) -> &[UInst] {
+        &self.insts
+    }
+}
+
+/// A small two-pass-free assembler: forward labels are patched at
+/// [`Asm::assemble`] time.
+///
+/// # Examples
+///
+/// ```
+/// use fireguard_ucore::{Asm, UInst};
+/// let mut asm = Asm::new();
+/// let skip = asm.fwd_label();
+/// asm.beqz(1, skip);
+/// asm.addi(2, 2, 1);
+/// asm.bind(skip);
+/// asm.halt();
+/// let p = asm.assemble();
+/// assert_eq!(p.len(), 3);
+/// assert_eq!(p.get(0), Some(&UInst::Beqz { rs1: 1, target: 2 }));
+/// ```
+#[derive(Debug, Default)]
+pub struct Asm {
+    insts: Vec<UInst>,
+    labels: Vec<Option<usize>>,
+    patches: Vec<(usize, usize)>, // (inst index, label id)
+}
+
+/// An opaque forward-label handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Label(usize);
+
+impl Asm {
+    /// Creates an empty assembler.
+    pub fn new() -> Self {
+        Asm::default()
+    }
+
+    /// Current position (usable as a backward branch target).
+    pub fn here(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Allocates a forward label to be bound later with [`Asm::bind`].
+    pub fn fwd_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound.
+    pub fn bind(&mut self, label: Label) {
+        assert!(self.labels[label.0].is_none(), "label bound twice");
+        self.labels[label.0] = Some(self.insts.len());
+    }
+
+    fn push(&mut self, i: UInst) -> &mut Self {
+        self.insts.push(i);
+        self
+    }
+
+    /// Emits `addi`.
+    pub fn addi(&mut self, rd: u8, rs1: u8, imm: i64) -> &mut Self {
+        self.push(UInst::Addi { rd, rs1, imm })
+    }
+    /// Emits `add`.
+    pub fn add(&mut self, rd: u8, rs1: u8, rs2: u8) -> &mut Self {
+        self.push(UInst::Add { rd, rs1, rs2 })
+    }
+    /// Emits `sub`.
+    pub fn sub(&mut self, rd: u8, rs1: u8, rs2: u8) -> &mut Self {
+        self.push(UInst::Sub { rd, rs1, rs2 })
+    }
+    /// Emits `and`.
+    pub fn and(&mut self, rd: u8, rs1: u8, rs2: u8) -> &mut Self {
+        self.push(UInst::And { rd, rs1, rs2 })
+    }
+    /// Emits `or`.
+    pub fn or(&mut self, rd: u8, rs1: u8, rs2: u8) -> &mut Self {
+        self.push(UInst::Or { rd, rs1, rs2 })
+    }
+    /// Emits `xor`.
+    pub fn xor(&mut self, rd: u8, rs1: u8, rs2: u8) -> &mut Self {
+        self.push(UInst::Xor { rd, rs1, rs2 })
+    }
+    /// Emits `andi`.
+    pub fn andi(&mut self, rd: u8, rs1: u8, imm: i64) -> &mut Self {
+        self.push(UInst::Andi { rd, rs1, imm })
+    }
+    /// Emits `slli`.
+    pub fn slli(&mut self, rd: u8, rs1: u8, sh: u8) -> &mut Self {
+        self.push(UInst::Slli { rd, rs1, sh })
+    }
+    /// Emits `srli`.
+    pub fn srli(&mut self, rd: u8, rs1: u8, sh: u8) -> &mut Self {
+        self.push(UInst::Srli { rd, rs1, sh })
+    }
+    /// Emits `sltu`.
+    pub fn sltu(&mut self, rd: u8, rs1: u8, rs2: u8) -> &mut Self {
+        self.push(UInst::Sltu { rd, rs1, rs2 })
+    }
+    /// Emits a 64-bit load.
+    pub fn load(&mut self, rd: u8, rs1: u8, off: i64) -> &mut Self {
+        self.push(UInst::Load { rd, rs1, off })
+    }
+    /// Emits a 64-bit store.
+    pub fn store(&mut self, rs2: u8, rs1: u8, off: i64) -> &mut Self {
+        self.push(UInst::Store { rs2, rs1, off })
+    }
+    /// Emits `beqz` to a *backward* target (an already-emitted position).
+    pub fn beqz_back(&mut self, rs1: u8, target: usize) -> &mut Self {
+        self.push(UInst::Beqz { rs1, target })
+    }
+    /// Emits `beqz` to a forward label.
+    pub fn beqz(&mut self, rs1: u8, label: Label) -> &mut Self {
+        self.patches.push((self.insts.len(), label.0));
+        self.push(UInst::Beqz { rs1, target: usize::MAX })
+    }
+    /// Emits `bnez` to a backward target.
+    pub fn bnez_back(&mut self, rs1: u8, target: usize) -> &mut Self {
+        self.push(UInst::Bnez { rs1, target })
+    }
+    /// Emits `bnez` to a forward label.
+    pub fn bnez(&mut self, rs1: u8, label: Label) -> &mut Self {
+        self.patches.push((self.insts.len(), label.0));
+        self.push(UInst::Bnez { rs1, target: usize::MAX })
+    }
+    /// Emits `bgeu` to a forward label.
+    pub fn bgeu(&mut self, rs1: u8, rs2: u8, label: Label) -> &mut Self {
+        self.patches.push((self.insts.len(), label.0));
+        self.push(UInst::Bgeu { rs1, rs2, target: usize::MAX })
+    }
+    /// Emits a jump to a backward target.
+    pub fn jump(&mut self, target: usize) -> &mut Self {
+        self.push(UInst::Jump { target })
+    }
+    /// Emits a jump to a forward label.
+    pub fn jump_fwd(&mut self, label: Label) -> &mut Self {
+        self.patches.push((self.insts.len(), label.0));
+        self.push(UInst::Jump { target: usize::MAX })
+    }
+    /// Emits `count rd`.
+    pub fn qcount(&mut self, rd: u8) -> &mut Self {
+        self.push(UInst::QCount { rd })
+    }
+    /// Emits `top rd, off`.
+    pub fn qtop(&mut self, rd: u8, off: u8) -> &mut Self {
+        self.push(UInst::QTop { rd, off })
+    }
+    /// Emits `pop rd, off`.
+    pub fn qpop(&mut self, rd: u8, off: u8) -> &mut Self {
+        self.push(UInst::QPop { rd, off })
+    }
+    /// Emits `recent rd, off`.
+    pub fn qrecent(&mut self, rd: u8, off: u8) -> &mut Self {
+        self.push(UInst::QRecent { rd, off })
+    }
+    /// Emits `push rs1`.
+    pub fn qpush(&mut self, rs1: u8) -> &mut Self {
+        self.push(UInst::QPush { rs1 })
+    }
+    /// Emits a custom kernel-assist op.
+    pub fn custom(&mut self, op: u8, rd: u8, rs1: u8, rs2: u8) -> &mut Self {
+        self.push(UInst::Custom { op, rd, rs1, rs2 })
+    }
+    /// Emits a fused packet-check op over the last-popped packet.
+    pub fn qcheck(&mut self, op: u8, rd: u8) -> &mut Self {
+        self.push(UInst::QCheck { op, rd })
+    }
+    /// Emits an alarm.
+    pub fn alarm(&mut self, code: u8) -> &mut Self {
+        self.push(UInst::Alarm { code })
+    }
+    /// Emits `halt`.
+    pub fn halt(&mut self) -> &mut Self {
+        self.push(UInst::Halt)
+    }
+    /// Emits `nop`.
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(UInst::Nop)
+    }
+
+    /// Resolves forward labels and produces the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any forward label was never bound.
+    pub fn assemble(mut self) -> UProgram {
+        for (at, label) in self.patches.drain(..) {
+            let target = self.labels[label].expect("unbound forward label");
+            match &mut self.insts[at] {
+                UInst::Beqz { target: t, .. }
+                | UInst::Bnez { target: t, .. }
+                | UInst::Bgeu { target: t, .. }
+                | UInst::Jump { target: t } => *t = target,
+                other => unreachable!("patched non-branch {other:?}"),
+            }
+        }
+        UProgram::new(self.insts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_labels_resolve() {
+        let mut asm = Asm::new();
+        let end = asm.fwd_label();
+        asm.beqz(1, end);
+        asm.addi(2, 2, 5);
+        asm.bind(end);
+        asm.halt();
+        let p = asm.assemble();
+        assert_eq!(p.get(0), Some(&UInst::Beqz { rs1: 1, target: 2 }));
+    }
+
+    #[test]
+    fn backward_targets_pass_validation() {
+        let mut asm = Asm::new();
+        let top = asm.here();
+        asm.nop();
+        asm.jump(top);
+        let p = asm.assemble();
+        assert_eq!(p.get(1), Some(&UInst::Jump { target: 0 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound forward label")]
+    fn unbound_label_panics() {
+        let mut asm = Asm::new();
+        let l = asm.fwd_label();
+        asm.jump_fwd(l);
+        let _ = asm.assemble();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_target_rejected() {
+        let _ = UProgram::new(vec![UInst::Jump { target: 5 }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut asm = Asm::new();
+        let l = asm.fwd_label();
+        asm.bind(l);
+        asm.bind(l);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let mut asm = Asm::new();
+        asm.addi(1, 0, 1).add(2, 1, 1).qpush(2).halt();
+        assert_eq!(asm.assemble().len(), 4);
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests for the µcore: timing may be complex, but the
+//! architectural semantics must match a simple reference interpreter, and
+//! the queues must behave like queues.
+
+use fireguard_ucore::{
+    Asm, MessageQueue, NullBackend, QueueEntry, SparseMem, UInst, UProgram, Ucore, UcoreConfig,
+};
+use proptest::prelude::*;
+
+/// A reference (timing-free) interpreter for straight-line ALU programs.
+fn reference_alu(program: &UProgram) -> [u64; 32] {
+    let mut regs = [0u64; 32];
+    let mut pc = 0usize;
+    let mut steps = 0;
+    while let Some(&inst) = program.get(pc) {
+        steps += 1;
+        if steps > 100_000 {
+            break;
+        }
+        pc += 1;
+        match inst {
+            UInst::Addi { rd, rs1, imm } => {
+                if rd != 0 {
+                    regs[rd as usize] = regs[rs1 as usize].wrapping_add(imm as u64);
+                }
+            }
+            UInst::Add { rd, rs1, rs2 } => {
+                if rd != 0 {
+                    regs[rd as usize] = regs[rs1 as usize].wrapping_add(regs[rs2 as usize]);
+                }
+            }
+            UInst::Xor { rd, rs1, rs2 } => {
+                if rd != 0 {
+                    regs[rd as usize] = regs[rs1 as usize] ^ regs[rs2 as usize];
+                }
+            }
+            UInst::Slli { rd, rs1, sh } => {
+                if rd != 0 {
+                    regs[rd as usize] = regs[rs1 as usize] << sh;
+                }
+            }
+            UInst::Halt => break,
+            _ => {}
+        }
+    }
+    regs
+}
+
+#[derive(Debug, Clone)]
+enum AluOpKind {
+    Addi(u8, u8, i16),
+    Add(u8, u8, u8),
+    Xor(u8, u8, u8),
+    Slli(u8, u8, u8),
+}
+
+fn alu_op() -> impl Strategy<Value = AluOpKind> {
+    prop_oneof![
+        (1u8..16, 0u8..16, any::<i16>()).prop_map(|(rd, rs1, imm)| AluOpKind::Addi(rd, rs1, imm)),
+        (1u8..16, 0u8..16, 0u8..16).prop_map(|(rd, a, b)| AluOpKind::Add(rd, a, b)),
+        (1u8..16, 0u8..16, 0u8..16).prop_map(|(rd, a, b)| AluOpKind::Xor(rd, a, b)),
+        (1u8..16, 0u8..16, 0u8..6).prop_map(|(rd, rs1, sh)| AluOpKind::Slli(rd, rs1, sh)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Pipeline timing must never change architectural results: the
+    /// hazard-accurate µcore and the timing-free reference agree on every
+    /// register for arbitrary ALU programs.
+    #[test]
+    fn alu_semantics_match_reference(ops in proptest::collection::vec(alu_op(), 1..80)) {
+        let mut asm = Asm::new();
+        for op in &ops {
+            match *op {
+                AluOpKind::Addi(rd, rs1, imm) => { asm.addi(rd, rs1, i64::from(imm)); }
+                AluOpKind::Add(rd, a, b) => { asm.add(rd, a, b); }
+                AluOpKind::Xor(rd, a, b) => { asm.xor(rd, a, b); }
+                AluOpKind::Slli(rd, rs1, sh) => { asm.slli(rd, rs1, sh); }
+            }
+        }
+        asm.halt();
+        let program = asm.assemble();
+        let expect = reference_alu(&program);
+        let mut u = Ucore::new(UcoreConfig::default(), program);
+        u.advance(1_000_000, &mut NullBackend);
+        prop_assert!(u.is_halted());
+        // Compare through loads? Registers are internal; reuse the public
+        // output queue: push every register via a second program would be
+        // heavy — instead assert via stats + a probe store program.
+        // Simpler: re-run with stores appended.
+        let mut asm2 = Asm::new();
+        for op in &ops {
+            match *op {
+                AluOpKind::Addi(rd, rs1, imm) => { asm2.addi(rd, rs1, i64::from(imm)); }
+                AluOpKind::Add(rd, a, b) => { asm2.add(rd, a, b); }
+                AluOpKind::Xor(rd, a, b) => { asm2.xor(rd, a, b); }
+                AluOpKind::Slli(rd, rs1, sh) => { asm2.slli(rd, rs1, sh); }
+            }
+        }
+        asm2.addi(20, 0, 0x100);
+        for r in 0..16u8 {
+            asm2.store(r, 20, i64::from(r) * 8);
+        }
+        asm2.halt();
+        let mut mem = SparseMem::new();
+        let mut u2 = Ucore::new(UcoreConfig::default(), asm2.assemble());
+        u2.advance(1_000_000, &mut mem);
+        use fireguard_ucore::KernelBackend;
+        for r in 0..16usize {
+            prop_assert_eq!(
+                mem.mem_read(0x100 + r as u64 * 8),
+                expect[r],
+                "register x{} diverged", r
+            );
+        }
+    }
+
+    /// Message queues are exact FIFOs under arbitrary push/pop interleaving.
+    #[test]
+    fn message_queue_is_fifo(ops in proptest::collection::vec(any::<bool>(), 1..400)) {
+        let mut q = MessageQueue::new(32);
+        let mut next = 0u128;
+        let mut expect = 0u128;
+        for push in ops {
+            if push {
+                if q.push(QueueEntry::from_bits(next)).is_ok() {
+                    next += 1;
+                }
+            } else if let Some(e) = q.pop() {
+                prop_assert_eq!(e.bits(), expect);
+                expect += 1;
+            }
+            prop_assert!(q.len() <= 32);
+        }
+    }
+
+    /// Execution time is monotone in the amount of work.
+    #[test]
+    fn longer_programs_take_longer(n in 1usize..200) {
+        let build = |len: usize| {
+            let mut asm = Asm::new();
+            for _ in 0..len {
+                asm.addi(1, 1, 1);
+            }
+            asm.halt();
+            let mut u = Ucore::new(UcoreConfig::default(), asm.assemble());
+            u.advance(1_000_000, &mut NullBackend);
+            u.now()
+        };
+        prop_assert!(build(n + 1) >= build(n));
+    }
+}

@@ -1,0 +1,33 @@
+//! Combined safeguards (the paper's Fig. 7(b) in miniature): running
+//! several guardian kernels at once costs about as much as the heaviest
+//! one, not the product of all of them.
+//!
+//! Run with: `cargo run --release --example combined_kernels`
+
+use fireguard::kernels::KernelKind::{Asan, Pmc, ShadowStack};
+use fireguard::soc::{run_fireguard, ExperimentConfig};
+
+fn main() {
+    let w = "freqmine";
+    let n = 80_000;
+    let single = |kind| {
+        run_fireguard(&ExperimentConfig::new(w).kernel(kind, 4).insts(n)).slowdown
+    };
+    let ss = single(ShadowStack);
+    let pmc = single(Pmc);
+    let asan = single(Asan);
+    let all = run_fireguard(
+        &ExperimentConfig::new(w)
+            .kernel_ha(ShadowStack)
+            .kernel(Pmc, 4)
+            .kernel(Asan, 4)
+            .insts(n),
+    )
+    .slowdown;
+    println!("{w}: SS {ss:.3}  PMC {pmc:.3}  ASan {asan:.3}");
+    println!("{w}: SS(HA)+PMC+ASan together: {all:.3}");
+    println!(
+        "product of singles would be {:.3}; the combination costs ~the max",
+        ss * pmc * asan
+    );
+}

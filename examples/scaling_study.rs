@@ -1,0 +1,29 @@
+//! Scalability study (the paper's Fig. 10 in miniature): how does
+//! AddressSanitizer's slowdown fall as analysis engines are added — and why
+//! does x264 refuse to parallelise away?
+//!
+//! Run with: `cargo run --release --example scaling_study`
+
+use fireguard::kernels::KernelKind;
+use fireguard::soc::{run_fireguard, ExperimentConfig};
+
+fn main() {
+    println!("AddressSanitizer slowdown vs ucore count\n");
+    println!("{:>14} {:>7} {:>7} {:>7}", "workload", "2u", "4u", "12u");
+    for w in ["swaptions", "bodytrack", "x264"] {
+        let run = |n| {
+            run_fireguard(
+                &ExperimentConfig::new(w)
+                    .kernel(KernelKind::Asan, n)
+                    .insts(80_000),
+            )
+            .slowdown
+        };
+        let (a, b, c) = (run(2), run(4), run(12));
+        println!("{w:>14} {a:>7.3} {b:>7.3} {c:>7.3}");
+    }
+    println!();
+    println!("swaptions parallelises away quickly; x264's load/store volume");
+    println!("keeps the analysis engines saturated even at 12 ucores —");
+    println!("the paper's §IV-D observation.");
+}
