@@ -43,9 +43,7 @@ impl ComponentAreas {
     /// Area of a FireGuard deployment with `n` µcores and a filter scaled
     /// to `width` commit paths (the filter SRAM replicates per path).
     pub fn fireguard_mm2(&self, n_ucores: usize, width: usize) -> f64 {
-        n_ucores as f64 * self.rocket_mm2
-            + self.filter_mm2 * (width as f64 / 4.0)
-            + self.mapper_mm2
+        n_ucores as f64 * self.rocket_mm2 + self.filter_mm2 * (width as f64 / 4.0) + self.mapper_mm2
     }
 
     /// The paper's headline 4-µcore configuration.

@@ -9,14 +9,20 @@ fn main() {
     let panels = [
         (KernelKind::Pmc, "(a) PMC", vec![2usize, 4, 6]),
         (KernelKind::ShadowStack, "(b) Shadow Stack", vec![2, 4, 6]),
-        (KernelKind::Asan, "(c) Address Sanitizer", vec![2, 4, 6, 8, 12]),
+        (
+            KernelKind::Asan,
+            "(c) Address Sanitizer",
+            vec![2, 4, 6, 8, 12],
+        ),
         (KernelKind::Uaf, "(d) Use-After-Free", vec![2, 4, 6, 8, 12]),
     ];
     for (kind, title, counts) in panels {
         println!("\nFigure 10{title}: slowdown vs ucore count");
         let mut cols: Vec<String> = vec!["workload".into()];
         cols.extend(counts.iter().map(|c| format!("{c}u")));
-        let widths: Vec<usize> = std::iter::once(14).chain(counts.iter().map(|_| 8)).collect();
+        let widths: Vec<usize> = std::iter::once(14)
+            .chain(counts.iter().map(|_| 8))
+            .collect();
         let colrefs: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
         print_header(&colrefs, &widths);
         let counts2 = counts.clone();
@@ -24,10 +30,8 @@ fn main() {
             counts2
                 .iter()
                 .map(|&c| {
-                    run_fireguard(
-                        &ExperimentConfig::new(w).kernel(kind, c).insts(n).seed(SEED),
-                    )
-                    .slowdown
+                    run_fireguard(&ExperimentConfig::new(w).kernel(kind, c).insts(n).seed(SEED))
+                        .slowdown
                 })
                 .collect::<Vec<f64>>()
         });

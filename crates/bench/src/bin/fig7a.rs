@@ -35,8 +35,8 @@ fn main() {
     });
 
     let cols = [
-        "workload", "PMC.4u", "PMC.HA", "SS.4u", "SS.HA", "SS.sw", "SAN.4u", "SAN.arm",
-        "SAN.x86", "UaF.4u", "DangSan",
+        "workload", "PMC.4u", "PMC.HA", "SS.4u", "SS.HA", "SS.sw", "SAN.4u", "SAN.arm", "SAN.x86",
+        "UaF.4u", "DangSan",
     ];
     let widths = [14, 8, 8, 8, 8, 8, 8, 8, 8, 8, 8];
     print_header(&cols, &widths);

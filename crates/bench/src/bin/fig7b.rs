@@ -16,8 +16,14 @@ fn main() {
         ("UaF+PMC", vec![(Uaf, false), (Pmc, false)]),
         ("UaF+AS", vec![(Uaf, false), (Asan, false)]),
         ("SS+AS", vec![(ShadowStack, false), (Asan, false)]),
-        ("SS+PMC+AS", vec![(ShadowStack, true), (Pmc, false), (Asan, false)]),
-        ("SS+PMC+UaF", vec![(ShadowStack, true), (Pmc, false), (Uaf, false)]),
+        (
+            "SS+PMC+AS",
+            vec![(ShadowStack, true), (Pmc, false), (Asan, false)],
+        ),
+        (
+            "SS+PMC+UaF",
+            vec![(ShadowStack, true), (Pmc, false), (Uaf, false)],
+        ),
     ];
 
     print_header(&["combination", "geomean"], &[14, 10]);

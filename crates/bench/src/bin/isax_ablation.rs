@@ -10,7 +10,10 @@ fn main() {
     let n = insts();
     println!("ISAX placement ablation (Sanitizer, 4 ucores)\n");
     print_header(&["interface", "geomean"], &[12, 9]);
-    for (mode, name) in [(IsaxMode::MaStage, "MA-stage"), (IsaxMode::PostCommit, "post-commit")] {
+    for (mode, name) in [
+        (IsaxMode::MaStage, "MA-stage"),
+        (IsaxMode::PostCommit, "post-commit"),
+    ] {
         let rows = per_workload(move |w| {
             run_fireguard(
                 &ExperimentConfig::new(w)

@@ -19,7 +19,11 @@ fn main() {
                     .seed(SEED),
             )
         });
-        let x264 = rows.iter().find(|(w, _)| *w == "x264").map(|(_, r)| r.slowdown).unwrap();
+        let x264 = rows
+            .iter()
+            .find(|(w, _)| *w == "x264")
+            .map(|(_, r)| r.slowdown)
+            .unwrap();
         println!(
             "{width:>8} {:>9} {:>8}",
             fmt_slowdown(geomean_slowdown(&rows)),

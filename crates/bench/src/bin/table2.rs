@@ -9,7 +9,11 @@ fn main() {
     let f = FilterConfig::default();
     let u = UcoreConfig::default();
     println!("Table II: modelled hardware configuration\n");
-    println!("Main core: {}-wide OoO SonicBOOM @ {:.1} GHz", b.commit_width, b.clock_hz / 1e9);
+    println!(
+        "Main core: {}-wide OoO SonicBOOM @ {:.1} GHz",
+        b.commit_width,
+        b.clock_hz / 1e9
+    );
     println!(
         "  {}-entry ROB, {}-entry IQ, {}-entry LDQ/STQ, {} Int/FP phys regs",
         b.rob_entries, b.iq_entries, b.ldq_entries, b.int_prf
@@ -23,7 +27,10 @@ fn main() {
         "  L1I/L1D 32KB 8-way ({} MSHRs), L2 512KB, LLC 4MB, DDR3 model",
         b.dmem.l1_mshrs
     );
-    println!("\nFireGuard: {}-wide filter, {}-entry FIFOs", f.width, f.fifo_depth);
+    println!(
+        "\nFireGuard: {}-wide filter, {}-entry FIFOs",
+        f.width, f.fifo_depth
+    );
     println!("  mapper: scalar allocator + per-engine 8-entry CDC, fabric @1.6GHz");
     println!(
         "Analysis engine: in-order Rocket ucore @ {:.1} GHz, {}-entry message queues, 4KB 2-way L1",

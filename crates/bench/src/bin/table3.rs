@@ -6,7 +6,18 @@ fn main() {
     println!("Table III: feasibility of FireGuard in commercial SoCs\n");
     println!(
         "{:>12} {:>11} {:>6} {:>6} {:>9} {:>9} {:>5} {:>7} {:>9} {:>8} {:>10} {:>8}",
-        "core", "soc", "freq", "tech", "area", "area@14", "ipc", "thr", "#ucores", "mm2/core", "%/core", "%/soc"
+        "core",
+        "soc",
+        "freq",
+        "tech",
+        "area",
+        "area@14",
+        "ipc",
+        "thr",
+        "#ucores",
+        "mm2/core",
+        "%/core",
+        "%/soc"
     );
     println!("{}", "-".repeat(110));
     for r in table3() {

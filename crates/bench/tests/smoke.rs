@@ -1,0 +1,55 @@
+//! Smoke tests for the figure/table binaries.
+//!
+//! Each binary's full experiment takes minutes; these run the *same code
+//! paths* end-to-end at a tiny instruction budget (`FG_INSTS=2000`) so a
+//! plain `cargo test` catches panics, bad table plumbing, and experiment
+//! wiring regressions in every binary without the full workloads.
+//!
+//! Cargo builds the bins automatically because the test references them via
+//! the `CARGO_BIN_EXE_<name>` environment variables.
+
+use std::process::Command;
+
+const SMOKE_INSTS: &str = "2000";
+
+fn smoke(bin_path: &str) {
+    let out = Command::new(bin_path)
+        .env("FG_INSTS", SMOKE_INSTS)
+        .env_remove("FG_QUICK")
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {bin_path}: {e}"));
+    assert!(
+        out.status.success(),
+        "{bin_path} exited with {:?}\nstderr:\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.lines().count() >= 3,
+        "{bin_path} produced suspiciously little output:\n{stdout}"
+    );
+}
+
+macro_rules! smoke_tests {
+    ($($name:ident => $env:literal),+ $(,)?) => {$(
+        #[test]
+        fn $name() {
+            smoke(env!($env));
+        }
+    )+};
+}
+
+smoke_tests! {
+    fig7a_smokes => "CARGO_BIN_EXE_fig7a",
+    fig7b_smokes => "CARGO_BIN_EXE_fig7b",
+    fig8_smokes => "CARGO_BIN_EXE_fig8",
+    fig9_smokes => "CARGO_BIN_EXE_fig9",
+    fig10_smokes => "CARGO_BIN_EXE_fig10",
+    fig11_smokes => "CARGO_BIN_EXE_fig11",
+    table2_smokes => "CARGO_BIN_EXE_table2",
+    table3_smokes => "CARGO_BIN_EXE_table3",
+    area_smokes => "CARGO_BIN_EXE_area",
+    isax_ablation_smokes => "CARGO_BIN_EXE_isax_ablation",
+    mapper_ablation_smokes => "CARGO_BIN_EXE_mapper_ablation",
+}

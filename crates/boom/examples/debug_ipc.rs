@@ -5,7 +5,10 @@ use fireguard_boom::{BoomConfig, Core, NullSink, StallKind};
 use fireguard_trace::{TraceGenerator, PARSEC_WORKLOADS};
 
 fn main() {
-    println!("{:14} {:>5} {:>6} {:>6} {:>6}  stalls", "workload", "ipc", "pkt/c", "mispr", "cyc");
+    println!(
+        "{:14} {:>5} {:>6} {:>6} {:>6}  stalls",
+        "workload", "ipc", "pkt/c", "mispr", "cyc"
+    );
     for w in PARSEC_WORKLOADS {
         let t = TraceGenerator::new(w.clone(), 5);
         let mut c = Core::new(BoomConfig::default(), t);
@@ -13,7 +16,11 @@ fn main() {
         let pkt = s.ipc() * w.mem_fraction();
         print!(
             "{:14} {:5.2} {:6.3} {:6.3} {:6}  ",
-            w.name, s.ipc(), pkt, s.mispredict_rate(), s.cycles
+            w.name,
+            s.ipc(),
+            pkt,
+            s.mispredict_rate(),
+            s.cycles
         );
         for k in StallKind::ALL {
             if s.stalls(k) > 1000 {

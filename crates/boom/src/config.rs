@@ -101,7 +101,10 @@ impl BoomConfig {
         assert!(self.rob_entries >= self.commit_width);
         assert!(self.iq_entries > 0);
         assert!(self.ldq_entries > 0 && self.stq_entries > 0);
-        assert!(self.int_prf > 32, "need free regs beyond architectural state");
+        assert!(
+            self.int_prf > 32,
+            "need free regs beyond architectural state"
+        );
         assert!(self.prf_read_ports >= 2);
         assert!(self.int_alus + self.fp_units + self.mem_units > 0);
         assert!(self.fetch_buffer >= self.fetch_width);

@@ -91,6 +91,8 @@ impl<T: Iterator<Item = TraceInst>> Core<T> {
         cfg.validate();
         let free_int: Vec<u16> = (32..cfg.int_prf as u16).collect();
         let free_fp: Vec<u16> = (32..cfg.fp_prf as u16).collect();
+        let ready_int = vec![0; cfg.int_prf];
+        let ready_fp = vec![0; cfg.fp_prf];
         let mut rat_int = [0u16; 32];
         let mut rat_fp = [0u16; 32];
         for (i, (ri, rf)) in rat_int.iter_mut().zip(rat_fp.iter_mut()).enumerate() {
@@ -115,8 +117,8 @@ impl<T: Iterator<Item = TraceInst>> Core<T> {
             rat_fp,
             free_int,
             free_fp,
-            ready_int: vec![0; 128.max(32)],
-            ready_fp: vec![0; 128.max(32)],
+            ready_int,
+            ready_fp,
             rob: VecDeque::new(),
             iq_len: 0,
             ldq_used: 0,
@@ -325,12 +327,7 @@ impl<T: Iterator<Item = TraceInst>> Core<T> {
             // oldest instruction is exempt: the forwarding channel only ever
             // borrows a port for a single cycle, so the head can always
             // issue — this guarantees forward progress under any sink.
-            let int_reads = e
-                .srcs
-                .iter()
-                .flatten()
-                .filter(|&&(fp, _)| !fp)
-                .count();
+            let int_reads = e.srcs.iter().flatten().filter(|&&(fp, _)| !fp).count();
             if idx != 0 && int_reads > int_ports {
                 if ports_stolen > 0 && !port_conflict_seen {
                     self.stats.prf_port_conflicts += 1;
@@ -511,7 +508,9 @@ impl<T: Iterator<Item = TraceInst>> Core<T> {
             if self.fetch_buf.len() >= self.cfg.fetch_buffer {
                 break;
             }
-            let Some(t) = self.next_trace_inst() else { break };
+            let Some(t) = self.next_trace_inst() else {
+                break;
+            };
             // I-cache: one line check per line transition.
             let line = t.pc & !63;
             if line != self.last_fetch_line {
@@ -716,6 +715,21 @@ mod tests {
     }
 
     #[test]
+    fn larger_prf_than_default_scoreboard_works() {
+        // Regression: the ready scoreboards were once hardcoded to 128
+        // entries, panicking as soon as a bigger PRF handed out preg >= 128.
+        let cfg = BoomConfig {
+            int_prf: 256,
+            fp_prf: 192,
+            ..BoomConfig::default()
+        };
+        let trace = TraceGenerator::new(WorkloadProfile::parsec("x264").unwrap(), 7);
+        let mut c = Core::new(cfg, trace);
+        let stats = c.run_insts(20_000, &mut NullSink);
+        assert!(stats.committed >= 20_000);
+    }
+
+    #[test]
     fn phys_registers_are_conserved() {
         let mut c = core_for("dedup", 29);
         c.run_insts(30_000, &mut NullSink);
@@ -727,7 +741,12 @@ mod tests {
             c.step(&mut NullSink);
         }
         assert_eq!(
-            c.free_int.len() + 32 + c.rob.iter().filter(|e| matches!(e.dest, Some((false, _)))).count(),
+            c.free_int.len()
+                + 32
+                + c.rob
+                    .iter()
+                    .filter(|e| matches!(e.dest, Some((false, _))))
+                    .count(),
             c.cfg.int_prf,
             "integer free list + architectural + in-flight must equal PRF size"
         );

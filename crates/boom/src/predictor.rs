@@ -18,8 +18,8 @@ const BIMODAL_BITS: usize = 12; // 4096-entry base predictor
 #[derive(Debug, Clone, Copy, Default)]
 struct TageEntry {
     tag: u16,
-    ctr: i8,     // 3-bit signed counter, taken if >= 0
-    useful: u8,  // 2-bit usefulness
+    ctr: i8,    // 3-bit signed counter, taken if >= 0
+    useful: u8, // 2-bit usefulness
 }
 
 /// The TAGE direction predictor.
@@ -306,7 +306,13 @@ impl FrontendPredictor {
     /// The model folds predict and train into one call because the
     /// trace-driven core resolves outcomes from the trace; the returned
     /// classification drives the fetch-redirect behaviour.
-    pub fn observe(&mut self, pc: u64, class: InstClass, taken: bool, target: u64) -> MispredictKind {
+    pub fn observe(
+        &mut self,
+        pc: u64,
+        class: InstClass,
+        taken: bool,
+        target: u64,
+    ) -> MispredictKind {
         let next_seq = pc + 4;
         match class {
             InstClass::Branch => {
@@ -507,7 +513,13 @@ mod tests {
     #[test]
     fn non_control_classes_never_mispredict() {
         let mut f = FrontendPredictor::new();
-        assert_eq!(f.observe(0x1, InstClass::Load, false, 0), MispredictKind::None);
-        assert_eq!(f.observe(0x1, InstClass::IntAlu, false, 0), MispredictKind::None);
+        assert_eq!(
+            f.observe(0x1, InstClass::Load, false, 0),
+            MispredictKind::None
+        );
+        assert_eq!(
+            f.observe(0x1, InstClass::IntAlu, false, 0),
+            MispredictKind::None
+        );
     }
 }

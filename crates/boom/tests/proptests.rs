@@ -1,7 +1,7 @@
 //! Property-based tests for the OoO core model: structural conservation
 //! laws that must hold for any workload, seed or sink behaviour.
 
-use fireguard_boom::{BoomConfig, Core, CommitSink, NullSink, ThrottleSink};
+use fireguard_boom::{BoomConfig, CommitSink, Core, NullSink, ThrottleSink};
 use fireguard_trace::{TraceGenerator, TraceInst, WorkloadProfile, PARSEC_WORKLOADS};
 use proptest::prelude::*;
 

@@ -98,9 +98,7 @@ impl<T> CdcQueue<T> {
     /// synchronised.
     pub fn pop(&mut self, slow_cycle: u64) -> Option<T> {
         match self.items.front() {
-            Some(&(_, visible)) if visible <= slow_cycle => {
-                self.items.pop_front().map(|(t, _)| t)
-            }
+            Some(&(_, visible)) if visible <= slow_cycle => self.items.pop_front().map(|(t, _)| t),
             _ => None,
         }
     }

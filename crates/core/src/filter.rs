@@ -321,7 +321,10 @@ mod tests {
         let mut f = mem_filter(2);
         assert!(f.offer(1, 0, &mem_inst(0, 0x0)));
         assert!(f.offer(1, 1, &mem_inst(1, 0x8)));
-        assert!(!f.offer(1, 2, &mem_inst(2, 0x10)), "third offer exceeds width");
+        assert!(
+            !f.offer(1, 2, &mem_inst(2, 0x10)),
+            "third offer exceeds width"
+        );
         assert_eq!(f.stats().refusals, 1);
         // Next cycle the refused instruction can retry.
         assert!(f.offer(2, 0, &mem_inst(2, 0x10)));

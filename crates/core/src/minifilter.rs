@@ -102,7 +102,9 @@ impl MiniFilter {
 pub fn indices_for_class(class: InstClass) -> Vec<FilterIndex> {
     let all_f3 = |op: u8| (0..8).map(move |f| FilterIndex::new(op, f));
     match class {
-        InstClass::Load => all_f3(opcode::LOAD).chain(all_f3(opcode::LOAD_FP)).collect(),
+        InstClass::Load => all_f3(opcode::LOAD)
+            .chain(all_f3(opcode::LOAD_FP))
+            .collect(),
         InstClass::Store => all_f3(opcode::STORE)
             .chain(all_f3(opcode::STORE_FP))
             .collect(),

@@ -22,7 +22,10 @@ impl Gid {
     ///
     /// Panics if `v` is not below [`crate::allocator::MAX_GIDS`].
     pub fn new(v: u8) -> Self {
-        assert!((v as usize) < crate::allocator::MAX_GIDS, "GID out of range");
+        assert!(
+            (v as usize) < crate::allocator::MAX_GIDS,
+            "GID out of range"
+        );
         Gid(v)
     }
 
@@ -114,7 +117,7 @@ impl Packet {
     pub fn encapsulate(gid: Gid, t: &TraceInst, commit_cycle: u64, slot: u8) -> Self {
         let addr = t
             .mem_addr
-            .or_else(|| match t.heap {
+            .or(match t.heap {
                 Some(HeapEvent::Malloc { base, .. }) | Some(HeapEvent::Free { base, .. }) => {
                     Some(base)
                 }
@@ -243,7 +246,11 @@ mod tests {
             attack: None,
         };
         let p = Packet::encapsulate(groups::CTRL, &t, 1, 0);
-        assert_eq!(p.field(layout::ADDR), 0x1000_0020, "heap base wins over target");
+        assert_eq!(
+            p.field(layout::ADDR),
+            0x1000_0020,
+            "heap base wins over target"
+        );
         assert_eq!(p.field(layout::AUX) & 0xF_FFFF, 256);
         assert!(p.bits() & layout::FLAG_MALLOC != 0);
         assert!(p.bits() & layout::FLAG_FREE == 0);

@@ -57,10 +57,9 @@ proptest! {
         f.subscribe(InstClass::Store, groups::MEM, DpSel::LSQ);
 
         let mut seq = 0u64;
-        let mut now = 1u64;
         let mut expected: Vec<u64> = Vec::new();
         let mut got: Vec<u64> = Vec::new();
-        for (burst, monitored, pop_now) in pattern {
+        for (now, (burst, monitored, pop_now)) in (1u64..).zip(pattern) {
             for slot in 0..burst {
                 let t = if monitored { mem_inst(seq, slot % 2 == 0) } else { alu_inst(seq) };
                 if f.offer(now, slot, &t) {
@@ -75,7 +74,6 @@ proptest! {
                     got.push(p.meta.seq);
                 }
             }
-            now += 1;
         }
         while let Some(p) = f.arbiter_pop() {
             got.push(p.meta.seq);

@@ -542,7 +542,10 @@ mod tests {
     #[test]
     fn call_ret_abi_classification() {
         assert_eq!(Instruction::call(64).class(), InstClass::Call);
-        assert_eq!(Instruction::call_indirect(5.into()).class(), InstClass::Call);
+        assert_eq!(
+            Instruction::call_indirect(5.into()).class(),
+            InstClass::Call
+        );
         assert_eq!(Instruction::ret().class(), InstClass::Ret);
         // A jalr through a scratch register is an indirect jump, not a return.
         assert_eq!(
@@ -555,7 +558,10 @@ mod tests {
 
     #[test]
     fn csr_and_system() {
-        assert_eq!(Instruction::csr_read(1.into(), 0xC00).class(), InstClass::Csr);
+        assert_eq!(
+            Instruction::csr_read(1.into(), 0xC00).class(),
+            InstClass::Csr
+        );
         assert_eq!(Instruction::ecall().class(), InstClass::System);
         assert_eq!(Instruction::fence().class(), InstClass::Fence);
     }

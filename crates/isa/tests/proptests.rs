@@ -1,8 +1,6 @@
 //! Property-based tests for instruction encode/decode invariants.
 
-use fireguard_isa::{
-    AluOp, ArchReg, BranchCond, FilterIndex, InstClass, Instruction, MemWidth,
-};
+use fireguard_isa::{AluOp, ArchReg, BranchCond, FilterIndex, InstClass, Instruction, MemWidth};
 use proptest::prelude::*;
 
 fn arch_reg() -> impl Strategy<Value = ArchReg> {

@@ -83,7 +83,9 @@ impl HardwareAccelerator {
     /// Processes one slow-domain cycle.
     pub fn step(&mut self, slow_now: u64) {
         for _ in 0..self.rate {
-            let Some(e) = self.queue.pop_front() else { break };
+            let Some(e) = self.queue.pop_front() else {
+                break;
+            };
             self.packets += 1;
             let verdict_field = e.field(fireguard_core::packet::layout::VERDICT);
             if (verdict_field >> self.vbit) & 1 == 1 {

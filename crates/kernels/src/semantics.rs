@@ -5,8 +5,8 @@
 //! counters) and returns whether this instruction violates the kernel's
 //! policy — the verdict bit the µ-programs later branch on.
 
-use fireguard_trace::{gen, HeapEvent, TraceInst};
 use fireguard_isa::InstClass;
+use fireguard_trace::{gen, HeapEvent, TraceInst};
 use std::collections::BTreeMap;
 
 /// Red-zone span checked around each allocation (matches the generator).
@@ -194,7 +194,9 @@ fn region_contains(map: &BTreeMap<u64, u64>, addr: u64, slack: u64) -> bool {
 mod tests {
     use super::*;
     use fireguard_isa::{Instruction, MemWidth};
-    use fireguard_trace::{AttackKind, AttackPlan, AttackingTrace, ControlFlow, TraceGenerator, WorkloadProfile};
+    use fireguard_trace::{
+        AttackKind, AttackPlan, AttackingTrace, ControlFlow, TraceGenerator, WorkloadProfile,
+    };
 
     fn mem(seq: u64, addr: u64) -> TraceInst {
         let inst = Instruction::load(MemWidth::D, 1.into(), 2.into(), 0);
@@ -231,21 +233,45 @@ mod tests {
     #[test]
     fn asan_flags_redzone_and_freed_access() {
         let mut k = KernelSemantics::asan();
-        assert!(!k.judge(&heap_call(0, HeapEvent::Malloc { base: 0x1000, size: 64 })));
+        assert!(!k.judge(&heap_call(
+            0,
+            HeapEvent::Malloc {
+                base: 0x1000,
+                size: 64
+            }
+        )));
         assert!(!k.judge(&mem(1, 0x1000)), "in-bounds ok");
         assert!(!k.judge(&mem(2, 0x103F)), "last byte ok");
         assert!(k.judge(&mem(3, 0x1040)), "right red zone");
         assert!(k.judge(&mem(4, 0x1000 - 8)), "left red zone");
-        assert!(!k.judge(&heap_call(5, HeapEvent::Free { base: 0x1000, size: 64 })));
+        assert!(!k.judge(&heap_call(
+            5,
+            HeapEvent::Free {
+                base: 0x1000,
+                size: 64
+            }
+        )));
         assert!(k.judge(&mem(6, 0x1010)), "freed region poisoned");
     }
 
     #[test]
     fn uaf_flags_only_freed_access() {
         let mut k = KernelSemantics::uaf();
-        k.judge(&heap_call(0, HeapEvent::Malloc { base: 0x2000, size: 128 }));
+        k.judge(&heap_call(
+            0,
+            HeapEvent::Malloc {
+                base: 0x2000,
+                size: 128,
+            },
+        ));
         assert!(!k.judge(&mem(1, 0x2000 + 130)), "OOB is not UaF's business");
-        k.judge(&heap_call(2, HeapEvent::Free { base: 0x2000, size: 128 }));
+        k.judge(&heap_call(
+            2,
+            HeapEvent::Free {
+                base: 0x2000,
+                size: 128,
+            },
+        ));
         assert!(k.judge(&mem(3, 0x2040)), "quarantined access flagged");
     }
 

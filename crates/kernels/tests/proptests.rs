@@ -29,7 +29,11 @@ fn heap(seq: u64, ev: HeapEvent) -> TraceInst {
         class: inst.class(),
         inst,
         mem_addr: None,
-        control: Some(ControlFlow { taken: true, target: 0x2_0000, static_id: 0 }),
+        control: Some(ControlFlow {
+            taken: true,
+            target: 0x2_0000,
+            static_id: 0,
+        }),
         heap: Some(ev),
         attack: None,
     }
@@ -37,7 +41,7 @@ fn heap(seq: u64, ev: HeapEvent) -> TraceInst {
 
 #[derive(Debug, Clone)]
 enum Ev {
-    Malloc(u16, u8),   // slot, size class
+    Malloc(u16, u8), // slot, size class
     Free(u16),
     TouchInside(u16),  // access a live slot's interior
     TouchFreed(u16),   // access slot if freed (expected violation)

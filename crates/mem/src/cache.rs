@@ -28,7 +28,10 @@ impl CacheConfig {
     /// two, or if the capacity is not divisible into whole sets.
     pub fn new(size_bytes: usize, ways: usize, line_bytes: usize) -> Self {
         assert!(size_bytes > 0 && ways > 0 && line_bytes > 0);
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         let cfg = CacheConfig {
             size_bytes,
             ways,
@@ -38,7 +41,10 @@ impl CacheConfig {
             size_bytes % (ways * line_bytes) == 0 && cfg.sets() > 0,
             "capacity must divide into whole sets"
         );
-        assert!(cfg.sets().is_power_of_two(), "set count must be a power of two");
+        assert!(
+            cfg.sets().is_power_of_two(),
+            "set count must be a power of two"
+        );
         cfg
     }
 
@@ -299,7 +305,7 @@ mod tests {
         assert!(!c.access(0x040, false)); // set 1
         assert!(!c.access(0x080, false)); // set 0
         assert!(!c.access(0x0C0, false)); // set 1
-        // Both sets now full but nothing evicted yet.
+                                          // Both sets now full but nothing evicted yet.
         assert!(c.access(0x000, false));
         assert!(c.access(0x040, false));
     }

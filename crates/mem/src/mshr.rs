@@ -121,7 +121,7 @@ mod tests {
         let mut m = MshrFile::new(2);
         m.allocate(0, 100); // slot busy until 100
         m.allocate(0, 10); // slot busy until 10
-        // New miss at t=20 should take the slot freed at 10, starting at 20.
+                           // New miss at t=20 should take the slot freed at 10, starting at 20.
         assert_eq!(m.allocate(20, 5), 20);
     }
 

@@ -3,6 +3,13 @@
 use fireguard_kernels::KernelKind;
 use fireguard_soc::{run_fireguard, ExperimentConfig};
 fn main() {
-    let r = run_fireguard(&ExperimentConfig::new("x264").kernel_ha(KernelKind::Pmc).insts(40_000));
-    println!("slow={:.3} bn={:?} packets={}", r.slowdown, r.bottlenecks, r.packets);
+    let r = run_fireguard(
+        &ExperimentConfig::new("x264")
+            .kernel_ha(KernelKind::Pmc)
+            .insts(40_000),
+    );
+    println!(
+        "slow={:.3} bn={:?} packets={}",
+        r.slowdown, r.bottlenecks, r.packets
+    );
 }

@@ -4,7 +4,10 @@ use fireguard_kernels::KernelKind;
 use fireguard_soc::{run_fireguard, ExperimentConfig};
 
 fn main() {
-    for (w, kind, n) in [("fluidanimate", KernelKind::Pmc, 4), ("bodytrack", KernelKind::Asan, 4)] {
+    for (w, kind, n) in [
+        ("fluidanimate", KernelKind::Pmc, 4),
+        ("bodytrack", KernelKind::Asan, 4),
+    ] {
         let cfg = ExperimentConfig::new(w).kernel(kind, n).insts(60_000);
         let r = run_fireguard(&cfg);
         println!(

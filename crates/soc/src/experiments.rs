@@ -119,8 +119,8 @@ impl ExperimentConfig {
 /// Cycles the bare core (no FireGuard, no instrumentation) takes for the
 /// workload — the slowdown denominator.
 pub fn baseline_cycles(workload: &str, seed: u64, insts: u64) -> u64 {
-    let profile = WorkloadProfile::parsec(workload)
-        .unwrap_or_else(|| panic!("unknown workload {workload}"));
+    let profile =
+        WorkloadProfile::parsec(workload).unwrap_or_else(|| panic!("unknown workload {workload}"));
     let trace = TraceGenerator::new(profile, seed);
     let mut core = Core::new(BoomConfig::default(), trace);
     core.run_insts(insts, &mut NullSink).cycles
@@ -148,8 +148,8 @@ pub fn run_fireguard(cfg: &ExperimentConfig) -> RunResult {
 /// bare core for the same original instruction count.
 pub fn run_software(scheme: SoftwareScheme, workload: &str, seed: u64, insts: u64) -> f64 {
     let base = baseline_cycles(workload, seed, insts);
-    let profile = WorkloadProfile::parsec(workload)
-        .unwrap_or_else(|| panic!("unknown workload {workload}"));
+    let profile =
+        WorkloadProfile::parsec(workload).unwrap_or_else(|| panic!("unknown workload {workload}"));
     // Bound the original instruction count, then instrument.
     let orig = TraceGenerator::new(profile, seed).take(insts as usize);
     let instrumented = InstrumentedTrace::new(orig, scheme);
@@ -270,7 +270,11 @@ mod tests {
             wide.slowdown,
             scalar.slowdown
         );
-        assert!(wide.slowdown < 1.03, "wide mapper ≈ no overhead: {:.3}", wide.slowdown);
+        assert!(
+            wide.slowdown < 1.03,
+            "wide mapper ≈ no overhead: {:.3}",
+            wide.slowdown
+        );
     }
 
     #[test]

@@ -20,8 +20,8 @@ use fireguard_kernels::{
 use fireguard_noc::Mesh;
 use fireguard_trace::TraceInst;
 use fireguard_ucore::{IsaxMode, QueueEntry, Ucore, UcoreConfig};
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// How a kernel's analysis capacity is provisioned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +71,9 @@ impl Default for SocConfig {
     }
 }
 
+// A system has at most a dozen engines, so the Ucore/Ha size gap is not
+// worth an allocation per engine.
+#[allow(clippy::large_enum_variant)]
 enum Engine {
     Ucore { u: Ucore, backend: EngineBackend },
     Ha(HardwareAccelerator),
@@ -121,7 +124,9 @@ impl Frontend {
     /// One mapper step: at most one packet from the arbiter through the
     /// allocator into the destination CDC queues.
     fn step_mapper(&mut self, now: u64) {
-        let Some(p) = self.filter.arbiter_peek() else { return };
+        let Some(p) = self.filter.arbiter_peek() else {
+            return;
+        };
         // Conservative space check over every candidate engine.
         let candidates = self.allocator.candidate_engines(p.gid);
         for e in 0..self.cdcs.len() {
@@ -321,8 +326,11 @@ impl FireGuardSystem {
                 if !engine.queue_free() {
                     break;
                 }
-                let Some(p) = self.frontend.cdcs[i].pop(slow) else { break };
-                let entry = QueueEntry::with_meta(p.bits(), p.meta.seq, p.meta.commit_cycle, p.meta.attack);
+                let Some(p) = self.frontend.cdcs[i].pop(slow) else {
+                    break;
+                };
+                let entry =
+                    QueueEntry::with_meta(p.bits(), p.meta.seq, p.meta.commit_cycle, p.meta.attack);
                 match engine {
                     Engine::Ucore { u, .. } => {
                         u.input_mut().push(entry).expect("space checked");
@@ -372,7 +380,10 @@ impl FireGuardSystem {
             }
             self.pending_noc.pop();
             if let Engine::Ucore { u, .. } = &mut self.engines[dst] {
-                if u.input_mut().push(QueueEntry::from_bits(payload.into())).is_err() {
+                if u.input_mut()
+                    .push(QueueEntry::from_bits(payload.into()))
+                    .is_err()
+                {
                     // Destination full: retry next slow cycle.
                     self.pending_noc.push(Reverse((t + 1, dst, payload)));
                     break;

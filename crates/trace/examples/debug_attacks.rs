@@ -1,12 +1,13 @@
 //! Calibration tool: dumps instruction-class frequencies and call-depth
 //! behaviour of a generated trace.
-use fireguard_trace::*;
 use fireguard_isa::InstClass;
+use fireguard_trace::*;
 use std::collections::BTreeMap;
 fn main() {
     let g = TraceGenerator::new(WorkloadProfile::parsec("dedup").unwrap(), 11);
     let mut counts: BTreeMap<InstClass, u64> = BTreeMap::new();
-    let mut depth = 0i64; let mut maxd = 0i64;
+    let mut depth = 0i64;
+    let mut maxd = 0i64;
     for inst in g.take(400_000) {
         *counts.entry(inst.class).or_default() += 1;
         match inst.class {

@@ -104,7 +104,8 @@ impl Iterator for AttackingTrace {
 
     fn next(&mut self) -> Option<TraceInst> {
         let t = self.generated.next()?;
-        while self.next_idx < self.plan.schedule.len() && self.plan.schedule[self.next_idx].0 <= t.seq
+        while self.next_idx < self.plan.schedule.len()
+            && self.plan.schedule[self.next_idx].0 <= t.seq
         {
             self.generated.inject(self.plan.schedule[self.next_idx].1);
             self.next_idx += 1;
@@ -134,7 +135,10 @@ mod tests {
         );
         assert_eq!(plan.len(), 60);
         assert!(plan.schedule().windows(2).all(|w| w[0].0 <= w[1].0));
-        assert!(plan.schedule().iter().all(|&(s, _)| (1000..100_000).contains(&s)));
+        assert!(plan
+            .schedule()
+            .iter()
+            .all(|&(s, _)| (1000..100_000).contains(&s)));
     }
 
     #[test]

@@ -19,8 +19,8 @@
 
 use crate::event::{AttackGroundTruth, ControlFlow, HeapEvent, TraceInst};
 use crate::profile::WorkloadProfile;
-use fireguard_isa::{AluOp, ArchReg, BranchCond, Instruction, MemWidth};
 use crate::rng::SimRng;
+use fireguard_isa::{AluOp, ArchReg, BranchCond, Instruction, MemWidth};
 use std::collections::VecDeque;
 
 /// Base of the code region.
@@ -137,9 +137,7 @@ impl TraceGenerator {
         // A small set of function entry points: real call graphs concentrate
         // on few hot callees, which keeps the BTB/RAS working set realistic.
         let n_funcs = (n_blocks / 64).clamp(4, 32);
-        let func_entries: Vec<u32> = (0..n_funcs)
-            .map(|_| rng.range_u32(0, n_blocks))
-            .collect();
+        let func_entries: Vec<u32> = (0..n_funcs).map(|_| rng.range_u32(0, n_blocks)).collect();
         // Function lengths in block visits: calls return once the callee
         // has executed this many blocks (structural returns).
         let func_len: Vec<u32> = (0..n_blocks).map(|_| rng.range_u32(2, 8)).collect();
@@ -297,9 +295,7 @@ impl TraceGenerator {
     }
 
     fn pointer_reg(&mut self) -> ArchReg {
-        if !self.recent_dests.is_empty()
-            && self.rng.random_bool(self.profile.dep_tightness * 0.5)
-        {
+        if !self.recent_dests.is_empty() && self.rng.random_bool(self.profile.dep_tightness * 0.5) {
             self.recent_dests[0] // pointer chase
         } else {
             ArchReg::new(self.rng.range_u32(8, 16) as u8)
@@ -312,7 +308,7 @@ impl TraceGenerator {
         let r: f64 = self.rng.random_f64();
         if r < self.profile.stack_frac {
             // Stack accesses: tight 4 KiB window below the stack top.
-            return STACK_TOP - self.rng.range_u64(0, 4096) & !0x7;
+            return (STACK_TOP - self.rng.range_u64(0, 4096)) & !0x7;
         }
         // Some accesses go to live heap allocations (in bounds), biased to
         // *recent* allocations (which are cache-warm, as in real programs).
@@ -335,7 +331,7 @@ impl TraceGenerator {
             let r: f64 = self.rng.random_f64();
             let idx = ((r * r) * self.hot_lines.len() as f64) as usize;
             let line = self.hot_lines[idx.min(self.hot_lines.len() - 1)];
-            return line + self.rng.range_u64(0, 64) & !0x7;
+            return (line + self.rng.range_u64(0, 64)) & !0x7;
         }
         let span = self.profile.working_set;
         self.stream_cursor = (self.stream_cursor + 64) % span;
@@ -347,15 +343,16 @@ impl TraceGenerator {
             }
             self.hot_lines.push_front(line);
         }
-        line + self.rng.range_u64(0, 64) & !0x7
+        (line + self.rng.range_u64(0, 64)) & !0x7
     }
 
     fn alloc(&mut self) -> HeapEvent {
         let (lo, hi) = self.profile.alloc_size;
         let size = self.rng.range_inclusive_u64(lo, hi);
-        let lifetime = self
-            .rng
-            .range_u64(self.profile.alloc_lifetime / 2, self.profile.alloc_lifetime * 2);
+        let lifetime = self.rng.range_u64(
+            self.profile.alloc_lifetime / 2,
+            self.profile.alloc_lifetime * 2,
+        );
         self.heap_cursor += REDZONE_BYTES;
         let base = self.heap_cursor;
         self.heap_cursor += size + REDZONE_BYTES;
@@ -424,7 +421,14 @@ impl TraceGenerator {
 
     // ---- instruction emission --------------------------------------------------
 
-    fn emit(&mut self, inst: Instruction, mem_addr: Option<u64>, control: Option<ControlFlow>, heap: Option<HeapEvent>, attack: Option<AttackGroundTruth>) -> TraceInst {
+    fn emit(
+        &mut self,
+        inst: Instruction,
+        mem_addr: Option<u64>,
+        control: Option<ControlFlow>,
+        heap: Option<HeapEvent>,
+        attack: Option<AttackGroundTruth>,
+    ) -> TraceInst {
         let t = TraceInst {
             seq: self.seq,
             pc: self.pc,
@@ -464,7 +468,10 @@ impl TraceGenerator {
             self.enter_block(self.blocks[0].call_target, true);
             return out;
         }
-        if self.rng.random_bool(self.profile.mallocs_per_kinst / 1000.0) {
+        if self
+            .rng
+            .random_bool(self.profile.mallocs_per_kinst / 1000.0)
+        {
             let ev = self.alloc();
             let inst = Instruction::call(64);
             let target = self.block_pc(self.blocks[0].call_target);
@@ -514,11 +521,18 @@ impl TraceGenerator {
         let rd = self.fresh_dest();
         if self.rng.random_bool(0.5) {
             let rs2 = self.pick_source();
-            let op = [AluOp::Add, AluOp::Xor, AluOp::And, AluOp::Or, AluOp::Sll][self.rng.range_usize(5)];
+            let op = [AluOp::Add, AluOp::Xor, AluOp::And, AluOp::Or, AluOp::Sll]
+                [self.rng.range_usize(5)];
             self.emit(Instruction::alu(op, rd, rs1, rs2), None, None, None, None)
         } else {
             let imm = self.rng.range_i32(-512, 512);
-            self.emit(Instruction::alu_imm(AluOp::Add, rd, rs1, imm), None, None, None, None)
+            self.emit(
+                Instruction::alu_imm(AluOp::Add, rd, rs1, imm),
+                None,
+                None,
+                None,
+                None,
+            )
         }
     }
 
@@ -744,9 +758,7 @@ mod tests {
             for t in TraceGenerator::new(w.clone(), 11).take(n) {
                 *counts.entry(t.class).or_default() += 1;
             }
-            let frac = |c: InstClass| {
-                *counts.get(&c).unwrap_or(&0) as f64 / n as f64
-            };
+            let frac = |c: InstClass| *counts.get(&c).unwrap_or(&0) as f64 / n as f64;
             let lf = frac(InstClass::Load);
             let sf = frac(InstClass::Store);
             assert!(
@@ -801,8 +813,11 @@ mod tests {
     fn natural_memory_never_touches_redzones_or_pmc_region() {
         for t in gen("dedup", 21).take(200_000) {
             if let Some(addr) = t.mem_addr {
-                assert!(t.attack.is_some() || !(PMC_REGION_BASE..PMC_REGION_BASE + PMC_REGION_SIZE).contains(&addr),
-                    "natural access hit the PMC-protected region");
+                assert!(
+                    t.attack.is_some()
+                        || !(PMC_REGION_BASE..PMC_REGION_BASE + PMC_REGION_SIZE).contains(&addr),
+                    "natural access hit the PMC-protected region"
+                );
             }
         }
     }
@@ -888,14 +903,17 @@ mod tests {
         let addr = t.mem_addr.unwrap();
         // The address falls in some previously freed region (the exact list
         // may have rotated, so check the generator's log instead of `freed`).
-        assert!(addr >= HEAP_BASE && addr < GLOBAL_BASE);
+        assert!((HEAP_BASE..GLOBAL_BASE).contains(&addr));
     }
 
     #[test]
     fn pc_stays_in_code_region() {
         for t in gen("x264", 41).take(100_000) {
             assert!(t.pc >= CODE_BASE);
-            assert!(t.pc < CODE_BASE + (16 << 20), "pc within plausible code span");
+            assert!(
+                t.pc < CODE_BASE + (16 << 20),
+                "pc within plausible code span"
+            );
         }
     }
 

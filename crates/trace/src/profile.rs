@@ -35,7 +35,14 @@ pub struct InstMix {
 impl InstMix {
     /// Sum of all specified fractions (call counted twice: call + ret).
     pub fn total(&self) -> f64 {
-        self.load + self.store + self.branch + 2.0 * self.call + self.jump + self.mul + self.div + self.fp
+        self.load
+            + self.store
+            + self.branch
+            + 2.0 * self.call
+            + self.jump
+            + self.mul
+            + self.div
+            + self.fp
     }
 
     /// Validates that fractions are sane and leave room for ALU work.

@@ -234,7 +234,10 @@ impl Asm {
     /// Emits `beqz` to a forward label.
     pub fn beqz(&mut self, rs1: u8, label: Label) -> &mut Self {
         self.patches.push((self.insts.len(), label.0));
-        self.push(UInst::Beqz { rs1, target: usize::MAX })
+        self.push(UInst::Beqz {
+            rs1,
+            target: usize::MAX,
+        })
     }
     /// Emits `bnez` to a backward target.
     pub fn bnez_back(&mut self, rs1: u8, target: usize) -> &mut Self {
@@ -243,12 +246,19 @@ impl Asm {
     /// Emits `bnez` to a forward label.
     pub fn bnez(&mut self, rs1: u8, label: Label) -> &mut Self {
         self.patches.push((self.insts.len(), label.0));
-        self.push(UInst::Bnez { rs1, target: usize::MAX })
+        self.push(UInst::Bnez {
+            rs1,
+            target: usize::MAX,
+        })
     }
     /// Emits `bgeu` to a forward label.
     pub fn bgeu(&mut self, rs1: u8, rs2: u8, label: Label) -> &mut Self {
         self.patches.push((self.insts.len(), label.0));
-        self.push(UInst::Bgeu { rs1, rs2, target: usize::MAX })
+        self.push(UInst::Bgeu {
+            rs1,
+            rs2,
+            target: usize::MAX,
+        })
     }
     /// Emits a jump to a backward target.
     pub fn jump(&mut self, target: usize) -> &mut Self {

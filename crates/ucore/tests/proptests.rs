@@ -19,25 +19,17 @@ fn reference_alu(program: &UProgram) -> [u64; 32] {
         }
         pc += 1;
         match inst {
-            UInst::Addi { rd, rs1, imm } => {
-                if rd != 0 {
-                    regs[rd as usize] = regs[rs1 as usize].wrapping_add(imm as u64);
-                }
+            UInst::Addi { rd, rs1, imm } if rd != 0 => {
+                regs[rd as usize] = regs[rs1 as usize].wrapping_add(imm as u64);
             }
-            UInst::Add { rd, rs1, rs2 } => {
-                if rd != 0 {
-                    regs[rd as usize] = regs[rs1 as usize].wrapping_add(regs[rs2 as usize]);
-                }
+            UInst::Add { rd, rs1, rs2 } if rd != 0 => {
+                regs[rd as usize] = regs[rs1 as usize].wrapping_add(regs[rs2 as usize]);
             }
-            UInst::Xor { rd, rs1, rs2 } => {
-                if rd != 0 {
-                    regs[rd as usize] = regs[rs1 as usize] ^ regs[rs2 as usize];
-                }
+            UInst::Xor { rd, rs1, rs2 } if rd != 0 => {
+                regs[rd as usize] = regs[rs1 as usize] ^ regs[rs2 as usize];
             }
-            UInst::Slli { rd, rs1, sh } => {
-                if rd != 0 {
-                    regs[rd as usize] = regs[rs1 as usize] << sh;
-                }
+            UInst::Slli { rd, rs1, sh } if rd != 0 => {
+                regs[rd as usize] = regs[rs1 as usize] << sh;
             }
             UInst::Halt => break,
             _ => {}
@@ -108,10 +100,10 @@ proptest! {
         let mut u2 = Ucore::new(UcoreConfig::default(), asm2.assemble());
         u2.advance(1_000_000, &mut mem);
         use fireguard_ucore::KernelBackend;
-        for r in 0..16usize {
+        for (r, &want) in expect.iter().enumerate().take(16) {
             prop_assert_eq!(
                 mem.mem_read(0x100 + r as u64 * 8),
-                expect[r],
+                want,
                 "register x{} diverged", r
             );
         }

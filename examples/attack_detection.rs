@@ -11,7 +11,10 @@ use fireguard::trace::{AttackKind, AttackPlan};
 
 fn main() {
     println!("detection latency on dedup, 4 ucores per kernel\n");
-    println!("{:>10} {:>4} {:>8} {:>8} {:>8}", "kernel", "n", "min", "p50", "max");
+    println!(
+        "{:>10} {:>4} {:>8} {:>8} {:>8}",
+        "kernel", "n", "min", "p50", "max"
+    );
     for (kind, attack) in [
         (KernelKind::Pmc, AttackKind::BoundsViolation),
         (KernelKind::ShadowStack, AttackKind::RetHijack),

@@ -10,9 +10,7 @@ use fireguard::soc::{run_fireguard, ExperimentConfig};
 fn main() {
     let w = "freqmine";
     let n = 80_000;
-    let single = |kind| {
-        run_fireguard(&ExperimentConfig::new(w).kernel(kind, 4).insts(n)).slowdown
-    };
+    let single = |kind| run_fireguard(&ExperimentConfig::new(w).kernel(kind, 4).insts(n)).slowdown;
     let ss = single(ShadowStack);
     let pmc = single(Pmc);
     let asan = single(Asan);

@@ -116,12 +116,19 @@ fn main() {
     let stats = engine.stats();
     println!("packets pushed:    {pushed}");
     println!("packets processed: {}", stats.packets);
-    println!("engine cycles:     {} ({} idle)", engine.now(), stats.idle_cycles);
+    println!(
+        "engine cycles:     {} ({} idle)",
+        engine.now(),
+        stats.idle_cycles
+    );
     println!("alarms raised:     {}", engine.alarms().len());
     let first = engine.alarms().first().expect("the burst must be caught");
     println!(
         "first alarm at packet seq {} ({} µ-cycles in)",
         first.seq, first.cycle
     );
-    assert!(first.seq >= 1_500 && first.seq < 1_700, "alarm inside the burst window");
+    assert!(
+        first.seq >= 1_500 && first.seq < 1_700,
+        "alarm inside the burst window"
+    );
 }

@@ -1,8 +1,10 @@
 //! Failure-injection tests: the system must behave sanely when
 //! misconfigured or saturated, not just on the happy path.
 
-use fireguard::boom::{BoomConfig, Core, CommitSink};
-use fireguard::core_::{groups, Allocator, DpSel, EventFilter, FilterConfig, Policy, SchedulingEngine};
+use fireguard::boom::{BoomConfig, CommitSink, Core};
+use fireguard::core_::{
+    groups, Allocator, DpSel, EventFilter, FilterConfig, Policy, SchedulingEngine,
+};
 use fireguard::isa::InstClass;
 use fireguard::trace::{TraceGenerator, TraceInst, WorkloadProfile};
 
@@ -35,7 +37,10 @@ fn saturated_filter_stalls_but_unmonitored_work_proceeds() {
     // bounded number of cycles and verify the behaviour is a clean stall,
     // not a panic.
     let stats = core.run_cycles(20_000, &mut sink);
-    assert!(stats.committed > 0, "some instructions commit before saturation");
+    assert!(
+        stats.committed > 0,
+        "some instructions commit before saturation"
+    );
     assert!(
         sink.filter.any_fifo_full(),
         "FIFOs must be full once nothing drains"
@@ -58,18 +63,19 @@ fn unsubscribed_groups_are_dropped_and_counted() {
     allocator.subscribe(groups::MEM, se); // wrong group on purpose
 
     let trace = TraceGenerator::new(WorkloadProfile::parsec("freqmine").unwrap(), 5);
-    let mut now = 1;
     let mut branch_packets = 0;
-    for t in trace.take(20_000) {
+    for (now, t) in (1..).zip(trace.take(20_000)) {
         let _ = filter.offer(now, 0, &t);
-        now += 1;
         if let Some(p) = filter.arbiter_pop() {
             let dest = allocator.route(p.gid, &|_| true);
             assert_eq!(dest, 0, "no engine may receive an unsubscribed group");
             branch_packets += 1;
         }
     }
-    assert!(branch_packets > 1000, "branches were filtered: {branch_packets}");
+    assert!(
+        branch_packets > 1000,
+        "branches were filtered: {branch_packets}"
+    );
     assert_eq!(allocator.stats().unclaimed, branch_packets);
     assert_eq!(allocator.stats().routed, 0);
 }
@@ -86,10 +92,8 @@ fn filter_reprogramming_takes_effect() {
         let _ = ix;
     }
     let trace = TraceGenerator::new(WorkloadProfile::parsec("dedup").unwrap(), 9);
-    let mut now = 1;
-    for t in trace.take(1000) {
+    for (now, t) in (1..).zip(trace.take(1000)) {
         let _ = filter.offer(now, 0, &t);
-        now += 1;
     }
     assert!(filter.stats().packets > 0);
 }
@@ -126,7 +130,11 @@ fn overloaded_system_recovers_after_drain() {
             .insts(30_000),
     );
     assert!(r.committed >= 30_000);
-    assert!(r.slowdown > 1.2, "1-wide filter on x264 must hurt: {:.3}", r.slowdown);
+    assert!(
+        r.slowdown > 1.2,
+        "1-wide filter on x264 must hurt: {:.3}",
+        r.slowdown
+    );
     assert!(r.packets > 10_000);
     assert_eq!(r.unclaimed_packets, 0);
 }

@@ -1,0 +1,103 @@
+//! Golden-value regression tests.
+//!
+//! The simulator is deterministic: the same `ExperimentConfig` must produce
+//! bit-identical cycle counts, packet counts, and slowdowns on every machine
+//! and in every profile. These tests pin one small run per guardian kernel
+//! so that *silent* simulator drift — a timing-model tweak that shifts
+//! results without breaking any behavioural test — fails loudly.
+//!
+//! If a change intentionally alters timing, update the constants below in
+//! the same commit and call the change out in the PR description.
+
+use fireguard::kernels::KernelKind;
+use fireguard::soc::{run_fireguard, ExperimentConfig, RunResult};
+
+/// 10k instructions of swaptions, kernel on 4 µcores, trace seed 42.
+fn run(kind: KernelKind) -> RunResult {
+    let cfg = ExperimentConfig::new("swaptions")
+        .kernel(kind, 4)
+        .insts(10_000)
+        .seed(42);
+    run_fireguard(&cfg)
+}
+
+struct Golden {
+    kind: KernelKind,
+    committed: u64,
+    cycles: u64,
+    baseline_cycles: u64,
+    packets: u64,
+    slowdown_milli: u64,
+}
+
+/// Captured 2026-07-30 from the seed simulator (identical in dev/release).
+const GOLDEN: &[Golden] = &[
+    Golden {
+        kind: KernelKind::Pmc,
+        committed: 10_001,
+        cycles: 7_484,
+        baseline_cycles: 7_484,
+        packets: 2_611,
+        slowdown_milli: 1_000,
+    },
+    Golden {
+        kind: KernelKind::ShadowStack,
+        committed: 10_001,
+        cycles: 7_484,
+        baseline_cycles: 7_484,
+        packets: 655,
+        slowdown_milli: 1_000,
+    },
+    Golden {
+        kind: KernelKind::Asan,
+        committed: 10_002,
+        cycles: 11_470,
+        baseline_cycles: 7_484,
+        packets: 3_266,
+        slowdown_milli: 1_532,
+    },
+    Golden {
+        kind: KernelKind::Uaf,
+        committed: 10_000,
+        cycles: 9_047,
+        baseline_cycles: 7_484,
+        packets: 3_266,
+        slowdown_milli: 1_208,
+    },
+];
+
+#[test]
+fn golden_per_kernel_runs_are_pinned() {
+    for g in GOLDEN {
+        let r = run(g.kind);
+        assert_eq!(r.committed, g.committed, "{:?}: committed drifted", g.kind);
+        assert_eq!(r.cycles, g.cycles, "{:?}: cycles drifted", g.kind);
+        assert_eq!(
+            r.baseline_cycles, g.baseline_cycles,
+            "{:?}: baseline cycles drifted",
+            g.kind
+        );
+        assert_eq!(r.packets, g.packets, "{:?}: packet count drifted", g.kind);
+        assert_eq!(
+            (r.slowdown * 1000.0) as u64,
+            g.slowdown_milli,
+            "{:?}: slowdown drifted ({:.6})",
+            g.kind,
+            r.slowdown
+        );
+        assert_eq!(
+            r.unclaimed_packets, 0,
+            "{:?}: packets lost their subscriber",
+            g.kind
+        );
+    }
+}
+
+#[test]
+fn golden_run_is_reproducible_within_process() {
+    let a = run(KernelKind::Asan);
+    let b = run(KernelKind::Asan);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.packets, b.packets);
+    assert_eq!(a.slowdown.to_bits(), b.slowdown.to_bits());
+}

@@ -110,15 +110,27 @@ fn hardware_accelerators_remove_the_overhead() {
         // ...and on ordinary traffic the overhead vanishes. (x264 retains a
         // few percent from the scalar mapper under commit bursts — see
         // EXPERIMENTS.md.)
-        let calm = run_fireguard(&ExperimentConfig::new("streamcluster").kernel_ha(kind).insts(N));
-        assert!(calm.slowdown < 1.05, "{kind:?} HA ≈ zero overhead: {:.3}", calm.slowdown);
+        let calm = run_fireguard(
+            &ExperimentConfig::new("streamcluster")
+                .kernel_ha(kind)
+                .insts(N),
+        );
+        assert!(
+            calm.slowdown < 1.05,
+            "{kind:?} HA ≈ zero overhead: {:.3}",
+            calm.slowdown
+        );
     }
 }
 
 #[test]
 fn combining_kernels_does_not_multiply_slowdowns() {
     let w = "streamcluster";
-    let asan = run_fireguard(&ExperimentConfig::new(w).kernel(KernelKind::Asan, 4).insts(N));
+    let asan = run_fireguard(
+        &ExperimentConfig::new(w)
+            .kernel(KernelKind::Asan, 4)
+            .insts(N),
+    );
     let pmc = run_fireguard(&ExperimentConfig::new(w).kernel(KernelKind::Pmc, 4).insts(N));
     let both = run_fireguard(
         &ExperimentConfig::new(w)
@@ -174,7 +186,10 @@ fn ma_stage_isax_beats_post_commit_system_wide() {
     };
     let ma = run(IsaxMode::MaStage);
     let pc = run(IsaxMode::PostCommit);
-    assert!(pc > ma, "post-commit ISAX {pc:.3} must lose to MA-stage {ma:.3}");
+    assert!(
+        pc > ma,
+        "post-commit ISAX {pc:.3} must lose to MA-stage {ma:.3}"
+    );
 }
 
 #[test]

@@ -1,0 +1,135 @@
+//! Offline stand-in for the subset of the `criterion` crate API this
+//! workspace uses (`Criterion`, `Bencher`, benchmark groups, and the
+//! `criterion_group!`/`criterion_main!` macros).
+//!
+//! The build container has no network access to crates.io, so benches link
+//! against this minimal wall-clock timer instead. It reports median
+//! per-iteration time over a fixed number of timed samples — enough to spot
+//! order-of-magnitude regressions, without criterion's statistics engine.
+//! Swapping the real crate back in is a one-line `Cargo.toml` change.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers keep working.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+const DEFAULT_SAMPLES: usize = 20;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: DEFAULT_SAMPLES,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: DEFAULT_SAMPLES,
+        }
+    }
+}
+
+/// A named group of benchmarks with its own sample size.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_one(&full, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, f: &mut F) {
+    let mut b = Bencher {
+        samples: samples.max(1),
+        per_iter: Vec::new(),
+    };
+    f(&mut b);
+    b.per_iter.sort();
+    let median = b
+        .per_iter
+        .get(b.per_iter.len() / 2)
+        .copied()
+        .unwrap_or_default();
+    println!(
+        "bench: {name:<40} median {median:>12.2?} ({} samples)",
+        b.per_iter.len()
+    );
+}
+
+/// Passed to the closure given to `bench_function`; times the routine.
+pub struct Bencher {
+    samples: usize,
+    per_iter: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One warm-up, then `samples` timed runs of the routine.
+        std_black_box(routine());
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            std_black_box(routine());
+            self.per_iter.push(t0.elapsed());
+        }
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` runs harness=false bench targets with --test-args;
+            // a bare `--test` pass means "smoke only", so keep output cheap
+            // either way and just run the groups.
+            $($group();)+
+        }
+    };
+}

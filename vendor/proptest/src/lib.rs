@@ -1,0 +1,207 @@
+//! Offline, deterministic stand-in for the subset of the `proptest` crate API
+//! this workspace uses.
+//!
+//! The build container has no network access to crates.io, so the workspace
+//! vendors this minimal implementation instead of the real dependency. It
+//! keeps the same module layout (`prelude`, `strategy`, `collection`,
+//! `test_runner`) and macro names, so swapping the real crate back in is a
+//! one-line `Cargo.toml` change.
+//!
+//! Two deliberate departures from upstream:
+//!
+//! 1. **Determinism.** Every test case is generated from a fixed global seed
+//!    (`FIXED_SEED`) mixed with an FNV-1a hash of the test's name, so a test
+//!    suite run produces identical inputs on every machine and every run —
+//!    there is no environment-dependent entropy and nothing to persist in
+//!    `proptest-regressions` files. Override the seed (for exploratory
+//!    fuzzing) with the `PROPTEST_SEED` environment variable.
+//! 2. **No shrinking.** On failure the offending input is printed via the
+//!    panic message (`prop_assert!` formats the values); since generation is
+//!    deterministic, the exact failing case replays on the next run.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod arbitrary {
+    //! `Arbitrary` — types that have a canonical "any value" strategy.
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A type with a canonical strategy generating arbitrary values.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<fn() -> T>,
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for "any value of type `T`".
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    // Bias toward the boundary values (as upstream proptest
+                    // does): 0 / MIN / MAX are where encode bugs live.
+                    match rng.next_u64() % 16 {
+                        0 => 0,
+                        1 => <$t>::MAX,
+                        2 => <$t>::MIN,
+                        _ => rng.next_u64() as $t,
+                    }
+                }
+            }
+        )*};
+    }
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for u128 {
+        fn arbitrary(rng: &mut TestRng) -> u128 {
+            ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+        }
+    }
+
+    impl Arbitrary for i128 {
+        fn arbitrary(rng: &mut TestRng) -> i128 {
+            u128::arbitrary(rng) as i128
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude::*`.
+    /// Upstream re-exports the crate root as `prop`; keep the alias.
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert a boolean condition inside a `proptest!` body.
+///
+/// The stub maps this onto a plain panic: generation is deterministic, so a
+/// failing case replays identically on the next run and no shrink/persist
+/// machinery is required.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            panic!("prop_assert! failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            panic!($($fmt)*);
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            panic!(
+                "prop_assert_eq! failed: {} != {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            panic!($($fmt)*);
+        }
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if l == r {
+            panic!(
+                "prop_assert_ne! failed: {} == {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            );
+        }
+    }};
+}
+
+/// Choose uniformly between several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Define property tests.
+///
+/// Supports the upstream surface this workspace uses: an optional
+/// `#![proptest_config(...)]` block attribute and `fn name(pat in strategy,
+/// ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut runner = $crate::test_runner::TestRunner::new_for_test(
+                config,
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for case in 0..runner.cases() {
+                let mut rng = runner.rng_for_case(case);
+                $(let $pat = $crate::strategy::Strategy::generate(&{ $strategy }, &mut rng);)+
+                $body
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}

@@ -1,0 +1,107 @@
+//! Test-runner plumbing: configuration and the deterministic RNG.
+
+/// Fixed global seed — every CI run generates identical cases.
+pub const FIXED_SEED: u64 = 0xF19E_6A2D_DAC2_0251;
+
+/// Configuration for a `proptest!` block (upstream-compatible field names).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the property to pass.
+    pub cases: u32,
+    /// Unused by the stub (no shrinking); kept for API compatibility.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config that runs `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+/// SplitMix64 — tiny, fast, and plenty for test-case generation.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Drives the cases of one property test.
+pub struct TestRunner {
+    config: ProptestConfig,
+    base_seed: u64,
+}
+
+impl TestRunner {
+    pub fn new(config: ProptestConfig) -> Self {
+        Self::with_base_seed(config, env_seed().unwrap_or(FIXED_SEED))
+    }
+
+    /// Runner whose case seeds also mix in the test's fully-qualified name,
+    /// so distinct properties never see correlated inputs.
+    pub fn new_for_test(config: ProptestConfig, test_name: &str) -> Self {
+        let base = env_seed().unwrap_or(FIXED_SEED) ^ fnv1a(test_name.as_bytes());
+        Self::with_base_seed(config, base)
+    }
+
+    fn with_base_seed(config: ProptestConfig, base_seed: u64) -> Self {
+        TestRunner { config, base_seed }
+    }
+
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    /// The RNG for case `case` — independent of all other cases.
+    pub fn rng_for_case(&self, case: u32) -> TestRng {
+        // One splitmix step decorrelates consecutive case indices.
+        let mut seeder = TestRng::from_seed(self.base_seed ^ ((case as u64) << 32));
+        TestRng::from_seed(seeder.next_u64())
+    }
+}
+
+fn env_seed() -> Option<u64> {
+    let raw = std::env::var("PROPTEST_SEED").ok()?;
+    let seed = match raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => raw.parse(),
+    };
+    match seed {
+        Ok(s) => Some(s),
+        Err(_) => panic!("PROPTEST_SEED must be a decimal or 0x-prefixed hex u64, got {raw:?}"),
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}

@@ -1,0 +1,86 @@
+//! Self-tests for the vendored proptest stand-in: the simulator's property
+//! suites lean on these behaviours, so they are pinned here.
+
+use proptest::collection;
+use proptest::prelude::*;
+use proptest::test_runner::{ProptestConfig, TestRng, TestRunner};
+
+#[test]
+fn rng_streams_are_deterministic() {
+    let mk = || TestRunner::new_for_test(ProptestConfig::with_cases(8), "selftest::stream");
+    let (a, b) = (mk(), mk());
+    for case in 0..8 {
+        let mut ra = a.rng_for_case(case);
+        let mut rb = b.rng_for_case(case);
+        for _ in 0..16 {
+            assert_eq!(ra.next_u64(), rb.next_u64());
+        }
+    }
+}
+
+#[test]
+fn distinct_tests_get_distinct_streams() {
+    let a = TestRunner::new_for_test(ProptestConfig::with_cases(1), "selftest::a");
+    let b = TestRunner::new_for_test(ProptestConfig::with_cases(1), "selftest::b");
+    assert_ne!(
+        a.rng_for_case(0).next_u64(),
+        b.rng_for_case(0).next_u64(),
+        "test-name hash must decorrelate suites"
+    );
+}
+
+#[test]
+fn range_strategies_respect_bounds() {
+    let mut rng = TestRng::from_seed(7);
+    for _ in 0..10_000 {
+        let v = (-2048i32..2048).generate(&mut rng);
+        assert!((-2048..2048).contains(&v));
+        let u = (0u8..32).generate(&mut rng);
+        assert!(u < 32);
+        let w = (1usize..=5).generate(&mut rng);
+        assert!((1..=5).contains(&w));
+    }
+}
+
+#[test]
+fn union_eventually_picks_every_branch() {
+    let s = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+    let mut rng = TestRng::from_seed(99);
+    let mut seen = [false; 4];
+    for _ in 0..1000 {
+        seen[s.generate(&mut rng) as usize] = true;
+    }
+    assert!(seen[1] && seen[2] && seen[3]);
+}
+
+#[test]
+fn vec_strategy_respects_size_range() {
+    let s = collection::vec(any::<bool>(), 1..300);
+    let mut rng = TestRng::from_seed(3);
+    for _ in 0..500 {
+        let v = s.generate(&mut rng);
+        assert!(!v.is_empty() && v.len() < 300);
+    }
+}
+
+#[test]
+fn map_and_tuple_strategies_compose() {
+    let s = (0u8..32, 0u8..32).prop_map(|(a, b)| (u16::from(a) << 8) | u16::from(b));
+    let mut rng = TestRng::from_seed(11);
+    for _ in 0..1000 {
+        let v = s.generate(&mut rng);
+        assert!((v >> 8) < 32 && (v & 0xFF) < 32);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The proptest! macro itself: bindings, strategies, and assertions.
+    #[test]
+    fn macro_binds_patterns(x in 0u32..100, (a, b) in (0u8..4, 0u8..4)) {
+        prop_assert!(x < 100);
+        prop_assert_eq!(u32::from(a / 4), 0);
+        prop_assert!(b < 4);
+    }
+}
