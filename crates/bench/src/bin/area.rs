@@ -1,27 +1,8 @@
 //! Section IV-F: hardware overhead of the 14 nm physical implementation.
-
-use fireguard_area::components;
+//!
+//! Thin shim over [`fireguard_bench::figures`]; the `fireguard` CLI runs
+//! the same driver (with `--jobs`/`--format` control on top).
 
 fn main() {
-    let c = components();
-    println!("Section IV-F: hardware overhead (Synopsys 14nm generic PDK)\n");
-    println!("SoC area:             {:.3} mm2", c.soc_mm2);
-    println!("BOOM core:            {:.3} mm2", c.boom_mm2);
-    println!("Rocket ucore:         {:.3} mm2", c.rocket_mm2);
-    println!("event filter:         {:.3} mm2", c.filter_mm2);
-    println!("mapper:               {:.3} mm2", c.mapper_mm2);
-    println!(
-        "transport total:      {:.3} mm2 = {:.2}% of BOOM, {:.2}% of SoC",
-        c.transport_mm2(),
-        c.transport_pct_of_boom(),
-        c.transport_pct_of_soc()
-    );
-    let fg = c.fireguard_4ucore_mm2();
-    println!(
-        "4-ucore FireGuard:    {:.3} mm2 = {:.1}% of BOOM, {:.2}% of SoC",
-        fg,
-        100.0 * fg / c.boom_mm2,
-        100.0 * fg / c.soc_mm2
-    );
-    println!("\npaper: 2.91 / 1.107 / 0.061 / 0.032 / 0.011 mm2; transport 3.88%/1.48%; FireGuard 25.9%/9.86%");
+    fireguard_bench::figures::run_bin("area");
 }

@@ -1,54 +1,8 @@
 //! Figure 10: slowdown vs number of µcores, one panel per kernel.
-
-use fireguard_bench::{fmt_slowdown, geomean_of, insts, per_workload, print_header, SEED};
-use fireguard_kernels::KernelKind;
-use fireguard_soc::{run_fireguard, ExperimentConfig};
+//!
+//! Thin shim over [`fireguard_bench::figures`]; the `fireguard` CLI runs
+//! the same driver (with `--jobs`/`--format` control on top).
 
 fn main() {
-    let n = insts();
-    let panels = [
-        (KernelKind::Pmc, "(a) PMC", vec![2usize, 4, 6]),
-        (KernelKind::ShadowStack, "(b) Shadow Stack", vec![2, 4, 6]),
-        (
-            KernelKind::Asan,
-            "(c) Address Sanitizer",
-            vec![2, 4, 6, 8, 12],
-        ),
-        (KernelKind::Uaf, "(d) Use-After-Free", vec![2, 4, 6, 8, 12]),
-    ];
-    for (kind, title, counts) in panels {
-        println!("\nFigure 10{title}: slowdown vs ucore count");
-        let mut cols: Vec<String> = vec!["workload".into()];
-        cols.extend(counts.iter().map(|c| format!("{c}u")));
-        let widths: Vec<usize> = std::iter::once(14)
-            .chain(counts.iter().map(|_| 8))
-            .collect();
-        let colrefs: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
-        print_header(&colrefs, &widths);
-        let counts2 = counts.clone();
-        let rows = per_workload(move |w| {
-            counts2
-                .iter()
-                .map(|&c| {
-                    run_fireguard(&ExperimentConfig::new(w).kernel(kind, c).insts(n).seed(SEED))
-                        .slowdown
-                })
-                .collect::<Vec<f64>>()
-        });
-        let mut per_count: Vec<Vec<f64>> = vec![Vec::new(); counts.len()];
-        for (w, vals) in &rows {
-            print!("{w:>14} ");
-            for (i, v) in vals.iter().enumerate() {
-                print!("{:>8} ", fmt_slowdown(*v));
-                per_count[i].push(*v);
-            }
-            println!();
-        }
-        print!("{:>14} ", "geomean");
-        for g in &per_count {
-            print!("{:>8} ", fmt_slowdown(geomean_of(g)));
-        }
-        println!();
-    }
-    println!("\npaper: PMC 20%@2u -> 2%@4u; SS 7.3%@2u -> 2.1%@4u -> 0.4%@6u; Sanitizer 86%@2u with bodytrack/dedup/x264 >100%, x264 still 58.9%@12u; UaF heaviest, geomean 1.16x@12u with dedup flat");
+    fireguard_bench::figures::run_bin("fig10");
 }

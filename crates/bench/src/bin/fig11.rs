@@ -1,44 +1,8 @@
 //! Figure 11: programming models (PMC on 4 µcores).
-
-use fireguard_bench::{fmt_slowdown, geomean_of, insts, per_workload, print_header, SEED};
-use fireguard_kernels::{KernelKind, ProgrammingModel};
-use fireguard_soc::{run_fireguard, ExperimentConfig};
+//!
+//! Thin shim over [`fireguard_bench::figures`]; the `fireguard` CLI runs
+//! the same driver (with `--jobs`/`--format` control on top).
 
 fn main() {
-    let n = insts();
-    println!("Figure 11: slowdown of programming models (4-ucore PMC)\n");
-    print_header(
-        &["workload", "Conven.", "Duff's", "Unroll", "Hybrid"],
-        &[14, 9, 9, 9, 9],
-    );
-    let rows = per_workload(move |w| {
-        ProgrammingModel::ALL
-            .iter()
-            .map(|&m| {
-                run_fireguard(
-                    &ExperimentConfig::new(w)
-                        .kernel(KernelKind::Pmc, 4)
-                        .model(m)
-                        .insts(n)
-                        .seed(SEED),
-                )
-                .slowdown
-            })
-            .collect::<Vec<f64>>()
-    });
-    let mut per_model: Vec<Vec<f64>> = vec![Vec::new(); 4];
-    for (w, vals) in &rows {
-        print!("{w:>14} ");
-        for (i, v) in vals.iter().enumerate() {
-            print!("{:>9} ", fmt_slowdown(*v));
-            per_model[i].push(*v);
-        }
-        println!();
-    }
-    print!("{:>14} ", "geomean");
-    for g in &per_model {
-        print!("{:>9} ", fmt_slowdown(geomean_of(g)));
-    }
-    println!();
-    println!("\npaper: conventional worst (outliers to 3.7x), Duff's better, unrolling better still, hybrid uniformly best");
+    fireguard_bench::figures::run_bin("fig11");
 }

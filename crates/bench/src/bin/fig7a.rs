@@ -1,58 +1,8 @@
 //! Figure 7(a): FireGuard vs software techniques, per PARSEC workload.
 //!
-//! Columns mirror the paper's legend: each kernel on 4 µcores, HA variants
-//! for PMC and the shadow stack, and the LLVM software baselines.
-
-use fireguard_bench::{fmt_slowdown, geomean_of, insts, per_workload, print_header, SEED};
-use fireguard_kernels::{KernelKind, SoftwareScheme};
-use fireguard_soc::{run_fireguard, run_software, ExperimentConfig};
+//! Thin shim over [`fireguard_bench::figures`]; `fireguard fig7a` runs the
+//! same driver (with `--jobs`/`--format` control on top).
 
 fn main() {
-    let n = insts();
-    println!("Figure 7(a): slowdown running PARSEC with each safeguard");
-    println!("(FireGuard kernels on 4 ucores; HA = hardware accelerator)\n");
-
-    let rows = per_workload(move |w| {
-        let fg = |kind: KernelKind| {
-            run_fireguard(&ExperimentConfig::new(w).kernel(kind, 4).insts(n).seed(SEED)).slowdown
-        };
-        let ha = |kind: KernelKind| {
-            run_fireguard(&ExperimentConfig::new(w).kernel_ha(kind).insts(n).seed(SEED)).slowdown
-        };
-        let sw = |scheme| run_software(scheme, w, SEED, n);
-        [
-            fg(KernelKind::Pmc),
-            ha(KernelKind::Pmc),
-            fg(KernelKind::ShadowStack),
-            ha(KernelKind::ShadowStack),
-            sw(SoftwareScheme::ShadowStackAArch64),
-            fg(KernelKind::Asan),
-            sw(SoftwareScheme::AsanAArch64),
-            sw(SoftwareScheme::AsanX86),
-            fg(KernelKind::Uaf),
-            sw(SoftwareScheme::DangSanX86),
-        ]
-    });
-
-    let cols = [
-        "workload", "PMC.4u", "PMC.HA", "SS.4u", "SS.HA", "SS.sw", "SAN.4u", "SAN.arm", "SAN.x86",
-        "UaF.4u", "DangSan",
-    ];
-    let widths = [14, 8, 8, 8, 8, 8, 8, 8, 8, 8, 8];
-    print_header(&cols, &widths);
-    let mut geos = vec![Vec::new(); 10];
-    for (w, vals) in &rows {
-        print!("{w:>14} ");
-        for (i, v) in vals.iter().enumerate() {
-            print!("{:>8} ", fmt_slowdown(*v));
-            geos[i].push(*v);
-        }
-        println!();
-    }
-    print!("{:>14} ", "geomean");
-    for g in &geos {
-        print!("{:>8} ", fmt_slowdown(geomean_of(g)));
-    }
-    println!();
-    println!("\npaper (geomean): PMC.4u 1.025  SS.4u 1.021  SS.sw 1.079  SAN.4u 1.39  SAN.arm 2.635  SAN.x86 1.915  UaF.4u 1.42  HA ~1.00");
+    fireguard_bench::figures::run_bin("fig7a");
 }

@@ -1,46 +1,8 @@
-//! Figure 7(b): combining safeguards — the dominant kernel dominates, but
-//! slowdowns do not multiply.
-
-use fireguard_bench::{fmt_slowdown, geomean_slowdown, insts, per_workload, print_header, SEED};
-use fireguard_kernels::KernelKind::{Asan, Pmc, ShadowStack, Uaf};
-use fireguard_soc::{run_fireguard, ExperimentConfig};
+//! Figure 7(b): combining safeguards — the dominant kernel dominates.
+//!
+//! Thin shim over [`fireguard_bench::figures`]; the `fireguard` CLI runs
+//! the same driver (with `--jobs`/`--format` control on top).
 
 fn main() {
-    let n = insts();
-    println!("Figure 7(b): slowdown with combined safeguards (geomean over PARSEC)");
-    println!("(4 ucores per kernel; SS as HA in the three-kernel deployments)\n");
-
-    let combos: Vec<(&str, Vec<(fireguard_kernels::KernelKind, bool)>)> = vec![
-        ("SS+PMC", vec![(ShadowStack, false), (Pmc, false)]),
-        ("AS+PMC", vec![(Asan, false), (Pmc, false)]),
-        ("UaF+PMC", vec![(Uaf, false), (Pmc, false)]),
-        ("UaF+AS", vec![(Uaf, false), (Asan, false)]),
-        ("SS+AS", vec![(ShadowStack, false), (Asan, false)]),
-        (
-            "SS+PMC+AS",
-            vec![(ShadowStack, true), (Pmc, false), (Asan, false)],
-        ),
-        (
-            "SS+PMC+UaF",
-            vec![(ShadowStack, true), (Pmc, false), (Uaf, false)],
-        ),
-    ];
-
-    print_header(&["combination", "geomean"], &[14, 10]);
-    for (name, kernels) in combos {
-        let ks = kernels.clone();
-        let rows = per_workload(move |w| {
-            let mut cfg = ExperimentConfig::new(w).insts(n).seed(SEED);
-            for (kind, as_ha) in &ks {
-                cfg = if *as_ha {
-                    cfg.kernel_ha(*kind)
-                } else {
-                    cfg.kernel(*kind, 4)
-                };
-            }
-            run_fireguard(&cfg)
-        });
-        println!("{name:>14} {:>10}", fmt_slowdown(geomean_slowdown(&rows)));
-    }
-    println!("\npaper: pairs track the heavier member (e.g. SS+PMC ~1.03, AS-bearing combos ~1.4); slowdowns do not multiply");
+    fireguard_bench::figures::run_bin("fig7b");
 }

@@ -1,48 +1,8 @@
 //! Figure 8: detection latency while using 4 µcores (unit: ns).
-
-use fireguard_bench::{insts, per_workload, print_header, SEED};
-use fireguard_kernels::KernelKind;
-use fireguard_soc::report::percentile;
-use fireguard_soc::{run_fireguard, ExperimentConfig};
-use fireguard_trace::{AttackKind, AttackPlan};
+//!
+//! Thin shim over [`fireguard_bench::figures`]; the `fireguard` CLI runs
+//! the same driver (with `--jobs`/`--format` control on top).
 
 fn main() {
-    let n = insts();
-    println!("Figure 8: detection latency distribution, 4 ucores per kernel (ns)\n");
-    let kernels = [
-        (KernelKind::ShadowStack, AttackKind::RetHijack, "Shadow"),
-        (KernelKind::Asan, AttackKind::OutOfBounds, "Sanitizer"),
-        (KernelKind::Uaf, AttackKind::UseAfterFree, "UaF"),
-        (KernelKind::Pmc, AttackKind::BoundsViolation, "PMC"),
-    ];
-    print_header(
-        &["workload", "kernel", "n", "min", "p50", "p90", "max"],
-        &[14, 10, 4, 8, 8, 8, 9],
-    );
-    for (kind, attack, label) in kernels {
-        let rows = per_workload(move |w| {
-            let plan = AttackPlan::campaign(&[attack], 60, n / 10, n - n / 10, 7);
-            let cfg = ExperimentConfig::new(w)
-                .kernel(kind, 4)
-                .insts(n)
-                .seed(SEED)
-                .attacks(plan);
-            run_fireguard(&cfg).attack_latencies_ns()
-        });
-        for (w, lats) in rows {
-            if lats.is_empty() {
-                println!("{w:>14} {label:>10} {:>4} (no attacks materialised)", 0);
-                continue;
-            }
-            println!(
-                "{w:>14} {label:>10} {:>4} {:>8.0} {:>8.0} {:>8.0} {:>9.0}",
-                lats.len(),
-                lats[0],
-                percentile(&lats, 50.0),
-                percentile(&lats, 90.0),
-                lats[lats.len() - 1],
-            );
-        }
-    }
-    println!("\npaper: PMC <50ns; Shadow worst-case 220ns (x264); Sanitizer median <200ns with tails >2000ns; UaF in between");
+    fireguard_bench::figures::run_bin("fig8");
 }

@@ -1,58 +1,8 @@
-//! Figure 9: cumulative bottlenecks vs event-filter width
-//! (AddressSanitizer on 4 µcores).
-
-use fireguard_bench::{fmt_slowdown, geomean_slowdown, insts, per_workload, print_header, SEED};
-use fireguard_kernels::KernelKind;
-use fireguard_soc::{run_fireguard, ExperimentConfig};
+//! Figure 9: cumulative bottlenecks vs event-filter width.
+//!
+//! Thin shim over [`fireguard_bench::figures`]; the `fireguard` CLI runs
+//! the same driver (with `--jobs`/`--format` control on top).
 
 fn main() {
-    let n = insts();
-    println!("Figure 9: bottleneck decomposition vs filter width (Sanitizer, 4 ucores)\n");
-    print_header(
-        &["width", "geomean", "filter%", "mapper%", "cdc%", "ucores%"],
-        &[6, 9, 9, 9, 9, 9],
-    );
-    for width in [4usize, 2, 1] {
-        let rows = per_workload(move |w| {
-            run_fireguard(
-                &ExperimentConfig::new(w)
-                    .kernel(KernelKind::Asan, 4)
-                    .filter_width(width)
-                    .insts(n)
-                    .seed(SEED),
-            )
-        });
-        let geo = geomean_slowdown(&rows);
-        let mut sums = [0u64; 4];
-        let mut cycles = 0u64;
-        for (_, r) in &rows {
-            sums[0] += r.bottlenecks.filter;
-            sums[1] += r.bottlenecks.mapper;
-            sums[2] += r.bottlenecks.cdc;
-            sums[3] += r.bottlenecks.ucore;
-            cycles += r.cycles;
-        }
-        let pct = |x: u64| 100.0 * x as f64 / cycles as f64;
-        println!(
-            "{width:>6} {:>9} {:>8.2}% {:>8.2}% {:>8.2}% {:>8.2}%",
-            fmt_slowdown(geo),
-            pct(sums[0]),
-            pct(sums[1]),
-            pct(sums[2]),
-            pct(sums[3]),
-        );
-        // Per-workload bars (the figure's x-axis).
-        for (w, r) in &rows {
-            let p = |x: u64| 100.0 * x as f64 / r.cycles as f64;
-            println!(
-                "       {w:>14} {:>7} f={:>5.2}% m={:>5.2}% c={:>5.2}% u={:>5.2}%",
-                fmt_slowdown(r.slowdown),
-                p(r.bottlenecks.filter),
-                p(r.bottlenecks.mapper),
-                p(r.bottlenecks.cdc),
-                p(r.bottlenecks.ucore),
-            );
-        }
-    }
-    println!("\npaper: a 4-wide filter keeps up with commit; narrowing to 2 adds ~16% geomean overhead and to 1 adds ~34%, with the filter bar dominating the added stall time");
+    fireguard_bench::figures::run_bin("fig9");
 }

@@ -1,29 +1,8 @@
-//! Design-choice ablation (paper §III-D): the MA-stage ISAX interface vs
-//! stock Rocket's post-commit placement (3–13 cycles per custom op).
-
-use fireguard_bench::{fmt_slowdown, geomean_slowdown, insts, per_workload, print_header, SEED};
-use fireguard_kernels::KernelKind;
-use fireguard_soc::{run_fireguard, ExperimentConfig};
-use fireguard_ucore::IsaxMode;
+//! Design-choice ablation (paper §III-D): MA-stage vs post-commit ISAX.
+//!
+//! Thin shim over [`fireguard_bench::figures`]; the `fireguard` CLI runs
+//! the same driver (with `--jobs`/`--format` control on top).
 
 fn main() {
-    let n = insts();
-    println!("ISAX placement ablation (Sanitizer, 4 ucores)\n");
-    print_header(&["interface", "geomean"], &[12, 9]);
-    for (mode, name) in [
-        (IsaxMode::MaStage, "MA-stage"),
-        (IsaxMode::PostCommit, "post-commit"),
-    ] {
-        let rows = per_workload(move |w| {
-            run_fireguard(
-                &ExperimentConfig::new(w)
-                    .kernel(KernelKind::Asan, 4)
-                    .isax(mode)
-                    .insts(n)
-                    .seed(SEED),
-            )
-        });
-        println!("{name:>12} {:>9}", fmt_slowdown(geomean_slowdown(&rows)));
-    }
-    println!("\npaper: Rocket's post-commit interface caused enough hazards to motivate the MA-stage redesign");
+    fireguard_bench::figures::run_bin("isax_ablation");
 }

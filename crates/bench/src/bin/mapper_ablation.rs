@@ -1,34 +1,8 @@
-//! Design-choice ablation (paper footnote 5): the scalar mapper vs a
-//! superscalar mapper with duplicated channels and Scheduling Engines.
-
-use fireguard_bench::{fmt_slowdown, geomean_slowdown, insts, per_workload, print_header, SEED};
-use fireguard_kernels::KernelKind;
-use fireguard_soc::{run_fireguard, ExperimentConfig};
+//! Design-choice ablation (paper footnote 5): scalar vs superscalar mapper.
+//!
+//! Thin shim over [`fireguard_bench::figures`]; the `fireguard` CLI runs
+//! the same driver (with `--jobs`/`--format` control on top).
 
 fn main() {
-    let n = insts();
-    println!("Mapper-width ablation (PMC on 1 HA — isolates the transport)\n");
-    print_header(&["mapper", "geomean", "x264"], &[8, 9, 8]);
-    for width in [1usize, 2, 4] {
-        let rows = per_workload(move |w| {
-            run_fireguard(
-                &ExperimentConfig::new(w)
-                    .kernel_ha(KernelKind::Pmc)
-                    .mapper_width(width)
-                    .insts(n)
-                    .seed(SEED),
-            )
-        });
-        let x264 = rows
-            .iter()
-            .find(|(w, _)| *w == "x264")
-            .map(|(_, r)| r.slowdown)
-            .unwrap();
-        println!(
-            "{width:>8} {:>9} {:>8}",
-            fmt_slowdown(geomean_slowdown(&rows)),
-            fmt_slowdown(x264)
-        );
-    }
-    println!("\npaper (footnote 5): the scalar mapper rarely impedes a 4-wide BOOM (<0.5%); a superscalar mapper would serve wider cores");
+    fireguard_bench::figures::run_bin("mapper_ablation");
 }

@@ -1,40 +1,8 @@
 //! Table II: the hardware configuration this reproduction models.
-
-use fireguard_boom::BoomConfig;
-use fireguard_core::FilterConfig;
-use fireguard_ucore::UcoreConfig;
+//!
+//! Thin shim over [`fireguard_bench::figures`]; the `fireguard` CLI runs
+//! the same driver (with `--jobs`/`--format` control on top).
 
 fn main() {
-    let b = BoomConfig::default();
-    let f = FilterConfig::default();
-    let u = UcoreConfig::default();
-    println!("Table II: modelled hardware configuration\n");
-    println!(
-        "Main core: {}-wide OoO SonicBOOM @ {:.1} GHz",
-        b.commit_width,
-        b.clock_hz / 1e9
-    );
-    println!(
-        "  {}-entry ROB, {}-entry IQ, {}-entry LDQ/STQ, {} Int/FP phys regs",
-        b.rob_entries, b.iq_entries, b.ldq_entries, b.int_prf
-    );
-    println!(
-        "  {} Int ALUs, {} FP/Mul/Div, {} MEM, {} Jump, {} CSR",
-        b.int_alus, b.fp_units, b.mem_units, b.jump_units, b.csr_units
-    );
-    println!("  TAGE (6 tables, 2-64b history), 256-entry BTB, 32-entry RAS");
-    println!(
-        "  L1I/L1D 32KB 8-way ({} MSHRs), L2 512KB, LLC 4MB, DDR3 model",
-        b.dmem.l1_mshrs
-    );
-    println!(
-        "\nFireGuard: {}-wide filter, {}-entry FIFOs",
-        f.width, f.fifo_depth
-    );
-    println!("  mapper: scalar allocator + per-engine 8-entry CDC, fabric @1.6GHz");
-    println!(
-        "Analysis engine: in-order Rocket ucore @ {:.1} GHz, {}-entry message queues, 4KB 2-way L1",
-        u.clock_hz / 1e9,
-        u.input_capacity
-    );
+    fireguard_bench::figures::run_bin("table2");
 }

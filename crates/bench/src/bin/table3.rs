@@ -1,41 +1,8 @@
 //! Table III: feasibility of FireGuard in commercial SoCs.
-
-use fireguard_area::table3;
+//!
+//! Thin shim over [`fireguard_bench::figures`]; the `fireguard` CLI runs
+//! the same driver (with `--jobs`/`--format` control on top).
 
 fn main() {
-    println!("Table III: feasibility of FireGuard in commercial SoCs\n");
-    println!(
-        "{:>12} {:>11} {:>6} {:>6} {:>9} {:>9} {:>5} {:>7} {:>9} {:>8} {:>10} {:>8}",
-        "core",
-        "soc",
-        "freq",
-        "tech",
-        "area",
-        "area@14",
-        "ipc",
-        "thr",
-        "#ucores",
-        "mm2/core",
-        "%/core",
-        "%/soc"
-    );
-    println!("{}", "-".repeat(110));
-    for r in table3() {
-        println!(
-            "{:>12} {:>11} {:>5.1}G {:>6} {:>8.2} {:>9.2} {:>5.2} {:>7.2} {:>9} {:>8.3} {:>9.2}% {:>7.2}%",
-            r.core.name,
-            r.core.soc,
-            r.core.freq_ghz,
-            r.core.tech,
-            r.core.area_native_mm2,
-            r.core.area_14nm_mm2,
-            r.core.ipc,
-            r.norm_throughput,
-            r.ucores,
-            r.overhead_mm2,
-            r.pct_of_core,
-            r.pct_of_soc,
-        );
-    }
-    println!("\npaper: BOOM 4u/25.9%/9.86%; FireStorm 12u/3.6%/0.47%; Cortex-A76 5u/9.6%/0.57%; AlderLake-S 13u/3.8%/0.99%");
+    fireguard_bench::figures::run_bin("table3");
 }

@@ -1,0 +1,782 @@
+//! Figure/table drivers: every plot and table in the paper's evaluation,
+//! as pure functions from [`FigOpts`] to a [`Report`].
+//!
+//! Each driver expands its experiment grid into independent [`JobSpec`]s,
+//! shards them across the [`fireguard_soc::sweep`] worker pool, and
+//! assembles the results into a structured report. The legacy per-figure
+//! binaries (`fig7a` … `mapper_ablation`) and the unified `fireguard` CLI
+//! both dispatch through the [`FIGURES`] registry, so their output is
+//! byte-identical by construction — and independent of the worker count,
+//! because the sweep engine re-orders results by job index.
+
+use fireguard_boom::BoomConfig;
+use fireguard_core::FilterConfig;
+use fireguard_kernels::KernelKind::{Asan, Pmc, ShadowStack, Uaf};
+use fireguard_kernels::{KernelKind, ProgrammingModel, SoftwareScheme};
+use fireguard_soc::experiments::workloads;
+use fireguard_soc::report::{geomean, percentile};
+use fireguard_soc::sweep::{run_jobs, JobOutput, JobSpec};
+use fireguard_soc::{Cell, ExperimentConfig, Report, RunResult, Table};
+use fireguard_trace::{AttackKind, AttackPlan};
+use fireguard_ucore::{IsaxMode, UcoreConfig};
+
+/// Options shared by every figure driver.
+#[derive(Debug, Clone)]
+pub struct FigOpts {
+    /// Instructions per simulation run.
+    pub insts: u64,
+    /// Trace seed.
+    pub seed: u64,
+    /// Worker threads for the sweep engine.
+    pub workers: usize,
+}
+
+impl FigOpts {
+    /// Reads the environment configuration (`FG_INSTS`, `FG_QUICK`,
+    /// `FG_JOBS`) exactly as the legacy binaries do.
+    pub fn from_env() -> FigOpts {
+        FigOpts {
+            insts: crate::insts(),
+            seed: crate::SEED,
+            workers: fireguard_soc::default_workers(),
+        }
+    }
+}
+
+/// One entry in the figure registry.
+pub struct Figure {
+    /// Canonical CLI subcommand name (kebab-case).
+    pub name: &'static str,
+    /// Legacy binary name (snake_case; equals `name` for most figures).
+    pub bin: &'static str,
+    /// One-line description for `fireguard list`.
+    pub summary: &'static str,
+    /// The driver.
+    pub run: fn(&FigOpts) -> Report,
+}
+
+/// Every figure and table of the paper's evaluation, in paper order.
+pub const FIGURES: &[Figure] = &[
+    Figure {
+        name: "fig7a",
+        bin: "fig7a",
+        summary: "slowdown vs software techniques, per PARSEC workload",
+        run: fig7a,
+    },
+    Figure {
+        name: "fig7b",
+        bin: "fig7b",
+        summary: "slowdown with combined safeguards",
+        run: fig7b,
+    },
+    Figure {
+        name: "fig8",
+        bin: "fig8",
+        summary: "detection latency distributions under attack campaigns",
+        run: fig8,
+    },
+    Figure {
+        name: "fig9",
+        bin: "fig9",
+        summary: "bottleneck breakdown vs event-filter width",
+        run: fig9,
+    },
+    Figure {
+        name: "fig10",
+        bin: "fig10",
+        summary: "slowdown vs ucore count, per kernel",
+        run: fig10,
+    },
+    Figure {
+        name: "fig11",
+        bin: "fig11",
+        summary: "programming-model comparison (conventional/Duff's/unroll/hybrid)",
+        run: fig11,
+    },
+    Figure {
+        name: "table2",
+        bin: "table2",
+        summary: "modelled hardware configuration",
+        run: table2,
+    },
+    Figure {
+        name: "table3",
+        bin: "table3",
+        summary: "feasibility of FireGuard in commercial SoCs",
+        run: table3,
+    },
+    Figure {
+        name: "area",
+        bin: "area",
+        summary: "hardware overhead of the 14nm physical implementation",
+        run: area,
+    },
+    Figure {
+        name: "isax-ablation",
+        bin: "isax_ablation",
+        summary: "MA-stage vs post-commit ISAX placement ablation",
+        run: isax_ablation,
+    },
+    Figure {
+        name: "mapper-ablation",
+        bin: "mapper_ablation",
+        summary: "scalar vs superscalar mapper ablation",
+        run: mapper_ablation,
+    },
+];
+
+/// Looks a figure up by CLI name or legacy binary name.
+pub fn find(name: &str) -> Option<&'static Figure> {
+    FIGURES.iter().find(|f| f.name == name || f.bin == name)
+}
+
+/// Entry point for the legacy per-figure binaries: read the environment,
+/// run the named figure, and print it human-formatted to stdout.
+///
+/// # Panics
+///
+/// Panics if `bin` is not in the registry or stdout writing fails.
+pub fn run_bin(bin: &str) {
+    let fig = find(bin).unwrap_or_else(|| panic!("unknown figure binary {bin:?}"));
+    let report = (fig.run)(&FigOpts::from_env());
+    let stdout = std::io::stdout();
+    fireguard_soc::render(&report, fireguard_soc::Format::Human, &mut stdout.lock())
+        .expect("writing the report to stdout failed");
+}
+
+fn fg(o: &FigOpts, w: &str, kind: KernelKind, ucores: usize) -> JobSpec {
+    JobSpec::FireGuard(
+        ExperimentConfig::new(w)
+            .kernel(kind, ucores)
+            .insts(o.insts)
+            .seed(o.seed),
+    )
+}
+
+fn ha(o: &FigOpts, w: &str, kind: KernelKind) -> JobSpec {
+    JobSpec::FireGuard(
+        ExperimentConfig::new(w)
+            .kernel_ha(kind)
+            .insts(o.insts)
+            .seed(o.seed),
+    )
+}
+
+fn sw(o: &FigOpts, w: &str, scheme: SoftwareScheme) -> JobSpec {
+    JobSpec::Software {
+        scheme,
+        workload: w.to_owned(),
+        seed: o.seed,
+        insts: o.insts,
+    }
+}
+
+/// Figure 7(a): FireGuard vs software techniques, per PARSEC workload.
+fn fig7a(o: &FigOpts) -> Report {
+    let ws = workloads();
+    let mut jobs = Vec::new();
+    for &w in &ws {
+        jobs.extend([
+            fg(o, w, Pmc, 4),
+            ha(o, w, Pmc),
+            fg(o, w, ShadowStack, 4),
+            ha(o, w, ShadowStack),
+            sw(o, w, SoftwareScheme::ShadowStackAArch64),
+            fg(o, w, Asan, 4),
+            sw(o, w, SoftwareScheme::AsanAArch64),
+            sw(o, w, SoftwareScheme::AsanX86),
+            fg(o, w, Uaf, 4),
+            sw(o, w, SoftwareScheme::DangSanX86),
+        ]);
+    }
+    let outs = run_jobs(jobs, o.workers);
+
+    let mut r = Report::new();
+    r.text("Figure 7(a): slowdown running PARSEC with each safeguard");
+    r.text("(FireGuard kernels on 4 ucores; HA = hardware accelerator)");
+    r.blank();
+    let mut t = Table::new(&[
+        ("workload", 14),
+        ("PMC.4u", 8),
+        ("PMC.HA", 8),
+        ("SS.4u", 8),
+        ("SS.HA", 8),
+        ("SS.sw", 8),
+        ("SAN.4u", 8),
+        ("SAN.arm", 8),
+        ("SAN.x86", 8),
+        ("UaF.4u", 8),
+        ("DangSan", 8),
+    ]);
+    let mut geos = vec![Vec::new(); 10];
+    for (wi, &w) in ws.iter().enumerate() {
+        let mut cells = vec![Cell::Str(w.to_owned())];
+        for (i, out) in outs[wi * 10..(wi + 1) * 10].iter().enumerate() {
+            let v = out.slowdown();
+            geos[i].push(v);
+            cells.push(Cell::slowdown(v));
+        }
+        t.row(cells);
+    }
+    let mut cells = vec![Cell::Str("geomean".to_owned())];
+    cells.extend(geos.iter().map(|g| Cell::slowdown(geomean(g))));
+    t.row(cells);
+    r.table(t);
+    r.blank();
+    r.text("paper (geomean): PMC.4u 1.025  SS.4u 1.021  SS.sw 1.079  SAN.4u 1.39  SAN.arm 2.635  SAN.x86 1.915  UaF.4u 1.42  HA ~1.00");
+    r
+}
+
+/// Figure 7(b): combining safeguards — the dominant kernel dominates.
+fn fig7b(o: &FigOpts) -> Report {
+    type Combo = (&'static str, &'static [(KernelKind, bool)]);
+    const COMBOS: &[Combo] = &[
+        ("SS+PMC", &[(ShadowStack, false), (Pmc, false)]),
+        ("AS+PMC", &[(Asan, false), (Pmc, false)]),
+        ("UaF+PMC", &[(Uaf, false), (Pmc, false)]),
+        ("UaF+AS", &[(Uaf, false), (Asan, false)]),
+        ("SS+AS", &[(ShadowStack, false), (Asan, false)]),
+        (
+            "SS+PMC+AS",
+            &[(ShadowStack, true), (Pmc, false), (Asan, false)],
+        ),
+        (
+            "SS+PMC+UaF",
+            &[(ShadowStack, true), (Pmc, false), (Uaf, false)],
+        ),
+    ];
+    let ws = workloads();
+    let mut jobs = Vec::new();
+    for (_, kernels) in COMBOS {
+        for &w in &ws {
+            let mut cfg = ExperimentConfig::new(w).insts(o.insts).seed(o.seed);
+            for (kind, as_ha) in *kernels {
+                cfg = if *as_ha {
+                    cfg.kernel_ha(*kind)
+                } else {
+                    cfg.kernel(*kind, 4)
+                };
+            }
+            jobs.push(JobSpec::FireGuard(cfg));
+        }
+    }
+    let outs = run_jobs(jobs, o.workers);
+
+    let mut r = Report::new();
+    r.text("Figure 7(b): slowdown with combined safeguards (geomean over PARSEC)");
+    r.text("(4 ucores per kernel; SS as HA in the three-kernel deployments)");
+    r.blank();
+    let mut t = Table::new(&[("combination", 14), ("geomean", 10)]);
+    for (ci, (name, _)) in COMBOS.iter().enumerate() {
+        let slice = &outs[ci * ws.len()..(ci + 1) * ws.len()];
+        let geo = geomean(&slice.iter().map(JobOutput::slowdown).collect::<Vec<_>>());
+        t.row(vec![Cell::Str((*name).to_owned()), Cell::slowdown(geo)]);
+    }
+    r.table(t);
+    r.blank();
+    r.text("paper: pairs track the heavier member (e.g. SS+PMC ~1.03, AS-bearing combos ~1.4); slowdowns do not multiply");
+    r
+}
+
+/// Figure 8: detection latency while using 4 µcores (unit: ns).
+fn fig8(o: &FigOpts) -> Report {
+    let n = o.insts;
+    let kernels = [
+        (ShadowStack, AttackKind::RetHijack, "Shadow"),
+        (Asan, AttackKind::OutOfBounds, "Sanitizer"),
+        (Uaf, AttackKind::UseAfterFree, "UaF"),
+        (Pmc, AttackKind::BoundsViolation, "PMC"),
+    ];
+    let ws = workloads();
+    let mut jobs = Vec::new();
+    for (kind, attack, _) in kernels {
+        for &w in &ws {
+            let plan = AttackPlan::campaign(&[attack], 60, n / 10, n - n / 10, 7);
+            jobs.push(JobSpec::FireGuard(
+                ExperimentConfig::new(w)
+                    .kernel(kind, 4)
+                    .insts(n)
+                    .seed(o.seed)
+                    .attacks(plan),
+            ));
+        }
+    }
+    let outs = run_jobs(jobs, o.workers);
+
+    let mut r = Report::new();
+    r.text("Figure 8: detection latency distribution, 4 ucores per kernel (ns)");
+    r.blank();
+    let mut t = Table::new(&[
+        ("workload", 14),
+        ("kernel", 10),
+        ("n", 4),
+        ("min", 8),
+        ("p50", 8),
+        ("p90", 8),
+        ("max", 9),
+    ]);
+    for (ki, (_, _, label)) in kernels.iter().enumerate() {
+        for (wi, &w) in ws.iter().enumerate() {
+            let lats = outs[ki * ws.len() + wi]
+                .clone()
+                .into_run()
+                .attack_latencies_ns();
+            let mut cells = vec![
+                Cell::Str(w.to_owned()),
+                Cell::Str((*label).to_owned()),
+                Cell::Int(lats.len() as i64),
+            ];
+            if lats.is_empty() {
+                cells.extend((0..4).map(|_| Cell::Missing));
+            } else {
+                for v in [
+                    lats[0],
+                    percentile(&lats, 50.0),
+                    percentile(&lats, 90.0),
+                    lats[lats.len() - 1],
+                ] {
+                    cells.push(Cell::Float { v, prec: 0 });
+                }
+            }
+            t.row(cells);
+        }
+    }
+    r.table(t);
+    r.blank();
+    r.text("paper: PMC <50ns; Shadow worst-case 220ns (x264); Sanitizer median <200ns with tails >2000ns; UaF in between");
+    r
+}
+
+/// Figure 9: cumulative bottlenecks vs event-filter width.
+fn fig9(o: &FigOpts) -> Report {
+    const WIDTHS: [usize; 3] = [4, 2, 1];
+    let ws = workloads();
+    let mut jobs = Vec::new();
+    for width in WIDTHS {
+        for &w in &ws {
+            jobs.push(JobSpec::FireGuard(
+                ExperimentConfig::new(w)
+                    .kernel(Asan, 4)
+                    .filter_width(width)
+                    .insts(o.insts)
+                    .seed(o.seed),
+            ));
+        }
+    }
+    let outs = run_jobs(jobs, o.workers);
+    let runs: Vec<RunResult> = outs.into_iter().map(JobOutput::into_run).collect();
+
+    let mut r = Report::new();
+    r.text("Figure 9: bottleneck decomposition vs filter width (Sanitizer, 4 ucores)");
+    r.blank();
+    let mut summary = Table::new(&[
+        ("width", 6),
+        ("geomean", 9),
+        ("filter%", 9),
+        ("mapper%", 9),
+        ("cdc%", 9),
+        ("ucores%", 9),
+    ]);
+    for (i, width) in WIDTHS.iter().enumerate() {
+        let slice = &runs[i * ws.len()..(i + 1) * ws.len()];
+        let geo = geomean(&slice.iter().map(|r| r.slowdown).collect::<Vec<_>>());
+        let cycles: u64 = slice.iter().map(|r| r.cycles).sum();
+        let pct = |x: u64| Cell::Float {
+            v: 100.0 * x as f64 / cycles as f64,
+            prec: 2,
+        };
+        summary.row(vec![
+            Cell::Int(*width as i64),
+            Cell::slowdown(geo),
+            pct(slice.iter().map(|r| r.bottlenecks.filter).sum()),
+            pct(slice.iter().map(|r| r.bottlenecks.mapper).sum()),
+            pct(slice.iter().map(|r| r.bottlenecks.cdc).sum()),
+            pct(slice.iter().map(|r| r.bottlenecks.ucore).sum()),
+        ]);
+    }
+    r.table(summary);
+    for (i, width) in WIDTHS.iter().enumerate() {
+        r.blank();
+        r.text(format!("filter width {width}: per-workload breakdown"));
+        let mut t = Table::new(&[
+            ("workload", 14),
+            ("slowdown", 9),
+            ("filter%", 9),
+            ("mapper%", 9),
+            ("cdc%", 9),
+            ("ucores%", 9),
+        ]);
+        for (wi, &w) in ws.iter().enumerate() {
+            let run = &runs[i * ws.len() + wi];
+            let pct = |x: u64| Cell::Float {
+                v: 100.0 * x as f64 / run.cycles as f64,
+                prec: 2,
+            };
+            t.row(vec![
+                Cell::Str(w.to_owned()),
+                Cell::slowdown(run.slowdown),
+                pct(run.bottlenecks.filter),
+                pct(run.bottlenecks.mapper),
+                pct(run.bottlenecks.cdc),
+                pct(run.bottlenecks.ucore),
+            ]);
+        }
+        r.table(t);
+    }
+    r.blank();
+    r.text("paper: a 4-wide filter keeps up with commit; narrowing to 2 adds ~16% geomean overhead and to 1 adds ~34%, with the filter bar dominating the added stall time");
+    r
+}
+
+/// Figure 10: slowdown vs number of µcores, one panel per kernel.
+fn fig10(o: &FigOpts) -> Report {
+    type Panel = (KernelKind, &'static str, &'static [usize]);
+    const PANELS: [Panel; 4] = [
+        (Pmc, "(a) PMC", &[2, 4, 6]),
+        (ShadowStack, "(b) Shadow Stack", &[2, 4, 6]),
+        (Asan, "(c) Address Sanitizer", &[2, 4, 6, 8, 12]),
+        (Uaf, "(d) Use-After-Free", &[2, 4, 6, 8, 12]),
+    ];
+    let ws = workloads();
+    // One flat batch across all four panels maximises pool utilisation.
+    let mut jobs = Vec::new();
+    let mut spans = Vec::new();
+    for (kind, _, counts) in PANELS {
+        spans.push(jobs.len());
+        for &w in &ws {
+            for &c in counts {
+                jobs.push(fg(o, w, kind, c));
+            }
+        }
+    }
+    let outs = run_jobs(jobs, o.workers);
+
+    let mut r = Report::new();
+    for (pi, (_, title, counts)) in PANELS.iter().enumerate() {
+        r.blank();
+        r.text(format!("Figure 10{title}: slowdown vs ucore count"));
+        let mut cols: Vec<(String, usize)> = vec![("workload".to_owned(), 14)];
+        cols.extend(counts.iter().map(|c| (format!("{c}u"), 8)));
+        let colrefs: Vec<(&str, usize)> = cols.iter().map(|(n, w)| (n.as_str(), *w)).collect();
+        let mut t = Table::new(&colrefs);
+        let mut per_count = vec![Vec::new(); counts.len()];
+        for (wi, &w) in ws.iter().enumerate() {
+            let mut cells = vec![Cell::Str(w.to_owned())];
+            for ci in 0..counts.len() {
+                let v = outs[spans[pi] + wi * counts.len() + ci].slowdown();
+                per_count[ci].push(v);
+                cells.push(Cell::slowdown(v));
+            }
+            t.row(cells);
+        }
+        let mut cells = vec![Cell::Str("geomean".to_owned())];
+        cells.extend(per_count.iter().map(|g| Cell::slowdown(geomean(g))));
+        t.row(cells);
+        r.table(t);
+    }
+    r.blank();
+    r.text("paper: PMC 20%@2u -> 2%@4u; SS 7.3%@2u -> 2.1%@4u -> 0.4%@6u; Sanitizer 86%@2u with bodytrack/dedup/x264 >100%, x264 still 58.9%@12u; UaF heaviest, geomean 1.16x@12u with dedup flat");
+    r
+}
+
+/// Figure 11: programming models (PMC on 4 µcores).
+fn fig11(o: &FigOpts) -> Report {
+    let ws = workloads();
+    let mut jobs = Vec::new();
+    for &w in &ws {
+        for &m in ProgrammingModel::ALL.iter() {
+            jobs.push(JobSpec::FireGuard(
+                ExperimentConfig::new(w)
+                    .kernel(Pmc, 4)
+                    .model(m)
+                    .insts(o.insts)
+                    .seed(o.seed),
+            ));
+        }
+    }
+    let outs = run_jobs(jobs, o.workers);
+
+    let mut r = Report::new();
+    r.text("Figure 11: slowdown of programming models (4-ucore PMC)");
+    r.blank();
+    let mut t = Table::new(&[
+        ("workload", 14),
+        ("Conven.", 9),
+        ("Duff's", 9),
+        ("Unroll", 9),
+        ("Hybrid", 9),
+    ]);
+    let n_models = ProgrammingModel::ALL.len();
+    let mut per_model = vec![Vec::new(); n_models];
+    for (wi, &w) in ws.iter().enumerate() {
+        let mut cells = vec![Cell::Str(w.to_owned())];
+        for mi in 0..n_models {
+            let v = outs[wi * n_models + mi].slowdown();
+            per_model[mi].push(v);
+            cells.push(Cell::slowdown(v));
+        }
+        t.row(cells);
+    }
+    let mut cells = vec![Cell::Str("geomean".to_owned())];
+    cells.extend(per_model.iter().map(|g| Cell::slowdown(geomean(g))));
+    t.row(cells);
+    r.table(t);
+    r.blank();
+    r.text("paper: conventional worst (outliers to 3.7x), Duff's better, unrolling better still, hybrid uniformly best");
+    r
+}
+
+/// Table II: the hardware configuration this reproduction models.
+fn table2(_o: &FigOpts) -> Report {
+    let b = BoomConfig::default();
+    let f = FilterConfig::default();
+    let u = UcoreConfig::default();
+    let mut r = Report::new();
+    r.text("Table II: modelled hardware configuration");
+    r.blank();
+    r.text(format!(
+        "Main core: {}-wide OoO SonicBOOM @ {:.1} GHz",
+        b.commit_width,
+        b.clock_hz / 1e9
+    ));
+    r.text(format!(
+        "  {}-entry ROB, {}-entry IQ, {}-entry LDQ/STQ, {} Int/FP phys regs",
+        b.rob_entries, b.iq_entries, b.ldq_entries, b.int_prf
+    ));
+    r.text(format!(
+        "  {} Int ALUs, {} FP/Mul/Div, {} MEM, {} Jump, {} CSR",
+        b.int_alus, b.fp_units, b.mem_units, b.jump_units, b.csr_units
+    ));
+    r.text("  TAGE (6 tables, 2-64b history), 256-entry BTB, 32-entry RAS");
+    r.text(format!(
+        "  L1I/L1D 32KB 8-way ({} MSHRs), L2 512KB, LLC 4MB, DDR3 model",
+        b.dmem.l1_mshrs
+    ));
+    r.blank();
+    r.text(format!(
+        "FireGuard: {}-wide filter, {}-entry FIFOs",
+        f.width, f.fifo_depth
+    ));
+    r.text("  mapper: scalar allocator + per-engine 8-entry CDC, fabric @1.6GHz");
+    r.text(format!(
+        "Analysis engine: in-order Rocket ucore @ {:.1} GHz, {}-entry message queues, 4KB 2-way L1",
+        u.clock_hz / 1e9,
+        u.input_capacity
+    ));
+    r
+}
+
+/// Table III: feasibility of FireGuard in commercial SoCs.
+fn table3(_o: &FigOpts) -> Report {
+    let mut r = Report::new();
+    r.text("Table III: feasibility of FireGuard in commercial SoCs");
+    r.blank();
+    let mut t = Table::new(&[
+        ("core", 12),
+        ("soc", 11),
+        ("freq", 6),
+        ("tech", 6),
+        ("area", 9),
+        ("area@14", 9),
+        ("ipc", 5),
+        ("thr", 7),
+        ("#ucores", 9),
+        ("mm2/core", 8),
+        ("%/core", 10),
+        ("%/soc", 8),
+    ]);
+    for row in fireguard_area::table3() {
+        t.row(vec![
+            Cell::Str(row.core.name.to_owned()),
+            Cell::Str(row.core.soc.to_owned()),
+            Cell::Str(format!("{:.1}G", row.core.freq_ghz)),
+            Cell::Str(row.core.tech.to_owned()),
+            Cell::Float {
+                v: row.core.area_native_mm2,
+                prec: 2,
+            },
+            Cell::Float {
+                v: row.core.area_14nm_mm2,
+                prec: 2,
+            },
+            Cell::Float {
+                v: row.core.ipc,
+                prec: 2,
+            },
+            Cell::Float {
+                v: row.norm_throughput,
+                prec: 2,
+            },
+            Cell::Int(row.ucores as i64),
+            Cell::Float {
+                v: row.overhead_mm2,
+                prec: 3,
+            },
+            Cell::Str(format!("{:.2}%", row.pct_of_core)),
+            Cell::Str(format!("{:.2}%", row.pct_of_soc)),
+        ]);
+    }
+    r.table(t);
+    r.blank();
+    r.text("paper: BOOM 4u/25.9%/9.86%; FireStorm 12u/3.6%/0.47%; Cortex-A76 5u/9.6%/0.57%; AlderLake-S 13u/3.8%/0.99%");
+    r
+}
+
+/// Section IV-F: hardware overhead of the 14 nm physical implementation.
+fn area(_o: &FigOpts) -> Report {
+    let c = fireguard_area::components();
+    let mut r = Report::new();
+    r.text("Section IV-F: hardware overhead (Synopsys 14nm generic PDK)");
+    r.blank();
+    r.text(format!("SoC area:             {:.3} mm2", c.soc_mm2));
+    r.text(format!("BOOM core:            {:.3} mm2", c.boom_mm2));
+    r.text(format!("Rocket ucore:         {:.3} mm2", c.rocket_mm2));
+    r.text(format!("event filter:         {:.3} mm2", c.filter_mm2));
+    r.text(format!("mapper:               {:.3} mm2", c.mapper_mm2));
+    r.text(format!(
+        "transport total:      {:.3} mm2 = {:.2}% of BOOM, {:.2}% of SoC",
+        c.transport_mm2(),
+        c.transport_pct_of_boom(),
+        c.transport_pct_of_soc()
+    ));
+    let fg_mm2 = c.fireguard_4ucore_mm2();
+    r.text(format!(
+        "4-ucore FireGuard:    {:.3} mm2 = {:.1}% of BOOM, {:.2}% of SoC",
+        fg_mm2,
+        100.0 * fg_mm2 / c.boom_mm2,
+        100.0 * fg_mm2 / c.soc_mm2
+    ));
+    r.blank();
+    r.text("paper: 2.91 / 1.107 / 0.061 / 0.032 / 0.011 mm2; transport 3.88%/1.48%; FireGuard 25.9%/9.86%");
+    r
+}
+
+/// Design-choice ablation (paper §III-D): MA-stage vs post-commit ISAX.
+fn isax_ablation(o: &FigOpts) -> Report {
+    const MODES: [(IsaxMode, &str); 2] = [
+        (IsaxMode::MaStage, "MA-stage"),
+        (IsaxMode::PostCommit, "post-commit"),
+    ];
+    let ws = workloads();
+    let mut jobs = Vec::new();
+    for (mode, _) in MODES {
+        for &w in &ws {
+            jobs.push(JobSpec::FireGuard(
+                ExperimentConfig::new(w)
+                    .kernel(Asan, 4)
+                    .isax(mode)
+                    .insts(o.insts)
+                    .seed(o.seed),
+            ));
+        }
+    }
+    let outs = run_jobs(jobs, o.workers);
+
+    let mut r = Report::new();
+    r.text("ISAX placement ablation (Sanitizer, 4 ucores)");
+    r.blank();
+    let mut t = Table::new(&[("interface", 12), ("geomean", 9)]);
+    for (mi, (_, name)) in MODES.iter().enumerate() {
+        let slice = &outs[mi * ws.len()..(mi + 1) * ws.len()];
+        let geo = geomean(&slice.iter().map(JobOutput::slowdown).collect::<Vec<_>>());
+        t.row(vec![Cell::Str((*name).to_owned()), Cell::slowdown(geo)]);
+    }
+    r.table(t);
+    r.blank();
+    r.text("paper: Rocket's post-commit interface caused enough hazards to motivate the MA-stage redesign");
+    r
+}
+
+/// Design-choice ablation (paper footnote 5): scalar vs superscalar mapper.
+fn mapper_ablation(o: &FigOpts) -> Report {
+    const WIDTHS: [usize; 3] = [1, 2, 4];
+    let ws = workloads();
+    let mut jobs = Vec::new();
+    for width in WIDTHS {
+        for &w in &ws {
+            jobs.push(JobSpec::FireGuard(
+                ExperimentConfig::new(w)
+                    .kernel_ha(Pmc)
+                    .mapper_width(width)
+                    .insts(o.insts)
+                    .seed(o.seed),
+            ));
+        }
+    }
+    let outs = run_jobs(jobs, o.workers);
+
+    let mut r = Report::new();
+    r.text("Mapper-width ablation (PMC on 1 HA — isolates the transport)");
+    r.blank();
+    let mut t = Table::new(&[("mapper", 8), ("geomean", 9), ("x264", 8)]);
+    for (i, width) in WIDTHS.iter().enumerate() {
+        let slice = &outs[i * ws.len()..(i + 1) * ws.len()];
+        let geo = geomean(&slice.iter().map(JobOutput::slowdown).collect::<Vec<_>>());
+        let x264 = ws
+            .iter()
+            .position(|&w| w == "x264")
+            .map(|wi| slice[wi].slowdown())
+            .expect("x264 is a PARSEC workload");
+        t.row(vec![
+            Cell::Int(*width as i64),
+            Cell::slowdown(geo),
+            Cell::slowdown(x264),
+        ]);
+    }
+    r.table(t);
+    r.blank();
+    r.text("paper (footnote 5): the scalar mapper rarely impedes a 4-wide BOOM (<0.5%); a superscalar mapper would serve wider cores");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fireguard_soc::{render_to_string, Format};
+
+    fn quick() -> FigOpts {
+        FigOpts {
+            insts: 2_000,
+            seed: crate::SEED,
+            workers: 4,
+        }
+    }
+
+    #[test]
+    fn registry_covers_all_eleven_figures() {
+        assert_eq!(FIGURES.len(), 11);
+        assert!(find("fig7a").is_some());
+        assert!(find("isax-ablation").is_some(), "kebab CLI name resolves");
+        assert!(find("isax_ablation").is_some(), "legacy bin name resolves");
+        assert!(find("fig99").is_none());
+    }
+
+    #[test]
+    fn static_reports_have_content() {
+        for name in ["table2", "table3", "area"] {
+            let fig = find(name).unwrap();
+            let s = render_to_string(&(fig.run)(&quick()), Format::Human);
+            assert!(s.lines().count() >= 3, "{name} too short:\n{s}");
+        }
+    }
+
+    #[test]
+    fn fig7a_worker_count_does_not_change_bytes() {
+        let seq = render_to_string(
+            &fig7a(&FigOpts {
+                workers: 1,
+                ..quick()
+            }),
+            Format::Human,
+        );
+        let par = render_to_string(
+            &fig7a(&FigOpts {
+                workers: 4,
+                ..quick()
+            }),
+            Format::Human,
+        );
+        assert_eq!(seq, par, "parallel sweep must be byte-identical");
+        assert!(seq.contains("geomean"));
+    }
+}

@@ -1,71 +1,69 @@
-//! Shared harness utilities for the figure/table regeneration binaries.
+//! Shared harness for the figure/table reproduction: environment-variable
+//! configuration plus the [`figures`] drivers that both the legacy
+//! per-figure binaries and the unified `fireguard` CLI dispatch into.
 //!
-//! Every binary honours two environment variables:
+//! Every entry point honours three environment variables:
 //!
-//! * `FG_INSTS` — instructions per run (default 120 000);
-//! * `FG_QUICK` — when set, drops to 30 000 instructions for smoke runs.
+//! * `FG_INSTS` — instructions per run (default 120 000); an unparseable
+//!   value is ignored with a warning on stderr;
+//! * `FG_QUICK` — when set, drops to 30 000 instructions for smoke runs
+//!   (takes precedence over `FG_INSTS`);
+//! * `FG_JOBS` — worker threads for the sweep engine (default: available
+//!   parallelism; see [`fireguard_soc::sweep::default_workers`]).
+//!
+//! The CLI's `--insts`, `--quick`, and `--jobs` flags override all three.
 
-use fireguard_soc::report::geomean;
-use fireguard_soc::RunResult;
+#![warn(missing_docs)]
 
-/// Instructions per simulation run (see crate docs for the env overrides).
-pub fn insts() -> u64 {
-    if std::env::var_os("FG_QUICK").is_some() {
-        return 30_000;
-    }
-    std::env::var("FG_INSTS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(120_000)
-}
+pub mod figures;
+
+/// Instructions for a smoke (`FG_QUICK`) run.
+pub const QUICK_INSTS: u64 = 30_000;
+
+/// Default instructions per simulation run.
+pub const DEFAULT_INSTS: u64 = 120_000;
 
 /// The standard seed used across figures (deterministic reproduction).
 pub const SEED: u64 = 42;
 
-/// Prints a header row followed by a separator.
-pub fn print_header(cols: &[&str], widths: &[usize]) {
-    let mut line = String::new();
-    for (c, w) in cols.iter().zip(widths) {
-        line.push_str(&format!("{c:>w$} ", w = w));
+/// Parses an `FG_INSTS` value; `Err` carries a stderr-ready warning.
+///
+/// Pure helper behind [`insts`], split out for testability (mirrors the
+/// vendored proptest crate's `PROPTEST_SEED` handling).
+pub fn parse_insts(raw: &str) -> Result<u64, String> {
+    match raw.trim().parse::<u64>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!(
+            "ignoring unparseable FG_INSTS={raw:?} (expected a positive integer); \
+             using the default of {DEFAULT_INSTS}"
+        )),
     }
-    println!("{line}");
-    println!("{}", "-".repeat(line.len()));
 }
 
-/// Formats a slowdown for a table cell.
-pub fn fmt_slowdown(s: f64) -> String {
-    format!("{s:.3}")
-}
-
-/// Runs the same experiment over every workload in parallel threads,
-/// returning `(workload, T)` pairs in PARSEC order.
-pub fn per_workload<T, F>(f: F) -> Vec<(&'static str, T)>
-where
-    T: Send + 'static,
-    F: Fn(&'static str) -> T + Send + Sync + 'static,
-{
-    let f = std::sync::Arc::new(f);
-    let handles: Vec<_> = fireguard_soc::experiments::workloads()
-        .into_iter()
-        .map(|w| {
-            let f = std::sync::Arc::clone(&f);
-            std::thread::spawn(move || (w, f(w)))
-        })
-        .collect();
-    handles
-        .into_iter()
-        .map(|h| h.join().expect("worker thread panicked"))
-        .collect()
-}
-
-/// Geomean of the slowdowns in a per-workload result set.
-pub fn geomean_slowdown(rows: &[(&str, RunResult)]) -> f64 {
-    geomean(&rows.iter().map(|(_, r)| r.slowdown).collect::<Vec<_>>())
-}
-
-/// Geomean over plain numbers.
-pub fn geomean_of(xs: &[f64]) -> f64 {
-    geomean(xs)
+/// Instructions per simulation run (see the crate docs for the env knobs).
+///
+/// An `FG_INSTS` value that does not parse as a positive integer is
+/// ignored with a warning on stderr rather than silently dropped.
+pub fn insts() -> u64 {
+    if std::env::var_os("FG_QUICK").is_some() {
+        return QUICK_INSTS;
+    }
+    match std::env::var("FG_INSTS") {
+        Ok(raw) => match parse_insts(&raw) {
+            Ok(n) => n,
+            Err(msg) => {
+                eprintln!("warning: {msg}");
+                DEFAULT_INSTS
+            }
+        },
+        Err(std::env::VarError::NotPresent) => DEFAULT_INSTS,
+        Err(std::env::VarError::NotUnicode(_)) => {
+            eprintln!(
+                "warning: ignoring non-unicode FG_INSTS; using the default of {DEFAULT_INSTS}"
+            );
+            DEFAULT_INSTS
+        }
+    }
 }
 
 #[cfg(test)]
@@ -76,15 +74,22 @@ mod tests {
     fn insts_respects_quick_env() {
         // Only checks the default path deterministically.
         if std::env::var_os("FG_QUICK").is_none() && std::env::var("FG_INSTS").is_err() {
-            assert_eq!(insts(), 120_000);
+            assert_eq!(insts(), DEFAULT_INSTS);
         }
     }
 
     #[test]
-    fn per_workload_covers_all_nine() {
-        let rows = per_workload(|w| w.len());
-        assert_eq!(rows.len(), 9);
-        assert_eq!(rows[0].0, "blackscholes");
-        assert_eq!(rows[8].0, "x264");
+    fn insts_parse_accepts_positive_integers() {
+        assert_eq!(parse_insts("2000"), Ok(2000));
+        assert_eq!(parse_insts(" 42 "), Ok(42));
+    }
+
+    #[test]
+    fn insts_parse_rejects_junk_with_a_warning() {
+        for bad in ["", "0", "-5", "12k", "1e6", "banana"] {
+            let err = parse_insts(bad).expect_err(bad);
+            assert!(err.contains("FG_INSTS"), "warning names the variable");
+            assert!(err.contains("120000") || err.contains(bad));
+        }
     }
 }

@@ -1,21 +1,31 @@
-//! Smoke tests for the figure/table binaries.
+//! Smoke + parity tests for the figure/table binaries.
 //!
 //! Each binary's full experiment takes minutes; these run the *same code
 //! paths* end-to-end at a tiny instruction budget (`FG_INSTS=2000`) so a
 //! plain `cargo test` catches panics, bad table plumbing, and experiment
 //! wiring regressions in every binary without the full workloads.
 //!
+//! Beyond not crashing, every binary's stdout must be **byte-identical**
+//! to rendering the corresponding [`fireguard_bench::figures`] driver
+//! in-process: the binaries are thin shims over the figure registry, and
+//! this is what lets the `fireguard` CLI (which renders through the same
+//! registry) guarantee output parity with the legacy binaries.
+//!
 //! Cargo builds the bins automatically because the test references them via
 //! the `CARGO_BIN_EXE_<name>` environment variables.
 
+use fireguard_bench::figures::{find, FigOpts};
+use fireguard_bench::SEED;
+use fireguard_soc::{render_to_string, Format};
 use std::process::Command;
 
-const SMOKE_INSTS: &str = "2000";
+const SMOKE_INSTS: u64 = 2000;
 
-fn smoke(bin_path: &str) {
+fn smoke(name: &str, bin_path: &str) {
     let out = Command::new(bin_path)
-        .env("FG_INSTS", SMOKE_INSTS)
+        .env("FG_INSTS", SMOKE_INSTS.to_string())
         .env_remove("FG_QUICK")
+        .env_remove("FG_JOBS")
         .output()
         .unwrap_or_else(|e| panic!("failed to spawn {bin_path}: {e}"));
     assert!(
@@ -29,13 +39,27 @@ fn smoke(bin_path: &str) {
         stdout.lines().count() >= 3,
         "{bin_path} produced suspiciously little output:\n{stdout}"
     );
+
+    // Parity: the binary must print exactly what the registry driver
+    // renders in-process (workers do not matter; sweeps are re-ordered).
+    let fig = find(name).unwrap_or_else(|| panic!("{name} not in the figure registry"));
+    let opts = FigOpts {
+        insts: SMOKE_INSTS,
+        seed: SEED,
+        workers: 4,
+    };
+    let expected = render_to_string(&(fig.run)(&opts), Format::Human);
+    assert_eq!(
+        stdout, expected,
+        "{bin_path} diverged from the in-process figure driver"
+    );
 }
 
 macro_rules! smoke_tests {
     ($($name:ident => $env:literal),+ $(,)?) => {$(
         #[test]
         fn $name() {
-            smoke(env!($env));
+            smoke(stringify!($name).trim_end_matches("_smokes"), env!($env));
         }
     )+};
 }

@@ -1,0 +1,221 @@
+//! Hand-rolled argument parsing for the `fireguard` CLI.
+//!
+//! The container is offline-vendored, so no `clap`: a small parser that
+//! supports `--flag value` and `--flag=value`, one positional subcommand,
+//! and `help`/`--help`/`-h`/`--version` escapes.
+
+use fireguard_soc::Format;
+use std::str::FromStr;
+
+/// Parse failure modes.
+#[derive(Debug)]
+pub enum ArgError {
+    /// The user asked for usage text.
+    Help,
+    /// The user asked for the version.
+    Version,
+    /// A real error, with a message for stderr.
+    Bad(String),
+}
+
+/// The parsed command line.
+#[derive(Debug)]
+pub struct Parsed {
+    /// The subcommand (figure name, `sweep`, or `list`).
+    pub command: String,
+    /// `--insts N` override.
+    pub insts: Option<u64>,
+    /// `--seed N` override.
+    pub seed: Option<u64>,
+    /// `--jobs N` override.
+    pub jobs: Option<usize>,
+    /// `--quick` (30 000-instruction smoke run).
+    pub quick: bool,
+    /// `--format human|jsonl|csv`.
+    pub format: Format,
+    /// `--workloads csv|all` (sweep only).
+    pub workloads: Option<String>,
+    /// `--kernel csv` (sweep only).
+    pub kernels: Option<String>,
+    /// `--ucores csv` (sweep only).
+    pub ucores: Option<String>,
+    /// `--ha` (sweep only): include the hardware-accelerator variant.
+    pub ha: bool,
+    /// `--filter-width csv` (sweep only).
+    pub filter_widths: Option<String>,
+    /// `--model csv` (sweep only).
+    pub models: Option<String>,
+}
+
+impl Parsed {
+    /// The sweep-only flags the user set, by name — so non-`sweep`
+    /// subcommands can reject them instead of silently ignoring them.
+    pub fn sweep_only_flags_used(&self) -> Vec<&'static str> {
+        let mut used = Vec::new();
+        if self.workloads.is_some() {
+            used.push("--workloads");
+        }
+        if self.kernels.is_some() {
+            used.push("--kernel");
+        }
+        if self.ucores.is_some() {
+            used.push("--ucores");
+        }
+        if self.ha {
+            used.push("--ha");
+        }
+        if self.filter_widths.is_some() {
+            used.push("--filter-width");
+        }
+        if self.models.is_some() {
+            used.push("--model");
+        }
+        used
+    }
+}
+
+/// Parses `argv` (without the program name).
+pub fn parse(argv: &[String]) -> Result<Parsed, ArgError> {
+    let mut p = Parsed {
+        command: String::new(),
+        insts: None,
+        seed: None,
+        jobs: None,
+        quick: false,
+        format: Format::Human,
+        workloads: None,
+        kernels: None,
+        ucores: None,
+        ha: false,
+        filter_widths: None,
+        models: None,
+    };
+    let mut it = argv.iter().peekable();
+    let mut positionals: Vec<&String> = Vec::new();
+
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "help" | "--help" | "-h" => return Err(ArgError::Help),
+            "--version" | "-V" => return Err(ArgError::Version),
+            "--quick" => p.quick = true,
+            "--ha" => p.ha = true,
+            s if s.starts_with("--") => {
+                let (name, value) = match s.split_once('=') {
+                    Some((n, v)) => (n.to_owned(), v.to_owned()),
+                    None => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| ArgError::Bad(format!("flag {s} expects a value")))?;
+                        (s.to_owned(), v.clone())
+                    }
+                };
+                apply_flag(&mut p, &name, &value)?;
+            }
+            _ => positionals.push(arg),
+        }
+    }
+
+    match positionals.len() {
+        0 => Err(ArgError::Help),
+        1 => {
+            p.command = positionals[0].clone();
+            Ok(p)
+        }
+        _ => Err(ArgError::Bad(format!(
+            "expected one subcommand, got {:?} and {:?}",
+            positionals[0], positionals[1]
+        ))),
+    }
+}
+
+fn apply_flag(p: &mut Parsed, name: &str, value: &str) -> Result<(), ArgError> {
+    fn num<T: FromStr>(name: &str, value: &str) -> Result<T, ArgError> {
+        value
+            .parse()
+            .map_err(|_| ArgError::Bad(format!("flag {name} expects a number, got {value:?}")))
+    }
+    match name {
+        "--insts" => {
+            let n: u64 = num(name, value)?;
+            if n == 0 {
+                return Err(ArgError::Bad("--insts must be at least 1".to_owned()));
+            }
+            p.insts = Some(n);
+        }
+        "--seed" => p.seed = Some(num(name, value)?),
+        "--jobs" => {
+            let n: usize = num(name, value)?;
+            if n == 0 {
+                return Err(ArgError::Bad("--jobs must be at least 1".to_owned()));
+            }
+            p.jobs = Some(n);
+        }
+        "--format" => p.format = Format::from_str(value).map_err(ArgError::Bad)?,
+        "--workloads" => p.workloads = Some(value.to_owned()),
+        "--kernel" | "--kernels" => p.kernels = Some(value.to_owned()),
+        "--ucores" => p.ucores = Some(value.to_owned()),
+        "--filter-width" | "--filter-widths" => p.filter_widths = Some(value.to_owned()),
+        "--model" | "--models" => p.models = Some(value.to_owned()),
+        other => {
+            return Err(ArgError::Bad(format!("unknown flag {other}")));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn parses_subcommand_and_flags() {
+        let p = parse(&args("fig7a --insts 2000 --jobs 4 --format csv")).unwrap();
+        assert_eq!(p.command, "fig7a");
+        assert_eq!(p.insts, Some(2000));
+        assert_eq!(p.jobs, Some(4));
+        assert_eq!(p.format, Format::Csv);
+    }
+
+    #[test]
+    fn equals_syntax_and_sweep_flags() {
+        let p = parse(&args("sweep --kernel=asan,pmc --ucores=2,4 --ha --quick")).unwrap();
+        assert_eq!(p.command, "sweep");
+        assert_eq!(p.kernels.as_deref(), Some("asan,pmc"));
+        assert_eq!(p.ucores.as_deref(), Some("2,4"));
+        assert!(p.ha);
+        assert!(p.quick);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(matches!(
+            parse(&args("fig7a --insts")),
+            Err(ArgError::Bad(_))
+        ));
+        assert!(matches!(
+            parse(&args("fig7a --insts banana")),
+            Err(ArgError::Bad(_))
+        ));
+        assert!(matches!(
+            parse(&args("fig7a --jobs 0")),
+            Err(ArgError::Bad(_))
+        ));
+        assert!(matches!(
+            parse(&args("fig7a --wat 1")),
+            Err(ArgError::Bad(_))
+        ));
+        assert!(matches!(parse(&args("a b")), Err(ArgError::Bad(_))));
+    }
+
+    #[test]
+    fn help_and_version_escapes() {
+        assert!(matches!(parse(&args("")), Err(ArgError::Help)));
+        assert!(matches!(parse(&args("--help")), Err(ArgError::Help)));
+        assert!(matches!(parse(&args("fig7a -h")), Err(ArgError::Help)));
+        assert!(matches!(parse(&args("--version")), Err(ArgError::Version)));
+    }
+}

@@ -1,0 +1,326 @@
+//! The unified `fireguard` command-line interface.
+//!
+//! One binary subsumes the 11 per-figure binaries and adds ad-hoc grid
+//! sweeps, all backed by the parallel sweep engine in `fireguard-soc`:
+//!
+//! ```text
+//! fireguard list                         # what can I run?
+//! fireguard fig7a --jobs 8               # a paper figure, 8 workers
+//! fireguard fig10 --insts 50000 --format csv
+//! fireguard sweep --kernel asan --ucores 2,4,8,12 --format jsonl
+//! ```
+//!
+//! Flags override the `FG_INSTS` / `FG_QUICK` / `FG_JOBS` environment
+//! variables (which keep working for CI and the legacy binaries). Output
+//! is byte-identical across `--jobs` values: the sweep engine re-orders
+//! results by job index before anything is printed.
+
+use fireguard_bench::figures::{find, FigOpts, FIGURES};
+use fireguard_soc::sweep::SweepGrid;
+use fireguard_soc::{
+    render, run_jobs, Cell, EngineConfig, KernelKind, ProgrammingModel, Report, Table,
+};
+
+mod args;
+
+use args::{ArgError, Parsed};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(run(&argv));
+}
+
+fn run(argv: &[String]) -> i32 {
+    let parsed = match args::parse(argv) {
+        Ok(p) => p,
+        Err(ArgError::Help) => {
+            print!("{}", usage());
+            return 0;
+        }
+        Err(ArgError::Version) => {
+            println!("fireguard {}", env!("CARGO_PKG_VERSION"));
+            return 0;
+        }
+        Err(ArgError::Bad(msg)) => {
+            eprintln!("fireguard: {msg}");
+            eprintln!("run `fireguard help` for usage");
+            return 2;
+        }
+    };
+
+    if parsed.command != "sweep" {
+        let stray = parsed.sweep_only_flags_used();
+        if !stray.is_empty() {
+            eprintln!(
+                "fireguard: {} only appl{} to the sweep subcommand",
+                stray.join(", "),
+                if stray.len() == 1 { "ies" } else { "y" }
+            );
+            return 2;
+        }
+    }
+
+    let report = match parsed.command.as_str() {
+        "list" => list_report(),
+        "sweep" => match sweep_report(&parsed) {
+            Ok(r) => r,
+            Err(msg) => {
+                eprintln!("fireguard: {msg}");
+                return 2;
+            }
+        },
+        name => match find(name) {
+            Some(fig) => (fig.run)(&fig_opts(&parsed)),
+            None => {
+                eprintln!("fireguard: unknown subcommand {name:?}");
+                eprintln!("run `fireguard list` to see the available figures");
+                return 2;
+            }
+        },
+    };
+
+    let stdout = std::io::stdout();
+    match render(&report, parsed.format, &mut stdout.lock()) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("fireguard: writing output failed: {e}");
+            1
+        }
+    }
+}
+
+/// Resolves figure options: flags beat environment variables.
+fn fig_opts(p: &Parsed) -> FigOpts {
+    let env = FigOpts::from_env();
+    FigOpts {
+        insts: p.insts.unwrap_or(if p.quick {
+            fireguard_bench::QUICK_INSTS
+        } else {
+            env.insts
+        }),
+        seed: p.seed.unwrap_or(env.seed),
+        workers: p.jobs.unwrap_or(env.workers),
+    }
+}
+
+fn list_report() -> Report {
+    let mut r = Report::new();
+    r.text("fireguard subcommands (paper figures/tables + sweeps)");
+    r.blank();
+    for fig in FIGURES {
+        r.text(format!("  {:<16} {}", fig.name, fig.summary));
+    }
+    r.text(format!(
+        "  {:<16} ad-hoc grid over workloads × kernels × engines × widths",
+        "sweep"
+    ));
+    r.blank();
+    r.text("common flags: --insts N  --seed N  --jobs N  --format human|jsonl|csv  --quick");
+    r
+}
+
+fn sweep_report(p: &Parsed) -> Result<Report, String> {
+    let opts = fig_opts(p);
+    let workloads: Vec<String> = match p.workloads.as_deref() {
+        None | Some("all") => fireguard_soc::experiments::workloads()
+            .into_iter()
+            .map(str::to_owned)
+            .collect(),
+        Some(csv) => {
+            let known = fireguard_soc::experiments::workloads();
+            let ws: Vec<String> = csv.split(',').map(str::to_owned).collect();
+            for w in &ws {
+                if !known.contains(&w.as_str()) {
+                    return Err(format!(
+                        "unknown workload {w:?} (expected one of: {})",
+                        known.join(", ")
+                    ));
+                }
+            }
+            ws
+        }
+    };
+    let kernels = match p.kernels.as_deref() {
+        None => vec![KernelKind::Asan],
+        Some(csv) => csv
+            .split(',')
+            .map(parse_kernel)
+            .collect::<Result<Vec<_>, _>>()?,
+    };
+    let mut engines: Vec<EngineConfig> = match p.ucores.as_deref() {
+        None if p.ha => Vec::new(),
+        None => vec![EngineConfig::Ucores(4)],
+        Some(csv) => csv
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .map(EngineConfig::Ucores)
+                    .ok_or_else(|| {
+                        format!("bad --ucores entry {s:?} (expected a positive integer)")
+                    })
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+    };
+    if p.ha {
+        engines.push(EngineConfig::Ha);
+    }
+    let filter_widths = match p.filter_widths.as_deref() {
+        None => vec![4],
+        Some(csv) => csv
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&w| w >= 1)
+                    .ok_or_else(|| {
+                        format!("bad --filter-width entry {s:?} (expected a positive integer)")
+                    })
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+    };
+    let models = match p.models.as_deref() {
+        None => vec![ProgrammingModel::Hybrid],
+        Some(csv) => csv
+            .split(',')
+            .map(parse_model)
+            .collect::<Result<Vec<_>, _>>()?,
+    };
+
+    let grid = SweepGrid {
+        workloads,
+        kernels,
+        engines,
+        filter_widths,
+        models,
+        insts: opts.insts,
+        seed: opts.seed,
+    };
+    let expanded = grid.expand();
+    if expanded.is_empty() {
+        return Err("the sweep grid is empty (no engine axis?)".to_owned());
+    }
+    let (points, jobs): (Vec<_>, Vec<_>) = expanded.into_iter().unzip();
+    let outs = run_jobs(jobs, opts.workers);
+
+    let mut r = Report::new();
+    r.text(format!(
+        "sweep: {} runs ({} insts each, seed {})",
+        points.len(),
+        opts.insts,
+        opts.seed
+    ));
+    r.blank();
+    let mut t = Table::new(&[
+        ("workload", 14),
+        ("kernel", 10),
+        ("engine", 7),
+        ("fwidth", 7),
+        ("model", 15),
+        ("slowdown", 9),
+        ("cycles", 12),
+        ("packets", 10),
+    ]);
+    for (pt, out) in points.iter().zip(outs) {
+        let run = out.into_run();
+        t.row(vec![
+            Cell::Str(pt.workload.clone()),
+            Cell::Str(pt.kernel.name().to_owned()),
+            Cell::Str(pt.engine_label()),
+            Cell::Int(pt.filter_width as i64),
+            Cell::Str(pt.model.name().to_owned()),
+            Cell::slowdown(run.slowdown),
+            Cell::Int(run.cycles as i64),
+            Cell::Int(run.packets as i64),
+        ]);
+    }
+    r.table(t);
+    Ok(r)
+}
+
+fn parse_kernel(s: &str) -> Result<KernelKind, String> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "pmc" => Ok(KernelKind::Pmc),
+        "shadow-stack" | "shadowstack" | "ss" | "shadow" => Ok(KernelKind::ShadowStack),
+        "asan" | "sanitizer" => Ok(KernelKind::Asan),
+        "uaf" | "use-after-free" => Ok(KernelKind::Uaf),
+        other => Err(format!(
+            "unknown kernel {other:?} (expected pmc, shadow-stack, asan, or uaf)"
+        )),
+    }
+}
+
+fn parse_model(s: &str) -> Result<ProgrammingModel, String> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "conventional" => Ok(ProgrammingModel::Conventional),
+        "duffs" | "duff" => Ok(ProgrammingModel::Duffs),
+        "unrolled" | "unroll" => Ok(ProgrammingModel::Unrolled),
+        "hybrid" | "proposed" => Ok(ProgrammingModel::Hybrid),
+        other => Err(format!(
+            "unknown model {other:?} (expected conventional, duffs, unrolled, or hybrid)"
+        )),
+    }
+}
+
+fn usage() -> String {
+    let mut s = String::from(
+        "fireguard — regenerate the FireGuard (DAC 2025) evaluation\n\
+         \n\
+         USAGE:\n\
+         \x20   fireguard <subcommand> [flags]\n\
+         \n\
+         SUBCOMMANDS:\n",
+    );
+    for fig in FIGURES {
+        s.push_str(&format!("    {:<16} {}\n", fig.name, fig.summary));
+    }
+    s.push_str(
+        "    sweep            ad-hoc grid sweep (see sweep flags below)\n\
+         \x20   list             list subcommands as a table\n\
+         \x20   help             this message\n\
+         \n\
+         COMMON FLAGS:\n\
+         \x20   --insts <N>      instructions per run (overrides FG_INSTS; default 120000)\n\
+         \x20   --quick          30000-instruction smoke run (overrides FG_QUICK)\n\
+         \x20   --seed <N>       trace seed (default 42)\n\
+         \x20   --jobs <N>       sweep worker threads (overrides FG_JOBS; default: all cores)\n\
+         \x20   --format <F>     human (default), jsonl, or csv\n\
+         \n\
+         SWEEP FLAGS:\n\
+         \x20   --workloads <csv|all>   PARSEC workloads (default all)\n\
+         \x20   --kernel <csv>          pmc, shadow-stack, asan, uaf (default asan)\n\
+         \x20   --ucores <csv>          µcore counts per kernel (default 4)\n\
+         \x20   --ha                    also sweep the hardware-accelerator variant\n\
+         \x20   --filter-width <csv>    event-filter widths (default 4)\n\
+         \x20   --model <csv>           conventional, duffs, unrolled, hybrid (default hybrid)\n\
+         \n\
+         Output is byte-identical for any --jobs value; parallelism only\n\
+         changes wall-clock time.\n",
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_and_model_parsers() {
+        assert_eq!(parse_kernel("PMC"), Ok(KernelKind::Pmc));
+        assert_eq!(parse_kernel("ss"), Ok(KernelKind::ShadowStack));
+        assert!(parse_kernel("rowhammer").is_err());
+        assert_eq!(parse_model("hybrid"), Ok(ProgrammingModel::Hybrid));
+        assert!(parse_model("jit").is_err());
+    }
+
+    #[test]
+    fn usage_names_every_figure() {
+        let u = usage();
+        for fig in FIGURES {
+            assert!(u.contains(fig.name), "usage is missing {}", fig.name);
+        }
+    }
+}

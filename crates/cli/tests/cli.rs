@@ -1,0 +1,187 @@
+//! End-to-end tests for the `fireguard` binary.
+//!
+//! The golden anchor is shared with `crates/bench/tests/smoke.rs`: both
+//! the legacy per-figure binaries and `fireguard <figure>` must print
+//! exactly what the in-process figure driver renders, so the two suites
+//! together prove CLI output == legacy-binary output, byte for byte.
+
+use fireguard_bench::figures::{find, FigOpts};
+use fireguard_bench::SEED;
+use fireguard_soc::{render_to_string, Format};
+use std::process::{Command, Output};
+
+const SMOKE_INSTS: u64 = 2000;
+
+fn fireguard(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_fireguard"))
+        .args(args)
+        .env_remove("FG_INSTS")
+        .env_remove("FG_QUICK")
+        .env_remove("FG_JOBS")
+        .output()
+        .expect("failed to spawn the fireguard binary")
+}
+
+fn stdout_of(out: &Output) -> String {
+    assert!(
+        out.status.success(),
+        "fireguard exited with {:?}\nstderr:\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn list_names_every_figure() {
+    let out = stdout_of(&fireguard(&["list"]));
+    for name in [
+        "fig7a",
+        "fig7b",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "table2",
+        "table3",
+        "area",
+        "isax-ablation",
+        "mapper-ablation",
+        "sweep",
+    ] {
+        assert!(out.contains(name), "list output is missing {name}:\n{out}");
+    }
+}
+
+#[test]
+fn figure_subcommand_matches_registry_driver() {
+    // The same golden anchor smoke.rs holds the legacy binaries to.
+    let out = stdout_of(&fireguard(&["fig7a", "--insts", "2000", "--jobs", "4"]));
+    let opts = FigOpts {
+        insts: SMOKE_INSTS,
+        seed: SEED,
+        workers: 2,
+    };
+    let expected = render_to_string(&(find("fig7a").unwrap().run)(&opts), Format::Human);
+    assert_eq!(out, expected, "CLI fig7a diverged from the figure driver");
+}
+
+#[test]
+fn static_tables_render() {
+    for name in ["table2", "table3", "area"] {
+        let out = stdout_of(&fireguard(&[name]));
+        assert!(out.lines().count() >= 3, "{name} output too short:\n{out}");
+    }
+}
+
+#[test]
+fn parallel_sweep_is_byte_identical_to_sequential() {
+    let base = ["fig7a", "--insts", "2000"];
+    let seq = stdout_of(&fireguard(&[&base[..], &["--jobs", "1"]].concat()));
+    let par = stdout_of(&fireguard(&[&base[..], &["--jobs", "4"]].concat()));
+    assert_eq!(seq, par, "--jobs must not change output bytes");
+
+    let sweep = [
+        "sweep",
+        "--workloads",
+        "swaptions,ferret",
+        "--kernel",
+        "pmc,ss",
+        "--ucores",
+        "2,4",
+        "--insts",
+        "2000",
+    ];
+    let seq = stdout_of(&fireguard(&[&sweep[..], &["--jobs", "1"]].concat()));
+    let par = stdout_of(&fireguard(&[&sweep[..], &["--jobs", "4"]].concat()));
+    assert_eq!(seq, par, "sweep --jobs must not change output bytes");
+    assert!(seq.contains("swaptions") && seq.contains("Shadow"));
+}
+
+#[test]
+fn alternative_formats_emit_structured_rows() {
+    let jsonl = stdout_of(&fireguard(&[
+        "sweep",
+        "--workloads",
+        "swaptions",
+        "--kernel",
+        "pmc",
+        "--ucores",
+        "2",
+        "--insts",
+        "2000",
+        "--format",
+        "jsonl",
+    ]));
+    let row = jsonl
+        .lines()
+        .find(|l| l.contains("\"type\":\"row\""))
+        .expect("jsonl output has a row");
+    assert!(
+        row.starts_with('{') && row.ends_with('}'),
+        "row is a JSON object: {row}"
+    );
+    assert!(row.contains("\"workload\":\"swaptions\""));
+    assert!(row.contains("\"slowdown\":"));
+
+    let csv = stdout_of(&fireguard(&["table3", "--format", "csv"]));
+    let header = csv
+        .lines()
+        .find(|l| l.starts_with("core,"))
+        .expect("csv output has a header row");
+    assert!(header.contains("#ucores"));
+}
+
+#[test]
+fn kebab_and_snake_subcommand_names_both_work() {
+    let kebab = stdout_of(&fireguard(&["isax-ablation", "--insts", "2000"]));
+    let snake = stdout_of(&fireguard(&["isax_ablation", "--insts", "2000"]));
+    assert_eq!(kebab, snake);
+}
+
+#[test]
+fn errors_exit_2_with_a_message() {
+    let out = fireguard(&["fig99"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown subcommand"));
+
+    let out = fireguard(&["sweep", "--kernel", "rowhammer", "--insts", "2000"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown kernel"));
+
+    let out = fireguard(&["fig7a", "--jobs", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+
+    // Sweep-only flags on a figure subcommand are rejected, not ignored.
+    let out = fireguard(&["fig10", "--ucores", "8,12", "--insts", "2000"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--ucores"));
+}
+
+#[test]
+fn help_and_version_exit_0() {
+    let help = fireguard(&["--help"]);
+    assert_eq!(help.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&help.stdout).contains("SUBCOMMANDS"));
+    let version = fireguard(&["--version"]);
+    assert_eq!(version.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&version.stdout).starts_with("fireguard "));
+}
+
+#[test]
+fn unparseable_fg_insts_warns_on_stderr() {
+    // The PR-1 PROPTEST_SEED convention: never silently ignore a bad knob.
+    let out = Command::new(env!("CARGO_BIN_EXE_fireguard"))
+        .args(["table2"])
+        .env("FG_INSTS", "banana")
+        .env_remove("FG_QUICK")
+        .env_remove("FG_JOBS")
+        .output()
+        .expect("failed to spawn the fireguard binary");
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("FG_INSTS") && stderr.contains("banana"),
+        "expected an FG_INSTS warning on stderr, got:\n{stderr}"
+    );
+}

@@ -30,6 +30,8 @@
 //! assert!(filter.is_monitored(InstClass::Load));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod allocator;
 pub mod cdc;
 pub mod dfc;

@@ -19,6 +19,8 @@
 //! assert_eq!(inst.class(), InstClass::Load);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod inst;
 pub mod kind;
 pub mod opcode;

@@ -16,11 +16,37 @@
 //! let result = run_fireguard(&cfg);
 //! println!("slowdown {:.3}", result.slowdown);
 //! ```
+//!
+//! Experiment *grids* (many such configs) are executed through the
+//! [`sweep`] worker pool and rendered through the [`reporter`] formats:
+//!
+//! ```no_run
+//! use fireguard_soc::sweep::{run_jobs, JobSpec};
+//! use fireguard_soc::{ExperimentConfig, KernelKind};
+//!
+//! let jobs: Vec<JobSpec> = ["swaptions", "x264"]
+//!     .iter()
+//!     .map(|w| JobSpec::FireGuard(ExperimentConfig::new(w).kernel(KernelKind::Pmc, 4)))
+//!     .collect();
+//! for out in run_jobs(jobs, 4) {
+//!     println!("{:.3}", out.slowdown());
+//! }
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod experiments;
 pub mod report;
+pub mod reporter;
+pub mod sweep;
 pub mod system;
 
 pub use experiments::{baseline_cycles, run_fireguard, run_software, ExperimentConfig};
 pub use report::{BottleneckBreakdown, Detection, RunResult};
+pub use reporter::{render, render_to_string, Block, Cell, Format, Report, Table};
+pub use sweep::{default_workers, run_jobs, JobOutput, JobSpec, SweepGrid, SweepPoint};
 pub use system::{EngineConfig, FireGuardSystem, SocConfig};
+
+// Re-exported so sweep callers can name kernels without a direct
+// `fireguard-kernels` dependency.
+pub use fireguard_kernels::{KernelKind, ProgrammingModel, SoftwareScheme};

@@ -1,0 +1,370 @@
+//! The parallel sweep engine: expand an experiment grid into independent
+//! jobs, shard them across a worker pool, and return results in job order.
+//!
+//! Every figure in the paper's evaluation is a *grid* of independent
+//! simulations (workloads × kernels × knob settings). Each grid point is a
+//! [`JobSpec`]; [`run_jobs`] executes a batch of them across `workers`
+//! OS threads (a hand-rolled pool — std threads plus a channel, no
+//! external dependencies) and re-orders the results by job index before
+//! returning. Because every job is itself deterministic and results are
+//! keyed by index, the output of a parallel sweep is **byte-identical** to
+//! a sequential one: `--jobs 32` and `--jobs 1` print the same bytes.
+//!
+//! The worker count comes from the caller (the CLI's `--jobs` flag) or
+//! from [`default_workers`], which honours the `FG_JOBS` environment
+//! variable and otherwise uses the machine's available parallelism.
+
+use crate::experiments::{baseline_cycles, run_fireguard, run_software, ExperimentConfig};
+use crate::report::RunResult;
+use crate::system::EngineConfig;
+use fireguard_kernels::{KernelKind, ProgrammingModel, SoftwareScheme};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+
+/// One independent grid point of a sweep.
+#[derive(Debug, Clone)]
+pub enum JobSpec {
+    /// A full FireGuard system run (filter + mapper + CDC + engines).
+    FireGuard(ExperimentConfig),
+    /// A software-instrumented baseline run on the bare core.
+    Software {
+        /// Instrumentation scheme (LLVM-style shadow stack / ASan / DangSan).
+        scheme: SoftwareScheme,
+        /// PARSEC workload name.
+        workload: String,
+        /// Trace seed.
+        seed: u64,
+        /// Original (pre-instrumentation) instruction budget.
+        insts: u64,
+    },
+    /// A bare-core run (the slowdown denominator), reported as raw cycles.
+    Baseline {
+        /// PARSEC workload name.
+        workload: String,
+        /// Trace seed.
+        seed: u64,
+        /// Instruction budget.
+        insts: u64,
+    },
+}
+
+impl JobSpec {
+    /// Executes the job synchronously on the calling thread.
+    pub fn run(&self) -> JobOutput {
+        match self {
+            JobSpec::FireGuard(cfg) => JobOutput::Run(run_fireguard(cfg)),
+            JobSpec::Software {
+                scheme,
+                workload,
+                seed,
+                insts,
+            } => JobOutput::Slowdown(run_software(*scheme, workload, *seed, *insts)),
+            JobSpec::Baseline {
+                workload,
+                seed,
+                insts,
+            } => JobOutput::Cycles(baseline_cycles(workload, *seed, *insts)),
+        }
+    }
+}
+
+/// The result of one [`JobSpec`], mirroring its variant.
+#[derive(Debug, Clone)]
+pub enum JobOutput {
+    /// Full system run result.
+    Run(RunResult),
+    /// Software-baseline slowdown over the bare core.
+    Slowdown(f64),
+    /// Bare-core cycle count.
+    Cycles(u64),
+}
+
+impl JobOutput {
+    /// The slowdown this job observed (1.0-relative).
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`JobOutput::Cycles`], which has no slowdown.
+    pub fn slowdown(&self) -> f64 {
+        match self {
+            JobOutput::Run(r) => r.slowdown,
+            JobOutput::Slowdown(s) => *s,
+            JobOutput::Cycles(_) => panic!("a baseline job has no slowdown"),
+        }
+    }
+
+    /// The full [`RunResult`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless this is a [`JobOutput::Run`].
+    pub fn into_run(self) -> RunResult {
+        match self {
+            JobOutput::Run(r) => r,
+            other => panic!("expected a FireGuard run result, got {other:?}"),
+        }
+    }
+}
+
+/// Runs `jobs` across up to `workers` threads, returning outputs in job
+/// order regardless of completion order.
+///
+/// `workers` is clamped to `1..=jobs.len()`. With `workers == 1` the jobs
+/// run inline on the calling thread; either way the returned vector is
+/// index-aligned with `jobs`, so downstream rendering is byte-identical
+/// across worker counts.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (i.e. a job itself panicked).
+pub fn run_jobs(jobs: Vec<JobSpec>, workers: usize) -> Vec<JobOutput> {
+    let n = jobs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, n);
+    if workers == 1 {
+        return jobs.iter().map(JobSpec::run).collect();
+    }
+    let jobs = Arc::new(jobs);
+    let cursor = Arc::new(AtomicUsize::new(0));
+    let (tx, rx) = mpsc::channel::<(usize, JobOutput)>();
+    let handles: Vec<_> = (0..workers)
+        .map(|_| {
+            let jobs = Arc::clone(&jobs);
+            let cursor = Arc::clone(&cursor);
+            let tx = tx.clone();
+            std::thread::spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                // The channel is unbounded, so send never blocks; a closed
+                // receiver only happens if the collector below bailed out.
+                if tx.send((i, jobs[i].run())).is_err() {
+                    break;
+                }
+            })
+        })
+        .collect();
+    drop(tx);
+    for h in handles {
+        if h.join().is_err() {
+            panic!("a sweep worker thread panicked");
+        }
+    }
+    let mut slots: Vec<Option<JobOutput>> = (0..n).map(|_| None).collect();
+    for (i, out) in rx {
+        slots[i] = Some(out);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every job index reports exactly once"))
+        .collect()
+}
+
+/// Parses a worker-count override; `Err` carries a warning message.
+///
+/// Pure helper behind [`default_workers`], split out for testability.
+pub fn parse_workers(raw: &str) -> Result<usize, String> {
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!(
+            "ignoring unparseable FG_JOBS={raw:?} (expected a positive integer)"
+        )),
+    }
+}
+
+/// The worker count to use when the caller did not pass one explicitly:
+/// the `FG_JOBS` environment variable if set and parseable (a warning is
+/// printed to stderr otherwise), else the machine's available parallelism.
+pub fn default_workers() -> usize {
+    let fallback = || {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    };
+    match std::env::var("FG_JOBS") {
+        Ok(raw) => match parse_workers(&raw) {
+            Ok(n) => n,
+            Err(msg) => {
+                eprintln!("warning: {msg}");
+                fallback()
+            }
+        },
+        Err(std::env::VarError::NotPresent) => fallback(),
+        Err(std::env::VarError::NotUnicode(_)) => {
+            eprintln!("warning: ignoring non-unicode FG_JOBS");
+            fallback()
+        }
+    }
+}
+
+/// A rectangular `ExperimentConfig` grid: the cartesian product of every
+/// axis, expanded in a fixed row-major order (workload-major, then kernel,
+/// then engine, then filter width, then model).
+#[derive(Debug, Clone)]
+pub struct SweepGrid {
+    /// PARSEC workload names.
+    pub workloads: Vec<String>,
+    /// Guardian kernels to deploy (one per system, not combined).
+    pub kernels: Vec<KernelKind>,
+    /// Engine provisionings to try for each kernel.
+    pub engines: Vec<EngineConfig>,
+    /// Event-filter widths to try.
+    pub filter_widths: Vec<usize>,
+    /// µ-program styles to try.
+    pub models: Vec<ProgrammingModel>,
+    /// Instructions per run.
+    pub insts: u64,
+    /// Trace seed.
+    pub seed: u64,
+}
+
+/// The coordinates of one grid point, for labelling result rows.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// PARSEC workload name.
+    pub workload: String,
+    /// Guardian kernel.
+    pub kernel: KernelKind,
+    /// Engine provisioning.
+    pub engine: EngineConfig,
+    /// Event-filter width.
+    pub filter_width: usize,
+    /// µ-program style.
+    pub model: ProgrammingModel,
+}
+
+impl SweepPoint {
+    /// A short human label for the engine axis (`"4u"` or `"HA"`).
+    pub fn engine_label(&self) -> String {
+        match self.engine {
+            EngineConfig::Ucores(n) => format!("{n}u"),
+            EngineConfig::Ha => "HA".to_owned(),
+        }
+    }
+}
+
+impl SweepGrid {
+    /// Expands the grid into `(point, job)` pairs in deterministic order.
+    pub fn expand(&self) -> Vec<(SweepPoint, JobSpec)> {
+        let mut out = Vec::new();
+        for w in &self.workloads {
+            for &kernel in &self.kernels {
+                for &engine in &self.engines {
+                    for &filter_width in &self.filter_widths {
+                        for &model in &self.models {
+                            let mut cfg = ExperimentConfig::new(w)
+                                .insts(self.insts)
+                                .seed(self.seed)
+                                .filter_width(filter_width)
+                                .model(model);
+                            cfg = match engine {
+                                EngineConfig::Ucores(n) => cfg.kernel(kernel, n),
+                                EngineConfig::Ha => cfg.kernel_ha(kernel),
+                            };
+                            out.push((
+                                SweepPoint {
+                                    workload: w.clone(),
+                                    kernel,
+                                    engine,
+                                    filter_width,
+                                    model,
+                                },
+                                JobSpec::FireGuard(cfg),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_jobs() -> Vec<JobSpec> {
+        ["swaptions", "ferret"]
+            .iter()
+            .flat_map(|w| {
+                [KernelKind::Pmc, KernelKind::ShadowStack].iter().map(|&k| {
+                    JobSpec::FireGuard(ExperimentConfig::new(w).kernel(k, 2).insts(3_000))
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let seq: Vec<_> = run_jobs(tiny_jobs(), 1);
+        let par: Vec<_> = run_jobs(tiny_jobs(), 4);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            let (a, b) = (a.clone().into_run(), b.clone().into_run());
+            assert_eq!(a.cycles, b.cycles);
+            assert_eq!(a.packets, b.packets);
+            assert_eq!(a.slowdown.to_bits(), b.slowdown.to_bits());
+            assert_eq!(a.detections.len(), b.detections.len());
+        }
+    }
+
+    #[test]
+    fn empty_and_oversized_pools() {
+        assert!(run_jobs(Vec::new(), 8).is_empty());
+        let one = run_jobs(tiny_jobs()[..1].to_vec(), 64);
+        assert_eq!(one.len(), 1);
+    }
+
+    #[test]
+    fn worker_parse() {
+        assert_eq!(parse_workers("4"), Ok(4));
+        assert_eq!(parse_workers(" 2 "), Ok(2));
+        assert!(parse_workers("0").is_err());
+        assert!(parse_workers("banana").is_err());
+        assert!(parse_workers("-3").is_err());
+    }
+
+    #[test]
+    fn grid_expansion_order_is_workload_major() {
+        let g = SweepGrid {
+            workloads: vec!["swaptions".into(), "x264".into()],
+            kernels: vec![KernelKind::Pmc, KernelKind::Asan],
+            engines: vec![EngineConfig::Ucores(4), EngineConfig::Ha],
+            filter_widths: vec![4],
+            models: vec![ProgrammingModel::Hybrid],
+            insts: 1_000,
+            seed: 42,
+        };
+        let pts = g.expand();
+        assert_eq!(pts.len(), 8);
+        assert_eq!(pts[0].0.workload, "swaptions");
+        assert_eq!(pts[0].0.kernel, KernelKind::Pmc);
+        assert_eq!(pts[0].0.engine_label(), "4u");
+        assert_eq!(pts[1].0.engine_label(), "HA");
+        assert_eq!(pts[4].0.workload, "x264");
+    }
+
+    #[test]
+    fn software_and_baseline_jobs_run() {
+        let jobs = vec![
+            JobSpec::Software {
+                scheme: SoftwareScheme::AsanX86,
+                workload: "swaptions".into(),
+                seed: 42,
+                insts: 3_000,
+            },
+            JobSpec::Baseline {
+                workload: "swaptions".into(),
+                seed: 42,
+                insts: 3_000,
+            },
+        ];
+        let out = run_jobs(jobs, 2);
+        assert!(out[0].slowdown() > 1.0);
+        assert!(matches!(out[1], JobOutput::Cycles(c) if c > 0));
+    }
+}
