@@ -117,6 +117,37 @@ fn bench_ucore_microbench(c: &mut Criterion) {
     });
 }
 
+fn bench_trace_codec(c: &mut Criterion) {
+    use fireguard_trace::codec::{EventDecoder, EventEncoder};
+    let events: Vec<_> = TraceGenerator::new(WorkloadProfile::parsec("x264").unwrap(), 5)
+        .take(16_384)
+        .collect();
+    c.bench_function("codec_encode_16k_events", |b| {
+        b.iter(|| {
+            let mut enc = EventEncoder::new();
+            let mut total = 0usize;
+            for chunk in events.chunks(4096) {
+                total += enc.encode_batch(chunk).len();
+            }
+            black_box(total)
+        })
+    });
+    let batches: Vec<Vec<u8>> = {
+        let mut enc = EventEncoder::new();
+        events.chunks(4096).map(|c| enc.encode_batch(c)).collect()
+    };
+    c.bench_function("codec_decode_16k_events", |b| {
+        b.iter(|| {
+            let mut dec = EventDecoder::new();
+            let mut n = 0usize;
+            for payload in &batches {
+                n += dec.decode_batch(payload).expect("valid batch").len();
+            }
+            black_box(n)
+        })
+    });
+}
+
 fn bench_end_to_end(c: &mut Criterion) {
     let mut g = c.benchmark_group("end_to_end");
     g.sample_size(10);
@@ -139,6 +170,7 @@ criterion_group!(
     bench_ucore_kernel,
     bench_noc,
     bench_ucore_microbench,
+    bench_trace_codec,
     bench_end_to_end
 );
 criterion_main!(benches);

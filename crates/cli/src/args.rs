@@ -1,8 +1,11 @@
 //! Hand-rolled argument parsing for the `fireguard` CLI.
 //!
 //! The container is offline-vendored, so no `clap`: a small parser that
-//! supports `--flag value` and `--flag=value`, one positional subcommand,
-//! and `help`/`--help`/`-h`/`--version` escapes.
+//! supports `--flag value` and `--flag=value`, one- and two-word
+//! subcommands (`fig7a`, `trace record`), and `help`/`--help`/`-h`/
+//! `--version` escapes. Every flag has an explicit *scope* — the
+//! subcommands it applies to — and out-of-scope flags are rejected with a
+//! message, never silently ignored.
 
 use fireguard_soc::Format;
 use std::str::FromStr;
@@ -19,76 +22,135 @@ pub enum ArgError {
 }
 
 /// The parsed command line.
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct Parsed {
-    /// The subcommand (figure name, `sweep`, or `list`).
+    /// The subcommand (figure name, `sweep`, `list`, `serve`, `client`,
+    /// `loadgen`, `trace record`, or `trace replay`).
     pub command: String,
     /// `--insts N` override.
     pub insts: Option<u64>,
     /// `--seed N` override.
     pub seed: Option<u64>,
-    /// `--jobs N` override.
+    /// `--jobs N` override (sweep workers / loadgen concurrency).
     pub jobs: Option<usize>,
     /// `--quick` (30 000-instruction smoke run).
     pub quick: bool,
     /// `--format human|jsonl|csv`.
     pub format: Format,
-    /// `--workloads csv|all` (sweep only).
+    /// `--workloads csv|all` (sweep).
     pub workloads: Option<String>,
-    /// `--kernel csv` (sweep only).
+    /// `--kernel csv` (sweep / replay / client / loadgen).
     pub kernels: Option<String>,
-    /// `--ucores csv` (sweep only).
+    /// `--ucores csv` (sweep / replay / client / loadgen).
     pub ucores: Option<String>,
-    /// `--ha` (sweep only): include the hardware-accelerator variant.
+    /// `--ha`: include/select the hardware-accelerator variant.
     pub ha: bool,
-    /// `--filter-width csv` (sweep only).
+    /// `--filter-width csv`.
     pub filter_widths: Option<String>,
-    /// `--model csv` (sweep only).
+    /// `--model csv`.
     pub models: Option<String>,
+    /// `--mapper-width N` (replay / client / loadgen).
+    pub mapper_width: Option<usize>,
+    /// `--addr HOST:PORT` (serve / client / loadgen).
+    pub addr: Option<String>,
+    /// `--workers N` (serve).
+    pub workers: Option<usize>,
+    /// `--max-sessions N` (serve): stop after N sessions.
+    pub max_sessions: Option<u64>,
+    /// `--sessions N` (loadgen).
+    pub sessions: Option<usize>,
+    /// `--out FILE` (trace record).
+    pub out: Option<String>,
+    /// `--trace FILE` (trace replay / client / loadgen).
+    pub trace_file: Option<String>,
+    /// `--workload NAME` (trace record).
+    pub workload: Option<String>,
+    /// `--attacks csv` of attack kinds (trace record).
+    pub attacks: Option<String>,
+    /// `--attack-count N` (trace record).
+    pub attack_count: Option<usize>,
+    /// `--attack-start N` (trace record).
+    pub attack_start: Option<u64>,
+    /// `--attack-end N` (trace record).
+    pub attack_end: Option<u64>,
+    /// `--attack-seed N` (trace record).
+    pub attack_seed: Option<u64>,
+    /// `--batch N` events per frame (client / loadgen).
+    pub batch: Option<usize>,
+    /// Canonical names of every flag that was actually set.
+    used: Vec<&'static str>,
 }
 
+/// Marker scope for "any figure/table subcommand" (everything that is not
+/// one of the named commands below).
+const FIG: &str = "<figure>";
+
+const NAMED_COMMANDS: &[&str] = &[
+    "sweep",
+    "list",
+    "serve",
+    "client",
+    "loadgen",
+    "trace record",
+    "trace replay",
+];
+
+/// Flag → the subcommands it applies to.
+const FLAG_SCOPES: &[(&str, &[&str])] = &[
+    ("--insts", &[FIG, "sweep", "trace record"]),
+    ("--seed", &[FIG, "sweep", "trace record"]),
+    ("--quick", &[FIG, "sweep", "trace record"]),
+    ("--jobs", &[FIG, "sweep", "loadgen"]),
+    ("--workloads", &["sweep"]),
+    ("--kernel", &["sweep", "trace replay", "client", "loadgen"]),
+    ("--ucores", &["sweep", "trace replay", "client", "loadgen"]),
+    ("--ha", &["sweep", "trace replay", "client", "loadgen"]),
+    (
+        "--filter-width",
+        &["sweep", "trace replay", "client", "loadgen"],
+    ),
+    ("--model", &["sweep", "trace replay", "client", "loadgen"]),
+    ("--mapper-width", &["trace replay", "client", "loadgen"]),
+    ("--addr", &["serve", "client", "loadgen"]),
+    ("--workers", &["serve"]),
+    ("--max-sessions", &["serve"]),
+    ("--sessions", &["loadgen"]),
+    ("--out", &["trace record"]),
+    ("--trace", &["trace replay", "client", "loadgen"]),
+    ("--workload", &["trace record"]),
+    ("--attacks", &["trace record"]),
+    ("--attack-count", &["trace record"]),
+    ("--attack-start", &["trace record"]),
+    ("--attack-end", &["trace record"]),
+    ("--attack-seed", &["trace record"]),
+    ("--batch", &["client", "loadgen"]),
+    // --format applies everywhere.
+];
+
 impl Parsed {
-    /// The sweep-only flags the user set, by name — so non-`sweep`
-    /// subcommands can reject them instead of silently ignoring them.
-    pub fn sweep_only_flags_used(&self) -> Vec<&'static str> {
-        let mut used = Vec::new();
-        if self.workloads.is_some() {
-            used.push("--workloads");
-        }
-        if self.kernels.is_some() {
-            used.push("--kernel");
-        }
-        if self.ucores.is_some() {
-            used.push("--ucores");
-        }
-        if self.ha {
-            used.push("--ha");
-        }
-        if self.filter_widths.is_some() {
-            used.push("--filter-width");
-        }
-        if self.models.is_some() {
-            used.push("--model");
-        }
-        used
+    /// The used flags that do not apply to `self.command`, by name — so
+    /// commands can reject them instead of silently ignoring them.
+    pub fn out_of_scope_flags(&self) -> Vec<&'static str> {
+        let cmd = self.command.as_str();
+        let is_figure = !NAMED_COMMANDS.contains(&cmd);
+        self.used
+            .iter()
+            .filter(|name| {
+                let Some((_, scope)) = FLAG_SCOPES.iter().find(|(n, _)| n == *name) else {
+                    return false; // unscoped flags (e.g. --format) apply anywhere
+                };
+                !scope.iter().any(|s| *s == cmd || (*s == FIG && is_figure))
+            })
+            .copied()
+            .collect()
     }
 }
 
 /// Parses `argv` (without the program name).
 pub fn parse(argv: &[String]) -> Result<Parsed, ArgError> {
     let mut p = Parsed {
-        command: String::new(),
-        insts: None,
-        seed: None,
-        jobs: None,
-        quick: false,
         format: Format::Human,
-        workloads: None,
-        kernels: None,
-        ucores: None,
-        ha: false,
-        filter_widths: None,
-        models: None,
+        ..Parsed::default()
     };
     let mut it = argv.iter().peekable();
     let mut positionals: Vec<&String> = Vec::new();
@@ -97,8 +159,14 @@ pub fn parse(argv: &[String]) -> Result<Parsed, ArgError> {
         match arg.as_str() {
             "help" | "--help" | "-h" => return Err(ArgError::Help),
             "--version" | "-V" => return Err(ArgError::Version),
-            "--quick" => p.quick = true,
-            "--ha" => p.ha = true,
+            "--quick" => {
+                p.quick = true;
+                p.used.push("--quick");
+            }
+            "--ha" => {
+                p.ha = true;
+                p.used.push("--ha");
+            }
             s if s.starts_with("--") => {
                 let (name, value) = match s.split_once('=') {
                     Some((n, v)) => (n.to_owned(), v.to_owned()),
@@ -115,15 +183,27 @@ pub fn parse(argv: &[String]) -> Result<Parsed, ArgError> {
         }
     }
 
-    match positionals.len() {
-        0 => Err(ArgError::Help),
-        1 => {
-            p.command = positionals[0].clone();
+    match positionals.as_slice() {
+        [] => Err(ArgError::Help),
+        [cmd] if cmd.as_str() == "trace" => Err(ArgError::Bad(
+            "trace expects a sub-subcommand: `fireguard trace record` or `fireguard trace replay`"
+                .to_owned(),
+        )),
+        [cmd] => {
+            p.command = (*cmd).clone();
             Ok(p)
         }
-        _ => Err(ArgError::Bad(format!(
-            "expected one subcommand, got {:?} and {:?}",
-            positionals[0], positionals[1]
+        [cmd, sub] if cmd.as_str() == "trace" => match sub.as_str() {
+            "record" | "replay" => {
+                p.command = format!("trace {sub}");
+                Ok(p)
+            }
+            other => Err(ArgError::Bad(format!(
+                "unknown trace subcommand {other:?} (expected record or replay)"
+            ))),
+        },
+        [a, b, ..] => Err(ArgError::Bad(format!(
+            "expected one subcommand, got {a:?} and {b:?}"
         ))),
     }
 }
@@ -134,32 +214,115 @@ fn apply_flag(p: &mut Parsed, name: &str, value: &str) -> Result<(), ArgError> {
             .parse()
             .map_err(|_| ArgError::Bad(format!("flag {name} expects a number, got {value:?}")))
     }
-    match name {
+    fn positive(name: &str, value: &str) -> Result<usize, ArgError> {
+        let n: usize = num(name, value)?;
+        if n == 0 {
+            return Err(ArgError::Bad(format!("{name} must be at least 1")));
+        }
+        Ok(n)
+    }
+    let canonical = match name {
         "--insts" => {
             let n: u64 = num(name, value)?;
             if n == 0 {
                 return Err(ArgError::Bad("--insts must be at least 1".to_owned()));
             }
             p.insts = Some(n);
+            "--insts"
         }
-        "--seed" => p.seed = Some(num(name, value)?),
+        "--seed" => {
+            p.seed = Some(num(name, value)?);
+            "--seed"
+        }
         "--jobs" => {
-            let n: usize = num(name, value)?;
-            if n == 0 {
-                return Err(ArgError::Bad("--jobs must be at least 1".to_owned()));
-            }
-            p.jobs = Some(n);
+            p.jobs = Some(positive(name, value)?);
+            "--jobs"
         }
-        "--format" => p.format = Format::from_str(value).map_err(ArgError::Bad)?,
-        "--workloads" => p.workloads = Some(value.to_owned()),
-        "--kernel" | "--kernels" => p.kernels = Some(value.to_owned()),
-        "--ucores" => p.ucores = Some(value.to_owned()),
-        "--filter-width" | "--filter-widths" => p.filter_widths = Some(value.to_owned()),
-        "--model" | "--models" => p.models = Some(value.to_owned()),
+        "--format" => {
+            p.format = Format::from_str(value).map_err(ArgError::Bad)?;
+            return Ok(()); // applies to every subcommand; not scope-tracked
+        }
+        "--workloads" => {
+            p.workloads = Some(value.to_owned());
+            "--workloads"
+        }
+        "--kernel" | "--kernels" => {
+            p.kernels = Some(value.to_owned());
+            "--kernel"
+        }
+        "--ucores" => {
+            p.ucores = Some(value.to_owned());
+            "--ucores"
+        }
+        "--filter-width" | "--filter-widths" => {
+            p.filter_widths = Some(value.to_owned());
+            "--filter-width"
+        }
+        "--model" | "--models" => {
+            p.models = Some(value.to_owned());
+            "--model"
+        }
+        "--mapper-width" => {
+            p.mapper_width = Some(positive(name, value)?);
+            "--mapper-width"
+        }
+        "--addr" => {
+            p.addr = Some(value.to_owned());
+            "--addr"
+        }
+        "--workers" => {
+            p.workers = Some(positive(name, value)?);
+            "--workers"
+        }
+        "--max-sessions" => {
+            p.max_sessions = Some(num(name, value)?);
+            "--max-sessions"
+        }
+        "--sessions" => {
+            p.sessions = Some(positive(name, value)?);
+            "--sessions"
+        }
+        "--out" => {
+            p.out = Some(value.to_owned());
+            "--out"
+        }
+        "--trace" => {
+            p.trace_file = Some(value.to_owned());
+            "--trace"
+        }
+        "--workload" => {
+            p.workload = Some(value.to_owned());
+            "--workload"
+        }
+        "--attacks" => {
+            p.attacks = Some(value.to_owned());
+            "--attacks"
+        }
+        "--attack-count" => {
+            p.attack_count = Some(positive(name, value)?);
+            "--attack-count"
+        }
+        "--attack-start" => {
+            p.attack_start = Some(num(name, value)?);
+            "--attack-start"
+        }
+        "--attack-end" => {
+            p.attack_end = Some(num(name, value)?);
+            "--attack-end"
+        }
+        "--attack-seed" => {
+            p.attack_seed = Some(num(name, value)?);
+            "--attack-seed"
+        }
+        "--batch" => {
+            p.batch = Some(positive(name, value)?);
+            "--batch"
+        }
         other => {
             return Err(ArgError::Bad(format!("unknown flag {other}")));
         }
-    }
+    };
+    p.used.push(canonical);
     Ok(())
 }
 
@@ -178,6 +341,7 @@ mod tests {
         assert_eq!(p.insts, Some(2000));
         assert_eq!(p.jobs, Some(4));
         assert_eq!(p.format, Format::Csv);
+        assert!(p.out_of_scope_flags().is_empty());
     }
 
     #[test]
@@ -188,6 +352,51 @@ mod tests {
         assert_eq!(p.ucores.as_deref(), Some("2,4"));
         assert!(p.ha);
         assert!(p.quick);
+        assert!(p.out_of_scope_flags().is_empty());
+    }
+
+    #[test]
+    fn two_word_trace_subcommands() {
+        let p = parse(&args(
+            "trace record --workload x264 --out /tmp/x.fgt --insts 2000",
+        ))
+        .unwrap();
+        assert_eq!(p.command, "trace record");
+        assert_eq!(p.workload.as_deref(), Some("x264"));
+        assert_eq!(p.out.as_deref(), Some("/tmp/x.fgt"));
+        assert!(p.out_of_scope_flags().is_empty());
+
+        let p = parse(&args("trace replay --trace /tmp/x.fgt --kernel asan")).unwrap();
+        assert_eq!(p.command, "trace replay");
+        assert_eq!(p.trace_file.as_deref(), Some("/tmp/x.fgt"));
+
+        assert!(matches!(parse(&args("trace")), Err(ArgError::Bad(_))));
+        assert!(matches!(parse(&args("trace rm")), Err(ArgError::Bad(_))));
+    }
+
+    #[test]
+    fn service_flags_parse() {
+        let p = parse(&args(
+            "loadgen --addr 127.0.0.1:4780 --sessions 4 --trace t.fgt --batch 256",
+        ))
+        .unwrap();
+        assert_eq!(p.command, "loadgen");
+        assert_eq!(p.addr.as_deref(), Some("127.0.0.1:4780"));
+        assert_eq!(p.sessions, Some(4));
+        assert_eq!(p.batch, Some(256));
+        assert!(p.out_of_scope_flags().is_empty());
+    }
+
+    #[test]
+    fn scope_violations_are_reported() {
+        let p = parse(&args("fig10 --ucores 8,12 --insts 2000")).unwrap();
+        assert_eq!(p.out_of_scope_flags(), vec!["--ucores"]);
+        let p = parse(&args("serve --sessions 4")).unwrap();
+        assert_eq!(p.out_of_scope_flags(), vec!["--sessions"]);
+        let p = parse(&args("trace replay --trace t.fgt --insts 5")).unwrap();
+        assert_eq!(p.out_of_scope_flags(), vec!["--insts"]);
+        let p = parse(&args("client --workloads all --trace t.fgt")).unwrap();
+        assert_eq!(p.out_of_scope_flags(), vec!["--workloads"]);
     }
 
     #[test]
@@ -209,6 +418,10 @@ mod tests {
             Err(ArgError::Bad(_))
         ));
         assert!(matches!(parse(&args("a b")), Err(ArgError::Bad(_))));
+        assert!(matches!(
+            parse(&args("loadgen --sessions 0")),
+            Err(ArgError::Bad(_))
+        ));
     }
 
     #[test]

@@ -1,13 +1,18 @@
 //! The unified `fireguard` command-line interface.
 //!
-//! One binary subsumes the 11 per-figure binaries and adds ad-hoc grid
-//! sweeps, all backed by the parallel sweep engine in `fireguard-soc`:
+//! One binary subsumes the 11 per-figure binaries, ad-hoc grid sweeps,
+//! and the streaming service layer:
 //!
 //! ```text
 //! fireguard list                         # what can I run?
 //! fireguard fig7a --jobs 8               # a paper figure, 8 workers
 //! fireguard fig10 --insts 50000 --format csv
 //! fireguard sweep --kernel asan --ucores 2,4,8,12 --format jsonl
+//! fireguard trace record --workload x264 --out x264.fgt
+//! fireguard trace replay --trace x264.fgt --kernel asan --ucores 4
+//! fireguard serve --addr 127.0.0.1:4780 --workers 8
+//! fireguard client --addr 127.0.0.1:4780 --trace x264.fgt
+//! fireguard loadgen --addr 127.0.0.1:4780 --trace x264.fgt --sessions 16
 //! ```
 //!
 //! Flags override the `FG_INSTS` / `FG_QUICK` / `FG_JOBS` environment
@@ -18,12 +23,14 @@
 use fireguard_bench::figures::{find, FigOpts, FIGURES};
 use fireguard_soc::sweep::SweepGrid;
 use fireguard_soc::{
-    render, run_jobs, Cell, EngineConfig, KernelKind, ProgrammingModel, Report, Table,
+    render, run_jobs, Cell, EngineConfig, Format, KernelKind, ProgrammingModel, Report, Table,
 };
 
 mod args;
+mod service_cmds;
 
 use args::{ArgError, Parsed};
+use service_cmds::{parse_kernel, parse_model};
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -48,35 +55,46 @@ fn run(argv: &[String]) -> i32 {
         }
     };
 
-    if parsed.command != "sweep" {
-        let stray = parsed.sweep_only_flags_used();
-        if !stray.is_empty() {
-            eprintln!(
-                "fireguard: {} only appl{} to the sweep subcommand",
-                stray.join(", "),
-                if stray.len() == 1 { "ies" } else { "y" }
-            );
-            return 2;
-        }
+    let stray = parsed.out_of_scope_flags();
+    if !stray.is_empty() {
+        eprintln!(
+            "fireguard: {} {} not apply to the {} subcommand",
+            stray.join(", "),
+            if stray.len() == 1 { "does" } else { "do" },
+            parsed.command
+        );
+        return 2;
+    }
+
+    if parsed.command == "serve" {
+        return service_cmds::serve_cmd(&parsed);
     }
 
     let report = match parsed.command.as_str() {
-        "list" => list_report(),
-        "sweep" => match sweep_report(&parsed) {
-            Ok(r) => r,
-            Err(msg) => {
-                eprintln!("fireguard: {msg}");
-                return 2;
-            }
-        },
+        "list" => Ok(list_report(parsed.format)),
+        "sweep" => sweep_report(&parsed),
+        "trace record" => {
+            let opts = fig_opts(&parsed);
+            service_cmds::record_report(&parsed, opts.insts, opts.seed)
+        }
+        "trace replay" => service_cmds::replay_report(&parsed),
+        "client" => service_cmds::client_report(&parsed),
+        "loadgen" => service_cmds::loadgen_report(&parsed),
         name => match find(name) {
-            Some(fig) => (fig.run)(&fig_opts(&parsed)),
+            Some(fig) => Ok((fig.run)(&fig_opts(&parsed))),
             None => {
                 eprintln!("fireguard: unknown subcommand {name:?}");
-                eprintln!("run `fireguard list` to see the available figures");
+                eprintln!("run `fireguard list` to see the available subcommands");
                 return 2;
             }
         },
+    };
+    let report = match report {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("fireguard: {msg}");
+            return 2;
+        }
     };
 
     let stdout = std::io::stdout();
@@ -103,19 +121,56 @@ fn fig_opts(p: &Parsed) -> FigOpts {
     }
 }
 
-fn list_report() -> Report {
+/// Subcommands beyond the figure registry, for `list` and `usage`.
+const EXTRA_COMMANDS: &[(&str, &str)] = &[
+    (
+        "sweep",
+        "ad-hoc grid over workloads × kernels × engines × widths",
+    ),
+    (
+        "trace record",
+        "capture a workload×attack stream to a .fgt file",
+    ),
+    ("trace replay", "re-run a .fgt recording through FireGuard"),
+    ("serve", "online streaming analysis service (TCP)"),
+    ("client", "stream a .fgt recording to a running service"),
+    (
+        "loadgen",
+        "open N concurrent sessions, report throughput/latency",
+    ),
+];
+
+fn list_report(format: Format) -> Report {
     let mut r = Report::new();
-    r.text("fireguard subcommands (paper figures/tables + sweeps)");
-    r.blank();
-    for fig in FIGURES {
-        r.text(format!("  {:<16} {}", fig.name, fig.summary));
+    if format == Format::Human {
+        // The classic human listing, unchanged.
+        r.text("fireguard subcommands (paper figures/tables + sweeps + service)");
+        r.blank();
+        for fig in FIGURES {
+            r.text(format!("  {:<16} {}", fig.name, fig.summary));
+        }
+        for (name, summary) in EXTRA_COMMANDS {
+            r.text(format!("  {name:<16} {summary}"));
+        }
+        r.blank();
+        r.text("common flags: --insts N  --seed N  --jobs N  --format human|jsonl|csv  --quick");
+        return r;
     }
-    r.text(format!(
-        "  {:<16} ad-hoc grid over workloads × kernels × engines × widths",
-        "sweep"
-    ));
-    r.blank();
-    r.text("common flags: --insts N  --seed N  --jobs N  --format human|jsonl|csv  --quick");
+    // Machine-readable registry (one row per driver) for tooling.
+    let mut t = Table::new(&[("name", 16), ("summary", 60)]);
+    for fig in FIGURES {
+        t.row(vec![
+            Cell::Str(fig.name.to_owned()),
+            Cell::Str(fig.summary.to_owned()),
+        ]);
+    }
+    for (name, summary) in EXTRA_COMMANDS {
+        t.row(vec![
+            Cell::Str((*name).to_owned()),
+            Cell::Str((*summary).to_owned()),
+        ]);
+    }
+    r.table(t);
     r
 }
 
@@ -241,30 +296,6 @@ fn sweep_report(p: &Parsed) -> Result<Report, String> {
     Ok(r)
 }
 
-fn parse_kernel(s: &str) -> Result<KernelKind, String> {
-    match s.trim().to_ascii_lowercase().as_str() {
-        "pmc" => Ok(KernelKind::Pmc),
-        "shadow-stack" | "shadowstack" | "ss" | "shadow" => Ok(KernelKind::ShadowStack),
-        "asan" | "sanitizer" => Ok(KernelKind::Asan),
-        "uaf" | "use-after-free" => Ok(KernelKind::Uaf),
-        other => Err(format!(
-            "unknown kernel {other:?} (expected pmc, shadow-stack, asan, or uaf)"
-        )),
-    }
-}
-
-fn parse_model(s: &str) -> Result<ProgrammingModel, String> {
-    match s.trim().to_ascii_lowercase().as_str() {
-        "conventional" => Ok(ProgrammingModel::Conventional),
-        "duffs" | "duff" => Ok(ProgrammingModel::Duffs),
-        "unrolled" | "unroll" => Ok(ProgrammingModel::Unrolled),
-        "hybrid" | "proposed" => Ok(ProgrammingModel::Hybrid),
-        other => Err(format!(
-            "unknown model {other:?} (expected conventional, duffs, unrolled, or hybrid)"
-        )),
-    }
-}
-
 fn usage() -> String {
     let mut s = String::from(
         "fireguard — regenerate the FireGuard (DAC 2025) evaluation\n\
@@ -279,14 +310,19 @@ fn usage() -> String {
     }
     s.push_str(
         "    sweep            ad-hoc grid sweep (see sweep flags below)\n\
-         \x20   list             list subcommands as a table\n\
+         \x20   trace record     capture a workload×attack stream to a .fgt file\n\
+         \x20   trace replay     re-run a .fgt recording through FireGuard\n\
+         \x20   serve            online streaming analysis service (TCP)\n\
+         \x20   client           stream a .fgt recording to a running service\n\
+         \x20   loadgen          open N concurrent sessions, report throughput/latency\n\
+         \x20   list             list subcommands as a table (--format jsonl for tooling)\n\
          \x20   help             this message\n\
          \n\
          COMMON FLAGS:\n\
          \x20   --insts <N>      instructions per run (overrides FG_INSTS; default 120000)\n\
          \x20   --quick          30000-instruction smoke run (overrides FG_QUICK)\n\
          \x20   --seed <N>       trace seed (default 42)\n\
-         \x20   --jobs <N>       sweep worker threads (overrides FG_JOBS; default: all cores)\n\
+         \x20   --jobs <N>       sweep workers / loadgen concurrency (overrides FG_JOBS)\n\
          \x20   --format <F>     human (default), jsonl, or csv\n\
          \n\
          SWEEP FLAGS:\n\
@@ -297,6 +333,20 @@ fn usage() -> String {
          \x20   --filter-width <csv>    event-filter widths (default 4)\n\
          \x20   --model <csv>           conventional, duffs, unrolled, hybrid (default hybrid)\n\
          \n\
+         TRACE / SERVICE FLAGS:\n\
+         \x20   --workload <name>       workload to record (trace record)\n\
+         \x20   --out <file>            output .fgt path (trace record)\n\
+         \x20   --attacks <csv>         ret-hijack, oob, uaf, bounds (trace record)\n\
+         \x20   --attack-count/-start/-end/-seed   campaign shape (trace record)\n\
+         \x20   --trace <file>          .fgt recording (replay/client/loadgen)\n\
+         \x20   --addr <host:port>      service address (default 127.0.0.1:4780)\n\
+         \x20   --workers <N>           serve: concurrent session workers\n\
+         \x20   --max-sessions <N>      serve: exit after N sessions (CI)\n\
+         \x20   --sessions <N>          loadgen: total sessions (default 4)\n\
+         \x20   --batch <N>             events per frame (default 512)\n\
+         \x20   --mapper-width <N>      replay/client/loadgen mapper width\n\
+         \n\
+         Replay/client/loadgen take one --kernel with --ucores <N> or --ha.\n\
          Output is byte-identical for any --jobs value; parallelism only\n\
          changes wall-clock time.\n",
     );

@@ -1,0 +1,455 @@
+//! Drivers for the streaming subcommands: `trace record`, `trace replay`,
+//! `serve`, `client`, and `loadgen`.
+//!
+//! Each driver turns parsed flags into library calls (`fireguard-trace`
+//! codec, `fireguard-soc` experiments, `fireguard-server` sessions) and
+//! renders the outcome as a standard [`Report`], so `--format human|jsonl|
+//! csv` works for the service layer exactly as it does for the figures.
+
+use crate::args::Parsed;
+use fireguard_server::{run_loadgen, run_session, SessionConfig};
+use fireguard_soc::report::percentile;
+use fireguard_soc::{
+    baseline_cycles, capture_events, run_fireguard_events, Cell, EngineConfig, ExperimentConfig,
+    KernelKind, ProgrammingModel, Report, RunResult, Table,
+};
+use fireguard_trace::codec::{self, TraceMeta};
+use fireguard_trace::{AttackKind, AttackPlan, TraceInst};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::sync::Arc;
+
+/// Default service address when `--addr` is not given.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:4780";
+
+pub fn parse_kernel(s: &str) -> Result<KernelKind, String> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "pmc" => Ok(KernelKind::Pmc),
+        "shadow-stack" | "shadowstack" | "ss" | "shadow" => Ok(KernelKind::ShadowStack),
+        "asan" | "sanitizer" => Ok(KernelKind::Asan),
+        "uaf" | "use-after-free" => Ok(KernelKind::Uaf),
+        other => Err(format!(
+            "unknown kernel {other:?} (expected pmc, shadow-stack, asan, or uaf)"
+        )),
+    }
+}
+
+pub fn parse_model(s: &str) -> Result<ProgrammingModel, String> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "conventional" => Ok(ProgrammingModel::Conventional),
+        "duffs" | "duff" => Ok(ProgrammingModel::Duffs),
+        "unrolled" | "unroll" => Ok(ProgrammingModel::Unrolled),
+        "hybrid" | "proposed" => Ok(ProgrammingModel::Hybrid),
+        other => Err(format!(
+            "unknown model {other:?} (expected conventional, duffs, unrolled, or hybrid)"
+        )),
+    }
+}
+
+fn parse_attack_kind(s: &str) -> Result<AttackKind, String> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "ret-hijack" | "rethijack" | "hijack" => Ok(AttackKind::RetHijack),
+        "oob" | "out-of-bounds" => Ok(AttackKind::OutOfBounds),
+        "uaf" | "use-after-free" => Ok(AttackKind::UseAfterFree),
+        "bounds" | "bounds-violation" => Ok(AttackKind::BoundsViolation),
+        other => Err(format!(
+            "unknown attack kind {other:?} (expected ret-hijack, oob, uaf, or bounds)"
+        )),
+    }
+}
+
+/// The analysis configuration shared by `trace replay`, `client` and
+/// `loadgen`: one kernel on µcores or an HA, plus the pipeline knobs.
+/// Defaults mirror `sweep` (ASan on 4 µcores, hybrid µ-programs, 4-wide
+/// filter, scalar mapper).
+fn session_experiment(p: &Parsed, meta: &TraceMeta) -> Result<ExperimentConfig, String> {
+    let kernel = match p.kernels.as_deref() {
+        None => KernelKind::Asan,
+        Some(csv) => {
+            let kinds: Vec<&str> = csv.split(',').collect();
+            if kinds.len() != 1 {
+                return Err("exactly one --kernel per session".to_owned());
+            }
+            parse_kernel(kinds[0])?
+        }
+    };
+    let engine =
+        match (p.ucores.as_deref(), p.ha) {
+            (Some(_), true) => return Err("--ucores and --ha are mutually exclusive".to_owned()),
+            (None, true) => EngineConfig::Ha,
+            (None, false) => EngineConfig::Ucores(4),
+            (Some(s), false) => {
+                let n: usize =
+                    s.trim().parse().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        format!("bad --ucores {s:?} (expected a positive integer)")
+                    })?;
+                EngineConfig::Ucores(n)
+            }
+        };
+    let filter_width = match p.filter_widths.as_deref() {
+        None => 4,
+        Some(s) => s
+            .trim()
+            .parse()
+            .ok()
+            .filter(|&w| w >= 1)
+            .ok_or_else(|| format!("bad --filter-width {s:?} (expected a positive integer)"))?,
+    };
+    let model = match p.models.as_deref() {
+        None => ProgrammingModel::Hybrid,
+        Some(s) => parse_model(s)?,
+    };
+    let mut cfg = ExperimentConfig::new(&meta.workload)
+        .seed(meta.seed)
+        .insts(meta.insts)
+        .model(model)
+        .filter_width(filter_width)
+        .mapper_width(p.mapper_width.unwrap_or(1));
+    cfg.kernels = vec![(kernel, engine)];
+    Ok(cfg)
+}
+
+fn read_trace_file(path: &str) -> Result<(TraceMeta, Vec<TraceInst>), String> {
+    let f = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    codec::read_trace(&mut BufReader::new(f)).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn engine_label(cfg: &ExperimentConfig) -> String {
+    cfg.kernels
+        .iter()
+        .map(|(k, e)| match e {
+            EngineConfig::Ucores(n) => format!("{}x{n}u", k.name()),
+            EngineConfig::Ha => format!("{}xHA", k.name()),
+        })
+        .collect::<Vec<_>>()
+        .join("+")
+}
+
+/// The one-row session/replay result table shared by `trace replay` and
+/// `client`, so the two outputs cannot drift apart. `lats` must already
+/// be attack-filtered and sorted ascending.
+fn session_table(
+    cfg: &ExperimentConfig,
+    committed: u64,
+    cycles: u64,
+    slowdown: f64,
+    packets: u64,
+    detections: u64,
+    lats: &[f64],
+) -> Table {
+    let lat_cell = |p: f64| {
+        if lats.is_empty() {
+            Cell::Missing
+        } else {
+            Cell::Float {
+                v: percentile(lats, p),
+                prec: 1,
+            }
+        }
+    };
+    let mut t = Table::new(&[
+        ("workload", 14),
+        ("engine", 12),
+        ("insts", 9),
+        ("cycles", 11),
+        ("slowdown", 9),
+        ("packets", 10),
+        ("detections", 11),
+        ("p50_ns", 9),
+        ("p99_ns", 9),
+    ]);
+    t.row(vec![
+        Cell::Str(cfg.workload.clone()),
+        Cell::Str(engine_label(cfg)),
+        Cell::Int(committed as i64),
+        Cell::Int(cycles as i64),
+        Cell::slowdown(slowdown),
+        Cell::Int(packets as i64),
+        Cell::Int(detections as i64),
+        lat_cell(50.0),
+        lat_cell(99.0),
+    ]);
+    t
+}
+
+fn result_table(cfg: &ExperimentConfig, r: &RunResult) -> Table {
+    session_table(
+        cfg,
+        r.committed,
+        r.cycles,
+        r.slowdown,
+        r.packets,
+        r.detections.len() as u64,
+        &r.attack_latencies_ns(),
+    )
+}
+
+// ---- trace record ----------------------------------------------------------
+
+pub fn record_report(p: &Parsed, insts: u64, seed: u64) -> Result<Report, String> {
+    let workload = p
+        .workload
+        .as_deref()
+        .ok_or("trace record requires --workload <name>")?;
+    let known = fireguard_soc::experiments::workloads();
+    if !known.contains(&workload) {
+        return Err(format!(
+            "unknown workload {workload:?} (expected one of: {})",
+            known.join(", ")
+        ));
+    }
+    let out_path = p
+        .out
+        .as_deref()
+        .ok_or("trace record requires --out <file>")?;
+
+    let mut cfg = ExperimentConfig::new(workload).seed(seed).insts(insts);
+    if let Some(csv) = p.attacks.as_deref() {
+        let kinds = csv
+            .split(',')
+            .map(parse_attack_kind)
+            .collect::<Result<Vec<_>, _>>()?;
+        let count = p.attack_count.unwrap_or(50);
+        let start = p.attack_start.unwrap_or(insts / 10);
+        let end = p.attack_end.unwrap_or(insts);
+        if start >= end {
+            return Err(format!("empty attack window [{start}, {end})"));
+        }
+        cfg = cfg.attacks(AttackPlan::campaign(
+            &kinds,
+            count,
+            start,
+            end,
+            p.attack_seed.unwrap_or(1),
+        ));
+    }
+
+    let base = baseline_cycles(workload, seed, insts);
+    let events = capture_events(&cfg);
+    let meta = TraceMeta {
+        workload: workload.to_owned(),
+        seed,
+        insts,
+        baseline_cycles: base,
+        events: events.len() as u64,
+    };
+    let f = File::create(out_path).map_err(|e| format!("cannot create {out_path}: {e}"))?;
+    let mut w = BufWriter::new(f);
+    codec::write_trace(&mut w, &meta, &events).map_err(|e| format!("write failed: {e}"))?;
+    let bytes = std::fs::metadata(out_path).map(|m| m.len()).unwrap_or(0);
+
+    let mut r = Report::new();
+    r.text(format!("recorded {out_path}"));
+    r.blank();
+    let mut t = Table::new(&[
+        ("workload", 14),
+        ("seed", 8),
+        ("insts", 9),
+        ("events", 9),
+        ("baseline", 11),
+        ("bytes", 10),
+        ("B/event", 8),
+    ]);
+    t.row(vec![
+        Cell::Str(workload.to_owned()),
+        Cell::Int(seed as i64),
+        Cell::Int(insts as i64),
+        Cell::Int(events.len() as i64),
+        Cell::Int(base as i64),
+        Cell::Int(bytes as i64),
+        Cell::Float {
+            v: bytes as f64 / events.len().max(1) as f64,
+            prec: 2,
+        },
+    ]);
+    r.table(t);
+    Ok(r)
+}
+
+// ---- trace replay ----------------------------------------------------------
+
+pub fn replay_report(p: &Parsed) -> Result<Report, String> {
+    let path = p
+        .trace_file
+        .as_deref()
+        .ok_or("trace replay requires --trace <file>")?;
+    let (meta, events) = read_trace_file(path)?;
+    let cfg = session_experiment(p, &meta)?;
+    let result = run_fireguard_events(&cfg, events, meta.baseline_cycles);
+
+    let mut r = Report::new();
+    r.text(format!(
+        "replay of {path}: {} events, commit budget {}",
+        meta.events, meta.insts
+    ));
+    r.blank();
+    r.table(result_table(&cfg, &result));
+    Ok(r)
+}
+
+// ---- client ----------------------------------------------------------------
+
+pub fn client_report(p: &Parsed) -> Result<Report, String> {
+    let path = p
+        .trace_file
+        .as_deref()
+        .ok_or("client requires --trace <file>")?;
+    let addr = p.addr.as_deref().unwrap_or(DEFAULT_ADDR);
+    let (meta, events) = read_trace_file(path)?;
+    let cfg = session_experiment(p, &meta)?;
+    let session = SessionConfig::from_experiment(&cfg, meta.baseline_cycles);
+    let batch = p.batch.unwrap_or(fireguard_server::DEFAULT_BATCH);
+    let out = run_session(addr, &session, Arc::new(events), batch)
+        .map_err(|e| format!("session against {addr} failed: {e}"))?;
+
+    let lats: Vec<f64> = {
+        let mut v: Vec<f64> = out
+            .alarms
+            .iter()
+            .filter(|d| d.attack)
+            .map(|d| d.latency_ns)
+            .collect();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        v
+    };
+    let mut r = Report::new();
+    r.text(format!(
+        "session against {addr}: {} events streamed in {:.1} ms",
+        out.events_sent,
+        out.wall.as_secs_f64() * 1e3
+    ));
+    r.blank();
+    r.table(session_table(
+        &cfg,
+        out.summary.committed,
+        out.summary.cycles,
+        out.summary.slowdown,
+        out.summary.packets,
+        out.summary.detections,
+        &lats,
+    ));
+    Ok(r)
+}
+
+// ---- loadgen ---------------------------------------------------------------
+
+pub fn loadgen_report(p: &Parsed) -> Result<Report, String> {
+    let path = p
+        .trace_file
+        .as_deref()
+        .ok_or("loadgen requires --trace <file>")?;
+    let addr = p.addr.as_deref().unwrap_or(DEFAULT_ADDR);
+    let sessions = p.sessions.unwrap_or(4);
+    let concurrency = p.jobs.unwrap_or_else(fireguard_soc::default_workers);
+    let (meta, events) = read_trace_file(path)?;
+    let cfg = session_experiment(p, &meta)?;
+    let session = SessionConfig::from_experiment(&cfg, meta.baseline_cycles);
+    let batch = p.batch.unwrap_or(fireguard_server::DEFAULT_BATCH);
+    let agg = run_loadgen(
+        addr,
+        &session,
+        Arc::new(events),
+        sessions,
+        concurrency,
+        batch,
+    );
+    if agg.ok_sessions == 0 {
+        return Err(format!(
+            "all {sessions} sessions failed: {}",
+            agg.first_error.unwrap_or_else(|| "unknown".to_owned())
+        ));
+    }
+
+    let mut r = Report::new();
+    r.text(format!(
+        "loadgen against {addr}: {} sessions ({} concurrent), workload {}",
+        sessions, concurrency, meta.workload
+    ));
+    if let Some(e) = &agg.first_error {
+        r.text(format!(
+            "warning: {} sessions failed; first error: {e}",
+            agg.failed_sessions
+        ));
+    }
+    r.blank();
+    let mut t = Table::new(&[
+        ("sessions", 9),
+        ("failed", 7),
+        ("events", 11),
+        ("committed", 11),
+        ("wall_ms", 9),
+        ("events/s", 12),
+        ("detections", 11),
+        ("p50_ns", 9),
+        ("p99_ns", 9),
+    ]);
+    t.row(vec![
+        Cell::Int(agg.ok_sessions as i64),
+        Cell::Int(agg.failed_sessions as i64),
+        Cell::Int(agg.events as i64),
+        Cell::Int(agg.committed as i64),
+        Cell::Float {
+            v: agg.wall.as_secs_f64() * 1e3,
+            prec: 1,
+        },
+        Cell::Float {
+            v: agg.events_per_sec,
+            prec: 0,
+        },
+        Cell::Int(agg.detections as i64),
+        if agg.detections == 0 {
+            Cell::Missing
+        } else {
+            Cell::Float {
+                v: agg.p50_latency_ns,
+                prec: 1,
+            }
+        },
+        if agg.detections == 0 {
+            Cell::Missing
+        } else {
+            Cell::Float {
+                v: agg.p99_latency_ns,
+                prec: 1,
+            }
+        },
+    ]);
+    r.table(t);
+    Ok(r)
+}
+
+// ---- serve -----------------------------------------------------------------
+
+/// Runs the service in the foreground; returns the process exit code.
+pub fn serve_cmd(p: &Parsed) -> i32 {
+    if p.format != fireguard_soc::Format::Human {
+        // serve prints a plain announcement line, not a Report; honoring
+        // the never-silently-ignore contract beats accepting the flag.
+        eprintln!("fireguard: serve has no report output; --format does not apply");
+        return 2;
+    }
+    let opts = fireguard_server::ServeOptions {
+        addr: p.addr.clone().unwrap_or_else(|| DEFAULT_ADDR.to_owned()),
+        workers: p.workers.unwrap_or_else(fireguard_soc::default_workers),
+        max_sessions: p.max_sessions,
+        observe_every: fireguard_server::OBSERVE_EVERY,
+    };
+    let workers = opts.workers;
+    let handle = match fireguard_server::serve(opts) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("fireguard: cannot bind: {e}");
+            return 1;
+        }
+    };
+    // The bound address goes to stdout (and is flushed) so scripts can
+    // start on port 0 and discover the real port.
+    println!(
+        "fireguard-serve: listening on {} ({workers} workers)",
+        handle.local_addr()
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    handle.join();
+    0
+}

@@ -159,6 +159,182 @@ fn errors_exit_2_with_a_message() {
 }
 
 #[test]
+fn list_jsonl_is_a_machine_readable_registry() {
+    let out = stdout_of(&fireguard(&["list", "--format", "jsonl"]));
+    for name in ["fig7a", "table3", "sweep", "serve", "client", "loadgen"] {
+        let row = out
+            .lines()
+            .find(|l| l.contains(&format!("\"name\":\"{name}\"")))
+            .unwrap_or_else(|| panic!("no jsonl row for {name}:\n{out}"));
+        assert!(row.starts_with('{') && row.ends_with('}'), "row: {row}");
+        assert!(row.contains("\"summary\":"), "row: {row}");
+    }
+    // trace record/replay appear as rows too.
+    assert!(out.contains("\"name\":\"trace record\""));
+    assert!(out.contains("\"name\":\"trace replay\""));
+}
+
+#[test]
+fn trace_record_then_replay_is_deterministic() {
+    let dir = std::env::temp_dir().join(format!("fgt-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let fgt = dir.join("swaptions.fgt");
+    let fgt_s = fgt.to_str().unwrap();
+
+    let rec = stdout_of(&fireguard(&[
+        "trace",
+        "record",
+        "--workload",
+        "swaptions",
+        "--insts",
+        "2000",
+        "--out",
+        fgt_s,
+    ]));
+    assert!(rec.contains("swaptions"), "record output:\n{rec}");
+
+    let replay = [
+        "trace", "replay", "--trace", fgt_s, "--kernel", "pmc", "--ucores", "2", "--format",
+        "jsonl",
+    ];
+    let a = stdout_of(&fireguard(&replay));
+    let b = stdout_of(&fireguard(&replay));
+    assert_eq!(a, b, "replay must be deterministic");
+    assert!(a.contains("\"workload\":\"swaptions\""));
+    assert!(a.contains("\"cycles\":"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_client_loopback_matches_replay() {
+    use std::io::BufRead;
+
+    let dir = std::env::temp_dir().join(format!("fgt-loop-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let fgt = dir.join("ferret.fgt");
+    let fgt_s = fgt.to_str().unwrap();
+    stdout_of(&fireguard(&[
+        "trace",
+        "record",
+        "--workload",
+        "ferret",
+        "--insts",
+        "2000",
+        "--attacks",
+        "ret-hijack",
+        "--attack-count",
+        "4",
+        "--attack-start",
+        "200",
+        "--attack-end",
+        "1800",
+        "--out",
+        fgt_s,
+    ]));
+
+    let session_cfg = ["--kernel", "ss", "--ucores", "4", "--format", "jsonl"];
+    let replay = stdout_of(&fireguard(
+        &[&["trace", "replay", "--trace", fgt_s], &session_cfg[..]].concat(),
+    ));
+    let replay_row = replay
+        .lines()
+        .find(|l| l.contains("\"type\":\"row\""))
+        .expect("replay emits a row");
+
+    // Start a one-session service on an ephemeral port; it prints the
+    // bound address on stdout, then exits once the session budget is spent.
+    let mut serve = std::process::Command::new(env!("CARGO_BIN_EXE_fireguard"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "1",
+            "--max-sessions",
+            "1",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("serve spawns");
+    let mut first_line = String::new();
+    {
+        let out = serve.stdout.as_mut().expect("piped stdout");
+        std::io::BufReader::new(out)
+            .read_line(&mut first_line)
+            .expect("serve announces its address");
+    }
+    let addr = first_line
+        .split_whitespace()
+        .find(|w| w.starts_with("127.0.0.1:"))
+        .expect("address in announcement")
+        .to_owned();
+
+    let client = stdout_of(&fireguard(
+        &[
+            &["client", "--addr", &addr, "--trace", fgt_s],
+            &session_cfg[..],
+        ]
+        .concat(),
+    ));
+    let status = serve.wait().expect("serve exits after its session budget");
+    assert!(status.success());
+
+    let client_row = client
+        .lines()
+        .find(|l| l.contains("\"type\":\"row\""))
+        .expect("client emits a row");
+    // The served session must report the same cycles/packets/detections as
+    // the offline replay of the same recording (jsonl rows share keys).
+    for key in [
+        "\"cycles\":",
+        "\"packets\":",
+        "\"detections\":",
+        "\"slowdown\":",
+    ] {
+        let field = |row: &str| {
+            let at = row.find(key).unwrap_or_else(|| panic!("{key} in {row}"));
+            row[at..]
+                .chars()
+                .take_while(|c| *c != ',' && *c != '}')
+                .collect::<String>()
+        };
+        assert_eq!(field(client_row), field(replay_row), "{key} diverged");
+    }
+    assert!(
+        !client_row.contains("\"detections\":0,"),
+        "the campaign must raise detections: {client_row}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn trace_subcommand_errors_are_actionable() {
+    let out = fireguard(&["trace"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("record"));
+
+    let out = fireguard(&["trace", "record", "--insts", "2000"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--workload"));
+
+    let out = fireguard(&["trace", "replay", "--trace", "/nonexistent.fgt"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot open"));
+
+    // Out-of-scope flags are rejected for the service commands too.
+    let out = fireguard(&["serve", "--sessions", "4"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--sessions"));
+
+    // serve has no report output, so --format is rejected, not ignored.
+    let out = fireguard(&["serve", "--format", "jsonl"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--format"));
+}
+
+#[test]
 fn help_and_version_exit_0() {
     let help = fireguard(&["--help"]);
     assert_eq!(help.status.code(), Some(0));

@@ -1,0 +1,159 @@
+//! The client side of a streaming session: connect, negotiate, stream a
+//! pre-captured event vector, and collect the online alarms + summary.
+//!
+//! Sending and receiving run on separate threads (events out, frames in),
+//! so a long session can never deadlock on full TCP buffers in both
+//! directions: alarms are consumed while events are still being written.
+
+use crate::proto::{
+    read_frame, write_frame, SessionConfig, Summary, ALARMS, END, ERROR, EVENTS, HELLO, SUMMARY,
+};
+use fireguard_soc::Detection;
+use fireguard_trace::codec::EventEncoder;
+use fireguard_trace::TraceInst;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Events per EVENTS frame (amortizes framing without growing latency).
+pub const DEFAULT_BATCH: usize = 512;
+
+/// Everything a finished session produced.
+#[derive(Debug, Clone)]
+pub struct SessionOutcome {
+    /// Detections streamed online (ALARMS frames), in arrival order.
+    pub alarms: Vec<Detection>,
+    /// The final session summary.
+    pub summary: Summary,
+    /// Events streamed to the server.
+    pub events_sent: u64,
+    /// Wall-clock duration of the whole session.
+    pub wall: Duration,
+}
+
+/// Client-side failure modes.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connection or transport failure.
+    Io(std::io::Error),
+    /// A frame that would not decode.
+    Codec(fireguard_trace::codec::CodecError),
+    /// The server refused or aborted the session (ERROR frame).
+    Server(String),
+    /// The server violated the protocol (e.g. closed before SUMMARY).
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Codec(e) => write!(f, "codec error: {e}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<fireguard_trace::codec::CodecError> for ClientError {
+    fn from(e: fireguard_trace::codec::CodecError) -> Self {
+        ClientError::Codec(e)
+    }
+}
+
+/// Runs one complete session against `addr`: HELLO, the full event
+/// stream in `batch`-sized frames, END, then collects ALARMS until the
+/// SUMMARY arrives.
+///
+/// # Errors
+///
+/// Any [`ClientError`]; an ERROR frame from the server maps to
+/// [`ClientError::Server`].
+pub fn run_session(
+    addr: &str,
+    cfg: &SessionConfig,
+    events: Arc<Vec<TraceInst>>,
+    batch: usize,
+) -> Result<SessionOutcome, ClientError> {
+    let started = Instant::now();
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+
+    let batch = batch.max(1);
+    let hello = cfg.encode();
+    let events_sent = events.len() as u64;
+    let sender = {
+        let events = Arc::clone(&events);
+        let stream = stream.try_clone()?;
+        std::thread::spawn(move || -> Result<(), std::io::Error> {
+            let mut w = BufWriter::new(stream);
+            write_frame(&mut w, HELLO, &hello)?;
+            let mut enc = EventEncoder::new();
+            for chunk in events.chunks(batch) {
+                write_frame(&mut w, EVENTS, &enc.encode_batch(chunk))?;
+            }
+            write_frame(&mut w, END, &[])?;
+            w.flush()
+        })
+    };
+
+    let mut alarms = Vec::new();
+    let mut summary = None;
+    let mut server_error = None;
+    loop {
+        match read_frame(&mut reader)? {
+            Some((ALARMS, payload)) => alarms.extend(crate::proto::decode_alarms(&payload)?),
+            Some((SUMMARY, payload)) => {
+                summary = Some(Summary::decode(&payload)?);
+                // An ERROR frame may still follow a partial summary; poll
+                // one more frame so the caller learns the session broke.
+                if let Some((ERROR, msg)) = read_frame(&mut reader)? {
+                    server_error = Some(String::from_utf8_lossy(&msg).into_owned());
+                }
+                break;
+            }
+            Some((ERROR, msg)) => {
+                server_error = Some(String::from_utf8_lossy(&msg).into_owned());
+                break;
+            }
+            Some((tag, _)) => {
+                return Err(ClientError::Protocol(format!("unexpected frame tag {tag}")));
+            }
+            None => break,
+        }
+    }
+    // The server may stop reading as soon as its commit target is reached,
+    // so the sender can legitimately die on a broken pipe — only surface
+    // its error if the session as a whole failed.
+    let send_result = sender.join().expect("sender thread never panics");
+    if let Some(msg) = server_error {
+        return Err(ClientError::Server(msg));
+    }
+    let summary = match summary {
+        Some(s) => s,
+        None => {
+            if let Err(e) = send_result {
+                return Err(ClientError::Io(e));
+            }
+            return Err(ClientError::Protocol(
+                "connection closed before SUMMARY".to_owned(),
+            ));
+        }
+    };
+    Ok(SessionOutcome {
+        alarms,
+        summary,
+        events_sent,
+        wall: started.elapsed(),
+    })
+}

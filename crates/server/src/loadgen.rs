@@ -1,0 +1,125 @@
+//! The load generator: N concurrent sessions against one service,
+//! aggregated into throughput and detection-latency statistics.
+//!
+//! Parallelism here is across *live sessions*, not pre-expanded jobs: a
+//! hand-rolled worker pool (atomic cursor + threads, as in
+//! [`fireguard_soc::sweep`]) opens up to `concurrency` simultaneous
+//! sessions and keeps opening new ones until `sessions` have completed.
+
+use crate::client::{run_session, SessionOutcome};
+use crate::proto::SessionConfig;
+use fireguard_soc::report::percentile;
+use fireguard_trace::TraceInst;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// Aggregate outcome of a load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadgenOutcome {
+    /// Sessions that completed successfully.
+    pub ok_sessions: usize,
+    /// Sessions that failed (connect/protocol/server errors).
+    pub failed_sessions: usize,
+    /// Total events streamed across successful sessions.
+    pub events: u64,
+    /// Total instructions committed server-side.
+    pub committed: u64,
+    /// Total detections raised.
+    pub detections: u64,
+    /// Wall-clock duration of the whole run.
+    pub wall: Duration,
+    /// Aggregate throughput: events streamed per wall-clock second.
+    pub events_per_sec: f64,
+    /// Median simulated detection latency (ns) across every alarm.
+    pub p50_latency_ns: f64,
+    /// 99th-percentile simulated detection latency (ns).
+    pub p99_latency_ns: f64,
+    /// First failure message, if any (for diagnostics).
+    pub first_error: Option<String>,
+}
+
+/// Runs `sessions` sessions against `addr`, at most `concurrency` at a
+/// time, all streaming the same `events` under the same `cfg`.
+pub fn run_loadgen(
+    addr: &str,
+    cfg: &SessionConfig,
+    events: Arc<Vec<TraceInst>>,
+    sessions: usize,
+    concurrency: usize,
+    batch: usize,
+) -> LoadgenOutcome {
+    let started = Instant::now();
+    let cursor = Arc::new(AtomicUsize::new(0));
+    let (tx, rx) = mpsc::channel::<Result<SessionOutcome, String>>();
+    let threads = concurrency.clamp(1, sessions.max(1));
+    let handles: Vec<_> = (0..threads)
+        .map(|_| {
+            let cursor = Arc::clone(&cursor);
+            let tx = tx.clone();
+            let events = Arc::clone(&events);
+            let cfg = cfg.clone();
+            let addr = addr.to_owned();
+            std::thread::spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= sessions {
+                    break;
+                }
+                let out =
+                    run_session(&addr, &cfg, Arc::clone(&events), batch).map_err(|e| e.to_string());
+                if tx.send(out).is_err() {
+                    break;
+                }
+            })
+        })
+        .collect();
+    drop(tx);
+    for h in handles {
+        let _ = h.join();
+    }
+
+    let mut ok = 0usize;
+    let mut failed = 0usize;
+    let mut events_total = 0u64;
+    let mut committed = 0u64;
+    let mut detections = 0u64;
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut first_error = None;
+    for out in rx {
+        match out {
+            Ok(o) => {
+                ok += 1;
+                events_total += o.events_sent;
+                committed += o.summary.committed;
+                detections += o.summary.detections;
+                // True detections only, matching `client`/`trace replay`
+                // (RunResult::attack_latencies_ns) so p50/p99 are
+                // comparable across the three subcommands.
+                latencies.extend(o.alarms.iter().filter(|d| d.attack).map(|d| d.latency_ns));
+            }
+            Err(e) => {
+                failed += 1;
+                first_error.get_or_insert(e);
+            }
+        }
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let wall = started.elapsed();
+    let secs = wall.as_secs_f64();
+    LoadgenOutcome {
+        ok_sessions: ok,
+        failed_sessions: failed,
+        events: events_total,
+        committed,
+        detections,
+        wall,
+        events_per_sec: if secs > 0.0 {
+            events_total as f64 / secs
+        } else {
+            0.0
+        },
+        p50_latency_ns: percentile(&latencies, 50.0),
+        p99_latency_ns: percentile(&latencies, 99.0),
+        first_error,
+    }
+}

@@ -1,0 +1,584 @@
+//! The `fireguard-serve` wire protocol: framed messages over TCP.
+//!
+//! Every message is one **frame**: a 1-byte tag, a varint payload length,
+//! and the payload. Client→server tags are [`HELLO`], [`EVENTS`] and
+//! [`END`]; server→client tags are [`ALARMS`], [`SUMMARY`] and [`ERROR`].
+//!
+//! | frame   | direction | payload                                          |
+//! |---------|-----------|--------------------------------------------------|
+//! | HELLO   | c → s     | protocol version + [`SessionConfig`]             |
+//! | EVENTS  | c → s     | an [`EventEncoder`] batch (`varint count ‖ events`) |
+//! | END     | c → s     | empty — the commit stream is complete            |
+//! | ALARMS  | s → c     | a batch of [`Detection`]s raised since the last   |
+//! | SUMMARY | s → c     | the session's final [`Summary`]                  |
+//! | ERROR   | s → c     | a UTF-8 message; the session is over             |
+//!
+//! Event payloads are byte-identical to the batches inside a `.fgt` file
+//! (both sides keep a stateful [`EventEncoder`]/`EventDecoder` pair per
+//! session), so a recorded trace streams to a live service without
+//! re-encoding. All decode failures are [`CodecError`]s — a hostile or
+//! broken peer can never panic the service.
+//!
+//! [`EventEncoder`]: fireguard_trace::codec::EventEncoder
+
+use fireguard_kernels::{KernelKind, ProgrammingModel};
+use fireguard_soc::report::BottleneckBreakdown;
+use fireguard_soc::{Detection, EngineConfig, ExperimentConfig, RunResult};
+use fireguard_trace::codec::{put_string, put_uvarint, read_uvarint, CodecError, Cursor};
+use fireguard_ucore::IsaxMode;
+use std::io::{self, Read, Write};
+
+/// Protocol version carried in the HELLO frame.
+pub const PROTO_VERSION: u64 = 1;
+/// Hard bound on any frame payload (4 MiB) — enforced on both sides.
+pub const MAX_FRAME: u64 = 1 << 22;
+
+/// Client→server: session configuration (must be the first frame).
+pub const HELLO: u8 = 1;
+/// Client→server: a batch of encoded commit events.
+pub const EVENTS: u8 = 2;
+/// Client→server: end of the commit stream.
+pub const END: u8 = 3;
+/// Server→client: detections raised since the previous ALARMS frame.
+pub const ALARMS: u8 = 16;
+/// Server→client: the final session summary.
+pub const SUMMARY: u8 = 17;
+/// Server→client: a fatal session error (UTF-8 message payload).
+pub const ERROR: u8 = 18;
+
+/// Writes one frame (`tag ‖ varint len ‖ payload`).
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_frame<W: Write>(w: &mut W, tag: u8, payload: &[u8]) -> io::Result<()> {
+    let mut head = vec![tag];
+    put_uvarint(&mut head, payload.len() as u64);
+    w.write_all(&head)?;
+    w.write_all(payload)
+}
+
+/// Reads one frame; `Ok(None)` on clean EOF at a frame boundary.
+///
+/// # Errors
+///
+/// [`CodecError::Oversized`] beyond [`MAX_FRAME`], [`CodecError::Truncated`]
+/// on EOF inside a frame, or the underlying I/O error.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<(u8, Vec<u8>)>, CodecError> {
+    let mut tag = [0u8; 1];
+    match r.read(&mut tag) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        Err(e) if e.kind() == io::ErrorKind::Interrupted => return read_frame(r),
+        Err(e) => return Err(CodecError::Io(e)),
+    }
+    let len = read_uvarint(r)?;
+    if len > MAX_FRAME {
+        return Err(CodecError::Oversized {
+            what: "frame",
+            len,
+            max: MAX_FRAME,
+        });
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)
+        .map_err(|_| CodecError::Truncated("frame payload"))?;
+    Ok(Some((tag[0], payload)))
+}
+
+// ---- session configuration -------------------------------------------------
+
+/// The per-session experiment negotiation carried by the HELLO frame: the
+/// full [`ExperimentConfig`] surface (minus the attack plan, which lives in
+/// the event stream itself) plus the pinned baseline-cycle denominator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionConfig {
+    /// Workload label (reporting only — the server never regenerates it).
+    pub workload: String,
+    /// Trace seed (reporting only).
+    pub seed: u64,
+    /// Commit budget: the server runs until this many instructions commit.
+    pub insts: u64,
+    /// Bare-core cycles for the same stream (0 = unknown; slowdown = 1.0).
+    pub baseline_cycles: u64,
+    /// Kernels and their engine provisioning, in verdict-bit order.
+    pub kernels: Vec<(KernelKind, EngineConfig)>,
+    /// µ-program style.
+    pub model: ProgrammingModel,
+    /// Event-filter width.
+    pub filter_width: usize,
+    /// ISAX placement.
+    pub isax: IsaxMode,
+    /// Mapper width.
+    pub mapper_width: usize,
+}
+
+fn kernel_to_u8(k: KernelKind) -> u8 {
+    match k {
+        KernelKind::Pmc => 0,
+        KernelKind::ShadowStack => 1,
+        KernelKind::Asan => 2,
+        KernelKind::Uaf => 3,
+    }
+}
+
+fn kernel_from_u8(v: u8) -> Result<KernelKind, CodecError> {
+    Ok(match v {
+        0 => KernelKind::Pmc,
+        1 => KernelKind::ShadowStack,
+        2 => KernelKind::Asan,
+        3 => KernelKind::Uaf,
+        _ => return Err(CodecError::Corrupt("unknown kernel kind")),
+    })
+}
+
+fn model_to_u8(m: ProgrammingModel) -> u8 {
+    match m {
+        ProgrammingModel::Conventional => 0,
+        ProgrammingModel::Duffs => 1,
+        ProgrammingModel::Unrolled => 2,
+        ProgrammingModel::Hybrid => 3,
+    }
+}
+
+fn model_from_u8(v: u8) -> Result<ProgrammingModel, CodecError> {
+    Ok(match v {
+        0 => ProgrammingModel::Conventional,
+        1 => ProgrammingModel::Duffs,
+        2 => ProgrammingModel::Unrolled,
+        3 => ProgrammingModel::Hybrid,
+        _ => return Err(CodecError::Corrupt("unknown programming model")),
+    })
+}
+
+impl SessionConfig {
+    /// Builds a session from an experiment description and its pinned
+    /// baseline (e.g. from a `.fgt` header).
+    pub fn from_experiment(cfg: &ExperimentConfig, baseline_cycles: u64) -> Self {
+        SessionConfig {
+            workload: cfg.workload.clone(),
+            seed: cfg.seed,
+            insts: cfg.insts,
+            baseline_cycles,
+            kernels: cfg.kernels.clone(),
+            model: cfg.model,
+            filter_width: cfg.filter_width,
+            isax: cfg.isax,
+            mapper_width: cfg.mapper_width,
+        }
+    }
+
+    /// The equivalent in-process experiment (attacks: none — the stream
+    /// carries them).
+    pub fn to_experiment(&self) -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::new(&self.workload)
+            .seed(self.seed)
+            .insts(self.insts)
+            .model(self.model)
+            .filter_width(self.filter_width)
+            .isax(self.isax)
+            .mapper_width(self.mapper_width);
+        cfg.kernels = self.kernels.clone();
+        cfg
+    }
+
+    /// Validates the structural limits the system constructor asserts, so
+    /// a hostile HELLO is refused with an error frame instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable refusal reason.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.insts == 0 {
+            return Err("insts must be at least 1".into());
+        }
+        if self.kernels.is_empty() {
+            return Err("at least one kernel is required".into());
+        }
+        if self.kernels.len() > 4 {
+            return Err(format!("{} kernels requested (max 4)", self.kernels.len()));
+        }
+        let engines: usize = self
+            .kernels
+            .iter()
+            .map(|(_, e)| match e {
+                EngineConfig::Ucores(n) => *n,
+                EngineConfig::Ha => 1,
+            })
+            .sum();
+        if engines == 0 || engines > 16 {
+            return Err(format!("{engines} engines requested (1..=16)"));
+        }
+        if self
+            .kernels
+            .iter()
+            .any(|(_, e)| matches!(e, EngineConfig::Ucores(0)))
+        {
+            return Err("a kernel needs at least one µcore".into());
+        }
+        if self.filter_width == 0 || self.filter_width > 8 {
+            return Err(format!("filter width {} (1..=8)", self.filter_width));
+        }
+        if self.mapper_width == 0 || self.mapper_width > 8 {
+            return Err(format!("mapper width {} (1..=8)", self.mapper_width));
+        }
+        Ok(())
+    }
+
+    /// Encodes the HELLO payload (including the protocol version).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::new();
+        put_uvarint(&mut b, PROTO_VERSION);
+        put_string(&mut b, &self.workload);
+        put_uvarint(&mut b, self.seed);
+        put_uvarint(&mut b, self.insts);
+        put_uvarint(&mut b, self.baseline_cycles);
+        b.push(self.kernels.len() as u8);
+        for (kind, engine) in &self.kernels {
+            b.push(kernel_to_u8(*kind));
+            // 0 encodes the hardware accelerator; n > 0 encodes n µcores.
+            put_uvarint(
+                &mut b,
+                match engine {
+                    EngineConfig::Ha => 0,
+                    EngineConfig::Ucores(n) => *n as u64,
+                },
+            );
+        }
+        b.push(model_to_u8(self.model));
+        put_uvarint(&mut b, self.filter_width as u64);
+        b.push(match self.isax {
+            IsaxMode::MaStage => 0,
+            IsaxMode::PostCommit => 1,
+        });
+        put_uvarint(&mut b, self.mapper_width as u64);
+        b
+    }
+
+    /// Decodes a HELLO payload.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::UnsupportedVersion`] for a future protocol, or any
+    /// structural decode failure.
+    pub fn decode(payload: &[u8]) -> Result<Self, CodecError> {
+        let mut cur = Cursor::new(payload);
+        let version = cur.uvarint("hello version")?;
+        if version != PROTO_VERSION {
+            return Err(CodecError::UnsupportedVersion(version));
+        }
+        let workload = cur.string(1024, "hello workload")?;
+        let seed = cur.uvarint("hello seed")?;
+        let insts = cur.uvarint("hello insts")?;
+        let baseline_cycles = cur.uvarint("hello baseline")?;
+        let n_kernels = cur.u8("hello kernel count")?;
+        if n_kernels > 8 {
+            return Err(CodecError::Corrupt("implausible kernel count"));
+        }
+        let mut kernels = Vec::with_capacity(n_kernels as usize);
+        for _ in 0..n_kernels {
+            let kind = kernel_from_u8(cur.u8("hello kernel kind")?)?;
+            let engines = cur.uvarint("hello engine count")?;
+            if engines > 64 {
+                return Err(CodecError::Corrupt("implausible engine count"));
+            }
+            let engine = if engines == 0 {
+                EngineConfig::Ha
+            } else {
+                EngineConfig::Ucores(engines as usize)
+            };
+            kernels.push((kind, engine));
+        }
+        let model = model_from_u8(cur.u8("hello model")?)?;
+        let filter_width = cur.uvarint("hello filter width")? as usize;
+        let isax = match cur.u8("hello isax")? {
+            0 => IsaxMode::MaStage,
+            1 => IsaxMode::PostCommit,
+            _ => return Err(CodecError::Corrupt("unknown isax mode")),
+        };
+        let mapper_width = cur.uvarint("hello mapper width")? as usize;
+        if !cur.is_empty() {
+            return Err(CodecError::Corrupt("trailing bytes after hello"));
+        }
+        Ok(SessionConfig {
+            workload,
+            seed,
+            insts,
+            baseline_cycles,
+            kernels,
+            model,
+            filter_width,
+            isax,
+            mapper_width,
+        })
+    }
+}
+
+// ---- alarms ----------------------------------------------------------------
+
+/// Encodes a batch of detections as an ALARMS payload.
+pub fn encode_alarms(detections: &[Detection]) -> Vec<u8> {
+    let mut b = Vec::new();
+    put_uvarint(&mut b, detections.len() as u64);
+    for d in detections {
+        put_uvarint(&mut b, d.seq);
+        b.extend_from_slice(&d.latency_ns.to_bits().to_le_bytes());
+        b.push(u8::from(d.attack));
+        put_uvarint(&mut b, d.kernel_slot as u64);
+    }
+    b
+}
+
+/// Decodes an ALARMS payload.
+///
+/// # Errors
+///
+/// Any structural decode failure.
+pub fn decode_alarms(payload: &[u8]) -> Result<Vec<Detection>, CodecError> {
+    let mut cur = Cursor::new(payload);
+    let count = cur.uvarint("alarm count")?;
+    // Each alarm needs at least 11 payload bytes (seq ≥ 1, latency 8,
+    // ground truth 1, slot ≥ 1), so bounding the count by the payload
+    // length rejects hostile counts before any allocation.
+    if count > payload.len() as u64 / 11 {
+        return Err(CodecError::Corrupt("implausible alarm count"));
+    }
+    let mut out = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let seq = cur.uvarint("alarm seq")?;
+        let latency_ns = f64::from_bits(cur.u64le("alarm latency")?);
+        let attack = match cur.u8("alarm ground truth")? {
+            0 => false,
+            1 => true,
+            _ => return Err(CodecError::Corrupt("alarm ground truth not 0/1")),
+        };
+        let kernel_slot = cur.uvarint("alarm kernel slot")? as usize;
+        out.push(Detection {
+            seq,
+            latency_ns,
+            attack,
+            kernel_slot,
+        });
+    }
+    if !cur.is_empty() {
+        return Err(CodecError::Corrupt("trailing bytes after alarms"));
+    }
+    Ok(out)
+}
+
+// ---- summary ---------------------------------------------------------------
+
+/// The final SUMMARY frame: every scalar of the session's [`RunResult`]
+/// (detections travelled separately, in ALARMS frames, and are summarized
+/// here by count).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Instructions committed.
+    pub committed: u64,
+    /// Fast-domain cycles taken.
+    pub cycles: u64,
+    /// Baseline cycles the slowdown was computed against.
+    pub baseline_cycles: u64,
+    /// Main-core slowdown.
+    pub slowdown: f64,
+    /// Analysis packets produced.
+    pub packets: u64,
+    /// Packets with no subscriber.
+    pub unclaimed_packets: u64,
+    /// Stall attribution.
+    pub bottlenecks: BottleneckBreakdown,
+    /// Total detections raised over the session.
+    pub detections: u64,
+}
+
+impl Summary {
+    /// Summarizes a finished run.
+    pub fn from_result(r: &RunResult) -> Self {
+        Summary {
+            committed: r.committed,
+            cycles: r.cycles,
+            baseline_cycles: r.baseline_cycles,
+            slowdown: r.slowdown,
+            packets: r.packets,
+            unclaimed_packets: r.unclaimed_packets,
+            bottlenecks: r.bottlenecks,
+            detections: r.detections.len() as u64,
+        }
+    }
+
+    /// Encodes the SUMMARY payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::new();
+        put_uvarint(&mut b, self.committed);
+        put_uvarint(&mut b, self.cycles);
+        put_uvarint(&mut b, self.baseline_cycles);
+        b.extend_from_slice(&self.slowdown.to_bits().to_le_bytes());
+        put_uvarint(&mut b, self.packets);
+        put_uvarint(&mut b, self.unclaimed_packets);
+        put_uvarint(&mut b, self.bottlenecks.filter);
+        put_uvarint(&mut b, self.bottlenecks.mapper);
+        put_uvarint(&mut b, self.bottlenecks.cdc);
+        put_uvarint(&mut b, self.bottlenecks.ucore);
+        put_uvarint(&mut b, self.detections);
+        b
+    }
+
+    /// Decodes a SUMMARY payload.
+    ///
+    /// # Errors
+    ///
+    /// Any structural decode failure.
+    pub fn decode(payload: &[u8]) -> Result<Self, CodecError> {
+        let mut cur = Cursor::new(payload);
+        let committed = cur.uvarint("summary committed")?;
+        let cycles = cur.uvarint("summary cycles")?;
+        let baseline_cycles = cur.uvarint("summary baseline")?;
+        let slowdown = f64::from_bits(cur.u64le("summary slowdown")?);
+        let packets = cur.uvarint("summary packets")?;
+        let unclaimed_packets = cur.uvarint("summary unclaimed")?;
+        let bottlenecks = BottleneckBreakdown {
+            filter: cur.uvarint("summary filter stalls")?,
+            mapper: cur.uvarint("summary mapper stalls")?,
+            cdc: cur.uvarint("summary cdc stalls")?,
+            ucore: cur.uvarint("summary ucore stalls")?,
+        };
+        let detections = cur.uvarint("summary detections")?;
+        if !cur.is_empty() {
+            return Err(CodecError::Corrupt("trailing bytes after summary"));
+        }
+        Ok(Summary {
+            committed,
+            cycles,
+            baseline_cycles,
+            slowdown,
+            packets,
+            unclaimed_packets,
+            bottlenecks,
+            detections,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_config() -> SessionConfig {
+        SessionConfig {
+            workload: "dedup".into(),
+            seed: 9,
+            insts: 30_000,
+            baseline_cycles: 12_345,
+            kernels: vec![
+                (KernelKind::Asan, EngineConfig::Ucores(4)),
+                (KernelKind::ShadowStack, EngineConfig::Ha),
+            ],
+            model: ProgrammingModel::Hybrid,
+            filter_width: 4,
+            isax: IsaxMode::MaStage,
+            mapper_width: 1,
+        }
+    }
+
+    #[test]
+    fn hello_round_trips() {
+        let cfg = sample_config();
+        assert_eq!(SessionConfig::decode(&cfg.encode()).unwrap(), cfg);
+        cfg.validate().expect("sample config is valid");
+    }
+
+    #[test]
+    fn hello_decode_rejects_garbage() {
+        assert!(SessionConfig::decode(&[]).is_err());
+        assert!(SessionConfig::decode(&[0xFF; 64]).is_err());
+        let mut future = sample_config().encode();
+        future[0] = 9; // protocol version 9
+        assert!(matches!(
+            SessionConfig::decode(&future),
+            Err(CodecError::UnsupportedVersion(9))
+        ));
+    }
+
+    #[test]
+    fn validation_catches_structural_limits() {
+        let mut cfg = sample_config();
+        cfg.kernels.clear();
+        assert!(cfg.validate().is_err());
+        let mut cfg = sample_config();
+        cfg.kernels = vec![(KernelKind::Asan, EngineConfig::Ucores(17))];
+        assert!(cfg.validate().is_err());
+        let mut cfg = sample_config();
+        cfg.insts = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn alarms_round_trip() {
+        let ds = vec![
+            Detection {
+                seq: 7,
+                latency_ns: 123.456,
+                attack: true,
+                kernel_slot: 1,
+            },
+            Detection {
+                seq: 9_000_000,
+                latency_ns: 0.25,
+                attack: false,
+                kernel_slot: 0,
+            },
+        ];
+        let back = decode_alarms(&encode_alarms(&ds)).unwrap();
+        assert_eq!(back, ds);
+    }
+
+    #[test]
+    fn hostile_alarm_count_is_rejected_before_allocation() {
+        let mut b = Vec::new();
+        put_uvarint(&mut b, 1_000_000); // declares 1M alarms in a 3-byte payload
+        assert!(matches!(
+            decode_alarms(&b),
+            Err(CodecError::Corrupt("implausible alarm count"))
+        ));
+    }
+
+    #[test]
+    fn summary_round_trips_bit_exactly() {
+        let s = Summary {
+            committed: 30_000,
+            cycles: 41_234,
+            baseline_cycles: 40_000,
+            slowdown: 1.030_85,
+            packets: 12_000,
+            unclaimed_packets: 0,
+            bottlenecks: BottleneckBreakdown {
+                filter: 1,
+                mapper: 2,
+                cdc: 3,
+                ucore: 4,
+            },
+            detections: 17,
+        };
+        let back = Summary::decode(&s.encode()).unwrap();
+        assert_eq!(back.slowdown.to_bits(), s.slowdown.to_bits());
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn frames_round_trip_and_reject_oversize() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, HELLO, b"abc").unwrap();
+        write_frame(&mut buf, END, b"").unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap(), Some((HELLO, b"abc".to_vec())));
+        assert_eq!(read_frame(&mut r).unwrap(), Some((END, Vec::new())));
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+
+        let mut huge = vec![EVENTS];
+        put_uvarint(&mut huge, MAX_FRAME + 1);
+        assert!(matches!(
+            read_frame(&mut huge.as_slice()),
+            Err(CodecError::Oversized { .. })
+        ));
+    }
+}

@@ -1,0 +1,356 @@
+//! The threaded TCP service: accept loop, session worker pool, and the
+//! per-session analysis pipeline.
+//!
+//! # Session lifecycle
+//!
+//! ```text
+//! client                                server worker
+//!   ── HELLO {SessionConfig} ──────────▶  validate, build FireGuardSystem
+//!   ── EVENTS batch ───────────────────▶  decode → bounded event queue
+//!   ── EVENTS batch ───────────────────▶        │ (core pulls on demand)
+//!   ◀─────────────────────── ALARMS ──  periodic drain of kernel alarms
+//!   ── END ────────────────────────────▶  stream exhausts, backlog drains
+//!   ◀─────────────────────── SUMMARY ──  final RunResult scalars
+//! ```
+//!
+//! # Backpressure
+//!
+//! The analysis is *pull-driven*: the simulated core fetches events from a
+//! bounded per-session queue that is refilled one frame at a time from the
+//! socket. When analysis falls behind, the server simply stops reading, the
+//! kernel TCP window closes, and the client's sender blocks — commit-stage
+//! backpressure reproduced end-to-end over the wire. In the reverse
+//! direction, ALARMS writes block when a slow client stops reading
+//! responses, which stalls analysis and therefore also stops event intake;
+//! a slow reader throttles exactly its own session.
+
+use crate::proto::{
+    self, read_frame, write_frame, SessionConfig, Summary, ALARMS, END, ERROR, EVENTS, HELLO,
+    SUMMARY,
+};
+use fireguard_soc::{build_system, Detection};
+use fireguard_trace::codec::{EventDecoder, MAX_BATCH_EVENTS};
+use fireguard_trace::TraceInst;
+use std::collections::VecDeque;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How often (in fast cycles) a session drains kernel alarms into ALARMS
+/// frames. Small enough for online delivery, large enough to amortize the
+/// frame overhead.
+pub const OBSERVE_EVERY: u64 = 4096;
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Address to bind (e.g. `127.0.0.1:4780`; port 0 = ephemeral).
+    pub addr: String,
+    /// Session worker threads (concurrent sessions).
+    pub workers: usize,
+    /// Accept at most this many sessions, then stop (None = serve forever).
+    pub max_sessions: Option<u64>,
+    /// Alarm-drain period in fast cycles.
+    pub observe_every: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:4780".to_owned(),
+            workers: fireguard_soc::default_workers(),
+            max_sessions: None,
+            observe_every: OBSERVE_EVERY,
+        }
+    }
+}
+
+/// A running service: the accept thread plus its session worker pool.
+///
+/// Obtained from [`serve`]; the service runs until [`ServerHandle::join`]
+/// observes the session budget exhausting, or [`ServerHandle::shutdown`]
+/// is called.
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    sessions_served: Arc<AtomicU64>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The actual bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Sessions fully handled so far.
+    pub fn sessions_served(&self) -> u64 {
+        self.sessions_served.load(Ordering::Relaxed)
+    }
+
+    /// Blocks until the service stops accepting (session budget reached or
+    /// [`ServerHandle::shutdown`] from another handle clone-less context)
+    /// and every in-flight session finishes.
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// Requests a graceful stop (no new sessions; in-flight sessions
+    /// finish) and waits for it.
+    pub fn shutdown(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.join();
+    }
+}
+
+/// Binds `opts.addr` and spawns the accept loop plus `opts.workers`
+/// session workers — a hand-rolled pool in the style of
+/// [`fireguard_soc::sweep`], except the jobs are *live sessions* arriving
+/// over TCP rather than a pre-expanded grid.
+///
+/// # Errors
+///
+/// Propagates the bind failure.
+pub fn serve(opts: ServeOptions) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&opts.addr)?;
+    let local_addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let sessions_served = Arc::new(AtomicU64::new(0));
+    let workers = opts.workers.max(1);
+    // The connection queue is bounded at the worker count: when every
+    // worker is busy and the queue is full, accept itself back-pressures.
+    let (tx, rx) = mpsc::sync_channel::<TcpStream>(workers);
+    let rx = Arc::new(Mutex::new(rx));
+
+    let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+        .map(|_| {
+            let rx = Arc::clone(&rx);
+            let served = Arc::clone(&sessions_served);
+            let observe_every = opts.observe_every;
+            std::thread::spawn(move || loop {
+                let conn = { rx.lock().expect("queue lock never poisoned").recv() };
+                match conn {
+                    Ok(stream) => {
+                        handle_session(stream, observe_every);
+                        served.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(_) => break, // accept loop is gone: drain complete
+                }
+            })
+        })
+        .collect();
+
+    let accept = {
+        let stop = Arc::clone(&stop);
+        let max = opts.max_sessions;
+        std::thread::spawn(move || {
+            let mut accepted = 0u64;
+            loop {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                if let Some(max) = max {
+                    if accepted >= max {
+                        break;
+                    }
+                }
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        accepted += 1;
+                        if tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                }
+            }
+            // Dropping `tx` here lets the workers drain the queue and exit.
+        })
+    };
+
+    Ok(ServerHandle {
+        local_addr,
+        stop,
+        sessions_served,
+        accept: Some(accept),
+        workers: worker_handles,
+    })
+}
+
+/// The bounded, pull-driven event source for one session.
+///
+/// `next()` refills from the socket one EVENTS frame at a time, so the
+/// in-memory queue never exceeds one decoded batch ([`MAX_BATCH_EVENTS`]);
+/// everything further back sits in the kernel socket buffer or, once that
+/// fills, blocks the client — that *is* the backpressure.
+struct SocketEvents {
+    reader: BufReader<TcpStream>,
+    decoder: EventDecoder,
+    pending: VecDeque<TraceInst>,
+    done: bool,
+    error: Arc<Mutex<Option<String>>>,
+}
+
+impl SocketEvents {
+    fn fail(&mut self, msg: String) {
+        *self.error.lock().expect("error lock never poisoned") = Some(msg);
+        self.done = true;
+    }
+}
+
+impl Iterator for SocketEvents {
+    type Item = TraceInst;
+
+    fn next(&mut self) -> Option<TraceInst> {
+        loop {
+            if let Some(t) = self.pending.pop_front() {
+                return Some(t);
+            }
+            if self.done {
+                return None;
+            }
+            match read_frame(&mut self.reader) {
+                Ok(Some((EVENTS, payload))) => match self.decoder.decode_batch(&payload) {
+                    Ok(batch) => self.pending.extend(batch),
+                    Err(e) => self.fail(format!("bad EVENTS frame: {e}")),
+                },
+                Ok(Some((END, _))) => self.done = true,
+                Ok(Some((tag, _))) => self.fail(format!("unexpected frame tag {tag}")),
+                Ok(None) => self.fail("connection closed mid-stream".to_owned()),
+                Err(e) => self.fail(format!("frame error: {e}")),
+            }
+        }
+    }
+}
+
+fn send_error<W: Write>(w: &mut W, msg: &str) {
+    let _ = write_frame(w, ERROR, msg.as_bytes());
+    let _ = w.flush();
+}
+
+/// Runs one complete session on the calling worker thread. All failures
+/// are answered with a best-effort ERROR frame; none can take the service
+/// down.
+fn handle_session(stream: TcpStream, observe_every: u64) {
+    let _ = stream.set_nodelay(true);
+    // A wedged client (no frames, no close) must not pin a worker forever:
+    // any 30 s silence ends the session with an ERROR frame.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(_) => return,
+    };
+    let drain = stream.try_clone();
+    let mut writer = BufWriter::new(stream);
+    session_inner(reader, &mut writer, observe_every);
+    let _ = writer.flush();
+    // The session may not have consumed the client's whole stream (the
+    // capture margin past the commit target stays unread). Closing with
+    // unread bytes in the receive buffer raises an RST that can destroy
+    // the in-flight SUMMARY, so: half-close our write side (the client's
+    // next read sees clean EOF and closes), then drain the remaining
+    // client bytes to EOF. Bounded by the read timeout and a byte cap so
+    // a hostile trickler cannot hold the worker.
+    if let Ok(mut d) = drain {
+        let _ = d.shutdown(std::net::Shutdown::Write);
+        // The drain only has to outlive the client's close-after-SUMMARY;
+        // 5 s of silence means the peer is gone or hostile either way.
+        let _ = d.set_read_timeout(Some(Duration::from_secs(5)));
+        let mut buf = [0u8; 8192];
+        let mut budget: u64 = 64 << 20;
+        loop {
+            match std::io::Read::read(&mut d, &mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => {
+                    budget = budget.saturating_sub(n as u64);
+                    if budget == 0 {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn session_inner(
+    mut reader: BufReader<TcpStream>,
+    writer: &mut BufWriter<TcpStream>,
+    observe_every: u64,
+) {
+    let hello = match read_frame(&mut reader) {
+        Ok(Some((HELLO, payload))) => payload,
+        Ok(Some((tag, _))) => {
+            return send_error(writer, &format!("expected HELLO, got frame tag {tag}"));
+        }
+        Ok(None) => return,
+        Err(e) => return send_error(writer, &format!("bad first frame: {e}")),
+    };
+    let cfg = match SessionConfig::decode(&hello) {
+        Ok(cfg) => cfg,
+        Err(e) => return send_error(writer, &format!("bad HELLO: {e}")),
+    };
+    if let Err(msg) = cfg.validate() {
+        return send_error(writer, &format!("refused session: {msg}"));
+    }
+
+    let error = Arc::new(Mutex::new(None));
+    let events = SocketEvents {
+        reader,
+        decoder: EventDecoder::new(),
+        pending: VecDeque::with_capacity(MAX_BATCH_EVENTS as usize),
+        done: false,
+        error: Arc::clone(&error),
+    };
+
+    let exp = cfg.to_experiment();
+    let mut sys = build_system(&exp, Box::new(events));
+    let mut write_err = false;
+    let result = sys.run_insts_observed(
+        cfg.insts,
+        cfg.baseline_cycles,
+        observe_every,
+        &mut |batch: &[Detection]| {
+            if !write_err {
+                let ok = write_frame(writer, ALARMS, &proto::encode_alarms(batch))
+                    .and_then(|()| writer.flush())
+                    .is_ok();
+                write_err = !ok;
+            }
+        },
+    );
+
+    let stream_error = error.lock().expect("error lock never poisoned").take();
+    if let Some(msg) = stream_error {
+        // The stream broke before the commit target: report what we had,
+        // then the error, so the client knows the summary is partial.
+        let _ = write_frame(writer, SUMMARY, &Summary::from_result(&result).encode());
+        return send_error(writer, &format!("stream error: {msg}"));
+    }
+    if result.committed < cfg.insts {
+        // A clean END, but short of the negotiated commit budget: the
+        // summary is partial and the client must know.
+        let _ = write_frame(writer, SUMMARY, &Summary::from_result(&result).encode());
+        return send_error(
+            writer,
+            &format!(
+                "stream ended after {} of {} instructions",
+                result.committed, cfg.insts
+            ),
+        );
+    }
+    let _ = write_frame(writer, SUMMARY, &Summary::from_result(&result).encode());
+}

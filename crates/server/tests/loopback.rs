@@ -1,0 +1,204 @@
+//! End-to-end loopback tests: a live `fireguard-server` must report
+//! exactly what the equivalent offline `run_fireguard` run reports.
+
+use fireguard_server::{run_loadgen, run_session, serve, ClientError, ServeOptions, SessionConfig};
+use fireguard_soc::{baseline_cycles, capture_events, run_fireguard, ExperimentConfig, KernelKind};
+use fireguard_trace::{AttackKind, AttackPlan};
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+
+fn loopback_opts(workers: usize, max_sessions: Option<u64>) -> ServeOptions {
+    ServeOptions {
+        addr: "127.0.0.1:0".to_owned(),
+        workers,
+        max_sessions,
+        observe_every: 1024,
+    }
+}
+
+fn attack_experiment(insts: u64) -> ExperimentConfig {
+    let plan = AttackPlan::campaign(
+        &[AttackKind::RetHijack],
+        6,
+        insts / 10,
+        insts.saturating_sub(insts / 5),
+        3,
+    );
+    ExperimentConfig::new("ferret")
+        .kernel(KernelKind::ShadowStack, 4)
+        .insts(insts)
+        .attacks(plan)
+}
+
+#[test]
+fn served_session_matches_offline_run() {
+    let cfg = attack_experiment(12_000);
+    let offline = run_fireguard(&cfg);
+    let base = baseline_cycles(&cfg.workload, cfg.seed, cfg.insts);
+    let events = Arc::new(capture_events(&cfg));
+
+    let handle = serve(loopback_opts(2, None)).expect("bind loopback");
+    let addr = handle.local_addr().to_string();
+    let session = SessionConfig::from_experiment(&cfg, base);
+    let out = run_session(&addr, &session, Arc::clone(&events), 512).expect("session succeeds");
+    handle.shutdown();
+
+    // The wire adds transport, not semantics: every scalar matches the
+    // offline run, and the online alarms are the offline detections.
+    assert_eq!(out.summary.committed, offline.committed);
+    assert_eq!(out.summary.cycles, offline.cycles);
+    assert_eq!(out.summary.packets, offline.packets);
+    assert_eq!(out.summary.baseline_cycles, offline.baseline_cycles);
+    assert_eq!(out.summary.slowdown.to_bits(), offline.slowdown.to_bits());
+    assert_eq!(out.summary.detections as usize, offline.detections.len());
+    assert_eq!(out.alarms.len(), offline.detections.len());
+    assert!(!out.alarms.is_empty(), "the campaign raises alarms");
+
+    let mut served: Vec<(u64, u64)> = out
+        .alarms
+        .iter()
+        .map(|d| (d.seq, d.latency_ns.to_bits()))
+        .collect();
+    let mut off: Vec<(u64, u64)> = offline
+        .detections
+        .iter()
+        .map(|d| (d.seq, d.latency_ns.to_bits()))
+        .collect();
+    served.sort_unstable();
+    off.sort_unstable();
+    assert_eq!(served, off, "served alarms == offline detections");
+}
+
+#[test]
+fn concurrent_sessions_are_isolated_and_deterministic() {
+    let cfg = attack_experiment(5_000);
+    let base = baseline_cycles(&cfg.workload, cfg.seed, cfg.insts);
+    let events = Arc::new(capture_events(&cfg));
+    let session = SessionConfig::from_experiment(&cfg, base);
+
+    let handle = serve(loopback_opts(4, None)).expect("bind loopback");
+    let addr = handle.local_addr().to_string();
+
+    let outcomes: Vec<_> = (0..4)
+        .map(|_| {
+            let addr = addr.clone();
+            let session = session.clone();
+            let events = Arc::clone(&events);
+            std::thread::spawn(move || run_session(&addr, &session, events, 256))
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|h| h.join().expect("no panic").expect("session succeeds"))
+        .collect();
+    handle.shutdown();
+
+    let first = &outcomes[0].summary;
+    for o in &outcomes[1..] {
+        assert_eq!(o.summary, *first, "identical sessions, identical results");
+    }
+}
+
+#[test]
+fn loadgen_aggregates_across_sessions() {
+    let cfg = attack_experiment(4_000);
+    let base = baseline_cycles(&cfg.workload, cfg.seed, cfg.insts);
+    let events = Arc::new(capture_events(&cfg));
+    let session = SessionConfig::from_experiment(&cfg, base);
+
+    let handle = serve(loopback_opts(2, None)).expect("bind loopback");
+    let addr = handle.local_addr().to_string();
+    let agg = run_loadgen(&addr, &session, Arc::clone(&events), 4, 2, 512);
+    handle.shutdown();
+
+    assert_eq!(agg.ok_sessions, 4, "first error: {:?}", agg.first_error);
+    assert_eq!(agg.failed_sessions, 0);
+    assert_eq!(agg.events, 4 * events.len() as u64);
+    assert!(agg.committed >= 4 * 4_000);
+    assert!(agg.events_per_sec > 0.0);
+    assert!(agg.detections > 0);
+    assert!(agg.p99_latency_ns >= agg.p50_latency_ns);
+    assert!(agg.p50_latency_ns > 0.0);
+}
+
+#[test]
+fn malformed_hello_gets_an_error_frame_not_a_crash() {
+    let handle = serve(loopback_opts(1, None)).expect("bind loopback");
+    let addr = handle.local_addr();
+
+    // Garbage HELLO payload.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(&[fireguard_server::proto::HELLO, 4, 0xFF, 0xFF, 0xFF, 0xFF])
+        .unwrap();
+    s.flush().unwrap();
+    let frame = fireguard_server::proto::read_frame(&mut s).unwrap();
+    let (tag, msg) = frame.expect("server answers");
+    assert_eq!(tag, fireguard_server::proto::ERROR);
+    assert!(!msg.is_empty());
+    drop(s); // close promptly so the single worker is free again
+
+    // A structurally valid HELLO that violates provisioning limits.
+    let mut cfg = SessionConfig::from_experiment(
+        &ExperimentConfig::new("swaptions").kernel(KernelKind::Pmc, 4),
+        0,
+    );
+    cfg.kernels = vec![(KernelKind::Pmc, fireguard_soc::EngineConfig::Ucores(40))];
+    let mut s = TcpStream::connect(addr).unwrap();
+    fireguard_server::proto::write_frame(&mut s, fireguard_server::proto::HELLO, &cfg.encode())
+        .unwrap();
+    let (tag, msg) = fireguard_server::proto::read_frame(&mut s)
+        .unwrap()
+        .expect("server answers");
+    assert_eq!(tag, fireguard_server::proto::ERROR);
+    assert!(String::from_utf8_lossy(&msg).contains("refused"));
+    drop(s);
+
+    // The service is still alive after both abuses.
+    let exp = ExperimentConfig::new("swaptions")
+        .kernel(KernelKind::Pmc, 2)
+        .insts(3_000);
+    let events = Arc::new(capture_events(&exp));
+    let good = SessionConfig::from_experiment(&exp, 0);
+    let out = run_session(&addr.to_string(), &good, events, 512).expect("healthy session");
+    assert_eq!(out.summary.committed, 3_000);
+    handle.shutdown();
+}
+
+#[test]
+fn truncated_stream_yields_partial_summary_and_error() {
+    let handle = serve(loopback_opts(1, None)).expect("bind loopback");
+    let addr = handle.local_addr();
+
+    let exp = ExperimentConfig::new("swaptions")
+        .kernel(KernelKind::Pmc, 2)
+        .insts(50_000);
+    // Only 2 000 of the 50 000 committed instructions ever arrive, then
+    // the client ends the stream: the server must answer with a partial
+    // summary and an ERROR, not hang.
+    let events: Vec<_> = exp.trace().take(2_000).collect();
+    let session = SessionConfig::from_experiment(&exp, 0);
+    let err = run_session(&addr.to_string(), &session, Arc::new(events), 512)
+        .expect_err("partial stream is an error");
+    match err {
+        ClientError::Server(msg) => assert!(msg.contains("stream"), "got: {msg}"),
+        other => panic!("expected a server error, got {other:?}"),
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn max_sessions_budget_stops_the_service() {
+    let exp = ExperimentConfig::new("swaptions")
+        .kernel(KernelKind::Pmc, 2)
+        .insts(2_000);
+    let events = Arc::new(capture_events(&exp));
+    let session = SessionConfig::from_experiment(&exp, 0);
+
+    let handle = serve(loopback_opts(2, Some(2))).expect("bind loopback");
+    let addr = handle.local_addr().to_string();
+    for _ in 0..2 {
+        run_session(&addr, &session, Arc::clone(&events), 512).expect("session succeeds");
+    }
+    // The budget is spent: join returns on its own.
+    handle.join();
+}

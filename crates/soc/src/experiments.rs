@@ -107,13 +107,75 @@ impl ExperimentConfig {
             .unwrap_or_else(|| panic!("unknown workload {}", self.workload))
     }
 
-    fn trace(&self) -> Box<dyn Iterator<Item = fireguard_trace::TraceInst>> {
+    /// The in-process commit stream this configuration describes: the
+    /// seeded workload generator, wrapped with the attack campaign if one
+    /// is installed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload name is unknown.
+    pub fn trace(&self) -> Box<dyn Iterator<Item = fireguard_trace::TraceInst>> {
         let g = TraceGenerator::new(self.profile(), self.seed);
         match &self.attacks {
             Some(plan) => Box::new(AttackingTrace::new(g, plan.clone())),
             None => Box::new(g),
         }
     }
+}
+
+/// Events captured beyond the commit budget when recording a trace.
+///
+/// The core fetches ahead of commit; its in-flight window is bounded by the
+/// ROB (128), the fetch buffer (16) and one pending fetch, so a margin of
+/// 4096 guarantees a replayed finite trace never exposes its end to the
+/// core before the commit target is reached — which is what makes replay
+/// *byte-identical* to in-process generation, for any plausible core
+/// configuration.
+pub const REPLAY_MARGIN: u64 = 4096;
+
+/// Materializes the commit stream of `cfg` as a finite event vector sized
+/// for bit-exact replay (`cfg.insts + REPLAY_MARGIN` events).
+pub fn capture_events(cfg: &ExperimentConfig) -> Vec<fireguard_trace::TraceInst> {
+    cfg.trace()
+        .take((cfg.insts + REPLAY_MARGIN) as usize)
+        .collect()
+}
+
+/// Assembles a [`FireGuardSystem`] for `cfg` over an arbitrary commit
+/// stream (the in-process generator, a replayed recording, or a live
+/// network session). `cfg.attacks` is *not* applied here — an externally
+/// supplied stream already carries its injected attacks.
+pub fn build_system(
+    cfg: &ExperimentConfig,
+    trace: Box<dyn Iterator<Item = fireguard_trace::TraceInst>>,
+) -> FireGuardSystem {
+    let soc = SocConfig {
+        filter: fireguard_core::FilterConfig {
+            width: cfg.filter_width,
+            ..Default::default()
+        },
+        isax: cfg.isax,
+        model: cfg.model,
+        mapper_width: cfg.mapper_width,
+        ..SocConfig::default()
+    };
+    FireGuardSystem::new(soc, trace, &cfg.kernels)
+}
+
+/// Replays a pre-captured event stream through the system described by
+/// `cfg`, reporting against a pinned baseline cycle count (recorded in the
+/// `.fgt` header at capture time).
+///
+/// For events produced by [`capture_events`] with the same `cfg`, the
+/// result is byte-identical to [`run_fireguard`] — the determinism
+/// contract `fireguard trace record | replay` is built on.
+pub fn run_fireguard_events(
+    cfg: &ExperimentConfig,
+    events: Vec<fireguard_trace::TraceInst>,
+    baseline_cycles: u64,
+) -> RunResult {
+    let mut sys = build_system(cfg, Box::new(events.into_iter()));
+    sys.run_insts(cfg.insts, baseline_cycles)
 }
 
 /// Cycles the bare core (no FireGuard, no instrumentation) takes for the
@@ -130,17 +192,7 @@ pub fn baseline_cycles(workload: &str, seed: u64, insts: u64) -> u64 {
 /// bare-core baseline.
 pub fn run_fireguard(cfg: &ExperimentConfig) -> RunResult {
     let base = baseline_cycles(&cfg.workload, cfg.seed, cfg.insts);
-    let soc = SocConfig {
-        filter: fireguard_core::FilterConfig {
-            width: cfg.filter_width,
-            ..Default::default()
-        },
-        isax: cfg.isax,
-        model: cfg.model,
-        mapper_width: cfg.mapper_width,
-        ..SocConfig::default()
-    };
-    let mut sys = FireGuardSystem::new(soc, cfg.trace(), &cfg.kernels);
+    let mut sys = build_system(cfg, cfg.trace());
     sys.run_insts(cfg.insts, base)
 }
 
@@ -275,6 +327,71 @@ mod tests {
             "wide mapper ≈ no overhead: {:.3}",
             wide.slowdown
         );
+    }
+
+    #[test]
+    fn replay_of_captured_events_is_byte_identical() {
+        let plan = AttackPlan::campaign(
+            &[fireguard_trace::AttackKind::RetHijack],
+            5,
+            2_000,
+            18_000,
+            3,
+        );
+        let cfg = ExperimentConfig::new("ferret")
+            .kernel(KernelKind::ShadowStack, 4)
+            .insts(20_000)
+            .attacks(plan);
+        let offline = run_fireguard(&cfg);
+        let base = baseline_cycles(&cfg.workload, cfg.seed, cfg.insts);
+        let events = capture_events(&cfg);
+        assert_eq!(events.len() as u64, cfg.insts + crate::REPLAY_MARGIN);
+        let replayed = run_fireguard_events(&cfg, events, base);
+        assert_eq!(
+            format!("{offline:?}"),
+            format!("{replayed:?}"),
+            "replay must be byte-identical to in-process generation"
+        );
+        assert!(!offline.detections.is_empty(), "hijacks detected");
+    }
+
+    #[test]
+    fn observed_run_streams_every_detection_exactly_once() {
+        let plan = AttackPlan::campaign(
+            &[fireguard_trace::AttackKind::OutOfBounds],
+            8,
+            2_000,
+            25_000,
+            7,
+        );
+        let cfg = ExperimentConfig::new("dedup")
+            .kernel(KernelKind::Asan, 4)
+            .insts(30_000)
+            .attacks(plan);
+        let offline = run_fireguard(&cfg);
+        let base = baseline_cycles(&cfg.workload, cfg.seed, cfg.insts);
+        let mut sys = crate::build_system(&cfg, cfg.trace());
+        let mut streamed = Vec::new();
+        let result = sys.run_insts_observed(cfg.insts, base, 512, &mut |batch| {
+            streamed.extend_from_slice(batch);
+        });
+        assert_eq!(result.cycles, offline.cycles);
+        assert_eq!(result.packets, offline.packets);
+        assert_eq!(
+            streamed.len(),
+            offline.detections.len(),
+            "online observer sees exactly the offline detections"
+        );
+        assert_eq!(
+            result.detections.len(),
+            offline.detections.len(),
+            "the final result is complete regardless of draining"
+        );
+        let mut a: Vec<u64> = streamed.iter().map(|d| d.seq).collect();
+        let mut b: Vec<u64> = offline.detections.iter().map(|d| d.seq).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -41,7 +41,10 @@ pub mod reporter;
 pub mod sweep;
 pub mod system;
 
-pub use experiments::{baseline_cycles, run_fireguard, run_software, ExperimentConfig};
+pub use experiments::{
+    baseline_cycles, build_system, capture_events, run_fireguard, run_fireguard_events,
+    run_software, ExperimentConfig, REPLAY_MARGIN,
+};
 pub use report::{BottleneckBreakdown, Detection, RunResult};
 pub use reporter::{render, render_to_string, Block, Cell, Format, Report, Table};
 pub use sweep::{default_workers, run_jobs, JobOutput, JobSpec, SweepGrid, SweepPoint};

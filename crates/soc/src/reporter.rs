@@ -157,9 +157,10 @@ impl Report {
 }
 
 /// An output format for [`render`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Format {
     /// Fixed-width ASCII tables (the legacy binaries' output).
+    #[default]
     Human,
     /// One JSON object per line.
     Jsonl,

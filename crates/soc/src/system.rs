@@ -71,18 +71,23 @@ impl Default for SocConfig {
     }
 }
 
-// A system has at most a dozen engines, so the Ucore/Ha size gap is not
-// worth an allocation per engine.
-#[allow(clippy::large_enum_variant)]
+/// A µcore engine with its kernel backend, boxed as a unit: `Ucore` is far
+/// larger than `HardwareAccelerator`, and boxing keeps `Engine` small and
+/// cheap to move while a system is being assembled.
+struct UcoreEngine {
+    u: Ucore,
+    backend: EngineBackend,
+}
+
 enum Engine {
-    Ucore { u: Ucore, backend: EngineBackend },
+    Ucore(Box<UcoreEngine>),
     Ha(HardwareAccelerator),
 }
 
 impl Engine {
     fn queue_full(&self) -> bool {
         match self {
-            Engine::Ucore { u, .. } => u.input().is_full(),
+            Engine::Ucore(e) => e.u.input().is_full(),
             Engine::Ha(h) => h.is_full(),
         }
     }
@@ -208,6 +213,9 @@ pub struct FireGuardSystem {
     mesh: Mesh,
     pending_noc: BinaryHeap<Reverse<(u64, usize, u64)>>, // (deliver_at, engine, payload-lo)
     divider: ClockDivider,
+    /// Detections drained from the engines so far (see
+    /// [`FireGuardSystem::drain_detections`]).
+    detections: Vec<Detection>,
 }
 
 impl FireGuardSystem {
@@ -247,7 +255,7 @@ impl FireGuardSystem {
                             };
                             let u = Ucore::new(ucfg, g.program());
                             let backend = g.engine_backend();
-                            engines.push(Engine::Ucore { u, backend });
+                            engines.push(Engine::Ucore(Box::new(UcoreEngine { u, backend })));
                             engines.len() - 1
                         })
                         .collect()
@@ -288,6 +296,7 @@ impl FireGuardSystem {
             mesh,
             pending_noc: BinaryHeap::new(),
             divider,
+            detections: Vec::new(),
         }
     }
 
@@ -320,7 +329,7 @@ impl FireGuardSystem {
             // slow cycle); µcore message queues take the configured rate.
             let rate = match engine {
                 Engine::Ha(_) => self.cfg.multicast_rate.max(8),
-                Engine::Ucore { .. } => self.cfg.multicast_rate,
+                Engine::Ucore(_) => self.cfg.multicast_rate,
             };
             for _ in 0..rate {
                 if !engine.queue_free() {
@@ -332,8 +341,8 @@ impl FireGuardSystem {
                 let entry =
                     QueueEntry::with_meta(p.bits(), p.meta.seq, p.meta.commit_cycle, p.meta.attack);
                 match engine {
-                    Engine::Ucore { u, .. } => {
-                        u.input_mut().push(entry).expect("space checked");
+                    Engine::Ucore(e) => {
+                        e.u.input_mut().push(entry).expect("space checked");
                     }
                     Engine::Ha(h) => {
                         let _ = h.push(entry);
@@ -346,7 +355,7 @@ impl FireGuardSystem {
     fn step_engines(&mut self, slow: u64) {
         for engine in &mut self.engines {
             match engine {
-                Engine::Ucore { u, backend } => u.advance(slow + 1, backend),
+                Engine::Ucore(e) => e.u.advance(slow + 1, &mut e.backend),
                 Engine::Ha(h) => h.step(slow),
             }
         }
@@ -361,8 +370,8 @@ impl FireGuardSystem {
             }
             for (gi, &src) in group.iter().enumerate() {
                 let dst = group[(gi + 1) % group.len()];
-                if let Engine::Ucore { u, .. } = &mut self.engines[src] {
-                    while let Some(e) = u.output_mut().pop() {
+                if let Engine::Ucore(eng) = &mut self.engines[src] {
+                    while let Some(e) = eng.u.output_mut().pop() {
                         let t = self.mesh.send(
                             self.mesh.node_for_engine(src),
                             self.mesh.node_for_engine(dst),
@@ -379,8 +388,10 @@ impl FireGuardSystem {
                 break;
             }
             self.pending_noc.pop();
-            if let Engine::Ucore { u, .. } = &mut self.engines[dst] {
-                if u.input_mut()
+            if let Engine::Ucore(eng) = &mut self.engines[dst] {
+                if eng
+                    .u
+                    .input_mut()
                     .push(QueueEntry::from_bits(payload.into()))
                     .is_err()
                 {
@@ -395,9 +406,42 @@ impl FireGuardSystem {
     /// Runs until `n` instructions commit; returns the result against the
     /// provided baseline cycle count.
     pub fn run_insts(&mut self, n: u64, baseline_cycles: u64) -> RunResult {
+        // `u64::MAX` period = never drain mid-run, so the detection order in
+        // the result is engine-major, exactly as it has always been.
+        self.run_insts_observed(n, baseline_cycles, u64::MAX, &mut |_| {})
+    }
+
+    /// Runs until `n` instructions commit, delivering kernel detections to
+    /// `observer` *online*: every `observe_every` fast cycles the engines'
+    /// alarm queues are drained and any new [`Detection`]s are handed to
+    /// the observer in batch. This is how `fireguard-server` streams alarm
+    /// frames to a client while the session is still running.
+    ///
+    /// Draining alarms has no effect on the simulation itself, so the
+    /// returned [`RunResult`] is identical to [`FireGuardSystem::run_insts`]
+    /// except for the *order* of `detections` (time-bucketed rather than
+    /// engine-major). With `observe_every == u64::MAX` the two are
+    /// bit-identical.
+    pub fn run_insts_observed(
+        &mut self,
+        n: u64,
+        baseline_cycles: u64,
+        observe_every: u64,
+        observer: &mut dyn FnMut(&[Detection]),
+    ) -> RunResult {
         let target = n;
+        let observing = observe_every != u64::MAX;
+        let mut tick = 0u64;
         while self.core.stats().committed < target && !self.core.is_drained() {
             self.step();
+            tick += 1;
+            if observing && tick >= observe_every {
+                tick = 0;
+                let new = self.drain_detections();
+                if !new.is_empty() {
+                    observer(&new);
+                }
+            }
         }
         // Drain the analysis backlog so late detections are observed —
         // without advancing the main core (its cycle count is the result).
@@ -418,29 +462,37 @@ impl FireGuardSystem {
             }
             now += 1;
             if self.engines.iter().all(|e| match e {
-                Engine::Ucore { u, .. } => u.input().is_empty(),
+                Engine::Ucore(eng) => eng.u.input().is_empty(),
                 Engine::Ha(h) => h.occupancy() == 0,
             }) && !self.frontend.filter.arbiter_has_packet()
             {
                 break;
             }
         }
+        if observing {
+            let tail = self.drain_detections();
+            if !tail.is_empty() {
+                observer(&tail);
+            }
+        }
         self.collect(baseline_cycles)
     }
 
-    fn collect(&mut self, baseline_cycles: u64) -> RunResult {
-        let stats = self.core.stats().clone();
+    /// Drains the engines' alarm queues into [`Detection`]s, returning the
+    /// *new* detections since the previous drain. All drained detections
+    /// are also accumulated internally so the final [`RunResult`] is
+    /// complete regardless of how often this is called.
+    pub fn drain_detections(&mut self) -> Vec<Detection> {
         let ns_per_fast = self.cfg.boom.ns_per_cycle();
         let ratio = self.cfg.clock_ratio;
-        let mut detections = Vec::new();
-        for (kind_i, (_, vbit, group)) in self.kernel_groups.iter().enumerate() {
-            let _ = kind_i;
+        let mut new = Vec::new();
+        for (_, vbit, group) in &self.kernel_groups {
             for &e in group {
                 match &mut self.engines[e] {
-                    Engine::Ucore { u, .. } => {
-                        for a in u.take_alarms() {
+                    Engine::Ucore(eng) => {
+                        for a in eng.u.take_alarms() {
                             let fast_at = a.cycle * ratio;
-                            detections.push(Detection {
+                            new.push(Detection {
                                 seq: a.seq,
                                 latency_ns: (fast_at.saturating_sub(a.commit_cycle)) as f64
                                     * ns_per_fast,
@@ -452,7 +504,7 @@ impl FireGuardSystem {
                     Engine::Ha(h) => {
                         for d in h.take_detections() {
                             let fast_at = d.cycle * ratio;
-                            detections.push(Detection {
+                            new.push(Detection {
                                 seq: d.seq,
                                 latency_ns: (fast_at.saturating_sub(d.commit_cycle)) as f64
                                     * ns_per_fast,
@@ -464,6 +516,14 @@ impl FireGuardSystem {
                 }
             }
         }
+        self.detections.extend_from_slice(&new);
+        new
+    }
+
+    fn collect(&mut self, baseline_cycles: u64) -> RunResult {
+        let _ = self.drain_detections();
+        let detections = std::mem::take(&mut self.detections);
+        let stats = self.core.stats().clone();
         let cycles = stats.cycles;
         RunResult {
             committed: stats.committed,

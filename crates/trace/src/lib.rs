@@ -24,12 +24,14 @@
 //! ```
 
 pub mod attack;
+pub mod codec;
 pub mod event;
 pub mod gen;
 pub mod profile;
 pub mod rng;
 
 pub use attack::{AttackKind, AttackPlan, AttackingTrace};
+pub use codec::{read_trace, write_trace, CodecError, EventDecoder, EventEncoder, TraceMeta};
 pub use event::{ControlFlow, HeapEvent, TraceInst};
 pub use gen::TraceGenerator;
 pub use profile::{InstMix, WorkloadProfile, PARSEC_WORKLOADS};

@@ -25,6 +25,7 @@
 //! | [`core_`] | `fireguard-core` | **the paper's contribution**: DFC, filter, mapper |
 //! | [`kernels`] | `fireguard-kernels` | guardian kernels + software baselines |
 //! | [`soc`] | `fireguard-soc` | full-system integration + experiments |
+//! | [`server`] | `fireguard-server` | online streaming analysis service + trace replay clients |
 //! | [`area`] | `fireguard-area` | Table III / §IV-F area model |
 //!
 //! ## Quickstart
@@ -47,6 +48,7 @@ pub use fireguard_isa as isa;
 pub use fireguard_kernels as kernels;
 pub use fireguard_mem as mem;
 pub use fireguard_noc as noc;
+pub use fireguard_server as server;
 pub use fireguard_soc as soc;
 pub use fireguard_trace as trace;
 pub use fireguard_ucore as ucore;

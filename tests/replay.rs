@@ -1,0 +1,92 @@
+//! Golden replay-parity tests: for every workload profile, recording a
+//! trace through the `.fgt` codec and replaying it must produce a
+//! `RunResult` **byte-identical** to in-process generation — the
+//! determinism contract behind `fireguard trace record | replay` and the
+//! streaming service.
+//!
+//! The comparison goes through `Debug` formatting, which for `f64` prints
+//! the shortest round-trip representation: equal strings ⇔ equal bits for
+//! every scalar, including `slowdown` and each detection latency.
+
+use fireguard::soc::{
+    baseline_cycles, capture_events, run_fireguard, run_fireguard_events, ExperimentConfig,
+};
+use fireguard::trace::codec::{read_trace, write_trace, TraceMeta};
+use fireguard::trace::{AttackKind, AttackPlan};
+use fireguard_kernels::KernelKind;
+
+fn insts() -> u64 {
+    // FG_INSTS keeps this aligned with the CI smoke budget.
+    std::env::var("FG_INSTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_000)
+}
+
+/// Record → encode → decode → replay, asserting bit-exact equality with
+/// the equivalent in-process run.
+fn assert_replay_parity(cfg: &ExperimentConfig) {
+    let offline = run_fireguard(cfg);
+    let base = baseline_cycles(&cfg.workload, cfg.seed, cfg.insts);
+    let events = capture_events(cfg);
+    let meta = TraceMeta {
+        workload: cfg.workload.clone(),
+        seed: cfg.seed,
+        insts: cfg.insts,
+        baseline_cycles: base,
+        events: events.len() as u64,
+    };
+    // Round-trip through the codec, exactly as `trace record`/`replay` do.
+    let mut bytes = Vec::new();
+    write_trace(&mut bytes, &meta, &events).expect("encode");
+    let (meta2, events2) = read_trace(&mut bytes.as_slice()).expect("decode");
+    assert_eq!(meta2, meta);
+    assert_eq!(events2, events, "{}: codec round-trip", cfg.workload);
+
+    let replayed = run_fireguard_events(cfg, events2, meta2.baseline_cycles);
+    assert_eq!(
+        format!("{offline:?}"),
+        format!("{replayed:?}"),
+        "{}: replayed RunResult diverged from in-process generation",
+        cfg.workload
+    );
+}
+
+#[test]
+fn replay_parity_for_every_workload_profile() {
+    let n = insts();
+    for w in fireguard::soc::experiments::workloads() {
+        let cfg = ExperimentConfig::new(w)
+            .kernel(KernelKind::Asan, 4)
+            .insts(n);
+        assert_replay_parity(&cfg);
+    }
+}
+
+#[test]
+fn replay_parity_under_an_attack_campaign() {
+    let n = insts().max(2_000);
+    let plan = AttackPlan::campaign(
+        &[AttackKind::RetHijack, AttackKind::OutOfBounds],
+        6,
+        n / 10,
+        n - n / 5,
+        3,
+    );
+    let cfg = ExperimentConfig::new("ferret")
+        .kernel(KernelKind::ShadowStack, 2)
+        .kernel(KernelKind::Asan, 2)
+        .insts(n)
+        .attacks(plan);
+    assert_replay_parity(&cfg);
+}
+
+#[test]
+fn replay_parity_with_a_hardware_accelerator() {
+    let n = insts();
+    let cfg = ExperimentConfig::new("streamcluster")
+        .kernel_ha(KernelKind::ShadowStack)
+        .insts(n)
+        .mapper_width(2);
+    assert_replay_parity(&cfg);
+}
