@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod perf;
 
 /// Instructions for a smoke (`FG_QUICK`) run.
 pub const QUICK_INSTS: u64 = 30_000;

@@ -1,0 +1,40 @@
+//! The zero-alloc cycle-loop contract, enforced by `cargo test`.
+//!
+//! PR 4's hot-path overhaul made the steady-state simulation loop
+//! allocation-free: once a system is warm (ring buffers sized, caches and
+//! free lists populated), committing further instructions must not touch
+//! the heap. `fireguard bench` asserts this at runtime through its
+//! counting allocator; this test pins the same contract in the test
+//! suite, with the counting allocator installed as this binary's global
+//! allocator.
+
+use fireguard_bench::perf::{allocations, CountingAllocator, STEADY_STATE_ALLOC_BUDGET};
+use fireguard_soc::{build_system, ExperimentConfig, KernelKind};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+#[test]
+fn warm_cycle_loop_does_not_allocate() {
+    let insts = 20_000u64;
+    let cfg = ExperimentConfig::new("swaptions")
+        .kernel(KernelKind::Pmc, 4)
+        .insts(insts)
+        .seed(42);
+    let mut sys = build_system(&cfg, cfg.trace());
+    // Warm-up: queue growth, cache fills, allocator churn all happen here.
+    let _ = sys.run_insts(insts / 2, 0);
+
+    let before = allocations();
+    let r = sys.run_insts(insts, 0);
+    let allocs = allocations() - before;
+
+    assert!(r.committed >= insts, "run completed: {}", r.committed);
+    let per_event = allocs as f64 / (insts / 2) as f64;
+    assert!(
+        per_event <= STEADY_STATE_ALLOC_BUDGET,
+        "steady-state cycle loop allocated: {allocs} allocations over {} events \
+         ({per_event:.5}/event, budget {STEADY_STATE_ALLOC_BUDGET})",
+        insts / 2
+    );
+}

@@ -7,7 +7,7 @@ use fireguard_mem::{HierarchyConfig, TlbConfig};
 /// Defaults reproduce Table II of the paper: a 4-wide out-of-order core at
 /// 3.2 GHz with a 128-entry ROB, 96-entry issue queue, 32-entry LDQ/STQ and
 /// 128 integer + 128 FP physical registers.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct BoomConfig {
     /// Instructions fetched per cycle.
     pub fetch_width: usize,

@@ -32,15 +32,29 @@ enum EntryState {
     Executing,
 }
 
+/// Scan-hot projection of a `Waiting` ROB entry (see `Core::waiting_q`).
+///
+/// Dispatch runs *after* issue within a cycle, so an entry is always at
+/// least one cycle old by its first scan — no dispatch-cycle eligibility
+/// field is needed.
+#[derive(Debug, Clone, Copy)]
+struct WaitEntry {
+    /// All-time push position; `abs - pops` is the live ROB index.
+    abs: u64,
+    /// Renamed sources, as in `RobEntry::srcs`.
+    srcs: [Option<(bool, u16)>; 2],
+    /// Instruction class (functional-unit selection).
+    class: InstClass,
+}
+
 #[derive(Debug, Clone)]
 struct RobEntry {
     t: TraceInst,
     state: EntryState,
     ready_at: u64,
-    dispatched_at: u64,
-    /// Renamed sources: (is_fp, phys index).
-    srcs: [Option<(bool, u16)>; 2],
     /// Renamed destination and the mapping it replaced (freed at commit).
+    /// The renamed *sources* and dispatch cycle live in the issue stage's
+    /// compact `WaitEntry` instead — they are dead once an entry issues.
     dest: Option<(bool, u16)>,
     old_phys: Option<(bool, u16)>,
     mispredicted: bool,
@@ -72,6 +86,16 @@ pub struct Core<T> {
 
     rob: VecDeque<RobEntry>,
     iq_len: usize,
+    /// All-time count of entries popped off the ROB front; `abs - pops`
+    /// maps a stored absolute position back to a live ROB index.
+    pops: u64,
+    /// The `Waiting` entries, oldest first, with the scan-hot fields
+    /// copied inline (~24 bytes each). The issue stage walks this compact
+    /// array instead of scanning the whole ROB: the executing majority and
+    /// the 150-byte entries are never touched until something actually
+    /// issues, and in-place compaction keeps program order, so issue
+    /// decisions are identical to a full scan.
+    waiting_q: Vec<WaitEntry>,
     ldq_used: usize,
     stq_used: usize,
 
@@ -101,7 +125,7 @@ impl<T: Iterator<Item = TraceInst>> Core<T> {
         }
         Core {
             icache: Cache::new(fireguard_mem::CacheConfig::new(32 * 1024, 8, 64)),
-            dmem: MemoryHierarchy::new(cfg.dmem.clone()),
+            dmem: MemoryHierarchy::new(cfg.dmem),
             dtlb: Tlb::new(cfg.dtlb),
             cfg,
             trace,
@@ -121,6 +145,8 @@ impl<T: Iterator<Item = TraceInst>> Core<T> {
             ready_fp,
             rob: VecDeque::new(),
             iq_len: 0,
+            pops: 0,
+            waiting_q: Vec::new(),
             ldq_used: 0,
             stq_used: 0,
             stats: CoreStats::default(),
@@ -214,6 +240,7 @@ impl<T: Iterator<Item = TraceInst>> Core<T> {
                 break;
             }
             let head = self.rob.pop_front().expect("head exists");
+            self.pops += 1;
             if let Some((fp, old)) = head.old_phys {
                 if fp {
                     self.free_fp.push(old);
@@ -287,28 +314,42 @@ impl<T: Iterator<Item = TraceInst>> Core<T> {
         let mut int_ports = self.cfg.prf_read_ports.saturating_sub(ports_stolen);
         let mut port_conflict_seen = false;
 
-        for idx in 0..self.rob.len() {
+        // Walk only the waiting entries (oldest first — the same order the
+        // full ROB scan examined them), compacting the survivors in
+        // place. The compaction only writes once entries start shifting
+        // (after the first issue of the pass), and once the issue width
+        // is spent the unexamined tail shifts down in one bulk move —
+        // behaviourally identical to the old scan's early break.
+        let mut kept = 0usize;
+        macro_rules! keep {
+            ($w:expr, $cursor:expr) => {{
+                if kept != $cursor {
+                    self.waiting_q[kept] = $w;
+                }
+                kept += 1;
+                continue;
+            }};
+        }
+        for cursor in 0..self.waiting_q.len() {
             if issued == self.cfg.issue_width {
+                if kept != cursor {
+                    self.waiting_q.copy_within(cursor.., kept);
+                }
+                kept += self.waiting_q.len() - cursor;
                 break;
             }
-            let e = &self.rob[idx];
-            if e.state != EntryState::Waiting || e.dispatched_at >= self.now {
-                continue;
-            }
+            let w = self.waiting_q[cursor];
             // Operand readiness.
-            let ready = e.srcs.iter().flatten().all(|&(fp, p)| {
-                if fp {
-                    self.ready_fp[p as usize] <= self.now
-                } else {
-                    self.ready_int[p as usize] <= self.now
-                }
-            });
-            if !ready {
-                continue;
+            let src_ready = |s: Option<(bool, u16)>| match s {
+                None => true,
+                Some((true, p)) => self.ready_fp[p as usize] <= self.now,
+                Some((false, p)) => self.ready_int[p as usize] <= self.now,
+            };
+            if !(src_ready(w.srcs[0]) && src_ready(w.srcs[1])) {
+                keep!(w, cursor);
             }
             // Functional-unit availability.
-            let unit = match e.t.class {
-                InstClass::IntAlu | InstClass::Csr if e.t.class == InstClass::Csr => &mut csr,
+            let unit = match w.class {
                 InstClass::IntAlu => &mut alu,
                 InstClass::IntMul | InstClass::IntDiv | InstClass::FpAlu => &mut fpu,
                 InstClass::Load | InstClass::Store | InstClass::Amo => &mut mem,
@@ -321,19 +362,25 @@ impl<T: Iterator<Item = TraceInst>> Core<T> {
                 InstClass::Fence | InstClass::System => &mut alu,
             };
             if *unit == 0 {
-                continue;
+                keep!(w, cursor);
             }
+            let idx = (w.abs - self.pops) as usize;
+            debug_assert_eq!(
+                self.rob[idx].state,
+                EntryState::Waiting,
+                "waiting_q is in sync"
+            );
             // Integer PRF read ports (FireGuard can have stolen some). The
             // oldest instruction is exempt: the forwarding channel only ever
             // borrows a port for a single cycle, so the head can always
             // issue — this guarantees forward progress under any sink.
-            let int_reads = e.srcs.iter().flatten().filter(|&&(fp, _)| !fp).count();
+            let int_reads = w.srcs.iter().flatten().filter(|&&(fp, _)| !fp).count();
             if idx != 0 && int_reads > int_ports {
                 if ports_stolen > 0 && !port_conflict_seen {
                     self.stats.prf_port_conflicts += 1;
                     port_conflict_seen = true;
                 }
-                continue;
+                keep!(w, cursor);
             }
             *unit -= 1;
             int_ports = int_ports.saturating_sub(int_reads);
@@ -361,6 +408,7 @@ impl<T: Iterator<Item = TraceInst>> Core<T> {
                     .max(ready_at + self.cfg.redirect_penalty);
             }
         }
+        self.waiting_q.truncate(kept);
     }
 
     // ---- dispatch / rename -------------------------------------------------------
@@ -427,8 +475,9 @@ impl<T: Iterator<Item = TraceInst>> Core<T> {
                 }
             }
 
-            // All structural checks passed: consume and rename.
-            let t = self.fetch_buf.pop_front().expect("checked non-empty");
+            // All structural checks passed: consume and rename (reusing
+            // the copy peeked for the structural checks above).
+            self.fetch_buf.pop_front().expect("checked non-empty");
             let mut srcs: [Option<(bool, u16)>; 2] = [None, None];
             for (i, s) in t.inst.sources().into_iter().enumerate() {
                 if let Some(a) = s {
@@ -470,11 +519,14 @@ impl<T: Iterator<Item = TraceInst>> Core<T> {
                 t,
                 state: EntryState::Waiting,
                 ready_at: 0,
-                dispatched_at: self.now,
-                srcs,
                 dest,
                 old_phys,
                 mispredicted,
+            });
+            self.waiting_q.push(WaitEntry {
+                abs: self.pops + (self.rob.len() - 1) as u64,
+                srcs,
+                class: t.class,
             });
             self.iq_len += 1;
             dispatched += 1;

@@ -102,18 +102,34 @@ impl Tage {
         })
     }
 
-    /// Updates the predictor with the resolved outcome and advances history.
-    pub fn update(&mut self, pc: u64, taken: bool) {
+    /// Updates the predictor with the resolved outcome and advances
+    /// history; returns the direction it *would have predicted*, so
+    /// callers get prediction and training from one table walk.
+    pub fn update(&mut self, pc: u64, taken: bool) -> bool {
         self.predictions += 1;
-        let predicted = self.predict(pc);
+        // The history-folded index/tag pairs are pure functions of
+        // `(ghist, pc)`, both fixed for the whole update; hash once and
+        // share across prediction, provider update, and allocation (the
+        // old code re-derived them up to three times per branch).
+        let mut keys = [(0usize, 0u16); TAGE_HISTORIES.len()];
+        for (t, key) in keys.iter_mut().enumerate() {
+            *key = (self.index(pc, t), self.tag(pc, t));
+        }
+        let provider = (0..self.tables.len())
+            .rev()
+            .find(|&t| self.tables[t][keys[t].0].tag == keys[t].1);
+        let predicted = match provider {
+            Some(t) => self.tables[t][keys[t].0].ctr >= 0,
+            None => self.bimodal[self.bimodal_index(pc)] >= 0,
+        };
         let correct = predicted == taken;
         if !correct {
             self.mispredictions += 1;
         }
 
-        match self.provider(pc) {
-            Some((t, i)) => {
-                let e = &mut self.tables[t][i];
+        match provider {
+            Some(t) => {
+                let e = &mut self.tables[t][keys[t].0];
                 e.ctr = (e.ctr + if taken { 1 } else { -1 }).clamp(-4, 3);
                 if correct {
                     e.useful = (e.useful + 1).min(3);
@@ -122,7 +138,7 @@ impl Tage {
                 }
                 // Allocate in a longer table on a mispredict.
                 if !correct && t + 1 < self.tables.len() {
-                    self.allocate(pc, taken, t + 1);
+                    self.allocate(&keys, taken, t + 1);
                 }
             }
             None => {
@@ -130,20 +146,19 @@ impl Tage {
                 let c = &mut self.bimodal[bi];
                 *c = (*c + if taken { 1 } else { -1 }).clamp(-2, 1);
                 if !correct {
-                    self.allocate(pc, taken, 0);
+                    self.allocate(&keys, taken, 0);
                 }
             }
         }
 
         self.ghist = (self.ghist << 1) | u128::from(taken);
+        predicted
     }
 
-    fn allocate(&mut self, pc: u64, taken: bool, from: usize) {
+    fn allocate(&mut self, keys: &[(usize, u16); TAGE_HISTORIES.len()], taken: bool, from: usize) {
         self.alloc_tick = self.alloc_tick.wrapping_add(1);
         // Try tables from `from` upward; take the first non-useful slot.
-        for t in from..self.tables.len() {
-            let i = self.index(pc, t);
-            let tag = self.tag(pc, t);
+        for (t, &(i, tag)) in keys.iter().enumerate().skip(from) {
             let e = &mut self.tables[t][i];
             if e.useful == 0 {
                 *e = TageEntry {
@@ -156,8 +171,7 @@ impl Tage {
         }
         // All candidates useful: age one pseudo-randomly (deterministic).
         let t = from + (self.alloc_tick as usize % (self.tables.len() - from));
-        let i = self.index(pc, t);
-        let e = &mut self.tables[t][i];
+        let e = &mut self.tables[t][keys[t].0];
         e.useful = e.useful.saturating_sub(1);
     }
 
@@ -316,9 +330,9 @@ impl FrontendPredictor {
         let next_seq = pc + 4;
         match class {
             InstClass::Branch => {
-                let dir_pred = self.tage.predict(pc);
+                // One TAGE walk yields both the prediction and the update.
                 let target_known = self.btb.lookup(pc) == Some(target);
-                self.tage.update(pc, taken);
+                let dir_pred = self.tage.update(pc, taken);
                 if taken {
                     self.btb.update(pc, target);
                 }

@@ -77,6 +77,16 @@ pub struct Parsed {
     pub attack_seed: Option<u64>,
     /// `--batch N` events per frame (client / loadgen).
     pub batch: Option<usize>,
+    /// `--warmup N` untimed runs per bench scenario (bench).
+    pub warmup: Option<usize>,
+    /// `--samples N` timed runs per bench scenario (bench).
+    pub samples: Option<usize>,
+    /// `--scenario csv` bench scenario filter (bench).
+    pub scenarios: Option<String>,
+    /// `--baseline FILE`: embed this `BENCH_*.json`'s events/s (bench).
+    pub baseline: Option<String>,
+    /// `--check FILE`: fail on >10% events/s regression vs FILE (bench).
+    pub check: Option<String>,
     /// Canonical names of every flag that was actually set.
     used: Vec<&'static str>,
 }
@@ -91,16 +101,17 @@ const NAMED_COMMANDS: &[&str] = &[
     "serve",
     "client",
     "loadgen",
+    "bench",
     "trace record",
     "trace replay",
 ];
 
 /// Flag → the subcommands it applies to.
 const FLAG_SCOPES: &[(&str, &[&str])] = &[
-    ("--insts", &[FIG, "sweep", "trace record"]),
-    ("--seed", &[FIG, "sweep", "trace record"]),
-    ("--quick", &[FIG, "sweep", "trace record"]),
-    ("--jobs", &[FIG, "sweep", "loadgen"]),
+    ("--insts", &[FIG, "sweep", "trace record", "bench"]),
+    ("--seed", &[FIG, "sweep", "trace record", "bench"]),
+    ("--quick", &[FIG, "sweep", "trace record", "bench"]),
+    ("--jobs", &[FIG, "sweep", "loadgen", "bench"]),
     ("--workloads", &["sweep"]),
     ("--kernel", &["sweep", "trace replay", "client", "loadgen"]),
     ("--ucores", &["sweep", "trace replay", "client", "loadgen"]),
@@ -115,7 +126,7 @@ const FLAG_SCOPES: &[(&str, &[&str])] = &[
     ("--workers", &["serve"]),
     ("--max-sessions", &["serve"]),
     ("--sessions", &["loadgen"]),
-    ("--out", &["trace record"]),
+    ("--out", &["trace record", "bench"]),
     ("--trace", &["trace replay", "client", "loadgen"]),
     ("--workload", &["trace record"]),
     ("--attacks", &["trace record"]),
@@ -124,6 +135,11 @@ const FLAG_SCOPES: &[(&str, &[&str])] = &[
     ("--attack-end", &["trace record"]),
     ("--attack-seed", &["trace record"]),
     ("--batch", &["client", "loadgen"]),
+    ("--warmup", &["bench"]),
+    ("--samples", &["bench"]),
+    ("--scenario", &["bench"]),
+    ("--baseline", &["bench"]),
+    ("--check", &["bench"]),
     // --format applies everywhere.
 ];
 
@@ -317,6 +333,26 @@ fn apply_flag(p: &mut Parsed, name: &str, value: &str) -> Result<(), ArgError> {
         "--batch" => {
             p.batch = Some(positive(name, value)?);
             "--batch"
+        }
+        "--warmup" => {
+            p.warmup = Some(num(name, value)?);
+            "--warmup"
+        }
+        "--samples" => {
+            p.samples = Some(positive(name, value)?);
+            "--samples"
+        }
+        "--scenario" | "--scenarios" => {
+            p.scenarios = Some(value.to_owned());
+            "--scenario"
+        }
+        "--baseline" => {
+            p.baseline = Some(value.to_owned());
+            "--baseline"
+        }
+        "--check" => {
+            p.check = Some(value.to_owned());
+            "--check"
         }
         other => {
             return Err(ArgError::Bad(format!("unknown flag {other}")));

@@ -27,10 +27,17 @@ use fireguard_soc::{
 };
 
 mod args;
+mod bench_cmd;
 mod service_cmds;
 
 use args::{ArgError, Parsed};
 use service_cmds::{parse_kernel, parse_model};
+
+/// Count heap allocations binary-wide so `fireguard bench` can report
+/// allocs/event (one relaxed atomic add per allocation; see
+/// [`fireguard_bench::perf::CountingAllocator`]).
+#[global_allocator]
+static ALLOC: fireguard_bench::perf::CountingAllocator = fireguard_bench::perf::CountingAllocator;
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -68,6 +75,11 @@ fn run(argv: &[String]) -> i32 {
 
     if parsed.command == "serve" {
         return service_cmds::serve_cmd(&parsed);
+    }
+    if parsed.command == "bench" {
+        // bench renders its own report: it has side outputs (--out JSON)
+        // and a gate (--check) that must set the exit code after printing.
+        return bench_cmd::bench_cmd(&parsed);
     }
 
     let report = match parsed.command.as_str() {
@@ -137,6 +149,10 @@ const EXTRA_COMMANDS: &[(&str, &str)] = &[
     (
         "loadgen",
         "open N concurrent sessions, report throughput/latency",
+    ),
+    (
+        "bench",
+        "performance scenarios: events/s, allocs/event, regression gate",
     ),
 ];
 
@@ -268,6 +284,13 @@ fn sweep_report(p: &Parsed) -> Result<Report, String> {
         opts.insts,
         opts.seed
     ));
+    if p.format == Format::Jsonl {
+        // Machine-readable runs surface the worker count actually used
+        // (FG_JOBS / --jobs / available parallelism) so a 1-CPU container
+        // showing no --jobs speedup is self-documenting. Human/CSV output
+        // stays byte-identical across worker counts by design.
+        r.text(format!("workers={}", opts.workers));
+    }
     r.blank();
     let mut t = Table::new(&[
         ("workload", 14),
@@ -315,6 +338,7 @@ fn usage() -> String {
          \x20   serve            online streaming analysis service (TCP)\n\
          \x20   client           stream a .fgt recording to a running service\n\
          \x20   loadgen          open N concurrent sessions, report throughput/latency\n\
+         \x20   bench            performance scenarios: events/s, allocs/event, regression gate\n\
          \x20   list             list subcommands as a table (--format jsonl for tooling)\n\
          \x20   help             this message\n\
          \n\
@@ -345,6 +369,14 @@ fn usage() -> String {
          \x20   --sessions <N>          loadgen: total sessions (default 4)\n\
          \x20   --batch <N>             events per frame (default 512)\n\
          \x20   --mapper-width <N>      replay/client/loadgen mapper width\n\
+         \n\
+         BENCH FLAGS:\n\
+         \x20   --scenario <csv>        scenario filter (default: all; see bench output)\n\
+         \x20   --warmup <N>            untimed runs per scenario (default 1)\n\
+         \x20   --samples <N>           timed runs per scenario, best reported (default 3)\n\
+         \x20   --out <file>            write a BENCH_*.json machine-readable baseline\n\
+         \x20   --baseline <file>       embed a prior BENCH_*.json's events/s for speedups\n\
+         \x20   --check <file>          fail on >10% events/s regression vs <file>\n\
          \n\
          Replay/client/loadgen take one --kernel with --ucores <N> or --ha.\n\
          Output is byte-identical for any --jobs value; parallelism only\n\

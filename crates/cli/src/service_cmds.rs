@@ -372,6 +372,16 @@ pub fn loadgen_report(p: &Parsed) -> Result<Report, String> {
         ));
     }
     r.blank();
+    // Throughput cells shared with `fireguard bench` (same precision and
+    // units), so service and simulator numbers read identically.
+    let [eps, nspe] = fireguard_bench::perf::throughput_cells(
+        agg.events_per_sec,
+        if agg.events_per_sec > 0.0 {
+            1e9 / agg.events_per_sec
+        } else {
+            0.0
+        },
+    );
     let mut t = Table::new(&[
         ("sessions", 9),
         ("failed", 7),
@@ -379,6 +389,7 @@ pub fn loadgen_report(p: &Parsed) -> Result<Report, String> {
         ("committed", 11),
         ("wall_ms", 9),
         ("events/s", 12),
+        ("ns/event", 9),
         ("detections", 11),
         ("p50_ns", 9),
         ("p99_ns", 9),
@@ -392,10 +403,8 @@ pub fn loadgen_report(p: &Parsed) -> Result<Report, String> {
             v: agg.wall.as_secs_f64() * 1e3,
             prec: 1,
         },
-        Cell::Float {
-            v: agg.events_per_sec,
-            prec: 0,
-        },
+        eps,
+        nspe,
         Cell::Int(agg.detections as i64),
         if agg.detections == 0 {
             Cell::Missing

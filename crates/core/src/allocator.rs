@@ -94,6 +94,10 @@ pub struct AllocatorStats {
 pub struct Allocator {
     /// `SE_Bitmap` per GID: bit *k* activates SE *k*.
     se_bitmap: [u16; MAX_GIDS],
+    /// Per-GID union of every subscribed SE's engine set, precomputed at
+    /// subscription time: the mapper consults this every fast cycle for
+    /// its conservative CDC space check, so it must not walk the SEs.
+    candidates: [u16; MAX_GIDS],
     ses: Vec<SchedulingEngine>,
     stats: AllocatorStats,
 }
@@ -109,6 +113,7 @@ impl Allocator {
     pub fn new() -> Self {
         Allocator {
             se_bitmap: [0; MAX_GIDS],
+            candidates: [0; MAX_GIDS],
             ses: Vec::new(),
             stats: AllocatorStats::default(),
         }
@@ -130,6 +135,9 @@ impl Allocator {
     pub fn subscribe(&mut self, gid: Gid, se: usize) {
         assert!(se < self.ses.len(), "unknown SE");
         self.se_bitmap[gid.index()] |= 1 << se;
+        for &e in self.ses[se].engines() {
+            self.candidates[gid.index()] |= 1 << e;
+        }
     }
 
     /// Routes one packet of group `gid`: activates every interested SE,
@@ -158,17 +166,9 @@ impl Allocator {
 
     /// Union of the engines any SE interested in `gid` could pick — used
     /// by the mapper to check CDC space before consuming a packet.
+    /// Precomputed at subscription time (see [`Allocator::subscribe`]).
     pub fn candidate_engines(&self, gid: Gid) -> u16 {
-        let mask = self.se_bitmap[gid.index()];
-        let mut union = 0u16;
-        for (k, se) in self.ses.iter().enumerate() {
-            if mask & (1 << k) != 0 {
-                for &e in se.engines() {
-                    union |= 1 << e;
-                }
-            }
-        }
-        union
+        self.candidates[gid.index()]
     }
 
     /// Number of registered SEs.

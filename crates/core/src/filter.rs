@@ -9,7 +9,95 @@ use crate::minifilter::{DpSel, MiniFilter};
 use crate::packet::{Gid, Packet};
 use fireguard_isa::InstClass;
 use fireguard_trace::TraceInst;
-use std::collections::VecDeque;
+
+/// A fixed-capacity power-of-two ring buffer of [`Packet`]s.
+///
+/// The filter FIFOs are small (16 entries) and extremely hot — one push
+/// per commit slot, one pop per arbiter cycle — so the storage is a flat
+/// boxed slice indexed with a mask: no reallocation ever, no branchy
+/// wrap-around arithmetic, and the whole queue lives in two cache lines.
+/// A running count of *valid* packets makes `arbiter_has_packet` O(width)
+/// instead of an element scan.
+#[derive(Debug, Clone)]
+struct PacketRing {
+    buf: Box<[Packet]>,
+    mask: usize,
+    head: usize,
+    len: usize,
+    /// Valid (non-placeholder) packets currently buffered.
+    valid: usize,
+    /// Offset (from `head`) of the oldest valid packet, or `usize::MAX`
+    /// when none is buffered. Maintained incrementally so the arbiter's
+    /// per-cycle merge never rescans ring contents.
+    first_valid_off: usize,
+}
+
+impl PacketRing {
+    fn new(depth: usize) -> Self {
+        let cap = depth.next_power_of_two();
+        PacketRing {
+            buf: vec![Packet::placeholder(0, 0); cap].into_boxed_slice(),
+            mask: cap - 1,
+            head: 0,
+            len: 0,
+            valid: 0,
+            first_valid_off: usize::MAX,
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn front(&self) -> Option<&Packet> {
+        (self.len > 0).then(|| &self.buf[self.head & self.mask])
+    }
+
+    #[inline]
+    fn push_back(&mut self, p: Packet) {
+        debug_assert!(self.len <= self.mask, "ring capacity enforced by caller");
+        self.buf[(self.head + self.len) & self.mask] = p;
+        if p.valid {
+            self.valid += 1;
+            if self.first_valid_off == usize::MAX {
+                self.first_valid_off = self.len;
+            }
+        }
+        self.len += 1;
+    }
+
+    #[inline]
+    fn pop_front(&mut self) -> Option<Packet> {
+        if self.len == 0 {
+            return None;
+        }
+        let p = self.buf[self.head & self.mask];
+        self.head = self.head.wrapping_add(1);
+        self.len -= 1;
+        if p.valid {
+            self.valid -= 1;
+            // The popped packet was the oldest valid one; rescan for the
+            // next (amortised O(1): each slot is scanned at most once
+            // over its lifetime).
+            self.first_valid_off = (0..self.len)
+                .find(|&i| self.buf[(self.head + i) & self.mask].valid)
+                .unwrap_or(usize::MAX);
+        } else if self.first_valid_off != usize::MAX {
+            self.first_valid_off -= 1;
+        }
+        Some(p)
+    }
+
+    /// The oldest *valid* packet (the ring is commit-ordered, so this is
+    /// also its minimum-order valid packet), without consuming anything.
+    #[inline]
+    fn first_valid(&self) -> Option<&Packet> {
+        (self.first_valid_off != usize::MAX)
+            .then(|| &self.buf[(self.head + self.first_valid_off) & self.mask])
+    }
+}
 
 /// Event-filter geometry (Table II: 4-wide, 16-entry FIFOs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,7 +144,7 @@ pub struct EventFilter {
     /// The SRAM tables are programmed identically across mini-filters; the
     /// paper replicates one table per commit path so lookups are parallel.
     minifilter: MiniFilter,
-    fifos: Vec<VecDeque<Packet>>,
+    fifos: Vec<PacketRing>,
     /// Offers accepted in the current cycle (reset by [`EventFilter::step`]).
     offers_this_cycle: usize,
     /// PRF-selected commits in the previous cycle → ports preempted now.
@@ -76,7 +164,9 @@ impl EventFilter {
         assert!(cfg.width > 0 && cfg.fifo_depth > 0);
         EventFilter {
             minifilter: MiniFilter::new(),
-            fifos: (0..cfg.width).map(|_| VecDeque::new()).collect(),
+            fifos: (0..cfg.width)
+                .map(|_| PacketRing::new(cfg.fifo_depth))
+                .collect(),
             cfg,
             offers_this_cycle: 0,
             prf_selected_last_cycle: 0,
@@ -171,6 +261,32 @@ impl EventFilter {
         }
     }
 
+    /// Pops every placeholder ordered before the globally next valid
+    /// packet — exactly the set a popping arbiter would discard for free.
+    /// The mapper calls this once per arbiter cycle *before* peeking
+    /// (historically the squash lived inside a `&mut self` peek; keeping
+    /// it a separate mapper-clocked step lets peek be read-only without
+    /// changing when placeholders leave the FIFOs).
+    pub fn squash_placeholders(&mut self) {
+        // The squashable set is every placeholder ordered before the
+        // globally oldest valid packet (all of them, if none is valid).
+        // Each FIFO is commit-ordered, so that is a prefix per FIFO.
+        let min_valid = self
+            .fifos
+            .iter()
+            .filter_map(|f| f.first_valid().map(|p| p.order))
+            .min();
+        for f in &mut self.fifos {
+            while let Some(front) = f.front() {
+                debug_assert!(front.valid || min_valid != Some(front.order));
+                if front.valid || min_valid.is_some_and(|mv| front.order > mv) {
+                    break;
+                }
+                f.pop_front();
+            }
+        }
+    }
+
     /// PRF read ports the forwarding channel preempts at cycle `now` —
     /// one per PRF-selected commit in the previous cycle (Fig. 2 b–d).
     pub fn prf_ports_stolen(&mut self, now: u64) -> usize {
@@ -182,44 +298,40 @@ impl EventFilter {
     /// placeholders are skipped without consuming output cycles; at most
     /// one *valid* packet is returned per call (one per fast cycle).
     pub fn arbiter_pop(&mut self) -> Option<Packet> {
-        loop {
-            // The next packet in global order is the FIFO head with the
-            // smallest (commit cycle, slot) key.
-            let (idx, _) = self
-                .fifos
-                .iter()
-                .enumerate()
-                .filter_map(|(i, f)| f.front().map(|p| (i, p.order)))
-                .min_by_key(|&(_, order)| order)?;
-            let p = self.fifos[idx].pop_front().expect("head exists");
-            if p.valid {
-                return Some(p);
-            }
-            // Placeholders are squashed for free; keep scanning.
-        }
+        // Equivalent to repeatedly popping the minimum-order head and
+        // discarding placeholders: squash everything ordered before the
+        // oldest valid packet, which leaves that packet at the head of
+        // its FIFO, then pop it.
+        self.squash_placeholders();
+        let idx = self
+            .fifos
+            .iter()
+            .enumerate()
+            .filter_map(|(i, f)| f.first_valid().map(|p| (i, p.order)))
+            .min_by_key(|&(_, order)| order)?
+            .0;
+        let p = self.fifos[idx].pop_front().expect("first_valid at head");
+        debug_assert!(p.valid);
+        Some(p)
     }
 
-    /// Peeks the next in-order valid packet without consuming it (leading
-    /// placeholders are squashed). Pair with [`EventFilter::arbiter_pop`]
-    /// once downstream space is confirmed.
-    pub fn arbiter_peek(&mut self) -> Option<Packet> {
-        loop {
-            let (idx, _) = self
-                .fifos
-                .iter()
-                .enumerate()
-                .filter_map(|(i, f)| f.front().map(|p| (i, p.order)))
-                .min_by_key(|&(_, order)| order)?;
-            if self.fifos[idx].front().expect("head exists").valid {
-                return self.fifos[idx].front().copied();
-            }
-            self.fifos[idx].pop_front();
-        }
+    /// Peeks the next in-order valid packet without consuming it. Each
+    /// FIFO is commit-ordered, so the answer is the minimum-order head
+    /// among the per-FIFO first valid packets — a read-only index merge
+    /// (placeholder squashing happens in `roll_cycle`/`arbiter_pop`).
+    /// Pair with [`EventFilter::arbiter_pop`] once downstream space is
+    /// confirmed.
+    pub fn arbiter_peek(&self) -> Option<Packet> {
+        self.fifos
+            .iter()
+            .filter_map(PacketRing::first_valid)
+            .min_by_key(|p| p.order)
+            .copied()
     }
 
     /// Peeks whether a valid packet is available to the arbiter.
     pub fn arbiter_has_packet(&self) -> bool {
-        self.fifos.iter().any(|f| f.iter().any(|p| p.valid))
+        self.fifos.iter().any(|f| f.valid > 0)
     }
 
     /// True if any FIFO is at capacity (the Fig. 9 filter-bottleneck signal).

@@ -37,6 +37,12 @@ pub enum KernelSemantics {
         live: BTreeMap<u64, u64>,
         /// Poisoned freed regions: base → size.
         freed: BTreeMap<u64, u64>,
+        /// `[lo, hi)` bound over everything ever tracked (red zones
+        /// included). Never shrinks, so an address outside it provably
+        /// cannot match and the per-access tree walks are skipped — the
+        /// overwhelming majority of traffic is stack/global, far from
+        /// any heap allocation.
+        bounds: (u64, u64),
     },
     /// MineSweeper-style use-after-free detection: freed regions are
     /// quarantined; accesses into quarantine are violations; sweeps
@@ -44,6 +50,9 @@ pub enum KernelSemantics {
     Uaf {
         /// Quarantined regions: base → size.
         quarantine: BTreeMap<u64, u64>,
+        /// `[lo, hi)` bound over every region ever quarantined (never
+        /// shrinks); see the identical fast path in the ASan arm.
+        bounds: (u64, u64),
         /// Frees since the last sweep.
         frees_since_sweep: u64,
         /// Total sweeps performed.
@@ -70,6 +79,7 @@ impl KernelSemantics {
         KernelSemantics::Asan {
             live: BTreeMap::new(),
             freed: BTreeMap::new(),
+            bounds: (u64::MAX, 0),
         }
     }
 
@@ -77,6 +87,7 @@ impl KernelSemantics {
     pub fn uaf() -> Self {
         KernelSemantics::Uaf {
             quarantine: BTreeMap::new(),
+            bounds: (u64::MAX, 0),
             frees_since_sweep: 0,
             sweeps: 0,
         }
@@ -107,21 +118,32 @@ impl KernelSemantics {
                 }
                 _ => false,
             },
-            KernelSemantics::Asan { live, freed } => {
+            KernelSemantics::Asan {
+                live,
+                freed,
+                bounds,
+            } => {
                 match t.heap {
                     Some(HeapEvent::Malloc { base, size }) => {
                         live.insert(base, size);
                         freed.remove(&base);
+                        widen(bounds, base, size, REDZONE);
                         return false;
                     }
                     Some(HeapEvent::Free { base, size }) => {
                         live.remove(&base);
                         freed.insert(base, size);
+                        widen(bounds, base, size, REDZONE);
                         return false;
                     }
                     None => {}
                 }
                 let Some(a) = t.mem_addr else { return false };
+                // Outside everything ever allocated (red zones included)
+                // nothing can match: skip both tree walks.
+                if a < bounds.0 || a >= bounds.1 {
+                    return false;
+                }
                 // In a freed region?
                 if region_contains(freed, a, 0) {
                     return true;
@@ -138,12 +160,14 @@ impl KernelSemantics {
             }
             KernelSemantics::Uaf {
                 quarantine,
+                bounds,
                 frees_since_sweep,
                 sweeps,
             } => {
                 match t.heap {
                     Some(HeapEvent::Free { base, size }) => {
                         quarantine.insert(base, size);
+                        widen(bounds, base, size, 0);
                         *frees_since_sweep += 1;
                         if quarantine.len() > QUARANTINE_CAP {
                             // Sweep: release the oldest half.
@@ -167,8 +191,10 @@ impl KernelSemantics {
                     None => {}
                 }
                 match t.mem_addr {
-                    Some(a) => region_contains(quarantine, a, 0),
-                    None => false,
+                    // Addresses outside every region ever quarantined
+                    // cannot match; see the ASan arm's fast path.
+                    Some(a) if a >= bounds.0 && a < bounds.1 => region_contains(quarantine, a, 0),
+                    _ => false,
                 }
             }
         }
@@ -181,6 +207,15 @@ impl KernelSemantics {
             _ => 0,
         }
     }
+}
+
+/// Widens a `[lo, hi)` tracking bound to cover `[base - slack,
+/// base + size + slack)`.
+fn widen(bounds: &mut (u64, u64), base: u64, size: u64, slack: u64) {
+    bounds.0 = bounds.0.min(base.saturating_sub(slack));
+    bounds.1 = bounds
+        .1
+        .max(base.saturating_add(size).saturating_add(slack));
 }
 
 fn region_contains(map: &BTreeMap<u64, u64>, addr: u64, slack: u64) -> bool {

@@ -77,12 +77,43 @@ impl CacheStats {
     }
 }
 
+/// One tag-array entry, packed to 16 bytes: `tag << 2 | dirty << 1 |
+/// valid` plus the LRU stamp. The LLC model alone holds 64Ki lines, so
+/// halving the entry size halves the simulator's own cache pressure on
+/// every memory-access lookup.
 #[derive(Debug, Clone, Copy)]
 struct Line {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
+    tag_flags: u64,
     lru_stamp: u64,
+}
+
+impl Line {
+    const VALID: u64 = 1;
+    const DIRTY: u64 = 2;
+
+    #[inline]
+    fn new(tag: u64, dirty: bool, lru_stamp: u64) -> Line {
+        Line {
+            tag_flags: (tag << 2) | (u64::from(dirty) * Line::DIRTY) | Line::VALID,
+            lru_stamp,
+        }
+    }
+
+    #[inline]
+    fn valid(self) -> bool {
+        self.tag_flags & Line::VALID != 0
+    }
+
+    #[inline]
+    fn dirty(self) -> bool {
+        self.tag_flags & Line::DIRTY != 0
+    }
+
+    /// True when the line is valid and holds `tag`.
+    #[inline]
+    fn matches(self, tag: u64) -> bool {
+        self.tag_flags & !Line::DIRTY == (tag << 2) | Line::VALID
+    }
 }
 
 /// A set-associative, write-allocate, write-back cache with true LRU.
@@ -108,9 +139,7 @@ impl Cache {
             config,
             lines: vec![
                 Line {
-                    tag: 0,
-                    valid: false,
-                    dirty: false,
+                    tag_flags: 0,
                     lru_stamp: 0,
                 };
                 sets * config.ways
@@ -154,9 +183,9 @@ impl Cache {
         let base = set * self.config.ways;
         let ways = &mut self.lines[base..base + self.config.ways];
 
-        if let Some(line) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
+        if let Some(line) = ways.iter_mut().find(|l| l.matches(tag)) {
             line.lru_stamp = self.stamp;
-            line.dirty |= is_write;
+            line.tag_flags |= u64::from(is_write) * Line::DIRTY;
             self.stats.hits += 1;
             return true;
         }
@@ -165,17 +194,12 @@ impl Cache {
         // Victim: an invalid way if present, otherwise the least recently used.
         let victim = ways
             .iter_mut()
-            .min_by_key(|l| if l.valid { l.lru_stamp } else { 0 })
+            .min_by_key(|l| if l.valid() { l.lru_stamp } else { 0 })
             .expect("cache set has at least one way");
-        if victim.valid && victim.dirty {
+        if victim.valid() && victim.dirty() {
             self.stats.writebacks += 1;
         }
-        *victim = Line {
-            tag,
-            valid: true,
-            dirty: is_write,
-            lru_stamp: self.stamp,
-        };
+        *victim = Line::new(tag, is_write, self.stamp);
         false
     }
 
@@ -187,23 +211,18 @@ impl Cache {
         let tag = self.tag_of(addr);
         let base = set * self.config.ways;
         let ways = &mut self.lines[base..base + self.config.ways];
-        if let Some(line) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
+        if let Some(line) = ways.iter_mut().find(|l| l.matches(tag)) {
             line.lru_stamp = self.stamp;
             return;
         }
         let victim = ways
             .iter_mut()
-            .min_by_key(|l| if l.valid { l.lru_stamp } else { 0 })
+            .min_by_key(|l| if l.valid() { l.lru_stamp } else { 0 })
             .expect("cache set has at least one way");
-        if victim.valid && victim.dirty {
+        if victim.valid() && victim.dirty() {
             self.stats.writebacks += 1;
         }
-        *victim = Line {
-            tag,
-            valid: true,
-            dirty: false,
-            lru_stamp: self.stamp,
-        };
+        *victim = Line::new(tag, false, self.stamp);
     }
 
     /// Checks for presence without updating LRU or statistics.
@@ -213,14 +232,13 @@ impl Cache {
         let base = set * self.config.ways;
         self.lines[base..base + self.config.ways]
             .iter()
-            .any(|l| l.valid && l.tag == tag)
+            .any(|l| l.matches(tag))
     }
 
     /// Invalidates every line (e.g. context switch in failure-injection tests).
     pub fn flush(&mut self) {
         for l in &mut self.lines {
-            l.valid = false;
-            l.dirty = false;
+            l.tag_flags = 0;
         }
     }
 }

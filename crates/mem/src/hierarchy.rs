@@ -46,7 +46,7 @@ pub struct LatencyConfig {
 }
 
 /// Full hierarchy configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct HierarchyConfig {
     /// First-level cache geometry.
     pub l1: CacheConfig,

@@ -53,8 +53,11 @@ pub struct Mesh {
     /// `port_busy[router][dir]`: the cycle at which that output port frees.
     /// Directions: 0=east, 1=west, 2=north, 3=south, 4=local-eject.
     port_busy: Vec<[u64; 5]>,
-    /// Per source→destination pair, the last delivery time (per-flow FIFO).
-    last_delivery: std::collections::BTreeMap<(u16, u16), u64>,
+    /// Per source→destination pair, the last delivery time (per-flow
+    /// FIFO), as a flat `src * nodes + dst` table: mesh sizes are tiny
+    /// (≤16 engines), so a dense array beats a map on the routing path.
+    /// 0 means "never delivered" (deliveries are always ≥ 1).
+    last_delivery: Vec<u64>,
     stats: MeshStats,
 }
 
@@ -70,7 +73,10 @@ impl Mesh {
             w,
             h,
             port_busy: vec![[0; 5]; usize::from(w) * usize::from(h)],
-            last_delivery: std::collections::BTreeMap::new(),
+            last_delivery: vec![
+                0;
+                usize::from(w) * usize::from(h) * usize::from(w) * usize::from(h)
+            ],
             stats: MeshStats::default(),
         }
     }
@@ -147,10 +153,10 @@ impl Mesh {
         traverse(self, x, y, 4, &mut t);
 
         // Per-flow FIFO: a later send on the same flow never arrives earlier.
-        let flow = (src.0, dst.0);
-        let prev = self.last_delivery.get(&flow).copied().unwrap_or(0);
-        let t = t.max(prev + 1);
-        self.last_delivery.insert(flow, t);
+        let nodes = usize::from(self.w) * usize::from(self.h);
+        let flow = usize::from(src.0) * nodes + usize::from(dst.0);
+        let t = t.max(self.last_delivery[flow] + 1);
+        self.last_delivery[flow] = t;
 
         self.stats.packets += 1;
         self.stats.hops += hops;

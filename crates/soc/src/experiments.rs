@@ -180,12 +180,32 @@ pub fn run_fireguard_events(
 
 /// Cycles the bare core (no FireGuard, no instrumentation) takes for the
 /// workload — the slowdown denominator.
+///
+/// The result is a pure function of `(workload, seed, insts)` and every
+/// figure grid re-derives it for each of its jobs (fig7a asks for the
+/// same denominator ten times per workload), so it is memoized
+/// process-wide. The cache is transparent: hits return exactly the
+/// cycles a fresh simulation would.
 pub fn baseline_cycles(workload: &str, seed: u64, insts: u64) -> u64 {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    type BaselineCache = Mutex<HashMap<(String, u64, u64), u64>>;
+    static CACHE: OnceLock<BaselineCache> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let key = (workload.to_owned(), seed, insts);
+    if let Some(&cycles) = cache.lock().expect("baseline cache lock").get(&key) {
+        return cycles;
+    }
     let profile =
         WorkloadProfile::parsec(workload).unwrap_or_else(|| panic!("unknown workload {workload}"));
     let trace = TraceGenerator::new(profile, seed);
     let mut core = Core::new(BoomConfig::default(), trace);
-    core.run_insts(insts, &mut NullSink).cycles
+    let cycles = core.run_insts(insts, &mut NullSink).cycles;
+    cache
+        .lock()
+        .expect("baseline cache lock")
+        .insert(key, cycles);
+    cycles
 }
 
 /// Runs a full FireGuard system per `cfg` and reports against the matching

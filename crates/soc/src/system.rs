@@ -127,27 +127,32 @@ impl Frontend {
     }
 
     /// One mapper step: at most one packet from the arbiter through the
-    /// allocator into the destination CDC queues.
+    /// allocator into the destination CDC queues. Runs every fast cycle,
+    /// so it is allocation-free: the engine-occupancy mirror is borrowed
+    /// directly and the candidate/destination bitmaps are walked bitwise.
     fn step_mapper(&mut self, now: u64) {
+        self.filter.squash_placeholders();
         let Some(p) = self.filter.arbiter_peek() else {
             return;
         };
         // Conservative space check over every candidate engine.
-        let candidates = self.allocator.candidate_engines(p.gid);
-        for e in 0..self.cdcs.len() {
-            if candidates & (1 << e) != 0 && self.cdcs[e].is_full() {
+        let mut candidates = self.allocator.candidate_engines(p.gid);
+        while candidates != 0 {
+            let e = candidates.trailing_zeros() as usize;
+            if self.cdcs[e].is_full() {
                 return; // CDC back-pressure: leave the packet buffered
             }
+            candidates &= candidates - 1;
         }
-        let engine_free: Vec<bool> = self.engine_full.iter().map(|f| !f).collect();
-        let dest = self.allocator.route(p.gid, &|e| engine_free[e]);
+        let engine_full = &self.engine_full;
+        let mut dest = self.allocator.route(p.gid, &|e| !engine_full[e]);
         let p = self.filter.arbiter_pop().expect("peeked");
-        for e in 0..self.cdcs.len() {
-            if dest & (1 << e) != 0 {
-                self.cdcs[e]
-                    .push(p, now)
-                    .unwrap_or_else(|_| unreachable!("space checked above"));
-            }
+        while dest != 0 {
+            let e = dest.trailing_zeros() as usize;
+            self.cdcs[e]
+                .push(p, now)
+                .unwrap_or_else(|_| unreachable!("space checked above"));
+            dest &= dest - 1;
         }
     }
 
@@ -213,6 +218,19 @@ pub struct FireGuardSystem {
     mesh: Mesh,
     pending_noc: BinaryHeap<Reverse<(u64, usize, u64)>>, // (deliver_at, engine, payload-lo)
     divider: ClockDivider,
+    /// True while the whole FireGuard side is provably quiescent — no
+    /// packet buffered anywhere and every engine parked — so per-cycle
+    /// mapper/fabric/engine work can be skipped without changing any
+    /// observable timing (engines catch their clocks up on wake).
+    fg_idle: bool,
+    /// The last slow cycle whose fabric/engine work actually ran; a gap
+    /// means idle cycles were skipped and µcore clocks must catch up.
+    last_slow_processed: u64,
+    /// The engine-occupancy mirror is stale by design: policies at fast
+    /// cycle N see the queues as of the *previous* refresh, exactly like
+    /// the original end-of-cycle recomputation. Set at slow edges,
+    /// applied at the top of the next fast cycle.
+    refresh_pending: bool,
     /// Detections drained from the engines so far (see
     /// [`FireGuardSystem::drain_detections`]).
     detections: Vec<Detection>,
@@ -287,7 +305,7 @@ impl FireGuardSystem {
         let n_engines = engines.len();
         let frontend = Frontend::new(filter, allocator, semantics, cdcs, n_engines);
         FireGuardSystem {
-            core: Core::new(cfg.boom.clone(), trace),
+            core: Core::new(cfg.boom, trace),
             cfg,
             frontend,
             engines,
@@ -296,6 +314,9 @@ impl FireGuardSystem {
             mesh,
             pending_noc: BinaryHeap::new(),
             divider,
+            fg_idle: false,
+            last_slow_processed: u64::MAX,
+            refresh_pending: false,
             detections: Vec::new(),
         }
     }
@@ -303,6 +324,36 @@ impl FireGuardSystem {
     /// One fast-domain cycle of the whole system.
     pub fn step(&mut self) {
         let now = self.core.now();
+        self.tick_fireguard(now);
+        // Main core cycle (commit drives the frontend).
+        self.core.step(&mut self.frontend);
+        // A committed instruction may have produced the first packet of a
+        // busy phase: leave idle mode before the next mapper cycle.
+        if self.fg_idle && self.frontend.filter.arbiter_has_packet() {
+            self.fg_idle = false;
+        }
+    }
+
+    /// The FireGuard-side work of one fast cycle: occupancy refresh,
+    /// mapper steps, and (on slow-domain edges) fabric + engines. Skipped
+    /// wholesale while the system is provably idle.
+    fn tick_fireguard(&mut self, now: u64) {
+        // Apply the occupancy mirror refresh scheduled by the previous
+        // slow edge (equivalent to the original end-of-cycle refresh).
+        if self.refresh_pending {
+            self.refresh_pending = false;
+            for (i, e) in self.engines.iter().enumerate() {
+                self.frontend.engine_full[i] = e.queue_full();
+            }
+        }
+        if self.fg_idle {
+            // Placeholders still stream in from unmonitored commits; the
+            // arbiter keeps discarding them (as the mapper's peek always
+            // did) so they never back-pressure the commit stage. Valid
+            // packets cannot appear without first leaving idle mode.
+            self.frontend.filter.squash_placeholders();
+            return;
+        }
         // Mapper: one packet per fast cycle (the paper's scalar mapper), or
         // several under the footnote-5 superscalar extension.
         for _ in 0..self.cfg.mapper_width {
@@ -311,16 +362,47 @@ impl FireGuardSystem {
         // Slow-domain edge: multicast delivery, engines, NoC.
         if self.divider.is_slow_edge(now) {
             let slow = self.divider.slow_cycle(now);
-            self.deliver(slow);
-            self.step_engines(slow);
-            self.route_noc(slow);
+            self.slow_edge(slow);
         }
-        // Main core cycle (commit drives the frontend).
-        self.core.step(&mut self.frontend);
-        // Refresh the occupancy mirrors used by policies and attribution.
-        for (i, e) in self.engines.iter().enumerate() {
-            self.frontend.engine_full[i] = e.queue_full();
+    }
+
+    /// One slow-domain edge: catch up skipped µcore clocks, deliver,
+    /// advance engines, route the NoC, then schedule the occupancy
+    /// refresh and re-evaluate idleness.
+    fn slow_edge(&mut self, slow: u64) {
+        if self.last_slow_processed.wrapping_add(1) != slow {
+            // Edges were skipped while idle: parked µcores bulk-account
+            // the missed cycles so their clocks read exactly as if every
+            // edge had advanced them individually.
+            for engine in &mut self.engines {
+                if let Engine::Ucore(e) = engine {
+                    e.u.advance(slow, &mut e.backend);
+                }
+            }
         }
+        self.last_slow_processed = slow;
+        self.deliver(slow);
+        self.step_engines(slow);
+        self.route_noc(slow);
+        self.refresh_pending = true;
+        self.fg_idle = self.all_quiet();
+    }
+
+    /// True when no packet is buffered anywhere in the FireGuard side and
+    /// every engine is parked (or drained, for HAs): until the commit
+    /// stream produces another packet, every skipped cycle is a no-op.
+    fn all_quiet(&self) -> bool {
+        !self.frontend.filter.arbiter_has_packet()
+            && self.pending_noc.is_empty()
+            && self.frontend.cdcs.iter().all(|c| c.is_empty())
+            && self.engines.iter().all(|e| match e {
+                Engine::Ucore(eng) => {
+                    eng.u.input().is_empty()
+                        && eng.u.output().is_empty()
+                        && eng.u.parked_on_empty_input()
+                }
+                Engine::Ha(h) => h.occupancy() == 0,
+            })
     }
 
     fn deliver(&mut self, slow: u64) {
@@ -448,18 +530,7 @@ impl FireGuardSystem {
         let mut now = self.core.now();
         let drain_until = now + 50_000;
         while now < drain_until {
-            for _ in 0..self.cfg.mapper_width {
-                self.frontend.step_mapper(now);
-            }
-            if self.divider.is_slow_edge(now) {
-                let slow = self.divider.slow_cycle(now);
-                self.deliver(slow);
-                self.step_engines(slow);
-                self.route_noc(slow);
-            }
-            for (i, e) in self.engines.iter().enumerate() {
-                self.frontend.engine_full[i] = e.queue_full();
-            }
+            self.tick_fireguard(now);
             now += 1;
             if self.engines.iter().all(|e| match e {
                 Engine::Ucore(eng) => eng.u.input().is_empty(),

@@ -110,6 +110,10 @@ pub struct TraceGenerator {
     hot_lines: VecDeque<u64>,
     stream_cursor: u64,
     live_allocs: Vec<Allocation>,
+    /// Minimum `free_at` across `live_allocs` (`u64::MAX` when empty):
+    /// the per-instruction "is any free due?" check is one compare
+    /// instead of a scan of every live allocation.
+    next_free_at: u64,
     recently_freed: VecDeque<(u64, u64)>,
     heap_cursor: u64,
     pending_attacks: VecDeque<AttackGroundTruth>,
@@ -225,6 +229,7 @@ impl TraceGenerator {
             hot_lines: VecDeque::with_capacity(4096),
             stream_cursor: 0,
             live_allocs: Vec::new(),
+            next_free_at: u64::MAX,
             recently_freed: VecDeque::with_capacity(32),
             heap_cursor: HEAP_BASE,
             pending_attacks: VecDeque::new(),
@@ -360,20 +365,35 @@ impl TraceGenerator {
         if self.heap_cursor > HEAP_BASE + (512 << 20) {
             self.heap_cursor = HEAP_BASE;
         }
+        let free_at = self.seq + lifetime;
         self.live_allocs.push(Allocation {
             base,
             size,
-            free_at: self.seq + lifetime,
+            free_at,
         });
+        self.next_free_at = self.next_free_at.min(free_at);
         HeapEvent::Malloc { base, size }
     }
 
     fn due_free(&mut self) -> Option<HeapEvent> {
+        // Fast path: nothing can be due before the earliest deadline, so
+        // the common case never scans the live-allocation table. When a
+        // free *is* due the original first-match scan runs unchanged (the
+        // selection order is part of the deterministic trace contract).
+        if self.seq < self.next_free_at {
+            return None;
+        }
         let idx = self
             .live_allocs
             .iter()
             .position(|a| a.free_at <= self.seq)?;
         let a = self.live_allocs.swap_remove(idx);
+        self.next_free_at = self
+            .live_allocs
+            .iter()
+            .map(|a| a.free_at)
+            .min()
+            .unwrap_or(u64::MAX);
         if self.recently_freed.len() == 32 {
             self.recently_freed.pop_back();
         }

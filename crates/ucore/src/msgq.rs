@@ -1,7 +1,5 @@
 //! Message queues connecting the fabric to a µcore (Table II: 32 entries).
 
-use std::collections::VecDeque;
-
 /// One 128-bit queue entry plus simulator-side metadata.
 ///
 /// The bit layout is defined by FireGuard's packet encapsulation (the
@@ -65,7 +63,12 @@ impl QueueEntry {
 /// ```
 #[derive(Debug, Clone)]
 pub struct MessageQueue {
-    items: VecDeque<QueueEntry>,
+    /// Fixed power-of-two ring storage: sized once at construction, masked
+    /// indexing, no reallocation on the per-packet hot path.
+    items: Box<[QueueEntry]>,
+    mask: usize,
+    head: usize,
+    len: usize,
     capacity: usize,
     /// Cumulative count of refused pushes (queue full) — back-pressure.
     refused: u64,
@@ -93,8 +96,12 @@ impl MessageQueue {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0);
+        let cap = capacity.next_power_of_two();
         MessageQueue {
-            items: VecDeque::with_capacity(capacity),
+            items: vec![QueueEntry::default(); cap].into_boxed_slice(),
+            mask: cap - 1,
+            head: 0,
+            len: 0,
             capacity,
             refused: 0,
             peak: 0,
@@ -108,38 +115,45 @@ impl MessageQueue {
     /// Returns [`QueueFull`] (containing the entry) when at capacity; the
     /// caller is expected to back-pressure and retry.
     pub fn push(&mut self, e: QueueEntry) -> Result<(), QueueFull> {
-        if self.items.len() == self.capacity {
+        if self.len == self.capacity {
             self.refused += 1;
             return Err(QueueFull(e));
         }
-        self.items.push_back(e);
-        self.peak = self.peak.max(self.items.len());
+        self.items[(self.head + self.len) & self.mask] = e;
+        self.len += 1;
+        self.peak = self.peak.max(self.len);
         Ok(())
     }
 
     /// Removes and returns the head entry.
     pub fn pop(&mut self) -> Option<QueueEntry> {
-        self.items.pop_front()
+        if self.len == 0 {
+            return None;
+        }
+        let e = self.items[self.head & self.mask];
+        self.head = self.head.wrapping_add(1);
+        self.len -= 1;
+        Some(e)
     }
 
     /// The head entry without removal.
     pub fn top(&self) -> Option<&QueueEntry> {
-        self.items.front()
+        (self.len > 0).then(|| &self.items[self.head & self.mask])
     }
 
     /// Current occupancy (the Table I `count` instruction).
     pub fn len(&self) -> usize {
-        self.items.len()
+        self.len
     }
 
     /// True when empty.
     pub fn is_empty(&self) -> bool {
-        self.items.is_empty()
+        self.len == 0
     }
 
     /// True when at capacity (drives back-pressure and Fig. 9's metric).
     pub fn is_full(&self) -> bool {
-        self.items.len() == self.capacity
+        self.len == self.capacity
     }
 
     /// Capacity.

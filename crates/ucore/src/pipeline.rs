@@ -33,7 +33,7 @@ pub enum IsaxMode {
 
 /// µcore configuration (Table II: in-order Rocket, 5-stage, 1.6 GHz,
 /// 32-entry message queues, 4 KB 2-way caches, no FPU).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct UcoreConfig {
     /// ISAX interface placement.
     pub isax_mode: IsaxMode,
@@ -109,6 +109,11 @@ pub struct Ucore {
     dtlb: Tlb,
     input: MessageQueue,
     output: MessageQueue,
+    /// Why the last `advance` attempt made no progress (None after any
+    /// retired instruction). `BlockReason::EmptyInput` + a still-empty
+    /// input queue means the µcore is *parked*: advancing it is pure idle
+    /// accounting, which the SoC's idle fast-forward exploits.
+    blocked: Option<BlockReason>,
     last_popped: QueueEntry,
     alarms: Vec<Alarm>,
     stats: UcoreStats,
@@ -118,7 +123,7 @@ impl Ucore {
     /// Builds a µcore running `program`.
     pub fn new(cfg: UcoreConfig, program: UProgram) -> Self {
         Ucore {
-            dmem: MemoryHierarchy::new(cfg.mem.clone()),
+            dmem: MemoryHierarchy::new(cfg.mem),
             dtlb: Tlb::new(cfg.tlb),
             input: MessageQueue::new(cfg.input_capacity),
             output: MessageQueue::new(cfg.output_capacity),
@@ -129,6 +134,7 @@ impl Ucore {
             pc: 0,
             cycle: 0,
             halted: false,
+            blocked: None,
             last_popped: QueueEntry::default(),
             alarms: Vec::new(),
             stats: UcoreStats::default(),
@@ -148,6 +154,11 @@ impl Ucore {
     /// The output message queue (inter-checker packets leave here).
     pub fn output_mut(&mut self) -> &mut MessageQueue {
         &mut self.output
+    }
+
+    /// Read-only view of the output queue.
+    pub fn output(&self) -> &MessageQueue {
+        &self.output
     }
 
     /// Current local (1.6 GHz) cycle.
@@ -203,6 +214,16 @@ impl Ucore {
     /// pops/tops and full output pushes; the surrounding SoC delivers and
     /// drains packets between calls.
     pub fn advance(&mut self, until: u64, backend: &mut dyn KernelBackend) {
+        // Parked fast path: the µcore is stalled on an empty input queue
+        // and nothing has been delivered since — the whole advance is
+        // idle accounting, no instruction needs re-decoding.
+        if self.blocked == Some(BlockReason::EmptyInput) && self.input.is_empty() {
+            if self.cycle < until {
+                self.stats.idle_cycles += until - self.cycle;
+                self.cycle = until;
+            }
+            return;
+        }
         while !self.halted && self.cycle < until {
             let Some(&inst) = self.program.get(self.pc) else {
                 self.halted = true;
@@ -212,13 +233,26 @@ impl Ucore {
                 Progress::Retired(next_pc) => {
                     self.pc = next_pc;
                     self.stats.retired += 1;
+                    self.blocked = None;
                 }
                 Progress::Blocked => {
+                    self.blocked = Some(match inst {
+                        UInst::QPush { .. } => BlockReason::FullOutput,
+                        _ => BlockReason::EmptyInput,
+                    });
                     self.stats.idle_cycles += until - self.cycle;
                     self.cycle = until;
                 }
             }
         }
+    }
+
+    /// True while the µcore is provably stalled on an empty input queue:
+    /// its next instruction is a blocked queue read and no packet has
+    /// arrived since. Advancing a parked µcore only accrues idle cycles,
+    /// so the SoC may skip (and later batch) those calls.
+    pub fn parked_on_empty_input(&self) -> bool {
+        self.halted || (self.blocked == Some(BlockReason::EmptyInput) && self.input.is_empty())
     }
 
     fn execute(&mut self, inst: UInst, until: u64, backend: &mut dyn KernelBackend) -> Progress {
@@ -429,6 +463,15 @@ impl Ucore {
             Progress::Retired(next)
         }
     }
+}
+
+/// What stalled a µcore (see `Ucore::blocked`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BlockReason {
+    /// A `QPop`/`QTop` found the input queue empty.
+    EmptyInput,
+    /// A `QPush` found the output queue full.
+    FullOutput,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

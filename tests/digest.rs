@@ -1,0 +1,102 @@
+//! Packet-stream digest golden test: the determinism contract as one
+//! cheap check.
+//!
+//! For every PARSEC workload profile we push 2 000 trace instructions
+//! through an [`EventFilter`] programmed with all four guardian kernels'
+//! subscriptions, pop the arbiter dry each commit cycle, and fold every
+//! valid packet's 128-bit payload (plus its group index) into an FNV-1a
+//! digest. The digests below were pinned *before* the PR-4 hot-path
+//! refactor (ring-buffer FIFOs, index-based commit-order merge); any
+//! change to packet content, commit-order re-serialisation, or the
+//! placeholder-squashing rules flips a digest and fails loudly — without
+//! running a full end-to-end simulation per kernel.
+
+use fireguard::core_::{EventFilter, FilterConfig};
+use fireguard::kernels::KernelKind;
+use fireguard::trace::{TraceGenerator, WorkloadProfile, PARSEC_WORKLOADS};
+
+/// Instructions per workload (matches the CI smoke budget `FG_INSTS=2000`).
+const INSTS: u64 = 2_000;
+/// Commit width used to assign slots/cycles (Table II: 4-wide BOOM).
+const WIDTH: u64 = 4;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(digest: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *digest ^= u64::from(b);
+        *digest = digest.wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// The digest of the arbiter's output stream for one seeded workload.
+fn packet_stream_digest(workload: &str) -> u64 {
+    let mut filter = EventFilter::new(FilterConfig::default());
+    for kind in [
+        KernelKind::Pmc,
+        KernelKind::ShadowStack,
+        KernelKind::Asan,
+        KernelKind::Uaf,
+    ] {
+        for (class, gid, dp) in kind.subscriptions() {
+            filter.subscribe(class, gid, dp);
+        }
+    }
+    let profile = WorkloadProfile::parsec(workload).expect("known workload");
+    let gen = TraceGenerator::new(profile, 42);
+
+    let mut digest = FNV_OFFSET;
+    let mut packets = 0u64;
+    for t in gen.take(INSTS as usize) {
+        let cycle = 1 + t.seq / WIDTH;
+        let slot = (t.seq % WIDTH) as usize;
+        assert!(
+            filter.offer(cycle, slot, &t),
+            "{workload}: a drained 4-wide filter never refuses a 4-wide burst"
+        );
+        if slot as u64 == WIDTH - 1 {
+            while let Some(p) = filter.arbiter_pop() {
+                fnv1a(&mut digest, &p.bits().to_le_bytes());
+                fnv1a(&mut digest, &[p.gid.value()]);
+                packets += 1;
+            }
+        }
+    }
+    while let Some(p) = filter.arbiter_pop() {
+        fnv1a(&mut digest, &p.bits().to_le_bytes());
+        fnv1a(&mut digest, &[p.gid.value()]);
+        packets += 1;
+    }
+    assert!(
+        packets > INSTS / 10,
+        "{workload}: implausibly few packets ({packets})"
+    );
+    digest
+}
+
+/// Pinned 2026-07-30 from the pre-PR-4 arbiter (VecDeque FIFOs, mutable
+/// peek). The post-refactor ring-buffer arbiter must reproduce every value.
+const GOLDEN_DIGESTS: &[(&str, u64)] = &[
+    ("blackscholes", 0xde3f_e88d_6060_8877),
+    ("bodytrack", 0xf994_49b9_847e_aa8a),
+    ("dedup", 0x0bb1_f7ce_c793_8619),
+    ("ferret", 0x1abe_3cbf_a41f_abe3),
+    ("fluidanimate", 0x6876_c090_b6ea_02aa),
+    ("freqmine", 0x0dbc_15a1_1ff8_9219),
+    ("streamcluster", 0xa163_5a65_a2c3_125c),
+    ("swaptions", 0xcb83_43f1_86f7_d78a),
+    ("x264", 0x2ab1_078e_70b4_302f),
+];
+
+#[test]
+fn packet_stream_digests_are_pinned_for_all_workloads() {
+    assert_eq!(GOLDEN_DIGESTS.len(), PARSEC_WORKLOADS.len());
+    for (workload, expected) in GOLDEN_DIGESTS {
+        let got = packet_stream_digest(workload);
+        assert_eq!(
+            got, *expected,
+            "{workload}: packet stream digest drifted (got {got:#018x})"
+        );
+    }
+}
