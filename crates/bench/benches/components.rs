@@ -8,7 +8,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use fireguard_boom::{BoomConfig, Core, NullSink};
 use fireguard_core::{groups, DpSel, EventFilter, FilterConfig};
 use fireguard_isa::InstClass;
-use fireguard_kernels::{KernelKind, ProgrammingModel};
+use fireguard_kernels::{KernelId, ProgrammingModel};
 use fireguard_noc::Mesh;
 use fireguard_soc::{run_fireguard, ExperimentConfig};
 use fireguard_trace::{TraceGenerator, WorkloadProfile};
@@ -63,11 +63,8 @@ fn bench_boom_ipc(c: &mut Criterion) {
 fn bench_ucore_kernel(c: &mut Criterion) {
     c.bench_function("ucore_asan_1k_packets", |b| {
         b.iter(|| {
-            let k = fireguard_kernels::GuardianKernel::new(
-                KernelKind::Asan,
-                0,
-                ProgrammingModel::Hybrid,
-            );
+            let k =
+                fireguard_kernels::GuardianKernel::new(KernelId::ASAN, 0, ProgrammingModel::Hybrid);
             let mut u = Ucore::new(UcoreConfig::default(), k.program());
             let mut be = k.engine_backend();
             let mut done = 0u64;
@@ -79,7 +76,7 @@ fn bench_ucore_kernel(c: &mut Criterion) {
                         .push(QueueEntry::from_bits((done as u128) << 6));
                 }
                 t += 64;
-                u.advance(t, &mut be);
+                u.advance(t, be.as_mut());
                 done = u.stats().packets;
             }
             black_box(u.now())
@@ -154,7 +151,7 @@ fn bench_end_to_end(c: &mut Criterion) {
     g.bench_function("fireguard_asan_4u_10k_insts", |b| {
         b.iter(|| {
             let cfg = ExperimentConfig::new("swaptions")
-                .kernel(KernelKind::Asan, 4)
+                .kernel(KernelId::ASAN, 4)
                 .insts(10_000);
             black_box(run_fireguard(&cfg).cycles)
         })

@@ -11,14 +11,20 @@
 
 use fireguard_boom::BoomConfig;
 use fireguard_core::FilterConfig;
-use fireguard_kernels::KernelKind::{Asan, Pmc, ShadowStack, Uaf};
-use fireguard_kernels::{KernelKind, ProgrammingModel, SoftwareScheme};
+use fireguard_kernels::{KernelId, ProgrammingModel, SoftwareScheme};
 use fireguard_soc::experiments::workloads;
 use fireguard_soc::report::{geomean, percentile};
 use fireguard_soc::sweep::{run_jobs, JobOutput, JobSpec};
 use fireguard_soc::{Cell, ExperimentConfig, Report, RunResult, Table};
 use fireguard_trace::{AttackKind, AttackPlan};
 use fireguard_ucore::{IsaxMode, UcoreConfig};
+
+// The paper's four kernels, as registry ids (local aliases keep the
+// figure grids readable).
+const PMC: KernelId = KernelId::PMC;
+const SHADOW_STACK: KernelId = KernelId::SHADOW_STACK;
+const ASAN: KernelId = KernelId::ASAN;
+const UAF: KernelId = KernelId::UAF;
 
 /// Options shared by every figure driver.
 #[derive(Debug, Clone)]
@@ -144,7 +150,7 @@ pub fn run_bin(bin: &str) {
         .expect("writing the report to stdout failed");
 }
 
-fn fg(o: &FigOpts, w: &str, kind: KernelKind, ucores: usize) -> JobSpec {
+fn fg(o: &FigOpts, w: &str, kind: KernelId, ucores: usize) -> JobSpec {
     JobSpec::FireGuard(
         ExperimentConfig::new(w)
             .kernel(kind, ucores)
@@ -153,7 +159,7 @@ fn fg(o: &FigOpts, w: &str, kind: KernelKind, ucores: usize) -> JobSpec {
     )
 }
 
-fn ha(o: &FigOpts, w: &str, kind: KernelKind) -> JobSpec {
+fn ha(o: &FigOpts, w: &str, kind: KernelId) -> JobSpec {
     JobSpec::FireGuard(
         ExperimentConfig::new(w)
             .kernel_ha(kind)
@@ -177,15 +183,15 @@ fn fig7a(o: &FigOpts) -> Report {
     let mut jobs = Vec::new();
     for &w in &ws {
         jobs.extend([
-            fg(o, w, Pmc, 4),
-            ha(o, w, Pmc),
-            fg(o, w, ShadowStack, 4),
-            ha(o, w, ShadowStack),
+            fg(o, w, PMC, 4),
+            ha(o, w, PMC),
+            fg(o, w, SHADOW_STACK, 4),
+            ha(o, w, SHADOW_STACK),
             sw(o, w, SoftwareScheme::ShadowStackAArch64),
-            fg(o, w, Asan, 4),
+            fg(o, w, ASAN, 4),
             sw(o, w, SoftwareScheme::AsanAArch64),
             sw(o, w, SoftwareScheme::AsanX86),
-            fg(o, w, Uaf, 4),
+            fg(o, w, UAF, 4),
             sw(o, w, SoftwareScheme::DangSanX86),
         ]);
     }
@@ -229,20 +235,20 @@ fn fig7a(o: &FigOpts) -> Report {
 
 /// Figure 7(b): combining safeguards — the dominant kernel dominates.
 fn fig7b(o: &FigOpts) -> Report {
-    type Combo = (&'static str, &'static [(KernelKind, bool)]);
+    type Combo = (&'static str, &'static [(KernelId, bool)]);
     const COMBOS: &[Combo] = &[
-        ("SS+PMC", &[(ShadowStack, false), (Pmc, false)]),
-        ("AS+PMC", &[(Asan, false), (Pmc, false)]),
-        ("UaF+PMC", &[(Uaf, false), (Pmc, false)]),
-        ("UaF+AS", &[(Uaf, false), (Asan, false)]),
-        ("SS+AS", &[(ShadowStack, false), (Asan, false)]),
+        ("SS+PMC", &[(SHADOW_STACK, false), (PMC, false)]),
+        ("AS+PMC", &[(ASAN, false), (PMC, false)]),
+        ("UaF+PMC", &[(UAF, false), (PMC, false)]),
+        ("UaF+AS", &[(UAF, false), (ASAN, false)]),
+        ("SS+AS", &[(SHADOW_STACK, false), (ASAN, false)]),
         (
             "SS+PMC+AS",
-            &[(ShadowStack, true), (Pmc, false), (Asan, false)],
+            &[(SHADOW_STACK, true), (PMC, false), (ASAN, false)],
         ),
         (
             "SS+PMC+UaF",
-            &[(ShadowStack, true), (Pmc, false), (Uaf, false)],
+            &[(SHADOW_STACK, true), (PMC, false), (UAF, false)],
         ),
     ];
     let ws = workloads();
@@ -282,10 +288,10 @@ fn fig7b(o: &FigOpts) -> Report {
 fn fig8(o: &FigOpts) -> Report {
     let n = o.insts;
     let kernels = [
-        (ShadowStack, AttackKind::RetHijack, "Shadow"),
-        (Asan, AttackKind::OutOfBounds, "Sanitizer"),
-        (Uaf, AttackKind::UseAfterFree, "UaF"),
-        (Pmc, AttackKind::BoundsViolation, "PMC"),
+        (SHADOW_STACK, AttackKind::RetHijack, "Shadow"),
+        (ASAN, AttackKind::OutOfBounds, "Sanitizer"),
+        (UAF, AttackKind::UseAfterFree, "UaF"),
+        (PMC, AttackKind::BoundsViolation, "PMC"),
     ];
     let ws = workloads();
     let mut jobs = Vec::new();
@@ -356,7 +362,7 @@ fn fig9(o: &FigOpts) -> Report {
         for &w in &ws {
             jobs.push(JobSpec::FireGuard(
                 ExperimentConfig::new(w)
-                    .kernel(Asan, 4)
+                    .kernel(ASAN, 4)
                     .filter_width(width)
                     .insts(o.insts)
                     .seed(o.seed),
@@ -430,12 +436,12 @@ fn fig9(o: &FigOpts) -> Report {
 
 /// Figure 10: slowdown vs number of µcores, one panel per kernel.
 fn fig10(o: &FigOpts) -> Report {
-    type Panel = (KernelKind, &'static str, &'static [usize]);
+    type Panel = (KernelId, &'static str, &'static [usize]);
     const PANELS: [Panel; 4] = [
-        (Pmc, "(a) PMC", &[2, 4, 6]),
-        (ShadowStack, "(b) Shadow Stack", &[2, 4, 6]),
-        (Asan, "(c) Address Sanitizer", &[2, 4, 6, 8, 12]),
-        (Uaf, "(d) Use-After-Free", &[2, 4, 6, 8, 12]),
+        (PMC, "(a) PMC", &[2, 4, 6]),
+        (SHADOW_STACK, "(b) Shadow Stack", &[2, 4, 6]),
+        (ASAN, "(c) Address Sanitizer", &[2, 4, 6, 8, 12]),
+        (UAF, "(d) Use-After-Free", &[2, 4, 6, 8, 12]),
     ];
     let ws = workloads();
     // One flat batch across all four panels maximises pool utilisation.
@@ -487,7 +493,7 @@ fn fig11(o: &FigOpts) -> Report {
         for &m in ProgrammingModel::ALL.iter() {
             jobs.push(JobSpec::FireGuard(
                 ExperimentConfig::new(w)
-                    .kernel(Pmc, 4)
+                    .kernel(PMC, 4)
                     .model(m)
                     .insts(o.insts)
                     .seed(o.seed),
@@ -663,7 +669,7 @@ fn isax_ablation(o: &FigOpts) -> Report {
         for &w in &ws {
             jobs.push(JobSpec::FireGuard(
                 ExperimentConfig::new(w)
-                    .kernel(Asan, 4)
+                    .kernel(ASAN, 4)
                     .isax(mode)
                     .insts(o.insts)
                     .seed(o.seed),
@@ -696,7 +702,7 @@ fn mapper_ablation(o: &FigOpts) -> Report {
         for &w in &ws {
             jobs.push(JobSpec::FireGuard(
                 ExperimentConfig::new(w)
-                    .kernel_ha(Pmc)
+                    .kernel_ha(PMC)
                     .mapper_width(width)
                     .insts(o.insts)
                     .seed(o.seed),

@@ -25,7 +25,7 @@
 
 use crate::figures::{find, FigOpts};
 use fireguard_soc::{
-    build_system, capture_events, Cell, ExperimentConfig, KernelKind, Report, Table,
+    build_system, capture_events, Cell, ExperimentConfig, KernelId, Report, Table,
 };
 use fireguard_trace::codec;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -187,6 +187,16 @@ pub const SCENARIOS: &[Scenario] = &[
         run: bench_e2e_pmc_ha,
     },
     Scenario {
+        name: "e2e-taint",
+        summary: "one full system: dedup, DIFT taint tracker on 4 ucores",
+        run: bench_e2e_taint,
+    },
+    Scenario {
+        name: "e2e-mte",
+        summary: "one full system: dedup, MTE lock-and-key on 4 ucores",
+        run: bench_e2e_mte,
+    },
+    Scenario {
         name: "steady-state",
         summary: "warm cycle loop (swaptions, PMC x 4u); must not allocate",
         run: bench_steady_state,
@@ -267,7 +277,7 @@ fn bench_e2e_asan(o: &PerfOpts) -> ScenarioResult {
         "e2e-asan",
         o,
         ExperimentConfig::new("dedup")
-            .kernel(KernelKind::Asan, 4)
+            .kernel(KernelId::ASAN, 4)
             .insts(o.insts)
             .seed(o.seed),
     )
@@ -278,7 +288,29 @@ fn bench_e2e_pmc_ha(o: &PerfOpts) -> ScenarioResult {
         "e2e-pmc-ha",
         o,
         ExperimentConfig::new("x264")
-            .kernel_ha(KernelKind::Pmc)
+            .kernel_ha(KernelId::PMC)
+            .insts(o.insts)
+            .seed(o.seed),
+    )
+}
+
+fn bench_e2e_taint(o: &PerfOpts) -> ScenarioResult {
+    e2e(
+        "e2e-taint",
+        o,
+        ExperimentConfig::new("dedup")
+            .kernel(KernelId::TAINT, 4)
+            .insts(o.insts)
+            .seed(o.seed),
+    )
+}
+
+fn bench_e2e_mte(o: &PerfOpts) -> ScenarioResult {
+    e2e(
+        "e2e-mte",
+        o,
+        ExperimentConfig::new("dedup")
+            .kernel(KernelId::MTE, 4)
             .insts(o.insts)
             .seed(o.seed),
     )
@@ -290,7 +322,7 @@ fn bench_steady_state(o: &PerfOpts) -> ScenarioResult {
     // then time a continued run. This is the region the zero-alloc
     // contract covers.
     let cfg = ExperimentConfig::new("swaptions")
-        .kernel(KernelKind::Pmc, 4)
+        .kernel(KernelId::PMC, 4)
         .insts(o.insts)
         .seed(o.seed);
     let mut sys = build_system(&cfg, cfg.trace());
@@ -395,7 +427,7 @@ fn bench_codec(o: &PerfOpts) -> ScenarioResult {
 fn bench_loopback(o: &PerfOpts) -> ScenarioResult {
     use fireguard_server::{run_session, serve, ServeOptions, SessionConfig};
     let cfg = ExperimentConfig::new("swaptions")
-        .kernel(KernelKind::Pmc, 4)
+        .kernel(KernelId::PMC, 4)
         .insts(o.insts)
         .seed(o.seed);
     let events = Arc::new(capture_events(&cfg));
@@ -720,7 +752,18 @@ mod tests {
     fn scenario_registry_resolves() {
         assert!(find_scenario("fig7a").is_some());
         assert!(find_scenario("steady-state").is_some());
+        assert!(find_scenario("e2e-taint").is_some());
+        assert!(find_scenario("e2e-mte").is_some());
         assert!(find_scenario("nope").is_none());
+    }
+
+    #[test]
+    fn new_kernel_scenarios_run_at_a_tiny_budget() {
+        for name in ["e2e-taint", "e2e-mte"] {
+            let r = (find_scenario(name).unwrap().run)(&tiny());
+            assert!(r.events >= 1_000, "{name}: {} events", r.events);
+            assert!(r.cycles > 0, "{name} simulates cycles");
+        }
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! allocator.
 
 use fireguard_bench::perf::{allocations, CountingAllocator, STEADY_STATE_ALLOC_BUDGET};
-use fireguard_soc::{build_system, ExperimentConfig, KernelKind};
+use fireguard_soc::{build_system, ExperimentConfig, KernelId};
 
 #[global_allocator]
 static ALLOC: CountingAllocator = CountingAllocator;
@@ -18,7 +18,7 @@ static ALLOC: CountingAllocator = CountingAllocator;
 fn warm_cycle_loop_does_not_allocate() {
     let insts = 20_000u64;
     let cfg = ExperimentConfig::new("swaptions")
-        .kernel(KernelKind::Pmc, 4)
+        .kernel(KernelId::PMC, 4)
         .insts(insts)
         .seed(42);
     let mut sys = build_system(&cfg, cfg.trace());

@@ -23,7 +23,7 @@
 use fireguard_bench::figures::{find, FigOpts, FIGURES};
 use fireguard_soc::sweep::SweepGrid;
 use fireguard_soc::{
-    render, run_jobs, Cell, EngineConfig, Format, KernelKind, ProgrammingModel, Report, Table,
+    render, run_jobs, Cell, EngineConfig, Format, KernelId, ProgrammingModel, Report, Table,
 };
 
 mod args;
@@ -169,6 +169,16 @@ fn list_report(format: Format) -> Report {
             r.text(format!("  {name:<16} {summary}"));
         }
         r.blank();
+        r.text("registered guardian kernels (--kernel):");
+        for spec in fireguard_soc::registry() {
+            r.text(format!(
+                "  {:<16} id {}  {}",
+                spec.cli_names()[0],
+                spec.id().wire(),
+                spec.summary()
+            ));
+        }
+        r.blank();
         r.text("common flags: --insts N  --seed N  --jobs N  --format human|jsonl|csv  --quick");
         return r;
     }
@@ -187,6 +197,27 @@ fn list_report(format: Format) -> Report {
         ]);
     }
     r.table(t);
+    // The guardian-kernel registry, one row per plugin (stable wire id,
+    // canonical name, aliases, display label).
+    let mut k = Table::new(&[
+        ("kernel", 14),
+        ("id", 4),
+        ("label", 11),
+        ("aliases", 28),
+        ("detects", 10),
+        ("summary", 60),
+    ]);
+    for spec in fireguard_soc::registry() {
+        k.row(vec![
+            Cell::Str(spec.cli_names()[0].to_owned()),
+            Cell::Int(i64::from(spec.id().wire())),
+            Cell::Str(spec.name().to_owned()),
+            Cell::Str(spec.cli_names().join("|")),
+            Cell::Int(spec.detects().len() as i64),
+            Cell::Str(spec.summary().to_owned()),
+        ]);
+    }
+    r.table(k);
     r
 }
 
@@ -212,7 +243,7 @@ fn sweep_report(p: &Parsed) -> Result<Report, String> {
         }
     };
     let kernels = match p.kernels.as_deref() {
-        None => vec![KernelKind::Asan],
+        None => vec![KernelId::ASAN],
         Some(csv) => csv
             .split(',')
             .map(parse_kernel)
@@ -331,6 +362,7 @@ fn usage() -> String {
     for fig in FIGURES {
         s.push_str(&format!("    {:<16} {}\n", fig.name, fig.summary));
     }
+    let kernel_names = fireguard_soc::canonical_names().join(", ");
     s.push_str(
         "    sweep            ad-hoc grid sweep (see sweep flags below)\n\
          \x20   trace record     capture a workload×attack stream to a .fgt file\n\
@@ -350,9 +382,15 @@ fn usage() -> String {
          \x20   --format <F>     human (default), jsonl, or csv\n\
          \n\
          SWEEP FLAGS:\n\
-         \x20   --workloads <csv|all>   PARSEC workloads (default all)\n\
-         \x20   --kernel <csv>          pmc, shadow-stack, asan, uaf (default asan)\n\
-         \x20   --ucores <csv>          µcore counts per kernel (default 4)\n\
+         \x20   --workloads <csv|all>   PARSEC workloads (default all)\n",
+    );
+    // The --kernel list comes from the plugin registry, so usage can never
+    // drift from the kernels actually registered.
+    s.push_str(&format!(
+        "    --kernel <csv>          {kernel_names} (default asan)\n"
+    ));
+    s.push_str(
+        "    --ucores <csv>          µcore counts per kernel (default 4)\n\
          \x20   --ha                    also sweep the hardware-accelerator variant\n\
          \x20   --filter-width <csv>    event-filter widths (default 4)\n\
          \x20   --model <csv>           conventional, duffs, unrolled, hybrid (default hybrid)\n\
@@ -391,9 +429,14 @@ mod tests {
 
     #[test]
     fn kernel_and_model_parsers() {
-        assert_eq!(parse_kernel("PMC"), Ok(KernelKind::Pmc));
-        assert_eq!(parse_kernel("ss"), Ok(KernelKind::ShadowStack));
-        assert!(parse_kernel("rowhammer").is_err());
+        assert_eq!(parse_kernel("PMC"), Ok(KernelId::PMC));
+        assert_eq!(parse_kernel("ss"), Ok(KernelId::SHADOW_STACK));
+        assert_eq!(parse_kernel("taint"), Ok(KernelId::TAINT));
+        assert_eq!(parse_kernel("mte"), Ok(KernelId::MTE));
+        let err = parse_kernel("rowhammer").unwrap_err();
+        for name in fireguard_soc::canonical_names() {
+            assert!(err.contains(name), "error message omits {name}: {err}");
+        }
         assert_eq!(parse_model("hybrid"), Ok(ProgrammingModel::Hybrid));
         assert!(parse_model("jit").is_err());
     }
@@ -403,6 +446,23 @@ mod tests {
         let u = usage();
         for fig in FIGURES {
             assert!(u.contains(fig.name), "usage is missing {}", fig.name);
+        }
+    }
+
+    #[test]
+    fn usage_and_list_name_every_registered_kernel() {
+        let u = usage();
+        for name in fireguard_soc::canonical_names() {
+            assert!(u.contains(name), "usage is missing kernel {name}");
+        }
+        for format in [Format::Human, Format::Jsonl] {
+            let rendered = fireguard_soc::render_to_string(&list_report(format), format);
+            for name in fireguard_soc::canonical_names() {
+                assert!(
+                    rendered.contains(name),
+                    "{format:?} list is missing kernel {name}:\n{rendered}"
+                );
+            }
         }
     }
 }

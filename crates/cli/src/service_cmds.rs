@@ -11,7 +11,7 @@ use fireguard_server::{run_loadgen, run_session, SessionConfig};
 use fireguard_soc::report::percentile;
 use fireguard_soc::{
     baseline_cycles, capture_events, run_fireguard_events, Cell, EngineConfig, ExperimentConfig,
-    KernelKind, ProgrammingModel, Report, RunResult, Table,
+    KernelId, ProgrammingModel, Report, RunResult, Table,
 };
 use fireguard_trace::codec::{self, TraceMeta};
 use fireguard_trace::{AttackKind, AttackPlan, TraceInst};
@@ -22,16 +22,17 @@ use std::sync::Arc;
 /// Default service address when `--addr` is not given.
 pub const DEFAULT_ADDR: &str = "127.0.0.1:4780";
 
-pub fn parse_kernel(s: &str) -> Result<KernelKind, String> {
-    match s.trim().to_ascii_lowercase().as_str() {
-        "pmc" => Ok(KernelKind::Pmc),
-        "shadow-stack" | "shadowstack" | "ss" | "shadow" => Ok(KernelKind::ShadowStack),
-        "asan" | "sanitizer" => Ok(KernelKind::Asan),
-        "uaf" | "use-after-free" => Ok(KernelKind::Uaf),
-        other => Err(format!(
-            "unknown kernel {other:?} (expected pmc, shadow-stack, asan, or uaf)"
-        )),
-    }
+/// Resolves a `--kernel` spelling through the plugin registry. Both the
+/// accepted names and the error message come from the registry, so the
+/// valid-kernel list can never go stale when a new plugin lands.
+pub fn parse_kernel(s: &str) -> Result<KernelId, String> {
+    fireguard_soc::parse_kernel_name(s).ok_or_else(|| {
+        format!(
+            "unknown kernel {:?} (expected one of: {})",
+            s.trim(),
+            fireguard_soc::canonical_names().join(", ")
+        )
+    })
 }
 
 pub fn parse_model(s: &str) -> Result<ProgrammingModel, String> {
@@ -64,7 +65,7 @@ fn parse_attack_kind(s: &str) -> Result<AttackKind, String> {
 /// filter, scalar mapper).
 fn session_experiment(p: &Parsed, meta: &TraceMeta) -> Result<ExperimentConfig, String> {
     let kernel = match p.kernels.as_deref() {
-        None => KernelKind::Asan,
+        None => KernelId::ASAN,
         Some(csv) => {
             let kinds: Vec<&str> = csv.split(',').collect();
             if kinds.len() != 1 {

@@ -99,6 +99,47 @@ fn parallel_sweep_is_byte_identical_to_sequential() {
 }
 
 #[test]
+fn new_kernel_plugins_sweep_through_the_cli() {
+    // The registry's post-paper plugins drive the same sweep machinery as
+    // the paper kernels, straight from `--kernel` names.
+    let sweep = [
+        "sweep",
+        "--workloads",
+        "dedup",
+        "--kernel",
+        "taint,mte",
+        "--ucores",
+        "4",
+        "--insts",
+        "2000",
+        "--format",
+        "jsonl",
+    ];
+    let out = stdout_of(&fireguard(&sweep));
+    for label in ["\"kernel\":\"Taint\"", "\"kernel\":\"MTE\""] {
+        assert!(
+            out.contains(label),
+            "sweep output is missing {label}:\n{out}"
+        );
+    }
+    let again = stdout_of(&fireguard(&sweep));
+    assert_eq!(out, again, "new-kernel sweeps are deterministic");
+}
+
+#[test]
+fn list_enumerates_the_kernel_registry() {
+    for format in ["human", "jsonl"] {
+        let out = stdout_of(&fireguard(&["list", "--format", format]));
+        for name in ["pmc", "shadow-stack", "asan", "uaf", "taint", "mte"] {
+            assert!(
+                out.contains(name),
+                "{format} list is missing {name}:\n{out}"
+            );
+        }
+    }
+}
+
+#[test]
 fn alternative_formats_emit_structured_rows() {
     let jsonl = stdout_of(&fireguard(&[
         "sweep",

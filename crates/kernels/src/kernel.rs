@@ -1,14 +1,18 @@
-//! Guardian-kernel descriptors and the per-engine backend.
+//! Guardian-kernel instances and the shared µcore address-space map.
+//!
+//! A [`GuardianKernel`] binds one registered [`KernelId`] to a verdict
+//! bit, a programming model, and the timing state its engines share; the
+//! kernel-specific behaviour (semantics, µ-program, backend) is resolved
+//! through the plugin registry (see [`crate::spec`]).
 
-use crate::semantics::KernelSemantics;
-use fireguard_core::{groups, DpSel, Gid, Policy};
-use fireguard_isa::InstClass;
+use crate::semantics::Semantics;
+use crate::spec::KernelId;
 use fireguard_ucore::backend::CustomResult;
-use fireguard_ucore::{KernelBackend, SparseMem};
+use fireguard_ucore::KernelBackend;
 use std::cell::RefCell;
 use std::rc::Rc;
 
-/// Base of the µcore-visible shadow-memory region.
+/// Base of the µcore-visible shadow-memory region (ASan bytes).
 pub const SHADOW_BASE: u64 = 0x80_0000_0000;
 /// Base of the UaF quarantine hash table.
 pub const QTABLE_BASE: u64 = 0x90_0000_0000;
@@ -16,6 +20,10 @@ pub const QTABLE_BASE: u64 = 0x90_0000_0000;
 pub const SSTACK_BASE: u64 = 0xA0_0000_0000;
 /// Base of the PMC counter table.
 pub const COUNTER_BASE: u64 = 0xB0_0000_0000;
+/// Base of the DIFT taint shadow (one taint byte per 8 program bytes).
+pub const TAINT_BASE: u64 = 0xC0_0000_0000;
+/// Base of the MTE tag memory (4 bits per 16-byte granule).
+pub const MTE_TAG_BASE: u64 = 0xD0_0000_0000;
 
 /// Custom op: policy check — touches the kernel's table for `addr` and
 /// returns this kernel's verdict bit from the packet's verdict field.
@@ -26,93 +34,12 @@ pub const OP_HEAP: u8 = 2;
 pub const OP_SS_STEP: u8 = 3;
 /// Custom op: PMC step (counter increment + bounds verdict).
 pub const OP_PMC_STEP: u8 = 4;
-
-/// The four guardian kernels of the paper's evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub enum KernelKind {
-    /// Custom performance counter with bounds check.
-    Pmc,
-    /// Shadow stack.
-    ShadowStack,
-    /// AddressSanitizer.
-    Asan,
-    /// Use-after-free detection (MineSweeper-style).
-    Uaf,
-}
-
-impl KernelKind {
-    /// Display name matching the paper's figures.
-    pub fn name(self) -> &'static str {
-        match self {
-            KernelKind::Pmc => "PMC",
-            KernelKind::ShadowStack => "Shadow",
-            KernelKind::Asan => "Sanitizer",
-            KernelKind::Uaf => "UaF",
-        }
-    }
-
-    /// Fresh commit-order semantics for this kernel.
-    pub fn semantics(self) -> KernelSemantics {
-        match self {
-            KernelKind::Pmc => KernelSemantics::pmc(),
-            KernelKind::ShadowStack => KernelSemantics::shadow_stack(),
-            KernelKind::Asan => KernelSemantics::asan(),
-            KernelKind::Uaf => KernelSemantics::uaf(),
-        }
-    }
-
-    /// The instruction groups this kernel subscribes to in the distributor.
-    pub fn gids(self) -> Vec<Gid> {
-        match self {
-            // The PMC counts and bounds-checks memory events: one group
-            // keeps its packet volume at the paper's design point.
-            KernelKind::Pmc => vec![groups::MEM],
-            KernelKind::ShadowStack => vec![groups::CTRL],
-            KernelKind::Asan | KernelKind::Uaf => vec![groups::MEM, groups::CTRL],
-        }
-    }
-
-    /// Event-filter programming: class → (group, data paths).
-    pub fn subscriptions(self) -> Vec<(InstClass, Gid, DpSel)> {
-        let mem = |g| {
-            vec![
-                (InstClass::Load, g, DpSel::PRF | DpSel::LSQ),
-                (InstClass::Store, g, DpSel::LSQ),
-                (InstClass::Amo, g, DpSel::LSQ),
-            ]
-        };
-        let ctrl = |g| {
-            vec![
-                (InstClass::Call, g, DpSel::FTQ),
-                (InstClass::Ret, g, DpSel::FTQ),
-            ]
-        };
-        match self {
-            KernelKind::Pmc => mem(groups::MEM),
-            KernelKind::ShadowStack => ctrl(groups::CTRL),
-            KernelKind::Asan | KernelKind::Uaf => {
-                let mut v = mem(groups::MEM);
-                v.extend(ctrl(groups::CTRL));
-                v
-            }
-        }
-    }
-
-    /// The SE scheduling policy the paper assigns this kernel.
-    pub fn policy(self) -> Policy {
-        match self {
-            // Message locality matters for the shadow stack: block mode.
-            KernelKind::ShadowStack => Policy::Block,
-            _ => Policy::RoundRobin,
-        }
-    }
-}
-
-impl std::fmt::Display for KernelKind {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.name())
-    }
-}
+/// Custom op: DIFT step (taint-shadow touch + verdict).
+pub const OP_TAINT_STEP: u8 = 5;
+/// Custom op: MTE check (tag-memory touch + verdict).
+pub const OP_MTE_CHECK: u8 = 6;
+/// Custom op: MTE heap event (bulk tag/retag microloop).
+pub const OP_MTE_TAG: u8 = 7;
 
 /// The µ-program style used by a kernel's inner loop (paper Fig. 11).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -148,6 +75,26 @@ impl ProgrammingModel {
     }
 }
 
+/// The fused-check heap short-circuit shared by every heap-watching
+/// kernel's check op: `b` carries packet bits `[127:116]` with the flags
+/// nibble in `[11:8]`; a malloc/free flag returns check value 2 so the
+/// µ-program branches to its heap microloop instead of table-checking.
+/// One definition keeps the protocol invariant from desynchronizing
+/// across plugins.
+pub(crate) fn heap_flag_short_circuit(b: u64) -> Option<CustomResult> {
+    let flags = (b >> 8) & 3;
+    if flags != 0 {
+        Some(CustomResult {
+            value: 2,
+            extra_cycles: 0,
+            mem_touch: None,
+            touch_blind: true,
+        })
+    } else {
+        None
+    }
+}
+
 /// Timing state shared between the engines of one kernel instance
 /// (sweep pressure, shadow-stack depth).
 #[derive(Debug, Default)]
@@ -162,17 +109,15 @@ pub struct SharedTiming {
     pub sweeps_charged: u64,
 }
 
-/// A guardian kernel instance: descriptor + shared timing state.
+/// A guardian kernel instance: registry id + verdict bit + shared timing.
 #[derive(Debug)]
 pub struct GuardianKernel {
-    /// Which kernel.
-    pub kind: KernelKind,
+    /// Which registered kernel.
+    pub id: KernelId,
     /// The verdict bit (0–3) assigned to this kernel in packet payloads.
     pub vbit: usize,
     /// The programming model its µ-programs use.
     pub model: ProgrammingModel,
-    /// Commit-order semantics (judged by the SoC frontend).
-    pub semantics: KernelSemantics,
     shared: Rc<RefCell<SharedTiming>>,
 }
 
@@ -182,234 +127,34 @@ impl GuardianKernel {
     /// # Panics
     ///
     /// Panics if `vbit >= 4` (the packet verdict nibble has four bits).
-    pub fn new(kind: KernelKind, vbit: usize, model: ProgrammingModel) -> Self {
+    pub fn new(id: KernelId, vbit: usize, model: ProgrammingModel) -> Self {
         assert!(vbit < 4);
         GuardianKernel {
-            kind,
+            id,
             vbit,
             model,
-            semantics: kind.semantics(),
             shared: Rc::new(RefCell::new(SharedTiming::default())),
         }
     }
 
-    /// Builds the backend for one of this kernel's engines.
-    pub fn engine_backend(&self) -> EngineBackend {
-        EngineBackend {
-            kind: self.kind,
-            vbit: self.vbit,
-            shared: Rc::clone(&self.shared),
-            mem: SparseMem::new(),
-        }
+    /// Builds the backend for one of this kernel's engines, dispatched
+    /// through the registered spec.
+    pub fn engine_backend(&self) -> Box<dyn KernelBackend> {
+        self.id.spec().backend(self.vbit, Rc::clone(&self.shared))
     }
 
     /// The µ-program for this kernel under its programming model.
     pub fn program(&self) -> fireguard_ucore::UProgram {
-        crate::programs::build(self.kind, self.model)
+        self.id.spec().program(self.model)
+    }
+
+    /// A fresh commit-order semantics state machine for this kernel.
+    pub fn fresh_semantics(&self) -> Box<dyn Semantics> {
+        self.id.spec().semantics()
     }
 
     /// Shared timing state (tests/reports).
     pub fn shared_timing(&self) -> Rc<RefCell<SharedTiming>> {
         Rc::clone(&self.shared)
-    }
-}
-
-/// Per-engine backend: kernel-assist custom ops + scratch memory.
-#[derive(Debug)]
-pub struct EngineBackend {
-    kind: KernelKind,
-    vbit: usize,
-    shared: Rc<RefCell<SharedTiming>>,
-    mem: SparseMem,
-}
-
-impl EngineBackend {
-    fn table_addr(&self, addr: u64) -> u64 {
-        match self.kind {
-            // ASan shadow: one byte per 8 program bytes.
-            KernelKind::Asan => SHADOW_BASE + (addr >> 3),
-            // UaF: page-granular quarantine hash buckets.
-            KernelKind::Uaf => QTABLE_BASE + ((addr >> 12) & 0xF_FFFF) * 8,
-            // PMC: per-class counter line (tiny, always hot). `addr` here
-            // is the packet's verdict|class|flags field; index by class.
-            KernelKind::Pmc => COUNTER_BASE + ((addr >> 4) & 0xF) * 8,
-            KernelKind::ShadowStack => {
-                let depth = self.shared.borrow().ss_depth.max(0) as u64;
-                SSTACK_BASE + (depth & 0xFFFF) * 8
-            }
-        }
-    }
-}
-
-impl KernelBackend for EngineBackend {
-    fn mem_read(&mut self, addr: u64) -> u64 {
-        self.mem.mem_read(addr)
-    }
-
-    fn mem_write(&mut self, addr: u64, value: u64) {
-        self.mem.mem_write(addr, value);
-    }
-
-    fn custom(&mut self, op: u8, a: u64, b: u64) -> CustomResult {
-        // `b` carries packet bits [127:116]: verdict nibble in [3:0],
-        // class in [7:4], flags in [11:8].
-        let verdict = (b >> self.vbit) & 1;
-        match op {
-            OP_CHECK => {
-                // Fused check: heap-flagged packets short-circuit to the
-                // slow path (value 2); otherwise the table line is touched
-                // and the verdict bit returned.
-                let flags = (b >> 8) & 3;
-                if flags != 0 {
-                    return CustomResult {
-                        value: 2,
-                        extra_cycles: 0,
-                        mem_touch: None,
-                        touch_blind: true,
-                    };
-                }
-                CustomResult {
-                    value: verdict,
-                    extra_cycles: 0,
-                    mem_touch: Some(self.table_addr(a)),
-                    touch_blind: false,
-                }
-            }
-            OP_HEAP => {
-                // a = region base, b = size (from the AUX field here).
-                let size = b & 0xF_FFFF;
-                let mut sh = self.shared.borrow_mut();
-                let mut extra = 4 + size / 256;
-                if self.kind == KernelKind::Uaf {
-                    sh.frees += 1;
-                    sh.quarantine_len += 1;
-                    // MineSweeper sweep: every 64th free walks a chunk of
-                    // the quarantine — work that does not parallelise away.
-                    if sh.frees % 64 == 0 {
-                        extra += (sh.quarantine_len / 4).min(512) + 64;
-                        sh.quarantine_len = sh.quarantine_len.saturating_sub(sh.quarantine_len / 2);
-                        sh.sweeps_charged += 1;
-                    }
-                }
-                CustomResult {
-                    value: 0,
-                    extra_cycles: extra,
-                    mem_touch: Some(SHADOW_BASE + (a >> 3)),
-                    touch_blind: true, // poison writes are fire-and-forget
-                }
-            }
-            OP_SS_STEP => {
-                let class = (b >> 4) & 0xF;
-                const CALL: u64 = 10;
-                const RET: u64 = 11;
-                let mut sh = self.shared.borrow_mut();
-                match class {
-                    CALL => {
-                        sh.ss_depth += 1;
-                        let d = sh.ss_depth.max(0) as u64;
-                        CustomResult {
-                            value: 0,
-                            extra_cycles: 0,
-                            mem_touch: Some(SSTACK_BASE + (d & 0xFFFF) * 8),
-                            touch_blind: true, // the push is a blind store
-                        }
-                    }
-                    RET => {
-                        let d = sh.ss_depth.max(0) as u64;
-                        sh.ss_depth -= 1;
-                        CustomResult {
-                            value: verdict,
-                            extra_cycles: 0,
-                            mem_touch: Some(SSTACK_BASE + (d & 0xFFFF) * 8),
-                            touch_blind: false, // the pop+compare gates
-                        }
-                    }
-                    _ => CustomResult {
-                        value: 0,
-                        extra_cycles: 0,
-                        mem_touch: None,
-                        touch_blind: true,
-                    },
-                }
-            }
-            OP_PMC_STEP => CustomResult {
-                value: verdict,
-                extra_cycles: 0,
-                mem_touch: Some(COUNTER_BASE + ((b >> 4) & 0xF) * 8),
-                touch_blind: true, // counter bumps are blind updates
-            },
-            _ => CustomResult::default(),
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn kernel_descriptor_consistency() {
-        for kind in [
-            KernelKind::Pmc,
-            KernelKind::ShadowStack,
-            KernelKind::Asan,
-            KernelKind::Uaf,
-        ] {
-            assert!(!kind.gids().is_empty());
-            assert!(!kind.subscriptions().is_empty());
-            let _ = kind.semantics();
-        }
-        assert_eq!(KernelKind::ShadowStack.policy(), Policy::Block);
-        assert_eq!(KernelKind::Asan.policy(), Policy::RoundRobin);
-    }
-
-    #[test]
-    fn check_op_extracts_this_kernels_verdict_bit() {
-        let k = GuardianKernel::new(KernelKind::Asan, 2, ProgrammingModel::Hybrid);
-        let mut be = k.engine_backend();
-        // Verdict nibble 0b0100 → bit 2 set.
-        let r = be.custom(OP_CHECK, 0x1234, 0b0100);
-        assert_eq!(r.value, 1);
-        let r = be.custom(OP_CHECK, 0x1234, 0b1011);
-        assert_eq!(r.value, 0);
-        assert_eq!(r.mem_touch, Some(SHADOW_BASE + (0x1234 >> 3)));
-    }
-
-    #[test]
-    fn uaf_heap_op_charges_sweeps_periodically() {
-        let k = GuardianKernel::new(KernelKind::Uaf, 3, ProgrammingModel::Hybrid);
-        let mut be = k.engine_backend();
-        let mut max_extra = 0;
-        for _ in 0..200 {
-            let r = be.custom(OP_HEAP, 0x1000, 512);
-            max_extra = max_extra.max(r.extra_cycles);
-        }
-        assert!(max_extra > 64, "sweeps charge big microloops: {max_extra}");
-        assert!(k.shared_timing().borrow().sweeps_charged >= 3);
-    }
-
-    #[test]
-    fn ss_step_tracks_depth_and_flags_on_ret_verdict() {
-        let k = GuardianKernel::new(KernelKind::ShadowStack, 1, ProgrammingModel::Hybrid);
-        let mut be = k.engine_backend();
-        // class nibble: Call=10, Ret=11 (InstClass dense indices).
-        let call_b = 10 << 4;
-        let ret_bad = (11 << 4) | 0b0010; // verdict bit 1 set
-        let r = be.custom(OP_SS_STEP, 0x4000, call_b);
-        assert_eq!(r.value, 0);
-        assert!(r.mem_touch.is_some());
-        let r = be.custom(OP_SS_STEP, 0xDEAD, ret_bad);
-        assert_eq!(r.value, 1, "hijack verdict surfaces on the ret");
-        assert_eq!(k.shared_timing().borrow().ss_depth, 0);
-    }
-
-    #[test]
-    fn non_call_ret_ss_step_is_cheap_noop() {
-        let k = GuardianKernel::new(KernelKind::ShadowStack, 1, ProgrammingModel::Hybrid);
-        let mut be = k.engine_backend();
-        let jump_b = 8 << 4; // Jump class
-        let r = be.custom(OP_SS_STEP, 0x1000, jump_b);
-        assert_eq!(r.value, 0);
-        assert_eq!(r.mem_touch, None);
     }
 }

@@ -1,0 +1,15 @@
+//! The registered guardian-kernel plugins, one self-contained module per
+//! analysis.
+//!
+//! Each module holds everything its kernel needs: the [`crate::KernelSpec`]
+//! unit struct, the commit-order [`crate::Semantics`] state machine, the
+//! per-engine [`fireguard_ucore::KernelBackend`], and the choice of
+//! µ-program shape. Adding an analysis = adding one file here + one line
+//! in [`crate::spec::registry`]; see `ARCHITECTURE.md` for the checklist.
+
+pub mod asan;
+pub mod mte;
+pub mod pmc;
+pub mod shadow_stack;
+pub mod taint;
+pub mod uaf;

@@ -1,0 +1,163 @@
+//! PMC plugin: custom performance counter with bounds check (paper
+//! kernel, wire id 0).
+//!
+//! Counts per-class events and flags any access inside the protected
+//! region — the paper's programmable-counter guardian.
+
+use crate::kernel::{ProgrammingModel, SharedTiming, COUNTER_BASE, OP_PMC_STEP};
+use crate::programs::{self, ProgramShape, SlowPath};
+use crate::semantics::Semantics;
+use crate::spec::{mem_subscriptions, KernelId, KernelSpec};
+use fireguard_core::{groups, DpSel, Gid};
+use fireguard_isa::InstClass;
+use fireguard_trace::{gen, AttackKind, TraceInst};
+use fireguard_ucore::backend::CustomResult;
+use fireguard_ucore::{KernelBackend, SparseMem, UProgram};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// The PMC kernel spec.
+pub struct Pmc;
+
+impl KernelSpec for Pmc {
+    fn id(&self) -> KernelId {
+        KernelId::PMC
+    }
+
+    fn name(&self) -> &'static str {
+        "PMC"
+    }
+
+    fn cli_names(&self) -> &'static [&'static str] {
+        &["pmc"]
+    }
+
+    fn summary(&self) -> &'static str {
+        "custom performance counter with bounds check"
+    }
+
+    fn gids(&self) -> Vec<Gid> {
+        // The PMC counts and bounds-checks memory events: one group keeps
+        // its packet volume at the paper's design point.
+        vec![groups::MEM]
+    }
+
+    fn subscriptions(&self) -> Vec<(InstClass, Gid, DpSel)> {
+        mem_subscriptions(groups::MEM)
+    }
+
+    fn detects(&self) -> &'static [AttackKind] {
+        &[AttackKind::BoundsViolation]
+    }
+
+    fn semantics(&self) -> Box<dyn Semantics> {
+        Box::new(PmcSemantics {
+            counts: [0; InstClass::COUNT],
+            region: (gen::PMC_REGION_BASE, gen::PMC_REGION_SIZE),
+        })
+    }
+
+    fn program(&self, model: ProgrammingModel) -> UProgram {
+        programs::build(
+            ProgramShape {
+                fast_op: OP_PMC_STEP,
+                slow: SlowPath::Alarm(0),
+            },
+            model,
+        )
+    }
+
+    fn backend(&self, vbit: usize, _shared: Rc<RefCell<SharedTiming>>) -> Box<dyn KernelBackend> {
+        Box::new(PmcBackend {
+            vbit,
+            mem: SparseMem::new(),
+        })
+    }
+}
+
+/// Commit-order PMC state: per-class counters + the protected region.
+#[derive(Debug)]
+struct PmcSemantics {
+    counts: [u64; InstClass::COUNT],
+    region: (u64, u64),
+}
+
+impl Semantics for PmcSemantics {
+    fn judge(&mut self, t: &TraceInst) -> bool {
+        self.counts[t.class.index()] += 1;
+        match t.mem_addr {
+            Some(a) => a >= self.region.0 && a < self.region.0 + self.region.1,
+            None => false,
+        }
+    }
+}
+
+/// Per-engine PMC backend: counter bumps against a tiny, always-hot line.
+#[derive(Debug)]
+struct PmcBackend {
+    vbit: usize,
+    mem: SparseMem,
+}
+
+impl KernelBackend for PmcBackend {
+    fn mem_read(&mut self, addr: u64) -> u64 {
+        self.mem.mem_read(addr)
+    }
+
+    fn mem_write(&mut self, addr: u64, value: u64) {
+        self.mem.mem_write(addr, value);
+    }
+
+    fn custom(&mut self, op: u8, _a: u64, b: u64) -> CustomResult {
+        // `b` carries packet bits [127:116]: verdict nibble in [3:0],
+        // class in [7:4], flags in [11:8].
+        match op {
+            OP_PMC_STEP => CustomResult {
+                value: (b >> self.vbit) & 1,
+                extra_cycles: 0,
+                // Per-class counter line, indexed by the class nibble.
+                mem_touch: Some(COUNTER_BASE + ((b >> 4) & 0xF) * 8),
+                touch_blind: true, // counter bumps are blind updates
+            },
+            _ => CustomResult::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fireguard_isa::{Instruction, MemWidth};
+
+    fn mem(seq: u64, addr: u64) -> TraceInst {
+        let inst = Instruction::load(MemWidth::D, 1.into(), 2.into(), 0);
+        TraceInst {
+            seq,
+            pc: 0x10000,
+            class: inst.class(),
+            inst,
+            mem_addr: Some(addr),
+            control: None,
+            heap: None,
+            attack: None,
+        }
+    }
+
+    #[test]
+    fn pmc_flags_protected_region() {
+        let mut k = Pmc.semantics();
+        assert!(!k.judge(&mem(0, 0x5000_0000)));
+        assert!(k.judge(&mem(1, gen::PMC_REGION_BASE + 16)));
+        assert!(!k.judge(&mem(2, gen::PMC_REGION_BASE + gen::PMC_REGION_SIZE)));
+    }
+
+    #[test]
+    fn pmc_step_returns_this_kernels_verdict_bit() {
+        let mut be = Pmc.backend(1, Rc::new(RefCell::new(SharedTiming::default())));
+        let r = be.custom(OP_PMC_STEP, 0, 0b0010 | (4 << 4));
+        assert_eq!(r.value, 1);
+        assert_eq!(r.mem_touch, Some(COUNTER_BASE + 4 * 8));
+        let r = be.custom(OP_PMC_STEP, 0, 0b0001);
+        assert_eq!(r.value, 0);
+    }
+}

@@ -1,0 +1,237 @@
+//! Shadow-stack plugin (paper kernel, wire id 1).
+//!
+//! Calls push `pc+4`, returns must match — return-address hijacks are
+//! violations. Message locality matters for the stack slots, so this
+//! kernel runs its Scheduling Engine in block mode.
+
+use crate::kernel::{ProgrammingModel, SharedTiming, OP_SS_STEP, SSTACK_BASE};
+use crate::programs::{self, ProgramShape, SlowPath};
+use crate::semantics::Semantics;
+use crate::spec::{ctrl_subscriptions, KernelId, KernelSpec};
+use fireguard_core::{groups, DpSel, Gid, Policy};
+use fireguard_isa::InstClass;
+use fireguard_trace::{AttackKind, TraceInst};
+use fireguard_ucore::backend::CustomResult;
+use fireguard_ucore::{KernelBackend, SparseMem, UProgram};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// The shadow-stack kernel spec.
+pub struct ShadowStack;
+
+impl KernelSpec for ShadowStack {
+    fn id(&self) -> KernelId {
+        KernelId::SHADOW_STACK
+    }
+
+    fn name(&self) -> &'static str {
+        "Shadow"
+    }
+
+    fn cli_names(&self) -> &'static [&'static str] {
+        &["shadow-stack", "shadowstack", "ss", "shadow"]
+    }
+
+    fn summary(&self) -> &'static str {
+        "shadow stack (return-address hijack detection)"
+    }
+
+    fn gids(&self) -> Vec<Gid> {
+        vec![groups::CTRL]
+    }
+
+    fn subscriptions(&self) -> Vec<(InstClass, Gid, DpSel)> {
+        ctrl_subscriptions(groups::CTRL)
+    }
+
+    fn policy(&self) -> Policy {
+        // Message locality matters for the shadow stack: block mode.
+        Policy::Block
+    }
+
+    fn detects(&self) -> &'static [AttackKind] {
+        &[AttackKind::RetHijack]
+    }
+
+    fn semantics(&self) -> Box<dyn Semantics> {
+        Box::new(ShadowStackSemantics { stack: Vec::new() })
+    }
+
+    fn program(&self, model: ProgrammingModel) -> UProgram {
+        programs::build(
+            ProgramShape {
+                fast_op: OP_SS_STEP,
+                slow: SlowPath::Alarm(2),
+            },
+            model,
+        )
+    }
+
+    fn backend(&self, vbit: usize, shared: Rc<RefCell<SharedTiming>>) -> Box<dyn KernelBackend> {
+        Box::new(ShadowStackBackend {
+            vbit,
+            shared,
+            mem: SparseMem::new(),
+        })
+    }
+}
+
+/// Commit-order shadow-stack state: the golden stack itself.
+#[derive(Debug)]
+struct ShadowStackSemantics {
+    stack: Vec<u64>,
+}
+
+impl Semantics for ShadowStackSemantics {
+    fn judge(&mut self, t: &TraceInst) -> bool {
+        match t.class {
+            InstClass::Call => {
+                if self.stack.len() < 1 << 16 {
+                    self.stack.push(t.pc + 4);
+                }
+                false
+            }
+            InstClass::Ret => {
+                let expected = self.stack.pop();
+                let actual = t.control.map(|c| c.target);
+                expected.is_some() && actual.is_some() && expected != actual
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Per-engine shadow-stack backend: push/pop against real stack slots.
+#[derive(Debug)]
+struct ShadowStackBackend {
+    vbit: usize,
+    shared: Rc<RefCell<SharedTiming>>,
+    mem: SparseMem,
+}
+
+impl KernelBackend for ShadowStackBackend {
+    fn mem_read(&mut self, addr: u64) -> u64 {
+        self.mem.mem_read(addr)
+    }
+
+    fn mem_write(&mut self, addr: u64, value: u64) {
+        self.mem.mem_write(addr, value);
+    }
+
+    fn custom(&mut self, op: u8, _a: u64, b: u64) -> CustomResult {
+        // `b` carries packet bits [127:116]: verdict nibble in [3:0],
+        // class in [7:4], flags in [11:8].
+        let verdict = (b >> self.vbit) & 1;
+        match op {
+            OP_SS_STEP => {
+                let class = (b >> 4) & 0xF;
+                const CALL: u64 = 10;
+                const RET: u64 = 11;
+                let mut sh = self.shared.borrow_mut();
+                match class {
+                    CALL => {
+                        sh.ss_depth += 1;
+                        let d = sh.ss_depth.max(0) as u64;
+                        CustomResult {
+                            value: 0,
+                            extra_cycles: 0,
+                            mem_touch: Some(SSTACK_BASE + (d & 0xFFFF) * 8),
+                            touch_blind: true, // the push is a blind store
+                        }
+                    }
+                    RET => {
+                        let d = sh.ss_depth.max(0) as u64;
+                        sh.ss_depth -= 1;
+                        CustomResult {
+                            value: verdict,
+                            extra_cycles: 0,
+                            mem_touch: Some(SSTACK_BASE + (d & 0xFFFF) * 8),
+                            touch_blind: false, // the pop+compare gates
+                        }
+                    }
+                    _ => CustomResult {
+                        value: 0,
+                        extra_cycles: 0,
+                        mem_touch: None,
+                        touch_blind: true,
+                    },
+                }
+            }
+            _ => CustomResult::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fireguard_isa::Instruction;
+    use fireguard_trace::ControlFlow;
+
+    #[test]
+    fn shadow_stack_flags_hijack_only() {
+        let mut k = ShadowStack.semantics();
+        let call = |seq, pc| {
+            let inst = Instruction::call(64);
+            TraceInst {
+                seq,
+                pc,
+                class: inst.class(),
+                inst,
+                mem_addr: None,
+                control: Some(ControlFlow {
+                    taken: true,
+                    target: 0x40000,
+                    static_id: 0,
+                }),
+                heap: None,
+                attack: None,
+            }
+        };
+        let ret = |seq, target| {
+            let inst = Instruction::ret();
+            TraceInst {
+                seq,
+                pc: 0x40004,
+                class: inst.class(),
+                inst,
+                mem_addr: None,
+                control: Some(ControlFlow {
+                    taken: true,
+                    target,
+                    static_id: 0,
+                }),
+                heap: None,
+                attack: None,
+            }
+        };
+        assert!(!k.judge(&call(0, 0x1000)));
+        assert!(!k.judge(&ret(1, 0x1004)), "honest return");
+        assert!(!k.judge(&call(2, 0x2000)));
+        assert!(k.judge(&ret(3, 0xDEAD)), "hijacked return");
+    }
+
+    #[test]
+    fn ss_step_tracks_depth_and_flags_on_ret_verdict() {
+        let shared = Rc::new(RefCell::new(SharedTiming::default()));
+        let mut be = ShadowStack.backend(1, Rc::clone(&shared));
+        // class nibble: Call=10, Ret=11 (InstClass dense indices).
+        let call_b = 10 << 4;
+        let ret_bad = (11 << 4) | 0b0010; // verdict bit 1 set
+        let r = be.custom(OP_SS_STEP, 0x4000, call_b);
+        assert_eq!(r.value, 0);
+        assert!(r.mem_touch.is_some());
+        let r = be.custom(OP_SS_STEP, 0xDEAD, ret_bad);
+        assert_eq!(r.value, 1, "hijack verdict surfaces on the ret");
+        assert_eq!(shared.borrow().ss_depth, 0);
+    }
+
+    #[test]
+    fn non_call_ret_ss_step_is_cheap_noop() {
+        let mut be = ShadowStack.backend(1, Rc::new(RefCell::new(SharedTiming::default())));
+        let jump_b = 8 << 4; // Jump class
+        let r = be.custom(OP_SS_STEP, 0x1000, jump_b);
+        assert_eq!(r.value, 0);
+        assert_eq!(r.mem_touch, None);
+    }
+}

@@ -1,224 +1,43 @@
 //! Commit-order kernel semantics (the exact, golden side of each kernel).
 //!
-//! `judge` is called once per committed, subscribed instruction, in program
-//! order. It updates kernel state (allocations, quarantine, shadow stack,
-//! counters) and returns whether this instruction violates the kernel's
-//! policy — the verdict bit the µ-programs later branch on.
+//! [`Semantics::judge`] is called once per committed, subscribed
+//! instruction, in program order. It updates kernel state (allocations,
+//! quarantine, shadow stack, counters, taint, memory tags) and returns
+//! whether this instruction violates the kernel's policy — the verdict bit
+//! the µ-programs later branch on.
+//!
+//! Each registered kernel ships its own state machine in its plugin module
+//! (see [`crate::plugins`]); this module holds the trait they implement
+//! plus the region-tracking helpers the heap-watching kernels share.
 
-use fireguard_isa::InstClass;
-use fireguard_trace::{gen, HeapEvent, TraceInst};
+use fireguard_trace::TraceInst;
 use std::collections::BTreeMap;
 
-/// Red-zone span checked around each allocation (matches the generator).
-const REDZONE: u64 = gen::REDZONE_BYTES;
-/// Quarantine capacity before MineSweeper-style sweeps release regions.
-const QUARANTINE_CAP: usize = 4096;
-
-/// Commit-order semantic state for one kernel instance.
-#[derive(Debug, Clone)]
-pub enum KernelSemantics {
-    /// Custom performance counter with bounds check: counts per-class
-    /// events and flags accesses inside the protected region.
-    Pmc {
-        /// Per-class event counters.
-        counts: [u64; InstClass::COUNT],
-        /// Protected region `[base, base+size)`.
-        region: (u64, u64),
-    },
-    /// Shadow stack: calls push `pc+4`, returns must match.
-    ShadowStack {
-        /// The golden shadow stack.
-        stack: Vec<u64>,
-    },
-    /// AddressSanitizer: red zones around live allocations plus freed
-    /// regions are poisoned.
-    Asan {
-        /// Live allocations: base → size.
-        live: BTreeMap<u64, u64>,
-        /// Poisoned freed regions: base → size.
-        freed: BTreeMap<u64, u64>,
-        /// `[lo, hi)` bound over everything ever tracked (red zones
-        /// included). Never shrinks, so an address outside it provably
-        /// cannot match and the per-access tree walks are skipped — the
-        /// overwhelming majority of traffic is stack/global, far from
-        /// any heap allocation.
-        bounds: (u64, u64),
-    },
-    /// MineSweeper-style use-after-free detection: freed regions are
-    /// quarantined; accesses into quarantine are violations; sweeps
-    /// periodically release quarantine (costing µcore work elsewhere).
-    Uaf {
-        /// Quarantined regions: base → size.
-        quarantine: BTreeMap<u64, u64>,
-        /// `[lo, hi)` bound over every region ever quarantined (never
-        /// shrinks); see the identical fast path in the ASan arm.
-        bounds: (u64, u64),
-        /// Frees since the last sweep.
-        frees_since_sweep: u64,
-        /// Total sweeps performed.
-        sweeps: u64,
-    },
-}
-
-impl KernelSemantics {
-    /// Fresh PMC state protecting the generator's PMC region.
-    pub fn pmc() -> Self {
-        KernelSemantics::Pmc {
-            counts: [0; InstClass::COUNT],
-            region: (gen::PMC_REGION_BASE, gen::PMC_REGION_SIZE),
-        }
-    }
-
-    /// Fresh shadow-stack state.
-    pub fn shadow_stack() -> Self {
-        KernelSemantics::ShadowStack { stack: Vec::new() }
-    }
-
-    /// Fresh AddressSanitizer state.
-    pub fn asan() -> Self {
-        KernelSemantics::Asan {
-            live: BTreeMap::new(),
-            freed: BTreeMap::new(),
-            bounds: (u64::MAX, 0),
-        }
-    }
-
-    /// Fresh use-after-free state.
-    pub fn uaf() -> Self {
-        KernelSemantics::Uaf {
-            quarantine: BTreeMap::new(),
-            bounds: (u64::MAX, 0),
-            frees_since_sweep: 0,
-            sweeps: 0,
-        }
-    }
-
+/// A commit-order kernel state machine.
+///
+/// Obtained fresh from [`crate::KernelSpec::semantics`]; the SoC frontend
+/// owns one per deployed kernel and judges every committing instruction
+/// through it. Implementations must be **pure functions of the event
+/// stream**: no wall-clock, no OS randomness — the determinism contract
+/// every golden test and `.fgt` replay is built on.
+pub trait Semantics: std::fmt::Debug {
     /// Judges one committed instruction in program order; returns `true`
     /// when it violates this kernel's policy.
-    pub fn judge(&mut self, t: &TraceInst) -> bool {
-        match self {
-            KernelSemantics::Pmc { counts, region } => {
-                counts[t.class.index()] += 1;
-                match t.mem_addr {
-                    Some(a) => a >= region.0 && a < region.0 + region.1,
-                    None => false,
-                }
-            }
-            KernelSemantics::ShadowStack { stack } => match t.class {
-                InstClass::Call => {
-                    if stack.len() < 1 << 16 {
-                        stack.push(t.pc + 4);
-                    }
-                    false
-                }
-                InstClass::Ret => {
-                    let expected = stack.pop();
-                    let actual = t.control.map(|c| c.target);
-                    expected.is_some() && actual.is_some() && expected != actual
-                }
-                _ => false,
-            },
-            KernelSemantics::Asan {
-                live,
-                freed,
-                bounds,
-            } => {
-                match t.heap {
-                    Some(HeapEvent::Malloc { base, size }) => {
-                        live.insert(base, size);
-                        freed.remove(&base);
-                        widen(bounds, base, size, REDZONE);
-                        return false;
-                    }
-                    Some(HeapEvent::Free { base, size }) => {
-                        live.remove(&base);
-                        freed.insert(base, size);
-                        widen(bounds, base, size, REDZONE);
-                        return false;
-                    }
-                    None => {}
-                }
-                let Some(a) = t.mem_addr else { return false };
-                // Outside everything ever allocated (red zones included)
-                // nothing can match: skip both tree walks.
-                if a < bounds.0 || a >= bounds.1 {
-                    return false;
-                }
-                // In a freed region?
-                if region_contains(freed, a, 0) {
-                    return true;
-                }
-                // In the red zone of a live allocation?
-                if let Some((&base, &size)) = live.range(..=a + REDZONE).next_back() {
-                    let in_left = a >= base.saturating_sub(REDZONE) && a < base;
-                    let in_right = a >= base + size && a < base + size + REDZONE;
-                    if in_left || in_right {
-                        return true;
-                    }
-                }
-                false
-            }
-            KernelSemantics::Uaf {
-                quarantine,
-                bounds,
-                frees_since_sweep,
-                sweeps,
-            } => {
-                match t.heap {
-                    Some(HeapEvent::Free { base, size }) => {
-                        quarantine.insert(base, size);
-                        widen(bounds, base, size, 0);
-                        *frees_since_sweep += 1;
-                        if quarantine.len() > QUARANTINE_CAP {
-                            // Sweep: release the oldest half.
-                            let release: Vec<u64> = quarantine
-                                .keys()
-                                .take(QUARANTINE_CAP / 2)
-                                .copied()
-                                .collect();
-                            for b in release {
-                                quarantine.remove(&b);
-                            }
-                            *sweeps += 1;
-                            *frees_since_sweep = 0;
-                        }
-                        return false;
-                    }
-                    Some(HeapEvent::Malloc { base, .. }) => {
-                        quarantine.remove(&base);
-                        return false;
-                    }
-                    None => {}
-                }
-                match t.mem_addr {
-                    // Addresses outside every region ever quarantined
-                    // cannot match; see the ASan arm's fast path.
-                    Some(a) if a >= bounds.0 && a < bounds.1 => region_contains(quarantine, a, 0),
-                    _ => false,
-                }
-            }
-        }
-    }
-
-    /// Number of sweeps (UaF only; 0 otherwise).
-    pub fn sweeps(&self) -> u64 {
-        match self {
-            KernelSemantics::Uaf { sweeps, .. } => *sweeps,
-            _ => 0,
-        }
-    }
+    fn judge(&mut self, t: &TraceInst) -> bool;
 }
 
 /// Widens a `[lo, hi)` tracking bound to cover `[base - slack,
 /// base + size + slack)`.
-fn widen(bounds: &mut (u64, u64), base: u64, size: u64, slack: u64) {
+pub(crate) fn widen(bounds: &mut (u64, u64), base: u64, size: u64, slack: u64) {
     bounds.0 = bounds.0.min(base.saturating_sub(slack));
     bounds.1 = bounds
         .1
         .max(base.saturating_add(size).saturating_add(slack));
 }
 
-fn region_contains(map: &BTreeMap<u64, u64>, addr: u64, slack: u64) -> bool {
+/// True when `addr` falls inside a `[base, base + size + slack)` region of
+/// the map (keyed by base, valued by size).
+pub(crate) fn region_contains(map: &BTreeMap<u64, u64>, addr: u64, slack: u64) -> bool {
     match map.range(..=addr).next_back() {
         Some((&base, &size)) => addr < base + size + slack,
         None => false,
@@ -227,146 +46,17 @@ fn region_contains(map: &BTreeMap<u64, u64>, addr: u64, slack: u64) -> bool {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
-    use fireguard_isa::{Instruction, MemWidth};
+    use crate::KernelId;
     use fireguard_trace::{
-        AttackKind, AttackPlan, AttackingTrace, ControlFlow, TraceGenerator, WorkloadProfile,
+        AttackKind, AttackPlan, AttackingTrace, TraceGenerator, WorkloadProfile,
     };
-
-    fn mem(seq: u64, addr: u64) -> TraceInst {
-        let inst = Instruction::load(MemWidth::D, 1.into(), 2.into(), 0);
-        TraceInst {
-            seq,
-            pc: 0x10000,
-            class: inst.class(),
-            inst,
-            mem_addr: Some(addr),
-            control: None,
-            heap: None,
-            attack: None,
-        }
-    }
-
-    fn heap_call(seq: u64, ev: HeapEvent) -> TraceInst {
-        let inst = Instruction::call(64);
-        TraceInst {
-            seq,
-            pc: 0x10000,
-            class: inst.class(),
-            inst,
-            mem_addr: None,
-            control: Some(ControlFlow {
-                taken: true,
-                target: 0x20000,
-                static_id: 0,
-            }),
-            heap: Some(ev),
-            attack: None,
-        }
-    }
-
-    #[test]
-    fn asan_flags_redzone_and_freed_access() {
-        let mut k = KernelSemantics::asan();
-        assert!(!k.judge(&heap_call(
-            0,
-            HeapEvent::Malloc {
-                base: 0x1000,
-                size: 64
-            }
-        )));
-        assert!(!k.judge(&mem(1, 0x1000)), "in-bounds ok");
-        assert!(!k.judge(&mem(2, 0x103F)), "last byte ok");
-        assert!(k.judge(&mem(3, 0x1040)), "right red zone");
-        assert!(k.judge(&mem(4, 0x1000 - 8)), "left red zone");
-        assert!(!k.judge(&heap_call(
-            5,
-            HeapEvent::Free {
-                base: 0x1000,
-                size: 64
-            }
-        )));
-        assert!(k.judge(&mem(6, 0x1010)), "freed region poisoned");
-    }
-
-    #[test]
-    fn uaf_flags_only_freed_access() {
-        let mut k = KernelSemantics::uaf();
-        k.judge(&heap_call(
-            0,
-            HeapEvent::Malloc {
-                base: 0x2000,
-                size: 128,
-            },
-        ));
-        assert!(!k.judge(&mem(1, 0x2000 + 130)), "OOB is not UaF's business");
-        k.judge(&heap_call(
-            2,
-            HeapEvent::Free {
-                base: 0x2000,
-                size: 128,
-            },
-        ));
-        assert!(k.judge(&mem(3, 0x2040)), "quarantined access flagged");
-    }
-
-    #[test]
-    fn shadow_stack_flags_hijack_only() {
-        let mut k = KernelSemantics::shadow_stack();
-        let call = |seq, pc| {
-            let inst = Instruction::call(64);
-            TraceInst {
-                seq,
-                pc,
-                class: inst.class(),
-                inst,
-                mem_addr: None,
-                control: Some(ControlFlow {
-                    taken: true,
-                    target: 0x40000,
-                    static_id: 0,
-                }),
-                heap: None,
-                attack: None,
-            }
-        };
-        let ret = |seq, target| {
-            let inst = Instruction::ret();
-            TraceInst {
-                seq,
-                pc: 0x40004,
-                class: inst.class(),
-                inst,
-                mem_addr: None,
-                control: Some(ControlFlow {
-                    taken: true,
-                    target,
-                    static_id: 0,
-                }),
-                heap: None,
-                attack: None,
-            }
-        };
-        assert!(!k.judge(&call(0, 0x1000)));
-        assert!(!k.judge(&ret(1, 0x1004)), "honest return");
-        assert!(!k.judge(&call(2, 0x2000)));
-        assert!(k.judge(&ret(3, 0xDEAD)), "hijacked return");
-    }
-
-    #[test]
-    fn pmc_flags_protected_region() {
-        let mut k = KernelSemantics::pmc();
-        assert!(!k.judge(&mem(0, 0x5000_0000)));
-        assert!(k.judge(&mem(1, gen::PMC_REGION_BASE + 16)));
-        assert!(!k.judge(&mem(2, gen::PMC_REGION_BASE + gen::PMC_REGION_SIZE)));
-    }
 
     #[test]
     fn verdicts_match_injected_ground_truth_end_to_end() {
-        // Run all four kernels over an attacked dedup trace: every injected
-        // attack must be judged a violation by the responsible kernel, and
-        // natural instructions must never be flagged by SS/PMC (ASan/UaF
-        // naturals are exact too, by generator construction).
+        // Run all four paper kernels over an attacked dedup trace: every
+        // injected attack must be judged a violation by the responsible
+        // kernel, and natural instructions must never be flagged by SS/PMC
+        // (ASan/UaF naturals are exact too, by generator construction).
         let plan = AttackPlan::campaign(
             &[
                 AttackKind::RetHijack,
@@ -381,10 +71,10 @@ mod tests {
         );
         let g = TraceGenerator::new(WorkloadProfile::parsec("dedup").unwrap(), 11);
         let mut trace = AttackingTrace::new(g, plan);
-        let mut pmc = KernelSemantics::pmc();
-        let mut ss = KernelSemantics::shadow_stack();
-        let mut asan = KernelSemantics::asan();
-        let mut uaf = KernelSemantics::uaf();
+        let mut pmc = KernelId::PMC.semantics();
+        let mut ss = KernelId::SHADOW_STACK.semantics();
+        let mut asan = KernelId::ASAN.semantics();
+        let mut uaf = KernelId::UAF.semantics();
         let mut detected = 0;
         let mut materialised = 0;
         for t in trace.by_ref().take(400_000) {
@@ -428,5 +118,19 @@ mod tests {
             detected, materialised,
             "every materialised attack was judged a violation"
         );
+    }
+
+    #[test]
+    fn new_kernels_are_silent_on_natural_traces() {
+        // The DIFT and MTE state machines derive everything from the
+        // existing deterministic trace events; a natural stream must never
+        // introduce taint or a tag mismatch.
+        let g = TraceGenerator::new(WorkloadProfile::parsec("dedup").unwrap(), 11);
+        let mut taint = KernelId::TAINT.semantics();
+        let mut mte = KernelId::MTE.semantics();
+        for t in g.take(300_000) {
+            assert!(!taint.judge(&t), "natural taint violation at seq {}", t.seq);
+            assert!(!mte.judge(&t), "natural tag mismatch at seq {}", t.seq);
+        }
     }
 }

@@ -1,0 +1,282 @@
+//! The open guardian-kernel plugin layer.
+//!
+//! FireGuard's headline claim is a *generalized* microarchitecture: the
+//! same event-filter/µcore fabric hosts arbitrary fine-grained analyses.
+//! This module is the seam that makes the reproduction live up to that
+//! claim: a kernel is a [`KernelSpec`] implementation — one self-contained
+//! module declaring its stable wire id, its event-filter subscriptions,
+//! its commit-order [`Semantics`] state machine, its µ-program, and its
+//! kernel-assist backend — registered in the static [`registry`]. Every
+//! downstream layer (the SoC wiring, the experiment drivers, the `serve`
+//! protocol, the CLI's `--kernel` parser, the conformance suite) is driven
+//! off the registry, so landing a new analysis means writing **one file**
+//! under `plugins/` and adding **one line** here.
+//!
+//! Wire-id allocation rules: ids are dense `u8`s, assigned once and never
+//! reused. Ids 0–3 are the four kernels of the paper's evaluation and are
+//! pinned forever for `.fgt`/HELLO wire compatibility; new kernels take
+//! the next free id. The registry is indexed by id, so `REGISTRY[id]`
+//! always holds the spec whose `id()` equals its position (checked by a
+//! test below).
+
+use crate::kernel::{ProgrammingModel, SharedTiming};
+use crate::semantics::Semantics;
+use fireguard_core::{groups, DpSel, Gid, Policy};
+use fireguard_isa::InstClass;
+use fireguard_trace::AttackKind;
+use fireguard_ucore::{KernelBackend, UProgram};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// The stable identity of a registered guardian kernel.
+///
+/// The wrapped `u8` is the **wire id** used by the `fireguard-server`
+/// HELLO frame and any future persisted format; it doubles as the index
+/// into the [`registry`]. Construct one from the associated constants or
+/// via [`KernelId::from_wire`]; the inner value is deliberately private so
+/// an id that reaches the type system is always registered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct KernelId(u8);
+
+impl KernelId {
+    /// Custom performance counter with bounds check (paper kernel, id 0).
+    pub const PMC: KernelId = KernelId(0);
+    /// Shadow stack (paper kernel, id 1).
+    pub const SHADOW_STACK: KernelId = KernelId(1);
+    /// AddressSanitizer (paper kernel, id 2).
+    pub const ASAN: KernelId = KernelId(2);
+    /// MineSweeper-style use-after-free detection (paper kernel, id 3).
+    pub const UAF: KernelId = KernelId(3);
+    /// Dynamic information-flow (taint) tracking (id 4).
+    pub const TAINT: KernelId = KernelId(4);
+    /// MTE-style lock-and-key memory tagging (id 5).
+    pub const MTE: KernelId = KernelId(5);
+
+    /// Resolves a wire id to a registered kernel; `None` for unknown ids.
+    pub fn from_wire(v: u8) -> Option<KernelId> {
+        if (v as usize) < registry().len() {
+            Some(KernelId(v))
+        } else {
+            None
+        }
+    }
+
+    /// The stable wire encoding of this kernel (ids 0–3 are the paper
+    /// kernels, pinned forever).
+    pub fn wire(self) -> u8 {
+        self.0
+    }
+
+    /// The registered spec behind this id.
+    pub fn spec(self) -> &'static dyn KernelSpec {
+        registry()[self.0 as usize]
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        self.spec().name()
+    }
+
+    /// The instruction groups this kernel subscribes to in the distributor.
+    pub fn gids(self) -> Vec<Gid> {
+        self.spec().gids()
+    }
+
+    /// Event-filter programming: class → (group, data paths).
+    pub fn subscriptions(self) -> Vec<(InstClass, Gid, DpSel)> {
+        self.spec().subscriptions()
+    }
+
+    /// The SE scheduling policy assigned to this kernel.
+    pub fn policy(self) -> Policy {
+        self.spec().policy()
+    }
+
+    /// A fresh commit-order semantics state machine for this kernel.
+    pub fn semantics(self) -> Box<dyn Semantics> {
+        self.spec().semantics()
+    }
+}
+
+impl std::fmt::Display for KernelId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One guardian-kernel plugin: everything the fabric needs to host an
+/// analysis, in one object.
+///
+/// Implementations are zero-sized unit structs registered in
+/// [`registry`]; all per-instance state lives in the [`Semantics`] box
+/// (commit-order, exact) and the [`KernelBackend`] box (µcore-side tables
+/// and timing) this spec manufactures.
+pub trait KernelSpec: Sync {
+    /// The stable id (wire encoding + registry index).
+    fn id(&self) -> KernelId;
+
+    /// Display name matching the paper's figures (e.g. `"Sanitizer"`).
+    fn name(&self) -> &'static str;
+
+    /// CLI spellings accepted by `--kernel`; the first entry is canonical
+    /// and is what `fireguard list` and error messages print.
+    fn cli_names(&self) -> &'static [&'static str];
+
+    /// One-line description for `fireguard list`.
+    fn summary(&self) -> &'static str;
+
+    /// The instruction groups this kernel subscribes to in the distributor.
+    fn gids(&self) -> Vec<Gid>;
+
+    /// Event-filter programming: class → (group, data paths).
+    fn subscriptions(&self) -> Vec<(InstClass, Gid, DpSel)>;
+
+    /// The SE scheduling policy for this kernel's engines.
+    fn policy(&self) -> Policy {
+        Policy::RoundRobin
+    }
+
+    /// The injected attack kinds this kernel must detect — the contract
+    /// the registry-wide conformance suite enforces.
+    fn detects(&self) -> &'static [AttackKind];
+
+    /// A fresh commit-order semantics state machine (the exact, golden
+    /// side of the kernel; verdict bits ride the packet payload).
+    fn semantics(&self) -> Box<dyn Semantics>;
+
+    /// The µ-program its engines run under `model` (the timing side).
+    fn program(&self, model: ProgrammingModel) -> UProgram;
+
+    /// A per-engine backend: kernel-assist custom ops + scratch memory.
+    /// `vbit` is the kernel's verdict bit; `shared` is the timing state
+    /// shared between all engines of one kernel instance.
+    fn backend(&self, vbit: usize, shared: Rc<RefCell<SharedTiming>>) -> Box<dyn KernelBackend>;
+}
+
+/// The static kernel registry, indexed by wire id.
+///
+/// Order is load-bearing: position == `spec.id().wire()`. Ids 0–3 are the
+/// paper kernels and pinned for wire compatibility; append new kernels at
+/// the end.
+pub fn registry() -> &'static [&'static dyn KernelSpec] {
+    REGISTRY
+}
+
+static REGISTRY: &[&'static dyn KernelSpec] = &[
+    &crate::plugins::pmc::Pmc,
+    &crate::plugins::shadow_stack::ShadowStack,
+    &crate::plugins::asan::Asan,
+    &crate::plugins::uaf::Uaf,
+    &crate::plugins::taint::Taint,
+    &crate::plugins::mte::Mte,
+];
+
+/// Resolves a CLI spelling (case-insensitive, any registered alias) to a
+/// kernel id. This is the **only** name table: the CLI builds both its
+/// parser and its error message from the registry, so the list can never
+/// go stale.
+pub fn parse(name: &str) -> Option<KernelId> {
+    let lower = name.trim().to_ascii_lowercase();
+    registry()
+        .iter()
+        .find(|s| s.cli_names().contains(&lower.as_str()))
+        .map(|s| s.id())
+}
+
+/// The canonical CLI name of every registered kernel, registry order.
+pub fn canonical_names() -> Vec<&'static str> {
+    registry().iter().map(|s| s.cli_names()[0]).collect()
+}
+
+// ---- shared subscription shapes ---------------------------------------------
+//
+// The exact (class, group, data-path) tuples the paper kernels program the
+// event filter with. Shared so every memory-watching kernel's packet
+// stream is identical by construction (which is what keeps the pinned
+// packet-stream digests honest).
+
+/// Memory-access subscriptions into group `g`: loads (PRF+LSQ data),
+/// stores and AMOs (LSQ data).
+pub(crate) fn mem_subscriptions(g: Gid) -> Vec<(InstClass, Gid, DpSel)> {
+    vec![
+        (InstClass::Load, g, DpSel::PRF | DpSel::LSQ),
+        (InstClass::Store, g, DpSel::LSQ),
+        (InstClass::Amo, g, DpSel::LSQ),
+    ]
+}
+
+/// Control-transfer subscriptions into group `g`: calls and returns (FTQ
+/// target data).
+pub(crate) fn ctrl_subscriptions(g: Gid) -> Vec<(InstClass, Gid, DpSel)> {
+    vec![
+        (InstClass::Call, g, DpSel::FTQ),
+        (InstClass::Ret, g, DpSel::FTQ),
+    ]
+}
+
+/// The memory + control shape shared by ASan, UaF, taint and MTE.
+pub(crate) fn mem_and_ctrl_subscriptions() -> Vec<(InstClass, Gid, DpSel)> {
+    let mut v = mem_subscriptions(groups::MEM);
+    v.extend(ctrl_subscriptions(groups::CTRL));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_match_positions() {
+        for (i, spec) in registry().iter().enumerate() {
+            assert_eq!(
+                spec.id().wire() as usize,
+                i,
+                "{}: registry position must equal the wire id",
+                spec.name()
+            );
+        }
+    }
+
+    #[test]
+    fn registry_has_six_kernels_with_paper_ids_pinned() {
+        assert_eq!(registry().len(), 6);
+        assert_eq!(KernelId::PMC.wire(), 0);
+        assert_eq!(KernelId::SHADOW_STACK.wire(), 1);
+        assert_eq!(KernelId::ASAN.wire(), 2);
+        assert_eq!(KernelId::UAF.wire(), 3);
+        assert_eq!(KernelId::TAINT.wire(), 4);
+        assert_eq!(KernelId::MTE.wire(), 5);
+        assert!(KernelId::from_wire(6).is_none());
+        assert_eq!(KernelId::from_wire(2), Some(KernelId::ASAN));
+    }
+
+    #[test]
+    fn cli_names_are_unique_and_parse_back() {
+        let mut seen = std::collections::BTreeSet::new();
+        for spec in registry() {
+            assert!(!spec.cli_names().is_empty(), "{}", spec.name());
+            for alias in spec.cli_names() {
+                assert_eq!(*alias, alias.to_ascii_lowercase(), "aliases are lower-case");
+                assert!(seen.insert(*alias), "alias {alias:?} registered twice");
+                assert_eq!(parse(alias), Some(spec.id()));
+                assert_eq!(parse(&alias.to_ascii_uppercase()), Some(spec.id()));
+            }
+        }
+        assert_eq!(parse("rowhammer"), None);
+        assert_eq!(canonical_names().len(), 6);
+    }
+
+    #[test]
+    fn every_spec_is_structurally_sound() {
+        for spec in registry() {
+            assert!(!spec.gids().is_empty(), "{}", spec.name());
+            assert!(!spec.subscriptions().is_empty(), "{}", spec.name());
+            assert!(!spec.detects().is_empty(), "{}", spec.name());
+            assert!(!spec.summary().is_empty(), "{}", spec.name());
+            let _ = spec.semantics();
+            for model in ProgrammingModel::ALL {
+                assert!(spec.program(model).len() > 4, "{}", spec.name());
+            }
+        }
+    }
+}

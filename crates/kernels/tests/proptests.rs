@@ -3,7 +3,7 @@
 //! violations) over arbitrary event interleavings.
 
 use fireguard_isa::{Instruction, MemWidth};
-use fireguard_kernels::KernelSemantics;
+use fireguard_kernels::KernelId;
 use fireguard_trace::{ControlFlow, HeapEvent, TraceInst};
 use proptest::prelude::*;
 
@@ -72,8 +72,8 @@ proptest! {
     /// interiors, no false negatives on freed or red-zone accesses.
     #[test]
     fn asan_uaf_match_reference_region_model(events in proptest::collection::vec(ev(), 1..150)) {
-        let mut asan = KernelSemantics::asan();
-        let mut uaf = KernelSemantics::uaf();
+        let mut asan = KernelId::ASAN.semantics();
+        let mut uaf = KernelId::UAF.semantics();
         // slot -> Some(size) while live, None when freed/never allocated.
         let mut live: [Option<u64>; 32] = [None; 32];
         let mut freed: [Option<u64>; 32] = [None; 32];
@@ -131,7 +131,7 @@ proptest! {
     /// always flags a corrupted return target, for any nesting pattern.
     #[test]
     fn shadow_stack_soundness(depth_script in proptest::collection::vec(any::<bool>(), 1..200), corrupt_at in 0usize..100) {
-        let mut k = KernelSemantics::shadow_stack();
+        let mut k = KernelId::SHADOW_STACK.semantics();
         let mut stack: Vec<u64> = Vec::new();
         let mut seq = 0u64;
         let mut rets_seen = 0usize;
@@ -170,7 +170,7 @@ proptest! {
     #[test]
     fn pmc_region_is_exact(addr in 0u64..(1u64 << 40)) {
         use fireguard_trace::gen::{PMC_REGION_BASE, PMC_REGION_SIZE};
-        let mut k = KernelSemantics::pmc();
+        let mut k = KernelId::PMC.semantics();
         let inside = (PMC_REGION_BASE..PMC_REGION_BASE + PMC_REGION_SIZE).contains(&addr);
         prop_assert_eq!(k.judge(&mem(0, addr)), inside);
     }

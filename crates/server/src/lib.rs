@@ -21,7 +21,7 @@
 //!
 //! ```no_run
 //! use fireguard_server::{serve, run_session, ServeOptions, SessionConfig};
-//! use fireguard_soc::{capture_events, ExperimentConfig, KernelKind};
+//! use fireguard_soc::{capture_events, ExperimentConfig, KernelId};
 //! use std::sync::Arc;
 //!
 //! let handle = serve(ServeOptions {
@@ -29,7 +29,7 @@
 //!     ..ServeOptions::default()
 //! }).unwrap();
 //!
-//! let cfg = ExperimentConfig::new("swaptions").kernel(KernelKind::Pmc, 4).insts(20_000);
+//! let cfg = ExperimentConfig::new("swaptions").kernel(KernelId::PMC, 4).insts(20_000);
 //! let events = Arc::new(capture_events(&cfg));
 //! let session = SessionConfig::from_experiment(&cfg, 0);
 //! let out = run_session(&handle.local_addr().to_string(), &session, events, 512).unwrap();

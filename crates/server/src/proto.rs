@@ -21,7 +21,7 @@
 //!
 //! [`EventEncoder`]: fireguard_trace::codec::EventEncoder
 
-use fireguard_kernels::{KernelKind, ProgrammingModel};
+use fireguard_kernels::{KernelId, ProgrammingModel};
 use fireguard_soc::report::BottleneckBreakdown;
 use fireguard_soc::{Detection, EngineConfig, ExperimentConfig, RunResult};
 use fireguard_trace::codec::{put_string, put_uvarint, read_uvarint, CodecError, Cursor};
@@ -102,7 +102,7 @@ pub struct SessionConfig {
     /// Bare-core cycles for the same stream (0 = unknown; slowdown = 1.0).
     pub baseline_cycles: u64,
     /// Kernels and their engine provisioning, in verdict-bit order.
-    pub kernels: Vec<(KernelKind, EngineConfig)>,
+    pub kernels: Vec<(KernelId, EngineConfig)>,
     /// µ-program style.
     pub model: ProgrammingModel,
     /// Event-filter width.
@@ -113,23 +113,14 @@ pub struct SessionConfig {
     pub mapper_width: usize,
 }
 
-fn kernel_to_u8(k: KernelKind) -> u8 {
-    match k {
-        KernelKind::Pmc => 0,
-        KernelKind::ShadowStack => 1,
-        KernelKind::Asan => 2,
-        KernelKind::Uaf => 3,
-    }
-}
-
-fn kernel_from_u8(v: u8) -> Result<KernelKind, CodecError> {
-    Ok(match v {
-        0 => KernelKind::Pmc,
-        1 => KernelKind::ShadowStack,
-        2 => KernelKind::Asan,
-        3 => KernelKind::Uaf,
-        _ => return Err(CodecError::Corrupt("unknown kernel kind")),
-    })
+// Kernel bytes on the wire are the registry's stable ids
+// (`KernelId::wire`): 0 = PMC, 1 = shadow stack, 2 = ASan, 3 = UaF —
+// pinned forever for compatibility — with newer registered kernels taking
+// the next ids (4 = taint, 5 = MTE). Decoding is registry-driven, so a
+// HELLO naming an unregistered id is a clean `CodecError` (the service
+// answers with an ERROR frame), never a panic.
+fn kernel_from_u8(v: u8) -> Result<KernelId, CodecError> {
+    KernelId::from_wire(v).ok_or(CodecError::Corrupt("unknown kernel id"))
 }
 
 fn model_to_u8(m: ProgrammingModel) -> u8 {
@@ -235,7 +226,7 @@ impl SessionConfig {
         put_uvarint(&mut b, self.baseline_cycles);
         b.push(self.kernels.len() as u8);
         for (kind, engine) in &self.kernels {
-            b.push(kernel_to_u8(*kind));
+            b.push(kind.wire());
             // 0 encodes the hardware accelerator; n > 0 encodes n µcores.
             put_uvarint(
                 &mut b,
@@ -277,7 +268,7 @@ impl SessionConfig {
         }
         let mut kernels = Vec::with_capacity(n_kernels as usize);
         for _ in 0..n_kernels {
-            let kind = kernel_from_u8(cur.u8("hello kernel kind")?)?;
+            let kind = kernel_from_u8(cur.u8("hello kernel id")?)?;
             let engines = cur.uvarint("hello engine count")?;
             if engines > 64 {
                 return Err(CodecError::Corrupt("implausible engine count"));
@@ -470,8 +461,8 @@ mod tests {
             insts: 30_000,
             baseline_cycles: 12_345,
             kernels: vec![
-                (KernelKind::Asan, EngineConfig::Ucores(4)),
-                (KernelKind::ShadowStack, EngineConfig::Ha),
+                (KernelId::ASAN, EngineConfig::Ucores(4)),
+                (KernelId::SHADOW_STACK, EngineConfig::Ha),
             ],
             model: ProgrammingModel::Hybrid,
             filter_width: 4,
@@ -485,6 +476,78 @@ mod tests {
         let cfg = sample_config();
         assert_eq!(SessionConfig::decode(&cfg.encode()).unwrap(), cfg);
         cfg.validate().expect("sample config is valid");
+    }
+
+    /// Wire-format regression pin: the kernel bytes 0–3 decode to the four
+    /// paper kernels **forever**, new kernels extend the sequence without
+    /// renumbering, and an unknown id is a clean decode error (which the
+    /// service answers with an ERROR frame — see the service tests), never
+    /// a hang or panic.
+    #[test]
+    fn kernel_wire_ids_are_pinned() {
+        let expected: &[(u8, &str)] = &[
+            (0, "PMC"),
+            (1, "Shadow"),
+            (2, "Sanitizer"),
+            (3, "UaF"),
+            (4, "Taint"),
+            (5, "MTE"),
+        ];
+        for &(wire, name) in expected {
+            let id = KernelId::from_wire(wire).expect("registered id");
+            assert_eq!(id.wire(), wire);
+            assert_eq!(id.name(), name, "wire id {wire} renamed/renumbered");
+        }
+        assert!(matches!(
+            kernel_from_u8(6),
+            Err(CodecError::Corrupt("unknown kernel id"))
+        ));
+        assert!(kernel_from_u8(250).is_err());
+
+        // A byte-level HELLO fixture: version 1, workload "x", seed 0,
+        // insts 1, baseline 0, one kernel (id byte ‖ 4 µcores), hybrid
+        // model, filter width 4, MA-stage ISAX, mapper width 1. Each paper
+        // kernel id must decode from these exact bytes.
+        for &(wire, _) in expected {
+            let payload: Vec<u8> = vec![
+                1, // protocol version
+                1, b'x', // workload
+                0,    // seed
+                1,    // insts
+                0,    // baseline cycles
+                1,    // kernel count
+                wire, 4, // kernel id byte + engine count
+                3, // hybrid model
+                4, // filter width
+                0, // MA-stage ISAX
+                1, // mapper width
+            ];
+            let cfg = SessionConfig::decode(&payload)
+                .unwrap_or_else(|e| panic!("pinned HELLO bytes for id {wire} broke: {e}"));
+            assert_eq!(
+                cfg.kernels,
+                vec![(KernelId::from_wire(wire).unwrap(), EngineConfig::Ucores(4))]
+            );
+            // And the encoder reproduces the same kernel byte (offset 7:
+            // version ‖ len ‖ "x" ‖ seed ‖ insts ‖ baseline ‖ count).
+            assert_eq!(cfg.encode()[7], wire, "kernel id byte moved");
+        }
+
+        // The same fixture with an unregistered id byte fails cleanly.
+        let mut bad: Vec<u8> = vec![1, 1, b'x', 0, 1, 0, 1, 99, 4, 3, 4, 0, 1];
+        assert!(SessionConfig::decode(&bad).is_err());
+        bad[7] = 5; // highest registered id still decodes
+        assert!(SessionConfig::decode(&bad).is_ok());
+    }
+
+    #[test]
+    fn new_kernel_sessions_round_trip() {
+        for id in [KernelId::TAINT, KernelId::MTE] {
+            let mut cfg = sample_config();
+            cfg.kernels = vec![(id, EngineConfig::Ucores(4))];
+            assert_eq!(SessionConfig::decode(&cfg.encode()).unwrap(), cfg);
+            cfg.validate().expect("taint/mte sessions validate");
+        }
     }
 
     #[test]
@@ -505,7 +568,7 @@ mod tests {
         cfg.kernels.clear();
         assert!(cfg.validate().is_err());
         let mut cfg = sample_config();
-        cfg.kernels = vec![(KernelKind::Asan, EngineConfig::Ucores(17))];
+        cfg.kernels = vec![(KernelId::ASAN, EngineConfig::Ucores(17))];
         assert!(cfg.validate().is_err());
         let mut cfg = sample_config();
         cfg.insts = 0;

@@ -2,7 +2,7 @@
 //! exactly what the equivalent offline `run_fireguard` run reports.
 
 use fireguard_server::{run_loadgen, run_session, serve, ClientError, ServeOptions, SessionConfig};
-use fireguard_soc::{baseline_cycles, capture_events, run_fireguard, ExperimentConfig, KernelKind};
+use fireguard_soc::{baseline_cycles, capture_events, run_fireguard, ExperimentConfig, KernelId};
 use fireguard_trace::{AttackKind, AttackPlan};
 use std::io::Write;
 use std::net::TcpStream;
@@ -26,7 +26,7 @@ fn attack_experiment(insts: u64) -> ExperimentConfig {
         3,
     );
     ExperimentConfig::new("ferret")
-        .kernel(KernelKind::ShadowStack, 4)
+        .kernel(KernelId::SHADOW_STACK, 4)
         .insts(insts)
         .attacks(plan)
 }
@@ -68,6 +68,94 @@ fn served_session_matches_offline_run() {
     served.sort_unstable();
     off.sort_unstable();
     assert_eq!(served, off, "served alarms == offline detections");
+}
+
+/// The generality contract over the wire: every registered kernel —
+/// including the post-paper taint and MTE plugins — negotiates a session
+/// by registry id and reports exactly the offline result.
+#[test]
+fn served_sessions_match_offline_for_new_kernels() {
+    let handle = serve(loopback_opts(2, None)).expect("bind loopback");
+    let addr = handle.local_addr().to_string();
+    for (id, attack, insts) in [
+        // Taint sources fire from the first I/O-window access; UaF-style
+        // attacks need the workload's first frees (dedup's allocation
+        // lifetime is ~30k instructions), so MTE runs a longer stream.
+        (KernelId::TAINT, AttackKind::BoundsViolation, 10_000u64),
+        (KernelId::MTE, AttackKind::UseAfterFree, 26_000),
+    ] {
+        let plan = AttackPlan::campaign(&[attack], 8, insts * 6 / 10, insts - insts / 10, 3);
+        let cfg = ExperimentConfig::new("dedup")
+            .kernel(id, 4)
+            .insts(insts)
+            .attacks(plan);
+        let offline = run_fireguard(&cfg);
+        let base = baseline_cycles(&cfg.workload, cfg.seed, cfg.insts);
+        let events = Arc::new(capture_events(&cfg));
+        let session = SessionConfig::from_experiment(&cfg, base);
+        let out = run_session(&addr, &session, events, 512).expect("session succeeds");
+        assert_eq!(out.summary.committed, offline.committed, "{id}");
+        assert_eq!(out.summary.cycles, offline.cycles, "{id}");
+        assert_eq!(out.summary.packets, offline.packets, "{id}");
+        assert_eq!(out.summary.detections as usize, offline.detections.len());
+        assert!(
+            !out.alarms.is_empty(),
+            "{id}: the campaign must raise alarms over the wire"
+        );
+    }
+    handle.shutdown();
+}
+
+/// A HELLO naming an unregistered kernel id gets a clean ERROR frame —
+/// never a hang or a panic — and the service survives to serve the next
+/// session (the satellite wire-compatibility contract).
+#[test]
+fn unknown_kernel_id_in_hello_gets_an_error_frame() {
+    let handle = serve(loopback_opts(1, None)).expect("bind loopback");
+    let addr = handle.local_addr();
+
+    // A structurally valid HELLO whose kernel byte is unregistered (99).
+    let good = SessionConfig::from_experiment(
+        &ExperimentConfig::new("swaptions")
+            .kernel(KernelId::PMC, 4)
+            .insts(2_000),
+        0,
+    );
+    let mut payload = good.encode();
+    // Kernel id byte offset: version ‖ len ‖ workload ‖ seed ‖ insts ‖
+    // baseline ‖ count — for "swaptions"/seed 42/insts 2000/baseline 0
+    // the varints are 1+1+9+1+2+1+1 bytes, so the id byte is at 16.
+    // Derive it robustly instead: the byte equal to PMC's wire id right
+    // after the kernel-count byte (count 1).
+    let at = payload
+        .windows(2)
+        .position(|w| w == [1, KernelId::PMC.wire()])
+        .expect("count ‖ kernel-id bytes present")
+        + 1;
+    payload[at] = 99;
+    let mut s = TcpStream::connect(addr).unwrap();
+    fireguard_server::proto::write_frame(&mut s, fireguard_server::proto::HELLO, &payload).unwrap();
+    let (tag, msg) = fireguard_server::proto::read_frame(&mut s)
+        .unwrap()
+        .expect("server answers, not hangs");
+    assert_eq!(tag, fireguard_server::proto::ERROR);
+    assert!(
+        String::from_utf8_lossy(&msg).contains("unknown kernel id"),
+        "got: {}",
+        String::from_utf8_lossy(&msg)
+    );
+    drop(s);
+
+    // Service still healthy.
+    let events = Arc::new(capture_events(
+        &ExperimentConfig::new("swaptions")
+            .kernel(KernelId::PMC, 4)
+            .insts(2_000),
+    ));
+    let out = run_session(&addr.to_string(), &good, events, 512).expect("healthy session");
+    // The 4-wide core may overshoot the commit target by up to a burst.
+    assert!(out.summary.committed >= 2_000 && out.summary.committed < 2_004);
+    handle.shutdown();
 }
 
 #[test]
@@ -139,10 +227,10 @@ fn malformed_hello_gets_an_error_frame_not_a_crash() {
 
     // A structurally valid HELLO that violates provisioning limits.
     let mut cfg = SessionConfig::from_experiment(
-        &ExperimentConfig::new("swaptions").kernel(KernelKind::Pmc, 4),
+        &ExperimentConfig::new("swaptions").kernel(KernelId::PMC, 4),
         0,
     );
-    cfg.kernels = vec![(KernelKind::Pmc, fireguard_soc::EngineConfig::Ucores(40))];
+    cfg.kernels = vec![(KernelId::PMC, fireguard_soc::EngineConfig::Ucores(40))];
     let mut s = TcpStream::connect(addr).unwrap();
     fireguard_server::proto::write_frame(&mut s, fireguard_server::proto::HELLO, &cfg.encode())
         .unwrap();
@@ -155,7 +243,7 @@ fn malformed_hello_gets_an_error_frame_not_a_crash() {
 
     // The service is still alive after both abuses.
     let exp = ExperimentConfig::new("swaptions")
-        .kernel(KernelKind::Pmc, 2)
+        .kernel(KernelId::PMC, 2)
         .insts(3_000);
     let events = Arc::new(capture_events(&exp));
     let good = SessionConfig::from_experiment(&exp, 0);
@@ -170,7 +258,7 @@ fn truncated_stream_yields_partial_summary_and_error() {
     let addr = handle.local_addr();
 
     let exp = ExperimentConfig::new("swaptions")
-        .kernel(KernelKind::Pmc, 2)
+        .kernel(KernelId::PMC, 2)
         .insts(50_000);
     // Only 2 000 of the 50 000 committed instructions ever arrive, then
     // the client ends the stream: the server must answer with a partial
@@ -189,7 +277,7 @@ fn truncated_stream_yields_partial_summary_and_error() {
 #[test]
 fn max_sessions_budget_stops_the_service() {
     let exp = ExperimentConfig::new("swaptions")
-        .kernel(KernelKind::Pmc, 2)
+        .kernel(KernelId::PMC, 2)
         .insts(2_000);
     let events = Arc::new(capture_events(&exp));
     let session = SessionConfig::from_experiment(&exp, 0);

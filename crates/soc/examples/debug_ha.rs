@@ -1,11 +1,11 @@
 //! Calibration tool: inspects the hardware-accelerator path's residual
 //! overhead and its bottleneck attribution.
-use fireguard_kernels::KernelKind;
+use fireguard_kernels::KernelId;
 use fireguard_soc::{run_fireguard, ExperimentConfig};
 fn main() {
     let r = run_fireguard(
         &ExperimentConfig::new("x264")
-            .kernel_ha(KernelKind::Pmc)
+            .kernel_ha(KernelId::PMC)
             .insts(40_000),
     );
     println!(

@@ -1,12 +1,12 @@
 //! Calibration tool: one-line system summaries (slowdown, bottleneck
 //! attribution) for representative kernel/workload pairs.
-use fireguard_kernels::KernelKind;
+use fireguard_kernels::KernelId;
 use fireguard_soc::{run_fireguard, ExperimentConfig};
 
 fn main() {
     for (w, kind, n) in [
-        ("fluidanimate", KernelKind::Pmc, 4),
-        ("bodytrack", KernelKind::Asan, 4),
+        ("fluidanimate", KernelId::PMC, 4),
+        ("bodytrack", KernelId::ASAN, 4),
     ] {
         let cfg = ExperimentConfig::new(w).kernel(kind, n).insts(60_000);
         let r = run_fireguard(&cfg);

@@ -3,7 +3,7 @@
 use crate::report::RunResult;
 use crate::system::{EngineConfig, FireGuardSystem, SocConfig};
 use fireguard_boom::{BoomConfig, Core, NullSink};
-use fireguard_kernels::{InstrumentedTrace, KernelKind, ProgrammingModel, SoftwareScheme};
+use fireguard_kernels::{InstrumentedTrace, KernelId, ProgrammingModel, SoftwareScheme};
 use fireguard_trace::{AttackPlan, AttackingTrace, TraceGenerator, WorkloadProfile};
 use fireguard_ucore::IsaxMode;
 
@@ -17,7 +17,7 @@ pub struct ExperimentConfig {
     /// Instructions to commit.
     pub insts: u64,
     /// Kernels and their engine provisioning, in verdict-bit order.
-    pub kernels: Vec<(KernelKind, EngineConfig)>,
+    pub kernels: Vec<(KernelId, EngineConfig)>,
     /// µ-program style.
     pub model: ProgrammingModel,
     /// Event-filter width (Fig. 9 sweeps 1/2/4).
@@ -49,13 +49,13 @@ impl ExperimentConfig {
     }
 
     /// Adds a kernel backed by `n` µcores.
-    pub fn kernel(mut self, kind: KernelKind, n: usize) -> Self {
+    pub fn kernel(mut self, kind: KernelId, n: usize) -> Self {
         self.kernels.push((kind, EngineConfig::Ucores(n)));
         self
     }
 
     /// Adds a kernel backed by a hardware accelerator.
-    pub fn kernel_ha(mut self, kind: KernelKind) -> Self {
+    pub fn kernel_ha(mut self, kind: KernelId) -> Self {
         self.kernels.push((kind, EngineConfig::Ha));
         self
     }
@@ -245,7 +245,7 @@ mod tests {
     #[test]
     fn pmc_on_four_ucores_has_low_overhead() {
         let cfg = ExperimentConfig::new("swaptions")
-            .kernel(KernelKind::Pmc, 4)
+            .kernel(KernelId::PMC, 4)
             .insts(60_000);
         let r = run_fireguard(&cfg);
         assert!(r.committed >= 60_000 && r.committed < 60_004);
@@ -264,7 +264,7 @@ mod tests {
         let run = |n| {
             run_fireguard(
                 &ExperimentConfig::new("bodytrack")
-                    .kernel(KernelKind::Asan, n)
+                    .kernel(KernelId::ASAN, n)
                     .insts(60_000),
             )
             .slowdown
@@ -282,7 +282,7 @@ mod tests {
     fn ha_overhead_is_negligible() {
         let r = run_fireguard(
             &ExperimentConfig::new("streamcluster")
-                .kernel_ha(KernelKind::ShadowStack)
+                .kernel_ha(KernelId::SHADOW_STACK)
                 .insts(60_000),
         );
         assert!(
@@ -303,7 +303,7 @@ mod tests {
         );
         let r = run_fireguard(
             &ExperimentConfig::new("ferret")
-                .kernel(KernelKind::ShadowStack, 4)
+                .kernel(KernelId::SHADOW_STACK, 4)
                 .insts(80_000)
                 .attacks(plan),
         );
@@ -327,12 +327,12 @@ mod tests {
         // superscalar mapper should recover most of the residual overhead.
         let scalar = run_fireguard(
             &ExperimentConfig::new("x264")
-                .kernel_ha(KernelKind::Pmc)
+                .kernel_ha(KernelId::PMC)
                 .insts(40_000),
         );
         let wide = run_fireguard(
             &ExperimentConfig::new("x264")
-                .kernel_ha(KernelKind::Pmc)
+                .kernel_ha(KernelId::PMC)
                 .mapper_width(2)
                 .insts(40_000),
         );
@@ -359,7 +359,7 @@ mod tests {
             3,
         );
         let cfg = ExperimentConfig::new("ferret")
-            .kernel(KernelKind::ShadowStack, 4)
+            .kernel(KernelId::SHADOW_STACK, 4)
             .insts(20_000)
             .attacks(plan);
         let offline = run_fireguard(&cfg);
@@ -385,7 +385,7 @@ mod tests {
             7,
         );
         let cfg = ExperimentConfig::new("dedup")
-            .kernel(KernelKind::Asan, 4)
+            .kernel(KernelId::ASAN, 4)
             .insts(30_000)
             .attacks(plan);
         let offline = run_fireguard(&cfg);
@@ -417,7 +417,7 @@ mod tests {
     #[test]
     fn deterministic_runs() {
         let cfg = ExperimentConfig::new("freqmine")
-            .kernel(KernelKind::Asan, 4)
+            .kernel(KernelId::ASAN, 4)
             .insts(30_000);
         let a = run_fireguard(&cfg);
         let b = run_fireguard(&cfg);

@@ -8,10 +8,10 @@
 //!
 //! ```no_run
 //! use fireguard_soc::{ExperimentConfig, run_fireguard};
-//! use fireguard_kernels::{KernelKind, ProgrammingModel};
+//! use fireguard_kernels::{KernelId, ProgrammingModel};
 //!
 //! let cfg = ExperimentConfig::new("swaptions")
-//!     .kernel(KernelKind::Pmc, 4)
+//!     .kernel(KernelId::PMC, 4)
 //!     .insts(50_000);
 //! let result = run_fireguard(&cfg);
 //! println!("slowdown {:.3}", result.slowdown);
@@ -22,11 +22,11 @@
 //!
 //! ```no_run
 //! use fireguard_soc::sweep::{run_jobs, JobSpec};
-//! use fireguard_soc::{ExperimentConfig, KernelKind};
+//! use fireguard_soc::{ExperimentConfig, KernelId};
 //!
 //! let jobs: Vec<JobSpec> = ["swaptions", "x264"]
 //!     .iter()
-//!     .map(|w| JobSpec::FireGuard(ExperimentConfig::new(w).kernel(KernelKind::Pmc, 4)))
+//!     .map(|w| JobSpec::FireGuard(ExperimentConfig::new(w).kernel(KernelId::PMC, 4)))
 //!     .collect();
 //! for out in run_jobs(jobs, 4) {
 //!     println!("{:.3}", out.slowdown());
@@ -50,6 +50,9 @@ pub use reporter::{render, render_to_string, Block, Cell, Format, Report, Table}
 pub use sweep::{default_workers, run_jobs, JobOutput, JobSpec, SweepGrid, SweepPoint};
 pub use system::{EngineConfig, FireGuardSystem, SocConfig};
 
-// Re-exported so sweep callers can name kernels without a direct
-// `fireguard-kernels` dependency.
-pub use fireguard_kernels::{KernelKind, ProgrammingModel, SoftwareScheme};
+// Re-exported so sweep callers (CLI, bench, server) can reach the kernel
+// registry without a direct `fireguard-kernels` dependency.
+pub use fireguard_kernels::{
+    canonical_names, parse_kernel_name, registry, KernelId, KernelSpec, ProgrammingModel,
+    SoftwareScheme,
+};

@@ -17,7 +17,7 @@
 use crate::experiments::{baseline_cycles, run_fireguard, run_software, ExperimentConfig};
 use crate::report::RunResult;
 use crate::system::EngineConfig;
-use fireguard_kernels::{KernelKind, ProgrammingModel, SoftwareScheme};
+use fireguard_kernels::{KernelId, ProgrammingModel, SoftwareScheme};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 
@@ -208,7 +208,7 @@ pub struct SweepGrid {
     /// PARSEC workload names.
     pub workloads: Vec<String>,
     /// Guardian kernels to deploy (one per system, not combined).
-    pub kernels: Vec<KernelKind>,
+    pub kernels: Vec<KernelId>,
     /// Engine provisionings to try for each kernel.
     pub engines: Vec<EngineConfig>,
     /// Event-filter widths to try.
@@ -227,7 +227,7 @@ pub struct SweepPoint {
     /// PARSEC workload name.
     pub workload: String,
     /// Guardian kernel.
-    pub kernel: KernelKind,
+    pub kernel: KernelId,
     /// Engine provisioning.
     pub engine: EngineConfig,
     /// Event-filter width.
@@ -291,7 +291,7 @@ mod tests {
         ["swaptions", "ferret"]
             .iter()
             .flat_map(|w| {
-                [KernelKind::Pmc, KernelKind::ShadowStack].iter().map(|&k| {
+                [KernelId::PMC, KernelId::SHADOW_STACK].iter().map(|&k| {
                     JobSpec::FireGuard(ExperimentConfig::new(w).kernel(k, 2).insts(3_000))
                 })
             })
@@ -332,7 +332,7 @@ mod tests {
     fn grid_expansion_order_is_workload_major() {
         let g = SweepGrid {
             workloads: vec!["swaptions".into(), "x264".into()],
-            kernels: vec![KernelKind::Pmc, KernelKind::Asan],
+            kernels: vec![KernelId::PMC, KernelId::ASAN],
             engines: vec![EngineConfig::Ucores(4), EngineConfig::Ha],
             filter_widths: vec![4],
             models: vec![ProgrammingModel::Hybrid],
@@ -342,7 +342,7 @@ mod tests {
         let pts = g.expand();
         assert_eq!(pts.len(), 8);
         assert_eq!(pts[0].0.workload, "swaptions");
-        assert_eq!(pts[0].0.kernel, KernelKind::Pmc);
+        assert_eq!(pts[0].0.kernel, KernelId::PMC);
         assert_eq!(pts[0].0.engine_label(), "4u");
         assert_eq!(pts[1].0.engine_label(), "HA");
         assert_eq!(pts[4].0.workload, "x264");

@@ -14,12 +14,11 @@ use fireguard_core::{
     Allocator, CdcQueue, ClockDivider, EventFilter, FilterConfig, Packet, SchedulingEngine,
 };
 use fireguard_kernels::{
-    kernel::SharedTiming, EngineBackend, GuardianKernel, HardwareAccelerator, KernelKind,
-    ProgrammingModel,
+    GuardianKernel, HardwareAccelerator, KernelId, ProgrammingModel, Semantics, SharedTiming,
 };
 use fireguard_noc::Mesh;
 use fireguard_trace::TraceInst;
-use fireguard_ucore::{IsaxMode, QueueEntry, Ucore, UcoreConfig};
+use fireguard_ucore::{IsaxMode, KernelBackend, QueueEntry, Ucore, UcoreConfig};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -76,7 +75,7 @@ impl Default for SocConfig {
 /// cheap to move while a system is being assembled.
 struct UcoreEngine {
     u: Ucore,
-    backend: EngineBackend,
+    backend: Box<dyn KernelBackend>,
 }
 
 enum Engine {
@@ -102,7 +101,7 @@ impl Engine {
 struct Frontend {
     filter: EventFilter,
     allocator: Allocator,
-    semantics: Vec<(usize, fireguard_kernels::KernelSemantics)>, // (vbit, state)
+    semantics: Vec<(usize, Box<dyn Semantics>)>, // (vbit, state machine)
     last_judged: Option<(u64, u8)>,
     cdcs: Vec<CdcQueue<Packet>>,
     engine_full: Vec<bool>,
@@ -179,7 +178,7 @@ impl Frontend {
     fn new(
         filter: EventFilter,
         allocator: Allocator,
-        semantics: Vec<(usize, fireguard_kernels::KernelSemantics)>,
+        semantics: Vec<(usize, Box<dyn Semantics>)>,
         cdcs: Vec<CdcQueue<Packet>>,
         n_engines: usize,
     ) -> Self {
@@ -211,8 +210,8 @@ pub struct FireGuardSystem {
     core: Core<Box<dyn Iterator<Item = TraceInst>>>,
     frontend: Frontend,
     engines: Vec<Engine>,
-    /// (kernel kind, vbit, engines) for reporting and NoC rings.
-    kernel_groups: Vec<(KernelKind, usize, Vec<usize>)>,
+    /// (kernel id, vbit, engines) for reporting and NoC rings.
+    kernel_groups: Vec<(KernelId, usize, Vec<usize>)>,
     /// Per-kernel shared timing state, exposed for reports (sweep counts).
     pub shared_timing: Vec<std::rc::Rc<std::cell::RefCell<SharedTiming>>>,
     mesh: Mesh,
@@ -247,7 +246,7 @@ impl FireGuardSystem {
     pub fn new(
         cfg: SocConfig,
         trace: Box<dyn Iterator<Item = TraceInst>>,
-        kernels: &[(KernelKind, EngineConfig)],
+        kernels: &[(KernelId, EngineConfig)],
     ) -> Self {
         assert!(kernels.len() <= 4, "verdict nibble holds four kernels");
         let mut filter = EventFilter::new(cfg.filter);
@@ -257,9 +256,9 @@ impl FireGuardSystem {
         let mut kernel_groups = Vec::new();
         let mut shared_timing = Vec::new();
 
-        for (vbit, (kind, provision)) in kernels.iter().enumerate() {
-            let g = GuardianKernel::new(*kind, vbit, cfg.model);
-            for (class, gid, dp) in kind.subscriptions() {
+        for (vbit, (id, provision)) in kernels.iter().enumerate() {
+            let g = GuardianKernel::new(*id, vbit, cfg.model);
+            for (class, gid, dp) in id.subscriptions() {
                 filter.subscribe(class, gid, dp);
             }
             let engine_ids: Vec<usize> = match provision {
@@ -285,15 +284,15 @@ impl FireGuardSystem {
             };
             let policy = match provision {
                 EngineConfig::Ha => fireguard_core::Policy::Fixed,
-                _ => kind.policy(),
+                _ => id.policy(),
             };
             let se = allocator.add_se(SchedulingEngine::new(engine_ids.clone(), policy));
-            for gid in kind.gids() {
+            for gid in id.gids() {
                 allocator.subscribe(gid, se);
             }
-            semantics.push((vbit, g.semantics.clone()));
+            semantics.push((vbit, g.fresh_semantics()));
             shared_timing.push(g.shared_timing());
-            kernel_groups.push((*kind, vbit, engine_ids));
+            kernel_groups.push((*id, vbit, engine_ids));
         }
         assert!(engines.len() <= 16, "AE_Bitmap addresses 16 engines");
 
@@ -376,7 +375,7 @@ impl FireGuardSystem {
             // edge had advanced them individually.
             for engine in &mut self.engines {
                 if let Engine::Ucore(e) = engine {
-                    e.u.advance(slow, &mut e.backend);
+                    e.u.advance(slow, e.backend.as_mut());
                 }
             }
         }
@@ -437,7 +436,7 @@ impl FireGuardSystem {
     fn step_engines(&mut self, slow: u64) {
         for engine in &mut self.engines {
             match engine {
-                Engine::Ucore(e) => e.u.advance(slow + 1, &mut e.backend),
+                Engine::Ucore(e) => e.u.advance(slow + 1, e.backend.as_mut()),
                 Engine::Ha(h) => h.step(slow),
             }
         }

@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example attack_detection`
 
-use fireguard::kernels::KernelKind;
+use fireguard::kernels::KernelId;
 use fireguard::soc::report::percentile;
 use fireguard::soc::{run_fireguard, ExperimentConfig};
 use fireguard::trace::{AttackKind, AttackPlan};
@@ -16,10 +16,10 @@ fn main() {
         "kernel", "n", "min", "p50", "max"
     );
     for (kind, attack) in [
-        (KernelKind::Pmc, AttackKind::BoundsViolation),
-        (KernelKind::ShadowStack, AttackKind::RetHijack),
-        (KernelKind::Asan, AttackKind::OutOfBounds),
-        (KernelKind::Uaf, AttackKind::UseAfterFree),
+        (KernelId::PMC, AttackKind::BoundsViolation),
+        (KernelId::SHADOW_STACK, AttackKind::RetHijack),
+        (KernelId::ASAN, AttackKind::OutOfBounds),
+        (KernelId::UAF, AttackKind::UseAfterFree),
     ] {
         let plan = AttackPlan::campaign(&[attack], 40, 20_000, 90_000, 9);
         let r = run_fireguard(

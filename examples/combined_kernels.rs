@@ -4,21 +4,21 @@
 //!
 //! Run with: `cargo run --release --example combined_kernels`
 
-use fireguard::kernels::KernelKind::{Asan, Pmc, ShadowStack};
+use fireguard::kernels::KernelId;
 use fireguard::soc::{run_fireguard, ExperimentConfig};
 
 fn main() {
     let w = "freqmine";
     let n = 80_000;
     let single = |kind| run_fireguard(&ExperimentConfig::new(w).kernel(kind, 4).insts(n)).slowdown;
-    let ss = single(ShadowStack);
-    let pmc = single(Pmc);
-    let asan = single(Asan);
+    let ss = single(KernelId::SHADOW_STACK);
+    let pmc = single(KernelId::PMC);
+    let asan = single(KernelId::ASAN);
     let all = run_fireguard(
         &ExperimentConfig::new(w)
-            .kernel_ha(ShadowStack)
-            .kernel(Pmc, 4)
-            .kernel(Asan, 4)
+            .kernel_ha(KernelId::SHADOW_STACK)
+            .kernel(KernelId::PMC, 4)
+            .kernel(KernelId::ASAN, 4)
             .insts(n),
     )
     .slowdown;

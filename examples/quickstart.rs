@@ -3,14 +3,14 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use fireguard::kernels::KernelKind;
+use fireguard::kernels::KernelId;
 use fireguard::soc::{run_fireguard, ExperimentConfig};
 use fireguard::trace::{AttackKind, AttackPlan};
 
 fn main() {
     let plan = AttackPlan::campaign(&[AttackKind::RetHijack], 5, 10_000, 70_000, 1);
     let cfg = ExperimentConfig::new("ferret")
-        .kernel(KernelKind::ShadowStack, 4)
+        .kernel(KernelId::SHADOW_STACK, 4)
         .insts(100_000)
         .attacks(plan);
 

@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example scaling_study`
 
-use fireguard::kernels::KernelKind;
+use fireguard::kernels::KernelId;
 use fireguard::soc::{run_fireguard, ExperimentConfig};
 
 fn main() {
@@ -14,7 +14,7 @@ fn main() {
         let run = |n| {
             run_fireguard(
                 &ExperimentConfig::new(w)
-                    .kernel(KernelKind::Asan, n)
+                    .kernel(KernelId::ASAN, n)
                     .insts(80_000),
             )
             .slowdown

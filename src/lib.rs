@@ -7,10 +7,14 @@
 //! The paper builds programmable instruction analysis into a real RISC-V
 //! SonicBOOM core: commit-stage taps feed an SRAM-based superscalar event
 //! filter, a broadcast-free mapper routes packets across a clock-domain
-//! crossing to a sea of Rocket µcores running *guardian kernels* (PMC,
-//! shadow stack, AddressSanitizer, use-after-free detection). This
+//! crossing to a sea of Rocket µcores running *guardian kernels*. This
 //! workspace implements every one of those systems as a model crate and
-//! regenerates every table and figure of the paper's evaluation.
+//! regenerates every table and figure of the paper's evaluation. The
+//! kernel layer is an open plugin registry
+//! ([`kernels::registry`]): the paper's four kernels (PMC, shadow stack,
+//! AddressSanitizer, use-after-free detection) plus a DIFT taint tracker
+//! and an MTE-style lock-and-key tagger, each one self-contained module
+//! implementing [`kernels::KernelSpec`].
 //!
 //! ## Crate map
 //!
@@ -23,7 +27,7 @@
 //! | [`ucore`] | `fireguard-ucore` | Rocket-like analysis engines + ISAX |
 //! | [`noc`] | `fireguard-noc` | Manhattan-grid NoC |
 //! | [`core_`] | `fireguard-core` | **the paper's contribution**: DFC, filter, mapper |
-//! | [`kernels`] | `fireguard-kernels` | guardian kernels + software baselines |
+//! | [`kernels`] | `fireguard-kernels` | guardian-kernel plugin registry + software baselines |
 //! | [`soc`] | `fireguard-soc` | full-system integration + experiments |
 //! | [`server`] | `fireguard-server` | online streaming analysis service + trace replay clients |
 //! | [`area`] | `fireguard-area` | Table III / §IV-F area model |
@@ -32,10 +36,10 @@
 //!
 //! ```
 //! use fireguard::soc::{run_fireguard, ExperimentConfig};
-//! use fireguard::kernels::KernelKind;
+//! use fireguard::kernels::KernelId;
 //!
 //! let cfg = ExperimentConfig::new("swaptions")
-//!     .kernel(KernelKind::ShadowStack, 4)
+//!     .kernel(KernelId::SHADOW_STACK, 4)
 //!     .insts(20_000);
 //! let result = run_fireguard(&cfg);
 //! assert!(result.slowdown < 1.2);

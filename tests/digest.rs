@@ -12,7 +12,7 @@
 //! running a full end-to-end simulation per kernel.
 
 use fireguard::core_::{EventFilter, FilterConfig};
-use fireguard::kernels::KernelKind;
+use fireguard::kernels::KernelId;
 use fireguard::trace::{TraceGenerator, WorkloadProfile, PARSEC_WORKLOADS};
 
 /// Instructions per workload (matches the CI smoke budget `FG_INSTS=2000`).
@@ -31,13 +31,19 @@ fn fnv1a(digest: &mut u64, bytes: &[u8]) {
 }
 
 /// The digest of the arbiter's output stream for one seeded workload.
+///
+/// Programmed with the four paper kernels' subscriptions — exactly the
+/// pre-PR-5 filter programming the pinned digests were captured under.
+/// The post-paper plugins add no new subscription shape (asserted by
+/// `new_kernels_reuse_the_pinned_subscription_shape` below), so these
+/// digests cover the packet stream every registered kernel sees.
 fn packet_stream_digest(workload: &str) -> u64 {
     let mut filter = EventFilter::new(FilterConfig::default());
     for kind in [
-        KernelKind::Pmc,
-        KernelKind::ShadowStack,
-        KernelKind::Asan,
-        KernelKind::Uaf,
+        KernelId::PMC,
+        KernelId::SHADOW_STACK,
+        KernelId::ASAN,
+        KernelId::UAF,
     ] {
         for (class, gid, dp) in kind.subscriptions() {
             filter.subscribe(class, gid, dp);
@@ -99,4 +105,14 @@ fn packet_stream_digests_are_pinned_for_all_workloads() {
             "{workload}: packet stream digest drifted (got {got:#018x})"
         );
     }
+}
+
+#[test]
+fn new_kernels_reuse_the_pinned_subscription_shape() {
+    // The taint and MTE plugins program the filter with exactly ASan's
+    // mem+ctrl tuples, so the digests above — captured before they
+    // existed — also pin the packet stream they observe.
+    let asan = KernelId::ASAN.subscriptions();
+    assert_eq!(KernelId::TAINT.subscriptions(), asan);
+    assert_eq!(fireguard::kernels::KernelId::MTE.subscriptions(), asan);
 }

@@ -100,13 +100,13 @@ fn filter_reprogramming_takes_effect() {
 
 #[test]
 fn zero_attack_campaign_yields_zero_detections_everywhere() {
-    use fireguard::kernels::KernelKind;
+    use fireguard::kernels::KernelId;
     use fireguard::soc::{run_fireguard, ExperimentConfig};
     for w in ["blackscholes", "x264"] {
         let r = run_fireguard(
             &ExperimentConfig::new(w)
-                .kernel(KernelKind::Asan, 2)
-                .kernel(KernelKind::Uaf, 2)
+                .kernel(KernelId::ASAN, 2)
+                .kernel(KernelId::UAF, 2)
                 .insts(30_000),
         );
         assert!(
@@ -121,11 +121,11 @@ fn zero_attack_campaign_yields_zero_detections_everywhere() {
 fn overloaded_system_recovers_after_drain() {
     // A 1-wide filter on x264 is maximally stressed; the run must still
     // complete, commit everything, and account for all packets.
-    use fireguard::kernels::KernelKind;
+    use fireguard::kernels::KernelId;
     use fireguard::soc::{run_fireguard, ExperimentConfig};
     let r = run_fireguard(
         &ExperimentConfig::new("x264")
-            .kernel(KernelKind::Asan, 2)
+            .kernel(KernelId::ASAN, 2)
             .filter_width(1)
             .insts(30_000),
     );

@@ -1,6 +1,6 @@
 //! Cross-crate integration tests: the whole FireGuard system, end to end.
 
-use fireguard::kernels::{KernelKind, ProgrammingModel, SoftwareScheme};
+use fireguard::kernels::{KernelId, ProgrammingModel, SoftwareScheme};
 use fireguard::soc::{baseline_cycles, run_fireguard, run_software, ExperimentConfig};
 use fireguard::trace::{AttackKind, AttackPlan};
 use fireguard::ucore::IsaxMode;
@@ -10,7 +10,7 @@ const N: u64 = 40_000;
 #[test]
 fn end_to_end_determinism() {
     let cfg = ExperimentConfig::new("dedup")
-        .kernel(KernelKind::Uaf, 4)
+        .kernel(KernelId::UAF, 4)
         .insts(N);
     let a = run_fireguard(&cfg);
     let b = run_fireguard(&cfg);
@@ -22,7 +22,7 @@ fn end_to_end_determinism() {
 #[test]
 fn slowdown_is_never_speedup() {
     for w in ["swaptions", "x264"] {
-        for kind in [KernelKind::Pmc, KernelKind::Asan] {
+        for kind in [KernelId::PMC, KernelId::ASAN] {
             let r = run_fireguard(&ExperimentConfig::new(w).kernel(kind, 4).insts(N));
             assert!(
                 r.slowdown > 0.99,
@@ -39,7 +39,7 @@ fn more_engines_never_hurt_much() {
     let run = |n| {
         run_fireguard(
             &ExperimentConfig::new("x264")
-                .kernel(KernelKind::Asan, n)
+                .kernel(KernelId::ASAN, n)
                 .insts(N),
         )
         .slowdown
@@ -55,10 +55,10 @@ fn more_engines_never_hurt_much() {
 #[test]
 fn every_attack_kind_is_detected_by_its_kernel() {
     let pairs = [
-        (KernelKind::Pmc, AttackKind::BoundsViolation),
-        (KernelKind::ShadowStack, AttackKind::RetHijack),
-        (KernelKind::Asan, AttackKind::OutOfBounds),
-        (KernelKind::Uaf, AttackKind::UseAfterFree),
+        (KernelId::PMC, AttackKind::BoundsViolation),
+        (KernelId::SHADOW_STACK, AttackKind::RetHijack),
+        (KernelId::ASAN, AttackKind::OutOfBounds),
+        (KernelId::UAF, AttackKind::UseAfterFree),
     ];
     for (kind, attack) in pairs {
         let plan = AttackPlan::campaign(&[attack], 12, N / 4, N - N / 4, 5);
@@ -81,10 +81,10 @@ fn every_attack_kind_is_detected_by_its_kernel() {
 #[test]
 fn no_false_alarms_without_attacks() {
     for kind in [
-        KernelKind::Pmc,
-        KernelKind::ShadowStack,
-        KernelKind::Asan,
-        KernelKind::Uaf,
+        KernelId::PMC,
+        KernelId::SHADOW_STACK,
+        KernelId::ASAN,
+        KernelId::UAF,
     ] {
         let r = run_fireguard(&ExperimentConfig::new("ferret").kernel(kind, 4).insts(N));
         assert!(
@@ -97,7 +97,7 @@ fn no_false_alarms_without_attacks() {
 
 #[test]
 fn hardware_accelerators_remove_the_overhead() {
-    for kind in [KernelKind::Pmc, KernelKind::ShadowStack] {
+    for kind in [KernelId::PMC, KernelId::SHADOW_STACK] {
         // On the heaviest workload the HA must dominate µcores...
         let ucores = run_fireguard(&ExperimentConfig::new("x264").kernel(kind, 2).insts(N));
         let ha = run_fireguard(&ExperimentConfig::new("x264").kernel_ha(kind).insts(N));
@@ -126,16 +126,12 @@ fn hardware_accelerators_remove_the_overhead() {
 #[test]
 fn combining_kernels_does_not_multiply_slowdowns() {
     let w = "streamcluster";
-    let asan = run_fireguard(
-        &ExperimentConfig::new(w)
-            .kernel(KernelKind::Asan, 4)
-            .insts(N),
-    );
-    let pmc = run_fireguard(&ExperimentConfig::new(w).kernel(KernelKind::Pmc, 4).insts(N));
+    let asan = run_fireguard(&ExperimentConfig::new(w).kernel(KernelId::ASAN, 4).insts(N));
+    let pmc = run_fireguard(&ExperimentConfig::new(w).kernel(KernelId::PMC, 4).insts(N));
     let both = run_fireguard(
         &ExperimentConfig::new(w)
-            .kernel(KernelKind::Asan, 4)
-            .kernel(KernelKind::Pmc, 4)
+            .kernel(KernelId::ASAN, 4)
+            .kernel(KernelId::PMC, 4)
             .insts(N),
     );
     let max = asan.slowdown.max(pmc.slowdown);
@@ -159,7 +155,7 @@ fn narrow_filters_cost_performance() {
     let run = |w| {
         run_fireguard(
             &ExperimentConfig::new("bodytrack")
-                .kernel(KernelKind::Asan, 4)
+                .kernel(KernelId::ASAN, 4)
                 .filter_width(w)
                 .insts(N),
         )
@@ -178,7 +174,7 @@ fn ma_stage_isax_beats_post_commit_system_wide() {
     let run = |mode| {
         run_fireguard(
             &ExperimentConfig::new("freqmine")
-                .kernel(KernelKind::Asan, 4)
+                .kernel(KernelId::ASAN, 4)
                 .isax(mode)
                 .insts(N),
         )
@@ -197,7 +193,7 @@ fn programming_models_order_as_in_fig11() {
     let run = |m| {
         run_fireguard(
             &ExperimentConfig::new("x264")
-                .kernel(KernelKind::Pmc, 4)
+                .kernel(KernelId::PMC, 4)
                 .model(m)
                 .insts(N),
         )
@@ -215,7 +211,7 @@ fn programming_models_order_as_in_fig11() {
 fn software_baselines_cost_more_than_hardware_for_light_kernels() {
     let hw = run_fireguard(
         &ExperimentConfig::new("bodytrack")
-            .kernel(KernelKind::ShadowStack, 4)
+            .kernel(KernelId::SHADOW_STACK, 4)
             .insts(N),
     );
     let sw = run_software(SoftwareScheme::ShadowStackAArch64, "bodytrack", 42, N);

@@ -13,7 +13,7 @@ use fireguard::soc::{
 };
 use fireguard::trace::codec::{read_trace, write_trace, TraceMeta};
 use fireguard::trace::{AttackKind, AttackPlan};
-use fireguard_kernels::KernelKind;
+use fireguard_kernels::KernelId;
 
 fn insts() -> u64 {
     // FG_INSTS keeps this aligned with the CI smoke budget.
@@ -56,9 +56,7 @@ fn assert_replay_parity(cfg: &ExperimentConfig) {
 fn replay_parity_for_every_workload_profile() {
     let n = insts();
     for w in fireguard::soc::experiments::workloads() {
-        let cfg = ExperimentConfig::new(w)
-            .kernel(KernelKind::Asan, 4)
-            .insts(n);
+        let cfg = ExperimentConfig::new(w).kernel(KernelId::ASAN, 4).insts(n);
         assert_replay_parity(&cfg);
     }
 }
@@ -74,8 +72,8 @@ fn replay_parity_under_an_attack_campaign() {
         3,
     );
     let cfg = ExperimentConfig::new("ferret")
-        .kernel(KernelKind::ShadowStack, 2)
-        .kernel(KernelKind::Asan, 2)
+        .kernel(KernelId::SHADOW_STACK, 2)
+        .kernel(KernelId::ASAN, 2)
         .insts(n)
         .attacks(plan);
     assert_replay_parity(&cfg);
@@ -85,7 +83,7 @@ fn replay_parity_under_an_attack_campaign() {
 fn replay_parity_with_a_hardware_accelerator() {
     let n = insts();
     let cfg = ExperimentConfig::new("streamcluster")
-        .kernel_ha(KernelKind::ShadowStack)
+        .kernel_ha(KernelId::SHADOW_STACK)
         .insts(n)
         .mapper_width(2);
     assert_replay_parity(&cfg);
