@@ -197,6 +197,11 @@ pub const SCENARIOS: &[Scenario] = &[
         run: bench_e2e_mte,
     },
     Scenario {
+        name: "e2e-all",
+        summary: "one full system: dedup, all registered kernels at once",
+        run: bench_e2e_all,
+    },
+    Scenario {
         name: "steady-state",
         summary: "warm cycle loop (swaptions, PMC x 4u); must not allocate",
         run: bench_steady_state,
@@ -314,6 +319,16 @@ fn bench_e2e_mte(o: &PerfOpts) -> ScenarioResult {
             .insts(o.insts)
             .seed(o.seed),
     )
+}
+
+/// Every registered kernel in one system — the packet-layout-v2 wide
+/// deployment (verdict bits past the old nibble live), two µcores each.
+fn bench_e2e_all(o: &PerfOpts) -> ScenarioResult {
+    let mut cfg = ExperimentConfig::new("dedup").insts(o.insts).seed(o.seed);
+    for spec in fireguard_soc::registry() {
+        cfg = cfg.kernel(spec.id(), 2);
+    }
+    e2e("e2e-all", o, cfg)
 }
 
 fn bench_steady_state(o: &PerfOpts) -> ScenarioResult {
@@ -754,12 +769,13 @@ mod tests {
         assert!(find_scenario("steady-state").is_some());
         assert!(find_scenario("e2e-taint").is_some());
         assert!(find_scenario("e2e-mte").is_some());
+        assert!(find_scenario("e2e-all").is_some());
         assert!(find_scenario("nope").is_none());
     }
 
     #[test]
     fn new_kernel_scenarios_run_at_a_tiny_budget() {
-        for name in ["e2e-taint", "e2e-mte"] {
+        for name in ["e2e-taint", "e2e-mte", "e2e-all"] {
             let r = (find_scenario(name).unwrap().run)(&tiny());
             assert!(r.events >= 1_000, "{name}: {} events", r.events);
             assert!(r.cycles > 0, "{name} simulates cycles");

@@ -242,15 +242,31 @@ fn sweep_report(p: &Parsed) -> Result<Report, String> {
             ws
         }
     };
-    let kernels = match p.kernels.as_deref() {
-        None => vec![KernelId::ASAN],
-        Some(csv) => csv
-            .split(',')
-            .map(parse_kernel)
-            .collect::<Result<Vec<_>, _>>()?,
+    // `--kernel all` deploys every registered kernel *together* in one
+    // system per grid point (the packet-layout-v2 wide-verdict mode);
+    // a csv list still sweeps them one system each.
+    let (kernels, combined) = match p.kernels.as_deref() {
+        None => (vec![KernelId::ASAN], false),
+        Some(csv) if csv.eq_ignore_ascii_case("all") => (
+            fireguard_soc::registry().iter().map(|s| s.id()).collect(),
+            true,
+        ),
+        Some(csv) => (
+            csv.split(',')
+                .map(parse_kernel)
+                .collect::<Result<Vec<_>, _>>()?,
+            false,
+        ),
     };
     let mut engines: Vec<EngineConfig> = match p.ucores.as_deref() {
         None if p.ha => Vec::new(),
+        None if combined => {
+            // Split the fabric evenly so the full registry fits without
+            // the user having to do the engine arithmetic.
+            vec![EngineConfig::Ucores(
+                (fireguard_soc::MAX_ENGINES / kernels.len()).clamp(1, 4),
+            )]
+        }
         None => vec![EngineConfig::Ucores(4)],
         Some(csv) => csv
             .split(',')
@@ -295,6 +311,7 @@ fn sweep_report(p: &Parsed) -> Result<Report, String> {
     let grid = SweepGrid {
         workloads,
         kernels,
+        combined,
         engines,
         filter_widths,
         models,
@@ -304,6 +321,19 @@ fn sweep_report(p: &Parsed) -> Result<Report, String> {
     let expanded = grid.expand();
     if expanded.is_empty() {
         return Err("the sweep grid is empty (no engine axis?)".to_owned());
+    }
+    // Pre-flight every deployment against the fabric/packet ceilings so a
+    // combined grid that doesn't fit is a clean error, not a panic mid-sweep.
+    for (pt, job) in &expanded {
+        if let fireguard_soc::JobSpec::FireGuard(cfg) = job {
+            fireguard_soc::validate_capacity(&cfg.kernels).map_err(|e| {
+                format!(
+                    "sweep point {}/{} does not fit: {e} (try a smaller --ucores)",
+                    pt.workload,
+                    pt.kernel_label()
+                )
+            })?;
+        }
     }
     let (points, jobs): (Vec<_>, Vec<_>) = expanded.into_iter().unzip();
     let outs = run_jobs(jobs, opts.workers);
@@ -323,9 +353,17 @@ fn sweep_report(p: &Parsed) -> Result<Report, String> {
         r.text(format!("workers={}", opts.workers));
     }
     r.blank();
+    // A combined deployment's label is the `+`-join of every kernel name,
+    // so size the column to the widest label actually present.
+    let kernel_col = points
+        .iter()
+        .map(|pt| pt.kernel_label().len())
+        .max()
+        .unwrap_or(0)
+        .max(10);
     let mut t = Table::new(&[
         ("workload", 14),
-        ("kernel", 10),
+        ("kernel", kernel_col),
         ("engine", 7),
         ("fwidth", 7),
         ("model", 15),
@@ -337,7 +375,7 @@ fn sweep_report(p: &Parsed) -> Result<Report, String> {
         let run = out.into_run();
         t.row(vec![
             Cell::Str(pt.workload.clone()),
-            Cell::Str(pt.kernel.name().to_owned()),
+            Cell::Str(pt.kernel_label()),
             Cell::Str(pt.engine_label()),
             Cell::Int(pt.filter_width as i64),
             Cell::Str(pt.model.name().to_owned()),
@@ -387,7 +425,8 @@ fn usage() -> String {
     // The --kernel list comes from the plugin registry, so usage can never
     // drift from the kernels actually registered.
     s.push_str(&format!(
-        "    --kernel <csv>          {kernel_names} (default asan)\n"
+        "    --kernel <csv|all>      {kernel_names} (default asan;\n\
+         \x20                           `all` deploys every kernel in one system)\n"
     ));
     s.push_str(
         "    --ucores <csv>          µcore counts per kernel (default 4)\n\
@@ -416,7 +455,8 @@ fn usage() -> String {
          \x20   --baseline <file>       embed a prior BENCH_*.json's events/s for speedups\n\
          \x20   --check <file>          fail on >10% events/s regression vs <file>\n\
          \n\
-         Replay/client/loadgen take one --kernel with --ucores <N> or --ha.\n\
+         Replay/client/loadgen take --kernel <csv|all> with --ucores <N> or --ha\n\
+         (each kernel gets its own engines; `all` deploys every registered kernel).\n\
          Output is byte-identical for any --jobs value; parallelism only\n\
          changes wall-clock time.\n",
     );

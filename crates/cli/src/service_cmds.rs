@@ -11,7 +11,7 @@ use fireguard_server::{run_loadgen, run_session, SessionConfig};
 use fireguard_soc::report::percentile;
 use fireguard_soc::{
     baseline_cycles, capture_events, run_fireguard_events, Cell, EngineConfig, ExperimentConfig,
-    KernelId, ProgrammingModel, Report, RunResult, Table,
+    KernelId, ProgrammingModel, Report, RunResult, Table, MAX_ENGINES,
 };
 use fireguard_trace::codec::{self, TraceMeta};
 use fireguard_trace::{AttackKind, AttackPlan, TraceInst};
@@ -60,25 +60,29 @@ fn parse_attack_kind(s: &str) -> Result<AttackKind, String> {
 }
 
 /// The analysis configuration shared by `trace replay`, `client` and
-/// `loadgen`: one kernel on µcores or an HA, plus the pipeline knobs.
+/// `loadgen`: one or more kernels (comma-separated; `all` = every
+/// registered kernel) on µcores or HAs, plus the pipeline knobs.
 /// Defaults mirror `sweep` (ASan on 4 µcores, hybrid µ-programs, 4-wide
 /// filter, scalar mapper).
 fn session_experiment(p: &Parsed, meta: &TraceMeta) -> Result<ExperimentConfig, String> {
-    let kernel = match p.kernels.as_deref() {
-        None => KernelId::ASAN,
-        Some(csv) => {
-            let kinds: Vec<&str> = csv.split(',').collect();
-            if kinds.len() != 1 {
-                return Err("exactly one --kernel per session".to_owned());
-            }
-            parse_kernel(kinds[0])?
+    let kinds: Vec<KernelId> = match p.kernels.as_deref() {
+        None => vec![KernelId::ASAN],
+        Some(csv) if csv.trim().eq_ignore_ascii_case("all") => {
+            fireguard_soc::registry().iter().map(|s| s.id()).collect()
         }
+        Some(csv) => csv
+            .split(',')
+            .map(parse_kernel)
+            .collect::<Result<Vec<_>, _>>()?,
     };
     let engine =
         match (p.ucores.as_deref(), p.ha) {
             (Some(_), true) => return Err("--ucores and --ha are mutually exclusive".to_owned()),
             (None, true) => EngineConfig::Ha,
-            (None, false) => EngineConfig::Ucores(4),
+            // Without an explicit --ucores, each kernel gets 4 µcores but
+            // wide deployments split the engine budget evenly, so
+            // `--kernel all` works out of the box.
+            (None, false) => EngineConfig::Ucores((MAX_ENGINES / kinds.len()).clamp(1, 4)),
             (Some(s), false) => {
                 let n: usize =
                     s.trim().parse().ok().filter(|&n| n >= 1).ok_or_else(|| {
@@ -106,7 +110,13 @@ fn session_experiment(p: &Parsed, meta: &TraceMeta) -> Result<ExperimentConfig, 
         .model(model)
         .filter_width(filter_width)
         .mapper_width(p.mapper_width.unwrap_or(1));
-    cfg.kernels = vec![(kernel, engine)];
+    cfg.kernels = kinds.into_iter().map(|k| (k, engine)).collect();
+    // Capacity and structural limits fail here as a clean CLI error — the
+    // same validation a served HELLO goes through — never a panic inside
+    // the system constructor.
+    SessionConfig::from_experiment(&cfg, meta.baseline_cycles)
+        .validate()
+        .map_err(|e| format!("invalid session config: {e}"))?;
     Ok(cfg)
 }
 

@@ -127,6 +127,65 @@ fn new_kernel_plugins_sweep_through_the_cli() {
 }
 
 #[test]
+fn sweep_kernel_all_deploys_the_full_registry_in_one_system() {
+    // `--kernel all` collapses the kernel axis: every registered kernel
+    // rides in a single system per workload (the layout-v2 wide-verdict
+    // deployment), with the engine split defaulted to fit the fabric.
+    let sweep = [
+        "sweep",
+        "--workloads",
+        "dedup",
+        "--kernel",
+        "all",
+        "--insts",
+        "2000",
+        "--format",
+        "jsonl",
+        "--jobs",
+        "1",
+    ];
+    let out = stdout_of(&fireguard(&sweep));
+    let row = out
+        .lines()
+        .find(|l| l.contains("\"kernel\""))
+        .expect("sweep emitted no data row");
+    for spec in fireguard_soc::registry() {
+        assert!(
+            row.contains(spec.name()),
+            "combined sweep row is missing {}:\n{row}",
+            spec.name()
+        );
+    }
+    assert_eq!(
+        out.lines().filter(|l| l.contains("\"kernel\"")).count(),
+        1,
+        "combined sweep must produce one system, not one per kernel:\n{out}"
+    );
+    let again = stdout_of(&fireguard(&sweep));
+    assert_eq!(out, again, "combined sweeps are deterministic");
+
+    // An explicit engine split that overflows the fabric is a clean
+    // pre-flight error, not a mid-sweep panic.
+    let too_big = fireguard(&[
+        "sweep",
+        "--workloads",
+        "dedup",
+        "--kernel",
+        "all",
+        "--ucores",
+        "4",
+        "--insts",
+        "2000",
+    ]);
+    assert_eq!(too_big.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&too_big.stderr);
+    assert!(
+        err.contains("does not fit") && err.contains("engines requested"),
+        "expected a capacity error, got:\n{err}"
+    );
+}
+
+#[test]
 fn list_enumerates_the_kernel_registry() {
     for format in ["human", "jsonl"] {
         let out = stdout_of(&fireguard(&["list", "--format", format]));
@@ -243,6 +302,54 @@ fn trace_record_then_replay_is_deterministic() {
     assert_eq!(a, b, "replay must be deterministic");
     assert!(a.contains("\"workload\":\"swaptions\""));
     assert!(a.contains("\"cycles\":"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `--kernel all` replays every registered kernel in one session — the
+/// packet-layout-v2 deployment — and a config that oversubscribes the
+/// engine budget is a clean CLI error, not a panic.
+#[test]
+fn replay_runs_all_registered_kernels_at_once() {
+    let dir = std::env::temp_dir().join(format!("fgt-all-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let fgt = dir.join("dedup.fgt");
+    let fgt_s = fgt.to_str().unwrap();
+    stdout_of(&fireguard(&[
+        "trace",
+        "record",
+        "--workload",
+        "dedup",
+        "--insts",
+        "2000",
+        "--out",
+        fgt_s,
+    ]));
+
+    let replay = [
+        "trace", "replay", "--trace", fgt_s, "--kernel", "all", "--format", "jsonl",
+    ];
+    let a = stdout_of(&fireguard(&replay));
+    let b = stdout_of(&fireguard(&replay));
+    assert_eq!(a, b, "all-kernels replay must be deterministic");
+    // The engine label names every registered kernel joined with '+'.
+    let names = fireguard_soc::registry()
+        .iter()
+        .map(|s| s.name())
+        .collect::<Vec<_>>()
+        .join("+");
+    assert!(names.matches('+').count() >= 5, "registry holds 6 kernels");
+    for s in fireguard_soc::registry() {
+        assert!(a.contains(s.name()), "missing {} in:\n{a}", s.name());
+    }
+
+    // Oversubscribed: 6 kernels x 4 µcores = 24 engines > the fabric's 16.
+    let out = fireguard(&[
+        "trace", "replay", "--trace", fgt_s, "--kernel", "all", "--ucores", "4",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("invalid session config"), "stderr:\n{err}");
 
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -6,7 +6,7 @@
 //! skipping invalid placeholders for free.
 
 use crate::minifilter::{DpSel, MiniFilter};
-use crate::packet::{Gid, Packet};
+use crate::packet::{layout, Gid, Packet};
 use fireguard_isa::InstClass;
 use fireguard_trace::TraceInst;
 
@@ -206,8 +206,9 @@ impl EventFilter {
         self.offer_judged(now, slot, inst, 0)
     }
 
-    /// Like [`EventFilter::offer`], with the commit-time verdict nibble to
-    /// embed in the packet (see the packet layout docs).
+    /// Like [`EventFilter::offer`], with the commit-time verdict byte to
+    /// embed in the packet (bit *k* = kernel *k*; see the packet layout
+    /// docs — layout v2 carries up to [`layout::VERDICT_BITS`] kernels).
     pub fn offer_judged(&mut self, now: u64, slot: usize, inst: &TraceInst, verdicts: u8) -> bool {
         self.roll_cycle(now);
         self.stats.offers += 1;
@@ -222,7 +223,7 @@ impl EventFilter {
         let packet = match entry.gid {
             Some(gid) => {
                 let mut p = Packet::encapsulate(gid, inst, now, slot as u8);
-                for k in 0..4 {
+                for k in 0..layout::VERDICT_BITS as usize {
                     if verdicts & (1 << k) != 0 {
                         p.set_verdict(k);
                     }

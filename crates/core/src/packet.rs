@@ -60,31 +60,56 @@ pub mod groups {
     pub const SYSTEM: Gid = Gid(4);
 }
 
-/// Bit offsets of the 128-bit packet payload.
+/// Bit offsets of the 128-bit packet payload (layout **v2**).
+///
+/// v2 widened the per-kernel verdict field from the v1 4-bit nibble at
+/// `[119:116]` to a full byte at `[119:112]`, paying for the extra bits
+/// by shrinking `AUX` from 20 to 16 bits (every workload profile's
+/// allocation sizes fit in 16 bits; larger sizes saturate). `CLASS`,
+/// `FLAGS`, and the `FLAG_*` masks are bit-identical to v1, and the
+/// verdict field still *starts where a consumer's 64-bit extract of
+/// `field(VERDICT)` puts bit 0 at kernel 0* — so verdict consumers keep
+/// `(field >> vbit) & 1` and only the in-operand offsets of `CLASS`
+/// (`CLASS - VERDICT`) and `FLAGS` (`FLAGS - VERDICT`) moved.
+///
+/// Every field width lives here and nowhere else: consumers derive masks
+/// and shifts from [`VERDICT_BITS`](layout::VERDICT_BITS),
+/// [`AUX_BITS`](layout::AUX_BITS), and the offset deltas.
 pub mod layout {
     /// `[63:0]` — primary operand: effective address for memory packets,
     /// transfer target for control packets, allocation base for heap events.
     pub const ADDR: u8 = 0;
     /// `[95:64]` — the committing PC, right-shifted by 2.
     pub const PC: u8 = 64;
-    /// `[115:96]` — auxiliary data: allocation size for heap events
-    /// (saturating 20-bit).
+    /// `[111:96]` — auxiliary data: allocation size for heap events
+    /// (saturating [`AUX_BITS`]-bit).
     pub const AUX: u8 = 96;
-    /// `[119:116]` — per-kernel verdict nibble: bit *k* is kernel *k*'s
+    /// Width of the `AUX` field in bits (v1: 20; v2: 16).
+    pub const AUX_BITS: u8 = 16;
+    /// Mask selecting a valid `AUX` value.
+    pub const AUX_MASK: u64 = (1 << AUX_BITS) - 1;
+    /// `[119:112]` — per-kernel verdict byte: bit *k* is kernel *k*'s
     /// commit-time semantic verdict for this packet (see crate docs on the
-    /// semantic-at-commit / timing-at-µcore split).
-    pub const VERDICT: u8 = 116;
+    /// semantic-at-commit / timing-at-µcore split). v1 held a 4-bit
+    /// nibble at `[119:116]`; v2 widened it downward to 8 kernels.
+    pub const VERDICT: u8 = 112;
+    /// Width of the `VERDICT` field in bits — the hard ceiling on kernels
+    /// sharing one packet stream (v1: 4; v2: 8).
+    pub const VERDICT_BITS: u8 = 8;
+    /// Mask selecting the verdict bits of a `field(VERDICT)` extract.
+    pub const VERDICT_MASK: u64 = (1 << VERDICT_BITS) - 1;
     /// `[123:120]` — the dense [`InstClass`](fireguard_isa::InstClass)
-    /// index (4 bits).
+    /// index (4 bits). Same position as v1.
     pub const CLASS: u8 = 120;
-    /// `[127:124]` — flags nibble; see the `FLAG_*` constants.
+    /// `[127:124]` — flags nibble; see the `FLAG_*` constants. Same
+    /// position as v1.
     pub const FLAGS: u8 = 124;
     /// Flag bit 0 (bit 124): the packet carries a malloc event.
-    pub const FLAG_MALLOC: u128 = 1 << 124;
+    pub const FLAG_MALLOC: u128 = 1 << FLAGS;
     /// Flag bit 1 (bit 125): the packet carries a free event.
-    pub const FLAG_FREE: u128 = 1 << 125;
+    pub const FLAG_FREE: u128 = 1 << (FLAGS + 1);
     /// Flag bit 3 (bit 127): the packet is valid.
-    pub const FLAG_VALID: u128 = 1 << 127;
+    pub const FLAG_VALID: u128 = 1 << (FLAGS + 3);
 }
 
 /// Measurement-only metadata accompanying a packet through the simulator.
@@ -127,13 +152,13 @@ impl Packet {
             .unwrap_or(0);
         let aux: u64 = match t.heap {
             Some(HeapEvent::Malloc { size, .. }) | Some(HeapEvent::Free { size, .. }) => {
-                size.min((1 << 20) - 1)
+                size.min(layout::AUX_MASK)
             }
             None => 0,
         };
         let mut bits = u128::from(addr)
             | (u128::from((t.pc >> 2) as u32) << layout::PC)
-            | (u128::from(aux & 0xF_FFFF) << layout::AUX)
+            | (u128::from(aux & layout::AUX_MASK) << layout::AUX)
             | ((t.class.index() as u128 & 0xF) << layout::CLASS)
             | layout::FLAG_VALID;
         match t.heap {
@@ -173,7 +198,11 @@ impl Packet {
 
     /// Sets kernel `k`'s verdict bit (commit-time semantic judgement).
     pub fn set_verdict(&mut self, k: usize) {
-        assert!(k < 4, "verdict nibble holds four kernels");
+        assert!(
+            k < layout::VERDICT_BITS as usize,
+            "verdict field holds {} kernels",
+            layout::VERDICT_BITS
+        );
         self.bits |= 1u128 << (layout::VERDICT + k as u8);
     }
 
@@ -251,7 +280,7 @@ mod tests {
             0x1000_0020,
             "heap base wins over target"
         );
-        assert_eq!(p.field(layout::AUX) & 0xF_FFFF, 256);
+        assert_eq!(p.field(layout::AUX) & layout::AUX_MASK, 256);
         assert!(p.bits() & layout::FLAG_MALLOC != 0);
         assert!(p.bits() & layout::FLAG_FREE == 0);
     }
@@ -297,5 +326,62 @@ mod tests {
     #[should_panic(expected = "GID out of range")]
     fn oversized_gid_rejected() {
         let _ = Gid::new(16);
+    }
+
+    #[test]
+    fn layout_v2_fields_tile_the_upper_half() {
+        // The upper 64 bits are AUX | VERDICT | CLASS | FLAGS with no gaps
+        // and no overlap; any edit to a width must rebalance the budget.
+        assert_eq!(layout::AUX + layout::AUX_BITS, layout::VERDICT);
+        assert_eq!(layout::VERDICT + layout::VERDICT_BITS, layout::CLASS);
+        assert_eq!(layout::CLASS + 4, layout::FLAGS);
+        assert_eq!(layout::FLAGS + 4, 128);
+    }
+
+    #[test]
+    fn verdict_field_holds_eight_kernels() {
+        let mut p = Packet::encapsulate(groups::MEM, &load_inst(0x100), 1, 0);
+        for k in 0..layout::VERDICT_BITS as usize {
+            assert!(!p.verdict(k));
+            p.set_verdict(k);
+            assert!(p.verdict(k));
+        }
+        assert_eq!(
+            p.field(layout::VERDICT) & layout::VERDICT_MASK,
+            layout::VERDICT_MASK
+        );
+        // Widening the verdict must not bleed into its neighbours.
+        assert_eq!(p.class(), InstClass::Load);
+        assert!(p.bits() & layout::FLAG_VALID != 0);
+        assert_eq!(p.field(layout::ADDR), 0x100);
+    }
+
+    #[test]
+    #[should_panic(expected = "verdict field holds")]
+    fn ninth_verdict_bit_rejected() {
+        let mut p = Packet::encapsulate(groups::MEM, &load_inst(0x100), 1, 0);
+        p.set_verdict(layout::VERDICT_BITS as usize);
+    }
+
+    #[test]
+    fn oversized_allocation_saturates_aux() {
+        let inst = Instruction::call(64);
+        let t = TraceInst {
+            seq: 8,
+            pc: 0x2000,
+            class: inst.class(),
+            inst,
+            mem_addr: None,
+            control: None,
+            heap: Some(HeapEvent::Malloc {
+                base: 0x5000_0000,
+                size: 1 << 20,
+            }),
+            attack: None,
+        };
+        let p = Packet::encapsulate(groups::CTRL, &t, 1, 0);
+        assert_eq!(p.field(layout::AUX) & layout::AUX_MASK, layout::AUX_MASK);
+        // Saturation must not corrupt the verdict byte above AUX.
+        assert_eq!(p.field(layout::VERDICT) & layout::VERDICT_MASK, 0);
     }
 }

@@ -42,7 +42,8 @@ impl HardwareAccelerator {
     /// Creates an HA for verdict bit `vbit` consuming `rate` packets per
     /// slow cycle through a `pipeline`-deep checker.
     pub fn new(vbit: usize, rate: usize, pipeline: u64) -> Self {
-        assert!(rate > 0 && vbit < 4);
+        use fireguard_core::packet::layout;
+        assert!(rate > 0 && vbit < layout::VERDICT_BITS as usize);
         HardwareAccelerator {
             queue: VecDeque::new(),
             capacity: 64,
@@ -122,7 +123,7 @@ mod tests {
 
     fn entry(verdict: u8, seq: u64) -> QueueEntry {
         QueueEntry::with_meta(
-            u128::from(verdict & 0xF) << layout::VERDICT,
+            u128::from(u64::from(verdict) & layout::VERDICT_MASK) << layout::VERDICT,
             seq,
             seq * 4,
             verdict != 0,
@@ -159,6 +160,18 @@ mod tests {
         ha.push(entry(0b0010, 1)); // bit 1, not ours
         ha.step(0);
         assert!(ha.detections().is_empty());
+    }
+
+    #[test]
+    fn high_verdict_bits_are_addressable() {
+        // Layout v2: verdict bits 4–7 exist; an HA on bit 6 sees exactly
+        // bit 6 and ignores the old nibble range.
+        let mut ha = HardwareAccelerator::line_rate(6);
+        ha.push(entry(0b0000_1111, 1)); // all v1-nibble bits, not ours
+        ha.push(entry(0b0100_0000, 2)); // bit 6: ours
+        ha.step(0);
+        assert_eq!(ha.detections().len(), 1);
+        assert_eq!(ha.detections()[0].seq, 2);
     }
 
     #[test]

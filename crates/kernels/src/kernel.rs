@@ -7,6 +7,7 @@
 
 use crate::semantics::Semantics;
 use crate::spec::KernelId;
+use fireguard_core::packet::layout;
 use fireguard_ucore::backend::CustomResult;
 use fireguard_ucore::KernelBackend;
 use std::cell::RefCell;
@@ -75,14 +76,21 @@ impl ProgrammingModel {
     }
 }
 
+/// In-operand shift of the class nibble inside a `field(VERDICT)`
+/// extract: `qcheck` hands backends packet bits `[VERDICT+63:VERDICT]`,
+/// so the class sits `CLASS - VERDICT` bits up from the verdict's bit 0.
+pub const CHECK_CLASS_SHIFT: u8 = layout::CLASS - layout::VERDICT;
+/// In-operand shift of the flags nibble inside a `field(VERDICT)` extract.
+pub const CHECK_FLAGS_SHIFT: u8 = layout::FLAGS - layout::VERDICT;
+
 /// The fused-check heap short-circuit shared by every heap-watching
-/// kernel's check op: `b` carries packet bits `[127:116]` with the flags
-/// nibble in `[11:8]`; a malloc/free flag returns check value 2 so the
-/// µ-program branches to its heap microloop instead of table-checking.
-/// One definition keeps the protocol invariant from desynchronizing
-/// across plugins.
+/// kernel's check op: `b` carries packet bits `[127:VERDICT]` with the
+/// flags nibble at [`CHECK_FLAGS_SHIFT`]; a malloc/free flag returns
+/// check value 2 so the µ-program branches to its heap microloop instead
+/// of table-checking. One definition keeps the protocol invariant from
+/// desynchronizing across plugins.
 pub(crate) fn heap_flag_short_circuit(b: u64) -> Option<CustomResult> {
-    let flags = (b >> 8) & 3;
+    let flags = (b >> CHECK_FLAGS_SHIFT) & 3;
     if flags != 0 {
         Some(CustomResult {
             value: 2,
@@ -114,7 +122,8 @@ pub struct SharedTiming {
 pub struct GuardianKernel {
     /// Which registered kernel.
     pub id: KernelId,
-    /// The verdict bit (0–3) assigned to this kernel in packet payloads.
+    /// The verdict bit (`0..layout::VERDICT_BITS`) assigned to this
+    /// kernel in packet payloads.
     pub vbit: usize,
     /// The programming model its µ-programs use.
     pub model: ProgrammingModel,
@@ -126,9 +135,11 @@ impl GuardianKernel {
     ///
     /// # Panics
     ///
-    /// Panics if `vbit >= 4` (the packet verdict nibble has four bits).
+    /// Panics if `vbit >= layout::VERDICT_BITS` (the packet verdict field
+    /// width). Callers sizing a deployment check capacity *before*
+    /// assigning verdict bits (see `fireguard_soc`'s `MAX_KERNELS`).
     pub fn new(id: KernelId, vbit: usize, model: ProgrammingModel) -> Self {
-        assert!(vbit < 4);
+        assert!(vbit < layout::VERDICT_BITS as usize);
         GuardianKernel {
             id,
             vbit,

@@ -155,8 +155,8 @@ impl KernelBackend for AsanBackend {
     }
 
     fn custom(&mut self, op: u8, a: u64, b: u64) -> CustomResult {
-        // `b` carries packet bits [127:116]: verdict nibble in [3:0],
-        // class in [7:4], flags in [11:8].
+        // `b` carries packet bits [127:VERDICT]: verdict byte in [7:0],
+        // class at CHECK_CLASS_SHIFT, flags at CHECK_FLAGS_SHIFT.
         let verdict = (b >> self.vbit) & 1;
         match op {
             OP_CHECK => {
@@ -176,7 +176,7 @@ impl KernelBackend for AsanBackend {
             }
             OP_HEAP => {
                 // a = region base, b = size (from the AUX field here).
-                let size = b & 0xF_FFFF;
+                let size = b & fireguard_core::packet::layout::AUX_MASK;
                 CustomResult {
                     value: 0,
                     extra_cycles: 4 + size / 256,
@@ -192,6 +192,7 @@ impl KernelBackend for AsanBackend {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kernel::CHECK_FLAGS_SHIFT;
     use fireguard_isa::{Instruction, MemWidth};
     use fireguard_trace::ControlFlow;
 
@@ -265,7 +266,7 @@ mod tests {
     #[test]
     fn heap_flagged_packets_short_circuit_to_the_slow_path() {
         let mut be = Asan.backend(0, Rc::new(RefCell::new(SharedTiming::default())));
-        let r = be.custom(OP_CHECK, 0x1000, 0b01 << 8);
+        let r = be.custom(OP_CHECK, 0x1000, 0b01 << CHECK_FLAGS_SHIFT);
         assert_eq!(r.value, 2);
         assert_eq!(r.mem_touch, None);
     }

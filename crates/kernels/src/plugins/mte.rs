@@ -232,8 +232,8 @@ impl KernelBackend for MteBackend {
     }
 
     fn custom(&mut self, op: u8, a: u64, b: u64) -> CustomResult {
-        // `b` carries packet bits [127:116]: verdict nibble in [3:0],
-        // class in [7:4], flags in [11:8].
+        // `b` carries packet bits [127:VERDICT]: verdict byte in [7:0],
+        // class at CHECK_CLASS_SHIFT, flags at CHECK_FLAGS_SHIFT.
         let verdict = (b >> self.vbit) & 1;
         match op {
             OP_MTE_CHECK => {
@@ -255,7 +255,7 @@ impl KernelBackend for MteBackend {
                 // Bulk tagging (DC GVA-style): one store covers several
                 // granules, so the microloop is cheaper than ASan's
                 // byte-granular poisoning.
-                let size = b & 0xF_FFFF;
+                let size = b & fireguard_core::packet::layout::AUX_MASK;
                 CustomResult {
                     value: 0,
                     extra_cycles: 2 + size / 512,
@@ -271,6 +271,7 @@ impl KernelBackend for MteBackend {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kernel::CHECK_FLAGS_SHIFT;
     use fireguard_isa::{Instruction, MemWidth};
     use fireguard_trace::ControlFlow;
 
@@ -387,7 +388,7 @@ mod tests {
         let r = be.custom(OP_MTE_CHECK, 0x1000, 0b0001);
         assert_eq!(r.value, 1);
         assert_eq!(r.mem_touch, Some(MTE_TAG_BASE + (0x1000 >> 5)));
-        let r = be.custom(OP_MTE_CHECK, 0x1000, 0b10 << 8);
+        let r = be.custom(OP_MTE_CHECK, 0x1000, 0b10 << CHECK_FLAGS_SHIFT);
         assert_eq!(r.value, 2, "heap-flagged packets take the retag path");
         let r = be.custom(OP_MTE_TAG, 0x2000, 4096);
         assert!(r.extra_cycles >= 2);

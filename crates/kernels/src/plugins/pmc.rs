@@ -4,7 +4,7 @@
 //! Counts per-class events and flags any access inside the protected
 //! region — the paper's programmable-counter guardian.
 
-use crate::kernel::{ProgrammingModel, SharedTiming, COUNTER_BASE, OP_PMC_STEP};
+use crate::kernel::{ProgrammingModel, SharedTiming, CHECK_CLASS_SHIFT, COUNTER_BASE, OP_PMC_STEP};
 use crate::programs::{self, ProgramShape, SlowPath};
 use crate::semantics::Semantics;
 use crate::spec::{mem_subscriptions, KernelId, KernelSpec};
@@ -109,14 +109,14 @@ impl KernelBackend for PmcBackend {
     }
 
     fn custom(&mut self, op: u8, _a: u64, b: u64) -> CustomResult {
-        // `b` carries packet bits [127:116]: verdict nibble in [3:0],
-        // class in [7:4], flags in [11:8].
+        // `b` carries packet bits [127:VERDICT]: verdict byte in [7:0],
+        // class at CHECK_CLASS_SHIFT, flags at CHECK_FLAGS_SHIFT.
         match op {
             OP_PMC_STEP => CustomResult {
                 value: (b >> self.vbit) & 1,
                 extra_cycles: 0,
                 // Per-class counter line, indexed by the class nibble.
-                mem_touch: Some(COUNTER_BASE + ((b >> 4) & 0xF) * 8),
+                mem_touch: Some(COUNTER_BASE + ((b >> CHECK_CLASS_SHIFT) & 0xF) * 8),
                 touch_blind: true, // counter bumps are blind updates
             },
             _ => CustomResult::default(),
@@ -154,7 +154,7 @@ mod tests {
     #[test]
     fn pmc_step_returns_this_kernels_verdict_bit() {
         let mut be = Pmc.backend(1, Rc::new(RefCell::new(SharedTiming::default())));
-        let r = be.custom(OP_PMC_STEP, 0, 0b0010 | (4 << 4));
+        let r = be.custom(OP_PMC_STEP, 0, 0b0010 | (4 << CHECK_CLASS_SHIFT));
         assert_eq!(r.value, 1);
         assert_eq!(r.mem_touch, Some(COUNTER_BASE + 4 * 8));
         let r = be.custom(OP_PMC_STEP, 0, 0b0001);

@@ -4,7 +4,7 @@
 //! violations. Message locality matters for the stack slots, so this
 //! kernel runs its Scheduling Engine in block mode.
 
-use crate::kernel::{ProgrammingModel, SharedTiming, OP_SS_STEP, SSTACK_BASE};
+use crate::kernel::{ProgrammingModel, SharedTiming, CHECK_CLASS_SHIFT, OP_SS_STEP, SSTACK_BASE};
 use crate::programs::{self, ProgramShape, SlowPath};
 use crate::semantics::Semantics;
 use crate::spec::{ctrl_subscriptions, KernelId, KernelSpec};
@@ -119,12 +119,12 @@ impl KernelBackend for ShadowStackBackend {
     }
 
     fn custom(&mut self, op: u8, _a: u64, b: u64) -> CustomResult {
-        // `b` carries packet bits [127:116]: verdict nibble in [3:0],
-        // class in [7:4], flags in [11:8].
+        // `b` carries packet bits [127:VERDICT]: verdict byte in [7:0],
+        // class at CHECK_CLASS_SHIFT, flags at CHECK_FLAGS_SHIFT.
         let verdict = (b >> self.vbit) & 1;
         match op {
             OP_SS_STEP => {
-                let class = (b >> 4) & 0xF;
+                let class = (b >> CHECK_CLASS_SHIFT) & 0xF;
                 const CALL: u64 = 10;
                 const RET: u64 = 11;
                 let mut sh = self.shared.borrow_mut();
@@ -216,8 +216,8 @@ mod tests {
         let shared = Rc::new(RefCell::new(SharedTiming::default()));
         let mut be = ShadowStack.backend(1, Rc::clone(&shared));
         // class nibble: Call=10, Ret=11 (InstClass dense indices).
-        let call_b = 10 << 4;
-        let ret_bad = (11 << 4) | 0b0010; // verdict bit 1 set
+        let call_b = 10 << CHECK_CLASS_SHIFT;
+        let ret_bad = (11 << CHECK_CLASS_SHIFT) | 0b0010; // verdict bit 1 set
         let r = be.custom(OP_SS_STEP, 0x4000, call_b);
         assert_eq!(r.value, 0);
         assert!(r.mem_touch.is_some());
@@ -229,7 +229,7 @@ mod tests {
     #[test]
     fn non_call_ret_ss_step_is_cheap_noop() {
         let mut be = ShadowStack.backend(1, Rc::new(RefCell::new(SharedTiming::default())));
-        let jump_b = 8 << 4; // Jump class
+        let jump_b = 8 << CHECK_CLASS_SHIFT; // Jump class
         let r = be.custom(OP_SS_STEP, 0x1000, jump_b);
         assert_eq!(r.value, 0);
         assert_eq!(r.mem_touch, None);

@@ -158,8 +158,8 @@ impl KernelBackend for UafBackend {
     }
 
     fn custom(&mut self, op: u8, a: u64, b: u64) -> CustomResult {
-        // `b` carries packet bits [127:116]: verdict nibble in [3:0],
-        // class in [7:4], flags in [11:8].
+        // `b` carries packet bits [127:VERDICT]: verdict byte in [7:0],
+        // class at CHECK_CLASS_SHIFT, flags at CHECK_FLAGS_SHIFT.
         let verdict = (b >> self.vbit) & 1;
         match op {
             OP_CHECK => {
@@ -176,7 +176,7 @@ impl KernelBackend for UafBackend {
             }
             OP_HEAP => {
                 // a = region base, b = size (from the AUX field here).
-                let size = b & 0xF_FFFF;
+                let size = b & fireguard_core::packet::layout::AUX_MASK;
                 let mut sh = self.shared.borrow_mut();
                 let mut extra = 4 + size / 256;
                 sh.frees += 1;

@@ -1,7 +1,7 @@
 //! The shared µ-program builder, in all four programming models.
 //!
 //! Register conventions: `x1` packet address field, `x2` packet bits
-//! `[127:116]` (verdict ‖ class ‖ flags), `x3` check result, `x4` queue
+//! `[127:112]` (verdict ‖ class ‖ flags), `x3` check result, `x4` queue
 //! count, `x5`–`x7` scratch, `x10`–`x12` loop constants.
 //!
 //! The paper's Fig. 11 compares these models on PMC: a conventional
@@ -136,7 +136,7 @@ pub fn build(shape: ProgramShape, model: ProgrammingModel) -> UProgram {
             asm.bind(heap);
             asm.qrecent(1, layout::ADDR); // region base
             asm.qrecent(6, layout::AUX); // allocation size
-            asm.andi(6, 6, 0xF_FFFF);
+            asm.andi(6, 6, layout::AUX_MASK as i64);
             asm.custom(heap_op, 7, 1, 6); // poison/quarantine/retag microloop
             asm.jump(top);
         }
@@ -152,7 +152,7 @@ pub fn build(shape: ProgramShape, model: ProgrammingModel) -> UProgram {
 /// (violation verdicts, heap events) branches to the shared `slow` label.
 fn emit_fast_body(asm: &mut Asm, fast_op: u8, slow: Label) {
     asm.qpop(2, layout::VERDICT); // consume; verdict|class|flags
-    asm.qcheck(fast_op, 3); // fused table touch + verdict
+    asm.qcheck(fast_op, 3, layout::VERDICT); // fused table touch + verdict
     asm.bnez(3, slow);
 }
 
@@ -164,12 +164,12 @@ mod tests {
     use crate::KernelId;
     use fireguard_ucore::{QueueEntry, Ucore, UcoreConfig};
 
-    fn entry(addr: u64, verdict_nibble: u8, class: u8, flags: u8, seq: u64) -> QueueEntry {
+    fn entry(addr: u64, verdicts: u8, class: u8, flags: u8, seq: u64) -> QueueEntry {
         let bits = u128::from(addr)
-            | (u128::from(verdict_nibble & 0xF) << layout::VERDICT)
+            | (u128::from(u64::from(verdicts) & layout::VERDICT_MASK) << layout::VERDICT)
             | (u128::from(class & 0xF) << layout::CLASS)
             | (u128::from(flags & 0xF) << layout::FLAGS);
-        QueueEntry::with_meta(bits, seq, seq * 10, verdict_nibble != 0)
+        QueueEntry::with_meta(bits, seq, seq * 10, verdicts != 0)
     }
 
     #[test]

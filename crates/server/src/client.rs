@@ -43,6 +43,8 @@ pub enum ClientError {
     Server(String),
     /// The server violated the protocol (e.g. closed before SUMMARY).
     Protocol(String),
+    /// The session config failed validation before anything was sent.
+    Config(String),
 }
 
 impl std::fmt::Display for ClientError {
@@ -52,6 +54,7 @@ impl std::fmt::Display for ClientError {
             ClientError::Codec(e) => write!(f, "codec error: {e}"),
             ClientError::Server(m) => write!(f, "server error: {m}"),
             ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Config(m) => write!(f, "invalid session config: {m}"),
         }
     }
 }
@@ -84,13 +87,16 @@ pub fn run_session(
     events: Arc<Vec<TraceInst>>,
     batch: usize,
 ) -> Result<SessionOutcome, ClientError> {
+    // Validate-and-encode before touching the network: a config the
+    // server would refuse anyway never opens a connection.
+    let hello = cfg.encode().map_err(ClientError::Config)?;
+
     let started = Instant::now();
     let stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true)?;
     let mut reader = BufReader::new(stream.try_clone()?);
 
     let batch = batch.max(1);
-    let hello = cfg.encode();
     let events_sent = events.len() as u64;
     let sender = {
         let events = Arc::clone(&events);
@@ -134,8 +140,16 @@ pub fn run_session(
     }
     // The server may stop reading as soon as its commit target is reached,
     // so the sender can legitimately die on a broken pipe — only surface
-    // its error if the session as a whole failed.
-    let send_result = sender.join().expect("sender thread never panics");
+    // its error if the session as a whole failed. A panicked sender is a
+    // session error, not a client-process abort.
+    let send_result = match sender.join() {
+        Ok(r) => r,
+        Err(_) => {
+            return Err(ClientError::Protocol(
+                "sender thread panicked mid-session".to_owned(),
+            ));
+        }
+    };
     if let Some(msg) = server_error {
         return Err(ClientError::Server(msg));
     }

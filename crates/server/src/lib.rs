@@ -46,5 +46,7 @@ pub mod service;
 
 pub use client::{run_session, ClientError, SessionOutcome, DEFAULT_BATCH};
 pub use loadgen::{run_loadgen, LoadgenOutcome};
-pub use proto::{SessionConfig, Summary, PROTO_VERSION};
+pub use proto::{
+    SessionConfig, Summary, CAP_WIDE_VERDICT, PROTO_V1, PROTO_V2, PROTO_VERSION, V1_MAX_KERNELS,
+};
 pub use service::{serve, ServeOptions, ServerHandle, OBSERVE_EVERY};

@@ -23,13 +23,30 @@
 
 use fireguard_kernels::{KernelId, ProgrammingModel};
 use fireguard_soc::report::BottleneckBreakdown;
-use fireguard_soc::{Detection, EngineConfig, ExperimentConfig, RunResult};
+use fireguard_soc::{
+    Detection, EngineConfig, ExperimentConfig, RunResult, MAX_ENGINES, MAX_KERNELS,
+};
 use fireguard_trace::codec::{put_string, put_uvarint, read_uvarint, CodecError, Cursor};
 use fireguard_ucore::IsaxMode;
 use std::io::{self, Read, Write};
 
-/// Protocol version carried in the HELLO frame.
-pub const PROTO_VERSION: u64 = 1;
+/// Protocol version 1: the original HELLO (no capability field, verdict
+/// nibble semantics — at most [`V1_MAX_KERNELS`] kernels per session).
+pub const PROTO_V1: u64 = 1;
+/// Protocol version 2: HELLO carries a capability uvarint after the
+/// version; sessions may request packet-layout-v2 features.
+pub const PROTO_V2: u64 = 2;
+/// The newest protocol version this build speaks. A client only *emits*
+/// v2 when its config needs a v2 capability; v2 is negotiated, never
+/// assumed, so v1 peers interoperate unchanged.
+pub const PROTO_VERSION: u64 = PROTO_V2;
+/// Capability bit (v2 HELLO): the session uses the layout-v2 8-bit
+/// verdict field, lifting the kernel ceiling from [`V1_MAX_KERNELS`] to
+/// [`fireguard_soc::MAX_KERNELS`].
+pub const CAP_WIDE_VERDICT: u64 = 1 << 0;
+/// The v1 kernel ceiling (the packet layout v1 verdict nibble). A HELLO
+/// naming more kernels must negotiate [`CAP_WIDE_VERDICT`] via v2.
+pub const V1_MAX_KERNELS: usize = 4;
 /// Hard bound on any frame payload (4 MiB) — enforced on both sides.
 pub const MAX_FRAME: u64 = 1 << 22;
 
@@ -186,8 +203,11 @@ impl SessionConfig {
         if self.kernels.is_empty() {
             return Err("at least one kernel is required".into());
         }
-        if self.kernels.len() > 4 {
-            return Err(format!("{} kernels requested (max 4)", self.kernels.len()));
+        if self.kernels.len() > MAX_KERNELS {
+            return Err(format!(
+                "{} kernels requested (max {MAX_KERNELS})",
+                self.kernels.len()
+            ));
         }
         let engines: usize = self
             .kernels
@@ -197,8 +217,8 @@ impl SessionConfig {
                 EngineConfig::Ha => 1,
             })
             .sum();
-        if engines == 0 || engines > 16 {
-            return Err(format!("{engines} engines requested (1..=16)"));
+        if engines == 0 || engines > MAX_ENGINES {
+            return Err(format!("{engines} engines requested (1..={MAX_ENGINES})"));
         }
         if self
             .kernels
@@ -216,10 +236,45 @@ impl SessionConfig {
         Ok(())
     }
 
-    /// Encodes the HELLO payload (including the protocol version).
-    pub fn encode(&self) -> Vec<u8> {
+    /// The protocol version this config goes on the wire as: [`PROTO_V1`]
+    /// whenever the session fits v1 semantics (so the bytes stay identical
+    /// to what historical encoders produced), [`PROTO_V2`] only when a v2
+    /// capability is actually needed. v2 is negotiated, never assumed.
+    pub fn wire_version(&self) -> u64 {
+        if self.kernels.len() > V1_MAX_KERNELS {
+            PROTO_V2
+        } else {
+            PROTO_V1
+        }
+    }
+
+    /// The capability bits a v2 HELLO for this config carries.
+    pub fn caps(&self) -> u64 {
+        if self.kernels.len() > V1_MAX_KERNELS {
+            CAP_WIDE_VERDICT
+        } else {
+            0
+        }
+    }
+
+    /// Encodes the HELLO payload (including the protocol version; a v2
+    /// HELLO additionally carries the capability bits right after it).
+    ///
+    /// Encoding validates first — an out-of-range config (e.g. more
+    /// kernels than the verdict field holds) is refused here rather than
+    /// silently truncated onto the wire.
+    ///
+    /// # Errors
+    ///
+    /// The [`validate`](Self::validate) refusal reason.
+    pub fn encode(&self) -> Result<Vec<u8>, String> {
+        self.validate()?;
         let mut b = Vec::new();
-        put_uvarint(&mut b, PROTO_VERSION);
+        let version = self.wire_version();
+        put_uvarint(&mut b, version);
+        if version >= PROTO_V2 {
+            put_uvarint(&mut b, self.caps());
+        }
         put_string(&mut b, &self.workload);
         put_uvarint(&mut b, self.seed);
         put_uvarint(&mut b, self.insts);
@@ -243,10 +298,17 @@ impl SessionConfig {
             IsaxMode::PostCommit => 1,
         });
         put_uvarint(&mut b, self.mapper_width as u64);
-        b
+        Ok(b)
     }
 
-    /// Decodes a HELLO payload.
+    /// Decodes a HELLO payload (v1 or v2).
+    ///
+    /// A v1 HELLO implies an empty capability set; a v2 HELLO carries its
+    /// capability bits after the version (unknown bits are ignored for
+    /// forward compatibility). Either way, a session naming more than
+    /// [`V1_MAX_KERNELS`] kernels without [`CAP_WIDE_VERDICT`] negotiated
+    /// is refused — a v1 peer can never be handed 8-bit verdict state it
+    /// does not understand.
     ///
     /// # Errors
     ///
@@ -255,16 +317,24 @@ impl SessionConfig {
     pub fn decode(payload: &[u8]) -> Result<Self, CodecError> {
         let mut cur = Cursor::new(payload);
         let version = cur.uvarint("hello version")?;
-        if version != PROTO_VERSION {
+        if version != PROTO_V1 && version != PROTO_V2 {
             return Err(CodecError::UnsupportedVersion(version));
         }
+        let caps = if version >= PROTO_V2 {
+            cur.uvarint("hello caps")?
+        } else {
+            0
+        };
         let workload = cur.string(1024, "hello workload")?;
         let seed = cur.uvarint("hello seed")?;
         let insts = cur.uvarint("hello insts")?;
         let baseline_cycles = cur.uvarint("hello baseline")?;
         let n_kernels = cur.u8("hello kernel count")?;
-        if n_kernels > 8 {
+        if n_kernels as usize > MAX_KERNELS {
             return Err(CodecError::Corrupt("implausible kernel count"));
+        }
+        if n_kernels as usize > V1_MAX_KERNELS && caps & CAP_WIDE_VERDICT == 0 {
+            return Err(CodecError::Corrupt("wide verdict not negotiated"));
         }
         let mut kernels = Vec::with_capacity(n_kernels as usize);
         for _ in 0..n_kernels {
@@ -471,10 +541,21 @@ mod tests {
         }
     }
 
+    /// All six registered kernels, one µcore each — a layout-v2 session
+    /// that can only travel as a v2 HELLO.
+    fn wide_config() -> SessionConfig {
+        let mut cfg = sample_config();
+        cfg.kernels = fireguard_soc::registry()
+            .iter()
+            .map(|spec| (spec.id(), EngineConfig::Ucores(1)))
+            .collect();
+        cfg
+    }
+
     #[test]
     fn hello_round_trips() {
         let cfg = sample_config();
-        assert_eq!(SessionConfig::decode(&cfg.encode()).unwrap(), cfg);
+        assert_eq!(SessionConfig::decode(&cfg.encode().unwrap()).unwrap(), cfg);
         cfg.validate().expect("sample config is valid");
     }
 
@@ -529,8 +610,10 @@ mod tests {
                 vec![(KernelId::from_wire(wire).unwrap(), EngineConfig::Ucores(4))]
             );
             // And the encoder reproduces the same kernel byte (offset 7:
-            // version ‖ len ‖ "x" ‖ seed ‖ insts ‖ baseline ‖ count).
-            assert_eq!(cfg.encode()[7], wire, "kernel id byte moved");
+            // version ‖ len ‖ "x" ‖ seed ‖ insts ‖ baseline ‖ count) —
+            // a ≤4-kernel session re-encodes as byte-identical v1.
+            assert_eq!(cfg.encode().unwrap(), payload, "v1 HELLO bytes moved");
+            assert_eq!(cfg.encode().unwrap()[7], wire, "kernel id byte moved");
         }
 
         // The same fixture with an unregistered id byte fails cleanly.
@@ -545,7 +628,7 @@ mod tests {
         for id in [KernelId::TAINT, KernelId::MTE] {
             let mut cfg = sample_config();
             cfg.kernels = vec![(id, EngineConfig::Ucores(4))];
-            assert_eq!(SessionConfig::decode(&cfg.encode()).unwrap(), cfg);
+            assert_eq!(SessionConfig::decode(&cfg.encode().unwrap()).unwrap(), cfg);
             cfg.validate().expect("taint/mte sessions validate");
         }
     }
@@ -554,12 +637,83 @@ mod tests {
     fn hello_decode_rejects_garbage() {
         assert!(SessionConfig::decode(&[]).is_err());
         assert!(SessionConfig::decode(&[0xFF; 64]).is_err());
-        let mut future = sample_config().encode();
+        let mut future = sample_config().encode().unwrap();
         future[0] = 9; // protocol version 9
         assert!(matches!(
             SessionConfig::decode(&future),
             Err(CodecError::UnsupportedVersion(9))
         ));
+    }
+
+    /// The v1↔v2 negotiation matrix: small sessions stay v1 on the wire,
+    /// wide sessions carry the capability bit, and a wide session that
+    /// *didn't* negotiate it is refused.
+    #[test]
+    fn wide_sessions_negotiate_v2() {
+        // ≤4 kernels: v1 on the wire, no caps field.
+        let small = sample_config();
+        assert_eq!(small.wire_version(), PROTO_V1);
+        assert_eq!(small.caps(), 0);
+        assert_eq!(small.encode().unwrap()[0], PROTO_V1 as u8);
+
+        // >4 kernels: v2 + CAP_WIDE_VERDICT, and it round-trips.
+        let wide = wide_config();
+        assert_eq!(wide.kernels.len(), 6, "all registered kernels");
+        assert_eq!(wide.wire_version(), PROTO_V2);
+        assert_eq!(wide.caps(), CAP_WIDE_VERDICT);
+        let bytes = wide.encode().unwrap();
+        assert_eq!(bytes[0], PROTO_V2 as u8);
+        assert_eq!(bytes[1] as u64, CAP_WIDE_VERDICT);
+        assert_eq!(SessionConfig::decode(&bytes).unwrap(), wide);
+    }
+
+    #[test]
+    fn wide_session_without_negotiated_cap_is_refused() {
+        // A v2 HELLO whose caps field lacks CAP_WIDE_VERDICT but names
+        // more than four kernels: refused, never silently accepted.
+        let mut bytes = wide_config().encode().unwrap();
+        assert_eq!(bytes[1] as u64, CAP_WIDE_VERDICT);
+        bytes[1] = 0;
+        assert!(matches!(
+            SessionConfig::decode(&bytes),
+            Err(CodecError::Corrupt("wide verdict not negotiated"))
+        ));
+
+        // A hand-built *v1* HELLO naming five kernels (caps implicitly
+        // empty) is refused the same way — a v1 peer cannot smuggle a
+        // wide session in.
+        let mut v1: Vec<u8> = vec![1, 1, b'x', 0, 1, 0, 5];
+        for wire in 0..5u8 {
+            v1.push(wire); // kernel id
+            v1.push(1); // one µcore
+        }
+        v1.extend_from_slice(&[3, 4, 0, 1]); // model, filter, isax, mapper
+        assert!(matches!(
+            SessionConfig::decode(&v1),
+            Err(CodecError::Corrupt("wide verdict not negotiated"))
+        ));
+    }
+
+    #[test]
+    fn unknown_v2_capability_bits_are_ignored() {
+        // Forward compatibility: a future client may set bits we don't
+        // know; the session still decodes on this build.
+        let wide = wide_config();
+        let mut bytes = wide.encode().unwrap();
+        bytes[1] = (CAP_WIDE_VERDICT | (1 << 3)) as u8;
+        assert_eq!(SessionConfig::decode(&bytes).unwrap(), wide);
+    }
+
+    #[test]
+    fn encode_refuses_invalid_configs() {
+        // More kernels than the verdict field holds: encode() refuses
+        // instead of truncating the count byte onto the wire.
+        let mut cfg = sample_config();
+        cfg.kernels = vec![(KernelId::PMC, EngineConfig::Ucores(1)); MAX_KERNELS + 1];
+        assert!(cfg.encode().is_err());
+        let mut cfg = sample_config();
+        cfg.insts = 0;
+        assert!(cfg.encode().is_err());
     }
 
     #[test]

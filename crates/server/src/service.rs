@@ -28,7 +28,7 @@ use crate::proto::{
     self, read_frame, write_frame, SessionConfig, Summary, ALARMS, END, ERROR, EVENTS, HELLO,
     SUMMARY,
 };
-use fireguard_soc::{build_system, Detection};
+use fireguard_soc::{try_build_system, Detection};
 use fireguard_trace::codec::{EventDecoder, MAX_BATCH_EVENTS};
 use fireguard_trace::TraceInst;
 use std::collections::VecDeque;
@@ -317,7 +317,13 @@ fn session_inner(
     };
 
     let exp = cfg.to_experiment();
-    let mut sys = build_system(&exp, Box::new(events));
+    // validate() already bounds the config, but the constructor's own
+    // capacity check is the final authority — surface its refusal as an
+    // ERROR frame too, never a worker panic.
+    let mut sys = match try_build_system(&exp, Box::new(events)) {
+        Ok(sys) => sys,
+        Err(e) => return send_error(writer, &format!("refused session: {e}")),
+    };
     let mut write_err = false;
     let result = sys.run_insts_observed(
         cfg.insts,

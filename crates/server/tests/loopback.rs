@@ -8,6 +8,36 @@ use std::io::Write;
 use std::net::TcpStream;
 use std::sync::Arc;
 
+/// Hand-encodes a HELLO in the *v1* wire shape, bypassing the library
+/// encoder's validation — for playing a legacy (or hostile) client
+/// against the server. Assumes the hybrid-model/MA-stage defaults the
+/// loopback configs here use.
+fn raw_hello(cfg: &SessionConfig) -> Vec<u8> {
+    use fireguard_trace::codec::{put_string, put_uvarint};
+    let mut b = Vec::new();
+    put_uvarint(&mut b, 1); // protocol v1: no capability field
+    put_string(&mut b, &cfg.workload);
+    put_uvarint(&mut b, cfg.seed);
+    put_uvarint(&mut b, cfg.insts);
+    put_uvarint(&mut b, cfg.baseline_cycles);
+    b.push(cfg.kernels.len() as u8);
+    for (kind, engine) in &cfg.kernels {
+        b.push(kind.wire());
+        put_uvarint(
+            &mut b,
+            match engine {
+                fireguard_soc::EngineConfig::Ha => 0,
+                fireguard_soc::EngineConfig::Ucores(n) => *n as u64,
+            },
+        );
+    }
+    b.push(3); // hybrid model
+    put_uvarint(&mut b, cfg.filter_width as u64);
+    b.push(0); // MA-stage ISAX
+    put_uvarint(&mut b, cfg.mapper_width as u64);
+    b
+}
+
 fn loopback_opts(workers: usize, max_sessions: Option<u64>) -> ServeOptions {
     ServeOptions {
         addr: "127.0.0.1:0".to_owned(),
@@ -121,7 +151,7 @@ fn unknown_kernel_id_in_hello_gets_an_error_frame() {
             .insts(2_000),
         0,
     );
-    let mut payload = good.encode();
+    let mut payload = good.encode().expect("valid config encodes");
     // Kernel id byte offset: version ‖ len ‖ workload ‖ seed ‖ insts ‖
     // baseline ‖ count — for "swaptions"/seed 42/insts 2000/baseline 0
     // the varints are 1+1+9+1+2+1+1 bytes, so the id byte is at 16.
@@ -231,8 +261,10 @@ fn malformed_hello_gets_an_error_frame_not_a_crash() {
         0,
     );
     cfg.kernels = vec![(KernelId::PMC, fireguard_soc::EngineConfig::Ucores(40))];
+    // The client-side encoder refuses this config, so build the hostile
+    // HELLO bytes by hand — the *server* must refuse it too.
     let mut s = TcpStream::connect(addr).unwrap();
-    fireguard_server::proto::write_frame(&mut s, fireguard_server::proto::HELLO, &cfg.encode())
+    fireguard_server::proto::write_frame(&mut s, fireguard_server::proto::HELLO, &raw_hello(&cfg))
         .unwrap();
     let (tag, msg) = fireguard_server::proto::read_frame(&mut s)
         .unwrap()
@@ -271,6 +303,163 @@ fn truncated_stream_yields_partial_summary_and_error() {
         ClientError::Server(msg) => assert!(msg.contains("stream"), "got: {msg}"),
         other => panic!("expected a server error, got {other:?}"),
     }
+    handle.shutdown();
+}
+
+/// The v1×v2 compatibility matrix, client side up: a legacy client that
+/// speaks only protocol v1 (hand-built HELLO bytes, no capability field)
+/// gets a complete session from the v2 server, and for a ≤4-kernel
+/// config the library encoder still emits those exact v1 bytes.
+#[test]
+fn v1_hello_client_still_gets_a_full_session() {
+    use fireguard_server::proto::{read_frame, write_frame, ALARMS, END, EVENTS, HELLO, SUMMARY};
+
+    let exp = ExperimentConfig::new("swaptions")
+        .kernel(KernelId::PMC, 2)
+        .insts(3_000);
+    let events = capture_events(&exp);
+    let session = SessionConfig::from_experiment(&exp, 0);
+    let payload = raw_hello(&session);
+    assert_eq!(payload[0], 1, "hand-built HELLO is protocol v1");
+    assert_eq!(
+        session.encode().expect("valid config encodes"),
+        payload,
+        "small sessions still encode as byte-identical v1"
+    );
+
+    let handle = serve(loopback_opts(1, None)).expect("bind loopback");
+    let mut s = TcpStream::connect(handle.local_addr()).unwrap();
+    write_frame(&mut s, HELLO, &payload).unwrap();
+    let mut enc = fireguard_trace::codec::EventEncoder::new();
+    for chunk in events.chunks(512) {
+        write_frame(&mut s, EVENTS, &enc.encode_batch(chunk)).unwrap();
+    }
+    write_frame(&mut s, END, &[]).unwrap();
+    s.flush().unwrap();
+
+    let summary = loop {
+        match read_frame(&mut s).unwrap() {
+            Some((ALARMS, _)) => {}
+            Some((SUMMARY, payload)) => {
+                break fireguard_server::Summary::decode(&payload).unwrap();
+            }
+            Some((tag, msg)) => {
+                panic!("frame {tag}: {}", String::from_utf8_lossy(&msg));
+            }
+            None => panic!("connection closed before SUMMARY"),
+        }
+    };
+    assert!(summary.committed >= 3_000, "v1 session ran to completion");
+    drop(s);
+    handle.shutdown();
+}
+
+/// The tentpole end-to-end proof over the wire: all six registered
+/// kernels in one session — verdict bits 0..=5, beyond the v1 nibble —
+/// negotiate a v2 HELLO and report exactly the offline result, including
+/// alarms attributed to the high (≥4) verdict slots.
+#[test]
+fn six_kernel_session_matches_offline_run() {
+    let plan = AttackPlan::campaign(
+        &[
+            AttackKind::RetHijack,
+            AttackKind::UseAfterFree,
+            AttackKind::BoundsViolation,
+        ],
+        9,
+        15_600,
+        23_400,
+        3,
+    );
+    let mut cfg = ExperimentConfig::new("dedup").insts(26_000).attacks(plan);
+    for spec in fireguard_soc::registry() {
+        cfg = cfg.kernel(spec.id(), 2);
+    }
+    assert_eq!(cfg.kernels.len(), 6, "every registered kernel rides along");
+
+    let offline = run_fireguard(&cfg);
+    let base = baseline_cycles(&cfg.workload, cfg.seed, cfg.insts);
+    let events = Arc::new(capture_events(&cfg));
+    let session = SessionConfig::from_experiment(&cfg, base);
+    assert_eq!(session.wire_version(), fireguard_server::PROTO_V2);
+
+    let handle = serve(loopback_opts(2, None)).expect("bind loopback");
+    let out = run_session(
+        &handle.local_addr().to_string(),
+        &session,
+        Arc::clone(&events),
+        512,
+    )
+    .expect("wide session succeeds");
+    handle.shutdown();
+
+    assert_eq!(out.summary.committed, offline.committed);
+    assert_eq!(out.summary.cycles, offline.cycles);
+    assert_eq!(out.summary.packets, offline.packets);
+    assert_eq!(out.summary.slowdown.to_bits(), offline.slowdown.to_bits());
+    assert_eq!(out.summary.detections as usize, offline.detections.len());
+
+    let mut served: Vec<(u64, usize)> = out.alarms.iter().map(|d| (d.seq, d.kernel_slot)).collect();
+    let mut off: Vec<(u64, usize)> = offline
+        .detections
+        .iter()
+        .map(|d| (d.seq, d.kernel_slot))
+        .collect();
+    served.sort_unstable();
+    off.sort_unstable();
+    assert_eq!(served, off, "per-kernel verdict slots match offline");
+    assert!(
+        out.alarms.iter().any(|d| d.kernel_slot >= 4),
+        "a verdict slot beyond the v1 nibble raised alarms over the wire"
+    );
+}
+
+/// Hostile capacity abuse: a HELLO naming more kernels than the verdict
+/// field holds — or a wide session without the negotiated capability —
+/// gets an ERROR frame, never a worker panic, and the service survives.
+#[test]
+fn oversized_hello_gets_an_error_frame() {
+    use fireguard_server::proto::{read_frame, write_frame, ERROR, HELLO};
+
+    let handle = serve(loopback_opts(1, None)).expect("bind loopback");
+    let addr = handle.local_addr();
+    let base_exp = ExperimentConfig::new("swaptions")
+        .kernel(KernelId::PMC, 1)
+        .insts(1_000);
+    let mut cfg = SessionConfig::from_experiment(&base_exp, 0);
+
+    // Nine kernels: beyond even the 8-bit verdict field.
+    cfg.kernels = vec![(KernelId::PMC, fireguard_soc::EngineConfig::Ucores(1)); 9];
+    let mut s = TcpStream::connect(addr).unwrap();
+    write_frame(&mut s, HELLO, &raw_hello(&cfg)).unwrap();
+    let (tag, msg) = read_frame(&mut s).unwrap().expect("server answers");
+    assert_eq!(tag, ERROR);
+    assert!(
+        String::from_utf8_lossy(&msg).contains("implausible kernel count"),
+        "got: {}",
+        String::from_utf8_lossy(&msg)
+    );
+    drop(s);
+
+    // Five kernels in a v1 HELLO: structurally fine, but the wide-verdict
+    // capability was never negotiated.
+    cfg.kernels = vec![(KernelId::PMC, fireguard_soc::EngineConfig::Ucores(1)); 5];
+    let mut s = TcpStream::connect(addr).unwrap();
+    write_frame(&mut s, HELLO, &raw_hello(&cfg)).unwrap();
+    let (tag, msg) = read_frame(&mut s).unwrap().expect("server answers");
+    assert_eq!(tag, ERROR);
+    assert!(
+        String::from_utf8_lossy(&msg).contains("wide verdict not negotiated"),
+        "got: {}",
+        String::from_utf8_lossy(&msg)
+    );
+    drop(s);
+
+    // The service is still alive.
+    let events = Arc::new(capture_events(&base_exp));
+    let good = SessionConfig::from_experiment(&base_exp, 0);
+    let out = run_session(&addr.to_string(), &good, events, 512).expect("healthy session");
+    assert!(out.summary.committed >= 1_000);
     handle.shutdown();
 }
 

@@ -1,7 +1,7 @@
 //! Experiment drivers: everything the figure/table binaries need.
 
 use crate::report::RunResult;
-use crate::system::{EngineConfig, FireGuardSystem, SocConfig};
+use crate::system::{CapacityError, EngineConfig, FireGuardSystem, SocConfig};
 use fireguard_boom::{BoomConfig, Core, NullSink};
 use fireguard_kernels::{InstrumentedTrace, KernelId, ProgrammingModel, SoftwareScheme};
 use fireguard_trace::{AttackPlan, AttackingTrace, TraceGenerator, WorkloadProfile};
@@ -145,10 +145,26 @@ pub fn capture_events(cfg: &ExperimentConfig) -> Vec<fireguard_trace::TraceInst>
 /// stream (the in-process generator, a replayed recording, or a live
 /// network session). `cfg.attacks` is *not* applied here — an externally
 /// supplied stream already carries its injected attacks.
+///
+/// # Panics
+///
+/// Panics on a capacity violation; use [`try_build_system`] for configs
+/// built from untrusted input.
 pub fn build_system(
     cfg: &ExperimentConfig,
     trace: Box<dyn Iterator<Item = fireguard_trace::TraceInst>>,
 ) -> FireGuardSystem {
+    try_build_system(cfg, trace).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`build_system`]: a deployment exceeding the packet verdict
+/// width or the allocator's engine bitmap comes back as a
+/// [`CapacityError`] instead of a panic, so the CLI and the serve loop
+/// can reject oversized requests cleanly.
+pub fn try_build_system(
+    cfg: &ExperimentConfig,
+    trace: Box<dyn Iterator<Item = fireguard_trace::TraceInst>>,
+) -> Result<FireGuardSystem, CapacityError> {
     let soc = SocConfig {
         filter: fireguard_core::FilterConfig {
             width: cfg.filter_width,
@@ -159,7 +175,7 @@ pub fn build_system(
         mapper_width: cfg.mapper_width,
         ..SocConfig::default()
     };
-    FireGuardSystem::new(soc, trace, &cfg.kernels)
+    FireGuardSystem::try_new(soc, trace, &cfg.kernels)
 }
 
 /// Replays a pre-captured event stream through the system described by

@@ -43,12 +43,15 @@ pub mod system;
 
 pub use experiments::{
     baseline_cycles, build_system, capture_events, run_fireguard, run_fireguard_events,
-    run_software, ExperimentConfig, REPLAY_MARGIN,
+    run_software, try_build_system, ExperimentConfig, REPLAY_MARGIN,
 };
 pub use report::{BottleneckBreakdown, Detection, RunResult};
 pub use reporter::{render, render_to_string, Block, Cell, Format, Report, Table};
 pub use sweep::{default_workers, run_jobs, JobOutput, JobSpec, SweepGrid, SweepPoint};
-pub use system::{EngineConfig, FireGuardSystem, SocConfig};
+pub use system::{
+    validate_capacity, CapacityError, EngineConfig, FireGuardSystem, SocConfig, MAX_ENGINES,
+    MAX_KERNELS,
+};
 
 // Re-exported so sweep callers (CLI, bench, server) can reach the kernel
 // registry without a direct `fireguard-kernels` dependency.

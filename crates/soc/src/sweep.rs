@@ -207,8 +207,17 @@ pub fn default_workers() -> usize {
 pub struct SweepGrid {
     /// PARSEC workload names.
     pub workloads: Vec<String>,
-    /// Guardian kernels to deploy (one per system, not combined).
+    /// Guardian kernels to sweep over. By default each kernel gets its
+    /// own system (one grid point per kernel); with [`SweepGrid::combined`]
+    /// set, all of them are deployed into *one* system per grid point.
     pub kernels: Vec<KernelId>,
+    /// Deploy every kernel in `kernels` together in a single system
+    /// instead of one system each, collapsing the kernel axis to one
+    /// point. The engine axis then provisions each kernel independently
+    /// (e.g. `Ucores(2)` means two µcores *per kernel*), so callers
+    /// should pre-flight the deployment with
+    /// [`crate::system::validate_capacity`].
+    pub combined: bool,
     /// Engine provisionings to try for each kernel.
     pub engines: Vec<EngineConfig>,
     /// Event-filter widths to try.
@@ -226,9 +235,10 @@ pub struct SweepGrid {
 pub struct SweepPoint {
     /// PARSEC workload name.
     pub workload: String,
-    /// Guardian kernel.
-    pub kernel: KernelId,
-    /// Engine provisioning.
+    /// Guardian kernels deployed in this system (a single entry unless
+    /// the grid was expanded with [`SweepGrid::combined`]).
+    pub kernels: Vec<KernelId>,
+    /// Engine provisioning (per kernel).
     pub engine: EngineConfig,
     /// Event-filter width.
     pub filter_width: usize,
@@ -244,14 +254,31 @@ impl SweepPoint {
             EngineConfig::Ha => "HA".to_owned(),
         }
     }
+
+    /// A human label for the kernel axis: the kernel's display name, or
+    /// the `+`-joined names of a combined deployment (`"PMC+sstack"`).
+    pub fn kernel_label(&self) -> String {
+        self.kernels
+            .iter()
+            .map(|k| k.name())
+            .collect::<Vec<_>>()
+            .join("+")
+    }
 }
 
 impl SweepGrid {
     /// Expands the grid into `(point, job)` pairs in deterministic order.
     pub fn expand(&self) -> Vec<(SweepPoint, JobSpec)> {
+        // The kernel axis: one singleton deployment per kernel, or — in
+        // combined mode — a single deployment carrying all of them.
+        let deployments: Vec<Vec<KernelId>> = if self.combined {
+            vec![self.kernels.clone()]
+        } else {
+            self.kernels.iter().map(|&k| vec![k]).collect()
+        };
         let mut out = Vec::new();
         for w in &self.workloads {
-            for &kernel in &self.kernels {
+            for kernels in &deployments {
                 for &engine in &self.engines {
                     for &filter_width in &self.filter_widths {
                         for &model in &self.models {
@@ -260,14 +287,16 @@ impl SweepGrid {
                                 .seed(self.seed)
                                 .filter_width(filter_width)
                                 .model(model);
-                            cfg = match engine {
-                                EngineConfig::Ucores(n) => cfg.kernel(kernel, n),
-                                EngineConfig::Ha => cfg.kernel_ha(kernel),
-                            };
+                            for &kernel in kernels {
+                                cfg = match engine {
+                                    EngineConfig::Ucores(n) => cfg.kernel(kernel, n),
+                                    EngineConfig::Ha => cfg.kernel_ha(kernel),
+                                };
+                            }
                             out.push((
                                 SweepPoint {
                                     workload: w.clone(),
-                                    kernel,
+                                    kernels: kernels.clone(),
                                     engine,
                                     filter_width,
                                     model,
@@ -333,6 +362,7 @@ mod tests {
         let g = SweepGrid {
             workloads: vec!["swaptions".into(), "x264".into()],
             kernels: vec![KernelId::PMC, KernelId::ASAN],
+            combined: false,
             engines: vec![EngineConfig::Ucores(4), EngineConfig::Ha],
             filter_widths: vec![4],
             models: vec![ProgrammingModel::Hybrid],
@@ -342,10 +372,47 @@ mod tests {
         let pts = g.expand();
         assert_eq!(pts.len(), 8);
         assert_eq!(pts[0].0.workload, "swaptions");
-        assert_eq!(pts[0].0.kernel, KernelId::PMC);
+        assert_eq!(pts[0].0.kernels, vec![KernelId::PMC]);
+        assert_eq!(pts[0].0.kernel_label(), "PMC");
         assert_eq!(pts[0].0.engine_label(), "4u");
         assert_eq!(pts[1].0.engine_label(), "HA");
         assert_eq!(pts[4].0.workload, "x264");
+    }
+
+    #[test]
+    fn combined_grid_deploys_all_kernels_in_one_system() {
+        let all: Vec<KernelId> = fireguard_kernels::registry()
+            .iter()
+            .map(|s| s.id())
+            .collect();
+        let g = SweepGrid {
+            workloads: vec!["dedup".into(), "swaptions".into()],
+            kernels: all.clone(),
+            combined: true,
+            engines: vec![EngineConfig::Ucores(2)],
+            filter_widths: vec![4],
+            models: vec![ProgrammingModel::Hybrid],
+            insts: 4_000,
+            seed: 42,
+        };
+        let pts = g.expand();
+        // The kernel axis collapses: one point per workload, not per kernel.
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].0.kernels, all);
+        assert!(pts[0].0.kernel_label().matches('+').count() == all.len() - 1);
+        // The full-registry deployment fits the fabric at 2 µcores each
+        // and actually runs.
+        for (_, job) in &pts {
+            if let JobSpec::FireGuard(cfg) = job {
+                crate::system::validate_capacity(&cfg.kernels).expect("fits capacity");
+            }
+        }
+        let outs = run_jobs(pts.into_iter().map(|(_, j)| j).collect(), 2);
+        for out in outs {
+            let run = out.into_run();
+            assert!(run.cycles > 0);
+            assert!(run.slowdown >= 1.0);
+        }
     }
 
     #[test]

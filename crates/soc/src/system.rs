@@ -31,6 +31,89 @@ pub enum EngineConfig {
     Ha,
 }
 
+/// Hard ceiling on kernels sharing one packet stream: the width of the
+/// packet verdict field (layout v2: 8). Derived, not repeated — widening
+/// the field in `fireguard_core::packet::layout` lifts this too.
+pub const MAX_KERNELS: usize = fireguard_core::packet::layout::VERDICT_BITS as usize;
+
+/// Hard ceiling on total analysis engines (the allocator's `AE_Bitmap`
+/// addresses 16 engines).
+pub const MAX_ENGINES: usize = 16;
+
+/// A deployment request the SoC cannot be built for. Surfaced as a clean
+/// error (CLI exit, serve `ERROR` frame) rather than a panic, because the
+/// request may come from untrusted session input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CapacityError {
+    /// More kernels than the packet verdict field has bits.
+    TooManyKernels {
+        /// Kernels requested.
+        requested: usize,
+    },
+    /// More engines than the allocator bitmap addresses.
+    TooManyEngines {
+        /// Total engines requested across all kernels.
+        requested: usize,
+    },
+    /// A kernel provisioned with zero µcores.
+    ZeroEngines {
+        /// The kernel with the empty allocation.
+        kernel: KernelId,
+    },
+}
+
+impl std::fmt::Display for CapacityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CapacityError::TooManyKernels { requested } => write!(
+                f,
+                "{requested} kernels requested but the packet verdict field holds {MAX_KERNELS}"
+            ),
+            CapacityError::TooManyEngines { requested } => write!(
+                f,
+                "{requested} engines requested but the allocator addresses {MAX_ENGINES}"
+            ),
+            CapacityError::ZeroEngines { kernel } => {
+                write!(f, "kernel {} needs at least one engine", kernel.name())
+            }
+        }
+    }
+}
+
+impl std::error::Error for CapacityError {}
+
+/// Validates a deployment request against the structural ceilings:
+/// at most [`MAX_KERNELS`] kernels (the packet verdict width), at most
+/// [`MAX_ENGINES`] engines in total (the allocator bitmap), and no
+/// kernel provisioned with zero µcores. Shared by
+/// [`FireGuardSystem::try_new`] and every front door that accepts a
+/// deployment from outside (CLI flags, served HELLOs, sweep grids).
+///
+/// # Errors
+///
+/// The specific [`CapacityError`].
+pub fn validate_capacity(kernels: &[(KernelId, EngineConfig)]) -> Result<(), CapacityError> {
+    if kernels.len() > MAX_KERNELS {
+        return Err(CapacityError::TooManyKernels {
+            requested: kernels.len(),
+        });
+    }
+    let mut total_engines = 0usize;
+    for (id, provision) in kernels {
+        total_engines += match provision {
+            EngineConfig::Ucores(0) => return Err(CapacityError::ZeroEngines { kernel: *id }),
+            EngineConfig::Ucores(n) => *n,
+            EngineConfig::Ha => 1,
+        };
+    }
+    if total_engines > MAX_ENGINES {
+        return Err(CapacityError::TooManyEngines {
+            requested: total_engines,
+        });
+    }
+    Ok(())
+}
+
 /// System-level configuration.
 #[derive(Debug, Clone)]
 pub struct SocConfig {
@@ -241,14 +324,28 @@ impl FireGuardSystem {
     ///
     /// # Panics
     ///
-    /// Panics if more than 4 kernels are requested (verdict nibble) or the
-    /// total engine count exceeds 16 (`AE_Bitmap` width).
+    /// Panics on a capacity violation (see [`FireGuardSystem::try_new`]).
+    /// Use `try_new` when the deployment request comes from untrusted
+    /// input (a CLI flag, a served HELLO).
     pub fn new(
         cfg: SocConfig,
         trace: Box<dyn Iterator<Item = TraceInst>>,
         kernels: &[(KernelId, EngineConfig)],
     ) -> Self {
-        assert!(kernels.len() <= 4, "verdict nibble holds four kernels");
+        Self::try_new(cfg, trace, kernels).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor: rejects deployments exceeding [`MAX_KERNELS`]
+    /// (the packet verdict width) or [`MAX_ENGINES`] (the allocator
+    /// bitmap), or provisioning a kernel with zero engines — without
+    /// panicking, so hostile or oversized session configs surface as
+    /// clean errors.
+    pub fn try_new(
+        cfg: SocConfig,
+        trace: Box<dyn Iterator<Item = TraceInst>>,
+        kernels: &[(KernelId, EngineConfig)],
+    ) -> Result<Self, CapacityError> {
+        validate_capacity(kernels)?;
         let mut filter = EventFilter::new(cfg.filter);
         let mut allocator = Allocator::new();
         let mut engines = Vec::new();
@@ -263,7 +360,7 @@ impl FireGuardSystem {
             }
             let engine_ids: Vec<usize> = match provision {
                 EngineConfig::Ucores(n) => {
-                    assert!(*n > 0, "a kernel needs at least one engine");
+                    // n >= 1: validated above.
                     (0..*n)
                         .map(|_| {
                             let ucfg = UcoreConfig {
@@ -294,7 +391,6 @@ impl FireGuardSystem {
             shared_timing.push(g.shared_timing());
             kernel_groups.push((*id, vbit, engine_ids));
         }
-        assert!(engines.len() <= 16, "AE_Bitmap addresses 16 engines");
 
         let divider = ClockDivider::new(cfg.clock_ratio);
         let cdcs = (0..engines.len())
@@ -303,7 +399,7 @@ impl FireGuardSystem {
         let mesh = Mesh::for_engines(engines.len().max(1));
         let n_engines = engines.len();
         let frontend = Frontend::new(filter, allocator, semantics, cdcs, n_engines);
-        FireGuardSystem {
+        Ok(FireGuardSystem {
             core: Core::new(cfg.boom, trace),
             cfg,
             frontend,
@@ -317,7 +413,7 @@ impl FireGuardSystem {
             last_slow_processed: u64::MAX,
             refresh_pending: false,
             detections: Vec::new(),
-        }
+        })
     }
 
     /// One fast-domain cycle of the whole system.

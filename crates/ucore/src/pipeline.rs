@@ -375,11 +375,11 @@ impl Ucore {
                 self.cycle = issue + busy;
                 Progress::Retired(seq_pc)
             }
-            QCheck { op, rd } => {
+            QCheck { op, rd, off } => {
                 let issue = self.cycle;
                 let addr_field = self.last_popped.field(0);
-                let verdict_field = self.last_popped.field(116);
-                let r = backend.custom(op, addr_field, verdict_field);
+                let check_field = self.last_popped.field(off);
+                let r = backend.custom(op, addr_field, check_field);
                 let mut mem_lat = 0;
                 if let Some(addr) = r.mem_touch {
                     let tlb = self.dtlb.access(addr);

@@ -59,9 +59,12 @@ pub enum UInst {
     Custom { op: u8, rd: u8, rs1: u8, rs2: u8 },
     /// Fused packet-check custom operation (the paper's "unrolling-aware
     /// custom instructions"): executes `op` over the *most recently popped*
-    /// packet's address and verdict fields without consuming registers,
-    /// eliminating the extract/mask instructions of the generic path.
-    QCheck { op: u8, rd: u8 },
+    /// packet's address field and bits `[off+63:off]` without consuming
+    /// registers, eliminating the extract/mask instructions of the generic
+    /// path. `off` is the packet-layout offset of the check operand
+    /// (kernels pass `layout::VERDICT`), keeping the µcore itself
+    /// layout-agnostic.
+    QCheck { op: u8, rd: u8, off: u8 },
     /// Raise a detection alarm carrying `code`; execution continues.
     Alarm { code: u8 },
     /// Stop the µcore.
@@ -293,9 +296,10 @@ impl Asm {
     pub fn custom(&mut self, op: u8, rd: u8, rs1: u8, rs2: u8) -> &mut Self {
         self.push(UInst::Custom { op, rd, rs1, rs2 })
     }
-    /// Emits a fused packet-check op over the last-popped packet.
-    pub fn qcheck(&mut self, op: u8, rd: u8) -> &mut Self {
-        self.push(UInst::QCheck { op, rd })
+    /// Emits a fused packet-check op over the last-popped packet, handing
+    /// the backend bits `[off+63:off]` as its second operand.
+    pub fn qcheck(&mut self, op: u8, rd: u8, off: u8) -> &mut Self {
+        self.push(UInst::QCheck { op, rd, off })
     }
     /// Emits an alarm.
     pub fn alarm(&mut self, code: u8) -> &mut Self {

@@ -16,6 +16,11 @@
 //!
 //! Because the suite is driven off the registry, a new plugin is covered
 //! the moment it is registered — there is no second list to update.
+//!
+//! A fifth axis exercises **all registered kernels at once** — the
+//! packet-layout-v2 deployment, with verdict bits past the old 4-bit
+//! nibble live — through the same benign / attacked / deterministic /
+//! replay contract, plus per-slot verdict attribution.
 
 use fireguard::kernels::registry;
 use fireguard::soc::{
@@ -45,6 +50,36 @@ fn attacked_experiment(spec: &dyn fireguard::kernels::KernelSpec) -> ExperimentC
         .insts(ATTACKED_INSTS)
         .attacks(plan);
     cfg.kernels = vec![(spec.id(), fireguard::soc::EngineConfig::Ucores(4))];
+    cfg
+}
+
+/// The attacked experiment with **every** registered kernel deployed at
+/// once: the union of all declared attack kinds, one engine pair per
+/// kernel (the registry currently holds 6 kernels → 12 engines).
+fn all_kernels_experiment() -> ExperimentConfig {
+    let kinds: Vec<_> = {
+        let mut v: Vec<_> = registry()
+            .iter()
+            .flat_map(|s| s.detects().iter().copied())
+            .collect();
+        v.sort_unstable_by_key(|k| format!("{k:?}"));
+        v.dedup();
+        v
+    };
+    let plan = AttackPlan::campaign(
+        &kinds,
+        24,
+        ATTACKED_INSTS / 2,
+        ATTACKED_INSTS - ATTACKED_INSTS / 10,
+        5,
+    );
+    let mut cfg = ExperimentConfig::new("dedup")
+        .insts(ATTACKED_INSTS)
+        .attacks(plan);
+    cfg.kernels = registry()
+        .iter()
+        .map(|s| (s.id(), fireguard::soc::EngineConfig::Ucores(2)))
+        .collect();
     cfg
 }
 
@@ -122,4 +157,59 @@ fn replay_is_byte_identical_for_every_kernel() {
             spec.name()
         );
     }
+}
+
+// ---- all registered kernels at once (packet layout v2) ---------------------
+
+#[test]
+fn all_kernels_at_once_stay_silent_on_benign_traces() {
+    let mut cfg = ExperimentConfig::new("dedup").insts(BENIGN_INSTS);
+    cfg.kernels = registry()
+        .iter()
+        .map(|s| (s.id(), fireguard::soc::EngineConfig::Ucores(2)))
+        .collect();
+    assert!(cfg.kernels.len() > 4, "deployment exceeds the v1 nibble");
+    let r = run_fireguard(&cfg);
+    assert!(
+        r.detections.is_empty(),
+        "{} detections on a clean trace with all kernels",
+        r.detections.len()
+    );
+    assert!(r.committed >= BENIGN_INSTS);
+    assert_eq!(r.unclaimed_packets, 0);
+}
+
+#[test]
+fn all_kernels_at_once_detect_and_attribute_per_slot() {
+    let cfg = all_kernels_experiment();
+    let r = run_fireguard(&cfg);
+    assert!(!r.detections.is_empty(), "combined campaign undetected");
+    // Every slot index must be a deployed kernel, and slots past the v1
+    // verdict nibble (≥ 4) must actually fire — the 8-bit verdict field
+    // carries them end-to-end.
+    let n = cfg.kernels.len();
+    assert!(r.detections.iter().all(|d| d.kernel_slot < n));
+    assert!(
+        r.detections.iter().any(|d| d.kernel_slot >= 4),
+        "no detection attributed to a verdict bit beyond the v1 nibble"
+    );
+    for l in r.attack_latencies_ns() {
+        assert!(l > 0.0 && l < 1e6, "implausible detection latency {l} ns");
+    }
+}
+
+#[test]
+fn all_kernels_at_once_are_deterministic_and_replay_identically() {
+    let cfg = all_kernels_experiment();
+    let a = run_fireguard(&cfg);
+    let b = run_fireguard(&cfg);
+    assert_eq!(format!("{a:?}"), format!("{b:?}"), "rerun diverged");
+    let base = baseline_cycles(&cfg.workload, cfg.seed, cfg.insts);
+    let events = capture_events(&cfg);
+    let replayed = run_fireguard_events(&cfg, events, base);
+    assert_eq!(
+        format!("{a:?}"),
+        format!("{replayed:?}"),
+        "all-kernels replay diverged from in-process generation"
+    );
 }
