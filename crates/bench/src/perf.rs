@@ -226,6 +226,11 @@ pub const SCENARIOS: &[Scenario] = &[
         summary: "served session over TCP loopback",
         run: bench_loopback,
     },
+    Scenario {
+        name: "routed",
+        summary: "ticketed session through the router tier (2 backends)",
+        run: bench_routed,
+    },
 ];
 
 /// Looks up a scenario by name.
@@ -462,6 +467,46 @@ fn bench_loopback(o: &PerfOpts) -> ScenarioResult {
     handle.join();
     ScenarioResult {
         name: "loopback",
+        events: events_n,
+        cycles,
+        secs,
+        allocs,
+    }
+}
+
+/// The loopback scenario with the fleet front-end in the path: measures
+/// what the router's decode → buffer → re-encode hop costs relative to
+/// `loopback` (the two share a workload and client batch size on
+/// purpose). Sessions are ticketed, so the full resumable protocol —
+/// SESSION handshake, event buffering, ACK frames — is on the clock.
+fn bench_routed(o: &PerfOpts) -> ScenarioResult {
+    use fireguard_server::{
+        route, run_routed_session, RoutedOptions, RouterOptions, SessionConfig,
+    };
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let cfg = ExperimentConfig::new("swaptions")
+        .kernel(KernelId::PMC, 4)
+        .insts(o.insts)
+        .seed(o.seed);
+    let events = Arc::new(capture_events(&cfg));
+    let session = SessionConfig::from_experiment(&cfg, 0);
+    let handle = route(RouterOptions {
+        backend_workers: 1,
+        max_sessions: Some((o.warmup + o.samples.max(1)) as u64),
+        ..RouterOptions::default()
+    })
+    .expect("router bind");
+    let addr = handle.local_addr().to_string();
+    let next_id = AtomicU64::new(1);
+    let (events_n, cycles, secs, allocs) = best_of(o, || {
+        let id = next_id.fetch_add(1, Ordering::Relaxed);
+        let out = run_routed_session(&addr, &session, Arc::clone(&events), RoutedOptions::new(id))
+            .expect("routed session");
+        (events.len() as u64, out.outcome.summary.cycles)
+    });
+    handle.join();
+    ScenarioResult {
+        name: "routed",
         events: events_n,
         cycles,
         secs,

@@ -77,6 +77,22 @@ pub struct Parsed {
     pub attack_seed: Option<u64>,
     /// `--batch N` events per frame (client / loadgen).
     pub batch: Option<usize>,
+    /// `--duration SECS` (loadgen): soak until this much wall-clock.
+    pub duration_secs: Option<f64>,
+    /// `--bucket-ms N` (loadgen): latency-histogram window width.
+    pub bucket_ms: Option<u64>,
+    /// `--chaos` (loadgen): spawn a router fleet and kill backends.
+    pub chaos: bool,
+    /// `--routed` (loadgen): resumable ticketed sessions (router peer).
+    pub routed: bool,
+    /// `--backends N` (router / loadgen --chaos): spawned backend slots.
+    pub backends: Option<usize>,
+    /// `--backend-addrs csv` (router): route over external services.
+    pub backend_addrs: Option<String>,
+    /// `--backend-workers N` (router / loadgen --chaos).
+    pub backend_workers: Option<usize>,
+    /// `--kills N` (loadgen --chaos): scheduled backend kills.
+    pub kills: Option<usize>,
     /// `--warmup N` untimed runs per bench scenario (bench).
     pub warmup: Option<usize>,
     /// `--samples N` timed runs per bench scenario (bench).
@@ -99,6 +115,7 @@ const NAMED_COMMANDS: &[&str] = &[
     "sweep",
     "list",
     "serve",
+    "router",
     "client",
     "loadgen",
     "bench",
@@ -109,7 +126,11 @@ const NAMED_COMMANDS: &[&str] = &[
 /// Flag → the subcommands it applies to.
 const FLAG_SCOPES: &[(&str, &[&str])] = &[
     ("--insts", &[FIG, "sweep", "trace record", "bench"]),
-    ("--seed", &[FIG, "sweep", "trace record", "bench"]),
+    // loadgen: session-id / chaos-schedule seed (routed modes).
+    (
+        "--seed",
+        &[FIG, "sweep", "trace record", "bench", "loadgen"],
+    ),
     ("--quick", &[FIG, "sweep", "trace record", "bench"]),
     ("--jobs", &[FIG, "sweep", "loadgen", "bench"]),
     ("--workloads", &["sweep"]),
@@ -122,10 +143,18 @@ const FLAG_SCOPES: &[(&str, &[&str])] = &[
     ),
     ("--model", &["sweep", "trace replay", "client", "loadgen"]),
     ("--mapper-width", &["trace replay", "client", "loadgen"]),
-    ("--addr", &["serve", "client", "loadgen"]),
+    ("--addr", &["serve", "router", "client", "loadgen"]),
     ("--workers", &["serve"]),
-    ("--max-sessions", &["serve"]),
+    ("--max-sessions", &["serve", "router"]),
     ("--sessions", &["loadgen"]),
+    ("--duration", &["loadgen"]),
+    ("--bucket-ms", &["loadgen"]),
+    ("--chaos", &["loadgen"]),
+    ("--routed", &["loadgen"]),
+    ("--backends", &["router", "loadgen"]),
+    ("--backend-addrs", &["router"]),
+    ("--backend-workers", &["router", "loadgen"]),
+    ("--kills", &["loadgen"]),
     ("--out", &["trace record", "bench"]),
     ("--trace", &["trace replay", "client", "loadgen"]),
     ("--workload", &["trace record"]),
@@ -182,6 +211,14 @@ pub fn parse(argv: &[String]) -> Result<Parsed, ArgError> {
             "--ha" => {
                 p.ha = true;
                 p.used.push("--ha");
+            }
+            "--chaos" => {
+                p.chaos = true;
+                p.used.push("--chaos");
+            }
+            "--routed" => {
+                p.routed = true;
+                p.used.push("--routed");
             }
             s if s.starts_with("--") => {
                 let (name, value) = match s.split_once('=') {
@@ -334,6 +371,40 @@ fn apply_flag(p: &mut Parsed, name: &str, value: &str) -> Result<(), ArgError> {
             p.batch = Some(positive(name, value)?);
             "--batch"
         }
+        "--duration" => {
+            let secs: f64 = num(name, value)?;
+            if secs <= 0.0 || !secs.is_finite() {
+                return Err(ArgError::Bad(
+                    "--duration must be a positive number of seconds".to_owned(),
+                ));
+            }
+            p.duration_secs = Some(secs);
+            "--duration"
+        }
+        "--bucket-ms" => {
+            let ms: u64 = num(name, value)?;
+            if ms == 0 {
+                return Err(ArgError::Bad("--bucket-ms must be at least 1".to_owned()));
+            }
+            p.bucket_ms = Some(ms);
+            "--bucket-ms"
+        }
+        "--backends" => {
+            p.backends = Some(positive(name, value)?);
+            "--backends"
+        }
+        "--backend-addrs" => {
+            p.backend_addrs = Some(value.to_owned());
+            "--backend-addrs"
+        }
+        "--backend-workers" => {
+            p.backend_workers = Some(positive(name, value)?);
+            "--backend-workers"
+        }
+        "--kills" => {
+            p.kills = Some(num(name, value)?);
+            "--kills"
+        }
         "--warmup" => {
             p.warmup = Some(num(name, value)?);
             "--warmup"
@@ -421,6 +492,53 @@ mod tests {
         assert_eq!(p.sessions, Some(4));
         assert_eq!(p.batch, Some(256));
         assert!(p.out_of_scope_flags().is_empty());
+    }
+
+    #[test]
+    fn router_and_chaos_flags_parse() {
+        let p = parse(&args(
+            "router --addr 127.0.0.1:0 --backends 3 --backend-workers 2 --max-sessions 8",
+        ))
+        .unwrap();
+        assert_eq!(p.command, "router");
+        assert_eq!(p.backends, Some(3));
+        assert_eq!(p.backend_workers, Some(2));
+        assert_eq!(p.max_sessions, Some(8));
+        assert!(p.out_of_scope_flags().is_empty());
+
+        let p = parse(&args(
+            "loadgen --trace t.fgt --sessions 8 --chaos --kills 4 --duration 2.5 \
+             --bucket-ms 250 --seed 11 --backends 2",
+        ))
+        .unwrap();
+        assert!(p.chaos);
+        assert_eq!(p.kills, Some(4));
+        assert_eq!(p.duration_secs, Some(2.5));
+        assert_eq!(p.bucket_ms, Some(250));
+        assert_eq!(p.seed, Some(11));
+        assert!(p.out_of_scope_flags().is_empty());
+
+        let p = parse(&args("loadgen --trace t.fgt --routed --addr 127.0.0.1:9")).unwrap();
+        assert!(p.routed);
+        assert!(p.out_of_scope_flags().is_empty());
+    }
+
+    #[test]
+    fn router_flags_have_scopes() {
+        let p = parse(&args("serve --backends 2")).unwrap();
+        assert_eq!(p.out_of_scope_flags(), vec!["--backends"]);
+        let p = parse(&args("client --trace t.fgt --chaos")).unwrap();
+        assert_eq!(p.out_of_scope_flags(), vec!["--chaos"]);
+        let p = parse(&args("loadgen --trace t.fgt --backend-addrs a:1")).unwrap();
+        assert_eq!(p.out_of_scope_flags(), vec!["--backend-addrs"]);
+        assert!(matches!(
+            parse(&args("loadgen --duration 0")),
+            Err(ArgError::Bad(_))
+        ));
+        assert!(matches!(
+            parse(&args("loadgen --bucket-ms 0")),
+            Err(ArgError::Bad(_))
+        ));
     }
 
     #[test]

@@ -76,6 +76,9 @@ fn run(argv: &[String]) -> i32 {
     if parsed.command == "serve" {
         return service_cmds::serve_cmd(&parsed);
     }
+    if parsed.command == "router" {
+        return service_cmds::router_cmd(&parsed);
+    }
     if parsed.command == "bench" {
         // bench renders its own report: it has side outputs (--out JSON)
         // and a gate (--check) that must set the exit code after printing.
@@ -145,6 +148,10 @@ const EXTRA_COMMANDS: &[(&str, &str)] = &[
     ),
     ("trace replay", "re-run a .fgt recording through FireGuard"),
     ("serve", "online streaming analysis service (TCP)"),
+    (
+        "router",
+        "fleet front-end: consistent-hash sessions over N backends",
+    ),
     ("client", "stream a .fgt recording to a running service"),
     (
         "loadgen",
@@ -406,6 +413,7 @@ fn usage() -> String {
          \x20   trace record     capture a workload×attack stream to a .fgt file\n\
          \x20   trace replay     re-run a .fgt recording through FireGuard\n\
          \x20   serve            online streaming analysis service (TCP)\n\
+         \x20   router           fleet front-end: consistent-hash sessions over N backends\n\
          \x20   client           stream a .fgt recording to a running service\n\
          \x20   loadgen          open N concurrent sessions, report throughput/latency\n\
          \x20   bench            performance scenarios: events/s, allocs/event, regression gate\n\
@@ -446,6 +454,16 @@ fn usage() -> String {
          \x20   --sessions <N>          loadgen: total sessions (default 4)\n\
          \x20   --batch <N>             events per frame (default 512)\n\
          \x20   --mapper-width <N>      replay/client/loadgen mapper width\n\
+         \n\
+         ROUTER / CHAOS FLAGS:\n\
+         \x20   --backends <N>          router/chaos: spawned backend slots (default 2)\n\
+         \x20   --backend-addrs <csv>   router: route over external serves instead\n\
+         \x20   --backend-workers <N>   workers per spawned backend (default 2)\n\
+         \x20   --routed                loadgen: resumable ticketed sessions (router peer)\n\
+         \x20   --duration <SECS>       loadgen: soak until SECS elapsed (sessions = floor)\n\
+         \x20   --bucket-ms <N>         loadgen: latency-histogram window (default 1000)\n\
+         \x20   --chaos                 loadgen: spawn a fleet, kill backends, assert parity\n\
+         \x20   --kills <N>             chaos: scheduled backend kills (default 4)\n\
          \n\
          BENCH FLAGS:\n\
          \x20   --scenario <csv>        scenario filter (default: all; see bench output)\n\

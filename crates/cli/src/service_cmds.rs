@@ -1,5 +1,5 @@
 //! Drivers for the streaming subcommands: `trace record`, `trace replay`,
-//! `serve`, `client`, and `loadgen`.
+//! `serve`, `router`, `client`, and `loadgen`.
 //!
 //! Each driver turns parsed flags into library calls (`fireguard-trace`
 //! codec, `fireguard-soc` experiments, `fireguard-server` sessions) and
@@ -7,7 +7,10 @@
 //! csv` works for the service layer exactly as it does for the figures.
 
 use crate::args::Parsed;
-use fireguard_server::{run_loadgen, run_session, SessionConfig};
+use fireguard_server::chaos::detection_keys;
+use fireguard_server::{
+    run_chaos, run_loadgen, run_session, ChaosOptions, LoadgenOptions, SessionConfig,
+};
 use fireguard_soc::report::percentile;
 use fireguard_soc::{
     baseline_cycles, capture_events, run_fireguard_events, Cell, EngineConfig, ExperimentConfig,
@@ -349,24 +352,42 @@ pub fn loadgen_report(p: &Parsed) -> Result<Report, String> {
         .trace_file
         .as_deref()
         .ok_or("loadgen requires --trace <file>")?;
+    if p.chaos {
+        if p.addr.is_some() {
+            return Err("--chaos spawns its own router fleet; --addr does not apply".to_owned());
+        }
+        if p.routed {
+            return Err("--routed is implied by --chaos".to_owned());
+        }
+        return chaos_report(p, path);
+    }
+    for (flag, set) in [
+        ("--backends", p.backends.is_some()),
+        ("--backend-workers", p.backend_workers.is_some()),
+        ("--kills", p.kills.is_some()),
+    ] {
+        if set {
+            return Err(format!("{flag} requires --chaos (the spawned-fleet mode)"));
+        }
+    }
     let addr = p.addr.as_deref().unwrap_or(DEFAULT_ADDR);
     let sessions = p.sessions.unwrap_or(4);
     let concurrency = p.jobs.unwrap_or_else(fireguard_soc::default_workers);
     let (meta, events) = read_trace_file(path)?;
     let cfg = session_experiment(p, &meta)?;
     let session = SessionConfig::from_experiment(&cfg, meta.baseline_cycles);
-    let batch = p.batch.unwrap_or(fireguard_server::DEFAULT_BATCH);
-    let agg = run_loadgen(
-        addr,
-        &session,
-        Arc::new(events),
+    let opts = LoadgenOptions {
         sessions,
         concurrency,
-        batch,
-    );
+        batch: p.batch.unwrap_or(fireguard_server::DEFAULT_BATCH),
+        duration: p.duration_secs.map(std::time::Duration::from_secs_f64),
+        bucket: std::time::Duration::from_millis(p.bucket_ms.unwrap_or(1000)),
+        routed: p.routed.then(|| p.seed.unwrap_or(42)),
+    };
+    let agg = run_loadgen(addr, &session, Arc::new(events), &opts);
     if agg.ok_sessions == 0 {
         return Err(format!(
-            "all {sessions} sessions failed: {}",
+            "all sessions failed: {}",
             agg.first_error.unwrap_or_else(|| "unknown".to_owned())
         ));
     }
@@ -374,13 +395,24 @@ pub fn loadgen_report(p: &Parsed) -> Result<Report, String> {
     let mut r = Report::new();
     r.text(format!(
         "loadgen against {addr}: {} sessions ({} concurrent), workload {}",
-        sessions, concurrency, meta.workload
+        agg.ok_sessions + agg.failed_sessions,
+        agg.workers,
+        meta.workload
     ));
     if let Some(e) = &agg.first_error {
         r.text(format!(
             "warning: {} sessions failed; first error: {e}",
             agg.failed_sessions
         ));
+    }
+    if p.format == fireguard_soc::Format::Jsonl {
+        // Machine-readable runs surface the pool shape (mirrors the
+        // sweep's workers= line) so throughput numbers are
+        // self-documenting.
+        r.text(format!("workers={}", agg.workers));
+        if opts.routed.is_some() {
+            r.text(format!("reconnects={}", agg.reconnects));
+        }
     }
     r.blank();
     // Throughput cells shared with `fireguard bench` (same precision and
@@ -435,6 +467,155 @@ pub fn loadgen_report(p: &Parsed) -> Result<Report, String> {
         },
     ]);
     r.table(t);
+    if agg.buckets.len() > 1 {
+        r.blank();
+        r.text(format!(
+            "latency histogram ({} ms buckets, by session completion time):",
+            opts.bucket.as_millis()
+        ));
+        r.table(bucket_table(&agg.buckets));
+    }
+    Ok(r)
+}
+
+/// The soak histogram: one row per completion-time window.
+fn bucket_table(buckets: &[fireguard_server::LatencyBucket]) -> Table {
+    let mut t = Table::new(&[
+        ("bucket_s", 9),
+        ("sessions", 9),
+        ("detections", 11),
+        ("p50_ns", 10),
+        ("p99_ns", 10),
+        ("p50_wall_ms", 12),
+        ("p99_wall_ms", 12),
+    ]);
+    for b in buckets {
+        let lat = |v: f64| {
+            if b.detections == 0 {
+                Cell::Missing
+            } else {
+                Cell::Float { v, prec: 1 }
+            }
+        };
+        let wall = |v: f64| {
+            if b.sessions == 0 {
+                Cell::Missing
+            } else {
+                Cell::Float { v, prec: 1 }
+            }
+        };
+        t.row(vec![
+            Cell::Float {
+                v: b.start.as_secs_f64(),
+                prec: 1,
+            },
+            Cell::Int(b.sessions as i64),
+            Cell::Int(b.detections as i64),
+            lat(b.p50_latency_ns),
+            lat(b.p99_latency_ns),
+            wall(b.p50_wall_ms),
+            wall(b.p99_wall_ms),
+        ]);
+    }
+    t
+}
+
+/// `loadgen --chaos`: spawn a router fleet, soak it with resumable
+/// sessions while a seeded schedule kills backends, then *assert* the
+/// outcome — zero lost sessions and every session's detection set
+/// bit-identical to the offline run of the same recording. A violated
+/// assertion is a command error (non-zero exit), because this subcommand
+/// doubles as the CI chaos gate.
+fn chaos_report(p: &Parsed, path: &str) -> Result<Report, String> {
+    let (meta, events) = read_trace_file(path)?;
+    let cfg = session_experiment(p, &meta)?;
+    let session = SessionConfig::from_experiment(&cfg, meta.baseline_cycles);
+    let opts = ChaosOptions {
+        sessions: p.sessions.unwrap_or(8),
+        concurrency: p.jobs.unwrap_or(8),
+        batch: p.batch.unwrap_or(fireguard_server::DEFAULT_BATCH),
+        duration: p.duration_secs.map(std::time::Duration::from_secs_f64),
+        backends: p.backends.unwrap_or(2),
+        backend_workers: p.backend_workers.unwrap_or(2),
+        kills: p.kills.unwrap_or(4),
+        seed: p.seed.unwrap_or(7),
+        drop_client_after_acks: None,
+        observe_every: fireguard_server::OBSERVE_EVERY,
+    };
+
+    // The parity reference: the identical recording through the offline
+    // engine (loopback tests pin offline == direct serve, so this is
+    // also the direct-run reference).
+    let reference = run_fireguard_events(&cfg, events.clone(), meta.baseline_cycles);
+    let ref_keys = detection_keys(&reference.detections);
+
+    let out = run_chaos(&session, Arc::new(events), &opts)
+        .map_err(|e| format!("chaos setup failed: {e}"))?;
+    if out.lost_sessions > 0 {
+        return Err(format!(
+            "chaos lost {} of {} sessions; first error: {}",
+            out.lost_sessions,
+            out.lost_sessions + out.ok_sessions,
+            out.first_error.unwrap_or_else(|| "unknown".to_owned())
+        ));
+    }
+    for (i, o) in out.outcomes.iter().enumerate() {
+        if detection_keys(&o.outcome.alarms) != ref_keys {
+            return Err(format!(
+                "chaos session {i} diverged: {} alarms vs {} offline \
+                 (detections must be bit-identical to a direct run)",
+                o.outcome.alarms.len(),
+                reference.detections.len()
+            ));
+        }
+    }
+
+    let mut r = Report::new();
+    r.text(format!(
+        "chaos: router + {} backends, {} sessions, {} kills scheduled (seed {}), workload {}",
+        opts.backends, out.ok_sessions, opts.kills, opts.seed, meta.workload
+    ));
+    r.text(format!(
+        "zero lost sessions; every detection set bit-identical to the offline run \
+         ({} detections each)",
+        reference.detections.len()
+    ));
+    if p.format == fireguard_soc::Format::Jsonl {
+        r.text(format!("workers={}", opts.concurrency));
+        r.text(format!("backends={}", opts.backends));
+    }
+    r.blank();
+    let mut t = Table::new(&[
+        ("sessions", 9),
+        ("lost", 5),
+        ("kills", 6),
+        ("failovers", 10),
+        ("resumes", 8),
+        ("reconnects", 11),
+        ("events", 11),
+        ("wall_ms", 9),
+        ("detections", 11),
+    ]);
+    t.row(vec![
+        Cell::Int(out.ok_sessions as i64),
+        Cell::Int(out.lost_sessions as i64),
+        Cell::Int(out.kills as i64),
+        Cell::Int(out.failovers as i64),
+        Cell::Int(out.resumes as i64),
+        Cell::Int(out.reconnects as i64),
+        Cell::Int(out.events_forwarded as i64),
+        Cell::Float {
+            v: out.wall.as_secs_f64() * 1e3,
+            prec: 1,
+        },
+        Cell::Int(
+            out.outcomes
+                .iter()
+                .map(|o| o.outcome.alarms.len() as i64)
+                .sum(),
+        ),
+    ]);
+    r.table(t);
     Ok(r)
 }
 
@@ -468,6 +649,64 @@ pub fn serve_cmd(p: &Parsed) -> i32 {
         "fireguard-serve: listening on {} ({workers} workers)",
         handle.local_addr()
     );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    handle.join();
+    0
+}
+
+// ---- router ----------------------------------------------------------------
+
+/// Default router address when `--addr` is not given (one past serve's).
+pub const DEFAULT_ROUTER_ADDR: &str = "127.0.0.1:4781";
+
+/// Runs the router tier in the foreground; returns the process exit code.
+pub fn router_cmd(p: &Parsed) -> i32 {
+    if p.format != fireguard_soc::Format::Human {
+        eprintln!("fireguard: router has no report output; --format does not apply");
+        return 2;
+    }
+    if p.backends.is_some() && p.backend_addrs.is_some() {
+        eprintln!(
+            "fireguard: --backends (spawn) and --backend-addrs (extern) are mutually exclusive"
+        );
+        return 2;
+    }
+    let backends = match p.backend_addrs.as_deref() {
+        Some(csv) => fireguard_server::BackendMode::Extern(
+            csv.split(',').map(|s| s.trim().to_owned()).collect(),
+        ),
+        None => fireguard_server::BackendMode::Spawn(p.backends.unwrap_or(2)),
+    };
+    let opts = fireguard_server::RouterOptions {
+        addr: p
+            .addr
+            .clone()
+            .unwrap_or_else(|| DEFAULT_ROUTER_ADDR.to_owned()),
+        backends,
+        backend_workers: p.backend_workers.unwrap_or(2),
+        max_sessions: p.max_sessions,
+        ..fireguard_server::RouterOptions::default()
+    };
+    let handle = match fireguard_server::route(opts) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("fireguard: cannot start router: {e}");
+            return 1;
+        }
+    };
+    // Same script contract as serve: bound address on stdout, flushed.
+    println!(
+        "fireguard-router: listening on {} ({} backends)",
+        handle.local_addr(),
+        handle.backends()
+    );
+    for (slot, addr) in handle.backend_addrs().iter().enumerate() {
+        match addr {
+            Some(a) => println!("fireguard-router: backend {slot} at {a}"),
+            None => println!("fireguard-router: backend {slot} down"),
+        }
+    }
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
     handle.join();

@@ -6,7 +6,8 @@
 //! directions: alarms are consumed while events are still being written.
 
 use crate::proto::{
-    read_frame, write_frame, SessionConfig, Summary, ALARMS, END, ERROR, EVENTS, HELLO, SUMMARY,
+    read_frame, write_frame, SessionConfig, SessionTicket, Summary, ACK, ALARMS, END, ERROR,
+    EVENTS, HELLO, SESSION, SUMMARY,
 };
 use fireguard_soc::Detection;
 use fireguard_trace::codec::EventEncoder;
@@ -170,4 +171,232 @@ pub fn run_session(
         events_sent,
         wall: started.elapsed(),
     })
+}
+
+// ---- routed (resumable) sessions -------------------------------------------
+
+/// How a routed session identifies and protects itself.
+#[derive(Debug, Clone, Copy)]
+pub struct RoutedOptions {
+    /// Fleet-unique session id (consistent-hash key at the router).
+    pub session_id: u64,
+    /// Events per EVENTS frame.
+    pub batch: usize,
+    /// Reconnect-and-resume attempts before giving up.
+    pub max_reconnects: u32,
+}
+
+impl RoutedOptions {
+    /// Defaults for `session_id`: [`DEFAULT_BATCH`], 8 reconnects.
+    pub fn new(session_id: u64) -> Self {
+        RoutedOptions {
+            session_id,
+            batch: DEFAULT_BATCH,
+            max_reconnects: 8,
+        }
+    }
+}
+
+/// A finished routed session: the plain outcome plus how bumpy the ride
+/// was.
+#[derive(Debug, Clone)]
+pub struct RoutedOutcome {
+    /// The session outcome — alarm-for-alarm identical to what an
+    /// uninterrupted direct session would have produced.
+    pub outcome: SessionOutcome,
+    /// Transport deaths survived by resuming (0 = clean run).
+    pub reconnects: u32,
+}
+
+/// One connection attempt's verdict.
+enum Attempt {
+    /// SUMMARY (and possibly a trailing ERROR) arrived — terminal.
+    Finished(Summary, Option<String>),
+    /// The transport died (or the session was momentarily busy); resume.
+    Retry,
+    /// The server refused the session outright — terminal.
+    Refused(String),
+}
+
+/// Runs one complete *resumable* session through a router: opens with a
+/// [`SessionTicket`], streams events, and — when the transport dies
+/// mid-session — reconnects and resumes from the router's last ACK,
+/// replaying only the unacknowledged tail. The alarm stream is lossless
+/// and duplicate-free across any number of reconnects (the resume ticket
+/// reports how many alarms arrived, and the router re-sends the rest).
+///
+/// Requires a router peer: a plain [`serve`](crate::serve) answers the
+/// SESSION frame with an ERROR.
+///
+/// # Errors
+///
+/// Any [`ClientError`]; transport failures surface only after
+/// `max_reconnects` resumes also failed.
+pub fn run_routed_session(
+    addr: &str,
+    cfg: &SessionConfig,
+    events: Arc<Vec<TraceInst>>,
+    opts: RoutedOptions,
+) -> Result<RoutedOutcome, ClientError> {
+    let hello = Arc::new(cfg.encode().map_err(ClientError::Config)?);
+    let started = Instant::now();
+    let batch = opts.batch.max(1);
+
+    let mut alarms: Vec<Detection> = Vec::new();
+    let mut reconnects = 0u32;
+    let mut first = true;
+    loop {
+        let attempt = routed_attempt(
+            addr,
+            &hello,
+            &events,
+            opts.session_id,
+            batch,
+            first,
+            &mut alarms,
+        );
+        first = false;
+        match attempt {
+            Ok(Attempt::Finished(summary, trailing_error)) => {
+                if let Some(msg) = trailing_error {
+                    return Err(ClientError::Server(msg));
+                }
+                return Ok(RoutedOutcome {
+                    outcome: SessionOutcome {
+                        alarms,
+                        summary,
+                        events_sent: events.len() as u64,
+                        wall: started.elapsed(),
+                    },
+                    reconnects,
+                });
+            }
+            Ok(Attempt::Refused(msg)) => return Err(ClientError::Server(msg)),
+            Ok(Attempt::Retry) => {
+                if reconnects >= opts.max_reconnects {
+                    return Err(ClientError::Protocol(format!(
+                        "session {} gave up after {} reconnects",
+                        opts.session_id, reconnects
+                    )));
+                }
+                reconnects += 1;
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) => {
+                // Connect-level failures are retryable too (the router
+                // may be briefly unreachable); protocol violations on an
+                // open connection are not.
+                if reconnects >= opts.max_reconnects {
+                    return Err(e);
+                }
+                reconnects += 1;
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        }
+    }
+}
+
+/// One connection's worth of a routed session: ticket, (re)stream, and
+/// collect frames until SUMMARY or transport death. `alarms` accumulates
+/// across attempts — its length doubles as the resume ticket's
+/// `alarms_received`.
+fn routed_attempt(
+    addr: &str,
+    hello: &Arc<Vec<u8>>,
+    events: &Arc<Vec<TraceInst>>,
+    session_id: u64,
+    batch: usize,
+    first: bool,
+    alarms: &mut Vec<Detection>,
+) -> Result<Attempt, ClientError> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+
+    let ticket = SessionTicket {
+        id: session_id,
+        resume: !first,
+        alarms_received: alarms.len() as u64,
+    };
+
+    // Where the (re)play starts: a fresh session streams everything; a
+    // resume first hears the router's ACK for what it already buffered.
+    let start = if first {
+        let mut w = BufWriter::new(stream.try_clone()?);
+        write_frame(&mut w, SESSION, &ticket.encode())?;
+        write_frame(&mut w, HELLO, hello)?;
+        w.flush()?;
+        0usize
+    } else {
+        {
+            let mut w = BufWriter::new(stream.try_clone()?);
+            write_frame(&mut w, SESSION, &ticket.encode())?;
+            w.flush()?;
+        }
+        match read_frame(&mut reader) {
+            Ok(Some((ACK, payload))) => crate::proto::decode_ack(&payload)? as usize,
+            Ok(Some((ERROR, msg))) => {
+                let msg = String::from_utf8_lossy(&msg).into_owned();
+                // A ghost driver may still be letting go; that's a
+                // timing accident, not a refusal.
+                if msg.starts_with("session busy") {
+                    return Ok(Attempt::Retry);
+                }
+                return Ok(Attempt::Refused(msg));
+            }
+            Ok(Some((tag, _))) => {
+                return Err(ClientError::Protocol(format!(
+                    "expected ACK on resume, got frame tag {tag}"
+                )));
+            }
+            Ok(None) | Err(_) => return Ok(Attempt::Retry),
+        }
+    };
+
+    let sender = {
+        let events = Arc::clone(events);
+        let stream = stream.try_clone()?;
+        std::thread::spawn(move || -> Result<(), std::io::Error> {
+            let mut w = BufWriter::new(stream);
+            let mut enc = EventEncoder::new();
+            for chunk in events[start.min(events.len())..].chunks(batch) {
+                write_frame(&mut w, EVENTS, &enc.encode_batch(chunk))?;
+            }
+            write_frame(&mut w, END, &[])?;
+            w.flush()
+        })
+    };
+
+    let verdict = loop {
+        match read_frame(&mut reader) {
+            Ok(Some((ALARMS, payload))) => alarms.extend(crate::proto::decode_alarms(&payload)?),
+            Ok(Some((ACK, payload))) => {
+                // Progress bookkeeping only; correctness needs no action.
+                let _ = crate::proto::decode_ack(&payload)?;
+            }
+            Ok(Some((SUMMARY, payload))) => {
+                let summary = Summary::decode(&payload)?;
+                let trailing = match read_frame(&mut reader) {
+                    Ok(Some((ERROR, msg))) => Some(String::from_utf8_lossy(&msg).into_owned()),
+                    _ => None,
+                };
+                break Attempt::Finished(summary, trailing);
+            }
+            Ok(Some((ERROR, msg))) => {
+                break Attempt::Refused(String::from_utf8_lossy(&msg).into_owned());
+            }
+            Ok(Some((tag, _))) => {
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+                let _ = sender.join();
+                return Err(ClientError::Protocol(format!("unexpected frame tag {tag}")));
+            }
+            // EOF or a torn frame: the transport died mid-session.
+            Ok(None) | Err(_) => break Attempt::Retry,
+        }
+    };
+    // Unblock and collect the sender regardless of how the read side
+    // ended; its errors don't matter — the reader's verdict decides.
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+    let _ = sender.join();
+    Ok(verdict)
 }

@@ -39,14 +39,24 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod client;
 pub mod loadgen;
 pub mod proto;
+pub mod ring;
+pub mod router;
 pub mod service;
 
-pub use client::{run_session, ClientError, SessionOutcome, DEFAULT_BATCH};
-pub use loadgen::{run_loadgen, LoadgenOutcome};
-pub use proto::{
-    SessionConfig, Summary, CAP_WIDE_VERDICT, PROTO_V1, PROTO_V2, PROTO_VERSION, V1_MAX_KERNELS,
+pub use chaos::{run_chaos, ChaosOptions, ChaosOutcome};
+pub use client::{
+    run_routed_session, run_session, ClientError, RoutedOptions, RoutedOutcome, SessionOutcome,
+    DEFAULT_BATCH,
 };
+pub use loadgen::{run_loadgen, LatencyBucket, LoadgenOptions, LoadgenOutcome};
+pub use proto::{
+    SessionConfig, SessionTicket, Summary, CAP_WIDE_VERDICT, PROTO_V1, PROTO_V2, PROTO_VERSION,
+    V1_MAX_KERNELS,
+};
+pub use ring::{Ring, DEFAULT_REPLICAS};
+pub use router::{route, BackendMode, RouterHandle, RouterOptions};
 pub use service::{serve, ServeOptions, ServerHandle, OBSERVE_EVERY};

@@ -4,14 +4,75 @@
 //! Parallelism here is across *live sessions*, not pre-expanded jobs: a
 //! hand-rolled worker pool (atomic cursor + threads, as in
 //! [`fireguard_soc::sweep`]) opens up to `concurrency` simultaneous
-//! sessions and keeps opening new ones until `sessions` have completed.
+//! sessions and keeps opening new ones until the run's exit condition is
+//! met — a session count, a soak duration, or both (each is a floor).
+//!
+//! Latency statistics are bucketed per completion-time window, not
+//! computed once over the whole run: a soak that degrades halfway
+//! through shows up as a p99 step in the affected buckets instead of
+//! being averaged away (the same lesson the sweep reporting learned).
 
-use crate::client::{run_session, SessionOutcome};
+use crate::client::{run_routed_session, run_session, RoutedOptions, SessionOutcome};
 use crate::proto::SessionConfig;
 use fireguard_trace::TraceInst;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
+
+/// Load-generation shape: how many sessions, how hard, for how long.
+#[derive(Debug, Clone)]
+pub struct LoadgenOptions {
+    /// Minimum sessions to run (a floor, even when `duration` is set).
+    pub sessions: usize,
+    /// Maximum concurrent sessions.
+    pub concurrency: usize,
+    /// Events per EVENTS frame.
+    pub batch: usize,
+    /// Soak mode: keep opening sessions until this much wall-clock has
+    /// elapsed (and the `sessions` floor is met).
+    pub duration: Option<Duration>,
+    /// Completion-time bucket width for the latency histogram.
+    pub bucket: Duration,
+    /// `Some(seed)` opens resumable *routed* sessions (ticketed ids
+    /// derived from the seed) instead of plain ones — required against a
+    /// router under chaos, meaningless against a plain `serve`.
+    pub routed: Option<u64>,
+}
+
+impl Default for LoadgenOptions {
+    fn default() -> Self {
+        LoadgenOptions {
+            sessions: 4,
+            concurrency: 4,
+            batch: crate::client::DEFAULT_BATCH,
+            duration: None,
+            bucket: Duration::from_secs(1),
+            routed: None,
+        }
+    }
+}
+
+/// One completion-time window's latency statistics. A session lands in
+/// the bucket its *completion* falls into; its detection latencies and
+/// wall time are attributed there.
+#[derive(Debug, Clone)]
+pub struct LatencyBucket {
+    /// Window start, as an offset from the run start.
+    pub start: Duration,
+    /// Sessions completing in this window.
+    pub sessions: usize,
+    /// True (attack) detections those sessions raised.
+    pub detections: u64,
+    /// Median simulated detection latency (ns) in this window.
+    pub p50_latency_ns: f64,
+    /// 99th-percentile simulated detection latency (ns).
+    pub p99_latency_ns: f64,
+    /// Median session wall time (ms) — the metric that actually moves
+    /// when backends die mid-soak (simulated latencies don't).
+    pub p50_wall_ms: f64,
+    /// 99th-percentile session wall time (ms).
+    pub p99_wall_ms: f64,
+}
 
 /// Aggregate outcome of a load-generation run.
 #[derive(Debug, Clone)]
@@ -34,24 +95,34 @@ pub struct LoadgenOutcome {
     pub p50_latency_ns: f64,
     /// 99th-percentile simulated detection latency (ns).
     pub p99_latency_ns: f64,
+    /// Worker threads the pool actually ran.
+    pub workers: usize,
+    /// Transport deaths survived via resume (routed mode only).
+    pub reconnects: u64,
+    /// Per-completion-window latency histogram (empty windows included,
+    /// so the series is contiguous from the first to the last completion).
+    pub buckets: Vec<LatencyBucket>,
     /// First failure message, if any (for diagnostics).
     pub first_error: Option<String>,
 }
 
-/// Runs `sessions` sessions against `addr`, at most `concurrency` at a
-/// time, all streaming the same `events` under the same `cfg`.
+/// Runs sessions against `addr` per `opts`, all streaming the same
+/// `events` under the same `cfg`.
 pub fn run_loadgen(
     addr: &str,
     cfg: &SessionConfig,
     events: Arc<Vec<TraceInst>>,
-    sessions: usize,
-    concurrency: usize,
-    batch: usize,
+    opts: &LoadgenOptions,
 ) -> LoadgenOutcome {
     let started = Instant::now();
     let cursor = Arc::new(AtomicUsize::new(0));
-    let (tx, rx) = mpsc::channel::<Result<SessionOutcome, String>>();
-    let threads = concurrency.clamp(1, sessions.max(1));
+    type SessionResult = Result<(SessionOutcome, u32), String>;
+    let (tx, rx) = mpsc::channel::<(Duration, SessionResult)>();
+    let threads = if opts.duration.is_some() {
+        opts.concurrency.max(1)
+    } else {
+        opts.concurrency.clamp(1, opts.sessions.max(1))
+    };
     let handles: Vec<_> = (0..threads)
         .map(|_| {
             let cursor = Arc::clone(&cursor);
@@ -59,14 +130,31 @@ pub fn run_loadgen(
             let events = Arc::clone(&events);
             let cfg = cfg.clone();
             let addr = addr.to_owned();
+            let opts = opts.clone();
             std::thread::spawn(move || loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= sessions {
+                let more =
+                    i < opts.sessions || opts.duration.is_some_and(|d| started.elapsed() < d);
+                if !more {
                     break;
                 }
-                let out =
-                    run_session(&addr, &cfg, Arc::clone(&events), batch).map_err(|e| e.to_string());
-                if tx.send(out).is_err() {
+                let out: SessionResult = match opts.routed {
+                    Some(seed) => run_routed_session(
+                        &addr,
+                        &cfg,
+                        Arc::clone(&events),
+                        RoutedOptions {
+                            batch: opts.batch,
+                            ..RoutedOptions::new(seed.wrapping_add(1 + i as u64))
+                        },
+                    )
+                    .map(|r| (r.outcome, r.reconnects))
+                    .map_err(|e| e.to_string()),
+                    None => run_session(&addr, &cfg, Arc::clone(&events), opts.batch)
+                        .map(|o| (o, 0))
+                        .map_err(|e| e.to_string()),
+                };
+                if tx.send((started.elapsed(), out)).is_err() {
                     break;
                 }
             })
@@ -82,19 +170,46 @@ pub fn run_loadgen(
     let mut events_total = 0u64;
     let mut committed = 0u64;
     let mut detections = 0u64;
+    let mut reconnects = 0u64;
     let mut latencies: Vec<f64> = Vec::new();
     let mut first_error = None;
-    for out in rx {
+    // Per-window accumulators, indexed by completion offset / bucket.
+    struct Acc {
+        sessions: usize,
+        lats: Vec<f64>,
+        walls: Vec<f64>,
+    }
+    let bucket = opts.bucket.max(Duration::from_millis(1));
+    let mut accs: Vec<Acc> = Vec::new();
+    for (offset, out) in rx {
         match out {
-            Ok(o) => {
+            Ok((o, rc)) => {
                 ok += 1;
+                reconnects += u64::from(rc);
                 events_total += o.events_sent;
                 committed += o.summary.committed;
                 detections += o.summary.detections;
                 // True detections only, matching `client`/`trace replay`
                 // (RunResult::attack_latencies_ns) so p50/p99 are
                 // comparable across the three subcommands.
-                latencies.extend(o.alarms.iter().filter(|d| d.attack).map(|d| d.latency_ns));
+                let lats: Vec<f64> = o
+                    .alarms
+                    .iter()
+                    .filter(|d| d.attack)
+                    .map(|d| d.latency_ns)
+                    .collect();
+                let idx = (offset.as_nanos() / bucket.as_nanos()) as usize;
+                while accs.len() <= idx {
+                    accs.push(Acc {
+                        sessions: 0,
+                        lats: Vec::new(),
+                        walls: Vec::new(),
+                    });
+                }
+                accs[idx].sessions += 1;
+                accs[idx].walls.push(o.wall.as_secs_f64() * 1e3);
+                accs[idx].lats.extend_from_slice(&lats);
+                latencies.extend_from_slice(&lats);
             }
             Err(e) => {
                 failed += 1;
@@ -102,6 +217,19 @@ pub fn run_loadgen(
             }
         }
     }
+    let buckets = accs
+        .into_iter()
+        .enumerate()
+        .map(|(i, mut a)| LatencyBucket {
+            start: bucket * i as u32,
+            sessions: a.sessions,
+            detections: a.lats.len() as u64,
+            p50_latency_ns: percentile_select(&mut a.lats, 50.0),
+            p99_latency_ns: percentile_select(&mut a.lats, 99.0),
+            p50_wall_ms: percentile_select(&mut a.walls, 50.0),
+            p99_wall_ms: percentile_select(&mut a.walls, 99.0),
+        })
+        .collect();
     let wall = started.elapsed();
     let secs = wall.as_secs_f64();
     LoadgenOutcome {
@@ -118,6 +246,9 @@ pub fn run_loadgen(
         },
         p50_latency_ns: percentile_select(&mut latencies, 50.0),
         p99_latency_ns: percentile_select(&mut latencies, 99.0),
+        workers: threads,
+        reconnects,
+        buckets,
         first_error,
     }
 }
@@ -125,7 +256,7 @@ pub fn run_loadgen(
 /// Nearest-rank percentile via `select_nth_unstable` — O(n) instead of a
 /// full sort, and value-identical to
 /// [`fireguard_soc::report::percentile`] over the sorted slice.
-fn percentile_select(latencies: &mut [f64], p: f64) -> f64 {
+pub(crate) fn percentile_select(latencies: &mut [f64], p: f64) -> f64 {
     if latencies.is_empty() {
         return 0.0;
     }

@@ -56,12 +56,21 @@ pub const HELLO: u8 = 1;
 pub const EVENTS: u8 = 2;
 /// Client→server: end of the commit stream.
 pub const END: u8 = 3;
+/// Client→router: a [`SessionTicket`] naming a resumable session. Only the
+/// router tier speaks this frame — when present it precedes HELLO, and a
+/// plain `serve` backend answers it with an ERROR frame, never silence.
+pub const SESSION: u8 = 4;
 /// Server→client: detections raised since the previous ALARMS frame.
 pub const ALARMS: u8 = 16;
 /// Server→client: the final session summary.
 pub const SUMMARY: u8 = 17;
 /// Server→client: a fatal session error (UTF-8 message payload).
 pub const ERROR: u8 = 18;
+/// Router→client: cumulative event acknowledgement for a ticketed session
+/// (payload: `uvarint n`, the count of contiguously buffered events — the
+/// absolute seq a resumed replay starts from). Never sent on plain HELLO
+/// sessions, so existing clients see an unchanged frame vocabulary.
+pub const ACK: u8 = 19;
 
 /// Writes one frame (`tag ‖ varint len ‖ payload`).
 ///
@@ -101,6 +110,91 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<(u8, Vec<u8>)>, CodecErro
     r.read_exact(&mut payload)
         .map_err(|_| CodecError::Truncated("frame payload"))?;
     Ok(Some((tag[0], payload)))
+}
+
+// ---- session tickets (router tier) -----------------------------------------
+
+/// The SESSION frame payload: identifies a resumable routed session.
+///
+/// A router client opens every connection with one of these *before* its
+/// HELLO. `resume == false` registers a fresh session under `id`;
+/// `resume == true` re-attaches to the buffered state of a session whose
+/// transport died, carrying how many alarms the client already holds so
+/// the router can re-deliver exactly the missing tail (zero lost, zero
+/// duplicated detections).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionTicket {
+    /// Client-chosen session identity (hashed onto the backend ring).
+    pub id: u64,
+    /// Re-attach to existing buffered state instead of starting fresh.
+    pub resume: bool,
+    /// Alarms the client has already received (resume only; the router
+    /// re-sends from this index). Ignored when `resume` is false.
+    pub alarms_received: u64,
+}
+
+impl SessionTicket {
+    /// Encodes the SESSION payload
+    /// (`uvarint id ‖ u8 resume ‖ [uvarint alarms_received]`).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::new();
+        put_uvarint(&mut b, self.id);
+        b.push(u8::from(self.resume));
+        if self.resume {
+            put_uvarint(&mut b, self.alarms_received);
+        }
+        b
+    }
+
+    /// Decodes a SESSION payload.
+    ///
+    /// # Errors
+    ///
+    /// Any structural decode failure.
+    pub fn decode(payload: &[u8]) -> Result<Self, CodecError> {
+        let mut cur = Cursor::new(payload);
+        let id = cur.uvarint("session id")?;
+        let resume = match cur.u8("session mode")? {
+            0 => false,
+            1 => true,
+            _ => return Err(CodecError::Corrupt("session mode not 0/1")),
+        };
+        let alarms_received = if resume {
+            cur.uvarint("session alarms received")?
+        } else {
+            0
+        };
+        if !cur.is_empty() {
+            return Err(CodecError::Corrupt("trailing bytes after session ticket"));
+        }
+        Ok(SessionTicket {
+            id,
+            resume,
+            alarms_received,
+        })
+    }
+}
+
+/// Encodes an ACK payload: `events` is the count of contiguously buffered
+/// events (equivalently: the absolute seq the next expected event carries).
+pub fn encode_ack(events: u64) -> Vec<u8> {
+    let mut b = Vec::new();
+    put_uvarint(&mut b, events);
+    b
+}
+
+/// Decodes an ACK payload.
+///
+/// # Errors
+///
+/// Any structural decode failure.
+pub fn decode_ack(payload: &[u8]) -> Result<u64, CodecError> {
+    let mut cur = Cursor::new(payload);
+    let events = cur.uvarint("ack events")?;
+    if !cur.is_empty() {
+        return Err(CodecError::Corrupt("trailing bytes after ack"));
+    }
+    Ok(events)
 }
 
 // ---- session configuration -------------------------------------------------
@@ -779,6 +873,61 @@ mod tests {
         let back = Summary::decode(&s.encode()).unwrap();
         assert_eq!(back.slowdown.to_bits(), s.slowdown.to_bits());
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn session_tickets_round_trip() {
+        let fresh = SessionTicket {
+            id: 0xFEED_BEEF,
+            resume: false,
+            alarms_received: 0,
+        };
+        assert_eq!(SessionTicket::decode(&fresh.encode()).unwrap(), fresh);
+        let resumed = SessionTicket {
+            id: 7,
+            resume: true,
+            alarms_received: 41,
+        };
+        assert_eq!(SessionTicket::decode(&resumed.encode()).unwrap(), resumed);
+        // A fresh ticket never carries the alarm count on the wire: for
+        // the same id, resuming costs exactly the alarm-count varint.
+        let fresh7 = SessionTicket {
+            resume: false,
+            alarms_received: 0,
+            ..resumed
+        };
+        assert_eq!(fresh7.encode().len() + 1, resumed.encode().len());
+    }
+
+    #[test]
+    fn session_ticket_decode_rejects_garbage() {
+        assert!(SessionTicket::decode(&[]).is_err());
+        // Mode byte outside 0/1.
+        assert!(matches!(
+            SessionTicket::decode(&[7, 2]),
+            Err(CodecError::Corrupt("session mode not 0/1"))
+        ));
+        // Trailing bytes after a fresh ticket.
+        assert!(matches!(
+            SessionTicket::decode(&[7, 0, 9]),
+            Err(CodecError::Corrupt("trailing bytes after session ticket"))
+        ));
+        // Resume without the alarm count.
+        assert!(SessionTicket::decode(&[7, 1]).is_err());
+    }
+
+    #[test]
+    fn acks_round_trip() {
+        for n in [0u64, 1, 511, u64::from(u32::MAX) + 7] {
+            assert_eq!(decode_ack(&encode_ack(n)).unwrap(), n);
+        }
+        assert!(decode_ack(&[]).is_err());
+        let mut b = encode_ack(3);
+        b.push(0);
+        assert!(matches!(
+            decode_ack(&b),
+            Err(CodecError::Corrupt("trailing bytes after ack"))
+        ));
     }
 
     #[test]

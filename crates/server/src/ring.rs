@@ -1,0 +1,120 @@
+//! The consistent-hash ring the router places sessions with.
+//!
+//! Each backend slot owns `replicas` virtual points on a `u64` ring;
+//! a session id hashes to a point and walks clockwise to the first point
+//! owned by a live slot. Because a dead slot only removes *its own* arcs,
+//! every key whose owner survives keeps its placement — the expected
+//! remap fraction on a single loss is the dead slot's share, ~`1/N` —
+//! which is what keeps resume cheap: a failover re-routes only the
+//! sessions that lived on the lost backend.
+
+/// Virtual points per backend slot. 64 keeps the per-slot share within a
+/// few tens of percent of the ideal `1/N` without making lookups slow.
+pub const DEFAULT_REPLICAS: usize = 64;
+
+/// An immutable consistent-hash ring over backend slot indices
+/// `0..slots`. Liveness is external: lookups take a predicate so the ring
+/// itself never needs rebuilding when backends die or respawn (slot
+/// arcs are position-stable for the life of the pool).
+#[derive(Debug, Clone)]
+pub struct Ring {
+    /// Sorted `(point, slot)` pairs — the ring, flattened.
+    points: Vec<(u64, usize)>,
+    slots: usize,
+}
+
+/// SplitMix64 finalizer: a fast, well-mixed `u64 → u64` permutation
+/// (the same mix [`fireguard_trace::SimRng`] draws through).
+pub fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Ring {
+    /// Builds a ring for `slots` backends with `replicas` virtual points
+    /// each (both clamped to at least 1).
+    pub fn new(slots: usize, replicas: usize) -> Self {
+        let slots = slots.max(1);
+        let replicas = replicas.max(1);
+        let mut points = Vec::with_capacity(slots * replicas);
+        for slot in 0..slots {
+            for r in 0..replicas {
+                // Double-mix decorrelates the (slot, replica) lattice.
+                points.push((mix(mix((slot as u64) << 32 | r as u64)), slot));
+            }
+        }
+        points.sort_unstable();
+        Ring { points, slots }
+    }
+
+    /// Number of backend slots the ring was built over.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// The slot owning `key` among slots where `alive(slot)` holds, or
+    /// `None` if nothing is alive. Walks clockwise from the key's point,
+    /// so keys owned by surviving slots never move when another dies.
+    pub fn route(&self, key: u64, alive: impl Fn(usize) -> bool) -> Option<usize> {
+        let point = mix(key);
+        let start = self.points.partition_point(|&(p, _)| p < point);
+        let n = self.points.len();
+        for i in 0..n {
+            let (_, slot) = self.points[(start + i) % n];
+            if alive(slot) {
+                return Some(slot);
+            }
+        }
+        None
+    }
+
+    /// The slot owning `key` with every slot alive (distribution checks).
+    pub fn route_all_up(&self, key: u64) -> usize {
+        self.route(key, |_| true).expect("ring is never empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_are_deterministic_and_in_range() {
+        let ring = Ring::new(4, DEFAULT_REPLICAS);
+        for key in 0..1000u64 {
+            let a = ring.route_all_up(key);
+            assert!(a < 4);
+            assert_eq!(a, ring.route_all_up(key), "same key, same slot");
+        }
+    }
+
+    #[test]
+    fn single_slot_takes_everything() {
+        let ring = Ring::new(1, DEFAULT_REPLICAS);
+        for key in 0..100u64 {
+            assert_eq!(ring.route_all_up(key), 0);
+        }
+    }
+
+    #[test]
+    fn dead_slots_are_skipped_and_survivors_keep_their_keys() {
+        let ring = Ring::new(4, DEFAULT_REPLICAS);
+        for key in 0..2000u64 {
+            let home = ring.route_all_up(key);
+            let rerouted = ring.route(key, |s| s != 2).expect("three slots live");
+            if home != 2 {
+                assert_eq!(rerouted, home, "key {key} moved although its owner lives");
+            } else {
+                assert_ne!(rerouted, 2, "key {key} routed to the dead slot");
+            }
+        }
+    }
+
+    #[test]
+    fn all_dead_routes_none() {
+        let ring = Ring::new(3, 8);
+        assert_eq!(ring.route(42, |_| false), None);
+    }
+}

@@ -31,9 +31,9 @@ use crate::proto::{
 use fireguard_soc::{try_build_system, Detection};
 use fireguard_trace::codec::{EventDecoder, MAX_BATCH_EVENTS};
 use fireguard_trace::TraceInst;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufReader, BufWriter, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
@@ -77,9 +77,14 @@ pub struct ServerHandle {
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
     sessions_served: Arc<AtomicU64>,
+    live: LiveSessions,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
+
+/// Duplicated handles of every in-flight session socket, keyed by an
+/// accept-order id, so [`ServerHandle::abort`] can sever live sessions.
+type LiveSessions = Arc<Mutex<HashMap<u64, TcpStream>>>;
 
 impl ServerHandle {
     /// The actual bound address (resolves port 0).
@@ -110,6 +115,38 @@ impl ServerHandle {
         self.stop.store(true, Ordering::SeqCst);
         self.join();
     }
+
+    /// Kills the service *abruptly*: in-flight sessions have their sockets
+    /// severed mid-stream instead of finishing. This is the crash lever
+    /// the chaos harness pulls — from a peer's point of view an aborted
+    /// backend is indistinguishable from a process that died.
+    pub fn abort(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        sever_live(&self.live);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // A connection that was queued but not yet picked up when we
+        // severed the map would still be served normally; keep severing
+        // until every worker has exited so the kill is decisive.
+        while self.workers.iter().any(|h| !h.is_finished()) {
+            sever_live(&self.live);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn sever_live(live: &LiveSessions) {
+    let streams: Vec<TcpStream> = {
+        let mut map = live.lock().expect("live lock never poisoned");
+        map.drain().map(|(_, s)| s).collect()
+    };
+    for s in streams {
+        let _ = s.shutdown(Shutdown::Both);
+    }
 }
 
 /// Binds `opts.addr` and spawns the accept loop plus `opts.workers`
@@ -127,6 +164,8 @@ pub fn serve(opts: ServeOptions) -> std::io::Result<ServerHandle> {
 
     let stop = Arc::new(AtomicBool::new(false));
     let sessions_served = Arc::new(AtomicU64::new(0));
+    let live: LiveSessions = Arc::new(Mutex::new(HashMap::new()));
+    let next_session_id = Arc::new(AtomicU64::new(0));
     let workers = opts.workers.max(1);
     // The connection queue is bounded at the worker count: when every
     // worker is busy and the queue is full, accept itself back-pressures.
@@ -137,12 +176,23 @@ pub fn serve(opts: ServeOptions) -> std::io::Result<ServerHandle> {
         .map(|_| {
             let rx = Arc::clone(&rx);
             let served = Arc::clone(&sessions_served);
+            let live = Arc::clone(&live);
+            let next_id = Arc::clone(&next_session_id);
             let observe_every = opts.observe_every;
             std::thread::spawn(move || loop {
                 let conn = { rx.lock().expect("queue lock never poisoned").recv() };
                 match conn {
                     Ok(stream) => {
+                        // Register a duplicated handle so `abort` can sever
+                        // this session while it runs.
+                        let id = next_id.fetch_add(1, Ordering::Relaxed);
+                        if let Ok(dup) = stream.try_clone() {
+                            live.lock()
+                                .expect("live lock never poisoned")
+                                .insert(id, dup);
+                        }
                         handle_session(stream, observe_every);
+                        live.lock().expect("live lock never poisoned").remove(&id);
                         served.fetch_add(1, Ordering::Relaxed);
                     }
                     Err(_) => break, // accept loop is gone: drain complete
@@ -186,6 +236,7 @@ pub fn serve(opts: ServeOptions) -> std::io::Result<ServerHandle> {
         local_addr,
         stop,
         sessions_served,
+        live,
         accept: Some(accept),
         workers: worker_handles,
     })

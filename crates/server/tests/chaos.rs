@@ -1,0 +1,142 @@
+//! Chaos regression: a deterministic, seeded kill schedule slaughters
+//! backends mid-soak while concurrent sessions stream. Zero sessions may
+//! be lost and every surviving detection set must be bit-identical to
+//! the offline engine — the "zero lost sessions" contract under fire.
+//!
+//! Nothing here is keyed to wall-clock time: kills trigger on the
+//! router's forwarded-event progress clock, so the schedule (and the
+//! test) is reproducible on an arbitrarily loaded machine.
+
+use fireguard_server::chaos::{detection_keys, kill_schedule};
+use fireguard_server::{run_chaos, ChaosOptions, SessionConfig};
+use fireguard_soc::{baseline_cycles, capture_events, run_fireguard, ExperimentConfig, KernelId};
+use fireguard_trace::{AttackKind, AttackPlan};
+use std::sync::Arc;
+
+fn campaign(insts: u64) -> ExperimentConfig {
+    let plan = AttackPlan::campaign(
+        &[AttackKind::RetHijack],
+        6,
+        insts / 10,
+        insts.saturating_sub(insts / 5),
+        3,
+    );
+    ExperimentConfig::new("ferret")
+        .kernel(KernelId::SHADOW_STACK, 4)
+        .insts(insts)
+        .attacks(plan)
+}
+
+/// The headline regression: eight concurrent sessions over two backends,
+/// four seeded backend kills. Every session completes (zero lost), every
+/// detection set is bit-identical to offline, and the schedule actually
+/// drew blood (kills > 0, failovers > 0).
+#[test]
+fn seeded_backend_kills_lose_nothing() {
+    let cfg = campaign(8_000);
+    let offline = run_fireguard(&cfg);
+    let base = baseline_cycles(&cfg.workload, cfg.seed, cfg.insts);
+    let session = SessionConfig::from_experiment(&cfg, base);
+    let events = Arc::new(capture_events(&cfg));
+
+    let out = run_chaos(
+        &session,
+        Arc::clone(&events),
+        &ChaosOptions {
+            sessions: 8,
+            concurrency: 8,
+            backends: 2,
+            kills: 4,
+            seed: 7,
+            ..ChaosOptions::default()
+        },
+    )
+    .expect("chaos harness runs");
+
+    assert_eq!(out.lost_sessions, 0, "first error: {:?}", out.first_error);
+    assert_eq!(out.ok_sessions, 8);
+    assert!(out.kills > 0, "the schedule must actually kill backends");
+    assert!(out.failovers > 0, "kills mid-stream must force failovers");
+    let expected = detection_keys(&offline.detections);
+    for (i, o) in out.outcomes.iter().enumerate() {
+        assert_eq!(
+            detection_keys(&o.outcome.alarms),
+            expected,
+            "session {i}: detections diverge from offline after chaos"
+        );
+        assert_eq!(
+            o.outcome.summary.committed, offline.committed,
+            "session {i}"
+        );
+        assert_eq!(
+            o.outcome.summary.slowdown.to_bits(),
+            offline.slowdown.to_bits(),
+            "session {i}"
+        );
+    }
+}
+
+/// Backend kills *and* client-transport faults at once: the router
+/// severs each client link after every 3 ACKs, so sessions must resume
+/// (reconnects > 0, router resumes > 0) while backends are also dying —
+/// and the detections still match offline exactly.
+#[test]
+fn chaos_with_client_faults_still_loses_nothing() {
+    let cfg = campaign(8_000);
+    let offline = run_fireguard(&cfg);
+    let base = baseline_cycles(&cfg.workload, cfg.seed, cfg.insts);
+    let session = SessionConfig::from_experiment(&cfg, base);
+    let events = Arc::new(capture_events(&cfg));
+
+    let out = run_chaos(
+        &session,
+        Arc::clone(&events),
+        &ChaosOptions {
+            sessions: 6,
+            concurrency: 6,
+            backends: 2,
+            kills: 2,
+            seed: 11,
+            drop_client_after_acks: Some(3),
+            ..ChaosOptions::default()
+        },
+    )
+    .expect("chaos harness runs");
+
+    assert_eq!(out.lost_sessions, 0, "first error: {:?}", out.first_error);
+    assert_eq!(out.ok_sessions, 6);
+    assert!(out.resumes > 0, "client faults must force resumes");
+    assert!(out.reconnects > 0);
+    let expected = detection_keys(&offline.detections);
+    for (i, o) in out.outcomes.iter().enumerate() {
+        assert_eq!(
+            detection_keys(&o.outcome.alarms),
+            expected,
+            "session {i}: detections diverge after chaos + client faults"
+        );
+    }
+}
+
+/// The kill schedule is a pure function of (seed, kills, backends,
+/// volume): same inputs, same schedule; different seed, different
+/// schedule; thresholds ascend within the expected volume and every
+/// target is a real slot.
+#[test]
+fn kill_schedule_is_deterministic_and_well_formed() {
+    let a = kill_schedule(7, 4, 2, 100_000);
+    let b = kill_schedule(7, 4, 2, 100_000);
+    assert_eq!(a, b, "same seed, same schedule");
+    assert_eq!(a.len(), 4);
+    let c = kill_schedule(8, 4, 2, 100_000);
+    assert_ne!(a, c, "a different seed must reshuffle the slaughter");
+
+    for schedule in [&a, &c] {
+        let mut last = 0;
+        for &(threshold, slot) in schedule.iter() {
+            assert!(threshold >= last, "thresholds ascend: {schedule:?}");
+            assert!(threshold < 100_000, "kills land within the volume");
+            assert!(slot < 2, "target is a real slot");
+            last = threshold;
+        }
+    }
+}

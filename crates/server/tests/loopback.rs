@@ -1,7 +1,9 @@
 //! End-to-end loopback tests: a live `fireguard-server` must report
 //! exactly what the equivalent offline `run_fireguard` run reports.
 
-use fireguard_server::{run_loadgen, run_session, serve, ClientError, ServeOptions, SessionConfig};
+use fireguard_server::{
+    run_loadgen, run_session, serve, ClientError, LoadgenOptions, ServeOptions, SessionConfig,
+};
 use fireguard_soc::{baseline_cycles, capture_events, run_fireguard, ExperimentConfig, KernelId};
 use fireguard_trace::{AttackKind, AttackPlan};
 use std::io::Write;
@@ -226,7 +228,17 @@ fn loadgen_aggregates_across_sessions() {
 
     let handle = serve(loopback_opts(2, None)).expect("bind loopback");
     let addr = handle.local_addr().to_string();
-    let agg = run_loadgen(&addr, &session, Arc::clone(&events), 4, 2, 512);
+    let agg = run_loadgen(
+        &addr,
+        &session,
+        Arc::clone(&events),
+        &LoadgenOptions {
+            sessions: 4,
+            concurrency: 2,
+            batch: 512,
+            ..LoadgenOptions::default()
+        },
+    );
     handle.shutdown();
 
     assert_eq!(agg.ok_sessions, 4, "first error: {:?}", agg.first_error);
@@ -237,6 +249,10 @@ fn loadgen_aggregates_across_sessions() {
     assert!(agg.detections > 0);
     assert!(agg.p99_latency_ns >= agg.p50_latency_ns);
     assert!(agg.p50_latency_ns > 0.0);
+    assert_eq!(agg.workers, 2, "pool shape is surfaced");
+    assert_eq!(agg.reconnects, 0);
+    let bucketed: usize = agg.buckets.iter().map(|b| b.sessions).sum();
+    assert_eq!(bucketed, 4, "every session lands in a completion bucket");
 }
 
 #[test]

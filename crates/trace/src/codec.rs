@@ -416,6 +416,18 @@ impl EventEncoder {
         }
         buf
     }
+
+    /// The sequence number the *next* encoded event is predicted to carry —
+    /// i.e. one past the last event encoded (0 on a fresh encoder).
+    ///
+    /// Session-resume peers use this to agree on where a replayed stream
+    /// picks up: an encoder that has emitted events `0..k` reports `k`, and
+    /// the resuming side restarts a fresh encoder at the event with
+    /// absolute seq `k`. Reading the state changes nothing on the wire —
+    /// v1 streams stay byte-identical.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
 }
 
 /// Stateful event decoder, the mirror of [`EventEncoder`].
@@ -522,6 +534,14 @@ impl EventDecoder {
             return Err(CodecError::Corrupt("trailing bytes after batch events"));
         }
         Ok(out)
+    }
+
+    /// The sequence number the *next* decoded event is predicted to carry —
+    /// the mirror of [`EventEncoder::next_seq`]. On a contiguous stream
+    /// this is exactly the count of events decoded so far, which is what a
+    /// resume ACK reports back to the peer.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
     }
 }
 
