@@ -103,6 +103,12 @@ pub struct Parsed {
     pub baseline: Option<String>,
     /// `--check FILE`: fail on >10% events/s regression vs FILE (bench).
     pub check: Option<String>,
+    /// `--metrics-addr HOST:PORT` (serve / router): live metrics endpoint.
+    pub metrics_addr: Option<String>,
+    /// `--trace-out FILE` (serve / router / client / loadgen): span jsonl.
+    pub trace_out: Option<String>,
+    /// `--profile` (bench): stage-level cycle-attribution profile.
+    pub profile: bool,
     /// Canonical names of every flag that was actually set.
     used: Vec<&'static str>,
 }
@@ -119,6 +125,7 @@ const NAMED_COMMANDS: &[&str] = &[
     "client",
     "loadgen",
     "bench",
+    "stats",
     "trace record",
     "trace replay",
 ];
@@ -143,7 +150,9 @@ const FLAG_SCOPES: &[(&str, &[&str])] = &[
     ),
     ("--model", &["sweep", "trace replay", "client", "loadgen"]),
     ("--mapper-width", &["trace replay", "client", "loadgen"]),
-    ("--addr", &["serve", "router", "client", "loadgen"]),
+    ("--addr", &["serve", "router", "client", "loadgen", "stats"]),
+    ("--metrics-addr", &["serve", "router"]),
+    ("--trace-out", &["serve", "router", "client", "loadgen"]),
     ("--workers", &["serve"]),
     ("--max-sessions", &["serve", "router"]),
     ("--sessions", &["loadgen"]),
@@ -158,17 +167,20 @@ const FLAG_SCOPES: &[(&str, &[&str])] = &[
     ("--out", &["trace record", "bench"]),
     ("--trace", &["trace replay", "client", "loadgen"]),
     ("--workload", &["trace record"]),
-    ("--attacks", &["trace record"]),
-    ("--attack-count", &["trace record"]),
-    ("--attack-start", &["trace record"]),
-    ("--attack-end", &["trace record"]),
-    ("--attack-seed", &["trace record"]),
+    // sweep: an attack campaign per grid point, so silent workloads are
+    // visible in the detections column instead of only in loadgen.
+    ("--attacks", &["trace record", "sweep"]),
+    ("--attack-count", &["trace record", "sweep"]),
+    ("--attack-start", &["trace record", "sweep"]),
+    ("--attack-end", &["trace record", "sweep"]),
+    ("--attack-seed", &["trace record", "sweep"]),
     ("--batch", &["client", "loadgen"]),
     ("--warmup", &["bench"]),
     ("--samples", &["bench"]),
     ("--scenario", &["bench"]),
     ("--baseline", &["bench"]),
     ("--check", &["bench"]),
+    ("--profile", &["bench"]),
     // --format applies everywhere.
 ];
 
@@ -219,6 +231,10 @@ pub fn parse(argv: &[String]) -> Result<Parsed, ArgError> {
             "--routed" => {
                 p.routed = true;
                 p.used.push("--routed");
+            }
+            "--profile" => {
+                p.profile = true;
+                p.used.push("--profile");
             }
             s if s.starts_with("--") => {
                 let (name, value) = match s.split_once('=') {
@@ -425,6 +441,14 @@ fn apply_flag(p: &mut Parsed, name: &str, value: &str) -> Result<(), ArgError> {
             p.check = Some(value.to_owned());
             "--check"
         }
+        "--metrics-addr" => {
+            p.metrics_addr = Some(value.to_owned());
+            "--metrics-addr"
+        }
+        "--trace-out" => {
+            p.trace_out = Some(value.to_owned());
+            "--trace-out"
+        }
         other => {
             return Err(ArgError::Bad(format!("unknown flag {other}")));
         }
@@ -521,6 +545,37 @@ mod tests {
         let p = parse(&args("loadgen --trace t.fgt --routed --addr 127.0.0.1:9")).unwrap();
         assert!(p.routed);
         assert!(p.out_of_scope_flags().is_empty());
+    }
+
+    #[test]
+    fn telemetry_flags_parse_and_have_scopes() {
+        let p = parse(&args(
+            "serve --addr 127.0.0.1:0 --metrics-addr 127.0.0.1:9900 --trace-out /tmp/s.jsonl",
+        ))
+        .unwrap();
+        assert_eq!(p.metrics_addr.as_deref(), Some("127.0.0.1:9900"));
+        assert_eq!(p.trace_out.as_deref(), Some("/tmp/s.jsonl"));
+        assert!(p.out_of_scope_flags().is_empty());
+
+        let p = parse(&args("stats --addr 127.0.0.1:9900,127.0.0.1:9901")).unwrap();
+        assert_eq!(p.command, "stats");
+        assert!(p.out_of_scope_flags().is_empty());
+
+        let p = parse(&args("bench --profile --quick")).unwrap();
+        assert!(p.profile);
+        assert!(p.out_of_scope_flags().is_empty());
+
+        // --metrics-addr is a serve/router flag; --profile is bench-only.
+        let p = parse(&args("client --trace t.fgt --metrics-addr 127.0.0.1:9")).unwrap();
+        assert_eq!(p.out_of_scope_flags(), vec!["--metrics-addr"]);
+        let p = parse(&args("serve --profile")).unwrap();
+        assert_eq!(p.out_of_scope_flags(), vec!["--profile"]);
+
+        // sweep accepts an attack campaign now; trace-out does not apply.
+        let p = parse(&args("sweep --attacks ret-hijack --attack-count 6")).unwrap();
+        assert!(p.out_of_scope_flags().is_empty());
+        let p = parse(&args("sweep --trace-out /tmp/x.jsonl")).unwrap();
+        assert_eq!(p.out_of_scope_flags(), vec!["--trace-out"]);
     }
 
     #[test]

@@ -20,6 +20,31 @@ pub fn bench_cmd(p: &Parsed) -> i32 {
         warmup: p.warmup.unwrap_or(env.warmup),
         samples: p.samples.unwrap_or(env.samples),
     };
+    if p.profile {
+        // The profile is a focused stage-attribution report, not a scenario
+        // run: the baseline/gate machinery doesn't apply to it.
+        for (flag, given) in [
+            ("--scenario", p.scenarios.is_some()),
+            ("--out", p.out.is_some()),
+            ("--baseline", p.baseline.is_some()),
+            ("--check", p.check.is_some()),
+        ] {
+            if given {
+                eprintln!("fireguard: {flag} does not combine with bench --profile");
+                return 2;
+            }
+        }
+        let report = perf::profile_report(&opts);
+        let stdout = std::io::stdout();
+        return match render(&report, p.format, &mut stdout.lock()) {
+            Ok(()) => 0,
+            Err(e) => {
+                eprintln!("fireguard: writing output failed: {e}");
+                1
+            }
+        };
+    }
+
     let names: Vec<String> = p
         .scenarios
         .as_deref()

@@ -95,6 +95,7 @@ fn run(argv: &[String]) -> i32 {
         "trace replay" => service_cmds::replay_report(&parsed),
         "client" => service_cmds::client_report(&parsed),
         "loadgen" => service_cmds::loadgen_report(&parsed),
+        "stats" => service_cmds::stats_report(&parsed),
         name => match find(name) {
             Some(fig) => Ok((fig.run)(&fig_opts(&parsed))),
             None => {
@@ -160,6 +161,10 @@ const EXTRA_COMMANDS: &[(&str, &str)] = &[
     (
         "bench",
         "performance scenarios: events/s, allocs/event, regression gate",
+    ),
+    (
+        "stats",
+        "scrape live --metrics-addr endpoints, aggregate fleet counters",
     ),
 ];
 
@@ -325,9 +330,20 @@ fn sweep_report(p: &Parsed) -> Result<Report, String> {
         insts: opts.insts,
         seed: opts.seed,
     };
-    let expanded = grid.expand();
+    let mut expanded = grid.expand();
     if expanded.is_empty() {
         return Err("the sweep grid is empty (no engine axis?)".to_owned());
+    }
+    // `--attacks` runs the same campaign at every grid point, so the
+    // detections column shows which configurations actually catch it —
+    // silent points are visible in the grid instead of only in loadgen.
+    let attacked = service_cmds::attack_plan(p, opts.insts)?;
+    if let Some(plan) = &attacked {
+        for (_, job) in &mut expanded {
+            if let fireguard_soc::JobSpec::FireGuard(cfg) = job {
+                cfg.attacks = Some(plan.clone());
+            }
+        }
     }
     // Pre-flight every deployment against the fabric/packet ceilings so a
     // combined grid that doesn't fit is a clean error, not a panic mid-sweep.
@@ -377,9 +393,15 @@ fn sweep_report(p: &Parsed) -> Result<Report, String> {
         ("slowdown", 9),
         ("cycles", 12),
         ("packets", 10),
+        ("detections", 11),
     ]);
+    let mut silent: Vec<String> = Vec::new();
     for (pt, out) in points.iter().zip(outs) {
         let run = out.into_run();
+        let detections = run.detections.len();
+        if attacked.is_some() && detections == 0 {
+            silent.push(format!("{}/{}", pt.workload, pt.kernel_label()));
+        }
         t.row(vec![
             Cell::Str(pt.workload.clone()),
             Cell::Str(pt.kernel_label()),
@@ -389,9 +411,20 @@ fn sweep_report(p: &Parsed) -> Result<Report, String> {
             Cell::slowdown(run.slowdown),
             Cell::Int(run.cycles as i64),
             Cell::Int(run.packets as i64),
+            Cell::Int(detections as i64),
         ]);
     }
     r.table(t);
+    if !silent.is_empty() {
+        r.blank();
+        r.text(format!(
+            "warning: alarms=0 at {} of {} attacked grid points ({}) — the campaign \
+             raised no detection there (check --kernel against the attack kinds)",
+            silent.len(),
+            points.len(),
+            silent.join(", ")
+        ));
+    }
     Ok(r)
 }
 
@@ -417,6 +450,7 @@ fn usage() -> String {
          \x20   client           stream a .fgt recording to a running service\n\
          \x20   loadgen          open N concurrent sessions, report throughput/latency\n\
          \x20   bench            performance scenarios: events/s, allocs/event, regression gate\n\
+         \x20   stats            scrape live --metrics-addr endpoints, aggregate fleet counters\n\
          \x20   list             list subcommands as a table (--format jsonl for tooling)\n\
          \x20   help             this message\n\
          \n\
@@ -445,8 +479,8 @@ fn usage() -> String {
          TRACE / SERVICE FLAGS:\n\
          \x20   --workload <name>       workload to record (trace record)\n\
          \x20   --out <file>            output .fgt path (trace record)\n\
-         \x20   --attacks <csv>         ret-hijack, oob, uaf, bounds (trace record)\n\
-         \x20   --attack-count/-start/-end/-seed   campaign shape (trace record)\n\
+         \x20   --attacks <csv>         ret-hijack, oob, uaf, bounds (trace record, sweep)\n\
+         \x20   --attack-count/-start/-end/-seed   campaign shape (trace record, sweep)\n\
          \x20   --trace <file>          .fgt recording (replay/client/loadgen)\n\
          \x20   --addr <host:port>      service address (default 127.0.0.1:4780)\n\
          \x20   --workers <N>           serve: concurrent session workers\n\
@@ -464,6 +498,12 @@ fn usage() -> String {
          \x20   --bucket-ms <N>         loadgen: latency-histogram window (default 1000)\n\
          \x20   --chaos                 loadgen: spawn a fleet, kill backends, assert parity\n\
          \x20   --kills <N>             chaos: scheduled backend kills (default 4)\n\
+         \n\
+         TELEMETRY FLAGS:\n\
+         \x20   --metrics-addr <h:p>    serve/router: live metrics endpoint (exposition + STATS)\n\
+         \x20   --trace-out <file>      serve/router/client/loadgen: span-event jsonl sink\n\
+         \x20   stats --addr <csv>      scrape endpoints, aggregate per-kernel fleet counters\n\
+         \x20   bench --profile         stage-level cycle attribution (gen/core/filter/kernel/codec)\n\
          \n\
          BENCH FLAGS:\n\
          \x20   --scenario <csv>        scenario filter (default: all; see bench output)\n\

@@ -9,7 +9,8 @@
 use crate::args::Parsed;
 use fireguard_server::chaos::detection_keys;
 use fireguard_server::{
-    run_chaos, run_loadgen, run_session, ChaosOptions, LoadgenOptions, SessionConfig,
+    run_chaos, run_loadgen, run_session, ChaosOptions, LoadgenOptions, Sample, SessionConfig,
+    TraceSink,
 };
 use fireguard_soc::report::percentile;
 use fireguard_soc::{
@@ -60,6 +61,31 @@ fn parse_attack_kind(s: &str) -> Result<AttackKind, String> {
             "unknown attack kind {other:?} (expected ret-hijack, oob, uaf, or bounds)"
         )),
     }
+}
+
+/// Resolves the `--attacks` campaign flags into an [`AttackPlan`], shared
+/// by `trace record` and `sweep`. `None` when `--attacks` was not given.
+pub(crate) fn attack_plan(p: &Parsed, insts: u64) -> Result<Option<AttackPlan>, String> {
+    let Some(csv) = p.attacks.as_deref() else {
+        return Ok(None);
+    };
+    let kinds = csv
+        .split(',')
+        .map(parse_attack_kind)
+        .collect::<Result<Vec<_>, _>>()?;
+    let count = p.attack_count.unwrap_or(50);
+    let start = p.attack_start.unwrap_or(insts / 10);
+    let end = p.attack_end.unwrap_or(insts);
+    if start >= end {
+        return Err(format!("empty attack window [{start}, {end})"));
+    }
+    Ok(Some(AttackPlan::campaign(
+        &kinds,
+        count,
+        start,
+        end,
+        p.attack_seed.unwrap_or(1),
+    )))
 }
 
 /// The analysis configuration shared by `trace replay`, `client` and
@@ -126,6 +152,16 @@ fn session_experiment(p: &Parsed, meta: &TraceMeta) -> Result<ExperimentConfig, 
 fn read_trace_file(path: &str) -> Result<(TraceMeta, Vec<TraceInst>), String> {
     let f = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
     codec::read_trace(&mut BufReader::new(f)).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+/// Opens the `--trace-out` span sink, if the flag was given.
+fn trace_sink(p: &Parsed) -> Result<Option<Arc<TraceSink>>, String> {
+    match p.trace_out.as_deref() {
+        None => Ok(None),
+        Some(path) => TraceSink::to_file(path)
+            .map(Some)
+            .map_err(|e| format!("cannot create --trace-out {path}: {e}")),
+    }
 }
 
 fn engine_label(cfg: &ExperimentConfig) -> String {
@@ -218,24 +254,8 @@ pub fn record_report(p: &Parsed, insts: u64, seed: u64) -> Result<Report, String
         .ok_or("trace record requires --out <file>")?;
 
     let mut cfg = ExperimentConfig::new(workload).seed(seed).insts(insts);
-    if let Some(csv) = p.attacks.as_deref() {
-        let kinds = csv
-            .split(',')
-            .map(parse_attack_kind)
-            .collect::<Result<Vec<_>, _>>()?;
-        let count = p.attack_count.unwrap_or(50);
-        let start = p.attack_start.unwrap_or(insts / 10);
-        let end = p.attack_end.unwrap_or(insts);
-        if start >= end {
-            return Err(format!("empty attack window [{start}, {end})"));
-        }
-        cfg = cfg.attacks(AttackPlan::campaign(
-            &kinds,
-            count,
-            start,
-            end,
-            p.attack_seed.unwrap_or(1),
-        ));
+    if let Some(plan) = attack_plan(p, insts)? {
+        cfg = cfg.attacks(plan);
     }
 
     let base = baseline_cycles(workload, seed, insts);
@@ -313,8 +333,23 @@ pub fn client_report(p: &Parsed) -> Result<Report, String> {
     let cfg = session_experiment(p, &meta)?;
     let session = SessionConfig::from_experiment(&cfg, meta.baseline_cycles);
     let batch = p.batch.unwrap_or(fireguard_server::DEFAULT_BATCH);
+    let trace = trace_sink(p)?;
     let out = run_session(addr, &session, Arc::new(events), batch)
         .map_err(|e| format!("session against {addr} failed: {e}"))?;
+    // The client-side timeline entry: one span summarising the session as
+    // this end observed it (the server's sink holds the per-batch detail).
+    if let Some(sink) = &trace {
+        sink.emit(
+            "client.session",
+            None,
+            vec![
+                ("addr", addr.into()),
+                ("events_sent", out.events_sent.into()),
+                ("wall_ms", (out.wall.as_secs_f64() * 1e3).into()),
+                ("alarms", (out.alarms.len() as u64).into()),
+            ],
+        );
+    }
 
     let lats: Vec<f64> = {
         let mut v: Vec<f64> = out
@@ -376,6 +411,9 @@ pub fn loadgen_report(p: &Parsed) -> Result<Report, String> {
     let (meta, events) = read_trace_file(path)?;
     let cfg = session_experiment(p, &meta)?;
     let session = SessionConfig::from_experiment(&cfg, meta.baseline_cycles);
+    // Whether the recording carries ground-truth attacks, for the
+    // zero-alarm warning below (a benign trace is *expected* to be silent).
+    let has_attacks = events.iter().any(|e| e.attack.is_some());
     let opts = LoadgenOptions {
         sessions,
         concurrency,
@@ -383,6 +421,7 @@ pub fn loadgen_report(p: &Parsed) -> Result<Report, String> {
         duration: p.duration_secs.map(std::time::Duration::from_secs_f64),
         bucket: std::time::Duration::from_millis(p.bucket_ms.unwrap_or(1000)),
         routed: p.routed.then(|| p.seed.unwrap_or(42)),
+        trace: trace_sink(p)?,
     };
     let agg = run_loadgen(addr, &session, Arc::new(events), &opts);
     if agg.ok_sessions == 0 {
@@ -405,6 +444,18 @@ pub fn loadgen_report(p: &Parsed) -> Result<Report, String> {
             agg.failed_sessions
         ));
     }
+    if has_attacks && agg.detections == 0 {
+        // The recording injects attacks yet nothing alarmed: either the
+        // kernel selection cannot see this attack class, or the campaign
+        // window misses every vulnerable commit (the blackscholes/
+        // streamcluster shape). Loud, because a silent detector looks
+        // identical to a working one in the throughput row.
+        r.text(
+            "warning: alarms=0 — the recording carries an attack campaign but no \
+             session raised a detection (check --kernel against the attack kinds)"
+                .to_owned(),
+        );
+    }
     if p.format == fireguard_soc::Format::Jsonl {
         // Machine-readable runs surface the pool shape (mirrors the
         // sweep's workers= line) so throughput numbers are
@@ -412,6 +463,10 @@ pub fn loadgen_report(p: &Parsed) -> Result<Report, String> {
         r.text(format!("workers={}", agg.workers));
         if opts.routed.is_some() {
             r.text(format!("reconnects={}", agg.reconnects));
+            r.text(format!(
+                "p50_reconnect_ms={:.3} p99_reconnect_ms={:.3}",
+                agg.p50_reconnect_ms, agg.p99_reconnect_ms
+            ));
         }
     }
     r.blank();
@@ -478,7 +533,10 @@ pub fn loadgen_report(p: &Parsed) -> Result<Report, String> {
     Ok(r)
 }
 
-/// The soak histogram: one row per completion-time window.
+/// The soak histogram: one row per completion-time window. Reconnect
+/// latency (client-observed disconnect → resumed-ACK) rides along per
+/// bucket so a soak under churn shows *when* resumes got slow, not just
+/// how many happened.
 fn bucket_table(buckets: &[fireguard_server::LatencyBucket]) -> Table {
     let mut t = Table::new(&[
         ("bucket_s", 9),
@@ -488,6 +546,9 @@ fn bucket_table(buckets: &[fireguard_server::LatencyBucket]) -> Table {
         ("p99_ns", 10),
         ("p50_wall_ms", 12),
         ("p99_wall_ms", 12),
+        ("reconnects", 11),
+        ("p50_rec_ms", 11),
+        ("p99_rec_ms", 11),
     ]);
     for b in buckets {
         let lat = |v: f64| {
@@ -504,6 +565,13 @@ fn bucket_table(buckets: &[fireguard_server::LatencyBucket]) -> Table {
                 Cell::Float { v, prec: 1 }
             }
         };
+        let rec = |v: f64| {
+            if b.reconnects == 0 {
+                Cell::Missing
+            } else {
+                Cell::Float { v, prec: 3 }
+            }
+        };
         t.row(vec![
             Cell::Float {
                 v: b.start.as_secs_f64(),
@@ -515,6 +583,9 @@ fn bucket_table(buckets: &[fireguard_server::LatencyBucket]) -> Table {
             lat(b.p99_latency_ns),
             wall(b.p50_wall_ms),
             wall(b.p99_wall_ms),
+            Cell::Int(b.reconnects as i64),
+            rec(b.p50_reconnect_ms),
+            rec(b.p99_reconnect_ms),
         ]);
     }
     t
@@ -629,11 +700,20 @@ pub fn serve_cmd(p: &Parsed) -> i32 {
         eprintln!("fireguard: serve has no report output; --format does not apply");
         return 2;
     }
+    let trace = match trace_sink(p) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("fireguard: {e}");
+            return 1;
+        }
+    };
     let opts = fireguard_server::ServeOptions {
         addr: p.addr.clone().unwrap_or_else(|| DEFAULT_ADDR.to_owned()),
         workers: p.workers.unwrap_or_else(fireguard_soc::default_workers),
         max_sessions: p.max_sessions,
         observe_every: fireguard_server::OBSERVE_EVERY,
+        metrics_addr: p.metrics_addr.clone(),
+        trace,
     };
     let workers = opts.workers;
     let handle = match fireguard_server::serve(opts) {
@@ -649,6 +729,11 @@ pub fn serve_cmd(p: &Parsed) -> i32 {
         "fireguard-serve: listening on {} ({workers} workers)",
         handle.local_addr()
     );
+    // The metrics endpoint follows the same contract: announce the bound
+    // address so a scraper started against port 0 can find it.
+    if let Some(m) = handle.metrics_addr() {
+        println!("fireguard-serve: metrics on {m}");
+    }
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
     handle.join();
@@ -678,6 +763,13 @@ pub fn router_cmd(p: &Parsed) -> i32 {
         ),
         None => fireguard_server::BackendMode::Spawn(p.backends.unwrap_or(2)),
     };
+    let trace = match trace_sink(p) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("fireguard: {e}");
+            return 1;
+        }
+    };
     let opts = fireguard_server::RouterOptions {
         addr: p
             .addr
@@ -686,6 +778,8 @@ pub fn router_cmd(p: &Parsed) -> i32 {
         backends,
         backend_workers: p.backend_workers.unwrap_or(2),
         max_sessions: p.max_sessions,
+        metrics_addr: p.metrics_addr.clone(),
+        trace,
         ..fireguard_server::RouterOptions::default()
     };
     let handle = match fireguard_server::route(opts) {
@@ -701,6 +795,9 @@ pub fn router_cmd(p: &Parsed) -> i32 {
         handle.local_addr(),
         handle.backends()
     );
+    if let Some(m) = handle.metrics_addr() {
+        println!("fireguard-router: metrics on {m}");
+    }
     for (slot, addr) in handle.backend_addrs().iter().enumerate() {
         match addr {
             Some(a) => println!("fireguard-router: backend {slot} at {a}"),
@@ -711,4 +808,147 @@ pub fn router_cmd(p: &Parsed) -> i32 {
     let _ = std::io::stdout().flush();
     handle.join();
     0
+}
+
+// ---- stats -----------------------------------------------------------------
+
+/// Sums every sample named `name` in a scrape (across label sets), or
+/// `None` when the endpoint does not emit the series at all — so a serve
+/// scrape renders `-` for router-only series instead of a fake zero.
+fn series_total(samples: &[Sample], name: &str) -> Option<u64> {
+    let mut any = false;
+    let mut total = 0u64;
+    for s in samples.iter().filter(|s| s.name == name) {
+        any = true;
+        total += s.count();
+    }
+    any.then_some(total)
+}
+
+/// `fireguard stats`: scrape one or more live `--metrics-addr` endpoints
+/// (comma-separated in `--addr`; serve and router mix freely) and render
+/// per-target health plus the fleet-wide per-kernel packet/verdict/alarm
+/// aggregate. A router scrape already folds its spawned backends in
+/// (`backend`-labelled series), so scraping a router counts its whole
+/// fleet.
+pub fn stats_report(p: &Parsed) -> Result<Report, String> {
+    let spec = p.addr.as_deref().ok_or(
+        "stats requires --addr <host:port[,host:port,...]> naming one or more \
+         --metrics-addr endpoints",
+    )?;
+    let targets: Vec<&str> = spec
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    if targets.is_empty() {
+        return Err("stats: --addr named no endpoints".to_owned());
+    }
+    let mut scrapes: Vec<(&str, Vec<Sample>)> = Vec::new();
+    for t in &targets {
+        let samples =
+            fireguard_server::scrape(t).map_err(|e| format!("scrape of {t} failed: {e}"))?;
+        scrapes.push((t, samples));
+    }
+    let series: usize = scrapes.iter().map(|(_, s)| s.len()).sum();
+
+    let mut r = Report::new();
+    r.text(format!(
+        "stats: {} endpoint{} scraped, {series} series",
+        targets.len(),
+        if targets.len() == 1 { "" } else { "s" }
+    ));
+    r.blank();
+
+    // Per-target health: session/event/alarm totals, plus the router-only
+    // series where the endpoint emits them.
+    let target_col = targets.iter().map(|t| t.len()).max().unwrap_or(0).max(8);
+    let mut t = Table::new(&[
+        ("target", target_col),
+        ("sessions", 9),
+        ("completed", 10),
+        ("failed", 7),
+        ("events", 12),
+        ("alarms", 8),
+        ("failovers", 10),
+        ("resumes", 8),
+        ("backends_up", 12),
+    ]);
+    let opt = |v: Option<u64>| match v {
+        Some(n) => Cell::Int(n as i64),
+        None => Cell::Missing,
+    };
+    for (target, samples) in &scrapes {
+        t.row(vec![
+            Cell::Str((*target).to_owned()),
+            opt(series_total(samples, "fireguard_sessions_started_total")),
+            opt(series_total(samples, "fireguard_sessions_completed_total")),
+            opt(series_total(samples, "fireguard_sessions_failed_total")),
+            opt(series_total(samples, "fireguard_events_total")),
+            opt(series_total(samples, "fireguard_alarms_total")),
+            opt(series_total(samples, "fireguard_router_failovers_total")),
+            opt(series_total(samples, "fireguard_router_resumes_total")),
+            opt(series_total(samples, "fireguard_router_backends_up")),
+        ]);
+    }
+    r.table(t);
+
+    // The fleet-wide per-kernel aggregate: packets/verdicts/alarms summed
+    // over every target and backend label, keyed by the registry's
+    // canonical kernel name and presented in registry order.
+    let mut tallies: Vec<(String, [u64; 3])> = Vec::new();
+    for (_, samples) in &scrapes {
+        for s in samples {
+            let col = match s.name.as_str() {
+                "fireguard_kernel_packets_total" => 0,
+                "fireguard_kernel_verdicts_total" => 1,
+                "fireguard_kernel_alarms_total" => 2,
+                _ => continue,
+            };
+            let kernel = s.label_value("kernel").unwrap_or("unknown").to_owned();
+            match tallies.iter_mut().find(|(k, _)| *k == kernel) {
+                Some((_, row)) => row[col] += s.count(),
+                None => {
+                    let mut row = [0u64; 3];
+                    row[col] = s.count();
+                    tallies.push((kernel, row));
+                }
+            }
+        }
+    }
+    let canonical = fireguard_soc::canonical_names();
+    tallies.sort_by_key(|(k, _)| {
+        canonical
+            .iter()
+            .position(|c| c == k)
+            .unwrap_or(canonical.len())
+    });
+    r.blank();
+    if tallies.is_empty() {
+        r.text("no per-kernel traffic yet (run a session, then scrape again)");
+    } else {
+        r.text("per-kernel fleet aggregate:");
+        let kernel_col = tallies
+            .iter()
+            .map(|(k, _)| k.len())
+            .max()
+            .unwrap_or(0)
+            .max(8);
+        let mut k = Table::new(&[
+            ("kernel", kernel_col),
+            ("packets", 12),
+            ("verdicts", 10),
+            ("alarms", 8),
+        ]);
+        for (kernel, [packets, verdicts, alarms]) in &tallies {
+            k.row(vec![
+                Cell::Str(kernel.clone()),
+                Cell::Int(*packets as i64),
+                Cell::Int(*verdicts as i64),
+                Cell::Int(*alarms as i64),
+            ]);
+        }
+        r.table(k);
+    }
+    Ok(r)
 }

@@ -206,6 +206,10 @@ pub struct RoutedOutcome {
     pub outcome: SessionOutcome,
     /// Transport deaths survived by resuming (0 = clean run).
     pub reconnects: u32,
+    /// Per-reconnect recovery latency: transport death to the resumed
+    /// connection's ACK. One entry per *successful* resume; a resume that
+    /// itself died extends the same gap rather than starting a new one.
+    pub reconnect_latencies: Vec<Duration>,
 }
 
 /// One connection attempt's verdict.
@@ -245,7 +249,12 @@ pub fn run_routed_session(
     let mut alarms: Vec<Detection> = Vec::new();
     let mut reconnects = 0u32;
     let mut first = true;
+    // Recovery-latency clock: set when a transport dies, cleared when a
+    // resume's ACK lands — the gap is one reconnect latency sample.
+    let mut disconnected_at: Option<Instant> = None;
+    let mut reconnect_latencies: Vec<Duration> = Vec::new();
     loop {
+        let mut resumed_at = None;
         let attempt = routed_attempt(
             addr,
             &hello,
@@ -254,8 +263,13 @@ pub fn run_routed_session(
             batch,
             first,
             &mut alarms,
+            &mut resumed_at,
         );
         first = false;
+        if let (Some(death), Some(ack)) = (disconnected_at, resumed_at) {
+            reconnect_latencies.push(ack.saturating_duration_since(death));
+            disconnected_at = None;
+        }
         match attempt {
             Ok(Attempt::Finished(summary, trailing_error)) => {
                 if let Some(msg) = trailing_error {
@@ -269,6 +283,7 @@ pub fn run_routed_session(
                         wall: started.elapsed(),
                     },
                     reconnects,
+                    reconnect_latencies,
                 });
             }
             Ok(Attempt::Refused(msg)) => return Err(ClientError::Server(msg)),
@@ -280,6 +295,7 @@ pub fn run_routed_session(
                     )));
                 }
                 reconnects += 1;
+                disconnected_at.get_or_insert_with(Instant::now);
                 std::thread::sleep(Duration::from_millis(25));
             }
             Err(e) => {
@@ -290,6 +306,7 @@ pub fn run_routed_session(
                     return Err(e);
                 }
                 reconnects += 1;
+                disconnected_at.get_or_insert_with(Instant::now);
                 std::thread::sleep(Duration::from_millis(25));
             }
         }
@@ -300,6 +317,7 @@ pub fn run_routed_session(
 /// collect frames until SUMMARY or transport death. `alarms` accumulates
 /// across attempts — its length doubles as the resume ticket's
 /// `alarms_received`.
+#[allow(clippy::too_many_arguments)]
 fn routed_attempt(
     addr: &str,
     hello: &Arc<Vec<u8>>,
@@ -308,6 +326,7 @@ fn routed_attempt(
     batch: usize,
     first: bool,
     alarms: &mut Vec<Detection>,
+    resumed_at: &mut Option<Instant>,
 ) -> Result<Attempt, ClientError> {
     let stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true)?;
@@ -334,7 +353,10 @@ fn routed_attempt(
             w.flush()?;
         }
         match read_frame(&mut reader) {
-            Ok(Some((ACK, payload))) => crate::proto::decode_ack(&payload)? as usize,
+            Ok(Some((ACK, payload))) => {
+                *resumed_at = Some(Instant::now());
+                crate::proto::decode_ack(&payload)? as usize
+            }
             Ok(Some((ERROR, msg))) => {
                 let msg = String::from_utf8_lossy(&msg).into_owned();
                 // A ghost driver may still be letting go; that's a

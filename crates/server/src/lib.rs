@@ -42,6 +42,7 @@
 pub mod chaos;
 pub mod client;
 pub mod loadgen;
+pub mod metrics;
 pub mod proto;
 pub mod ring;
 pub mod router;
@@ -53,10 +54,15 @@ pub use client::{
     DEFAULT_BATCH,
 };
 pub use loadgen::{run_loadgen, LatencyBucket, LoadgenOptions, LoadgenOutcome};
+pub use metrics::{scrape, serve_metrics, MetricsHandle, SampleSource};
 pub use proto::{
     SessionConfig, SessionTicket, Summary, CAP_WIDE_VERDICT, PROTO_V1, PROTO_V2, PROTO_VERSION,
     V1_MAX_KERNELS,
 };
 pub use ring::{Ring, DEFAULT_REPLICAS};
 pub use router::{route, BackendMode, RouterHandle, RouterOptions};
-pub use service::{serve, ServeOptions, ServerHandle, OBSERVE_EVERY};
+pub use service::{fleet_samples, serve, ServeOptions, ServerHandle, OBSERVE_EVERY};
+
+// Re-exported so the CLI and tests consume the telemetry vocabulary
+// without a direct `fireguard-telemetry` dependency.
+pub use fireguard_telemetry::{FleetCounters, Sample, TraceSink};

@@ -14,6 +14,7 @@
 
 use crate::client::{run_routed_session, run_session, RoutedOptions, SessionOutcome};
 use crate::proto::SessionConfig;
+use fireguard_telemetry::TraceSink;
 use fireguard_trace::TraceInst;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
@@ -37,6 +38,9 @@ pub struct LoadgenOptions {
     /// derived from the seed) instead of plain ones — required against a
     /// router under chaos, meaningless against a plain `serve`.
     pub routed: Option<u64>,
+    /// Optional structured span sink (`--trace-out`); one span per
+    /// session completion.
+    pub trace: Option<Arc<TraceSink>>,
 }
 
 impl Default for LoadgenOptions {
@@ -48,6 +52,7 @@ impl Default for LoadgenOptions {
             duration: None,
             bucket: Duration::from_secs(1),
             routed: None,
+            trace: None,
         }
     }
 }
@@ -72,6 +77,13 @@ pub struct LatencyBucket {
     pub p50_wall_ms: f64,
     /// 99th-percentile session wall time (ms).
     pub p99_wall_ms: f64,
+    /// Successful resumes by sessions completing in this window.
+    pub reconnects: u64,
+    /// Median router reconnect latency (ms): transport death to the
+    /// resumed connection's ACK (0 when no reconnects landed here).
+    pub p50_reconnect_ms: f64,
+    /// 99th-percentile router reconnect latency (ms).
+    pub p99_reconnect_ms: f64,
 }
 
 /// Aggregate outcome of a load-generation run.
@@ -99,6 +111,10 @@ pub struct LoadgenOutcome {
     pub workers: usize,
     /// Transport deaths survived via resume (routed mode only).
     pub reconnects: u64,
+    /// Median router reconnect latency (ms) across every resume.
+    pub p50_reconnect_ms: f64,
+    /// 99th-percentile router reconnect latency (ms).
+    pub p99_reconnect_ms: f64,
     /// Per-completion-window latency histogram (empty windows included,
     /// so the series is contiguous from the first to the last completion).
     pub buckets: Vec<LatencyBucket>,
@@ -116,7 +132,8 @@ pub fn run_loadgen(
 ) -> LoadgenOutcome {
     let started = Instant::now();
     let cursor = Arc::new(AtomicUsize::new(0));
-    type SessionResult = Result<(SessionOutcome, u32), String>;
+    // (outcome, reconnects survived, per-reconnect recovery latencies ms)
+    type SessionResult = Result<(SessionOutcome, u32, Vec<f64>), String>;
     let (tx, rx) = mpsc::channel::<(Duration, SessionResult)>();
     let threads = if opts.duration.is_some() {
         opts.concurrency.max(1)
@@ -148,10 +165,17 @@ pub fn run_loadgen(
                             ..RoutedOptions::new(seed.wrapping_add(1 + i as u64))
                         },
                     )
-                    .map(|r| (r.outcome, r.reconnects))
+                    .map(|r| {
+                        let lats = r
+                            .reconnect_latencies
+                            .iter()
+                            .map(|d| d.as_secs_f64() * 1e3)
+                            .collect();
+                        (r.outcome, r.reconnects, lats)
+                    })
                     .map_err(|e| e.to_string()),
                     None => run_session(&addr, &cfg, Arc::clone(&events), opts.batch)
-                        .map(|o| (o, 0))
+                        .map(|o| (o, 0, Vec::new()))
                         .map_err(|e| e.to_string()),
                 };
                 if tx.send((started.elapsed(), out)).is_err() {
@@ -172,23 +196,37 @@ pub fn run_loadgen(
     let mut detections = 0u64;
     let mut reconnects = 0u64;
     let mut latencies: Vec<f64> = Vec::new();
+    let mut reconnect_lats_all: Vec<f64> = Vec::new();
     let mut first_error = None;
     // Per-window accumulators, indexed by completion offset / bucket.
     struct Acc {
         sessions: usize,
         lats: Vec<f64>,
         walls: Vec<f64>,
+        reconnects: u64,
+        reconnect_lats: Vec<f64>,
     }
     let bucket = opts.bucket.max(Duration::from_millis(1));
     let mut accs: Vec<Acc> = Vec::new();
     for (offset, out) in rx {
         match out {
-            Ok((o, rc)) => {
+            Ok((o, rc, rc_lats)) => {
                 ok += 1;
                 reconnects += u64::from(rc);
                 events_total += o.events_sent;
                 committed += o.summary.committed;
                 detections += o.summary.detections;
+                if let Some(t) = &opts.trace {
+                    t.emit(
+                        "loadgen.session",
+                        None,
+                        vec![
+                            ("wall_ms", (o.wall.as_secs_f64() * 1e3).into()),
+                            ("detections", o.summary.detections.into()),
+                            ("reconnects", u64::from(rc).into()),
+                        ],
+                    );
+                }
                 // True detections only, matching `client`/`trace replay`
                 // (RunResult::attack_latencies_ns) so p50/p99 are
                 // comparable across the three subcommands.
@@ -204,15 +242,27 @@ pub fn run_loadgen(
                         sessions: 0,
                         lats: Vec::new(),
                         walls: Vec::new(),
+                        reconnects: 0,
+                        reconnect_lats: Vec::new(),
                     });
                 }
                 accs[idx].sessions += 1;
                 accs[idx].walls.push(o.wall.as_secs_f64() * 1e3);
                 accs[idx].lats.extend_from_slice(&lats);
+                accs[idx].reconnects += u64::from(rc);
+                accs[idx].reconnect_lats.extend_from_slice(&rc_lats);
                 latencies.extend_from_slice(&lats);
+                reconnect_lats_all.extend_from_slice(&rc_lats);
             }
             Err(e) => {
                 failed += 1;
+                if let Some(t) = &opts.trace {
+                    t.emit(
+                        "loadgen.session_failed",
+                        None,
+                        vec![("error", e.as_str().into())],
+                    );
+                }
                 first_error.get_or_insert(e);
             }
         }
@@ -228,6 +278,9 @@ pub fn run_loadgen(
             p99_latency_ns: percentile_select(&mut a.lats, 99.0),
             p50_wall_ms: percentile_select(&mut a.walls, 50.0),
             p99_wall_ms: percentile_select(&mut a.walls, 99.0),
+            reconnects: a.reconnects,
+            p50_reconnect_ms: percentile_select(&mut a.reconnect_lats, 50.0),
+            p99_reconnect_ms: percentile_select(&mut a.reconnect_lats, 99.0),
         })
         .collect();
     let wall = started.elapsed();
@@ -248,6 +301,8 @@ pub fn run_loadgen(
         p99_latency_ns: percentile_select(&mut latencies, 99.0),
         workers: threads,
         reconnects,
+        p50_reconnect_ms: percentile_select(&mut reconnect_lats_all, 50.0),
+        p99_reconnect_ms: percentile_select(&mut reconnect_lats_all, 99.0),
         buckets,
         first_error,
     }

@@ -36,13 +36,15 @@
 //! ticket carries how many alarms the client holds, and the router
 //! re-sends the missing tail from its buffer.
 
+use crate::metrics::{serve_metrics, MetricsHandle};
 use crate::proto::{
     self, read_frame, write_frame, SessionTicket, ACK, ALARMS, END, ERROR, EVENTS, HELLO, SESSION,
     SUMMARY,
 };
 use crate::ring::{mix, Ring, DEFAULT_REPLICAS};
-use crate::service::{serve, ServeOptions, ServerHandle};
+use crate::service::{fleet_samples, serve, ServeOptions, ServerHandle};
 use fireguard_soc::Detection;
+use fireguard_telemetry::{Sample, TraceSink};
 use fireguard_trace::codec::{EventDecoder, EventEncoder};
 use fireguard_trace::TraceInst;
 use std::collections::HashMap;
@@ -106,6 +108,14 @@ pub struct RouterOptions {
     /// lossless session — this is how the resume path is exercised
     /// deterministically in tests.
     pub drop_client_after_acks: Option<u64>,
+    /// Optional admin metrics endpoint (`--metrics-addr`). The router's
+    /// exposition includes its own routing counters plus, in spawn mode,
+    /// each live backend's fleet counters labeled `backend="<slot>"` —
+    /// one scrape sees the whole fleet.
+    pub metrics_addr: Option<String>,
+    /// Optional structured span sink (`--trace-out`); failover, resume,
+    /// and ghost-driver transitions are emitted here.
+    pub trace: Option<Arc<TraceSink>>,
 }
 
 impl Default for RouterOptions {
@@ -119,6 +129,8 @@ impl Default for RouterOptions {
             max_sessions: None,
             health_every: Duration::from_millis(100),
             drop_client_after_acks: None,
+            metrics_addr: None,
+            trace: None,
         }
     }
 }
@@ -350,8 +362,8 @@ fn spawn_backend(workers: usize, observe_every: u64) -> std::io::Result<ServerHa
     serve(ServeOptions {
         addr: "127.0.0.1:0".to_owned(),
         workers,
-        max_sessions: None,
         observe_every,
+        ..ServeOptions::default()
     })
 }
 
@@ -433,6 +445,58 @@ struct RouterStats {
     resumes: AtomicU64,
 }
 
+/// The router's exposition: its own routing counters, backend liveness,
+/// and (spawn mode) each live backend's fleet counters labeled
+/// `backend="<slot>"` — one scrape covers the whole fleet.
+fn router_samples(pool: &BackendPool, stats: &RouterStats) -> Vec<Sample> {
+    let mut out = vec![
+        Sample::new(
+            "fireguard_router_events_total",
+            stats.events.load(Ordering::Relaxed),
+        ),
+        Sample::new(
+            "fireguard_router_sessions_total",
+            stats.sessions.load(Ordering::Relaxed),
+        ),
+        Sample::new(
+            "fireguard_router_failovers_total",
+            stats.failovers.load(Ordering::Relaxed),
+        ),
+        Sample::new(
+            "fireguard_router_resumes_total",
+            stats.resumes.load(Ordering::Relaxed),
+        ),
+        Sample::new(
+            "fireguard_router_kills_total",
+            pool.kills.load(Ordering::Relaxed),
+        ),
+    ];
+    let mut up = 0u64;
+    for slot in 0..pool.len() {
+        // Clone the counters handle under the slot lock, sample unlocked.
+        let (state, counters) = {
+            let sl = pool.lock_slot(slot);
+            (
+                sl.state,
+                sl.handle.as_ref().map(|h| Arc::clone(h.counters())),
+            )
+        };
+        if state == SlotState::Up {
+            up += 1;
+        }
+        if let Some(c) = counters {
+            let slot_label = slot.to_string();
+            out.extend(
+                fleet_samples(&c)
+                    .into_iter()
+                    .map(|s| s.label("backend", &slot_label)),
+            );
+        }
+    }
+    out.push(Sample::new("fireguard_router_backends_up", up));
+    out
+}
+
 // ---- handle ----------------------------------------------------------------
 
 /// A running router: accept loop, health checker, per-session drivers,
@@ -445,6 +509,7 @@ pub struct RouterHandle {
     accept: Option<JoinHandle<()>>,
     health: Option<JoinHandle<()>>,
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    metrics: Option<MetricsHandle>,
 }
 
 impl RouterHandle {
@@ -490,6 +555,11 @@ impl RouterHandle {
         self.pool.kills.load(Ordering::Relaxed)
     }
 
+    /// The bound metrics endpoint address, when one was requested.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics.as_ref().map(MetricsHandle::local_addr)
+    }
+
     /// Abruptly kills the backend in `slot` (spawn mode), severing its
     /// in-flight sessions; the health checker respawns it. Returns
     /// whether a live backend was actually killed.
@@ -533,6 +603,9 @@ impl RouterHandle {
         if let Some(h) = self.health.take() {
             let _ = h.join();
         }
+        if let Some(m) = self.metrics.take() {
+            m.shutdown();
+        }
         self.pool.shutdown();
     }
 
@@ -561,6 +634,17 @@ pub fn route(opts: RouterOptions) -> std::io::Result<RouterHandle> {
     let stop = Arc::new(AtomicBool::new(false));
     let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
     let anon_ids = Arc::new(AtomicU64::new(0));
+    let metrics = match &opts.metrics_addr {
+        Some(addr) => {
+            let pool = Arc::clone(&pool);
+            let stats = Arc::clone(&stats);
+            Some(serve_metrics(
+                addr,
+                Arc::new(move || router_samples(&pool, &stats)),
+            )?)
+        }
+        None => None,
+    };
 
     let health = {
         let pool = Arc::clone(&pool);
@@ -605,6 +689,7 @@ pub fn route(opts: RouterOptions) -> std::io::Result<RouterHandle> {
         let anon_ids = Arc::clone(&anon_ids);
         let max = opts.max_sessions;
         let drop_after = opts.drop_client_after_acks;
+        let trace = opts.trace.clone();
         std::thread::spawn(move || {
             let mut accepted = 0u64;
             loop {
@@ -623,8 +708,17 @@ pub fn route(opts: RouterOptions) -> std::io::Result<RouterHandle> {
                         let stats = Arc::clone(&stats);
                         let table = Arc::clone(&table);
                         let anon_ids = Arc::clone(&anon_ids);
+                        let trace = trace.clone();
                         let h = std::thread::spawn(move || {
-                            handle_conn(stream, &pool, &table, &stats, &anon_ids, drop_after);
+                            handle_conn(
+                                stream,
+                                &pool,
+                                &table,
+                                &stats,
+                                &anon_ids,
+                                drop_after,
+                                trace.as_deref(),
+                            );
                         });
                         conns.lock().expect("conns lock never poisoned").push(h);
                     }
@@ -645,6 +739,7 @@ pub fn route(opts: RouterOptions) -> std::io::Result<RouterHandle> {
         accept: Some(accept),
         health: Some(health),
         conns,
+        metrics,
     })
 }
 
@@ -681,6 +776,7 @@ fn handle_conn(
     stats: &RouterStats,
     anon_ids: &AtomicU64,
     drop_after: Option<u64>,
+    trace: Option<&TraceSink>,
 ) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
@@ -753,6 +849,13 @@ fn handle_conn(
     // while the client was away, serve it entirely from the buffer.
     if let Some(alarms_received) = resume_from {
         stats.resumes.fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = trace {
+            t.emit(
+                "router.resume",
+                Some(key),
+                vec![("alarms_received", alarms_received.into())],
+            );
+        }
         let (ack, tail, finished) = {
             let s = lock_session(&session);
             let from = (alarms_received as usize).min(s.alarms.len());
@@ -787,6 +890,7 @@ fn handle_conn(
         table,
         stats,
         drop_after,
+        trace,
     });
 }
 
@@ -839,6 +943,7 @@ struct DriverCtx<'a> {
     table: &'a SessionTable,
     stats: &'a RouterStats,
     drop_after: Option<u64>,
+    trace: Option<&'a TraceSink>,
 }
 
 /// The driver proper: pumps client frames into the session buffer and
@@ -857,6 +962,7 @@ fn drive_session(ctx: DriverCtx<'_>) {
         table,
         stats,
         drop_after,
+        trace,
     } = ctx;
 
     // The driver inbox. Unbounded by design: the router buffers the
@@ -995,6 +1101,16 @@ fn drive_session(ctx: DriverCtx<'_>) {
             pool.revive(slot);
             stats.failovers.fetch_add(1, Ordering::Relaxed);
             *failovers += 1;
+            if let Some(t) = trace {
+                t.emit(
+                    "router.failover",
+                    Some(key),
+                    vec![
+                        ("slot", (slot as u64).into()),
+                        ("nth", u64::from(*failovers).into()),
+                    ],
+                );
+            }
             *failovers <= MAX_FAILOVERS
         };
         if !replay_ok {
@@ -1175,6 +1291,14 @@ fn drive_session(ctx: DriverCtx<'_>) {
                     // the backend so already-streamed events still yield
                     // their detections; a resume picks the session up.
                     client_alive = false;
+                    if let Some(t) = trace {
+                        let buffered = lock_session(&session).events.len() as u64;
+                        t.emit(
+                            "router.ghost",
+                            Some(key),
+                            vec![("events_buffered", buffered.into())],
+                        );
+                    }
                 }
                 Msg::Backend(i, ALARMS, payload) if i == inc => {
                     let ds = match proto::decode_alarms(&payload) {

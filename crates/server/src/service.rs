@@ -24,11 +24,13 @@
 //! responses, which stalls analysis and therefore also stops event intake;
 //! a slow reader throttles exactly its own session.
 
+use crate::metrics::{serve_metrics, MetricsHandle};
 use crate::proto::{
     self, read_frame, write_frame, SessionConfig, Summary, ALARMS, END, ERROR, EVENTS, HELLO,
     SUMMARY,
 };
 use fireguard_soc::{try_build_system, Detection};
+use fireguard_telemetry::{FleetCounters, Sample, TraceSink};
 use fireguard_trace::codec::{EventDecoder, MAX_BATCH_EVENTS};
 use fireguard_trace::TraceInst;
 use std::collections::{HashMap, VecDeque};
@@ -55,6 +57,13 @@ pub struct ServeOptions {
     pub max_sessions: Option<u64>,
     /// Alarm-drain period in fast cycles.
     pub observe_every: u64,
+    /// Optional admin metrics endpoint (`--metrics-addr`; port 0 =
+    /// ephemeral). Serves the fleet counter snapshot; see
+    /// [`crate::metrics`].
+    pub metrics_addr: Option<String>,
+    /// Optional structured span sink (`--trace-out`); session lifecycle
+    /// events are emitted here.
+    pub trace: Option<Arc<TraceSink>>,
 }
 
 impl Default for ServeOptions {
@@ -64,8 +73,23 @@ impl Default for ServeOptions {
             workers: fireguard_soc::default_workers(),
             max_sessions: None,
             observe_every: OBSERVE_EVERY,
+            metrics_addr: None,
+            trace: None,
         }
     }
+}
+
+/// Renders a [`FleetCounters`] snapshot with the fleet-standard labels:
+/// registry canonical kernel names (wire-id indexed) and instruction
+/// class names. Both the serve and router metrics endpoints expose
+/// exactly this, so `fireguard stats` can aggregate across tiers.
+pub fn fleet_samples(fleet: &FleetCounters) -> Vec<Sample> {
+    let kernel_names = fireguard_soc::canonical_names();
+    let class_names: Vec<&str> = fireguard_trace::InstClass::ALL
+        .iter()
+        .map(|c| c.name())
+        .collect();
+    fleet.samples(&kernel_names, &class_names)
 }
 
 /// A running service: the accept thread plus its session worker pool.
@@ -80,6 +104,8 @@ pub struct ServerHandle {
     live: LiveSessions,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    fleet: Arc<FleetCounters>,
+    metrics: Option<MetricsHandle>,
 }
 
 /// Duplicated handles of every in-flight session socket, keyed by an
@@ -97,6 +123,16 @@ impl ServerHandle {
         self.sessions_served.load(Ordering::Relaxed)
     }
 
+    /// The live fleet counters this service folds session telemetry into.
+    pub fn counters(&self) -> &Arc<FleetCounters> {
+        &self.fleet
+    }
+
+    /// The bound metrics endpoint address, when one was requested.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics.as_ref().map(MetricsHandle::local_addr)
+    }
+
     /// Blocks until the service stops accepting (session budget reached or
     /// [`ServerHandle::shutdown`] from another handle clone-less context)
     /// and every in-flight session finishes.
@@ -106,6 +142,9 @@ impl ServerHandle {
         }
         for h in self.workers.drain(..) {
             let _ = h.join();
+        }
+        if let Some(m) = self.metrics.take() {
+            m.shutdown();
         }
     }
 
@@ -135,6 +174,9 @@ impl ServerHandle {
         }
         for h in self.workers.drain(..) {
             let _ = h.join();
+        }
+        if let Some(m) = self.metrics.take() {
+            m.shutdown();
         }
     }
 }
@@ -166,6 +208,17 @@ pub fn serve(opts: ServeOptions) -> std::io::Result<ServerHandle> {
     let sessions_served = Arc::new(AtomicU64::new(0));
     let live: LiveSessions = Arc::new(Mutex::new(HashMap::new()));
     let next_session_id = Arc::new(AtomicU64::new(0));
+    let fleet = Arc::new(FleetCounters::default());
+    let metrics = match &opts.metrics_addr {
+        Some(addr) => {
+            let fleet = Arc::clone(&fleet);
+            Some(serve_metrics(
+                addr,
+                Arc::new(move || fleet_samples(&fleet)),
+            )?)
+        }
+        None => None,
+    };
     let workers = opts.workers.max(1);
     // The connection queue is bounded at the worker count: when every
     // worker is busy and the queue is full, accept itself back-pressures.
@@ -179,6 +232,8 @@ pub fn serve(opts: ServeOptions) -> std::io::Result<ServerHandle> {
             let live = Arc::clone(&live);
             let next_id = Arc::clone(&next_session_id);
             let observe_every = opts.observe_every;
+            let fleet = Arc::clone(&fleet);
+            let trace = opts.trace.clone();
             std::thread::spawn(move || loop {
                 let conn = { rx.lock().expect("queue lock never poisoned").recv() };
                 match conn {
@@ -191,7 +246,7 @@ pub fn serve(opts: ServeOptions) -> std::io::Result<ServerHandle> {
                                 .expect("live lock never poisoned")
                                 .insert(id, dup);
                         }
-                        handle_session(stream, observe_every);
+                        handle_session(stream, observe_every, id, &fleet, trace.as_deref());
                         live.lock().expect("live lock never poisoned").remove(&id);
                         served.fetch_add(1, Ordering::Relaxed);
                     }
@@ -239,6 +294,8 @@ pub fn serve(opts: ServeOptions) -> std::io::Result<ServerHandle> {
         live,
         accept: Some(accept),
         workers: worker_handles,
+        fleet,
+        metrics,
     })
 }
 
@@ -296,7 +353,13 @@ fn send_error<W: Write>(w: &mut W, msg: &str) {
 /// Runs one complete session on the calling worker thread. All failures
 /// are answered with a best-effort ERROR frame; none can take the service
 /// down.
-fn handle_session(stream: TcpStream, observe_every: u64) {
+fn handle_session(
+    stream: TcpStream,
+    observe_every: u64,
+    session_id: u64,
+    fleet: &FleetCounters,
+    trace: Option<&TraceSink>,
+) {
     let _ = stream.set_nodelay(true);
     // A wedged client (no frames, no close) must not pin a worker forever:
     // any 30 s silence ends the session with an ERROR frame.
@@ -307,7 +370,7 @@ fn handle_session(stream: TcpStream, observe_every: u64) {
     };
     let drain = stream.try_clone();
     let mut writer = BufWriter::new(stream);
-    session_inner(reader, &mut writer, observe_every);
+    session_inner(reader, &mut writer, observe_every, session_id, fleet, trace);
     let _ = writer.flush();
     // The session may not have consumed the client's whole stream (the
     // capture margin past the commit target stays unread). Closing with
@@ -341,6 +404,9 @@ fn session_inner(
     mut reader: BufReader<TcpStream>,
     writer: &mut BufWriter<TcpStream>,
     observe_every: u64,
+    session_id: u64,
+    fleet: &FleetCounters,
+    trace: Option<&TraceSink>,
 ) {
     let hello = match read_frame(&mut reader) {
         Ok(Some((HELLO, payload))) => payload,
@@ -357,6 +423,30 @@ fn session_inner(
     if let Err(msg) = cfg.validate() {
         return send_error(writer, &format!("refused session: {msg}"));
     }
+    // From here on the session counts: a decoded, validated HELLO started
+    // it, and every exit path below is either ok or failed.
+    fleet.sessions_started.fetch_add(1, Ordering::Relaxed);
+    if let Some(t) = trace {
+        t.emit(
+            "session.hello",
+            Some(session_id),
+            vec![
+                ("workload", cfg.workload.as_str().into()),
+                ("insts", cfg.insts.into()),
+                ("kernels", (cfg.kernels.len() as u64).into()),
+            ],
+        );
+    }
+    let fail = |msg: &str| {
+        fleet.sessions_failed.fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = trace {
+            t.emit(
+                "session.error",
+                Some(session_id),
+                vec![("error", msg.into())],
+            );
+        }
+    };
 
     let error = Arc::new(Mutex::new(None));
     let events = SocketEvents {
@@ -373,7 +463,11 @@ fn session_inner(
     // ERROR frame too, never a worker panic.
     let mut sys = match try_build_system(&exp, Box::new(events)) {
         Ok(sys) => sys,
-        Err(e) => return send_error(writer, &format!("refused session: {e}")),
+        Err(e) => {
+            let msg = format!("refused session: {e}");
+            fail(&msg);
+            return send_error(writer, &msg);
+        }
     };
     let mut write_err = false;
     let result = sys.run_insts_observed(
@@ -387,27 +481,60 @@ fn session_inner(
                     .is_ok();
                 write_err = !ok;
             }
+            if let Some(t) = trace {
+                t.emit(
+                    "session.alarms",
+                    Some(session_id),
+                    vec![("count", (batch.len() as u64).into())],
+                );
+            }
         },
     );
+
+    // Whatever happens next (clean finish, stream error, short stream),
+    // the engine ran: fold its counters into the fleet aggregate now.
+    fleet.events.fetch_add(result.committed, Ordering::Relaxed);
+    fleet
+        .alarms
+        .fetch_add(result.detections.len() as u64, Ordering::Relaxed);
+    let slot_wire: Vec<(usize, u8)> = sys
+        .kernel_slots()
+        .iter()
+        .map(|&(slot, id)| (slot, id.wire()))
+        .collect();
+    fleet.fold_session(&sys.telemetry(), &slot_wire);
 
     let stream_error = error.lock().expect("error lock never poisoned").take();
     if let Some(msg) = stream_error {
         // The stream broke before the commit target: report what we had,
         // then the error, so the client knows the summary is partial.
         let _ = write_frame(writer, SUMMARY, &Summary::from_result(&result).encode());
-        return send_error(writer, &format!("stream error: {msg}"));
+        let msg = format!("stream error: {msg}");
+        fail(&msg);
+        return send_error(writer, &msg);
     }
     if result.committed < cfg.insts {
         // A clean END, but short of the negotiated commit budget: the
         // summary is partial and the client must know.
         let _ = write_frame(writer, SUMMARY, &Summary::from_result(&result).encode());
-        return send_error(
-            writer,
-            &format!(
-                "stream ended after {} of {} instructions",
-                result.committed, cfg.insts
-            ),
+        let msg = format!(
+            "stream ended after {} of {} instructions",
+            result.committed, cfg.insts
         );
+        fail(&msg);
+        return send_error(writer, &msg);
     }
     let _ = write_frame(writer, SUMMARY, &Summary::from_result(&result).encode());
+    fleet.sessions_ok.fetch_add(1, Ordering::Relaxed);
+    if let Some(t) = trace {
+        t.emit(
+            "session.summary",
+            Some(session_id),
+            vec![
+                ("committed", result.committed.into()),
+                ("detections", (result.detections.len() as u64).into()),
+                ("slowdown", result.slowdown.into()),
+            ],
+        );
+    }
 }

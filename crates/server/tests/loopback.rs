@@ -46,6 +46,7 @@ fn loopback_opts(workers: usize, max_sessions: Option<u64>) -> ServeOptions {
         workers,
         max_sessions,
         observe_every: 1024,
+        ..ServeOptions::default()
     }
 }
 

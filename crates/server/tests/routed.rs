@@ -38,6 +38,28 @@ fn attack_experiment(workload: &str, insts: u64) -> ExperimentConfig {
         .attacks(plan)
 }
 
+/// Per-workload alarm floors for `attack_experiment(w, 5_000)`, measured
+/// against the offline engine. Detection is deterministic, so the exact
+/// counts are stable: blackscholes and streamcluster stay genuinely
+/// silent — their campaign windows land where no return hijack commits —
+/// and are pinned at 0; every other workload must reach its measured
+/// count. A drift here is a deliberate detection-behavior change, never
+/// an accident.
+fn alarm_floor(workload: &str) -> usize {
+    match workload {
+        "blackscholes" => 0,
+        "bodytrack" => 4,
+        "dedup" => 6,
+        "ferret" => 1,
+        "fluidanimate" => 4,
+        "freqmine" => 4,
+        "streamcluster" => 0,
+        "swaptions" => 3,
+        "x264" => 2,
+        other => panic!("no alarm floor recorded for workload {other}"),
+    }
+}
+
 /// The tentpole parity property over the whole workload suite: for every
 /// workload (each with an attack campaign so alarms actually flow), a
 /// session routed through the fleet front-end produces detection sets
@@ -51,8 +73,8 @@ fn routed_matches_direct_and_offline_for_every_workload() {
     let direct = serve(ServeOptions {
         addr: "127.0.0.1:0".to_owned(),
         workers: 2,
-        max_sessions: None,
         observe_every: 1024,
+        ..ServeOptions::default()
     })
     .expect("serve starts");
     let routed_addr = router.local_addr().to_string();
@@ -106,11 +128,25 @@ fn routed_matches_direct_and_offline_for_every_workload() {
                 "{workload} {label}"
             );
         }
-        alarmed += usize::from(!d.alarms.is_empty());
+        let floor = alarm_floor(workload);
+        if floor == 0 {
+            // Pinned silence: these campaigns genuinely raise nothing at
+            // this scale, so any alarm is a behavior change to explain.
+            assert!(
+                d.alarms.is_empty(),
+                "{workload}: expected a silent campaign, got {} alarms",
+                d.alarms.len()
+            );
+        } else {
+            assert!(
+                d.alarms.len() >= floor,
+                "{workload}: only {} alarms, floor is {floor}",
+                d.alarms.len()
+            );
+            alarmed += 1;
+        }
     }
-    // Empty == empty is parity too, but the sweep is only meaningful if
-    // most campaigns actually draw alarms through the router.
-    assert!(alarmed >= 6, "only {alarmed}/9 workload campaigns alarmed");
+    assert_eq!(alarmed, 7, "alarm-floor table drifted from the suite");
     direct.shutdown();
     router.shutdown();
 }
@@ -267,8 +303,8 @@ fn plain_serve_refuses_ticketed_sessions() {
     let direct = serve(ServeOptions {
         addr: "127.0.0.1:0".to_owned(),
         workers: 1,
-        max_sessions: None,
         observe_every: 1024,
+        ..ServeOptions::default()
     })
     .expect("serve starts");
     let cfg = attack_experiment("ferret", 3_000);

@@ -232,6 +232,24 @@ pub fn run_fireguard(cfg: &ExperimentConfig) -> RunResult {
     sys.run_insts(cfg.insts, base)
 }
 
+/// [`run_fireguard`] with the engine-counter snapshot and its
+/// `(slot, kernel)` labeling attached — the instrumented entry point the
+/// metrics plane and `bench --profile` share. The [`RunResult`] is
+/// byte-identical to the uninstrumented call: the snapshot is read after
+/// the run completes and reading mutates nothing.
+pub fn run_fireguard_telemetry(
+    cfg: &ExperimentConfig,
+) -> (
+    RunResult,
+    fireguard_telemetry::EngineCounters,
+    Vec<(usize, KernelId)>,
+) {
+    let base = baseline_cycles(&cfg.workload, cfg.seed, cfg.insts);
+    let mut sys = build_system(cfg, cfg.trace());
+    let result = sys.run_insts(cfg.insts, base);
+    (result, sys.telemetry(), sys.kernel_slots())
+}
+
 /// Runs a software-instrumented baseline; returns its slowdown over the
 /// bare core for the same original instruction count.
 pub fn run_software(scheme: SoftwareScheme, workload: &str, seed: u64, insts: u64) -> f64 {

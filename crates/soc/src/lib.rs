@@ -43,7 +43,7 @@ pub mod system;
 
 pub use experiments::{
     baseline_cycles, build_system, capture_events, run_fireguard, run_fireguard_events,
-    run_software, try_build_system, ExperimentConfig, REPLAY_MARGIN,
+    run_fireguard_telemetry, run_software, try_build_system, ExperimentConfig, REPLAY_MARGIN,
 };
 pub use report::{BottleneckBreakdown, Detection, RunResult};
 pub use reporter::{render, render_to_string, Block, Cell, Format, Report, Table};
@@ -52,6 +52,10 @@ pub use system::{
     validate_capacity, CapacityError, EngineConfig, FireGuardSystem, SocConfig, MAX_ENGINES,
     MAX_KERNELS,
 };
+
+// Re-exported so downstream layers (server, bench, CLI, tests) consume
+// engine counters without a direct `fireguard-telemetry` dependency.
+pub use fireguard_telemetry::EngineCounters;
 
 // Re-exported so sweep callers (CLI, bench, server) can reach the kernel
 // registry without a direct `fireguard-kernels` dependency.

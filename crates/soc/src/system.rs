@@ -17,6 +17,7 @@ use fireguard_kernels::{
     GuardianKernel, HardwareAccelerator, KernelId, ProgrammingModel, Semantics, SharedTiming,
 };
 use fireguard_noc::Mesh;
+use fireguard_telemetry::{EngineCounters, MAX_CLASSES};
 use fireguard_trace::TraceInst;
 use fireguard_ucore::{IsaxMode, KernelBackend, QueueEntry, Ucore, UcoreConfig};
 use std::cmp::Reverse;
@@ -189,6 +190,16 @@ struct Frontend {
     cdcs: Vec<CdcQueue<Packet>>,
     engine_full: Vec<bool>,
     breakdown: BottleneckBreakdown,
+    /// Write-only telemetry tallies (never read by the simulation): the
+    /// offer path adds per-class/per-kernel packet counts, slow edges add
+    /// occupancy samples. Compiled to nothing without the `telemetry`
+    /// feature.
+    counters: EngineCounters,
+    /// Per-`InstClass` bitmask of kernel slots subscribed to that class,
+    /// derived from the registry's subscriptions at construction — how a
+    /// packet's destination kernels are attributed without touching the
+    /// mini-filter lookup.
+    class_kernels: [u8; MAX_CLASSES],
 }
 
 impl Frontend {
@@ -242,10 +253,25 @@ impl Frontend {
     /// attributed to the deepest blocked stage (Fig. 9's decomposition).
     fn offer_inner(&mut self, now: u64, slot: usize, inst: &TraceInst) -> bool {
         let verdicts = self.judge(inst);
-        let before_width = self.filter.stats().refusals_width;
+        let before = self.filter.stats();
         let ok = self.filter.offer_judged(now, slot, inst, verdicts);
+        if cfg!(feature = "telemetry") && self.filter.stats().packets > before.packets {
+            // A valid packet left the mini-filters: attribute it to its
+            // instruction class and every subscribed kernel slot.
+            let class_ix = (inst.class as usize).min(MAX_CLASSES - 1);
+            self.counters.class_packets[class_ix] += 1;
+            let mut mask = self.class_kernels[class_ix];
+            while mask != 0 {
+                let k = mask.trailing_zeros() as usize;
+                self.counters.kernel_packets[k] += 1;
+                if verdicts & (1 << k) != 0 {
+                    self.counters.kernel_verdicts[k] += 1;
+                }
+                mask &= mask - 1;
+            }
+        }
         if !ok {
-            if self.filter.stats().refusals_width > before_width {
+            if self.filter.stats().refusals_width > before.refusals_width {
                 self.breakdown.filter += 1;
             } else if self.engine_full.iter().any(|&f| f) {
                 self.breakdown.ucore += 1;
@@ -264,6 +290,7 @@ impl Frontend {
         semantics: Vec<(usize, Box<dyn Semantics>)>,
         cdcs: Vec<CdcQueue<Packet>>,
         n_engines: usize,
+        class_kernels: [u8; MAX_CLASSES],
     ) -> Self {
         Frontend {
             filter,
@@ -273,6 +300,8 @@ impl Frontend {
             cdcs,
             engine_full: vec![false; n_engines],
             breakdown: BottleneckBreakdown::default(),
+            counters: EngineCounters::default(),
+            class_kernels,
         }
     }
 }
@@ -353,10 +382,12 @@ impl FireGuardSystem {
         let mut kernel_groups = Vec::new();
         let mut shared_timing = Vec::new();
 
+        let mut class_kernels = [0u8; MAX_CLASSES];
         for (vbit, (id, provision)) in kernels.iter().enumerate() {
             let g = GuardianKernel::new(*id, vbit, cfg.model);
             for (class, gid, dp) in id.subscriptions() {
                 filter.subscribe(class, gid, dp);
+                class_kernels[(class as usize).min(MAX_CLASSES - 1)] |= 1 << vbit;
             }
             let engine_ids: Vec<usize> = match provision {
                 EngineConfig::Ucores(n) => {
@@ -398,7 +429,7 @@ impl FireGuardSystem {
             .collect();
         let mesh = Mesh::for_engines(engines.len().max(1));
         let n_engines = engines.len();
-        let frontend = Frontend::new(filter, allocator, semantics, cdcs, n_engines);
+        let frontend = Frontend::new(filter, allocator, semantics, cdcs, n_engines, class_kernels);
         Ok(FireGuardSystem {
             core: Core::new(cfg.boom, trace),
             cfg,
@@ -481,6 +512,24 @@ impl FireGuardSystem {
         self.route_noc(slow);
         self.refresh_pending = true;
         self.fg_idle = self.all_quiet();
+        if cfg!(feature = "telemetry") {
+            // Occupancy sampling at the slow edge: reads only, after all
+            // state transitions of this edge are done, so the samples can
+            // never influence them.
+            let buffered = self.frontend.filter.buffered() as u64;
+            let mut cdc_total = 0u64;
+            let mut cdc_max = 0u64;
+            for q in &self.frontend.cdcs {
+                let len = q.len() as u64;
+                cdc_total += len;
+                cdc_max = cdc_max.max(len);
+            }
+            let c = &mut self.frontend.counters;
+            c.slow_edges += 1;
+            c.filter_ring_hwm = c.filter_ring_hwm.max(buffered);
+            c.cdc_hwm = c.cdc_hwm.max(cdc_max);
+            c.mapper_occupancy_sum += cdc_total;
+        }
     }
 
     /// True when no packet is buffered anywhere in the FireGuard side and
@@ -682,6 +731,11 @@ impl FireGuardSystem {
                 }
             }
         }
+        if cfg!(feature = "telemetry") {
+            for d in &new {
+                self.frontend.counters.kernel_alarms[d.kernel_slot] += 1;
+            }
+        }
         self.detections.extend_from_slice(&new);
         new
     }
@@ -710,5 +764,49 @@ impl FireGuardSystem {
     /// The main core's statistics so far.
     pub fn core_stats(&self) -> &fireguard_boom::CoreStats {
         self.core.stats()
+    }
+
+    /// A snapshot of the engine counters: the live offer-path and
+    /// slow-edge tallies, plus the per-stage statistics (filter totals,
+    /// µcore park/idle/cache/TLB, NoC) folded in at read time. Reading a
+    /// snapshot performs no mutation anywhere, so it can never perturb
+    /// the simulation — the determinism contract's telemetry half.
+    pub fn telemetry(&self) -> EngineCounters {
+        let mut c = self.frontend.counters;
+        let fs = self.frontend.filter.stats();
+        c.packets = fs.packets;
+        c.placeholders = fs.placeholders;
+        c.offers = fs.offers;
+        c.refusals = fs.refusals;
+        for engine in &self.engines {
+            if let Engine::Ucore(e) = engine {
+                let s = e.u.stats();
+                c.ucore_idle_cycles += s.idle_cycles;
+                c.ucore_retired += s.retired;
+                c.ucore_mem_accesses += s.mem_accesses;
+                c.ucore_parks += s.parks;
+                c.ucore_wakes += s.wakes;
+                let m = e.u.mem_stats();
+                c.cache_hits += m.hits;
+                c.cache_misses += m.misses;
+                let (th, tm) = e.u.tlb_stats();
+                c.tlb_hits += th;
+                c.tlb_misses += tm;
+            }
+        }
+        let ms = self.mesh.stats();
+        c.noc_flits = ms.packets;
+        c.noc_hops = ms.hops;
+        c.noc_queue_cycles = ms.queueing;
+        c
+    }
+
+    /// The deployment's `(verdict slot, kernel)` map, in slot order —
+    /// what relabels slot-indexed telemetry by registry kernel.
+    pub fn kernel_slots(&self) -> Vec<(usize, KernelId)> {
+        self.kernel_groups
+            .iter()
+            .map(|&(id, vbit, _)| (vbit, id))
+            .collect()
     }
 }

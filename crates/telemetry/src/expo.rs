@@ -1,0 +1,225 @@
+//! The metrics-endpoint wire format: a Prometheus-style text exposition.
+//!
+//! One sample per line — `name{label="value",...} number` — with a
+//! `# TYPE name counter` comment the first time each metric name appears.
+//! The renderer and parser round-trip exactly (modulo `# TYPE` lines), so
+//! `fireguard stats` and the CI smoke test consume the same bytes a
+//! Prometheus scraper would.
+
+/// One metric sample: a name, optional labels, and a value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric name (e.g. `fireguard_packets_total`).
+    pub name: String,
+    /// Label pairs, in emission order.
+    pub labels: Vec<(String, String)>,
+    /// The value. Counters are integral but the wire format is numeric.
+    pub value: f64,
+}
+
+impl Sample {
+    /// A label-free sample.
+    pub fn new(name: &str, value: u64) -> Self {
+        Sample {
+            name: name.to_owned(),
+            labels: Vec::new(),
+            value: value as f64,
+        }
+    }
+
+    /// Adds a label pair (builder-style).
+    #[must_use]
+    pub fn label(mut self, key: &str, value: &str) -> Self {
+        self.labels.push((key.to_owned(), value.to_owned()));
+        self
+    }
+
+    /// The value rounded to an integer counter reading.
+    pub fn count(&self) -> u64 {
+        self.value.round().max(0.0) as u64
+    }
+
+    /// The value of the label `key`, if present.
+    pub fn label_value(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Renders samples in exposition order, emitting a `# TYPE` header the
+/// first time each metric name appears (consecutive same-name samples
+/// share one header; the callers group by construction).
+pub fn render_exposition(samples: &[Sample]) -> String {
+    let mut out = String::new();
+    let mut last_name = "";
+    for s in samples {
+        if s.name != last_name {
+            out.push_str("# TYPE ");
+            out.push_str(&s.name);
+            out.push_str(" counter\n");
+            last_name = &s.name;
+        }
+        out.push_str(&s.name);
+        if !s.labels.is_empty() {
+            out.push('{');
+            for (i, (k, v)) in s.labels.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(k);
+                out.push_str("=\"");
+                for c in v.chars() {
+                    match c {
+                        '\\' => out.push_str("\\\\"),
+                        '"' => out.push_str("\\\""),
+                        '\n' => out.push_str("\\n"),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            out.push('}');
+        }
+        out.push(' ');
+        if s.value.fract() == 0.0 && s.value.abs() < 1e15 {
+            out.push_str(&format!("{}", s.value as i64));
+        } else {
+            out.push_str(&format!("{}", s.value));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a text exposition back into samples. Comment (`#`) and blank
+/// lines are skipped; any other malformed line is an error naming the
+/// offending content, because a scrape that half-parses silently would
+/// poison fleet aggregation.
+///
+/// # Errors
+///
+/// A description of the first malformed line.
+pub fn parse_exposition(text: &str) -> Result<Vec<Sample>, String> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        out.push(parse_line(line).map_err(|e| format!("bad exposition line {line:?}: {e}"))?);
+    }
+    Ok(out)
+}
+
+fn parse_line(line: &str) -> Result<Sample, String> {
+    let (head, value) = match line.rfind('}') {
+        // Labeled: everything after the closing brace is the value.
+        Some(end) => {
+            let value = line[end + 1..].trim();
+            (&line[..=end], value)
+        }
+        None => {
+            let mut it = line.splitn(2, char::is_whitespace);
+            let name = it.next().ok_or("empty line")?;
+            let value = it.next().ok_or("missing value")?.trim();
+            (name, value)
+        }
+    };
+    let value: f64 = value
+        .parse()
+        .map_err(|_| format!("unparseable value {value:?}"))?;
+    let (name, labels) = match head.find('{') {
+        Some(open) => {
+            let name = &head[..open];
+            let body = head
+                .strip_suffix('}')
+                .ok_or("unterminated label set")?
+                .get(open + 1..)
+                .ok_or("unterminated label set")?;
+            (name, parse_labels(body)?)
+        }
+        None => (head, Vec::new()),
+    };
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    {
+        return Err(format!("invalid metric name {name:?}"));
+    }
+    Ok(Sample {
+        name: name.to_owned(),
+        labels,
+        value,
+    })
+}
+
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = body.trim();
+    while !rest.is_empty() {
+        let eq = rest.find('=').ok_or("label without '='")?;
+        let key = rest[..eq].trim().to_owned();
+        let after = rest[eq + 1..]
+            .trim_start()
+            .strip_prefix('"')
+            .ok_or("unquoted label value")?;
+        // Scan for the closing quote, honoring backslash escapes.
+        let mut value = String::new();
+        let mut chars = after.char_indices();
+        let close = loop {
+            let (i, c) = chars.next().ok_or("unterminated label value")?;
+            match c {
+                '"' => break i,
+                '\\' => match chars.next().ok_or("dangling escape")?.1 {
+                    'n' => value.push('\n'),
+                    c => value.push(c),
+                },
+                c => value.push(c),
+            }
+        };
+        labels.push((key, value));
+        rest = after[close + 1..].trim_start();
+        rest = rest.strip_prefix(',').unwrap_or(rest).trim_start();
+    }
+    Ok(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_parse_round_trip() {
+        let samples = vec![
+            Sample::new("fireguard_packets_total", 42),
+            Sample::new("fireguard_kernel_packets_total", 7).label("kernel", "asan"),
+            Sample::new("fireguard_kernel_packets_total", 9)
+                .label("kernel", "ss")
+                .label("backend", "1"),
+        ];
+        let text = render_exposition(&samples);
+        assert!(text.contains("# TYPE fireguard_packets_total counter"));
+        assert!(text.contains("fireguard_kernel_packets_total{kernel=\"asan\"} 7"));
+        let parsed = parse_exposition(&text).expect("round-trip");
+        assert_eq!(parsed, samples);
+    }
+
+    #[test]
+    fn escapes_survive_the_round_trip() {
+        let samples = vec![Sample::new("m", 1).label("k", "a\"b\\c\nd")];
+        let parsed = parse_exposition(&render_exposition(&samples)).expect("parses");
+        assert_eq!(parsed, samples);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(parse_exposition("name_only").is_err());
+        assert!(parse_exposition("metric{k=\"v\" 3").is_err());
+        assert!(parse_exposition("metric nope").is_err());
+        assert!(parse_exposition("bad name 3").is_err());
+        assert!(parse_exposition("# a comment\n\n").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,244 @@
+//! Ring-buffered structured span events, emitted as jsonl.
+//!
+//! A [`TraceSink`] is shared (`Arc`) across the threads of a service —
+//! accept loops, session workers, health checkers — and records
+//! [`SpanEvent`]s into a bounded in-memory ring. When opened with
+//! [`TraceSink::to_file`] each event is also appended to the file as one
+//! JSON line, so `--trace-out` yields a complete session timeline:
+//! HELLO→END lifecycle, per-batch progress, failovers, resumes.
+//!
+//! Timestamps are microseconds since sink creation — wall-clock enough
+//! to order a timeline, while keeping the *simulation* contract intact:
+//! nothing here feeds back into any deterministic output.
+
+use std::collections::VecDeque;
+use std::io::{BufWriter, Write};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Events the ring retains (oldest evicted first). File output is
+/// unbounded; the ring is for in-process inspection and tests.
+const RING_CAPACITY: usize = 4096;
+
+/// A span field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldVal {
+    /// Unsigned counter/identifier.
+    U64(u64),
+    /// Floating-point measurement.
+    F64(f64),
+    /// Free-form text.
+    Str(String),
+}
+
+impl From<u64> for FieldVal {
+    fn from(v: u64) -> Self {
+        FieldVal::U64(v)
+    }
+}
+
+impl From<f64> for FieldVal {
+    fn from(v: f64) -> Self {
+        FieldVal::F64(v)
+    }
+}
+
+impl From<&str> for FieldVal {
+    fn from(v: &str) -> Self {
+        FieldVal::Str(v.to_owned())
+    }
+}
+
+impl From<String> for FieldVal {
+    fn from(v: String) -> Self {
+        FieldVal::Str(v)
+    }
+}
+
+/// One structured span event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    /// Microseconds since the sink was created.
+    pub t_us: u64,
+    /// Span name (e.g. `hello`, `alarms`, `failover`).
+    pub span: &'static str,
+    /// Session id, when the event belongs to one.
+    pub session: Option<u64>,
+    /// Additional fields, in emission order.
+    pub fields: Vec<(&'static str, FieldVal)>,
+}
+
+impl SpanEvent {
+    /// The event as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = format!("{{\"type\":\"span\",\"t_us\":{},\"span\":", self.t_us);
+        json_string(&mut out, self.span);
+        if let Some(id) = self.session {
+            out.push_str(&format!(",\"session\":{id}"));
+        }
+        for (k, v) in &self.fields {
+            out.push(',');
+            json_string(&mut out, k);
+            out.push(':');
+            match v {
+                FieldVal::U64(n) => out.push_str(&n.to_string()),
+                FieldVal::F64(f) if f.is_finite() => out.push_str(&format!("{f}")),
+                FieldVal::F64(_) => out.push_str("null"),
+                FieldVal::Str(s) => json_string(&mut out, s),
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct SinkState {
+    ring: VecDeque<SpanEvent>,
+    out: Option<BufWriter<std::fs::File>>,
+}
+
+/// A shared, thread-safe span-event sink.
+pub struct TraceSink {
+    start: Instant,
+    state: Mutex<SinkState>,
+}
+
+impl std::fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        f.debug_struct("TraceSink")
+            .field("events", &state.ring.len())
+            .field("file", &state.out.is_some())
+            .finish()
+    }
+}
+
+impl TraceSink {
+    /// An in-memory sink (ring buffer only) — used by tests and as the
+    /// default when no `--trace-out` is given but spans are still wanted.
+    pub fn memory() -> Arc<TraceSink> {
+        Arc::new(TraceSink {
+            start: Instant::now(),
+            state: Mutex::new(SinkState {
+                ring: VecDeque::with_capacity(64),
+                out: None,
+            }),
+        })
+    }
+
+    /// A sink that also appends each event to `path` as jsonl.
+    ///
+    /// # Errors
+    ///
+    /// File creation errors.
+    pub fn to_file(path: &str) -> std::io::Result<Arc<TraceSink>> {
+        let file = std::fs::File::create(path)?;
+        Ok(Arc::new(TraceSink {
+            start: Instant::now(),
+            state: Mutex::new(SinkState {
+                ring: VecDeque::with_capacity(64),
+                out: Some(BufWriter::new(file)),
+            }),
+        }))
+    }
+
+    /// Microseconds since sink creation (the span timestamp base).
+    pub fn now_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+
+    /// Records a span event; writes it through to the file, if any.
+    pub fn emit(
+        &self,
+        span: &'static str,
+        session: Option<u64>,
+        fields: Vec<(&'static str, FieldVal)>,
+    ) {
+        let ev = SpanEvent {
+            t_us: self.now_us(),
+            span,
+            session,
+            fields,
+        };
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(w) = state.out.as_mut() {
+            let _ = writeln!(w, "{}", ev.to_json());
+            let _ = w.flush();
+        }
+        if state.ring.len() == RING_CAPACITY {
+            state.ring.pop_front();
+        }
+        state.ring.push_back(ev);
+    }
+
+    /// A snapshot of the retained ring (oldest first).
+    pub fn events(&self) -> Vec<SpanEvent> {
+        let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.ring.iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_encode_as_one_json_line() {
+        let sink = TraceSink::memory();
+        sink.emit(
+            "hello",
+            Some(7),
+            vec![("events", 100u64.into()), ("workload", "ferret".into())],
+        );
+        let evs = sink.events();
+        assert_eq!(evs.len(), 1);
+        let line = evs[0].to_json();
+        assert!(line.starts_with("{\"type\":\"span\",\"t_us\":"));
+        assert!(line.contains("\"span\":\"hello\""));
+        assert!(line.contains("\"session\":7"));
+        assert!(line.contains("\"events\":100"));
+        assert!(line.contains("\"workload\":\"ferret\""));
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let sink = TraceSink::memory();
+        for i in 0..(RING_CAPACITY as u64 + 10) {
+            sink.emit("tick", Some(i), vec![]);
+        }
+        let evs = sink.events();
+        assert_eq!(evs.len(), RING_CAPACITY);
+        assert_eq!(evs[0].session, Some(10), "oldest events evicted");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let ev = SpanEvent {
+            t_us: 1,
+            span: "err",
+            session: None,
+            fields: vec![("msg", "a\"b\\c\nd".into())],
+        };
+        assert_eq!(
+            ev.to_json(),
+            "{\"type\":\"span\",\"t_us\":1,\"span\":\"err\",\"msg\":\"a\\\"b\\\\c\\nd\"}"
+        );
+    }
+}

@@ -36,3 +36,7 @@ pub use event::{ControlFlow, HeapEvent, TraceInst};
 pub use gen::TraceGenerator;
 pub use profile::{InstMix, WorkloadProfile, PARSEC_WORKLOADS};
 pub use rng::SimRng;
+
+// Re-exported so downstream layers (server, CLI) can label per-class
+// telemetry series without a direct `fireguard-isa` dependency.
+pub use fireguard_isa::InstClass;

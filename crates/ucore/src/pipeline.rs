@@ -93,6 +93,13 @@ pub struct UcoreStats {
     pub mem_accesses: u64,
     /// Alarms raised.
     pub alarms_raised: u64,
+    /// Park transitions: retiring → stalled on an empty input queue (or
+    /// full output). Paired with `wakes`, this counts how often the core
+    /// drains its queue and goes quiescent rather than how long (that is
+    /// `idle_cycles`).
+    pub parks: u64,
+    /// Wake transitions: stalled → retiring again.
+    pub wakes: u64,
 }
 
 /// The in-order analysis-engine model.
@@ -176,6 +183,16 @@ impl Ucore {
         self.stats
     }
 
+    /// L1 data-cache counters (telemetry: hit-rate series).
+    pub fn mem_stats(&self) -> fireguard_mem::CacheStats {
+        self.dmem.l1_stats()
+    }
+
+    /// Data-TLB counters as `(hits, misses)`.
+    pub fn tlb_stats(&self) -> (u64, u64) {
+        (self.dtlb.hits(), self.dtlb.misses())
+    }
+
     /// Alarms raised so far.
     pub fn alarms(&self) -> &[Alarm] {
         &self.alarms
@@ -233,9 +250,14 @@ impl Ucore {
                 Progress::Retired(next_pc) => {
                     self.pc = next_pc;
                     self.stats.retired += 1;
-                    self.blocked = None;
+                    if self.blocked.take().is_some() {
+                        self.stats.wakes += 1;
+                    }
                 }
                 Progress::Blocked => {
+                    if self.blocked.is_none() {
+                        self.stats.parks += 1;
+                    }
                     self.blocked = Some(match inst {
                         UInst::QPush { .. } => BlockReason::FullOutput,
                         _ => BlockReason::EmptyInput,

@@ -30,6 +30,7 @@
 //! | [`kernels`] | `fireguard-kernels` | guardian-kernel plugin registry + software baselines |
 //! | [`soc`] | `fireguard-soc` | full-system integration + experiments |
 //! | [`server`] | `fireguard-server` | online streaming analysis service + trace replay clients |
+//! | [`telemetry`] | `fireguard-telemetry` | engine counters, span tracing, metrics exposition |
 //! | [`area`] | `fireguard-area` | Table III / §IV-F area model |
 //!
 //! ## Quickstart
@@ -54,5 +55,6 @@ pub use fireguard_mem as mem;
 pub use fireguard_noc as noc;
 pub use fireguard_server as server;
 pub use fireguard_soc as soc;
+pub use fireguard_telemetry as telemetry;
 pub use fireguard_trace as trace;
 pub use fireguard_ucore as ucore;
