@@ -103,6 +103,27 @@ pub struct Parsed {
     pub baseline: Option<String>,
     /// `--check FILE`: fail on >10% events/s regression vs FILE (bench).
     pub check: Option<String>,
+    /// `--idle-timeout SECS` (serve / router): reap silent connections.
+    pub idle_timeout_secs: Option<f64>,
+    /// `--journal-dir DIR` (router): durable session journals.
+    pub journal_dir: Option<String>,
+    /// `--resume-journals DIR` (router): recover crashed sessions from DIR.
+    pub resume_journals: Option<String>,
+    /// `--max-live-sessions N` (router): shed fresh sessions over this.
+    pub max_live_sessions: Option<u64>,
+    /// `--max-buffered-mb N` (router): shed when journal spill exceeds this.
+    pub max_buffered_mb: Option<u64>,
+    /// `--journal-tail N` (router, loadgen --chaos): in-RAM events per
+    /// session journal.
+    pub journal_tail: Option<usize>,
+    /// `--chaos-net` (loadgen): interpose the seeded wire-fault proxy.
+    pub chaos_net: bool,
+    /// `--fault-every N` (loadgen / chaos-net): mean frames between faults.
+    pub fault_every: Option<u64>,
+    /// `--max-delay-ms N` (loadgen / chaos-net): delay-fault upper bound.
+    pub max_delay_ms: Option<u64>,
+    /// `--upstream HOST:PORT` (chaos-net): where the proxy forwards.
+    pub upstream: Option<String>,
     /// `--metrics-addr HOST:PORT` (serve / router): live metrics endpoint.
     pub metrics_addr: Option<String>,
     /// `--trace-out FILE` (serve / router / client / loadgen): span jsonl.
@@ -124,6 +145,7 @@ const NAMED_COMMANDS: &[&str] = &[
     "router",
     "client",
     "loadgen",
+    "chaos-net",
     "bench",
     "stats",
     "trace record",
@@ -134,9 +156,17 @@ const NAMED_COMMANDS: &[&str] = &[
 const FLAG_SCOPES: &[(&str, &[&str])] = &[
     ("--insts", &[FIG, "sweep", "trace record", "bench"]),
     // loadgen: session-id / chaos-schedule seed (routed modes).
+    // chaos-net: the per-connection fault-schedule seed.
     (
         "--seed",
-        &[FIG, "sweep", "trace record", "bench", "loadgen"],
+        &[
+            FIG,
+            "sweep",
+            "trace record",
+            "bench",
+            "loadgen",
+            "chaos-net",
+        ],
     ),
     ("--quick", &[FIG, "sweep", "trace record", "bench"]),
     ("--jobs", &[FIG, "sweep", "loadgen", "bench"]),
@@ -150,11 +180,27 @@ const FLAG_SCOPES: &[(&str, &[&str])] = &[
     ),
     ("--model", &["sweep", "trace replay", "client", "loadgen"]),
     ("--mapper-width", &["trace replay", "client", "loadgen"]),
-    ("--addr", &["serve", "router", "client", "loadgen", "stats"]),
+    (
+        "--addr",
+        &["serve", "router", "client", "loadgen", "stats", "chaos-net"],
+    ),
     ("--metrics-addr", &["serve", "router"]),
-    ("--trace-out", &["serve", "router", "client", "loadgen"]),
+    (
+        "--trace-out",
+        &["serve", "router", "client", "loadgen", "chaos-net"],
+    ),
     ("--workers", &["serve"]),
     ("--max-sessions", &["serve", "router"]),
+    ("--idle-timeout", &["serve", "router"]),
+    ("--journal-dir", &["router"]),
+    ("--resume-journals", &["router"]),
+    ("--max-live-sessions", &["router"]),
+    ("--max-buffered-mb", &["router"]),
+    ("--journal-tail", &["router", "loadgen"]),
+    ("--chaos-net", &["loadgen"]),
+    ("--fault-every", &["loadgen", "chaos-net"]),
+    ("--max-delay-ms", &["loadgen", "chaos-net"]),
+    ("--upstream", &["chaos-net"]),
     ("--sessions", &["loadgen"]),
     ("--duration", &["loadgen"]),
     ("--bucket-ms", &["loadgen"]),
@@ -227,6 +273,10 @@ pub fn parse(argv: &[String]) -> Result<Parsed, ArgError> {
             "--chaos" => {
                 p.chaos = true;
                 p.used.push("--chaos");
+            }
+            "--chaos-net" => {
+                p.chaos_net = true;
+                p.used.push("--chaos-net");
             }
             "--routed" => {
                 p.routed = true;
@@ -441,6 +491,54 @@ fn apply_flag(p: &mut Parsed, name: &str, value: &str) -> Result<(), ArgError> {
             p.check = Some(value.to_owned());
             "--check"
         }
+        "--idle-timeout" => {
+            let secs: f64 = num(name, value)?;
+            if secs <= 0.0 || !secs.is_finite() {
+                return Err(ArgError::Bad(
+                    "--idle-timeout must be a positive number of seconds".to_owned(),
+                ));
+            }
+            p.idle_timeout_secs = Some(secs);
+            "--idle-timeout"
+        }
+        "--journal-dir" => {
+            p.journal_dir = Some(value.to_owned());
+            "--journal-dir"
+        }
+        "--resume-journals" => {
+            p.resume_journals = Some(value.to_owned());
+            "--resume-journals"
+        }
+        "--max-live-sessions" => {
+            p.max_live_sessions = Some(num(name, value)?);
+            "--max-live-sessions"
+        }
+        "--max-buffered-mb" => {
+            let mb: u64 = num(name, value)?;
+            if mb == 0 {
+                return Err(ArgError::Bad(
+                    "--max-buffered-mb must be at least 1".to_owned(),
+                ));
+            }
+            p.max_buffered_mb = Some(mb);
+            "--max-buffered-mb"
+        }
+        "--journal-tail" => {
+            p.journal_tail = Some(positive(name, value)?);
+            "--journal-tail"
+        }
+        "--fault-every" => {
+            p.fault_every = Some(num(name, value)?);
+            "--fault-every"
+        }
+        "--max-delay-ms" => {
+            p.max_delay_ms = Some(num(name, value)?);
+            "--max-delay-ms"
+        }
+        "--upstream" => {
+            p.upstream = Some(value.to_owned());
+            "--upstream"
+        }
         "--metrics-addr" => {
             p.metrics_addr = Some(value.to_owned());
             "--metrics-addr"
@@ -592,6 +690,62 @@ mod tests {
         ));
         assert!(matches!(
             parse(&args("loadgen --bucket-ms 0")),
+            Err(ArgError::Bad(_))
+        ));
+    }
+
+    #[test]
+    fn robustness_flags_parse_and_have_scopes() {
+        let p = parse(&args(
+            "router --journal-dir /tmp/j --max-live-sessions 64 --max-buffered-mb 128 \
+             --journal-tail 4096 --idle-timeout 2.5",
+        ))
+        .unwrap();
+        assert_eq!(p.journal_dir.as_deref(), Some("/tmp/j"));
+        assert_eq!(p.max_live_sessions, Some(64));
+        assert_eq!(p.max_buffered_mb, Some(128));
+        assert_eq!(p.journal_tail, Some(4096));
+        assert_eq!(p.idle_timeout_secs, Some(2.5));
+        assert!(p.out_of_scope_flags().is_empty());
+
+        let p = parse(&args("router --resume-journals /tmp/j")).unwrap();
+        assert_eq!(p.resume_journals.as_deref(), Some("/tmp/j"));
+        assert!(p.out_of_scope_flags().is_empty());
+
+        let p = parse(&args(
+            "chaos-net --upstream 127.0.0.1:4781 --addr 127.0.0.1:0 \
+             --seed 9 --fault-every 32 --max-delay-ms 3",
+        ))
+        .unwrap();
+        assert_eq!(p.command, "chaos-net");
+        assert_eq!(p.upstream.as_deref(), Some("127.0.0.1:4781"));
+        assert_eq!(p.fault_every, Some(32));
+        assert_eq!(p.max_delay_ms, Some(3));
+        assert!(p.out_of_scope_flags().is_empty());
+
+        let p = parse(&args(
+            "loadgen --trace t.fgt --chaos --chaos-net --fault-every 48",
+        ))
+        .unwrap();
+        assert!(p.chaos && p.chaos_net);
+        assert!(p.out_of_scope_flags().is_empty());
+
+        // Journal/admission flags are router-only; --upstream is
+        // chaos-net-only; --chaos-net belongs to loadgen.
+        let p = parse(&args("serve --journal-dir /tmp/j")).unwrap();
+        assert_eq!(p.out_of_scope_flags(), vec!["--journal-dir"]);
+        let p = parse(&args("serve --max-live-sessions 4")).unwrap();
+        assert_eq!(p.out_of_scope_flags(), vec!["--max-live-sessions"]);
+        let p = parse(&args("loadgen --trace t.fgt --upstream a:1")).unwrap();
+        assert_eq!(p.out_of_scope_flags(), vec!["--upstream"]);
+        let p = parse(&args("client --trace t.fgt --chaos-net")).unwrap();
+        assert_eq!(p.out_of_scope_flags(), vec!["--chaos-net"]);
+        assert!(matches!(
+            parse(&args("serve --idle-timeout 0")),
+            Err(ArgError::Bad(_))
+        ));
+        assert!(matches!(
+            parse(&args("router --max-buffered-mb 0")),
             Err(ArgError::Bad(_))
         ));
     }

@@ -79,6 +79,9 @@ fn run(argv: &[String]) -> i32 {
     if parsed.command == "router" {
         return service_cmds::router_cmd(&parsed);
     }
+    if parsed.command == "chaos-net" {
+        return service_cmds::chaos_net_cmd(&parsed);
+    }
     if parsed.command == "bench" {
         // bench renders its own report: it has side outputs (--out JSON)
         // and a gate (--check) that must set the exit code after printing.
@@ -157,6 +160,10 @@ const EXTRA_COMMANDS: &[(&str, &str)] = &[
     (
         "loadgen",
         "open N concurrent sessions, report throughput/latency",
+    ),
+    (
+        "chaos-net",
+        "seeded wire-fault proxy: interpose lies between client and fleet",
     ),
     (
         "bench",
@@ -449,6 +456,7 @@ fn usage() -> String {
          \x20   router           fleet front-end: consistent-hash sessions over N backends\n\
          \x20   client           stream a .fgt recording to a running service\n\
          \x20   loadgen          open N concurrent sessions, report throughput/latency\n\
+         \x20   chaos-net        seeded wire-fault proxy between clients and the fleet\n\
          \x20   bench            performance scenarios: events/s, allocs/event, regression gate\n\
          \x20   stats            scrape live --metrics-addr endpoints, aggregate fleet counters\n\
          \x20   list             list subcommands as a table (--format jsonl for tooling)\n\
@@ -498,6 +506,18 @@ fn usage() -> String {
          \x20   --bucket-ms <N>         loadgen: latency-histogram window (default 1000)\n\
          \x20   --chaos                 loadgen: spawn a fleet, kill backends, assert parity\n\
          \x20   --kills <N>             chaos: scheduled backend kills (default 4)\n\
+         \x20   --chaos-net             loadgen: also interpose the seeded wire-fault proxy\n\
+         \x20   --fault-every <N>       chaos-net: mean frames between faults (default 64)\n\
+         \x20   --max-delay-ms <N>      chaos-net: delay-fault upper bound (default 5)\n\
+         \x20   --upstream <h:p>        chaos-net: the honest address to forward to\n\
+         \n\
+         ROBUSTNESS FLAGS:\n\
+         \x20   --idle-timeout <SECS>   serve/router: reap silent connections (default 30)\n\
+         \x20   --journal-dir <DIR>     router: durable session journals + recovery sidecars\n\
+         \x20   --resume-journals <DIR> router: recover crashed sessions from DIR at boot\n\
+         \x20   --max-live-sessions <N> router: refuse fresh sessions over N live (BUSY)\n\
+         \x20   --max-buffered-mb <N>   router: refuse fresh sessions past this journal spill\n\
+         \x20   --journal-tail <N>      router/chaos: in-RAM events per session journal (default 4096)\n\
          \n\
          TELEMETRY FLAGS:\n\
          \x20   --metrics-addr <h:p>    serve/router: live metrics endpoint (exposition + STATS)\n\

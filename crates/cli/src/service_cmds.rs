@@ -9,8 +9,8 @@
 use crate::args::Parsed;
 use fireguard_server::chaos::detection_keys;
 use fireguard_server::{
-    run_chaos, run_loadgen, run_session, ChaosOptions, LoadgenOptions, Sample, SessionConfig,
-    TraceSink,
+    netem, run_chaos, run_loadgen, run_session, ChaosOptions, LoadgenOptions, NetemOptions, Sample,
+    SessionConfig, TraceSink, WireFaults,
 };
 use fireguard_soc::report::percentile;
 use fireguard_soc::{
@@ -152,6 +152,14 @@ fn session_experiment(p: &Parsed, meta: &TraceMeta) -> Result<ExperimentConfig, 
 fn read_trace_file(path: &str) -> Result<(TraceMeta, Vec<TraceInst>), String> {
     let f = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
     codec::read_trace(&mut BufReader::new(f)).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+/// Resolves `--idle-timeout` (seconds, default 30) for serve and router.
+fn idle_timeout(p: &Parsed) -> std::time::Duration {
+    p.idle_timeout_secs
+        .map_or(std::time::Duration::from_secs(30), |s| {
+            std::time::Duration::from_secs_f64(s)
+        })
 }
 
 /// Opens the `--trace-out` span sink, if the flag was given.
@@ -387,7 +395,9 @@ pub fn loadgen_report(p: &Parsed) -> Result<Report, String> {
         .trace_file
         .as_deref()
         .ok_or("loadgen requires --trace <file>")?;
-    if p.chaos {
+    // --chaos-net layers the seeded wire-fault proxy onto the chaos
+    // fleet, so the gate asserts parity while the network lies too.
+    if p.chaos || p.chaos_net {
         if p.addr.is_some() {
             return Err("--chaos spawns its own router fleet; --addr does not apply".to_owned());
         }
@@ -400,6 +410,9 @@ pub fn loadgen_report(p: &Parsed) -> Result<Report, String> {
         ("--backends", p.backends.is_some()),
         ("--backend-workers", p.backend_workers.is_some()),
         ("--kills", p.kills.is_some()),
+        ("--fault-every", p.fault_every.is_some()),
+        ("--max-delay-ms", p.max_delay_ms.is_some()),
+        ("--journal-tail", p.journal_tail.is_some()),
     ] {
         if set {
             return Err(format!("{flag} requires --chaos (the spawned-fleet mode)"));
@@ -598,6 +611,16 @@ fn bucket_table(buckets: &[fireguard_server::LatencyBucket]) -> Table {
 /// assertion is a command error (non-zero exit), because this subcommand
 /// doubles as the CI chaos gate.
 fn chaos_report(p: &Parsed, path: &str) -> Result<Report, String> {
+    if !p.chaos_net && (p.fault_every.is_some() || p.max_delay_ms.is_some()) {
+        return Err("--fault-every / --max-delay-ms require --chaos-net".to_owned());
+    }
+    let wire_faults = p.chaos_net.then(|| {
+        let d = WireFaults::default();
+        WireFaults {
+            fault_every: p.fault_every.unwrap_or(d.fault_every),
+            max_delay_ms: p.max_delay_ms.unwrap_or(d.max_delay_ms),
+        }
+    });
     let (meta, events) = read_trace_file(path)?;
     let cfg = session_experiment(p, &meta)?;
     let session = SessionConfig::from_experiment(&cfg, meta.baseline_cycles);
@@ -612,6 +635,11 @@ fn chaos_report(p: &Parsed, path: &str) -> Result<Report, String> {
         seed: p.seed.unwrap_or(7),
         drop_client_after_acks: None,
         observe_every: fireguard_server::OBSERVE_EVERY,
+        wire_faults,
+        journal_tail: p
+            .journal_tail
+            .unwrap_or(fireguard_server::DEFAULT_JOURNAL_TAIL),
+        trace: trace_sink(p)?,
     };
 
     // The parity reference: the identical recording through the offline
@@ -646,6 +674,13 @@ fn chaos_report(p: &Parsed, path: &str) -> Result<Report, String> {
         "chaos: router + {} backends, {} sessions, {} kills scheduled (seed {}), workload {}",
         opts.backends, out.ok_sessions, opts.kills, opts.seed, meta.workload
     ));
+    if let Some(wf) = opts.wire_faults {
+        r.text(format!(
+            "chaos-net: seeded wire-fault proxy interposed (fault every ~{} frames, \
+             {} faults injected)",
+            wf.fault_every, out.wire_faults
+        ));
+    }
     r.text(format!(
         "zero lost sessions; every detection set bit-identical to the offline run \
          ({} detections each)",
@@ -654,6 +689,9 @@ fn chaos_report(p: &Parsed, path: &str) -> Result<Report, String> {
     if p.format == fireguard_soc::Format::Jsonl {
         r.text(format!("workers={}", opts.concurrency));
         r.text(format!("backends={}", opts.backends));
+        if opts.wire_faults.is_some() {
+            r.text(format!("wire_faults={}", out.wire_faults));
+        }
     }
     r.blank();
     let mut t = Table::new(&[
@@ -713,6 +751,7 @@ pub fn serve_cmd(p: &Parsed) -> i32 {
         max_sessions: p.max_sessions,
         observe_every: fireguard_server::OBSERVE_EVERY,
         metrics_addr: p.metrics_addr.clone(),
+        idle_timeout: idle_timeout(p),
         trace,
     };
     let workers = opts.workers;
@@ -770,6 +809,22 @@ pub fn router_cmd(p: &Parsed) -> i32 {
             return 1;
         }
     };
+    // `--resume-journals <dir>` implies journaling into that directory;
+    // naming a *different* `--journal-dir` alongside it would recover
+    // into one place while journaling into another — reject the split.
+    let journal_dir = match (p.journal_dir.as_deref(), p.resume_journals.as_deref()) {
+        (Some(a), Some(b)) if a != b => {
+            eprintln!(
+                "fireguard: --journal-dir {a} and --resume-journals {b} name \
+                 different directories"
+            );
+            return 2;
+        }
+        (Some(d), _) | (None, Some(d)) => Some(std::path::PathBuf::from(d)),
+        (None, None) => None,
+    };
+    let defaults = fireguard_server::RouterOptions::default();
+    let journal_tail = p.journal_tail.unwrap_or(defaults.journal_tail);
     let opts = fireguard_server::RouterOptions {
         addr: p
             .addr
@@ -779,8 +834,14 @@ pub fn router_cmd(p: &Parsed) -> i32 {
         backend_workers: p.backend_workers.unwrap_or(2),
         max_sessions: p.max_sessions,
         metrics_addr: p.metrics_addr.clone(),
+        idle_timeout: idle_timeout(p),
+        max_live_sessions: p.max_live_sessions,
+        max_buffered_bytes: p.max_buffered_mb.map(|mb| mb * (1 << 20)),
+        journal_dir,
+        resume_journals: p.resume_journals.is_some(),
+        journal_tail,
         trace,
-        ..fireguard_server::RouterOptions::default()
+        ..defaults
     };
     let handle = match fireguard_server::route(opts) {
         Ok(h) => h,
@@ -804,6 +865,66 @@ pub fn router_cmd(p: &Parsed) -> i32 {
             None => println!("fireguard-router: backend {slot} down"),
         }
     }
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    handle.join();
+    0
+}
+
+// ---- chaos-net -------------------------------------------------------------
+
+/// Default chaos-net listen address when `--addr` is not given (one past
+/// the router's).
+pub const DEFAULT_NETEM_ADDR: &str = "127.0.0.1:4782";
+
+/// Runs the seeded wire-fault proxy in the foreground; returns the
+/// process exit code. Clients dial this address instead of the upstream
+/// router/serve; the proxy relays frames and injects seeded faults
+/// (drops, delays, duplicates, truncations, corruptions, disconnects).
+pub fn chaos_net_cmd(p: &Parsed) -> i32 {
+    if p.format != fireguard_soc::Format::Human {
+        eprintln!("fireguard: chaos-net has no report output; --format does not apply");
+        return 2;
+    }
+    let Some(upstream) = p.upstream.clone() else {
+        eprintln!("fireguard: chaos-net requires --upstream <host:port> (the honest address)");
+        return 2;
+    };
+    let trace = match trace_sink(p) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("fireguard: {e}");
+            return 1;
+        }
+    };
+    let defaults = NetemOptions::default();
+    let opts = NetemOptions {
+        listen: p
+            .addr
+            .clone()
+            .unwrap_or_else(|| DEFAULT_NETEM_ADDR.to_owned()),
+        upstream: upstream.clone(),
+        seed: p.seed.unwrap_or(defaults.seed),
+        fault_every: p.fault_every.unwrap_or(defaults.fault_every),
+        max_delay_ms: p.max_delay_ms.unwrap_or(defaults.max_delay_ms),
+        trace,
+        ..defaults
+    };
+    let seed = opts.seed;
+    let fault_every = opts.fault_every;
+    let handle = match netem(opts) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("fireguard: cannot bind chaos-net proxy: {e}");
+            return 1;
+        }
+    };
+    // Same script contract as serve/router: bound address on stdout.
+    println!(
+        "fireguard-chaos-net: listening on {} -> {upstream} \
+         (seed {seed}, fault every ~{fault_every} frames)",
+        handle.local_addr()
+    );
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
     handle.join();

@@ -17,9 +17,11 @@
 //! [`SimRng`]: fireguard_trace::SimRng
 
 use crate::client::{run_routed_session, RoutedOptions, RoutedOutcome};
+use crate::netem::{netem, NetemHandle, NetemOptions};
 use crate::proto::SessionConfig;
 use crate::router::{route, BackendMode, RouterOptions};
 use fireguard_soc::Detection;
+use fireguard_telemetry::TraceSink;
 use fireguard_trace::{SimRng, TraceInst};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
@@ -50,6 +52,34 @@ pub struct ChaosOptions {
     pub drop_client_after_acks: Option<u64>,
     /// Alarm-drain period for the spawned backends.
     pub observe_every: u64,
+    /// When set, interpose the seeded wire-fault proxy between every
+    /// client and the router, so the network lies while backends die.
+    pub wire_faults: Option<WireFaults>,
+    /// Per-session journal RAM-tail capacity for the spawned router.
+    /// Small values force disk spill, so failover replays come from the
+    /// journal file rather than RAM.
+    pub journal_tail: usize,
+    /// Structured span sink shared by the spawned router (failovers,
+    /// resumes, sheds) and the netem proxy (`net.fault`).
+    pub trace: Option<Arc<TraceSink>>,
+}
+
+/// Wire-fault pressure for a chaos run (see [`crate::netem`]).
+#[derive(Debug, Clone, Copy)]
+pub struct WireFaults {
+    /// Mean frames between injected faults per connection direction.
+    pub fault_every: u64,
+    /// Upper bound for the `delay` fault, in milliseconds.
+    pub max_delay_ms: u64,
+}
+
+impl Default for WireFaults {
+    fn default() -> Self {
+        WireFaults {
+            fault_every: 64,
+            max_delay_ms: 5,
+        }
+    }
 }
 
 impl Default for ChaosOptions {
@@ -65,6 +95,9 @@ impl Default for ChaosOptions {
             seed: 7,
             drop_client_after_acks: None,
             observe_every: 1024,
+            wire_faults: None,
+            journal_tail: crate::journal::DEFAULT_JOURNAL_TAIL,
+            trace: None,
         }
     }
 }
@@ -89,6 +122,8 @@ pub struct ChaosOutcome {
     pub reconnects: u64,
     /// Fresh events the router accepted.
     pub events_forwarded: u64,
+    /// Wire faults the netem proxy injected (0 when not enabled).
+    pub wire_faults: u64,
     /// Wall-clock duration of the run.
     pub wall: Duration,
     /// First failure message, if any session was lost.
@@ -135,9 +170,26 @@ pub fn run_chaos(
         backend_workers: opts.backend_workers,
         observe_every: opts.observe_every,
         drop_client_after_acks: opts.drop_client_after_acks,
+        journal_tail: opts.journal_tail,
+        trace: opts.trace.clone(),
         ..RouterOptions::default()
     })?);
-    let addr = router.local_addr().to_string();
+    // With wire faults on, clients dial the proxy; otherwise the router.
+    let proxy = match opts.wire_faults {
+        Some(wf) => Some(netem(NetemOptions {
+            upstream: router.local_addr().to_string(),
+            seed: opts.seed ^ 0x4E45_5445_4D5F_5746, // "NETEM_WF"
+            fault_every: wf.fault_every,
+            max_delay_ms: wf.max_delay_ms,
+            trace: opts.trace.clone(),
+            ..NetemOptions::default()
+        })?),
+        None => None,
+    };
+    let addr = proxy
+        .as_ref()
+        .map_or_else(|| router.local_addr(), NetemHandle::local_addr)
+        .to_string();
 
     // Session pool (the loadgen idiom: atomic cursor, bounded threads).
     let cursor = Arc::new(AtomicUsize::new(0));
@@ -262,9 +314,13 @@ pub fn run_chaos(
         resumes: router.resumes(),
         reconnects,
         events_forwarded: router.events_forwarded(),
+        wire_faults: proxy.as_ref().map_or(0, NetemHandle::faults),
         wall: started.elapsed(),
         first_error,
     };
+    if let Some(p) = proxy {
+        p.shutdown();
+    }
     if let Ok(router) = Arc::try_unwrap(router) {
         router.shutdown();
     }

@@ -6,15 +6,15 @@
 //! directions: alarms are consumed while events are still being written.
 
 use crate::proto::{
-    read_frame, write_frame, SessionConfig, SessionTicket, Summary, ACK, ALARMS, END, ERROR,
-    EVENTS, HELLO, SESSION, SUMMARY,
+    read_frame, write_frame, FrameReader, FrameWriter, SessionConfig, SessionTicket, Summary, ACK,
+    ALARMS, BUSY, CAP_FRAME_CHECKSUM, END, ERROR, EVENTS, HELLO, SESSION, SUMMARY,
 };
 use fireguard_soc::Detection;
 use fireguard_trace::codec::EventEncoder;
-use fireguard_trace::TraceInst;
+use fireguard_trace::{SimRng, TraceInst};
 use std::io::{BufReader, BufWriter, Write};
 use std::net::TcpStream;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Events per EVENTS frame (amortizes framing without growing latency).
@@ -133,6 +133,12 @@ pub fn run_session(
                 server_error = Some(String::from_utf8_lossy(&msg).into_owned());
                 break;
             }
+            Some((BUSY, msg)) => {
+                // Admission control said no — a clean, deliberate refusal
+                // (a router under load, not a broken one).
+                server_error = Some(String::from_utf8_lossy(&msg).into_owned());
+                break;
+            }
             Some((tag, _)) => {
                 return Err(ClientError::Protocol(format!("unexpected frame tag {tag}")));
             }
@@ -218,8 +224,25 @@ enum Attempt {
     Finished(Summary, Option<String>),
     /// The transport died (or the session was momentarily busy); resume.
     Retry,
+    /// Load-shed with a BUSY frame *before* the session registered; the
+    /// next attempt must be a fresh open, not a resume.
+    Shed,
     /// The server refused the session outright — terminal.
     Refused(String),
+}
+
+/// Capped exponential backoff with deterministic, seeded jitter: attempt
+/// `n` sleeps a uniform draw from `[cap/2, cap]` where
+/// `cap = min(5ms << n, 500ms)`. Seeding by `(session_id, attempt)` keeps
+/// chaos runs reproducible while decorrelating concurrent sessions (no
+/// thundering herd on a router restart).
+fn reconnect_backoff(session_id: u64, attempt: u32) -> Duration {
+    const BASE_MS: u64 = 5;
+    const CAP_MS: u64 = 500;
+    let cap = BASE_MS.checked_shl(attempt).unwrap_or(CAP_MS).min(CAP_MS);
+    let mut rng =
+        SimRng::seed_from_u64(session_id ^ (u64::from(attempt) << 32) ^ 0xBAC0_FF5E_0DE1_A75D);
+    Duration::from_millis(rng.range_u64(cap / 2, cap + 1))
 }
 
 /// Runs one complete *resumable* session through a router: opens with a
@@ -242,7 +265,14 @@ pub fn run_routed_session(
     events: Arc<Vec<TraceInst>>,
     opts: RoutedOptions,
 ) -> Result<RoutedOutcome, ClientError> {
-    let hello = Arc::new(cfg.encode().map_err(ClientError::Config)?);
+    // Routed sessions always negotiate per-frame checksums: the wire
+    // between client, router, and backend is exactly where failover and
+    // resume make silent corruption most dangerous (a duplicated or
+    // damaged delta batch decodes to *plausible* garbage).
+    let hello = Arc::new(
+        cfg.encode_with_caps(CAP_FRAME_CHECKSUM)
+            .map_err(ClientError::Config)?,
+    );
     let started = Instant::now();
     let batch = opts.batch.max(1);
 
@@ -265,7 +295,6 @@ pub fn run_routed_session(
             &mut alarms,
             &mut resumed_at,
         );
-        first = false;
         if let (Some(death), Some(ack)) = (disconnected_at, resumed_at) {
             reconnect_latencies.push(ack.saturating_duration_since(death));
             disconnected_at = None;
@@ -286,8 +315,36 @@ pub fn run_routed_session(
                     reconnect_latencies,
                 });
             }
-            Ok(Attempt::Refused(msg)) => return Err(ClientError::Server(msg)),
+            Ok(Attempt::Refused(msg)) => {
+                // A resume the router does not recognize, with nothing
+                // delivered yet, means the *registration* was lost on the
+                // wire (the opening SESSION+HELLO never survived to the
+                // router). Nothing observable happened: start over fresh.
+                if !first && alarms.is_empty() && msg.starts_with("unknown session id") {
+                    if reconnects >= opts.max_reconnects {
+                        return Err(ClientError::Server(msg));
+                    }
+                    first = true;
+                    reconnects += 1;
+                    std::thread::sleep(reconnect_backoff(opts.session_id, reconnects));
+                    continue;
+                }
+                return Err(ClientError::Server(msg));
+            }
+            Ok(Attempt::Shed) => {
+                // BUSY arrives before the session registers, so the next
+                // attempt must open fresh (`first` stays as it was).
+                if reconnects >= opts.max_reconnects {
+                    return Err(ClientError::Server(format!(
+                        "session {} shed by admission control after {} attempts",
+                        opts.session_id, reconnects
+                    )));
+                }
+                reconnects += 1;
+                std::thread::sleep(reconnect_backoff(opts.session_id, reconnects));
+            }
             Ok(Attempt::Retry) => {
+                first = false;
                 if reconnects >= opts.max_reconnects {
                     return Err(ClientError::Protocol(format!(
                         "session {} gave up after {} reconnects",
@@ -296,18 +353,19 @@ pub fn run_routed_session(
                 }
                 reconnects += 1;
                 disconnected_at.get_or_insert_with(Instant::now);
-                std::thread::sleep(Duration::from_millis(25));
+                std::thread::sleep(reconnect_backoff(opts.session_id, reconnects));
             }
             Err(e) => {
                 // Connect-level failures are retryable too (the router
                 // may be briefly unreachable); protocol violations on an
                 // open connection are not.
+                first = false;
                 if reconnects >= opts.max_reconnects {
                     return Err(e);
                 }
                 reconnects += 1;
                 disconnected_at.get_or_insert_with(Instant::now);
-                std::thread::sleep(Duration::from_millis(25));
+                std::thread::sleep(reconnect_backoff(opts.session_id, reconnects));
             }
         }
     }
@@ -330,7 +388,10 @@ fn routed_attempt(
 ) -> Result<Attempt, ClientError> {
     let stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true)?;
-    let mut reader = BufReader::new(stream.try_clone()?);
+    // Everything the router sends after the handshake is checksummed
+    // (the routed HELLO always carries CAP_FRAME_CHECKSUM); ERROR and
+    // BUSY are exempt by protocol, so pre-handshake refusals still parse.
+    let mut reader = FrameReader::new(BufReader::new(stream.try_clone()?), true);
 
     let ticket = SessionTicket {
         id: session_id,
@@ -352,7 +413,7 @@ fn routed_attempt(
             write_frame(&mut w, SESSION, &ticket.encode())?;
             w.flush()?;
         }
-        match read_frame(&mut reader) {
+        match reader.read() {
             Ok(Some((ACK, payload))) => {
                 *resumed_at = Some(Instant::now());
                 crate::proto::decode_ack(&payload)? as usize
@@ -366,6 +427,7 @@ fn routed_attempt(
                 }
                 return Ok(Attempt::Refused(msg));
             }
+            Ok(Some((BUSY, _))) => return Ok(Attempt::Shed),
             Ok(Some((tag, _))) => {
                 return Err(ClientError::Protocol(format!(
                     "expected ACK on resume, got frame tag {tag}"
@@ -375,22 +437,32 @@ fn routed_attempt(
         }
     };
 
+    // The write side is shared with the sender thread: the terminal
+    // delivery ACK (below) must ride the *same* checked writer so the
+    // per-connection frame index stays continuous.
+    let writer = Arc::new(Mutex::new(FrameWriter::new(
+        BufWriter::new(stream.try_clone()?),
+        true,
+    )));
     let sender = {
         let events = Arc::clone(events);
-        let stream = stream.try_clone()?;
+        let writer = Arc::clone(&writer);
         std::thread::spawn(move || -> Result<(), std::io::Error> {
-            let mut w = BufWriter::new(stream);
+            // The handshake frames (SESSION, HELLO) were plain; the event
+            // stream is checksummed from its first frame.
             let mut enc = EventEncoder::new();
             for chunk in events[start.min(events.len())..].chunks(batch) {
-                write_frame(&mut w, EVENTS, &enc.encode_batch(chunk))?;
+                let bytes = enc.encode_batch(chunk);
+                lock_writer(&writer).write(EVENTS, &bytes)?;
             }
-            write_frame(&mut w, END, &[])?;
+            let mut w = lock_writer(&writer);
+            w.write(END, &[])?;
             w.flush()
         })
     };
 
     let verdict = loop {
-        match read_frame(&mut reader) {
+        match reader.read() {
             Ok(Some((ALARMS, payload))) => alarms.extend(crate::proto::decode_alarms(&payload)?),
             Ok(Some((ACK, payload))) => {
                 // Progress bookkeeping only; correctness needs no action.
@@ -398,7 +470,7 @@ fn routed_attempt(
             }
             Ok(Some((SUMMARY, payload))) => {
                 let summary = Summary::decode(&payload)?;
-                let trailing = match read_frame(&mut reader) {
+                let trailing = match reader.read() {
                     Ok(Some((ERROR, msg))) => Some(String::from_utf8_lossy(&msg).into_owned()),
                     _ => None,
                 };
@@ -407,18 +479,35 @@ fn routed_attempt(
             Ok(Some((ERROR, msg))) => {
                 break Attempt::Refused(String::from_utf8_lossy(&msg).into_owned());
             }
+            Ok(Some((BUSY, _))) => break Attempt::Shed,
             Ok(Some((tag, _))) => {
                 let _ = stream.shutdown(std::net::Shutdown::Both);
                 let _ = sender.join();
                 return Err(ClientError::Protocol(format!("unexpected frame tag {tag}")));
             }
-            // EOF or a torn frame: the transport died mid-session.
+            // EOF or a torn frame (including a checksum mismatch): the
+            // transport died — or lied — mid-session.
             Ok(None) | Err(_) => break Attempt::Retry,
         }
     };
+    if matches!(verdict, Attempt::Finished(..)) {
+        // Terminal delivery ACK: through a faulting wire, the router's
+        // successful SUMMARY write proves nothing — it holds the session
+        // resumable until this frame confirms the verdict arrived.
+        let mut w = lock_writer(&writer);
+        let _ = w.write(ACK, &[]).and_then(|()| w.flush());
+    }
     // Unblock and collect the sender regardless of how the read side
     // ended; its errors don't matter — the reader's verdict decides.
     let _ = stream.shutdown(std::net::Shutdown::Both);
     let _ = sender.join();
     Ok(verdict)
+}
+
+/// Poison-recovering writer lock: a panicked sender must not wedge the
+/// session teardown.
+fn lock_writer(
+    w: &Mutex<FrameWriter<BufWriter<TcpStream>>>,
+) -> std::sync::MutexGuard<'_, FrameWriter<BufWriter<TcpStream>>> {
+    w.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }

@@ -1,0 +1,669 @@
+//! Disk-backed session journals: bounded-memory event buffering for the
+//! router tier.
+//!
+//! A routed session must be replayable — failover re-feeds a fresh backend
+//! the full event prefix, and a SESSION-ticket resume needs to know how
+//! much of the stream is safely buffered. Keeping that prefix in RAM makes
+//! router memory O(events) per session; a [`Journal`] makes it
+//! O(tail + file handle) instead. Events accumulate in a small in-RAM
+//! tail ring; when the ring fills, the whole tail is *spilled* to a
+//! journal file as one freshly-delta-encoded `.fgt` event batch (the
+//! [`EventEncoder`] starts cleanly at any seq, a property the workspace
+//! proptests pin). Replay walks the spilled batches — each decoded with a
+//! fresh [`EventDecoder`] — followed by the live tail, handing the caller
+//! contiguous event slices to re-encode onto whatever connection is being
+//! rebuilt.
+//!
+//! Journals come in two flavors:
+//!
+//! - **Ephemeral** (no `--journal-dir`): the spill file lives in the OS
+//!   temp directory under a process-unique name and is unconditionally
+//!   removed on drop. Survives backend failover, not a router crash.
+//! - **Durable** (`--journal-dir <dir>`): the spill file `<id>.fgj` is
+//!   paired with an fsync'd append-only index sidecar `<id>.idx` recording
+//!   the session HELLO, every alarm batch *before* it is released to the
+//!   client, the END marker, and the terminal SUMMARY/ERROR. Files are
+//!   removed only once the session reaches a terminal state, so a router
+//!   *process* crash (`kill -9`) leaves enough on disk for a new router
+//!   started with `--resume-journals <dir>` to rebuild the session table
+//!   via [`recover_journals`] and let clients resume. Events still in the
+//!   RAM tail at crash time are simply absent from the recovered journal;
+//!   the resume ACK shrinks accordingly and the client re-sends them.
+//!
+//! The spill file is a sequence of `u32le byte-len ‖ u32le event-count ‖
+//! batch` records; the index sidecar is a sequence of `u8 type ‖ u32le
+//! len ‖ payload` records with types `H`/`A`/`E`/`S`/`R`. Both are
+//! truncation-tolerant on recovery: a record cut short by the crash is
+//! discarded, never misparsed.
+
+use crate::proto::{decode_alarms, encode_alarms};
+use fireguard_soc::Detection;
+use fireguard_trace::codec::{CodecError, EventDecoder, EventEncoder, MAX_BATCH_EVENTS};
+use fireguard_trace::TraceInst;
+use std::collections::VecDeque;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default in-RAM tail capacity (events) before a journal spills to disk.
+pub const DEFAULT_JOURNAL_TAIL: usize = 4096;
+
+/// Shared router-wide journal gauges, updated by every [`Journal`] the
+/// router owns so the metrics plane and the admission controller see
+/// aggregate journal pressure without walking the session table.
+#[derive(Debug, Clone, Default)]
+pub struct JournalGauges {
+    /// Bytes currently buffered on disk across all live journals.
+    pub bytes: Arc<AtomicU64>,
+    /// Events spilled to disk since the router started (monotonic).
+    pub spilled_events: Arc<AtomicU64>,
+}
+
+/// A bounded-memory event buffer for one routed session: RAM tail ring +
+/// disk spill file (+ fsync'd recovery sidecar when durable).
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    idx_path: PathBuf,
+    durable: bool,
+    tail: VecDeque<TraceInst>,
+    tail_cap: usize,
+    spilled: u64,
+    spill: Option<BufWriter<File>>,
+    bytes: u64,
+    gauges: JournalGauges,
+    idx: Option<File>,
+    remove_on_drop: bool,
+}
+
+// Process-unique suffix for ephemeral journal file names: two routers in
+// the same process (or two processes sharing the temp dir) can journal
+// sessions with identical ids without clobbering each other.
+static EPHEMERAL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+impl Journal {
+    /// Opens a journal for session `name`. `dir = Some(..)` selects
+    /// durable mode (crash-recoverable, files named by `name`);
+    /// `None` selects an ephemeral journal in the OS temp directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures (the spill file itself is
+    /// created lazily, on first spill).
+    pub fn open(
+        name: &str,
+        tail_cap: usize,
+        dir: Option<&Path>,
+        gauges: JournalGauges,
+    ) -> io::Result<Self> {
+        let durable = dir.is_some();
+        let (dir, file_stem) = match dir {
+            Some(d) => (d.to_path_buf(), name.to_string()),
+            None => (
+                std::env::temp_dir(),
+                format!(
+                    "fireguard-journal-{}-{}-{name}",
+                    std::process::id(),
+                    EPHEMERAL_SEQ.fetch_add(1, Ordering::Relaxed)
+                ),
+            ),
+        };
+        fs::create_dir_all(&dir)?;
+        let tail_cap = tail_cap.clamp(1, MAX_BATCH_EVENTS as usize);
+        Ok(Journal {
+            path: dir.join(format!("{file_stem}.fgj")),
+            idx_path: dir.join(format!("{file_stem}.idx")),
+            durable,
+            tail: VecDeque::with_capacity(tail_cap.min(DEFAULT_JOURNAL_TAIL)),
+            tail_cap,
+            spilled: 0,
+            spill: None,
+            bytes: 0,
+            gauges,
+            idx: None,
+            remove_on_drop: !durable,
+        })
+    }
+
+    /// Appends one event; spills the whole RAM tail to disk when the ring
+    /// fills. RAM usage never exceeds `tail_cap` events.
+    ///
+    /// # Errors
+    ///
+    /// Spill-file I/O failures.
+    pub fn push(&mut self, ev: TraceInst) -> io::Result<()> {
+        self.tail.push_back(ev);
+        if self.tail.len() >= self.tail_cap {
+            self.spill_tail()?;
+        }
+        Ok(())
+    }
+
+    fn spill_tail(&mut self) -> io::Result<()> {
+        if self.tail.is_empty() {
+            return Ok(());
+        }
+        if self.spill.is_none() {
+            let f = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&self.path)?;
+            self.spill = Some(BufWriter::new(f));
+        }
+        let batch: Vec<TraceInst> = self.tail.drain(..).collect();
+        let encoded = EventEncoder::new().encode_batch(&batch);
+        let w = self.spill.as_mut().expect("spill writer just ensured");
+        w.write_all(&(encoded.len() as u32).to_le_bytes())?;
+        w.write_all(&(batch.len() as u32).to_le_bytes())?;
+        w.write_all(&encoded)?;
+        // Flushed (not fsync'd): an un-flushed spill lost to a crash only
+        // shrinks the recovery ACK, and the client re-sends the tail.
+        w.flush()?;
+        let grew = 8 + encoded.len() as u64;
+        self.spilled += batch.len() as u64;
+        self.bytes += grew;
+        self.gauges.bytes.fetch_add(grew, Ordering::Relaxed);
+        self.gauges
+            .spilled_events
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Total buffered events: spilled + RAM tail. This is the resume-ACK
+    /// value — the absolute seq the next expected event carries.
+    pub fn len(&self) -> u64 {
+        self.spilled + self.tail.len() as u64
+    }
+
+    /// True when no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events spilled to disk (not counting the RAM tail).
+    pub fn spilled(&self) -> u64 {
+        self.spilled
+    }
+
+    /// Bytes currently held in the spill file.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Replays the full buffered prefix — every spilled batch (decoded
+    /// with a fresh [`EventDecoder`]) and then the RAM tail — through `f`
+    /// as contiguous event slices, in order. The caller re-encodes them
+    /// with whatever per-connection encoder the new incarnation uses;
+    /// spilled bytes are never forwarded verbatim because the receiving
+    /// decoder's delta state is continuous across the whole connection.
+    ///
+    /// # Errors
+    ///
+    /// Spill-file I/O or decode failures (a decode failure means the
+    /// journal file itself was corrupted on disk), or whatever `f` raises.
+    pub fn replay<F>(&mut self, mut f: F) -> Result<(), CodecError>
+    where
+        F: FnMut(&[TraceInst]) -> io::Result<()>,
+    {
+        if self.spilled > 0 {
+            if let Some(w) = self.spill.as_mut() {
+                w.flush()?;
+            }
+            let mut r = File::open(&self.path)?;
+            let mut replayed = 0u64;
+            while replayed < self.spilled {
+                let mut head = [0u8; 8];
+                r.read_exact(&mut head)
+                    .map_err(|_| CodecError::Truncated("journal batch header"))?;
+                let len = u32::from_le_bytes(head[..4].try_into().expect("4 bytes"));
+                let count = u64::from(u32::from_le_bytes(head[4..].try_into().expect("4 bytes")));
+                let mut payload = vec![0u8; len as usize];
+                r.read_exact(&mut payload)
+                    .map_err(|_| CodecError::Truncated("journal batch payload"))?;
+                let events = EventDecoder::new().decode_batch(&payload)?;
+                if events.len() as u64 != count {
+                    return Err(CodecError::CountMismatch {
+                        expected: count,
+                        found: events.len() as u64,
+                    });
+                }
+                f(&events)?;
+                replayed += count;
+            }
+        }
+        let (a, b) = self.tail.as_slices();
+        if !a.is_empty() {
+            f(a)?;
+        }
+        if !b.is_empty() {
+            f(b)?;
+        }
+        Ok(())
+    }
+
+    // ---- durable sidecar ----------------------------------------------
+
+    fn idx_append(&mut self, kind: u8, payload: &[u8]) -> io::Result<()> {
+        if !self.durable {
+            return Ok(());
+        }
+        if self.idx.is_none() {
+            self.idx = Some(
+                OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&self.idx_path)?,
+            );
+        }
+        let f = self.idx.as_mut().expect("idx file just ensured");
+        let mut rec = vec![kind];
+        rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        rec.extend_from_slice(payload);
+        f.write_all(&rec)?;
+        // The sidecar is the crash-recovery source of truth for what the
+        // client has already been shown — it must hit the platter before
+        // the client does.
+        f.sync_data()
+    }
+
+    /// Records the session HELLO (durable journals only; no-op otherwise).
+    ///
+    /// # Errors
+    ///
+    /// Sidecar I/O failures.
+    pub fn record_hello(&mut self, hello: &[u8]) -> io::Result<()> {
+        self.idx_append(b'H', hello)
+    }
+
+    /// Records an alarm batch **before** it is released to the client, so
+    /// a post-crash router never re-delivers (or loses) a detection.
+    ///
+    /// # Errors
+    ///
+    /// Sidecar I/O failures.
+    pub fn record_alarms(&mut self, alarms: &[Detection]) -> io::Result<()> {
+        if !self.durable || alarms.is_empty() {
+            return Ok(());
+        }
+        self.idx_append(b'A', &encode_alarms(alarms))
+    }
+
+    /// Records that the client finished its commit stream (END seen).
+    ///
+    /// # Errors
+    ///
+    /// Sidecar I/O failures.
+    pub fn record_ended(&mut self) -> io::Result<()> {
+        self.idx_append(b'E', &[])
+    }
+
+    /// Records the terminal SUMMARY payload and marks the journal
+    /// completed (files are removed on drop — nothing left to recover).
+    ///
+    /// # Errors
+    ///
+    /// Sidecar I/O failures.
+    pub fn record_summary(&mut self, payload: &[u8]) -> io::Result<()> {
+        self.remove_on_drop = true;
+        self.idx_append(b'S', payload)
+    }
+
+    /// Records the terminal ERROR payload and marks the journal completed.
+    ///
+    /// # Errors
+    ///
+    /// Sidecar I/O failures.
+    pub fn record_error(&mut self, payload: &[u8]) -> io::Result<()> {
+        self.remove_on_drop = true;
+        self.idx_append(b'R', payload)
+    }
+}
+
+impl Drop for Journal {
+    fn drop(&mut self) {
+        self.gauges.bytes.fetch_sub(self.bytes, Ordering::Relaxed);
+        if self.remove_on_drop {
+            self.spill = None;
+            self.idx = None;
+            let _ = fs::remove_file(&self.path);
+            let _ = fs::remove_file(&self.idx_path);
+        }
+    }
+}
+
+// ---- crash recovery ---------------------------------------------------------
+
+/// One session rebuilt from a durable journal directory by
+/// [`recover_journals`]: everything the router's session table needs to
+/// let the session's client resume as if the crash were an ordinary
+/// transport fault.
+#[derive(Debug)]
+pub struct RecoveredSession {
+    /// The session id (`<id>.idx` file stem).
+    pub id: u64,
+    /// The verbatim HELLO payload the session registered with.
+    pub hello: Vec<u8>,
+    /// Whether the client's END was recorded before the crash.
+    pub ended: bool,
+    /// Every alarm released to the client before the crash, in order.
+    pub alarms: Vec<Detection>,
+    /// Terminal SUMMARY payload, if the session finished before the crash.
+    pub summary: Option<Vec<u8>>,
+    /// Terminal ERROR payload, if the session failed before the crash.
+    pub error: Option<Vec<u8>>,
+    /// The reopened journal, positioned to keep appending.
+    pub journal: Journal,
+}
+
+/// Scans a `--journal-dir` for sessions a crashed router left behind and
+/// rebuilds them. Only sessions with a recorded HELLO are recoverable;
+/// both the spill file and the sidecar tolerate a trailing record the
+/// crash cut short (it is discarded, and the spill file is truncated back
+/// to its last complete batch so appends stay well-formed).
+///
+/// # Errors
+///
+/// Directory-scan I/O failures. Individually unreadable sessions are
+/// skipped, not fatal — recovery salvages what it can.
+pub fn recover_journals(
+    dir: &Path,
+    tail_cap: usize,
+    gauges: &JournalGauges,
+) -> io::Result<Vec<RecoveredSession>> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("idx") {
+            continue;
+        }
+        let Some(id) = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .and_then(|s| s.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        if let Some(s) = recover_one(dir, id, tail_cap, gauges) {
+            out.push(s);
+        }
+    }
+    out.sort_by_key(|s| s.id);
+    Ok(out)
+}
+
+fn recover_one(
+    dir: &Path,
+    id: u64,
+    tail_cap: usize,
+    gauges: &JournalGauges,
+) -> Option<RecoveredSession> {
+    let idx_path = dir.join(format!("{id}.idx"));
+    let bytes = fs::read(&idx_path).ok()?;
+    let mut hello = None;
+    let mut ended = false;
+    let mut alarms = Vec::new();
+    let mut summary = None;
+    let mut error = None;
+    let mut at = 0usize;
+    while at + 5 <= bytes.len() {
+        let kind = bytes[at];
+        let len = u32::from_le_bytes(bytes[at + 1..at + 5].try_into().expect("4 bytes")) as usize;
+        if at + 5 + len > bytes.len() {
+            break; // record cut short by the crash — discard
+        }
+        let payload = &bytes[at + 5..at + 5 + len];
+        at += 5 + len;
+        match kind {
+            b'H' => hello = Some(payload.to_vec()),
+            b'A' => match decode_alarms(payload) {
+                Ok(mut batch) => alarms.append(&mut batch),
+                Err(_) => return None, // sidecar corrupted beyond trust
+            },
+            b'E' => ended = true,
+            b'S' => summary = Some(payload.to_vec()),
+            b'R' => error = Some(payload.to_vec()),
+            _ => return None,
+        }
+    }
+    let hello = hello?;
+
+    // Walk the spill file to its last complete batch.
+    let spill_path = dir.join(format!("{id}.fgj"));
+    let (mut spilled, mut valid) = (0u64, 0u64);
+    if let Ok(mut f) = File::open(&spill_path) {
+        // Bound every record by the file's real length: seeking past EOF
+        // silently succeeds, so only the metadata length can prove the
+        // final payload wasn't cut short by the crash.
+        let file_len = f.metadata().ok()?.len();
+        loop {
+            let mut head = [0u8; 8];
+            if f.read_exact(&mut head).is_err() {
+                break;
+            }
+            let len = u64::from(u32::from_le_bytes(head[..4].try_into().expect("4 bytes")));
+            let count = u64::from(u32::from_le_bytes(head[4..].try_into().expect("4 bytes")));
+            let end = valid + 8 + len;
+            if end > file_len {
+                break; // payload cut short
+            }
+            if f.seek(SeekFrom::Current(len as i64)).is_err() {
+                break;
+            }
+            spilled += count;
+            valid = end;
+        }
+    }
+
+    let mut journal = Journal::open(&id.to_string(), tail_cap, Some(dir), gauges.clone()).ok()?;
+    journal.spilled = spilled;
+    journal.bytes = valid;
+    gauges.bytes.fetch_add(valid, Ordering::Relaxed);
+    if valid > 0 {
+        let f = OpenOptions::new().write(true).open(&spill_path).ok()?;
+        f.set_len(valid).ok()?; // drop any partial trailing batch
+        let mut f = OpenOptions::new().append(true).open(&spill_path).ok()?;
+        f.seek(SeekFrom::End(0)).ok()?;
+        journal.spill = Some(BufWriter::new(f));
+    } else {
+        let _ = fs::remove_file(&spill_path);
+    }
+    if summary.is_some() || error.is_some() {
+        journal.remove_on_drop = true;
+    }
+    Some(RecoveredSession {
+        id,
+        hello,
+        ended,
+        alarms,
+        summary,
+        error,
+        journal,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fireguard_soc::{capture_events, ExperimentConfig, KernelId};
+
+    fn events(n: u64) -> Vec<TraceInst> {
+        let cfg = ExperimentConfig::new("dedup")
+            .kernel(KernelId::PMC, 2)
+            .insts(n);
+        capture_events(&cfg)
+    }
+
+    fn collect(j: &mut Journal) -> Vec<TraceInst> {
+        let mut got = Vec::new();
+        j.replay(|chunk| {
+            got.extend_from_slice(chunk);
+            Ok(())
+        })
+        .unwrap();
+        got
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("fg-journal-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn spill_and_replay_reproduce_the_stream_bit_exactly() {
+        let evs = events(3000);
+        let mut j = Journal::open("t1", 64, None, JournalGauges::default()).unwrap();
+        for &e in &evs {
+            j.push(e).unwrap();
+        }
+        assert_eq!(j.len(), evs.len() as u64);
+        assert!(j.spilled() >= evs.len() as u64 - 64, "spill engaged");
+        assert!(j.bytes() > 0);
+        assert_eq!(collect(&mut j), evs);
+        // Replay is repeatable — failover can happen more than once.
+        assert_eq!(collect(&mut j), evs);
+    }
+
+    #[test]
+    fn ram_tail_is_bounded_by_the_cap() {
+        let evs = events(2000);
+        let mut j = Journal::open("t2", 32, None, JournalGauges::default()).unwrap();
+        for &e in &evs {
+            j.push(e).unwrap();
+            assert!(j.tail.len() < 32, "RAM tail exceeded its cap");
+        }
+        assert_eq!(collect(&mut j), evs);
+    }
+
+    #[test]
+    fn ephemeral_journal_removes_its_file_on_drop() {
+        let evs = events(500);
+        let mut j = Journal::open("t3", 16, None, JournalGauges::default()).unwrap();
+        for &e in &evs {
+            j.push(e).unwrap();
+        }
+        let path = j.path.clone();
+        assert!(path.exists(), "spill file exists while live");
+        drop(j);
+        assert!(!path.exists(), "spill file removed on drop");
+    }
+
+    #[test]
+    fn gauges_track_bytes_and_release_them_on_drop() {
+        let gauges = JournalGauges::default();
+        let evs = events(1000);
+        let mut j = Journal::open("t4", 16, None, gauges.clone()).unwrap();
+        for &e in &evs {
+            j.push(e).unwrap();
+        }
+        assert_eq!(gauges.bytes.load(Ordering::Relaxed), j.bytes());
+        assert!(gauges.spilled_events.load(Ordering::Relaxed) >= 1000 - 16);
+        drop(j);
+        assert_eq!(gauges.bytes.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn durable_journal_survives_a_simulated_crash_and_recovers() {
+        let dir = temp_dir("recover");
+        let gauges = JournalGauges::default();
+        let evs = events(1500);
+        let alarms = vec![
+            Detection {
+                seq: 7,
+                latency_ns: 12.5,
+                attack: true,
+                kernel_slot: 1,
+            },
+            Detection {
+                seq: 90,
+                latency_ns: 0.25,
+                attack: false,
+                kernel_slot: 0,
+            },
+        ];
+        {
+            let mut j = Journal::open("42", 64, Some(&dir), gauges.clone()).unwrap();
+            j.record_hello(b"hello-bytes").unwrap();
+            for &e in &evs {
+                j.push(e).unwrap();
+            }
+            j.record_alarms(&alarms).unwrap();
+            j.record_ended().unwrap();
+            // Simulated crash: leak the journal so Drop never runs and the
+            // files stay behind exactly as `kill -9` would leave them.
+            std::mem::forget(j);
+        }
+        gauges.bytes.store(0, Ordering::Relaxed); // fresh router process
+
+        let recovered = recover_journals(&dir, 64, &gauges).unwrap();
+        assert_eq!(recovered.len(), 1);
+        let mut s = recovered.into_iter().next().unwrap();
+        assert_eq!(s.id, 42);
+        assert_eq!(s.hello, b"hello-bytes");
+        assert!(s.ended);
+        assert_eq!(s.alarms, alarms);
+        assert!(s.summary.is_none() && s.error.is_none());
+        // The RAM tail died with the process: the recovered prefix is the
+        // spilled part only, and it replays bit-exactly.
+        let n = s.journal.len() as usize;
+        assert!(n >= evs.len() - 64 && n <= evs.len());
+        assert_eq!(collect(&mut s.journal), evs[..n]);
+        // Appending the "re-sent" tail continues the stream seamlessly.
+        for &e in &evs[n..] {
+            s.journal.push(e).unwrap();
+        }
+        assert_eq!(s.journal.len(), evs.len() as u64);
+        assert_eq!(collect(&mut s.journal), evs);
+
+        // Terminal state reached → files removed on drop.
+        s.journal.record_summary(b"sum").unwrap();
+        let (p, ip) = (s.journal.path.clone(), s.journal.idx_path.clone());
+        drop(s);
+        assert!(!p.exists() && !ip.exists(), "completed journal cleaned up");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_discards_a_partial_trailing_batch() {
+        let dir = temp_dir("truncate");
+        let gauges = JournalGauges::default();
+        let evs = events(600);
+        {
+            let mut j = Journal::open("7", 50, Some(&dir), gauges.clone()).unwrap();
+            j.record_hello(b"h").unwrap();
+            for &e in &evs {
+                j.push(e).unwrap();
+            }
+            std::mem::forget(j);
+        }
+        // Chop bytes off the spill file's final record, as a crash
+        // mid-write would.
+        let spill = dir.join("7.fgj");
+        let full = fs::read(&spill).unwrap();
+        fs::write(&spill, &full[..full.len() - 3]).unwrap();
+
+        let gauges = JournalGauges::default();
+        let mut s = recover_journals(&dir, 50, &gauges)
+            .unwrap()
+            .into_iter()
+            .next()
+            .unwrap();
+        let n = s.journal.len() as usize;
+        assert!(n < evs.len(), "truncated batch was discarded");
+        assert_eq!(collect(&mut s.journal), evs[..n]);
+        // The file was truncated back to a record boundary, so appending
+        // the missing events yields a well-formed journal again.
+        for &e in &evs[n..] {
+            s.journal.push(e).unwrap();
+        }
+        assert_eq!(collect(&mut s.journal), evs);
+        s.journal.remove_on_drop = true;
+        drop(s);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -41,23 +41,27 @@
 
 pub mod chaos;
 pub mod client;
+pub mod journal;
 pub mod loadgen;
 pub mod metrics;
+pub mod netem;
 pub mod proto;
 pub mod ring;
 pub mod router;
 pub mod service;
 
-pub use chaos::{run_chaos, ChaosOptions, ChaosOutcome};
+pub use chaos::{run_chaos, ChaosOptions, ChaosOutcome, WireFaults};
 pub use client::{
     run_routed_session, run_session, ClientError, RoutedOptions, RoutedOutcome, SessionOutcome,
     DEFAULT_BATCH,
 };
+pub use journal::{recover_journals, Journal, JournalGauges, DEFAULT_JOURNAL_TAIL};
 pub use loadgen::{run_loadgen, LatencyBucket, LoadgenOptions, LoadgenOutcome};
 pub use metrics::{scrape, serve_metrics, MetricsHandle, SampleSource};
+pub use netem::{netem, NetemHandle, NetemOptions};
 pub use proto::{
-    SessionConfig, SessionTicket, Summary, CAP_WIDE_VERDICT, PROTO_V1, PROTO_V2, PROTO_VERSION,
-    V1_MAX_KERNELS,
+    SessionConfig, SessionTicket, Summary, CAP_FRAME_CHECKSUM, CAP_WIDE_VERDICT, PROTO_V1,
+    PROTO_V2, PROTO_VERSION, V1_MAX_KERNELS,
 };
 pub use ring::{Ring, DEFAULT_REPLICAS};
 pub use router::{route, BackendMode, RouterHandle, RouterOptions};

@@ -1,0 +1,508 @@
+//! The seeded wire-fault proxy: a frame-aware TCP interposer that makes
+//! the network lie on purpose.
+//!
+//! `netem` sits between a client and a router (or a router and a
+//! backend) and forwards framed traffic byte-exactly — until its seeded
+//! fault schedule fires. Faults are clocked by *progress* (frames
+//! forwarded per direction), not wall-clock time, so the same seed
+//! reproduces the same damage pattern on any machine:
+//!
+//! - **delay** — the frame is held for a bounded, seeded number of
+//!   milliseconds, then forwarded intact (the only non-lossy fault);
+//! - **drop** — the frame vanishes;
+//! - **corrupt** — one byte past the tag is flipped;
+//! - **truncate** — only a seeded prefix of the frame's bytes leave;
+//! - **duplicate** — the frame is forwarded twice;
+//! - **disconnect** — the connection dies mid-stream, frame unsent.
+//!
+//! Every lossy fault also severs the connection immediately after the
+//! damage: a real broken link does not politely resynchronize, and the
+//! framed protocol has no way to skip garbage mid-stream — recovery is
+//! the *session* layer's job (resume tickets + [`CAP_FRAME_CHECKSUM`]
+//! detection), which is exactly the machinery under test.
+//!
+//! Two frame classes are never faulted: the first `handshake_grace`
+//! frames of each direction (SESSION/HELLO — damaging the handshake
+//! yields a terminal refusal, not a retryable transport error) and
+//! ERROR/BUSY frames (they are checksum-exempt plain frames whose
+//! corruption would forge a *terminal* verdict out of a transport
+//! hiccup). Everything else — EVENTS, ACK, ALARMS, SUMMARY, END — is
+//! fair game; the chaos contract (zero lost sessions, detections
+//! bit-identical to offline) must hold anyway.
+//!
+//! The proxy parses frames (it must know byte boundaries and whether a
+//! trailing checksum word is present) but never re-encodes them:
+//! forwarded frames are bit-identical to what was read.
+
+use crate::proto::{hello_caps, BUSY, CAP_FRAME_CHECKSUM, ERROR, HELLO, MAX_FRAME, SESSION};
+use fireguard_telemetry::TraceSink;
+use fireguard_trace::codec::{put_uvarint, read_uvarint};
+use fireguard_trace::SimRng;
+use std::collections::HashMap;
+use std::io::{self, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Wire-fault proxy configuration.
+#[derive(Debug, Clone)]
+pub struct NetemOptions {
+    /// Address to bind (port 0 = ephemeral).
+    pub listen: String,
+    /// Where honest traffic would have gone (router or backend address).
+    pub upstream: String,
+    /// Seed for every per-connection, per-direction fault schedule.
+    pub seed: u64,
+    /// Mean frames between faults per direction (each gap is drawn
+    /// uniformly from `1..2*fault_every`). 0 disables fault injection
+    /// entirely (pure relay).
+    pub fault_every: u64,
+    /// Upper bound for the `delay` fault, in milliseconds.
+    pub max_delay_ms: u64,
+    /// Frames per direction exempt at the head of each connection, so
+    /// the handshake (SESSION, HELLO) always survives.
+    pub handshake_grace: u64,
+    /// Structured trace sink for `net.fault` spans.
+    pub trace: Option<Arc<TraceSink>>,
+}
+
+impl Default for NetemOptions {
+    fn default() -> Self {
+        NetemOptions {
+            listen: "127.0.0.1:0".into(),
+            upstream: String::new(),
+            seed: 7,
+            fault_every: 64,
+            max_delay_ms: 5,
+            handshake_grace: 2,
+            trace: None,
+        }
+    }
+}
+
+/// A running wire-fault proxy.
+pub struct NetemHandle {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    faults: Arc<AtomicU64>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+    pairs: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl NetemHandle {
+    /// The proxy's listening address (clients dial this instead of the
+    /// upstream).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Faults injected so far, across all connections and directions.
+    pub fn faults(&self) -> u64 {
+        self.faults.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting, severs every live connection, and joins all
+    /// proxy threads.
+    pub fn shutdown(mut self) {
+        self.stop_all();
+    }
+
+    /// Blocks until the proxy stops (foreground `chaos-net` mode — the
+    /// accept loop only exits when the process is killed).
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+
+    fn stop_all(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for s in lock_ok(&self.conns).drain(..) {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in lock_ok(&self.pairs).drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for NetemHandle {
+    fn drop(&mut self) {
+        self.stop_all();
+    }
+}
+
+fn lock_ok<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Starts the proxy.
+///
+/// # Errors
+///
+/// Only bind failures; per-connection trouble (including an unreachable
+/// upstream) surfaces to the affected client as a severed connection,
+/// which is the point.
+pub fn netem(opts: NetemOptions) -> io::Result<NetemHandle> {
+    let listener = TcpListener::bind(&opts.listen)?;
+    listener.set_nonblocking(true)?;
+    let local_addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let faults = Arc::new(AtomicU64::new(0));
+    let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+    let pairs: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    // Session id → negotiated capability bits, shared across connections.
+    // A resume connection opens with SESSION alone (no HELLO), yet both
+    // sides immediately speak checksummed frames under the caps agreed on
+    // the *original* connection — the proxy must remember them to keep
+    // parsing frame boundaries correctly.
+    let registry: Arc<Mutex<HashMap<u64, u64>>> = Arc::new(Mutex::new(HashMap::new()));
+
+    let accept = {
+        let stop = Arc::clone(&stop);
+        let faults = Arc::clone(&faults);
+        let conns = Arc::clone(&conns);
+        let pairs = Arc::clone(&pairs);
+        let registry = Arc::clone(&registry);
+        std::thread::spawn(move || {
+            let mut conn_index = 0u64;
+            loop {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                match listener.accept() {
+                    Ok((client, _)) => {
+                        let index = conn_index;
+                        conn_index += 1;
+                        if let Ok(c) = client.try_clone() {
+                            lock_ok(&conns).push(c);
+                        }
+                        let opts = opts.clone();
+                        let faults = Arc::clone(&faults);
+                        let conns = Arc::clone(&conns);
+                        let registry = Arc::clone(&registry);
+                        let h = std::thread::spawn(move || {
+                            splice(client, index, &opts, &faults, &conns, &registry);
+                        });
+                        lock_ok(&pairs).push(h);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(2)),
+                }
+            }
+        })
+    };
+
+    Ok(NetemHandle {
+        local_addr,
+        stop,
+        faults,
+        conns,
+        pairs,
+        accept: Some(accept),
+    })
+}
+
+/// One proxied connection: dial upstream, pump both directions, join.
+fn splice(
+    client: TcpStream,
+    index: u64,
+    opts: &NetemOptions,
+    faults: &Arc<AtomicU64>,
+    conns: &Arc<Mutex<Vec<TcpStream>>>,
+    registry: &Arc<Mutex<HashMap<u64, u64>>>,
+) {
+    let _ = client.set_nodelay(true);
+    let upstream = match TcpStream::connect(&opts.upstream) {
+        Ok(s) => s,
+        Err(_) => {
+            let _ = client.shutdown(Shutdown::Both);
+            return;
+        }
+    };
+    let _ = upstream.set_nodelay(true);
+    if let Ok(u) = upstream.try_clone() {
+        lock_ok(conns).push(u);
+    }
+
+    // The client→server pump parses the handshake (SESSION ticket and/or
+    // HELLO) and publishes the session's capability bits so both
+    // directions agree on whether frames carry a trailing checksum word.
+    // A fresh connection learns caps from its HELLO; a resume connection
+    // carries only a SESSION ticket, so caps come from the proxy-global
+    // registry populated when the session first negotiated.
+    let caps = Arc::new(AtomicU64::new(0));
+    let c2s = {
+        let (Ok(from), Ok(to)) = (client.try_clone(), upstream.try_clone()) else {
+            let _ = client.shutdown(Shutdown::Both);
+            let _ = upstream.shutdown(Shutdown::Both);
+            return;
+        };
+        let cfg = PumpCfg {
+            dir: "c2s",
+            seed: pump_seed(opts.seed, index, 0x0C25),
+            fault_every: opts.fault_every,
+            max_delay_ms: opts.max_delay_ms,
+            grace: opts.handshake_grace,
+            parse_handshake: true,
+            caps: Arc::clone(&caps),
+            registry: Arc::clone(registry),
+            faults: Arc::clone(faults),
+            trace: opts.trace.clone(),
+        };
+        std::thread::spawn(move || pump(from, to, cfg))
+    };
+    let cfg = PumpCfg {
+        dir: "s2c",
+        seed: pump_seed(opts.seed, index, 0x52C5),
+        fault_every: opts.fault_every,
+        max_delay_ms: opts.max_delay_ms,
+        grace: opts.handshake_grace,
+        parse_handshake: false,
+        caps,
+        registry: Arc::clone(registry),
+        faults: Arc::clone(faults),
+        trace: opts.trace.clone(),
+    };
+    pump(upstream, client, cfg);
+    let _ = c2s.join();
+}
+
+fn pump_seed(seed: u64, index: u64, dir_salt: u64) -> u64 {
+    seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ dir_salt
+}
+
+struct PumpCfg {
+    dir: &'static str,
+    seed: u64,
+    fault_every: u64,
+    max_delay_ms: u64,
+    grace: u64,
+    parse_handshake: bool,
+    caps: Arc<AtomicU64>,
+    registry: Arc<Mutex<HashMap<u64, u64>>>,
+    faults: Arc<AtomicU64>,
+    trace: Option<Arc<TraceSink>>,
+}
+
+/// ERROR and BUSY are checksum-exempt on the wire *and* fault-exempt in
+/// the proxy (see module docs).
+fn exempt(tag: u8) -> bool {
+    tag == ERROR || tag == BUSY
+}
+
+/// Frames that are always plain regardless of negotiated caps: the
+/// checksum-exempt verdict frames plus the handshake frames themselves
+/// (SESSION/HELLO precede — or on resume, replace — the negotiation).
+fn always_plain(tag: u8) -> bool {
+    exempt(tag) || tag == SESSION || tag == HELLO
+}
+
+/// One raw frame as it appeared on the wire: the tag, the full byte
+/// image (header ‖ payload ‖ optional checksum word), and where the
+/// payload starts within it.
+struct RawFrame {
+    tag: u8,
+    bytes: Vec<u8>,
+    payload_at: usize,
+    payload_len: usize,
+}
+
+/// Reads one raw frame. Whether a trailing checksum word follows the
+/// payload depends on the *tag* (ERROR/BUSY and the handshake frames are
+/// always plain) and on capability bits that another thread may publish
+/// while this read is blocked — so the decision is made by the
+/// `is_checked` callback only *after* the tag byte has arrived, never
+/// from a value snapshotted before the blocking read began.
+fn read_raw<R: Read>(
+    r: &mut R,
+    is_checked: impl FnOnce(u8) -> bool,
+) -> io::Result<Option<RawFrame>> {
+    let mut tag = [0u8; 1];
+    loop {
+        match r.read(&mut tag) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len =
+        read_uvarint(r).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame too large",
+        ));
+    }
+    let mut bytes = vec![tag[0]];
+    put_uvarint(&mut bytes, len);
+    let payload_at = bytes.len();
+    bytes.resize(payload_at + len as usize, 0);
+    r.read_exact(&mut bytes[payload_at..])?;
+    if is_checked(tag[0]) {
+        let mut sum = [0u8; 4];
+        r.read_exact(&mut sum)?;
+        bytes.extend_from_slice(&sum);
+    }
+    Ok(Some(RawFrame {
+        tag: tag[0],
+        bytes,
+        payload_at,
+        payload_len: len as usize,
+    }))
+}
+
+fn sever(a: &TcpStream, b: &TcpStream) {
+    let _ = a.shutdown(Shutdown::Both);
+    let _ = b.shutdown(Shutdown::Both);
+}
+
+const FAULT_KINDS: [&str; 6] = [
+    "delay",
+    "drop",
+    "corrupt",
+    "truncate",
+    "duplicate",
+    "disconnect",
+];
+
+/// One direction of one proxied connection.
+fn pump(from: TcpStream, mut to: TcpStream, cfg: PumpCfg) {
+    let Ok(from_raw) = from.try_clone() else {
+        sever(&from, &to);
+        return;
+    };
+    let mut r = BufReader::new(from);
+    let mut rng = SimRng::seed_from_u64(cfg.seed);
+    let gap = |rng: &mut SimRng| rng.range_u64(1, (2 * cfg.fault_every).max(2));
+    let mut due = if cfg.fault_every == 0 {
+        0
+    } else {
+        gap(&mut rng)
+    };
+    let mut pending_session: Option<u64> = None;
+    let mut forwarded = 0u64;
+    loop {
+        let caps = &cfg.caps;
+        let frame = match read_raw(&mut r, |tag| {
+            !always_plain(tag) && caps.load(Ordering::Relaxed) & CAP_FRAME_CHECKSUM != 0
+        }) {
+            Ok(Some(f)) => f,
+            Ok(None) | Err(_) => {
+                sever(&from_raw, &to);
+                return;
+            }
+        };
+        if cfg.parse_handshake {
+            let payload = &frame.bytes[frame.payload_at..frame.payload_at + frame.payload_len];
+            if frame.tag == SESSION {
+                // Ticket payload leads with `uvarint id`. A resume ticket
+                // for a session this proxy has seen negotiate restores its
+                // caps *before* the frame is forwarded, so the upstream's
+                // immediate checksummed ACK parses correctly.
+                if let Ok(id) = read_uvarint(&mut &payload[..]) {
+                    if let Some(&c) = lock_ok(&cfg.registry).get(&id) {
+                        cfg.caps.store(c, Ordering::Relaxed);
+                    }
+                    pending_session = Some(id);
+                }
+            } else if frame.tag == HELLO {
+                let c = hello_caps(payload);
+                cfg.caps.store(c, Ordering::Relaxed);
+                if let Some(id) = pending_session {
+                    lock_ok(&cfg.registry).insert(id, c);
+                }
+            }
+        }
+        // ERROR/BUSY pass untouched and don't advance the fault clock.
+        if exempt(frame.tag) {
+            if to.write_all(&frame.bytes).is_err() {
+                sever(&from_raw, &to);
+                return;
+            }
+            continue;
+        }
+        forwarded += 1;
+        let fire = cfg.fault_every != 0 && forwarded > cfg.grace && {
+            due = due.saturating_sub(1);
+            due == 0
+        };
+        if !fire {
+            if to.write_all(&frame.bytes).is_err() {
+                sever(&from_raw, &to);
+                return;
+            }
+            continue;
+        }
+        due = gap(&mut rng);
+        let kind = rng.range_usize(FAULT_KINDS.len());
+        cfg.faults.fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = cfg.trace.as_deref() {
+            t.emit(
+                "net.fault",
+                None,
+                vec![
+                    ("dir", cfg.dir.into()),
+                    ("kind", FAULT_KINDS[kind].into()),
+                    ("frame", forwarded.into()),
+                    ("tag", u64::from(frame.tag).into()),
+                ],
+            );
+        }
+        match kind {
+            // delay: hold, then forward intact — the only survivable one.
+            0 => {
+                let ms = rng.range_u64(0, cfg.max_delay_ms.max(1) + 1);
+                std::thread::sleep(Duration::from_millis(ms));
+                if to.write_all(&frame.bytes).is_err() {
+                    sever(&from_raw, &to);
+                    return;
+                }
+            }
+            // drop: the frame vanishes; the stream is now desynchronized.
+            1 => {
+                sever(&from_raw, &to);
+                return;
+            }
+            // corrupt: flip one byte past the tag (never the tag itself —
+            // a forged ERROR tag would fake a terminal verdict).
+            2 => {
+                let mut bytes = frame.bytes;
+                let at = 1 + rng.range_usize(bytes.len() - 1);
+                bytes[at] ^= 1 + rng.range_usize(255) as u8;
+                let _ = to.write_all(&bytes);
+                sever(&from_raw, &to);
+                return;
+            }
+            // truncate: a prefix leaves, the tail never does.
+            3 => {
+                let cut = rng.range_usize(frame.bytes.len());
+                let _ = to.write_all(&frame.bytes[..cut]);
+                sever(&from_raw, &to);
+                return;
+            }
+            // duplicate: the frame arrives twice (index-bound checksums
+            // make the receiver catch the replay).
+            4 => {
+                let _ = to.write_all(&frame.bytes);
+                let _ = to.write_all(&frame.bytes);
+                sever(&from_raw, &to);
+                return;
+            }
+            // disconnect: the link dies, frame unsent.
+            _ => {
+                sever(&from_raw, &to);
+                return;
+            }
+        }
+    }
+}

@@ -80,6 +80,28 @@ pub const ACK: u8 = 19;
 /// the same Prometheus-style text exposition an HTTP scrape returns, so
 /// framed and HTTP consumers parse identical bytes.
 pub const STATS_REPLY: u8 = 20;
+/// Router→client: the router is over its admission budget and refuses the
+/// *fresh* session cleanly (UTF-8 reason payload) instead of dropping the
+/// connection. Resume tickets are never answered with BUSY — a session the
+/// router already accepted is always allowed back in.
+pub const BUSY: u8 = 21;
+
+/// Capability bit (v2 HELLO): every post-handshake frame in **both**
+/// directions carries a trailing 4-byte FNV-1a-32 checksum over
+/// `tag ‖ LE64 frame-index ‖ payload`, where the frame index counts
+/// checksummed frames per direction from 0 on each connection. Binding the
+/// index detects duplication, reordering and silent frame loss as well as
+/// payload corruption — essential for the stateful event delta codec, where
+/// a replayed EVENTS frame would otherwise decode into plausible garbage.
+/// ERROR and BUSY frames are exempt (they can precede or outlive the
+/// negotiated session) and do not advance the index.
+pub const CAP_FRAME_CHECKSUM: u64 = 1 << 1;
+
+/// ERROR payloads with this prefix mark a *transport* failure between a
+/// router and its backend (the stream died mid-session), as opposed to a
+/// semantic refusal. The router treats them as retryable: it discards the
+/// incarnation and fails the session over instead of surfacing the error.
+pub const RETRYABLE_ERROR_PREFIX: &str = "stream error: ";
 
 /// Writes one frame (`tag ‖ varint len ‖ payload`).
 ///
@@ -119,6 +141,173 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<(u8, Vec<u8>)>, CodecErro
     r.read_exact(&mut payload)
         .map_err(|_| CodecError::Truncated("frame payload"))?;
     Ok(Some((tag[0], payload)))
+}
+
+// ---- checked framing (CAP_FRAME_CHECKSUM) -----------------------------------
+
+// FNV-1a-32 over `tag ‖ LE64 frame-index ‖ payload` — the per-frame
+// integrity word appended after the payload when CAP_FRAME_CHECKSUM is
+// negotiated.
+fn frame_checksum(tag: u8, index: u64, payload: &[u8]) -> u32 {
+    const FNV_OFFSET: u32 = 0x811c_9dc5;
+    const FNV_PRIME: u32 = 0x0100_0193;
+    let mut h = FNV_OFFSET;
+    let mut step = |b: u8| {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    };
+    step(tag);
+    for b in index.to_le_bytes() {
+        step(b);
+    }
+    for &b in payload {
+        step(b);
+    }
+    h
+}
+
+// ERROR and BUSY frames are never checksummed: they can be emitted before
+// the HELLO that negotiates the capability (ticket refusals, admission
+// shedding) and after a session's framing state is already torn down.
+fn checksum_exempt(tag: u8) -> bool {
+    tag == ERROR || tag == BUSY
+}
+
+/// A per-connection framed writer. In *checked* mode (negotiated via
+/// [`CAP_FRAME_CHECKSUM`]) every non-exempt frame carries a trailing
+/// 4-byte index-bound checksum; in plain mode it writes classic
+/// `tag ‖ varint len ‖ payload` frames, byte-identical to [`write_frame`].
+#[derive(Debug)]
+pub struct FrameWriter<W: Write> {
+    w: W,
+    checked: bool,
+    index: u64,
+}
+
+impl<W: Write> FrameWriter<W> {
+    /// Wraps `w`; `checked` selects checksummed framing.
+    pub fn new(w: W, checked: bool) -> Self {
+        FrameWriter {
+            w,
+            checked,
+            index: 0,
+        }
+    }
+
+    /// Switches checksummed framing on/off (used right after the
+    /// handshake frames, which always travel plain).
+    pub fn set_checked(&mut self, on: bool) {
+        self.checked = on;
+    }
+
+    /// Writes one frame under the connection's negotiated framing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn write(&mut self, tag: u8, payload: &[u8]) -> io::Result<()> {
+        if !self.checked || checksum_exempt(tag) {
+            return write_frame(&mut self.w, tag, payload);
+        }
+        let sum = frame_checksum(tag, self.index, payload);
+        let mut head = vec![tag];
+        put_uvarint(&mut head, payload.len() as u64);
+        self.w.write_all(&head)?;
+        self.w.write_all(payload)?;
+        self.w.write_all(&sum.to_le_bytes())?;
+        self.index += 1;
+        Ok(())
+    }
+
+    /// Flushes the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.w.flush()
+    }
+
+    /// The underlying writer (for shutdown/half-close plumbing).
+    pub fn get_mut(&mut self) -> &mut W {
+        &mut self.w
+    }
+}
+
+/// A per-connection framed reader; the dual of [`FrameWriter`]. In checked
+/// mode it verifies the trailing index-bound checksum of every non-exempt
+/// frame and fails with [`CodecError::ChecksumMismatch`] on any corruption,
+/// duplication, reordering or truncation the wire introduced.
+#[derive(Debug)]
+pub struct FrameReader<R: Read> {
+    r: R,
+    checked: bool,
+    index: u64,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wraps `r`; `checked` selects checksummed framing.
+    pub fn new(r: R, checked: bool) -> Self {
+        FrameReader {
+            r,
+            checked,
+            index: 0,
+        }
+    }
+
+    /// Switches checksum verification on/off (used right after the
+    /// handshake frames, which always travel plain).
+    pub fn set_checked(&mut self, on: bool) {
+        self.checked = on;
+    }
+
+    /// Reads one frame; `Ok(None)` on clean EOF at a frame boundary.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`read_frame`] can return, plus
+    /// [`CodecError::ChecksumMismatch`] when a checked frame fails
+    /// verification and [`CodecError::Truncated`] when the checksum word
+    /// itself is cut short.
+    pub fn read(&mut self) -> Result<Option<(u8, Vec<u8>)>, CodecError> {
+        let Some((tag, payload)) = read_frame(&mut self.r)? else {
+            return Ok(None);
+        };
+        if !self.checked || checksum_exempt(tag) {
+            return Ok(Some((tag, payload)));
+        }
+        let mut sum = [0u8; 4];
+        self.r
+            .read_exact(&mut sum)
+            .map_err(|_| CodecError::Truncated("frame checksum"))?;
+        let found = u32::from_le_bytes(sum);
+        let expected = frame_checksum(tag, self.index, &payload);
+        if found != expected {
+            return Err(CodecError::ChecksumMismatch {
+                expected: u64::from(expected),
+                found: u64::from(found),
+            });
+        }
+        self.index += 1;
+        Ok(Some((tag, payload)))
+    }
+
+    /// The underlying reader.
+    pub fn get_mut(&mut self) -> &mut R {
+        &mut self.r
+    }
+}
+
+/// Peeks the capability bits out of a HELLO payload without fully decoding
+/// it (tolerant: any malformation reads as "no capabilities"). The router
+/// uses this to pick the framing discipline for each leg while forwarding
+/// the HELLO bytes verbatim, so backends negotiate identically.
+pub fn hello_caps(payload: &[u8]) -> u64 {
+    let mut cur = Cursor::new(payload);
+    match cur.uvarint("hello version") {
+        Ok(v) if v >= PROTO_V2 => cur.uvarint("hello caps").unwrap_or(0),
+        _ => 0,
+    }
 }
 
 // ---- session tickets (router tier) -----------------------------------------
@@ -401,6 +590,32 @@ impl SessionConfig {
             IsaxMode::PostCommit => 1,
         });
         put_uvarint(&mut b, self.mapper_width as u64);
+        Ok(b)
+    }
+
+    /// Encodes the HELLO payload with `extra` capability bits OR-ed into
+    /// the negotiated set. Any extra bit forces a v2 HELLO (capabilities
+    /// only exist in v2); `encode_with_caps(0)` is byte-identical to
+    /// [`encode`](Self::encode), so historical v1 wire bytes never move.
+    ///
+    /// # Errors
+    ///
+    /// The [`validate`](Self::validate) refusal reason.
+    pub fn encode_with_caps(&self, extra: u64) -> Result<Vec<u8>, String> {
+        if extra == 0 {
+            return self.encode();
+        }
+        self.validate()?;
+        let mut b = Vec::new();
+        put_uvarint(&mut b, PROTO_V2);
+        put_uvarint(&mut b, self.caps() | extra);
+        let tail = self.encode()?;
+        let skip = if self.wire_version() >= PROTO_V2 {
+            2
+        } else {
+            1
+        };
+        b.extend_from_slice(&tail[skip..]);
         Ok(b)
     }
 
@@ -955,5 +1170,118 @@ mod tests {
             read_frame(&mut huge.as_slice()),
             Err(CodecError::Oversized { .. })
         ));
+    }
+
+    #[test]
+    fn checked_frames_round_trip_and_plain_mode_matches_classic() {
+        // Plain mode: byte-identical to write_frame.
+        let mut plain = Vec::new();
+        write_frame(&mut plain, EVENTS, b"abc").unwrap();
+        let mut fw = FrameWriter::new(Vec::new(), false);
+        fw.write(EVENTS, b"abc").unwrap();
+        assert_eq!(fw.get_mut().as_slice(), plain.as_slice());
+
+        // Checked mode round-trips through a checked reader.
+        let mut fw = FrameWriter::new(Vec::new(), true);
+        fw.write(EVENTS, b"abc").unwrap();
+        fw.write(END, b"").unwrap();
+        let buf = std::mem::take(fw.get_mut());
+        let mut fr = FrameReader::new(buf.as_slice(), true);
+        assert_eq!(fr.read().unwrap(), Some((EVENTS, b"abc".to_vec())));
+        assert_eq!(fr.read().unwrap(), Some((END, Vec::new())));
+        assert_eq!(fr.read().unwrap(), None);
+    }
+
+    #[test]
+    fn checked_reader_detects_corruption_duplication_and_truncation() {
+        let mut fw = FrameWriter::new(Vec::new(), true);
+        fw.write(EVENTS, b"payload").unwrap();
+        let good = std::mem::take(fw.get_mut());
+
+        // Flip one payload byte: checksum mismatch.
+        let mut bad = good.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x40;
+        let mut fr = FrameReader::new(bad.as_slice(), true);
+        assert!(matches!(
+            fr.read(),
+            Err(CodecError::ChecksumMismatch { .. })
+        ));
+
+        // Duplicate the frame verbatim: the second copy carries the
+        // index-0 checksum where index 1 is expected — the delta codec
+        // would have decoded it into plausible garbage, the index binding
+        // refuses it instead.
+        let mut dup = good.clone();
+        dup.extend_from_slice(&good);
+        let mut fr = FrameReader::new(dup.as_slice(), true);
+        assert!(fr.read().unwrap().is_some());
+        assert!(matches!(
+            fr.read(),
+            Err(CodecError::ChecksumMismatch { .. })
+        ));
+
+        // Cut the checksum word short: clean truncation error.
+        let cut = &good[..good.len() - 2];
+        let mut fr = FrameReader::new(cut, true);
+        assert!(matches!(fr.read(), Err(CodecError::Truncated(_))));
+    }
+
+    #[test]
+    fn error_and_busy_frames_are_checksum_exempt() {
+        let mut fw = FrameWriter::new(Vec::new(), true);
+        fw.write(ERROR, b"nope").unwrap();
+        fw.write(BUSY, b"shed").unwrap();
+        fw.write(ALARMS, b"x").unwrap();
+        let buf = std::mem::take(fw.get_mut());
+
+        // The exempt frames parse with a *plain* reader…
+        let mut plain = buf.as_slice();
+        assert_eq!(
+            read_frame(&mut plain).unwrap(),
+            Some((ERROR, b"nope".to_vec()))
+        );
+        assert_eq!(
+            read_frame(&mut plain).unwrap(),
+            Some((BUSY, b"shed".to_vec()))
+        );
+
+        // …and a checked reader sees all three, with ALARMS carrying
+        // frame index 0 (exempt frames do not advance the index).
+        let mut fr = FrameReader::new(buf.as_slice(), true);
+        assert_eq!(fr.read().unwrap(), Some((ERROR, b"nope".to_vec())));
+        assert_eq!(fr.read().unwrap(), Some((BUSY, b"shed".to_vec())));
+        assert_eq!(fr.read().unwrap(), Some((ALARMS, b"x".to_vec())));
+    }
+
+    #[test]
+    fn hello_caps_peeks_without_decoding() {
+        let small = sample_config();
+        assert_eq!(hello_caps(&small.encode().unwrap()), 0);
+        let wide = wide_config();
+        assert_eq!(hello_caps(&wide.encode().unwrap()), CAP_WIDE_VERDICT);
+        let checked = small.encode_with_caps(CAP_FRAME_CHECKSUM).unwrap();
+        assert_eq!(hello_caps(&checked), CAP_FRAME_CHECKSUM);
+        // Tolerant on garbage: no capabilities, never an error.
+        assert_eq!(hello_caps(&[]), 0);
+        assert_eq!(hello_caps(&[0xFF]), 0);
+    }
+
+    #[test]
+    fn encode_with_caps_forces_v2_and_preserves_the_config() {
+        let small = sample_config();
+        // Zero extra caps: byte-identical to the classic encoding.
+        assert_eq!(small.encode_with_caps(0).unwrap(), small.encode().unwrap());
+        // An extra cap forces v2; the config still round-trips (the
+        // checksum bit is unknown to decode() and ignored).
+        let bytes = small.encode_with_caps(CAP_FRAME_CHECKSUM).unwrap();
+        assert_eq!(bytes[0] as u64, PROTO_V2);
+        assert_eq!(bytes[1] as u64, CAP_FRAME_CHECKSUM);
+        assert_eq!(SessionConfig::decode(&bytes).unwrap(), small);
+        // A wide config keeps its own caps alongside the extra one.
+        let wide = wide_config();
+        let bytes = wide.encode_with_caps(CAP_FRAME_CHECKSUM).unwrap();
+        assert_eq!(bytes[1] as u64, CAP_WIDE_VERDICT | CAP_FRAME_CHECKSUM);
+        assert_eq!(SessionConfig::decode(&bytes).unwrap(), wide);
     }
 }

@@ -36,10 +36,11 @@
 //! ticket carries how many alarms the client holds, and the router
 //! re-sends the missing tail from its buffer.
 
+use crate::journal::{recover_journals, Journal, JournalGauges, DEFAULT_JOURNAL_TAIL};
 use crate::metrics::{serve_metrics, MetricsHandle};
 use crate::proto::{
-    self, read_frame, write_frame, SessionTicket, ACK, ALARMS, END, ERROR, EVENTS, HELLO, SESSION,
-    SUMMARY,
+    self, hello_caps, FrameReader, FrameWriter, SessionTicket, ACK, ALARMS, BUSY,
+    CAP_FRAME_CHECKSUM, END, ERROR, EVENTS, HELLO, RETRYABLE_ERROR_PREFIX, SESSION, SUMMARY,
 };
 use crate::ring::{mix, Ring, DEFAULT_REPLICAS};
 use crate::service::{fleet_samples, serve, ServeOptions, ServerHandle};
@@ -50,8 +51,9 @@ use fireguard_trace::TraceInst;
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -67,9 +69,27 @@ const ROUTE_PATIENCE: Duration = Duration::from_secs(5);
 /// session before answering "session busy".
 const ATTACH_PATIENCE: Duration = Duration::from_secs(5);
 
-/// Failover ceiling per session — past this the fleet is clearly sick
-/// and the session is failed instead of thrashing forever.
+/// Ceiling on *consecutive* failovers without a single backend
+/// round-trip — past this the fleet is clearly sick and the session is
+/// parked (ticketed) or failed (anonymous) instead of thrashing in a
+/// connect/replay hot loop. Any decoded backend frame resets the
+/// budget, so a long session under sustained-but-survivable fault
+/// pressure is never killed merely for surviving many faults.
 const MAX_FAILOVERS: u32 = 32;
+
+/// Lock recovery: a driver thread that panicked while holding a lock
+/// poisons it, but the data under every router lock is valid at all
+/// times (each critical section is a small, atomic mutation), so the
+/// router recovers the guard and keeps serving instead of cascading the
+/// panic through every thread that touches the lock.
+static LOCK_POISONS: AtomicU64 = AtomicU64::new(0);
+
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| {
+        LOCK_POISONS.fetch_add(1, Ordering::Relaxed);
+        poisoned.into_inner()
+    })
+}
 
 /// Where the router's backends come from.
 #[derive(Debug, Clone)]
@@ -116,6 +136,34 @@ pub struct RouterOptions {
     /// Optional structured span sink (`--trace-out`); failover, resume,
     /// and ghost-driver transitions are emitted here.
     pub trace: Option<Arc<TraceSink>>,
+    /// Client-leg read timeout (`--idle-timeout`): a connection that
+    /// produces no frame for this long is reaped (slowloris defense).
+    /// A session wedged with neither client nor backend progress for
+    /// twice this duration is failed.
+    pub idle_timeout: Duration,
+    /// How long a ghost driver (client transport died mid-session) keeps
+    /// driving the backend while waiting for a resume. Past it the driver
+    /// detaches and exits; the session stays in the table (and, with a
+    /// journal dir, on disk) so a later resume still replays it.
+    pub ghost_linger: Duration,
+    /// Admission budget (`--max-live-sessions`): over this many
+    /// concurrently live sessions, *fresh* sessions are refused with a
+    /// clean BUSY frame. Resumes are always admitted.
+    pub max_live_sessions: Option<u64>,
+    /// Admission budget (`--max-buffered-mb`, stored in bytes): when the
+    /// aggregate journal spill exceeds it, fresh sessions get BUSY.
+    pub max_buffered_bytes: Option<u64>,
+    /// Durable journal directory (`--journal-dir`): ticketed sessions
+    /// journal their state here with an fsync'd recovery sidecar, so a
+    /// router *process* crash is resumable. `None` = ephemeral journals
+    /// in the OS temp dir (failover-safe, not crash-safe).
+    pub journal_dir: Option<PathBuf>,
+    /// Scan `journal_dir` at startup (`--resume-journals`) and rebuild
+    /// the session table from the journals a crashed router left behind.
+    pub resume_journals: bool,
+    /// In-RAM tail capacity per session journal, in events; the spill
+    /// threshold that bounds per-session router memory.
+    pub journal_tail: usize,
 }
 
 impl Default for RouterOptions {
@@ -131,6 +179,13 @@ impl Default for RouterOptions {
             drop_client_after_acks: None,
             metrics_addr: None,
             trace: None,
+            idle_timeout: Duration::from_secs(30),
+            ghost_linger: Duration::from_secs(60),
+            max_live_sessions: None,
+            max_buffered_bytes: None,
+            journal_dir: None,
+            resume_journals: false,
+            journal_tail: DEFAULT_JOURNAL_TAIL,
         }
     }
 }
@@ -234,8 +289,8 @@ impl BackendPool {
         self.slots.len()
     }
 
-    fn lock_slot(&self, slot: usize) -> std::sync::MutexGuard<'_, Slot> {
-        self.slots[slot].lock().expect("slot lock never poisoned")
+    fn lock_slot(&self, slot: usize) -> MutexGuard<'_, Slot> {
+        lock_recover(&self.slots[slot])
     }
 
     fn addrs(&self) -> Vec<Option<SocketAddr>> {
@@ -374,9 +429,10 @@ fn spawn_backend(workers: usize, observe_every: u64) -> std::io::Result<ServerHa
 struct SessionBuf {
     /// The opaque HELLO payload, forwarded verbatim to every incarnation.
     hello: Vec<u8>,
-    /// The contiguous event prefix received from the client (index ==
-    /// absolute seq).
-    events: Vec<TraceInst>,
+    /// The contiguous event prefix received from the client (journal
+    /// index == absolute seq): a bounded RAM tail + disk spill, so the
+    /// router's per-session memory is O(tail), not O(events).
+    journal: Journal,
     /// The client has sent END.
     ended: bool,
     /// Every alarm the analysis has produced, deduplicated across
@@ -393,10 +449,10 @@ struct SessionBuf {
 }
 
 impl SessionBuf {
-    fn fresh(hello: Vec<u8>) -> Self {
+    fn fresh(hello: Vec<u8>, journal: Journal) -> Self {
         SessionBuf {
             hello,
-            events: Vec::new(),
+            journal,
             ended: false,
             alarms: Vec::new(),
             summary: None,
@@ -409,12 +465,22 @@ impl SessionBuf {
     fn done(&self) -> bool {
         self.summary.is_some() || self.error.is_some()
     }
+
+    fn set_summary(&mut self, payload: Vec<u8>) {
+        let _ = self.journal.record_summary(&payload);
+        self.summary = Some(payload);
+    }
+
+    fn set_error(&mut self, payload: Vec<u8>) {
+        let _ = self.journal.record_error(&payload);
+        self.error = Some(payload);
+    }
 }
 
 type SessionRef = Arc<Mutex<SessionBuf>>;
 
-fn lock_session(session: &SessionRef) -> std::sync::MutexGuard<'_, SessionBuf> {
-    session.lock().expect("session lock never poisoned")
+fn lock_session(session: &SessionRef) -> MutexGuard<'_, SessionBuf> {
+    lock_recover(session)
 }
 
 #[derive(Default)]
@@ -424,10 +490,7 @@ struct SessionTable {
 
 impl SessionTable {
     fn forget(&self, session: &SessionRef) {
-        self.map
-            .lock()
-            .expect("table lock never poisoned")
-            .retain(|_, v| !Arc::ptr_eq(v, session));
+        lock_recover(&self.map).retain(|_, v| !Arc::ptr_eq(v, session));
     }
 }
 
@@ -443,12 +506,16 @@ struct RouterStats {
     failovers: AtomicU64,
     /// Successful client resumes.
     resumes: AtomicU64,
+    /// Fresh sessions refused with BUSY by the admission controller.
+    shed: AtomicU64,
+    /// Currently live (admitted, not yet finished) connections.
+    live: AtomicU64,
 }
 
 /// The router's exposition: its own routing counters, backend liveness,
 /// and (spawn mode) each live backend's fleet counters labeled
 /// `backend="<slot>"` — one scrape covers the whole fleet.
-fn router_samples(pool: &BackendPool, stats: &RouterStats) -> Vec<Sample> {
+fn router_samples(pool: &BackendPool, stats: &RouterStats, gauges: &JournalGauges) -> Vec<Sample> {
     let mut out = vec![
         Sample::new(
             "fireguard_router_events_total",
@@ -469,6 +536,26 @@ fn router_samples(pool: &BackendPool, stats: &RouterStats) -> Vec<Sample> {
         Sample::new(
             "fireguard_router_kills_total",
             pool.kills.load(Ordering::Relaxed),
+        ),
+        Sample::new(
+            "fireguard_router_journal_bytes",
+            gauges.bytes.load(Ordering::Relaxed),
+        ),
+        Sample::new(
+            "fireguard_router_events_spilled_total",
+            gauges.spilled_events.load(Ordering::Relaxed),
+        ),
+        Sample::new(
+            "fireguard_router_sessions_shed_total",
+            stats.shed.load(Ordering::Relaxed),
+        ),
+        Sample::new(
+            "fireguard_router_live_sessions",
+            stats.live.load(Ordering::Relaxed),
+        ),
+        Sample::new(
+            "fireguard_router_lock_poison_total",
+            LOCK_POISONS.load(Ordering::Relaxed),
         ),
     ];
     let mut up = 0u64;
@@ -505,7 +592,7 @@ pub struct RouterHandle {
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
     pool: Arc<BackendPool>,
-    stats: Arc<RouterStats>,
+    shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
     health: Option<JoinHandle<()>>,
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
@@ -532,27 +619,44 @@ impl RouterHandle {
     /// Fresh events accepted into session buffers so far — the monotonic
     /// progress clock the chaos kill schedule is keyed to.
     pub fn events_forwarded(&self) -> u64 {
-        self.stats.events.load(Ordering::Relaxed)
+        self.shared.stats.events.load(Ordering::Relaxed)
     }
 
     /// Sessions that reached a terminal frame.
     pub fn sessions_completed(&self) -> u64 {
-        self.stats.sessions.load(Ordering::Relaxed)
+        self.shared.stats.sessions.load(Ordering::Relaxed)
     }
 
     /// Backend failovers performed.
     pub fn failovers(&self) -> u64 {
-        self.stats.failovers.load(Ordering::Relaxed)
+        self.shared.stats.failovers.load(Ordering::Relaxed)
     }
 
     /// Client resumes served.
     pub fn resumes(&self) -> u64 {
-        self.stats.resumes.load(Ordering::Relaxed)
+        self.shared.stats.resumes.load(Ordering::Relaxed)
     }
 
     /// Backends abruptly killed via [`kill_backend`](Self::kill_backend).
     pub fn kills(&self) -> u64 {
         self.pool.kills.load(Ordering::Relaxed)
+    }
+
+    /// Fresh sessions refused with a BUSY frame by the admission
+    /// controller.
+    pub fn sessions_shed(&self) -> u64 {
+        self.shared.stats.shed.load(Ordering::Relaxed)
+    }
+
+    /// Bytes currently spilled to session journals on disk.
+    pub fn journal_bytes(&self) -> u64 {
+        self.shared.gauges.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Events spilled from RAM tails to journal files since startup —
+    /// nonzero proves the bounded-memory path actually engaged.
+    pub fn events_spilled(&self) -> u64 {
+        self.shared.gauges.spilled_events.load(Ordering::Relaxed)
     }
 
     /// The bound metrics endpoint address, when one was requested.
@@ -591,7 +695,7 @@ impl RouterHandle {
             let _ = h.join();
         }
         loop {
-            let conn = self.conns.lock().expect("conns lock never poisoned").pop();
+            let conn = lock_recover(&self.conns).pop();
             match conn {
                 Some(h) => {
                     let _ = h.join();
@@ -617,30 +721,113 @@ impl RouterHandle {
     }
 }
 
+/// Shared router state every connection handler needs, bundled once so
+/// the accept loop hands each driver a single `Arc`.
+struct Shared {
+    pool: Arc<BackendPool>,
+    table: SessionTable,
+    stats: RouterStats,
+    gauges: JournalGauges,
+    anon_ids: AtomicU64,
+    drop_after: Option<u64>,
+    trace: Option<Arc<TraceSink>>,
+    idle_timeout: Duration,
+    ghost_linger: Duration,
+    max_live_sessions: Option<u64>,
+    max_buffered_bytes: Option<u64>,
+    journal_dir: Option<PathBuf>,
+    journal_tail: usize,
+}
+
+impl Shared {
+    fn trace(&self) -> Option<&TraceSink> {
+        self.trace.as_deref()
+    }
+
+    /// Opens the journal for a new session (`name` keys the durable
+    /// files, so ticketed sessions use their id and anonymous sessions a
+    /// non-numeric label recovery skips).
+    fn open_journal(&self, name: &str) -> std::io::Result<Journal> {
+        Journal::open(
+            name,
+            self.journal_tail,
+            self.journal_dir.as_deref(),
+            self.gauges.clone(),
+        )
+    }
+}
+
 /// Binds the router and spawns its accept loop, health checker, and
 /// backend fleet.
 ///
 /// # Errors
 ///
-/// Propagates bind/spawn/resolve failures.
+/// Propagates bind/spawn/resolve failures, and journal-directory scan
+/// failures when `resume_journals` is set.
 pub fn route(opts: RouterOptions) -> std::io::Result<RouterHandle> {
     let listener = TcpListener::bind(&opts.addr)?;
     let local_addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
 
     let pool = Arc::new(BackendPool::build(&opts)?);
-    let stats = Arc::new(RouterStats::default());
-    let table = Arc::new(SessionTable::default());
     let stop = Arc::new(AtomicBool::new(false));
     let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-    let anon_ids = Arc::new(AtomicU64::new(0));
+    let shared = Arc::new(Shared {
+        pool: Arc::clone(&pool),
+        table: SessionTable::default(),
+        stats: RouterStats::default(),
+        gauges: JournalGauges::default(),
+        anon_ids: AtomicU64::new(0),
+        drop_after: opts.drop_client_after_acks,
+        trace: opts.trace.clone(),
+        idle_timeout: opts.idle_timeout.max(Duration::from_millis(10)),
+        ghost_linger: opts.ghost_linger.max(Duration::from_millis(10)),
+        max_live_sessions: opts.max_live_sessions,
+        max_buffered_bytes: opts.max_buffered_bytes,
+        journal_dir: opts.journal_dir.clone(),
+        journal_tail: opts.journal_tail,
+    });
+
+    // Crash recovery: rebuild the session table from the journals a
+    // previous router process left in the durable directory. Each
+    // recovered session sits unattached until its client resumes; the
+    // resume ACK tells the client where the recovered prefix ends.
+    if opts.resume_journals {
+        if let Some(dir) = &shared.journal_dir {
+            if dir.is_dir() {
+                for r in recover_journals(dir, shared.journal_tail, &shared.gauges)? {
+                    if let Some(t) = shared.trace() {
+                        t.emit(
+                            "router.recover",
+                            Some(mix(r.id)),
+                            vec![
+                                ("events", r.journal.len().into()),
+                                ("alarms", (r.alarms.len() as u64).into()),
+                            ],
+                        );
+                    }
+                    let buf = SessionBuf {
+                        hello: r.hello,
+                        journal: r.journal,
+                        ended: r.ended,
+                        alarms: r.alarms,
+                        summary: r.summary,
+                        error: r.error,
+                        attached: false,
+                        takeover: false,
+                    };
+                    lock_recover(&shared.table.map).insert(r.id, Arc::new(Mutex::new(buf)));
+                }
+            }
+        }
+    }
+
     let metrics = match &opts.metrics_addr {
         Some(addr) => {
-            let pool = Arc::clone(&pool);
-            let stats = Arc::clone(&stats);
+            let shared = Arc::clone(&shared);
             Some(serve_metrics(
                 addr,
-                Arc::new(move || router_samples(&pool, &stats)),
+                Arc::new(move || router_samples(&shared.pool, &shared.stats, &shared.gauges)),
             )?)
         }
         None => None,
@@ -682,14 +869,9 @@ pub fn route(opts: RouterOptions) -> std::io::Result<RouterHandle> {
 
     let accept = {
         let stop = Arc::clone(&stop);
-        let pool = Arc::clone(&pool);
-        let stats = Arc::clone(&stats);
-        let table = Arc::clone(&table);
+        let shared = Arc::clone(&shared);
         let conns = Arc::clone(&conns);
-        let anon_ids = Arc::clone(&anon_ids);
         let max = opts.max_sessions;
-        let drop_after = opts.drop_client_after_acks;
-        let trace = opts.trace.clone();
         std::thread::spawn(move || {
             let mut accepted = 0u64;
             loop {
@@ -704,23 +886,22 @@ pub fn route(opts: RouterOptions) -> std::io::Result<RouterHandle> {
                 match listener.accept() {
                     Ok((stream, _)) => {
                         accepted += 1;
-                        let pool = Arc::clone(&pool);
-                        let stats = Arc::clone(&stats);
-                        let table = Arc::clone(&table);
-                        let anon_ids = Arc::clone(&anon_ids);
-                        let trace = trace.clone();
+                        let shared = Arc::clone(&shared);
                         let h = std::thread::spawn(move || {
-                            handle_conn(
-                                stream,
-                                &pool,
-                                &table,
-                                &stats,
-                                &anon_ids,
-                                drop_after,
-                                trace.as_deref(),
-                            );
+                            // A panicking driver must not take the router
+                            // down (locks it held recover via
+                            // lock_recover); log and count the event.
+                            let caught =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    handle_conn(stream, &shared)
+                                }));
+                            if caught.is_err() {
+                                if let Some(t) = shared.trace() {
+                                    t.emit("router.panic", None, vec![("driver", 1u64.into())]);
+                                }
+                            }
                         });
-                        conns.lock().expect("conns lock never poisoned").push(h);
+                        lock_recover(&conns).push(h);
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         std::thread::sleep(Duration::from_millis(5));
@@ -735,7 +916,7 @@ pub fn route(opts: RouterOptions) -> std::io::Result<RouterHandle> {
         local_addr,
         stop,
         pool,
-        stats,
+        shared,
         accept: Some(accept),
         health: Some(health),
         conns,
@@ -748,63 +929,109 @@ pub fn route(opts: RouterOptions) -> std::io::Result<RouterHandle> {
 enum Msg {
     /// A frame from the client.
     Client(u8, Vec<u8>),
-    /// The client transport ended (EOF, error, or read timeout).
+    /// The client transport ended cleanly (EOF or read timeout).
     ClientGone,
+    /// The client leg produced undecodable bytes (torn frame, oversized
+    /// header, checksum mismatch) — wire damage, not a clean close.
+    ClientBad(String),
     /// A frame from backend incarnation `inc`.
     Backend(u64, u8, Vec<u8>),
     /// Backend incarnation `inc`'s transport ended.
     BackendGone(u64),
 }
 
-fn send_client<W: Write>(w: &mut W, tag: u8, payload: &[u8]) -> bool {
-    write_frame(w, tag, payload)
-        .and_then(|()| w.flush())
-        .is_ok()
+fn send_client<W: Write>(w: &mut FrameWriter<W>, tag: u8, payload: &[u8]) -> bool {
+    w.write(tag, payload).and_then(|()| w.flush()).is_ok()
 }
 
-fn client_error<W: Write>(w: &mut W, msg: &str) {
-    let _ = write_frame(w, ERROR, msg.as_bytes());
+fn client_error<W: Write>(w: &mut FrameWriter<W>, msg: &str) {
+    let _ = w.write(ERROR, msg.as_bytes());
     let _ = w.flush();
 }
 
+/// RAII live-connection counter: admission control compares against it,
+/// and it must decrement on *every* exit path, including panics.
+struct LiveGuard<'a>(&'a AtomicU64);
+
+impl<'a> LiveGuard<'a> {
+    fn enter(counter: &'a AtomicU64) -> (Self, u64) {
+        let live = counter.fetch_add(1, Ordering::Relaxed) + 1;
+        (LiveGuard(counter), live)
+    }
+}
+
+impl Drop for LiveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// The admission controller's verdict for a *fresh* session (resumes are
+/// always admitted — a session the router accepted is never orphaned by
+/// its own overload policy). `live` includes the connection asking.
+fn admit_fresh(shared: &Shared, live: u64) -> Result<(), String> {
+    if let Some(max) = shared.max_live_sessions {
+        if live > max {
+            return Err(format!("router busy: {live} live sessions (max {max})"));
+        }
+    }
+    if let Some(max) = shared.max_buffered_bytes {
+        let buffered = shared.gauges.bytes.load(Ordering::Relaxed);
+        if buffered > max {
+            return Err(format!(
+                "router busy: {buffered} journal bytes buffered (max {max})"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn shed(shared: &Shared, writer: &mut FrameWriter<BufWriter<TcpStream>>, reason: &str) {
+    shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+    if let Some(t) = shared.trace() {
+        t.emit("router.shed", None, vec![("reason", reason.into())]);
+    }
+    let _ = writer.write(BUSY, reason.as_bytes());
+    let _ = writer.flush();
+}
+
 /// Drives one client connection end to end. Runs on its own thread; all
-/// failure modes end in a best-effort ERROR frame, never a panic.
-fn handle_conn(
-    stream: TcpStream,
-    pool: &BackendPool,
-    table: &SessionTable,
-    stats: &RouterStats,
-    anon_ids: &AtomicU64,
-    drop_after: Option<u64>,
-    trace: Option<&TraceSink>,
-) {
+/// failure modes end in a best-effort ERROR (or BUSY) frame, never a
+/// panic.
+fn handle_conn(stream: TcpStream, shared: &Shared) {
     let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_read_timeout(Some(shared.idle_timeout));
     let mut reader = match stream.try_clone() {
-        Ok(s) => BufReader::new(s),
+        Ok(s) => FrameReader::new(BufReader::new(s), false),
         Err(_) => return,
     };
     let mut writer = match stream.try_clone() {
-        Ok(s) => BufWriter::new(s),
+        Ok(s) => FrameWriter::new(BufWriter::new(s), false),
         Err(_) => return,
     };
+    let (_live, live_now) = LiveGuard::enter(&shared.stats.live);
 
     // Frame 1: SESSION (ticketed, resumable) or HELLO (anonymous
-    // passthrough — byte-transparent for existing clients).
-    let (key, session, ticketed, resume_from) = match read_frame(&mut reader) {
+    // passthrough — byte-transparent for existing clients). The
+    // handshake frames always travel plain; once the HELLO's capability
+    // bits are known, both directions switch to the negotiated framing.
+    let (key, session, ticketed, resume_from) = match reader.read() {
         Ok(Some((SESSION, payload))) => {
             let ticket = match SessionTicket::decode(&payload) {
                 Ok(t) => t,
                 Err(e) => return client_error(&mut writer, &format!("bad SESSION ticket: {e}")),
             };
             if ticket.resume {
-                match attach_resume(table, ticket.id) {
+                match attach_resume(&shared.table, ticket.id) {
                     Ok(session) => (mix(ticket.id), session, true, Some(ticket.alarms_received)),
                     Err(msg) => return client_error(&mut writer, &msg),
                 }
             } else {
+                if let Err(reason) = admit_fresh(shared, live_now) {
+                    return shed(shared, &mut writer, &reason);
+                }
                 // Frame 2 must be the HELLO for the new session.
-                let hello = match read_frame(&mut reader) {
+                let hello = match reader.read() {
                     Ok(Some((HELLO, p))) => p,
                     Ok(Some((tag, _))) => {
                         return client_error(
@@ -815,9 +1042,14 @@ fn handle_conn(
                     Ok(None) => return,
                     Err(e) => return client_error(&mut writer, &format!("bad frame: {e}")),
                 };
-                let session = Arc::new(Mutex::new(SessionBuf::fresh(hello)));
+                let mut journal = match shared.open_journal(&ticket.id.to_string()) {
+                    Ok(j) => j,
+                    Err(e) => return client_error(&mut writer, &format!("session journal: {e}")),
+                };
+                let _ = journal.record_hello(&hello);
+                let session = Arc::new(Mutex::new(SessionBuf::fresh(hello, journal)));
                 {
-                    let mut map = table.map.lock().expect("table lock never poisoned");
+                    let mut map = lock_recover(&shared.table.map);
                     if map.contains_key(&ticket.id) {
                         drop(map);
                         return client_error(
@@ -832,9 +1064,23 @@ fn handle_conn(
         }
         Ok(Some((HELLO, hello))) => {
             // Anonymous: no ticket, no ACKs, no resume — pure transparent
-            // routing (still gets buffered-replay failover for free).
-            let id = anon_ids.fetch_add(1, Ordering::Relaxed);
-            let session = Arc::new(Mutex::new(SessionBuf::fresh(hello)));
+            // routing (still gets buffered-replay failover for free). The
+            // journal is always ephemeral: with no ticket there is nothing
+            // a post-crash router could hand back.
+            if let Err(reason) = admit_fresh(shared, live_now) {
+                return shed(shared, &mut writer, &reason);
+            }
+            let id = shared.anon_ids.fetch_add(1, Ordering::Relaxed);
+            let journal = match Journal::open(
+                &format!("anon-{id}"),
+                shared.journal_tail,
+                None,
+                shared.gauges.clone(),
+            ) {
+                Ok(j) => j,
+                Err(e) => return client_error(&mut writer, &format!("session journal: {e}")),
+            };
+            let session = Arc::new(Mutex::new(SessionBuf::fresh(hello, journal)));
             (mix(0x0A0A_0A0A ^ id), session, false, None)
         }
         Ok(Some((tag, _))) => {
@@ -844,12 +1090,21 @@ fn handle_conn(
         Err(e) => return client_error(&mut writer, &format!("bad first frame: {e}")),
     };
 
+    // Both legs of a session speak the framing its HELLO negotiated —
+    // resumes included (the stored HELLO remembers).
+    let checked = {
+        let s = lock_session(&session);
+        hello_caps(&s.hello) & CAP_FRAME_CHECKSUM != 0
+    };
+    reader.set_checked(checked);
+    writer.set_checked(checked);
+
     // Resume preamble: ACK where the replay starts and re-deliver the
     // alarm tail the client missed. If the session already finished
     // while the client was away, serve it entirely from the buffer.
     if let Some(alarms_received) = resume_from {
-        stats.resumes.fetch_add(1, Ordering::Relaxed);
-        if let Some(t) = trace {
+        shared.stats.resumes.fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = shared.trace() {
             t.emit(
                 "router.resume",
                 Some(key),
@@ -860,7 +1115,7 @@ fn handle_conn(
             let s = lock_session(&session);
             let from = (alarms_received as usize).min(s.alarms.len());
             (
-                proto::encode_ack(s.events.len() as u64),
+                proto::encode_ack(s.journal.len()),
                 s.alarms[from..].to_vec(),
                 s.done(),
             )
@@ -874,7 +1129,7 @@ fn handle_conn(
             return;
         }
         if finished {
-            finish_from_buffer(&stream, reader, writer, &session, table);
+            finish_from_buffer(&stream, reader, writer, &session, &shared.table);
             return;
         }
     }
@@ -886,11 +1141,8 @@ fn handle_conn(
         key,
         session,
         ticketed,
-        pool,
-        table,
-        stats,
-        drop_after,
-        trace,
+        checked,
+        shared,
     });
 }
 
@@ -898,7 +1150,7 @@ fn handle_conn(
 /// let go if one still owns it.
 fn attach_resume(table: &SessionTable, id: u64) -> Result<SessionRef, String> {
     let session = {
-        let map = table.map.lock().expect("table lock never poisoned");
+        let map = lock_recover(&table.map);
         match map.get(&id) {
             Some(s) => Arc::clone(s),
             None => return Err(format!("unknown session id {id}")),
@@ -934,19 +1186,16 @@ fn shutdown_both(stream: &TcpStream) {
 /// Everything one session driver needs.
 struct DriverCtx<'a> {
     client_stream: TcpStream,
-    reader: BufReader<TcpStream>,
-    writer: BufWriter<TcpStream>,
+    reader: FrameReader<BufReader<TcpStream>>,
+    writer: FrameWriter<BufWriter<TcpStream>>,
     key: u64,
     session: SessionRef,
     ticketed: bool,
-    pool: &'a BackendPool,
-    table: &'a SessionTable,
-    stats: &'a RouterStats,
-    drop_after: Option<u64>,
-    trace: Option<&'a TraceSink>,
+    checked: bool,
+    shared: &'a Shared,
 }
 
-/// The driver proper: pumps client frames into the session buffer and
+/// The driver proper: pumps client frames into the session journal and
 /// backend frames out to the client, failing over across backend
 /// incarnations, and going "ghost" (client-less but still driving the
 /// backend) when the client transport dies mid-session.
@@ -958,12 +1207,14 @@ fn drive_session(ctx: DriverCtx<'_>) {
         key,
         session,
         ticketed,
-        pool,
-        table,
-        stats,
-        drop_after,
-        trace,
+        checked,
+        shared,
     } = ctx;
+    let pool = &*shared.pool;
+    let table = &shared.table;
+    let stats = &shared.stats;
+    let drop_after = shared.drop_after;
+    let trace = shared.trace();
 
     // The driver inbox. Unbounded by design: the router buffers the
     // whole stream anyway, and a bounded inbox could deadlock the
@@ -976,14 +1227,23 @@ fn drive_session(ctx: DriverCtx<'_>) {
         std::thread::spawn(move || {
             let mut r = reader;
             loop {
-                match read_frame(&mut r) {
+                match r.read() {
                     Ok(Some((tag, payload))) => {
                         if tx.send(Msg::Client(tag, payload)).is_err() {
                             return;
                         }
                     }
-                    Ok(None) | Err(_) => {
+                    // Clean EOF at a frame boundary: the client hung up.
+                    Ok(None) => {
                         let _ = tx.send(Msg::ClientGone);
+                        return;
+                    }
+                    // Torn frame, oversized header, checksum mismatch:
+                    // the client leg is no longer trustworthy — but the
+                    // driver must know it was *damage*, not a hangup, so
+                    // an anonymous session still draws a clean ERROR.
+                    Err(e) => {
+                        let _ = tx.send(Msg::ClientBad(e.to_string()));
                         return;
                     }
                 }
@@ -993,12 +1253,12 @@ fn drive_session(ctx: DriverCtx<'_>) {
 
     // One fatal-exit macro'd closure would obscure control flow; instead
     // a tiny helper finishes the session on unrecoverable errors.
-    let fatal = |writer: &mut BufWriter<TcpStream>, alive: bool, msg: &str| {
+    let fatal = |writer: &mut FrameWriter<BufWriter<TcpStream>>, alive: bool, msg: &str| {
         let first = {
             let mut s = lock_session(&session);
             let first = !s.done();
             if s.error.is_none() {
-                s.error = Some(msg.as_bytes().to_vec());
+                s.set_error(msg.as_bytes().to_vec());
             }
             first
         };
@@ -1012,9 +1272,38 @@ fn drive_session(ctx: DriverCtx<'_>) {
         detach(&session);
     };
 
+    // Transient infrastructure trouble — no routable backend, an
+    // exhausted failover budget, a wedged transport — is not a verdict
+    // on a *ticketed* session: its journal is intact and a resume can
+    // pick it up once the fleet recovers. Park it (quiet client sever +
+    // detach, table entry kept) instead of forging an ERROR; the
+    // client's retry machine turns the severed leg into a resume.
+    // Anonymous sessions have no resume path and draw the fatal ERROR.
+    let park = |reason: &str| {
+        if let Some(t) = trace {
+            let buffered = lock_session(&session).journal.len();
+            t.emit(
+                "router.park",
+                Some(key),
+                vec![
+                    ("reason", reason.to_owned().into()),
+                    ("events_buffered", buffered.into()),
+                ],
+            );
+        }
+        shutdown_both(&client_stream);
+        detach(&session);
+    };
+
     let mut dec = EventDecoder::new();
     let mut client_alive = true;
+    let mut ghost_since: Option<Instant> = None;
     let mut acks_sent = 0u64;
+    // Whether the client confirmed the verdict arrived (terminal ACK).
+    // A successful SUMMARY write through a faulting wire proves nothing;
+    // only this flag (or the same frame surfacing in the post-join
+    // drain) lets `finish` forget a ticketed session.
+    let mut verdict_acked = false;
     let mut inc = 0u64; // backend incarnation counter (per driver)
     let mut failovers = 0u32;
 
@@ -1033,6 +1322,11 @@ fn drive_session(ctx: DriverCtx<'_>) {
                 }
             }
             if Instant::now() >= deadline {
+                if ticketed {
+                    park("no live backends");
+                    let _ = client_reader.join();
+                    return;
+                }
                 fatal(&mut writer, client_alive, "no live backends");
                 shutdown_both(&client_stream);
                 let _ = client_reader.join();
@@ -1046,7 +1340,7 @@ fn drive_session(ctx: DriverCtx<'_>) {
             Ok(s) => s,
             Err(_) => continue 'incarnations,
         };
-        let mut bw = BufWriter::new(backend);
+        let mut bw = FrameWriter::new(BufWriter::new(backend), false);
 
         // This incarnation's reader — spawned BEFORE the replay so alarm
         // frames raised mid-replay drain into the inbox instead of
@@ -1058,10 +1352,11 @@ fn drive_session(ctx: DriverCtx<'_>) {
                 Ok(s) => s,
                 Err(_) => continue 'incarnations,
             };
+            let backend_checked = checked;
             std::thread::spawn(move || {
-                let mut r = BufReader::new(r);
+                let mut r = FrameReader::new(BufReader::new(r), backend_checked);
                 loop {
-                    match read_frame(&mut r) {
+                    match r.read() {
                         Ok(Some((tag, payload))) => {
                             if tx.send(Msg::Backend(this_inc, tag, payload)).is_err() {
                                 return;
@@ -1076,21 +1371,32 @@ fn drive_session(ctx: DriverCtx<'_>) {
             });
         }
 
-        // Replay the buffered prefix to this incarnation with a fresh
-        // encoder (codec state is per-connection on both legs).
+        // Replay the journaled prefix to this incarnation with a fresh
+        // encoder (codec state is per-connection on both legs). The HELLO
+        // is plain — checked framing starts after it, per the handshake
+        // contract — and spilled batches are decoded from disk and
+        // re-encoded so the new backend sees one continuous delta stream.
         let mut enc = EventEncoder::new();
         let mut end_sent = false;
         let replay_ok = {
-            let s = lock_session(&session);
-            let mut ok = write_frame(&mut bw, HELLO, &s.hello).is_ok();
-            for chunk in s.events.chunks(REPLAY_BATCH) {
-                if !ok {
-                    break;
-                }
-                ok = write_frame(&mut bw, EVENTS, &enc.encode_batch(chunk)).is_ok();
+            let mut s = lock_session(&session);
+            let mut ok = bw.write(HELLO, &s.hello).is_ok();
+            bw.set_checked(checked);
+            if ok {
+                let bw = &mut bw;
+                let enc = &mut enc;
+                ok = s
+                    .journal
+                    .replay(|chunk| {
+                        for part in chunk.chunks(REPLAY_BATCH) {
+                            bw.write(EVENTS, &enc.encode_batch(part))?;
+                        }
+                        Ok(())
+                    })
+                    .is_ok();
             }
             if ok && s.ended {
-                ok = write_frame(&mut bw, END, &[]).is_ok();
+                ok = bw.write(END, &[]).is_ok();
                 end_sent = true;
             }
             ok && bw.flush().is_ok()
@@ -1117,6 +1423,11 @@ fn drive_session(ctx: DriverCtx<'_>) {
             if fail_over(&backend_raw, &mut failovers) {
                 continue 'incarnations;
             }
+            if ticketed {
+                park("failover budget exhausted");
+                let _ = client_reader.join();
+                return;
+            }
             fatal(
                 &mut writer,
                 client_alive,
@@ -1130,20 +1441,45 @@ fn drive_session(ctx: DriverCtx<'_>) {
         // Alarms this incarnation has reported; the first
         // `alarms.len()` of them are deterministic repeats of the log.
         let mut seen = 0u64;
+        // A SUMMARY is held back until the backend closes cleanly: a
+        // summary chased by a retryable stream error is a *partial*
+        // result from a damaged backend leg and must never reach the
+        // client — failover replays and produces the real one.
+        let mut pending_summary: Option<Vec<u8>> = None;
 
         loop {
             // A ghost driver (no client) yields to a resuming connection
-            // as soon as one asks.
+            // as soon as one asks — and after `ghost_linger` without one
+            // it parks the session: the backend is released, but the
+            // journaled state stays in the table for a later resume.
             if !client_alive {
+                if ghost_since.is_none() {
+                    ghost_since = Some(Instant::now());
+                }
                 let hand_over = lock_session(&session).takeover;
                 if hand_over {
                     let _ = backend_raw.shutdown(Shutdown::Both);
                     detach(&session);
                     return;
                 }
+                if ghost_since.is_some_and(|t| t.elapsed() >= shared.ghost_linger) {
+                    if let Some(t) = trace {
+                        let buffered = lock_session(&session).journal.len();
+                        t.emit(
+                            "router.park",
+                            Some(key),
+                            vec![("events_buffered", buffered.into())],
+                        );
+                    }
+                    let _ = backend_raw.shutdown(Shutdown::Both);
+                    detach(&session);
+                    return;
+                }
             }
             let wait = if client_alive {
-                Duration::from_secs(60)
+                // Twice the per-read idle budget: both legs must be
+                // silent that long before the session counts as wedged.
+                shared.idle_timeout * 2
             } else {
                 Duration::from_millis(25)
             };
@@ -1151,12 +1487,18 @@ fn drive_session(ctx: DriverCtx<'_>) {
                 Ok(m) => m,
                 Err(mpsc::RecvTimeoutError::Timeout) => {
                     if !client_alive {
-                        continue; // ghost: just re-check takeover
+                        continue; // ghost: just re-check takeover/linger
                     }
-                    // 60 s with neither client nor backend frames: the
-                    // session is wedged — end it.
-                    fatal(&mut writer, client_alive, "router session idle timeout");
+                    // Neither client nor backend frames for the full
+                    // budget: the session is wedged — end it. Ticketed
+                    // sessions park (a resume un-wedges both legs).
                     let _ = backend_raw.shutdown(Shutdown::Both);
+                    if ticketed {
+                        park("router session idle timeout");
+                        let _ = client_reader.join();
+                        return;
+                    }
+                    fatal(&mut writer, client_alive, "router session idle timeout");
                     shutdown_both(&client_stream);
                     let _ = client_reader.join();
                     return;
@@ -1164,10 +1506,29 @@ fn drive_session(ctx: DriverCtx<'_>) {
                 Err(mpsc::RecvTimeoutError::Disconnected) => return,
             };
             match msg {
+                // Frames from a severed client leg are untrustworthy;
+                // drop them and let the resume re-deliver.
+                Msg::Client(..) if !client_alive => {}
                 Msg::Client(EVENTS, payload) => {
                     let batch = match dec.decode_batch(&payload) {
                         Ok(b) => b,
                         Err(e) => {
+                            if ticketed {
+                                // The wire lied mid-frame. Sever the
+                                // client leg quietly and go ghost — the
+                                // client sees EOF and resumes from the
+                                // last ACK with a fresh encoder.
+                                shutdown_both(&client_stream);
+                                client_alive = false;
+                                if let Some(t) = trace {
+                                    t.emit(
+                                        "router.client_fault",
+                                        Some(key),
+                                        vec![("error", format!("{e}").into())],
+                                    );
+                                }
+                                continue;
+                            }
                             fatal(&mut writer, client_alive, &format!("bad EVENTS frame: {e}"));
                             let _ = backend_raw.shutdown(Shutdown::Both);
                             shutdown_both(&client_stream);
@@ -1176,13 +1537,16 @@ fn drive_session(ctx: DriverCtx<'_>) {
                         }
                     };
                     // Append fresh events; silently drop the resume
-                    // overlap (seqs already buffered); a gap is fatal.
+                    // overlap (seqs already journaled). A gap means the
+                    // wire dropped something: recoverable for ticketed
+                    // sessions (sever + resume), fatal for anonymous.
                     let mut fresh: Vec<TraceInst> = Vec::new();
                     let mut gap = None;
+                    let mut journal_err = None;
                     {
                         let mut s = lock_session(&session);
                         for t in batch {
-                            let n = s.events.len() as u64;
+                            let n = s.journal.len();
                             if t.seq < n {
                                 continue;
                             }
@@ -1190,31 +1554,66 @@ fn drive_session(ctx: DriverCtx<'_>) {
                                 gap = Some((t.seq, n));
                                 break;
                             }
-                            s.events.push(t);
+                            if let Err(e) = s.journal.push(t) {
+                                journal_err = Some(e);
+                                break;
+                            }
                             fresh.push(t);
                         }
                     }
-                    if let Some((got, want)) = gap {
+                    if let Some(e) = journal_err {
                         fatal(
                             &mut writer,
                             client_alive,
-                            &format!("event seq gap: got {got}, expected {want}"),
+                            &format!("session journal write failed: {e}"),
                         );
                         let _ = backend_raw.shutdown(Shutdown::Both);
                         shutdown_both(&client_stream);
                         let _ = client_reader.join();
                         return;
                     }
+                    if let Some((got, want)) = gap {
+                        if ticketed {
+                            shutdown_both(&client_stream);
+                            client_alive = false;
+                            if let Some(t) = trace {
+                                t.emit(
+                                    "router.client_fault",
+                                    Some(key),
+                                    vec![(
+                                        "error",
+                                        format!("event seq gap: got {got}, expected {want}").into(),
+                                    )],
+                                );
+                            }
+                        } else {
+                            fatal(
+                                &mut writer,
+                                client_alive,
+                                &format!("event seq gap: got {got}, expected {want}"),
+                            );
+                            let _ = backend_raw.shutdown(Shutdown::Both);
+                            shutdown_both(&client_stream);
+                            let _ = client_reader.join();
+                            return;
+                        }
+                    }
                     if !fresh.is_empty() {
                         stats
                             .events
                             .fetch_add(fresh.len() as u64, Ordering::Relaxed);
-                        let ok = write_frame(&mut bw, EVENTS, &enc.encode_batch(&fresh))
+                        let ok = bw
+                            .write(EVENTS, &enc.encode_batch(&fresh))
                             .and_then(|()| bw.flush())
                             .is_ok();
                         if !ok {
                             if fail_over(&backend_raw, &mut failovers) {
                                 continue 'incarnations;
+                            }
+                            if ticketed {
+                                park("failover budget exhausted");
+                                let _ = client_reader.join();
+                                return;
                             }
                             fatal(
                                 &mut writer,
@@ -1227,7 +1626,7 @@ fn drive_session(ctx: DriverCtx<'_>) {
                         }
                     }
                     if ticketed && client_alive {
-                        let buffered = lock_session(&session).events.len() as u64;
+                        let buffered = lock_session(&session).journal.len();
                         if send_client(&mut writer, ACK, &proto::encode_ack(buffered)) {
                             acks_sent += 1;
                             if drop_after == Some(acks_sent) {
@@ -1242,15 +1641,22 @@ fn drive_session(ctx: DriverCtx<'_>) {
                     }
                 }
                 Msg::Client(END, _) => {
-                    lock_session(&session).ended = true;
+                    {
+                        let mut s = lock_session(&session);
+                        s.ended = true;
+                        let _ = s.journal.record_ended();
+                    }
                     if !end_sent {
                         end_sent = true;
-                        let ok = write_frame(&mut bw, END, &[])
-                            .and_then(|()| bw.flush())
-                            .is_ok();
+                        let ok = bw.write(END, &[]).and_then(|()| bw.flush()).is_ok();
                         if !ok {
                             if fail_over(&backend_raw, &mut failovers) {
                                 continue 'incarnations;
+                            }
+                            if ticketed {
+                                park("failover budget exhausted");
+                                let _ = client_reader.join();
+                                return;
                             }
                             fatal(
                                 &mut writer,
@@ -1263,7 +1669,28 @@ fn drive_session(ctx: DriverCtx<'_>) {
                         }
                     }
                 }
+                Msg::Client(ACK, _) => {
+                    // The client's terminal delivery ACK — the verdict
+                    // made it across the wire. (Early or duplicated ACKs
+                    // are harmless: the flag only matters once the
+                    // session is done.)
+                    verdict_acked = true;
+                }
                 Msg::Client(tag, _) => {
+                    if ticketed {
+                        // An impossible tag on a negotiated connection is
+                        // wire damage, not a client bug: sever and ghost.
+                        shutdown_both(&client_stream);
+                        client_alive = false;
+                        if let Some(t) = trace {
+                            t.emit(
+                                "router.client_fault",
+                                Some(key),
+                                vec![("error", format!("unexpected frame tag {tag}").into())],
+                            );
+                        }
+                        continue;
+                    }
                     fatal(
                         &mut writer,
                         client_alive,
@@ -1274,6 +1701,43 @@ fn drive_session(ctx: DriverCtx<'_>) {
                     let _ = client_reader.join();
                     return;
                 }
+                Msg::ClientBad(_) if !client_alive => {} // already ghosted
+                Msg::ClientBad(e) => {
+                    let done = lock_session(&session).done();
+                    if ticketed && !done {
+                        // Wire damage on a negotiated connection: sever
+                        // the client leg quietly and go ghost — the
+                        // resume re-delivers from the last ACK. The
+                        // damage proves nothing about who lied, so no
+                        // verdict is forged.
+                        shutdown_both(&client_stream);
+                        client_alive = false;
+                        if let Some(t) = trace {
+                            t.emit("router.client_fault", Some(key), vec![("error", e.into())]);
+                        }
+                        continue;
+                    }
+                    if ticketed {
+                        // The session already finished: trailing garbage
+                        // is indistinguishable from a hangup, and a
+                        // finished journal must never grow an error
+                        // record. Detach silently, like ClientGone.
+                        table.forget(&session);
+                        detach(&session);
+                        let _ = backend_raw.shutdown(Shutdown::Both);
+                        shutdown_both(&client_stream);
+                        let _ = client_reader.join();
+                        return;
+                    }
+                    // Anonymous sessions cannot resume: answer the
+                    // garbage with a clean ERROR and tear down.
+                    fatal(&mut writer, client_alive, &format!("bad frame: {e}"));
+                    let _ = backend_raw.shutdown(Shutdown::Both);
+                    shutdown_both(&client_stream);
+                    let _ = client_reader.join();
+                    return;
+                }
+                Msg::ClientGone if !client_alive => {} // already ghosted
                 Msg::ClientGone => {
                     let done = lock_session(&session).done();
                     if done || !ticketed {
@@ -1292,7 +1756,7 @@ fn drive_session(ctx: DriverCtx<'_>) {
                     // their detections; a resume picks the session up.
                     client_alive = false;
                     if let Some(t) = trace {
-                        let buffered = lock_session(&session).events.len() as u64;
+                        let buffered = lock_session(&session).journal.len();
                         t.emit(
                             "router.ghost",
                             Some(key),
@@ -1304,21 +1768,48 @@ fn drive_session(ctx: DriverCtx<'_>) {
                     let ds = match proto::decode_alarms(&payload) {
                         Ok(d) => d,
                         Err(e) => {
+                            // A garbled ALARMS frame means the backend
+                            // leg is damaged; failover replays and the
+                            // deterministic engines re-raise everything.
+                            if let Some(t) = trace {
+                                t.emit(
+                                    "router.backend_fault",
+                                    Some(key),
+                                    vec![("error", format!("bad ALARMS: {e}").into())],
+                                );
+                            }
+                            if fail_over(&backend_raw, &mut failovers) {
+                                continue 'incarnations;
+                            }
+                            if ticketed {
+                                park("failover budget exhausted");
+                                let _ = client_reader.join();
+                                return;
+                            }
                             fatal(
                                 &mut writer,
                                 client_alive,
-                                &format!("backend sent bad ALARMS: {e}"),
+                                "session failed over too many times",
                             );
-                            let _ = backend_raw.shutdown(Shutdown::Both);
                             shutdown_both(&client_stream);
                             let _ = client_reader.join();
                             return;
                         }
                     };
+                    // A decoded ALARMS frame is a live round-trip:
+                    // this incarnation connected, replayed, and spoke
+                    // protocol. Reset the failover budget so it bounds
+                    // consecutive *silent* failovers (a hot loop), not
+                    // total failovers over a long session's lifetime
+                    // under sustained-but-survivable fault pressure.
+                    failovers = 0;
                     // Deduplicate across failovers: analysis is
                     // deterministic, so a replayed incarnation re-raises
                     // the logged prefix bit-identically; only the tail
-                    // past the log is new.
+                    // past the log is new. Fresh alarms hit the durable
+                    // index *before* they are released to the client, so
+                    // a post-crash recovery never re-raises a delivered
+                    // alarm out of order.
                     let mut fresh: Vec<Detection> = Vec::new();
                     {
                         let mut s = lock_session(&session);
@@ -1329,6 +1820,9 @@ fn drive_session(ctx: DriverCtx<'_>) {
                                 fresh.push(d);
                             }
                         }
+                        if !fresh.is_empty() {
+                            let _ = s.journal.record_alarms(&fresh);
+                        }
                     }
                     if !fresh.is_empty()
                         && client_alive
@@ -1338,11 +1832,8 @@ fn drive_session(ctx: DriverCtx<'_>) {
                     }
                 }
                 Msg::Backend(i, SUMMARY, payload) if i == inc => {
-                    lock_session(&session).summary = Some(payload.clone());
-                    stats.sessions.fetch_add(1, Ordering::Relaxed);
-                    if client_alive && !send_client(&mut writer, SUMMARY, &payload) {
-                        client_alive = false;
-                    }
+                    failovers = 0;
+                    pending_summary = Some(payload);
                     // The backend is draining toward close; sever our
                     // write side so its drain sees EOF *now* instead of
                     // waiting out its read timeout. A trailing ERROR (if
@@ -1351,10 +1842,52 @@ fn drive_session(ctx: DriverCtx<'_>) {
                     let _ = backend_raw.shutdown(Shutdown::Write);
                 }
                 Msg::Backend(i, ERROR, payload) if i == inc => {
+                    if payload.starts_with(RETRYABLE_ERROR_PREFIX.as_bytes()) {
+                        // The backend saw transport damage on our leg
+                        // (netem corruption, truncation, a dropped
+                        // frame). Its summary — if any — is partial:
+                        // discard it and fail over; the replay heals.
+                        if let Some(t) = trace {
+                            t.emit(
+                                "router.backend_fault",
+                                Some(key),
+                                vec![(
+                                    "error",
+                                    String::from_utf8_lossy(&payload).into_owned().into(),
+                                )],
+                            );
+                        }
+                        if fail_over(&backend_raw, &mut failovers) {
+                            continue 'incarnations;
+                        }
+                        if ticketed {
+                            park("failover budget exhausted");
+                            let _ = client_reader.join();
+                            return;
+                        }
+                        fatal(
+                            &mut writer,
+                            client_alive,
+                            "session failed over too many times",
+                        );
+                        shutdown_both(&client_stream);
+                        let _ = client_reader.join();
+                        return;
+                    }
+                    // Terminal error: commit the pending summary first
+                    // (short-stream sessions send SUMMARY then ERROR),
+                    // then the error itself.
+                    if let Some(p) = pending_summary.take() {
+                        lock_session(&session).set_summary(p.clone());
+                        stats.sessions.fetch_add(1, Ordering::Relaxed);
+                        if client_alive && !send_client(&mut writer, SUMMARY, &p) {
+                            client_alive = false;
+                        }
+                    }
                     let had_summary = {
                         let mut s = lock_session(&session);
                         let had = s.summary.is_some();
-                        s.error = Some(payload.clone());
+                        s.set_error(payload.clone());
                         had
                     };
                     if !had_summary {
@@ -1366,34 +1899,65 @@ fn drive_session(ctx: DriverCtx<'_>) {
                     let _ = backend_raw.shutdown(Shutdown::Write);
                 }
                 Msg::Backend(i, tag, _) if i == inc => {
+                    // Anything else from a backend is wire damage too —
+                    // replay, don't kill the session.
+                    if let Some(t) = trace {
+                        t.emit(
+                            "router.backend_fault",
+                            Some(key),
+                            vec![("error", format!("unexpected frame tag {tag}").into())],
+                        );
+                    }
+                    if fail_over(&backend_raw, &mut failovers) {
+                        continue 'incarnations;
+                    }
+                    if ticketed {
+                        park("failover budget exhausted");
+                        let _ = client_reader.join();
+                        return;
+                    }
                     fatal(
                         &mut writer,
                         client_alive,
-                        &format!("backend sent unexpected frame tag {tag}"),
+                        "session failed over too many times",
                     );
-                    let _ = backend_raw.shutdown(Shutdown::Both);
                     shutdown_both(&client_stream);
                     let _ = client_reader.join();
                     return;
                 }
                 Msg::Backend(..) => {} // stale incarnation; ignore
                 Msg::BackendGone(i) if i == inc => {
+                    // A clean close commits the held summary: the backend
+                    // said everything it meant to.
+                    if let Some(p) = pending_summary.take() {
+                        lock_session(&session).set_summary(p.clone());
+                        stats.sessions.fetch_add(1, Ordering::Relaxed);
+                        if client_alive && !send_client(&mut writer, SUMMARY, &p) {
+                            client_alive = false;
+                        }
+                    }
                     let done = lock_session(&session).done();
                     if done {
                         finish(
                             &client_stream,
                             writer,
                             client_reader,
+                            &rx,
                             &session,
                             table,
                             ticketed,
-                            client_alive,
+                            verdict_acked,
                         );
                         return;
                     }
                     // Mid-session death: fail over and replay.
                     if fail_over(&backend_raw, &mut failovers) {
                         continue 'incarnations;
+                    }
+                    if ticketed {
+                        park("failover budget exhausted");
+                        let _ = client_reader.join();
+                        return;
                     }
                     fatal(
                         &mut writer,
@@ -1414,25 +1978,47 @@ fn drive_session(ctx: DriverCtx<'_>) {
 /// client's final read sees EOF, then drain and close. A ghost driver
 /// (client already gone) leaves the finished session in the table so a
 /// late resume can still collect everything from the buffer.
+///
+/// A write that succeeded only proves the frames left this process —
+/// through a faulting wire that is not delivery. A ticketed session's
+/// verdict counts as **delivered** when the client *voluntarily* closed
+/// (clean EOF at a frame boundary) after our terminal frames went out;
+/// a severed drain keeps the table entry so the next resume collects
+/// the verdict from the buffer instead of drawing "unknown session id".
+#[allow(clippy::too_many_arguments)]
 fn finish(
     client_stream: &TcpStream,
-    mut writer: BufWriter<TcpStream>,
+    mut writer: FrameWriter<BufWriter<TcpStream>>,
     client_reader: JoinHandle<()>,
+    rx: &mpsc::Receiver<Msg>,
     session: &SessionRef,
     table: &SessionTable,
     ticketed: bool,
-    client_alive: bool,
+    verdict_acked: bool,
 ) {
     detach(session);
-    if !ticketed || client_alive {
-        // Delivered (or undeliverable): nothing left to resume.
+    if !ticketed {
         table.forget(session);
     }
     let _ = writer.flush();
     let _ = client_stream.shutdown(Shutdown::Write);
-    // The reader drains the client's remaining bytes (e.g. the margin
-    // the backend never consumed) until EOF and exits.
+    // The reader drains the client's remaining frames until EOF and
+    // exits; anything it queued — including the terminal ACK racing
+    // our entry into finish — is visible after the join.
     let _ = client_reader.join();
+    if ticketed {
+        let mut delivered = verdict_acked;
+        while let Ok(m) = rx.try_recv() {
+            if let Msg::Client(tag, _) = m {
+                if tag == ACK {
+                    delivered = true;
+                }
+            }
+        }
+        if delivered {
+            table.forget(session);
+        }
+    }
     let _ = client_stream.shutdown(Shutdown::Both);
 }
 
@@ -1441,8 +2027,8 @@ fn finish(
 /// terminal frames straight from the buffer — no backend involved.
 fn finish_from_buffer(
     client_stream: &TcpStream,
-    mut reader: BufReader<TcpStream>,
-    mut writer: BufWriter<TcpStream>,
+    mut reader: FrameReader<BufReader<TcpStream>>,
+    mut writer: FrameWriter<BufWriter<TcpStream>>,
     session: &SessionRef,
     table: &SessionTable,
 ) {
@@ -1450,18 +2036,29 @@ fn finish_from_buffer(
         let s = lock_session(session);
         (s.summary.clone(), s.error.clone())
     };
+    let mut sent = true;
     if let Some(p) = summary {
-        let _ = write_frame(&mut writer, SUMMARY, &p);
+        sent &= writer.write(SUMMARY, &p).is_ok();
     }
     if let Some(p) = error {
-        let _ = write_frame(&mut writer, ERROR, &p);
+        sent &= writer.write(ERROR, &p).is_ok();
     }
-    let _ = writer.flush();
+    sent &= writer.flush().is_ok();
     detach(session);
-    table.forget(session);
     let _ = client_stream.shutdown(Shutdown::Write);
-    // Swallow whatever the client was still sending (duplicate events,
-    // END) until it sees our EOF and closes.
-    let _ = std::io::copy(&mut reader, &mut std::io::sink());
+    // Drain whatever the client was still sending (duplicate events,
+    // END) until it sees our EOF and closes — watching for the terminal
+    // delivery ACK. Same discipline as [`finish`]: only that ACK proves
+    // the verdict arrived; otherwise the entry stays for the next
+    // resume.
+    let mut delivered = false;
+    while let Ok(Some((tag, _))) = reader.read() {
+        if tag == ACK {
+            delivered = true;
+        }
+    }
+    if sent && delivered {
+        table.forget(session);
+    }
     let _ = client_stream.shutdown(Shutdown::Both);
 }

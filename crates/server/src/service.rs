@@ -26,8 +26,8 @@
 
 use crate::metrics::{serve_metrics, MetricsHandle};
 use crate::proto::{
-    self, read_frame, write_frame, SessionConfig, Summary, ALARMS, END, ERROR, EVENTS, HELLO,
-    SUMMARY,
+    self, hello_caps, FrameReader, FrameWriter, SessionConfig, Summary, ALARMS, CAP_FRAME_CHECKSUM,
+    END, ERROR, EVENTS, HELLO, SUMMARY,
 };
 use fireguard_soc::{try_build_system, Detection};
 use fireguard_telemetry::{FleetCounters, Sample, TraceSink};
@@ -64,6 +64,10 @@ pub struct ServeOptions {
     /// Optional structured span sink (`--trace-out`); session lifecycle
     /// events are emitted here.
     pub trace: Option<Arc<TraceSink>>,
+    /// Per-read silence budget (`--idle-timeout`): a session whose
+    /// transport goes this long without producing a byte is reaped with
+    /// an ERROR frame — a slowloris client pins no worker.
+    pub idle_timeout: Duration,
 }
 
 impl Default for ServeOptions {
@@ -75,6 +79,7 @@ impl Default for ServeOptions {
             observe_every: OBSERVE_EVERY,
             metrics_addr: None,
             trace: None,
+            idle_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -181,9 +186,17 @@ impl ServerHandle {
     }
 }
 
+/// Poison-recovering lock: a worker that panicked mid-session must not
+/// take the rest of the serve tier down with it — the guarded state
+/// (live-session map, connection queue, error slot) stays coherent
+/// because every critical section is a single insert/remove/take.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 fn sever_live(live: &LiveSessions) {
     let streams: Vec<TcpStream> = {
-        let mut map = live.lock().expect("live lock never poisoned");
+        let mut map = lock_unpoisoned(live);
         map.drain().map(|(_, s)| s).collect()
     };
     for s in streams {
@@ -234,20 +247,26 @@ pub fn serve(opts: ServeOptions) -> std::io::Result<ServerHandle> {
             let observe_every = opts.observe_every;
             let fleet = Arc::clone(&fleet);
             let trace = opts.trace.clone();
+            let idle_timeout = opts.idle_timeout.max(Duration::from_millis(10));
             std::thread::spawn(move || loop {
-                let conn = { rx.lock().expect("queue lock never poisoned").recv() };
+                let conn = { lock_unpoisoned(&rx).recv() };
                 match conn {
                     Ok(stream) => {
                         // Register a duplicated handle so `abort` can sever
                         // this session while it runs.
                         let id = next_id.fetch_add(1, Ordering::Relaxed);
                         if let Ok(dup) = stream.try_clone() {
-                            live.lock()
-                                .expect("live lock never poisoned")
-                                .insert(id, dup);
+                            lock_unpoisoned(&live).insert(id, dup);
                         }
-                        handle_session(stream, observe_every, id, &fleet, trace.as_deref());
-                        live.lock().expect("live lock never poisoned").remove(&id);
+                        handle_session(
+                            stream,
+                            observe_every,
+                            idle_timeout,
+                            id,
+                            &fleet,
+                            trace.as_deref(),
+                        );
+                        lock_unpoisoned(&live).remove(&id);
                         served.fetch_add(1, Ordering::Relaxed);
                     }
                     Err(_) => break, // accept loop is gone: drain complete
@@ -306,7 +325,7 @@ pub fn serve(opts: ServeOptions) -> std::io::Result<ServerHandle> {
 /// everything further back sits in the kernel socket buffer or, once that
 /// fills, blocks the client — that *is* the backpressure.
 struct SocketEvents {
-    reader: BufReader<TcpStream>,
+    reader: FrameReader<BufReader<TcpStream>>,
     decoder: EventDecoder,
     pending: VecDeque<TraceInst>,
     done: bool,
@@ -315,7 +334,7 @@ struct SocketEvents {
 
 impl SocketEvents {
     fn fail(&mut self, msg: String) {
-        *self.error.lock().expect("error lock never poisoned") = Some(msg);
+        *lock_unpoisoned(&self.error) = Some(msg);
         self.done = true;
     }
 }
@@ -331,7 +350,7 @@ impl Iterator for SocketEvents {
             if self.done {
                 return None;
             }
-            match read_frame(&mut self.reader) {
+            match self.reader.read() {
                 Ok(Some((EVENTS, payload))) => match self.decoder.decode_batch(&payload) {
                     Ok(batch) => self.pending.extend(batch),
                     Err(e) => self.fail(format!("bad EVENTS frame: {e}")),
@@ -345,8 +364,8 @@ impl Iterator for SocketEvents {
     }
 }
 
-fn send_error<W: Write>(w: &mut W, msg: &str) {
-    let _ = write_frame(w, ERROR, msg.as_bytes());
+fn send_error<W: Write>(w: &mut FrameWriter<W>, msg: &str) {
+    let _ = w.write(ERROR, msg.as_bytes());
     let _ = w.flush();
 }
 
@@ -356,20 +375,22 @@ fn send_error<W: Write>(w: &mut W, msg: &str) {
 fn handle_session(
     stream: TcpStream,
     observe_every: u64,
+    idle_timeout: Duration,
     session_id: u64,
     fleet: &FleetCounters,
     trace: Option<&TraceSink>,
 ) {
     let _ = stream.set_nodelay(true);
-    // A wedged client (no frames, no close) must not pin a worker forever:
-    // any 30 s silence ends the session with an ERROR frame.
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    // A wedged client (no frames, no close, a stalled half-frame) must not
+    // pin a worker forever: `idle_timeout` of silence ends the session
+    // with an ERROR frame.
+    let _ = stream.set_read_timeout(Some(idle_timeout));
     let reader = match stream.try_clone() {
-        Ok(s) => BufReader::new(s),
+        Ok(s) => FrameReader::new(BufReader::new(s), false),
         Err(_) => return,
     };
     let drain = stream.try_clone();
-    let mut writer = BufWriter::new(stream);
+    let mut writer = FrameWriter::new(BufWriter::new(stream), false);
     session_inner(reader, &mut writer, observe_every, session_id, fleet, trace);
     let _ = writer.flush();
     // The session may not have consumed the client's whole stream (the
@@ -382,8 +403,9 @@ fn handle_session(
     if let Ok(mut d) = drain {
         let _ = d.shutdown(std::net::Shutdown::Write);
         // The drain only has to outlive the client's close-after-SUMMARY;
-        // 5 s of silence means the peer is gone or hostile either way.
-        let _ = d.set_read_timeout(Some(Duration::from_secs(5)));
+        // a few seconds of silence means the peer is gone or hostile
+        // either way.
+        let _ = d.set_read_timeout(Some(idle_timeout.min(Duration::from_secs(5))));
         let mut buf = [0u8; 8192];
         let mut budget: u64 = 64 << 20;
         loop {
@@ -401,14 +423,14 @@ fn handle_session(
 }
 
 fn session_inner(
-    mut reader: BufReader<TcpStream>,
-    writer: &mut BufWriter<TcpStream>,
+    mut reader: FrameReader<BufReader<TcpStream>>,
+    writer: &mut FrameWriter<BufWriter<TcpStream>>,
     observe_every: u64,
     session_id: u64,
     fleet: &FleetCounters,
     trace: Option<&TraceSink>,
 ) {
-    let hello = match read_frame(&mut reader) {
+    let hello = match reader.read() {
         Ok(Some((HELLO, payload))) => payload,
         Ok(Some((tag, _))) => {
             return send_error(writer, &format!("expected HELLO, got frame tag {tag}"));
@@ -423,6 +445,11 @@ fn session_inner(
     if let Err(msg) = cfg.validate() {
         return send_error(writer, &format!("refused session: {msg}"));
     }
+    // The HELLO is plain; every frame after it speaks whatever integrity
+    // framing the client's capability bits asked for.
+    let checked = hello_caps(&hello) & CAP_FRAME_CHECKSUM != 0;
+    reader.set_checked(checked);
+    writer.set_checked(checked);
     // From here on the session counts: a decoded, validated HELLO started
     // it, and every exit path below is either ok or failed.
     fleet.sessions_started.fetch_add(1, Ordering::Relaxed);
@@ -476,7 +503,8 @@ fn session_inner(
         observe_every,
         &mut |batch: &[Detection]| {
             if !write_err {
-                let ok = write_frame(writer, ALARMS, &proto::encode_alarms(batch))
+                let ok = writer
+                    .write(ALARMS, &proto::encode_alarms(batch))
                     .and_then(|()| writer.flush())
                     .is_ok();
                 write_err = !ok;
@@ -504,11 +532,11 @@ fn session_inner(
         .collect();
     fleet.fold_session(&sys.telemetry(), &slot_wire);
 
-    let stream_error = error.lock().expect("error lock never poisoned").take();
+    let stream_error = lock_unpoisoned(&error).take();
     if let Some(msg) = stream_error {
         // The stream broke before the commit target: report what we had,
         // then the error, so the client knows the summary is partial.
-        let _ = write_frame(writer, SUMMARY, &Summary::from_result(&result).encode());
+        let _ = writer.write(SUMMARY, &Summary::from_result(&result).encode());
         let msg = format!("stream error: {msg}");
         fail(&msg);
         return send_error(writer, &msg);
@@ -516,7 +544,7 @@ fn session_inner(
     if result.committed < cfg.insts {
         // A clean END, but short of the negotiated commit budget: the
         // summary is partial and the client must know.
-        let _ = write_frame(writer, SUMMARY, &Summary::from_result(&result).encode());
+        let _ = writer.write(SUMMARY, &Summary::from_result(&result).encode());
         let msg = format!(
             "stream ended after {} of {} instructions",
             result.committed, cfg.insts
@@ -524,7 +552,7 @@ fn session_inner(
         fail(&msg);
         return send_error(writer, &msg);
     }
-    let _ = write_frame(writer, SUMMARY, &Summary::from_result(&result).encode());
+    let _ = writer.write(SUMMARY, &Summary::from_result(&result).encode());
     fleet.sessions_ok.fetch_add(1, Ordering::Relaxed);
     if let Some(t) = trace {
         t.emit(
