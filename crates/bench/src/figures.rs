@@ -35,16 +35,29 @@ pub struct FigOpts {
     pub seed: u64,
     /// Worker threads for the sweep engine.
     pub workers: usize,
+    /// In-session stage-pipeline width (1 = serial, 0 = auto-size to the
+    /// host). Results are bit-identical at every width.
+    pub pipeline: u32,
 }
 
 impl FigOpts {
     /// Reads the environment configuration (`FG_INSTS`, `FG_QUICK`,
-    /// `FG_JOBS`) exactly as the legacy binaries do.
+    /// `FG_JOBS`, `FG_PIPELINE`) exactly as the legacy binaries do.
     pub fn from_env() -> FigOpts {
         FigOpts {
             insts: crate::insts(),
             seed: crate::SEED,
             workers: fireguard_soc::default_workers(),
+            pipeline: std::env::var("FG_PIPELINE")
+                .ok()
+                .and_then(|v| {
+                    if v.eq_ignore_ascii_case("auto") {
+                        Some(0)
+                    } else {
+                        v.parse().ok()
+                    }
+                })
+                .unwrap_or(1),
         }
     }
 }
@@ -155,7 +168,8 @@ fn fg(o: &FigOpts, w: &str, kind: KernelId, ucores: usize) -> JobSpec {
         ExperimentConfig::new(w)
             .kernel(kind, ucores)
             .insts(o.insts)
-            .seed(o.seed),
+            .seed(o.seed)
+            .pipeline(o.pipeline),
     )
 }
 
@@ -164,7 +178,8 @@ fn ha(o: &FigOpts, w: &str, kind: KernelId) -> JobSpec {
         ExperimentConfig::new(w)
             .kernel_ha(kind)
             .insts(o.insts)
-            .seed(o.seed),
+            .seed(o.seed)
+            .pipeline(o.pipeline),
     )
 }
 
@@ -255,7 +270,10 @@ fn fig7b(o: &FigOpts) -> Report {
     let mut jobs = Vec::new();
     for (_, kernels) in COMBOS {
         for &w in &ws {
-            let mut cfg = ExperimentConfig::new(w).insts(o.insts).seed(o.seed);
+            let mut cfg = ExperimentConfig::new(w)
+                .insts(o.insts)
+                .seed(o.seed)
+                .pipeline(o.pipeline);
             for (kind, as_ha) in *kernels {
                 cfg = if *as_ha {
                     cfg.kernel_ha(*kind)
@@ -303,6 +321,7 @@ fn fig8(o: &FigOpts) -> Report {
                     .kernel(kind, 4)
                     .insts(n)
                     .seed(o.seed)
+                    .pipeline(o.pipeline)
                     .attacks(plan),
             ));
         }
@@ -365,7 +384,8 @@ fn fig9(o: &FigOpts) -> Report {
                     .kernel(ASAN, 4)
                     .filter_width(width)
                     .insts(o.insts)
-                    .seed(o.seed),
+                    .seed(o.seed)
+                    .pipeline(o.pipeline),
             ));
         }
     }
@@ -496,7 +516,8 @@ fn fig11(o: &FigOpts) -> Report {
                     .kernel(PMC, 4)
                     .model(m)
                     .insts(o.insts)
-                    .seed(o.seed),
+                    .seed(o.seed)
+                    .pipeline(o.pipeline),
             ));
         }
     }
@@ -672,7 +693,8 @@ fn isax_ablation(o: &FigOpts) -> Report {
                     .kernel(ASAN, 4)
                     .isax(mode)
                     .insts(o.insts)
-                    .seed(o.seed),
+                    .seed(o.seed)
+                    .pipeline(o.pipeline),
             ));
         }
     }
@@ -705,7 +727,8 @@ fn mapper_ablation(o: &FigOpts) -> Report {
                     .kernel_ha(PMC)
                     .mapper_width(width)
                     .insts(o.insts)
-                    .seed(o.seed),
+                    .seed(o.seed)
+                    .pipeline(o.pipeline),
             ));
         }
     }
@@ -745,6 +768,7 @@ mod tests {
             insts: 2_000,
             seed: crate::SEED,
             workers: 4,
+            pipeline: 1,
         }
     }
 

@@ -25,7 +25,7 @@
 
 use crate::figures::{find, FigOpts};
 use fireguard_soc::{
-    build_system, capture_events, Cell, ExperimentConfig, KernelId, Report, Table,
+    build_system_auto, capture_events, Cell, ExperimentConfig, KernelId, Report, Table,
 };
 use fireguard_trace::codec;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -84,6 +84,10 @@ pub struct PerfOpts {
     pub warmup: usize,
     /// Timed samples (the best one is reported).
     pub samples: usize,
+    /// In-session stage-pipeline width (1 = serial, 0 = auto-size to the
+    /// host). Event counts and cycles are bit-identical at every width;
+    /// only wall clock moves.
+    pub pipeline: u32,
 }
 
 impl PerfOpts {
@@ -97,8 +101,16 @@ impl PerfOpts {
             workers: f.workers,
             warmup: 1,
             samples: 3,
+            pipeline: f.pipeline,
         }
     }
+}
+
+/// The host CPU count recorded in baselines: a 1-CPU container cannot
+/// show stage-parallel speedups, so every `BENCH_*.json` carries the
+/// parallelism the numbers were measured under.
+pub fn host_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// One timed scenario outcome.
@@ -252,6 +264,7 @@ fn bench_fig7a(o: &PerfOpts) -> ScenarioResult {
         insts: o.insts,
         seed: o.seed,
         workers: o.workers,
+        pipeline: o.pipeline,
     };
     let (events, cycles, secs, allocs) = best_of(o, || {
         let report = (fig.run)(&opts);
@@ -268,8 +281,9 @@ fn bench_fig7a(o: &PerfOpts) -> ScenarioResult {
 }
 
 fn e2e(name: &'static str, o: &PerfOpts, cfg: ExperimentConfig) -> ScenarioResult {
+    let cfg = cfg.pipeline(o.pipeline);
     let (events, cycles, secs, allocs) = best_of(o, || {
-        let mut sys = build_system(&cfg, cfg.trace());
+        let mut sys = build_system_auto(&cfg);
         let r = sys.run_insts(cfg.insts, 0);
         (r.committed, r.cycles)
     });
@@ -344,8 +358,9 @@ fn bench_steady_state(o: &PerfOpts) -> ScenarioResult {
     let cfg = ExperimentConfig::new("swaptions")
         .kernel(KernelId::PMC, 4)
         .insts(o.insts)
-        .seed(o.seed);
-    let mut sys = build_system(&cfg, cfg.trace());
+        .seed(o.seed)
+        .pipeline(o.pipeline);
+    let mut sys = build_system_auto(&cfg);
     let warm = (o.insts / 2).max(1);
     let _ = sys.run_insts(warm, 0);
     let mut target = warm;
@@ -568,8 +583,15 @@ pub fn report(
 ) -> Report {
     let mut r = Report::new();
     r.text(format!(
-        "fireguard bench: {} insts, seed {}, {} warmup + {} samples (best), {} workers",
-        opts.insts, opts.seed, opts.warmup, opts.samples, opts.workers
+        "fireguard bench: {} insts, seed {}, {} warmup + {} samples (best), {} workers, \
+         pipeline {} on {} host cpus",
+        opts.insts,
+        opts.seed,
+        opts.warmup,
+        opts.samples,
+        opts.workers,
+        opts.pipeline,
+        host_cpus()
     ));
     r.blank();
     let mut t = Table::new(&[
@@ -816,6 +838,16 @@ pub fn profile_report(o: &PerfOpts) -> Report {
 
 // ---- JSON baseline ---------------------------------------------------------
 
+/// Recording protocol embedded in every committed `BENCH_*.json`, so a
+/// baseline is interpretable without the commit that recorded it. Absolute
+/// events/s are host-dependent (the `--check` gate compares ratios and
+/// annotates pipeline/host_cpus mismatches); within one file all scenarios
+/// share one host, one build and the settings in the header.
+const METHODOLOGY: &str = "median of --samples runs after --warmup warmup runs, one process, \
+workers/pipeline as recorded per scenario; fig7a memoizes the software-baseline simulation per \
+(scheme, workload, seed, insts) exactly like the process-wide bare-core baseline cache; \
+absolute events/s are host-dependent - gate on ratios, not raw numbers";
+
 /// Serialises results as the committed `BENCH_*.json` format (one scenario
 /// object per line, so line-oriented tools and [`parse_baseline`] stay
 /// trivial). `baseline` carries the pre-optimization events/s measured in
@@ -827,15 +859,22 @@ pub fn to_json(
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
+    s.push_str(&format!("  \"methodology\": \"{METHODOLOGY}\",\n"));
     s.push_str(&format!(
-        "  \"schema\": 1,\n  \"insts\": {},\n  \"seed\": {},\n  \"warmup\": {},\n  \"samples\": {},\n  \"workers\": {},\n",
-        opts.insts, opts.seed, opts.warmup, opts.samples, opts.workers
+        "  \"schema\": 1,\n  \"insts\": {},\n  \"seed\": {},\n  \"warmup\": {},\n  \"samples\": {},\n  \"workers\": {},\n  \"pipeline\": {},\n  \"host_cpus\": {},\n",
+        opts.insts,
+        opts.seed,
+        opts.warmup,
+        opts.samples,
+        opts.workers,
+        opts.pipeline,
+        host_cpus()
     ));
     s.push_str("  \"scenarios\": [\n");
     for (i, r) in results.iter().enumerate() {
         let base = baseline.and_then(|b| b.iter().find(|(n, _)| n == r.name));
         s.push_str(&format!(
-            "    {{\"name\":\"{}\",\"events\":{},\"cycles\":{},\"wall_secs\":{:.6},\"events_per_sec\":{:.1},\"cycles_per_sec\":{:.1},\"ns_per_event\":{:.2},\"allocs\":{},\"allocs_per_event\":{:.5}",
+            "    {{\"name\":\"{}\",\"events\":{},\"cycles\":{},\"wall_secs\":{:.6},\"events_per_sec\":{:.1},\"cycles_per_sec\":{:.1},\"ns_per_event\":{:.2},\"allocs\":{},\"allocs_per_event\":{:.5},\"pipeline\":{},\"host_cpus\":{}",
             r.name,
             r.events,
             r.cycles,
@@ -845,6 +884,8 @@ pub fn to_json(
             r.ns_per_event(),
             r.allocs,
             r.allocs_per_event(),
+            opts.pipeline,
+            host_cpus(),
         ));
         if let Some((_, eps)) = base {
             s.push_str(&format!(
@@ -887,6 +928,26 @@ pub fn parse_baseline(json: &str) -> Vec<(String, f64)> {
         }
     }
     out
+}
+
+/// Extracts the `(pipeline, host_cpus)` a `BENCH_*.json` baseline was
+/// recorded under, or `None` for baselines that predate the fields.
+/// Comparing wall-clock numbers across hosts or pipeline widths is
+/// legitimate but must be *visible*, never silent — the caller prints a
+/// note when these differ from the current run's.
+pub fn parse_host_meta(json: &str) -> Option<(u32, usize)> {
+    let field = |name: &str| -> Option<u64> {
+        let key = format!("\"{name}\":");
+        let at = json.find(&key)?;
+        let rest = &json[at + key.len()..];
+        let num: String = rest
+            .chars()
+            .skip_while(|c| *c == ' ')
+            .take_while(char::is_ascii_digit)
+            .collect();
+        num.parse().ok()
+    };
+    Some((field("pipeline")? as u32, field("host_cpus")? as usize))
 }
 
 /// The fractional events/s regression the CI gate tolerates (noise floor).
@@ -953,6 +1014,7 @@ mod tests {
             workers: 1,
             warmup: 0,
             samples: 1,
+            pipeline: 1,
         }
     }
 

@@ -47,6 +47,7 @@ fn smoke(name: &str, bin_path: &str) {
         insts: SMOKE_INSTS,
         seed: SEED,
         workers: 4,
+        pipeline: 1,
     };
     let expected = render_to_string(&(fig.run)(&opts), Format::Human);
     assert_eq!(

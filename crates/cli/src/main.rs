@@ -137,6 +137,7 @@ fn fig_opts(p: &Parsed) -> FigOpts {
         }),
         seed: p.seed.unwrap_or(env.seed),
         workers: p.jobs.unwrap_or(env.workers),
+        pipeline: p.pipeline.unwrap_or(env.pipeline),
     }
 }
 
@@ -352,6 +353,15 @@ fn sweep_report(p: &Parsed) -> Result<Report, String> {
             }
         }
     }
+    // `--pipeline` applies uniformly across the grid (results are
+    // bit-identical at any width, so this only shifts wall-clock time).
+    if opts.pipeline != 1 {
+        for (_, job) in &mut expanded {
+            if let fireguard_soc::JobSpec::FireGuard(cfg) = job {
+                cfg.pipeline = opts.pipeline;
+            }
+        }
+    }
     // Pre-flight every deployment against the fabric/packet ceilings so a
     // combined grid that doesn't fit is a clean error, not a panic mid-sweep.
     for (pt, job) in &expanded {
@@ -468,6 +478,10 @@ fn usage() -> String {
          \x20   --seed <N>       trace seed (default 42)\n\
          \x20   --jobs <N>       sweep workers / loadgen concurrency (overrides FG_JOBS)\n\
          \x20   --format <F>     human (default), jsonl, or csv\n\
+         \x20   --pipeline <W>   in-session stage parallelism: 1 = serial (default),\n\
+         \x20                    N = gen/judge worker stages, auto = size to the host\n\
+         \x20                    (figures, sweep, trace replay, serve, bench; output\n\
+         \x20                    is bit-identical at every width)\n\
          \n\
          SWEEP FLAGS:\n\
          \x20   --workloads <csv|all>   PARSEC workloads (default all)\n",

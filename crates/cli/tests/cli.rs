@@ -61,6 +61,7 @@ fn figure_subcommand_matches_registry_driver() {
         insts: SMOKE_INSTS,
         seed: SEED,
         workers: 2,
+        pipeline: 1,
     };
     let expected = render_to_string(&(find("fig7a").unwrap().run)(&opts), Format::Human);
     assert_eq!(out, expected, "CLI fig7a diverged from the figure driver");

@@ -219,6 +219,16 @@ impl EventFilter {
             return false;
         }
         let fifo_idx = slot % self.cfg.width;
+        // Check FIFO space before the table lookup: the lookup is pure, so
+        // refusing first is behaviour-identical, and a back-pressured
+        // commit retries the same offer every cycle — skipping the lookup
+        // and packet construction on each refused retry keeps the stall
+        // loop at a couple of compares.
+        if self.fifos[fifo_idx].len() >= self.cfg.fifo_depth {
+            self.stats.refusals += 1;
+            self.stats.refusals_fifo += 1;
+            return false;
+        }
         let entry = self.minifilter.lookup(&inst.inst);
         let packet = match entry.gid {
             Some(gid) => {
@@ -232,11 +242,6 @@ impl EventFilter {
             }
             None => Packet::placeholder(now, slot as u8),
         };
-        if self.fifos[fifo_idx].len() >= self.cfg.fifo_depth {
-            self.stats.refusals += 1;
-            self.stats.refusals_fifo += 1;
-            return false;
-        }
         self.fifos[fifo_idx].push_back(packet);
         self.offers_this_cycle += 1;
         if packet.valid {
@@ -269,6 +274,11 @@ impl EventFilter {
     /// it a separate mapper-clocked step lets peek be read-only without
     /// changing when placeholders leave the FIFOs).
     pub fn squash_placeholders(&mut self) {
+        // Nothing buffered (the common case on quiet cycles): skip the
+        // per-FIFO merge entirely.
+        if self.fifos.iter().all(|f| f.len == 0) {
+            return;
+        }
         // The squashable set is every placeholder ordered before the
         // globally oldest valid packet (all of them, if none is valid).
         // Each FIFO is commit-ordered, so that is a prefix per FIFO.

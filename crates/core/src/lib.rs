@@ -38,6 +38,7 @@ pub mod dfc;
 pub mod filter;
 pub mod minifilter;
 pub mod packet;
+pub mod spsc;
 
 pub use allocator::{Allocator, Policy, SchedulingEngine, MAX_ENGINES, MAX_GIDS};
 pub use cdc::{CdcQueue, ClockDivider};

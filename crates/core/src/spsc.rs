@@ -1,0 +1,233 @@
+//! Bounded lock-free single-producer single-consumer ring.
+//!
+//! The in-session pipeline (trace generation ∥ verdict judging ∥ core
+//! simulation) hands fixed-size event batches between stages through
+//! these rings. They are deliberately minimal: one producer, one
+//! consumer, a power-of-two slot array, and two monotonic cursors with
+//! acquire/release pairing — no locks, no allocation after construction,
+//! and `try_*` operations only. Blocking policy (spin, yield, shutdown
+//! checks) and stall accounting live with the pipeline stages, which know
+//! what a stalled cycle *means* for their stage.
+//!
+//! Closing is cooperative and symmetric: either endpoint's drop (or an
+//! explicit [`Producer::close`]) raises the shared `closed` flag, so a
+//! stage blocked against a full or empty ring can observe that its peer
+//! is gone and exit instead of spinning forever.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Why a [`Producer::try_push`] did not take the value.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The ring is at capacity; the value is handed back for retry.
+    Full(T),
+    /// The consumer is gone; the value is handed back and no push can
+    /// ever succeed again.
+    Closed(T),
+}
+
+struct Shared<T> {
+    slots: Box<[UnsafeCell<Option<T>>]>,
+    mask: usize,
+    /// Next slot the consumer reads (monotonic; slot = `head & mask`).
+    head: AtomicUsize,
+    /// Next slot the producer writes (monotonic; slot = `tail & mask`).
+    tail: AtomicUsize,
+    closed: AtomicBool,
+}
+
+// SAFETY: the producer writes only slots in `[tail, head + cap)` and the
+// consumer reads only slots in `[head, tail)`; the acquire/release pairs
+// on `head`/`tail` order each slot's write before the matching read (and
+// each `take` before the slot's reuse). With exactly one endpoint of each
+// kind, no slot is ever touched from two threads at once.
+unsafe impl<T: Send> Sync for Shared<T> {}
+
+/// The sending endpoint of a [`ring`].
+pub struct Producer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving endpoint of a [`ring`].
+pub struct Consumer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Builds a bounded SPSC ring holding at least `capacity` items
+/// (rounded up to a power of two, minimum 2).
+pub fn ring<T: Send>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    let cap = capacity.max(2).next_power_of_two();
+    let slots: Box<[UnsafeCell<Option<T>>]> = (0..cap).map(|_| UnsafeCell::new(None)).collect();
+    let shared = Arc::new(Shared {
+        slots,
+        mask: cap - 1,
+        head: AtomicUsize::new(0),
+        tail: AtomicUsize::new(0),
+        closed: AtomicBool::new(false),
+    });
+    (
+        Producer {
+            shared: Arc::clone(&shared),
+        },
+        Consumer { shared },
+    )
+}
+
+impl<T> Producer<T> {
+    /// Attempts to push `v`; on a full ring or a dropped consumer the
+    /// value is handed back.
+    pub fn try_push(&mut self, v: T) -> Result<(), PushError<T>> {
+        let s = &*self.shared;
+        if s.closed.load(Ordering::Acquire) {
+            return Err(PushError::Closed(v));
+        }
+        let tail = s.tail.load(Ordering::Relaxed);
+        let head = s.head.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) > s.mask {
+            return Err(PushError::Full(v));
+        }
+        // SAFETY: `tail - head <= mask` means this slot was consumed (or
+        // never written); the consumer cannot read it until the release
+        // store below publishes it.
+        unsafe {
+            *s.slots[tail & s.mask].get() = Some(v);
+        }
+        s.tail.store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Signals the consumer that no more values are coming. Buffered
+    /// values remain poppable.
+    pub fn close(&mut self) {
+        self.shared.closed.store(true, Ordering::Release);
+    }
+
+    /// True once either endpoint closed the ring.
+    pub fn is_closed(&self) -> bool {
+        self.shared.closed.load(Ordering::Acquire)
+    }
+}
+
+impl<T> Drop for Producer<T> {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+impl<T> Consumer<T> {
+    /// Attempts to pop the oldest value; `None` when the ring is
+    /// currently empty (which, combined with [`Consumer::is_closed`],
+    /// distinguishes "not yet" from "never again").
+    pub fn try_pop(&mut self) -> Option<T> {
+        let s = &*self.shared;
+        let head = s.head.load(Ordering::Relaxed);
+        let tail = s.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        // SAFETY: `head < tail` means the producer published this slot;
+        // it will not rewrite it until the release store below frees it.
+        let v = unsafe { (*s.slots[head & s.mask].get()).take() };
+        s.head.store(head.wrapping_add(1), Ordering::Release);
+        v
+    }
+
+    /// True once the producer closed the ring **and** every buffered
+    /// value has been popped — the definitive end-of-stream signal.
+    pub fn is_closed(&self) -> bool {
+        let s = &*self.shared;
+        s.closed.load(Ordering::Acquire)
+            && s.head.load(Ordering::Relaxed) == s.tail.load(Ordering::Acquire)
+    }
+
+    /// Items currently buffered.
+    pub fn len(&self) -> usize {
+        let s = &*self.shared;
+        s.tail
+            .load(Ordering::Acquire)
+            .wrapping_sub(s.head.load(Ordering::Relaxed))
+    }
+
+    /// True when nothing is buffered right now.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Drop for Consumer<T> {
+    fn drop(&mut self) {
+        // Unblocks a producer spinning against a full ring.
+        self.shared.closed.store(true, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_capacity_are_respected() {
+        let (mut tx, mut rx) = ring::<u64>(4);
+        for i in 0..4 {
+            tx.try_push(i).unwrap();
+        }
+        assert!(matches!(tx.try_push(99), Err(PushError::Full(99))));
+        for i in 0..4 {
+            assert_eq!(rx.try_pop(), Some(i));
+        }
+        assert_eq!(rx.try_pop(), None);
+        assert!(!rx.is_closed(), "empty but producer still live");
+    }
+
+    #[test]
+    fn close_drains_then_signals_end_of_stream() {
+        let (mut tx, mut rx) = ring::<u32>(2);
+        tx.try_push(7).unwrap();
+        drop(tx);
+        assert!(!rx.is_closed(), "buffered value still pending");
+        assert_eq!(rx.try_pop(), Some(7));
+        assert_eq!(rx.try_pop(), None);
+        assert!(rx.is_closed());
+    }
+
+    #[test]
+    fn dropped_consumer_refuses_further_pushes() {
+        let (mut tx, rx) = ring::<u32>(2);
+        drop(rx);
+        assert!(matches!(tx.try_push(1), Err(PushError::Closed(1))));
+    }
+
+    #[test]
+    fn cross_thread_transfer_preserves_order() {
+        const N: u64 = 100_000;
+        let (mut tx, mut rx) = ring::<u64>(8);
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                let mut v = i;
+                loop {
+                    match tx.try_push(v) {
+                        Ok(()) => break,
+                        Err(PushError::Full(back)) => {
+                            v = back;
+                            std::thread::yield_now();
+                        }
+                        Err(PushError::Closed(_)) => panic!("consumer died"),
+                    }
+                }
+            }
+        });
+        let mut expected = 0u64;
+        while expected < N {
+            match rx.try_pop() {
+                Some(v) => {
+                    assert_eq!(v, expected);
+                    expected += 1;
+                }
+                None => std::thread::yield_now(),
+            }
+        }
+        producer.join().unwrap();
+    }
+}

@@ -138,6 +138,10 @@ impl Semantics for UafSemantics {
             _ => false,
         }
     }
+
+    fn judge_batch(&mut self, batch: &fireguard_trace::EventBatch, vbit: u8, out: &mut [u8]) {
+        crate::semantics::judge_batch_bounded(self, |s| s.bounds, batch, 1 << vbit, out);
+    }
 }
 
 /// Per-engine UaF backend: quarantine-bucket touches + sweep microloops.

@@ -10,7 +10,7 @@
 //! (see [`crate::plugins`]); this module holds the trait they implement
 //! plus the region-tracking helpers the heap-watching kernels share.
 
-use fireguard_trace::TraceInst;
+use fireguard_trace::{EventBatch, TraceInst};
 use std::collections::BTreeMap;
 
 /// A commit-order kernel state machine.
@@ -20,10 +20,74 @@ use std::collections::BTreeMap;
 /// through it. Implementations must be **pure functions of the event
 /// stream**: no wall-clock, no OS randomness — the determinism contract
 /// every golden test and `.fgt` replay is built on.
-pub trait Semantics: std::fmt::Debug {
+///
+/// `Send` is a supertrait so a judging stage can run on a pipeline worker
+/// thread ahead of the core; state machines are plain owned data, never
+/// shared handles.
+pub trait Semantics: std::fmt::Debug + Send {
     /// Judges one committed instruction in program order; returns `true`
     /// when it violates this kernel's policy.
     fn judge(&mut self, t: &TraceInst) -> bool;
+
+    /// Judges a seq-ordered batch, OR-ing `1 << vbit` into `out[i]` for
+    /// each violating event — the data-oriented form of [`Self::judge`].
+    ///
+    /// The default walks the batch through `judge` one event at a time;
+    /// because trait defaults are instantiated per implementation, that
+    /// loop is monomorphic (no per-event virtual dispatch). Hot kernels
+    /// override it with branchless column scans over the batch's
+    /// structure-of-arrays fields. Every override must stay bit-identical
+    /// to the default — the registry conformance suite checks each
+    /// registered kernel's batched verdicts against serial `judge`.
+    fn judge_batch(&mut self, batch: &EventBatch, vbit: u8, out: &mut [u8]) {
+        let bit = 1u8 << vbit;
+        for (o, t) in out.iter_mut().zip(batch.events()) {
+            if self.judge(t) {
+                *o |= bit;
+            }
+        }
+    }
+}
+
+/// Batched judging for the heap-bounds kernels (ASan, UaF, MTE): they all
+/// fast-reject addresses outside a `[lo, hi)` bound that only heap events
+/// can widen. Heap events delimit spans of constant bounds, so within a
+/// span the candidate filter is a branchless compare over the batch's
+/// `addr` column; only candidates (and the heap events themselves) take
+/// the exact `judge` path. The filter condition is *exactly* the serial
+/// fast path (`NO_ADDR` fails `a < hi` like any other out-of-bounds
+/// address), so the verdicts are bit-identical by construction.
+pub(crate) fn judge_batch_bounded<S: Semantics>(
+    s: &mut S,
+    bounds_of: impl Fn(&S) -> (u64, u64),
+    batch: &EventBatch,
+    bit: u8,
+    out: &mut [u8],
+) {
+    let n = batch.len();
+    let events = batch.events();
+    let mut i = 0;
+    while i < n {
+        if batch.heap[i] {
+            if s.judge(&events[i]) {
+                out[i] |= bit;
+            }
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        while j < n && !batch.heap[j] {
+            j += 1;
+        }
+        let (lo, hi) = bounds_of(s);
+        for k in i..j {
+            let a = batch.addr[k];
+            if a >= lo && a < hi && s.judge(&events[k]) {
+                out[k] |= bit;
+            }
+        }
+        i = j;
+    }
 }
 
 /// Widens a `[lo, hi)` tracking bound to cover `[base - slack,

@@ -17,7 +17,7 @@ use std::collections::VecDeque;
 const SW_SHADOW_BASE: u64 = 0xC0_0000_0000;
 
 /// Which software protection scheme to emulate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SoftwareScheme {
     /// AddressSanitizer as compiled for x86-64 (tighter check sequences).
     AsanX86,

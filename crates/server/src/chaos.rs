@@ -64,7 +64,7 @@ pub struct ChaosOptions {
     pub trace: Option<Arc<TraceSink>>,
 }
 
-/// Wire-fault pressure for a chaos run (see [`crate::netem`]).
+/// Wire-fault pressure for a chaos run (see [`mod@crate::netem`]).
 #[derive(Debug, Clone, Copy)]
 pub struct WireFaults {
     /// Mean frames between injected faults per connection direction.

@@ -768,6 +768,19 @@ pub struct Summary {
     pub bottlenecks: BottleneckBreakdown,
     /// Total detections raised over the session.
     pub detections: u64,
+    /// Stage-pipeline width the server ran this session at (1 = serial).
+    pub pipeline_width: u64,
+    /// Generator ring-full stalls (spins with the raw ring full).
+    pub pipeline_gen_stalls: u64,
+    /// Judge ring-full stalls (spins with the judged ring full).
+    pub pipeline_judge_stalls: u64,
+    /// Core waits on an empty judged ring.
+    ///
+    /// These four ride as an optional SUMMARY tail: they are wall-clock
+    /// artifacts of thread scheduling, so parity suites must never
+    /// compare them — everything above this line stays bit-identical at
+    /// every width.
+    pub pipeline_core_waits: u64,
 }
 
 impl Summary {
@@ -782,7 +795,22 @@ impl Summary {
             unclaimed_packets: r.unclaimed_packets,
             bottlenecks: r.bottlenecks,
             detections: r.detections.len() as u64,
+            pipeline_width: 1,
+            pipeline_gen_stalls: 0,
+            pipeline_judge_stalls: 0,
+            pipeline_core_waits: 0,
         }
+    }
+
+    /// Attaches the engine's pipeline backpressure counters, so load
+    /// generators can report per-stage ring-full stalls without scraping
+    /// the metrics endpoint.
+    pub fn with_pipeline_counters(mut self, c: &fireguard_soc::EngineCounters) -> Self {
+        self.pipeline_width = c.pipeline_width.max(1);
+        self.pipeline_gen_stalls = c.pipeline_gen_stalls;
+        self.pipeline_judge_stalls = c.pipeline_judge_stalls;
+        self.pipeline_core_waits = c.pipeline_core_waits;
+        self
     }
 
     /// Encodes the SUMMARY payload.
@@ -799,6 +827,13 @@ impl Summary {
         put_uvarint(&mut b, self.bottlenecks.cdc);
         put_uvarint(&mut b, self.bottlenecks.ucore);
         put_uvarint(&mut b, self.detections);
+        // Optional tail (PR10): pipeline width + per-stage backpressure.
+        // Decoders accept payloads that end at `detections`, so pre-tail
+        // recordings remain readable.
+        put_uvarint(&mut b, self.pipeline_width);
+        put_uvarint(&mut b, self.pipeline_gen_stalls);
+        put_uvarint(&mut b, self.pipeline_judge_stalls);
+        put_uvarint(&mut b, self.pipeline_core_waits);
         b
     }
 
@@ -822,6 +857,19 @@ impl Summary {
             ucore: cur.uvarint("summary ucore stalls")?,
         };
         let detections = cur.uvarint("summary detections")?;
+        // The pipeline tail is optional: a payload ending here decodes
+        // with serial defaults (pre-tail peers and journaled frames).
+        let (pipeline_width, pipeline_gen_stalls, pipeline_judge_stalls, pipeline_core_waits) =
+            if cur.is_empty() {
+                (1, 0, 0, 0)
+            } else {
+                (
+                    cur.uvarint("summary pipeline width")?,
+                    cur.uvarint("summary gen stalls")?,
+                    cur.uvarint("summary judge stalls")?,
+                    cur.uvarint("summary core waits")?,
+                )
+            };
         if !cur.is_empty() {
             return Err(CodecError::Corrupt("trailing bytes after summary"));
         }
@@ -834,6 +882,10 @@ impl Summary {
             unclaimed_packets,
             bottlenecks,
             detections,
+            pipeline_width,
+            pipeline_gen_stalls,
+            pipeline_judge_stalls,
+            pipeline_core_waits,
         })
     }
 }
@@ -1093,10 +1145,38 @@ mod tests {
                 ucore: 4,
             },
             detections: 17,
+            pipeline_width: 3,
+            pipeline_gen_stalls: 101,
+            pipeline_judge_stalls: 7,
+            pipeline_core_waits: 55,
         };
         let back = Summary::decode(&s.encode()).unwrap();
         assert_eq!(back.slowdown.to_bits(), s.slowdown.to_bits());
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn summary_without_pipeline_tail_decodes_to_serial_defaults() {
+        // A pre-tail SUMMARY payload (ends at `detections`) must still
+        // decode: the tail fields come back as width 1, zero stalls.
+        let s = Summary {
+            committed: 10,
+            cycles: 20,
+            baseline_cycles: 15,
+            slowdown: 1.5,
+            packets: 4,
+            unclaimed_packets: 0,
+            bottlenecks: BottleneckBreakdown::default(),
+            detections: 0,
+            pipeline_width: 1,
+            pipeline_gen_stalls: 0,
+            pipeline_judge_stalls: 0,
+            pipeline_core_waits: 0,
+        };
+        let mut bytes = s.encode();
+        // The all-default tail is four zero varints: one byte each.
+        bytes.truncate(bytes.len() - 4);
+        assert_eq!(Summary::decode(&bytes).unwrap(), s);
     }
 
     #[test]

@@ -68,6 +68,10 @@ pub struct ServeOptions {
     /// transport goes this long without producing a byte is reaped with
     /// an ERROR frame — a slowloris client pins no worker.
     pub idle_timeout: Duration,
+    /// In-session stage-pipeline width (`--pipeline`; 1 = serial, 0 =
+    /// auto-size to the host). Detections, summaries, and counters are
+    /// bit-identical at every width — this is a wall-clock knob only.
+    pub pipeline: u32,
 }
 
 impl Default for ServeOptions {
@@ -80,6 +84,7 @@ impl Default for ServeOptions {
             metrics_addr: None,
             trace: None,
             idle_timeout: Duration::from_secs(30),
+            pipeline: 1,
         }
     }
 }
@@ -248,6 +253,7 @@ pub fn serve(opts: ServeOptions) -> std::io::Result<ServerHandle> {
             let fleet = Arc::clone(&fleet);
             let trace = opts.trace.clone();
             let idle_timeout = opts.idle_timeout.max(Duration::from_millis(10));
+            let pipeline = opts.pipeline;
             std::thread::spawn(move || loop {
                 let conn = { lock_unpoisoned(&rx).recv() };
                 match conn {
@@ -263,6 +269,7 @@ pub fn serve(opts: ServeOptions) -> std::io::Result<ServerHandle> {
                             observe_every,
                             idle_timeout,
                             id,
+                            pipeline,
                             &fleet,
                             trace.as_deref(),
                         );
@@ -377,6 +384,7 @@ fn handle_session(
     observe_every: u64,
     idle_timeout: Duration,
     session_id: u64,
+    pipeline: u32,
     fleet: &FleetCounters,
     trace: Option<&TraceSink>,
 ) {
@@ -391,7 +399,15 @@ fn handle_session(
     };
     let drain = stream.try_clone();
     let mut writer = FrameWriter::new(BufWriter::new(stream), false);
-    session_inner(reader, &mut writer, observe_every, session_id, fleet, trace);
+    session_inner(
+        reader,
+        &mut writer,
+        observe_every,
+        session_id,
+        pipeline,
+        fleet,
+        trace,
+    );
     let _ = writer.flush();
     // The session may not have consumed the client's whole stream (the
     // capture margin past the commit target stays unread). Closing with
@@ -427,6 +443,7 @@ fn session_inner(
     writer: &mut FrameWriter<BufWriter<TcpStream>>,
     observe_every: u64,
     session_id: u64,
+    pipeline: u32,
     fleet: &FleetCounters,
     trace: Option<&TraceSink>,
 ) {
@@ -484,11 +501,18 @@ fn session_inner(
         error: Arc::clone(&error),
     };
 
-    let exp = cfg.to_experiment();
+    let exp = cfg.to_experiment().pipeline(pipeline);
     // validate() already bounds the config, but the constructor's own
     // capacity check is the final authority — surface its refusal as an
-    // ERROR frame too, never a worker panic.
-    let mut sys = match try_build_system(&exp, Box::new(events)) {
+    // ERROR frame too, never a worker panic. The socket source is Send,
+    // so a `--pipeline` width beyond 1 runs this session's gen/judge
+    // stages on worker threads — same bytes out either way.
+    let built = if exp.pipeline == 1 {
+        try_build_system(&exp, Box::new(events))
+    } else {
+        fireguard_soc::try_build_system_send(&exp, Box::new(events))
+    };
+    let mut sys = match built {
         Ok(sys) => sys,
         Err(e) => {
             let msg = format!("refused session: {e}");
@@ -530,13 +554,17 @@ fn session_inner(
         .iter()
         .map(|&(slot, id)| (slot, id.wire()))
         .collect();
-    fleet.fold_session(&sys.telemetry(), &slot_wire);
+    let counters = sys.telemetry();
+    fleet.fold_session(&counters, &slot_wire);
+    // Every SUMMARY (clean, partial, or broken) carries the session's
+    // pipeline backpressure tail so loadgen can histogram stage stalls.
+    let summary = Summary::from_result(&result).with_pipeline_counters(&counters);
 
     let stream_error = lock_unpoisoned(&error).take();
     if let Some(msg) = stream_error {
         // The stream broke before the commit target: report what we had,
         // then the error, so the client knows the summary is partial.
-        let _ = writer.write(SUMMARY, &Summary::from_result(&result).encode());
+        let _ = writer.write(SUMMARY, &summary.encode());
         let msg = format!("stream error: {msg}");
         fail(&msg);
         return send_error(writer, &msg);
@@ -544,7 +572,7 @@ fn session_inner(
     if result.committed < cfg.insts {
         // A clean END, but short of the negotiated commit budget: the
         // summary is partial and the client must know.
-        let _ = writer.write(SUMMARY, &Summary::from_result(&result).encode());
+        let _ = writer.write(SUMMARY, &summary.encode());
         let msg = format!(
             "stream ended after {} of {} instructions",
             result.committed, cfg.insts
@@ -552,7 +580,7 @@ fn session_inner(
         fail(&msg);
         return send_error(writer, &msg);
     }
-    let _ = writer.write(SUMMARY, &Summary::from_result(&result).encode());
+    let _ = writer.write(SUMMARY, &summary.encode());
     fleet.sessions_ok.fetch_add(1, Ordering::Relaxed);
     if let Some(t) = trace {
         t.emit(

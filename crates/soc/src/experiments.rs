@@ -29,6 +29,11 @@ pub struct ExperimentConfig {
     /// Mapper width (1 = the paper's scalar mapper; >1 = footnote 5's
     /// superscalar extension).
     pub mapper_width: usize,
+    /// Requested in-session pipeline width: 1 = serial (judge inline with
+    /// the core's trace pull), ≥2 = worker stages ahead of the core, 0 =
+    /// auto from the host's parallelism. Results are bit-identical at
+    /// every width.
+    pub pipeline: u32,
 }
 
 impl ExperimentConfig {
@@ -45,6 +50,7 @@ impl ExperimentConfig {
             isax: IsaxMode::MaStage,
             attacks: None,
             mapper_width: 1,
+            pipeline: 1,
         }
     }
 
@@ -102,6 +108,12 @@ impl ExperimentConfig {
         self
     }
 
+    /// Sets the in-session pipeline width (0 = auto).
+    pub fn pipeline(mut self, w: u32) -> Self {
+        self.pipeline = w;
+        self
+    }
+
     fn profile(&self) -> WorkloadProfile {
         WorkloadProfile::parsec(&self.workload)
             .unwrap_or_else(|| panic!("unknown workload {}", self.workload))
@@ -115,6 +127,17 @@ impl ExperimentConfig {
     ///
     /// Panics if the workload name is unknown.
     pub fn trace(&self) -> Box<dyn Iterator<Item = fireguard_trace::TraceInst>> {
+        let g = TraceGenerator::new(self.profile(), self.seed);
+        match &self.attacks {
+            Some(plan) => Box::new(AttackingTrace::new(g, plan.clone())),
+            None => Box::new(g),
+        }
+    }
+
+    /// [`ExperimentConfig::trace`] with a `Send` bound, so the stream can
+    /// move onto a pipeline generation worker. Same generator, same seed,
+    /// same events.
+    pub fn trace_send(&self) -> Box<dyn Iterator<Item = fireguard_trace::TraceInst> + Send> {
         let g = TraceGenerator::new(self.profile(), self.seed);
         match &self.attacks {
             Some(plan) => Box::new(AttackingTrace::new(g, plan.clone())),
@@ -165,7 +188,42 @@ pub fn try_build_system(
     cfg: &ExperimentConfig,
     trace: Box<dyn Iterator<Item = fireguard_trace::TraceInst>>,
 ) -> Result<FireGuardSystem, CapacityError> {
-    let soc = SocConfig {
+    FireGuardSystem::try_new(soc_config(cfg), trace, &cfg.kernels)
+}
+
+/// [`try_build_system`] over a `Send` commit stream, honoring
+/// `cfg.pipeline`: the judging stage (and at width ≥ 3, generation) runs
+/// on worker threads ahead of the core. Results are bit-identical to the
+/// serial build at every width.
+///
+/// # Errors
+///
+/// The same capacity errors as [`try_build_system`].
+pub fn try_build_system_send(
+    cfg: &ExperimentConfig,
+    trace: Box<dyn Iterator<Item = fireguard_trace::TraceInst> + Send>,
+) -> Result<FireGuardSystem, CapacityError> {
+    FireGuardSystem::try_new_pipelined(soc_config(cfg), trace, &cfg.kernels, cfg.pipeline)
+}
+
+/// Builds the system for `cfg` from its own generator, routing through
+/// the pipelined constructor whenever `cfg.pipeline` asks for more than
+/// the serial stage.
+///
+/// # Panics
+///
+/// Panics on a capacity violation, like [`build_system`].
+pub fn build_system_auto(cfg: &ExperimentConfig) -> FireGuardSystem {
+    let r = if cfg.pipeline == 1 {
+        try_build_system(cfg, cfg.trace())
+    } else {
+        try_build_system_send(cfg, cfg.trace_send())
+    };
+    r.unwrap_or_else(|e| panic!("{e}"))
+}
+
+fn soc_config(cfg: &ExperimentConfig) -> SocConfig {
+    SocConfig {
         filter: fireguard_core::FilterConfig {
             width: cfg.filter_width,
             ..Default::default()
@@ -174,8 +232,7 @@ pub fn try_build_system(
         model: cfg.model,
         mapper_width: cfg.mapper_width,
         ..SocConfig::default()
-    };
-    FireGuardSystem::try_new(soc, trace, &cfg.kernels)
+    }
 }
 
 /// Replays a pre-captured event stream through the system described by
@@ -190,7 +247,13 @@ pub fn run_fireguard_events(
     events: Vec<fireguard_trace::TraceInst>,
     baseline_cycles: u64,
 ) -> RunResult {
-    let mut sys = build_system(cfg, Box::new(events.into_iter()));
+    // A captured event vector is `Send`, so replay honors `cfg.pipeline`
+    // exactly like a generated run — replay parity holds at every width.
+    let mut sys = if cfg.pipeline == 1 {
+        build_system(cfg, Box::new(events.into_iter()))
+    } else {
+        try_build_system_send(cfg, Box::new(events.into_iter())).unwrap_or_else(|e| panic!("{e}"))
+    };
     sys.run_insts(cfg.insts, baseline_cycles)
 }
 
@@ -228,7 +291,7 @@ pub fn baseline_cycles(workload: &str, seed: u64, insts: u64) -> u64 {
 /// bare-core baseline.
 pub fn run_fireguard(cfg: &ExperimentConfig) -> RunResult {
     let base = baseline_cycles(&cfg.workload, cfg.seed, cfg.insts);
-    let mut sys = build_system(cfg, cfg.trace());
+    let mut sys = build_system_auto(cfg);
     sys.run_insts(cfg.insts, base)
 }
 
@@ -245,15 +308,32 @@ pub fn run_fireguard_telemetry(
     Vec<(usize, KernelId)>,
 ) {
     let base = baseline_cycles(&cfg.workload, cfg.seed, cfg.insts);
-    let mut sys = build_system(cfg, cfg.trace());
+    let mut sys = build_system_auto(cfg);
     let result = sys.run_insts(cfg.insts, base);
     (result, sys.telemetry(), sys.kernel_slots())
 }
 
 /// Runs a software-instrumented baseline; returns its slowdown over the
 /// bare core for the same original instruction count.
+///
+/// Like [`baseline_cycles`], the result is a pure function of its
+/// arguments — the instrumented trace is fully determined by
+/// `(scheme, workload, seed, insts)` and the core is deterministic — and
+/// software rows recur across figure grids and repeated sweeps, each one
+/// simulating `insts × inflation` instructions. So the *cycle count* is
+/// memoized process-wide the same way; hits divide by the (also cached)
+/// bare-core denominator exactly as a fresh simulation would.
 pub fn run_software(scheme: SoftwareScheme, workload: &str, seed: u64, insts: u64) -> f64 {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    type SoftwareCache = Mutex<HashMap<(SoftwareScheme, String, u64, u64), u64>>;
+    static CACHE: OnceLock<SoftwareCache> = OnceLock::new();
     let base = baseline_cycles(workload, seed, insts);
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let key = (scheme, workload.to_owned(), seed, insts);
+    if let Some(&cycles) = cache.lock().expect("software cache lock").get(&key) {
+        return cycles as f64 / base as f64;
+    }
     let profile =
         WorkloadProfile::parsec(workload).unwrap_or_else(|| panic!("unknown workload {workload}"));
     // Bound the original instruction count, then instrument.
@@ -261,6 +341,10 @@ pub fn run_software(scheme: SoftwareScheme, workload: &str, seed: u64, insts: u6
     let instrumented = InstrumentedTrace::new(orig, scheme);
     let mut core = Core::new(BoomConfig::default(), instrumented);
     let stats = core.run_insts(u64::MAX / 2, &mut NullSink);
+    cache
+        .lock()
+        .expect("software cache lock")
+        .insert(key, stats.cycles);
     stats.cycles as f64 / base as f64
 }
 

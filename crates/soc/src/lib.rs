@@ -36,14 +36,19 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod pipeline;
 pub mod report;
 pub mod reporter;
 pub mod sweep;
 pub mod system;
 
 pub use experiments::{
-    baseline_cycles, build_system, capture_events, run_fireguard, run_fireguard_events,
-    run_fireguard_telemetry, run_software, try_build_system, ExperimentConfig, REPLAY_MARGIN,
+    baseline_cycles, build_system, build_system_auto, capture_events, run_fireguard,
+    run_fireguard_events, run_fireguard_telemetry, run_software, try_build_system,
+    try_build_system_send, ExperimentConfig, REPLAY_MARGIN,
+};
+pub use pipeline::{
+    resolve_pipeline_width, JudgedTrace, PipelineStats, PipelinedTrace, VerdictWindow,
 };
 pub use report::{BottleneckBreakdown, Detection, RunResult};
 pub use reporter::{render, render_to_string, Block, Cell, Format, Report, Table};

@@ -8,20 +8,24 @@
 //! Manhattan-grid NoC. Any full queue back-pressures upstream all the way
 //! to commit, which is where slowdown comes from.
 
+use crate::pipeline::{JudgedTrace, PipelineStats, PipelinedTrace, VerdictWindow};
 use crate::report::{BottleneckBreakdown, Detection, RunResult};
 use fireguard_boom::{BoomConfig, CommitSink, Core};
 use fireguard_core::{
     Allocator, CdcQueue, ClockDivider, EventFilter, FilterConfig, Packet, SchedulingEngine,
 };
 use fireguard_kernels::{
-    GuardianKernel, HardwareAccelerator, KernelId, ProgrammingModel, Semantics, SharedTiming,
+    GuardianKernel, HardwareAccelerator, KernelId, ProgrammingModel, SharedTiming,
 };
 use fireguard_noc::Mesh;
 use fireguard_telemetry::{EngineCounters, MAX_CLASSES};
 use fireguard_trace::TraceInst;
 use fireguard_ucore::{IsaxMode, KernelBackend, QueueEntry, Ucore, UcoreConfig};
+use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::rc::Rc;
+use std::sync::Arc;
 
 /// How a kernel's analysis capacity is provisioned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -180,13 +184,15 @@ impl Engine {
     }
 }
 
-/// The commit-stage frontend: filter + mapper + CDC, judging semantics in
-/// commit order. Implements [`CommitSink`] so the core drives it directly.
+/// The commit-stage frontend: filter + mapper + CDC, consuming verdicts
+/// the judging stage computed ahead of commit. Implements [`CommitSink`]
+/// so the core drives it directly.
 struct Frontend {
     filter: EventFilter,
     allocator: Allocator,
-    semantics: Vec<(usize, Box<dyn Semantics>)>, // (vbit, state machine)
-    last_judged: Option<(u64, u8)>,
+    /// Seq-ordered verdicts deposited by the judging stage (inline or a
+    /// pipeline worker) before each event reaches the core.
+    window: Rc<RefCell<VerdictWindow>>,
     cdcs: Vec<CdcQueue<Packet>>,
     engine_full: Vec<bool>,
     breakdown: BottleneckBreakdown,
@@ -203,22 +209,6 @@ struct Frontend {
 }
 
 impl Frontend {
-    fn judge(&mut self, inst: &TraceInst) -> u8 {
-        if let Some((seq, v)) = self.last_judged {
-            if seq == inst.seq {
-                return v; // refused offer being retried: judge exactly once
-            }
-        }
-        let mut v = 0u8;
-        for (vbit, sem) in &mut self.semantics {
-            if sem.judge(inst) {
-                v |= 1 << *vbit;
-            }
-        }
-        self.last_judged = Some((inst.seq, v));
-        v
-    }
-
     /// One mapper step: at most one packet from the arbiter through the
     /// allocator into the destination CDC queues. Runs every fast cycle,
     /// so it is allocation-free: the engine-occupancy mirror is borrowed
@@ -251,10 +241,20 @@ impl Frontend {
 
     /// Offers one committing instruction; on refusal the stall is
     /// attributed to the deepest blocked stage (Fig. 9's decomposition).
+    ///
+    /// The verdict is read (not consumed) from the window front — commit
+    /// retries the same event next cycle after a refusal and must see the
+    /// same verdict; acceptance pops it, which is exactly the
+    /// judge-once-per-event discipline.
     fn offer_inner(&mut self, now: u64, slot: usize, inst: &TraceInst) -> bool {
-        let verdicts = self.judge(inst);
+        let mut window = self.window.borrow_mut();
+        let verdicts = window.verdict_for(inst.seq);
         let before = self.filter.stats();
         let ok = self.filter.offer_judged(now, slot, inst, verdicts);
+        if ok {
+            window.consume(inst.seq);
+        }
+        drop(window);
         if cfg!(feature = "telemetry") && self.filter.stats().packets > before.packets {
             // A valid packet left the mini-filters: attribute it to its
             // instruction class and every subscribed kernel slot.
@@ -287,7 +287,7 @@ impl Frontend {
     fn new(
         filter: EventFilter,
         allocator: Allocator,
-        semantics: Vec<(usize, Box<dyn Semantics>)>,
+        window: Rc<RefCell<VerdictWindow>>,
         cdcs: Vec<CdcQueue<Packet>>,
         n_engines: usize,
         class_kernels: [u8; MAX_CLASSES],
@@ -295,8 +295,7 @@ impl Frontend {
         Frontend {
             filter,
             allocator,
-            semantics,
-            last_judged: None,
+            window,
             cdcs,
             engine_full: vec![false; n_engines],
             breakdown: BottleneckBreakdown::default(),
@@ -329,6 +328,11 @@ pub struct FireGuardSystem {
     mesh: Mesh,
     pending_noc: BinaryHeap<Reverse<(u64, usize, u64)>>, // (deliver_at, engine, payload-lo)
     divider: ClockDivider,
+    /// Effective pipeline width (1 = serial judging inline with the
+    /// core's trace pull; ≥2 = worker stages ahead of the core).
+    pipeline_width: u32,
+    /// Stage backpressure counters when worker stages are live.
+    pipeline_stats: Option<Arc<PipelineStats>>,
     /// True while the whole FireGuard side is provably quiescent — no
     /// packet buffered anywhere and every engine parked — so per-cycle
     /// mapper/fabric/engine work can be skipped without changing any
@@ -369,16 +373,81 @@ impl FireGuardSystem {
     /// bitmap), or provisioning a kernel with zero engines — without
     /// panicking, so hostile or oversized session configs surface as
     /// clean errors.
+    ///
+    /// The trace is judged serially (batched, inline with the core's
+    /// trace pull); see [`FireGuardSystem::try_new_pipelined`] for the
+    /// threaded stages.
     pub fn try_new(
         cfg: SocConfig,
         trace: Box<dyn Iterator<Item = TraceInst>>,
         kernels: &[(KernelId, EngineConfig)],
     ) -> Result<Self, CapacityError> {
         validate_capacity(kernels)?;
+        let ids: Vec<KernelId> = kernels.iter().map(|&(id, _)| id).collect();
+        let window = Rc::new(RefCell::new(VerdictWindow::new()));
+        let judged: Box<dyn Iterator<Item = TraceInst>> =
+            Box::new(JudgedTrace::new(trace, &ids, Rc::clone(&window)));
+        Ok(Self::assemble(cfg, judged, window, 1, None, kernels))
+    }
+
+    /// Like [`FireGuardSystem::try_new`], but the judging stage may run
+    /// ahead of the core on worker threads. `pipeline` is the requested
+    /// width (0 = auto from `available_parallelism()`); the effective
+    /// width is clamped to the three real stages and a width ≤ 1 —
+    /// including auto on a 1-CPU host — degrades to the serial path.
+    /// Results are bit-identical at every width: verdicts are pure
+    /// functions of the seq-ordered event stream, and batch boundaries
+    /// and batch order are preserved across all shapes.
+    ///
+    /// # Errors
+    ///
+    /// The same capacity errors as [`FireGuardSystem::try_new`].
+    pub fn try_new_pipelined(
+        cfg: SocConfig,
+        trace: Box<dyn Iterator<Item = TraceInst> + Send>,
+        kernels: &[(KernelId, EngineConfig)],
+        pipeline: u32,
+    ) -> Result<Self, CapacityError> {
+        validate_capacity(kernels)?;
+        let width = crate::pipeline::resolve_pipeline_width(pipeline);
+        let ids: Vec<KernelId> = kernels.iter().map(|&(id, _)| id).collect();
+        let window = Rc::new(RefCell::new(VerdictWindow::new()));
+        if width <= 1 {
+            let judged: Box<dyn Iterator<Item = TraceInst>> =
+                Box::new(JudgedTrace::new(trace, &ids, Rc::clone(&window)));
+            return Ok(Self::assemble(cfg, judged, window, 1, None, kernels));
+        }
+        let stats = Arc::new(PipelineStats::default());
+        let judged: Box<dyn Iterator<Item = TraceInst>> = Box::new(PipelinedTrace::new(
+            trace,
+            &ids,
+            Rc::clone(&window),
+            width,
+            Arc::clone(&stats),
+        ));
+        Ok(Self::assemble(
+            cfg,
+            judged,
+            window,
+            width,
+            Some(stats),
+            kernels,
+        ))
+    }
+
+    /// Builds the SoC around an already-judged trace stream (capacity
+    /// pre-validated by the public constructors).
+    fn assemble(
+        cfg: SocConfig,
+        trace: Box<dyn Iterator<Item = TraceInst>>,
+        window: Rc<RefCell<VerdictWindow>>,
+        pipeline_width: u32,
+        pipeline_stats: Option<Arc<PipelineStats>>,
+        kernels: &[(KernelId, EngineConfig)],
+    ) -> Self {
         let mut filter = EventFilter::new(cfg.filter);
         let mut allocator = Allocator::new();
         let mut engines = Vec::new();
-        let mut semantics = Vec::new();
         let mut kernel_groups = Vec::new();
         let mut shared_timing = Vec::new();
 
@@ -418,7 +487,6 @@ impl FireGuardSystem {
             for gid in id.gids() {
                 allocator.subscribe(gid, se);
             }
-            semantics.push((vbit, g.fresh_semantics()));
             shared_timing.push(g.shared_timing());
             kernel_groups.push((*id, vbit, engine_ids));
         }
@@ -429,8 +497,8 @@ impl FireGuardSystem {
             .collect();
         let mesh = Mesh::for_engines(engines.len().max(1));
         let n_engines = engines.len();
-        let frontend = Frontend::new(filter, allocator, semantics, cdcs, n_engines, class_kernels);
-        Ok(FireGuardSystem {
+        let frontend = Frontend::new(filter, allocator, window, cdcs, n_engines, class_kernels);
+        FireGuardSystem {
             core: Core::new(cfg.boom, trace),
             cfg,
             frontend,
@@ -440,11 +508,13 @@ impl FireGuardSystem {
             mesh,
             pending_noc: BinaryHeap::new(),
             divider,
+            pipeline_width,
+            pipeline_stats,
             fg_idle: false,
             last_slow_processed: u64::MAX,
             refresh_pending: false,
             detections: Vec::new(),
-        })
+        }
     }
 
     /// One fast-domain cycle of the whole system.
@@ -798,7 +868,20 @@ impl FireGuardSystem {
         c.noc_flits = ms.packets;
         c.noc_hops = ms.hops;
         c.noc_queue_cycles = ms.queueing;
+        c.pipeline_width = u64::from(self.pipeline_width);
+        if let Some(ps) = &self.pipeline_stats {
+            let (gen_full, judge_full, core_empty, batches) = ps.snapshot();
+            c.pipeline_gen_stalls = gen_full;
+            c.pipeline_judge_stalls = judge_full;
+            c.pipeline_core_waits = core_empty;
+            c.pipeline_batches = batches;
+        }
         c
+    }
+
+    /// The effective in-session pipeline width (1 = serial judging).
+    pub fn pipeline_width(&self) -> u32 {
+        self.pipeline_width
     }
 
     /// The deployment's `(verdict slot, kernel)` map, in slot order —

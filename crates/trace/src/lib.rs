@@ -24,6 +24,7 @@
 //! ```
 
 pub mod attack;
+pub mod batch;
 pub mod codec;
 pub mod event;
 pub mod gen;
@@ -31,6 +32,7 @@ pub mod profile;
 pub mod rng;
 
 pub use attack::{AttackKind, AttackPlan, AttackingTrace};
+pub use batch::{EventBatch, BATCH_EVENTS, NO_ADDR};
 pub use codec::{read_trace, write_trace, CodecError, EventDecoder, EventEncoder, TraceMeta};
 pub use event::{ControlFlow, HeapEvent, TraceInst};
 pub use gen::TraceGenerator;

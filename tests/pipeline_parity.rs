@@ -1,0 +1,246 @@
+//! Pipeline-width parity suite: `--pipeline N` is a pure throughput knob.
+//!
+//! The in-session pipeline (`fireguard-soc::pipeline`) moves trace
+//! generation and verdict judging onto worker threads, but every stage
+//! preserves [`BATCH_EVENTS`] batch boundaries and seq order, so cycles,
+//! packets, detections and replays must be **bit-identical** at every
+//! width. This suite pins that contract from the outside:
+//!
+//! 1. Every PARSEC workload produces a `Debug`-equal [`RunResult`]
+//!    (every `f64` bit-exact) at serial, threaded and auto widths.
+//! 2. An attacked run — detections live, verdict bits past the v1
+//!    nibble exercised — is width-invariant too.
+//! 3. `.fgt`-style replay (`run_fireguard_events`) over one captured
+//!    event vector reproduces the same result at every width.
+//! 4. A property test: seq-ordered commit through the [`VerdictWindow`]
+//!    over *randomized* batch sizes, worker lead and refusal retries
+//!    reproduces the serial per-event judging order exactly. This is the
+//!    determinism argument of the pipeline reduced to its kernel: any
+//!    interleaving the worker stages can produce is some schedule of
+//!    "push a judged chunk" / "commit the next event", and all such
+//!    schedules commit the same (seq, verdict) sequence.
+//!
+//! The pipeline's stall counters are deliberately *not* compared
+//! anywhere here: they count spin iterations against ring backpressure
+//! and are wall-clock artifacts, not simulation outputs.
+
+use fireguard::kernels::KernelId;
+use fireguard::soc::pipeline::fresh_judges;
+use fireguard::soc::{
+    baseline_cycles, capture_events, run_fireguard, run_fireguard_events, EngineConfig,
+    ExperimentConfig, VerdictWindow,
+};
+use fireguard::trace::{
+    AttackPlan, EventBatch, TraceGenerator, TraceInst, WorkloadProfile, BATCH_EVENTS,
+    PARSEC_WORKLOADS,
+};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// Commit budget for the per-workload benign sweep (batch boundaries are
+/// straddled many times over at 256 events per batch).
+const BENIGN_INSTS: u64 = 3_000;
+/// Commit budget for the attacked runs — long enough that dedup's first
+/// frees land inside the attack window (see `tests/conformance.rs`).
+const ATTACKED_INSTS: u64 = 36_000;
+
+/// Threaded widths under test: both pipeline shapes (2 = gen+judge ∥
+/// core, 3 = gen ∥ judge ∥ core), a clamped over-ask (4 → 3), and auto
+/// (0), which must be parity-safe whatever the host resolves it to.
+const WIDTHS: [u32; 4] = [2, 3, 4, 0];
+
+/// The four paper kernels on a workload at a given pipeline width.
+fn paper_cfg(workload: &str, insts: u64, pipeline: u32) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::new(workload)
+        .insts(insts)
+        .pipeline(pipeline);
+    cfg.kernels = vec![
+        (KernelId::PMC, EngineConfig::Ucores(2)),
+        (KernelId::SHADOW_STACK, EngineConfig::Ucores(2)),
+        (KernelId::ASAN, EngineConfig::Ucores(2)),
+        (KernelId::UAF, EngineConfig::Ucores(2)),
+    ];
+    cfg
+}
+
+/// An attacked all-kinds dedup experiment at a given width: detections
+/// (including verdict bits ≥ 4) must be width-invariant, not just the
+/// benign counters.
+fn attacked_cfg(pipeline: u32) -> ExperimentConfig {
+    let kinds: Vec<_> = {
+        let mut v: Vec<_> = fireguard::kernels::registry()
+            .iter()
+            .flat_map(|s| s.detects().iter().copied())
+            .collect();
+        v.sort_unstable_by_key(|k| format!("{k:?}"));
+        v.dedup();
+        v
+    };
+    let plan = AttackPlan::campaign(
+        &kinds,
+        24,
+        ATTACKED_INSTS / 2,
+        ATTACKED_INSTS - ATTACKED_INSTS / 10,
+        5,
+    );
+    let mut cfg = ExperimentConfig::new("dedup")
+        .insts(ATTACKED_INSTS)
+        .attacks(plan)
+        .pipeline(pipeline);
+    cfg.kernels = fireguard::kernels::registry()
+        .iter()
+        .map(|s| (s.id(), EngineConfig::Ucores(2)))
+        .collect();
+    cfg
+}
+
+#[test]
+fn every_workload_is_bit_identical_at_every_width() {
+    for profile in PARSEC_WORKLOADS {
+        let workload = profile.name;
+        let serial = format!("{:?}", run_fireguard(&paper_cfg(workload, BENIGN_INSTS, 1)));
+        for width in WIDTHS {
+            let threaded = format!(
+                "{:?}",
+                run_fireguard(&paper_cfg(workload, BENIGN_INSTS, width))
+            );
+            assert_eq!(
+                serial, threaded,
+                "{workload}: --pipeline {width} diverged from serial"
+            );
+        }
+    }
+}
+
+#[test]
+fn attacked_detections_are_width_invariant() {
+    let serial = run_fireguard(&attacked_cfg(1));
+    assert!(!serial.detections.is_empty(), "campaign must detect");
+    assert!(
+        serial.detections.iter().any(|d| d.kernel_slot >= 4),
+        "verdict bits past the v1 nibble must be live"
+    );
+    let serial = format!("{serial:?}");
+    for width in WIDTHS {
+        let threaded = format!("{:?}", run_fireguard(&attacked_cfg(width)));
+        assert_eq!(serial, threaded, "--pipeline {width} diverged under attack");
+    }
+}
+
+#[test]
+fn replay_is_bit_identical_at_every_width() {
+    let cfg = attacked_cfg(1);
+    let base = baseline_cycles(&cfg.workload, cfg.seed, cfg.insts);
+    let events = capture_events(&cfg);
+    let serial = format!("{:?}", run_fireguard_events(&cfg, events.clone(), base));
+    for width in WIDTHS {
+        let replayed = run_fireguard_events(&attacked_cfg(width), events.clone(), base);
+        assert_eq!(
+            serial,
+            format!("{replayed:?}"),
+            "replay at --pipeline {width} diverged from serial replay"
+        );
+    }
+}
+
+// ---- seq-ordered commit property ------------------------------------------
+
+const KERNELS: &[KernelId] = &[
+    KernelId::PMC,
+    KernelId::SHADOW_STACK,
+    KernelId::ASAN,
+    KernelId::UAF,
+];
+
+/// Serial per-event judging of `events`: the reference commit stream.
+fn serial_reference(events: &[TraceInst]) -> Vec<(u64, u8)> {
+    let mut judges = fresh_judges(KERNELS);
+    events
+        .iter()
+        .map(|t| {
+            let mut v = 0u8;
+            for (vbit, sem) in judges.iter_mut() {
+                if sem.judge(t) {
+                    v |= 1 << *vbit;
+                }
+            }
+            (t.seq, v)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any schedule of judged-chunk pushes and per-event commits over the
+    /// [`VerdictWindow`] — randomized chunk sizes (1..=2 batches), a
+    /// randomized push-vs-commit interleaving (the worker lead), and
+    /// randomized refusal retries (commit re-reading a verdict without
+    /// consuming it) — reproduces the serial per-event judging order
+    /// exactly.
+    #[test]
+    fn seq_ordered_commit_reproduces_serial_order(
+        chunks in proptest::collection::vec(1usize..=2 * BATCH_EVENTS, 1..24),
+        lead in proptest::collection::vec(any::<bool>(), 1..96),
+        retries in proptest::collection::vec(0usize..3, 1..32),
+        seed in 0u64..1_000,
+    ) {
+        let n: usize = chunks.iter().sum();
+        let events: Vec<TraceInst> =
+            TraceGenerator::new(WorkloadProfile::parsec("dedup").unwrap(), seed)
+                .take(n)
+                .collect();
+        let want = serial_reference(&events);
+
+        // The judging side: batched judging over the randomized chunk
+        // sizes, pushed into the window in seq order — exactly what
+        // `JudgedTrace`/`PipelinedTrace` do per batch.
+        let mut judges = fresh_judges(KERNELS);
+        let mut src = events.iter().copied();
+        let mut batch = EventBatch::with_capacity(2 * BATCH_EVENTS);
+        let mut window = VerdictWindow::new();
+        let mut pending: VecDeque<TraceInst> = VecDeque::new();
+        let mut got: Vec<(u64, u8)> = Vec::with_capacity(n);
+        let mut chunk_it = chunks.iter();
+        let mut li = 0usize;
+        let mut ri = 0usize;
+
+        // Interleave "judge+push next chunk" with "commit next event"
+        // according to the randomized lead schedule, then drain.
+        loop {
+            // Push when the schedule says so, or when the commit side has
+            // nothing pending (the core blocks on the ring until the
+            // judging side produces — it can never run ahead of it).
+            let push_next = lead[li % lead.len()] || pending.is_empty();
+            li += 1;
+            if push_next {
+                if let Some(&c) = chunk_it.next() {
+                    batch.refill(&mut src, c);
+                    let mut out = std::mem::take(&mut batch.verdicts);
+                    for (vbit, sem) in judges.iter_mut() {
+                        sem.judge_batch(&batch, *vbit, &mut out);
+                    }
+                    batch.verdicts = out;
+                    window.push_judged(batch.events(), &batch.verdicts);
+                    pending.extend(batch.events().iter().copied());
+                    continue;
+                }
+            }
+            let Some(t) = pending.pop_front() else {
+                break; // chunks exhausted and everything committed
+            };
+            // A refused offer re-reads the same verdict next cycle
+            // without consuming it; the retry must be idempotent.
+            let v = window.verdict_for(t.seq);
+            for _ in 0..retries[ri % retries.len()] {
+                prop_assert_eq!(window.verdict_for(t.seq), v, "retry changed the verdict");
+            }
+            ri += 1;
+            window.consume(t.seq);
+            got.push((t.seq, v));
+        }
+
+        prop_assert_eq!(got, want);
+        prop_assert!(window.is_empty(), "every judged verdict was consumed");
+    }
+}
